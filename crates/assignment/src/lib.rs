@@ -1,0 +1,300 @@
+//! Minimum-weight perfect matching on weighted bigraphs.
+//!
+//! The SLD computation of Sec. III-F forms a complete bipartite graph whose
+//! nodes are the (ε-padded) tokens of the two tokenized strings and whose
+//! edge weights are token-level Levenshtein distances, then solves the
+//! assignment problem. This crate provides:
+//!
+//! * [`hungarian`] — the exact `O(n³)` Hungarian algorithm (shortest
+//!   augmenting paths with potentials), the paper's exact verifier;
+//! * [`greedy`] — the *greedy-token-aligning* approximation of Sec. III-G5:
+//!   repeatedly commit the globally lightest remaining edge;
+//! * [`exhaustive`] — brute-force over all permutations, exposed for
+//!   property tests and tiny instances (`n ≤ 10`).
+//!
+//! All solvers take a square [`SquareMatrix`] of `u64` costs; callers pad
+//! rectangular instances (the SLD layer pads with empty tokens, whose edge
+//! weight to a token `z` is `|z|`).
+
+pub mod matrix;
+
+pub use matrix::SquareMatrix;
+
+/// A perfect matching: `assignment[row] = column`, plus its total cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// Total weight of the selected edges.
+    pub cost: u64,
+    /// `assignment[i]` is the column matched to row `i`; always a
+    /// permutation of `0..n`.
+    pub assignment: Vec<usize>,
+}
+
+/// Exact minimum-cost perfect matching via the Hungarian algorithm
+/// (Jonker–Volgenant style shortest augmenting paths), `O(n³)`.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_assignment::{hungarian, SquareMatrix};
+/// let m = SquareMatrix::from_rows(&[
+///     vec![4, 1, 3],
+///     vec![2, 0, 5],
+///     vec![3, 2, 2],
+/// ]);
+/// let sol = hungarian(&m);
+/// assert_eq!(sol.cost, 5); // 1 + 2 + 2
+/// ```
+///
+/// # Panics
+///
+/// Panics if any cost exceeds `u64::MAX / 4` (headroom for potential
+/// arithmetic; SLD costs are token lengths, far below this).
+pub fn hungarian(m: &SquareMatrix) -> Matching {
+    let n = m.n();
+    if n == 0 {
+        return Matching { cost: 0, assignment: vec![] };
+    }
+    assert!(
+        m.iter().all(|c| c <= u64::MAX / 4),
+        "costs too large for potential arithmetic"
+    );
+    const INF: i64 = i64::MAX / 2;
+
+    // 1-indexed potentials over rows (u) and columns (v); p[j] is the row
+    // matched to column j (0 = unmatched sentinel row).
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = m.get(i0 - 1, j - 1) as i64 - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the recorded path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let cost = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| m.get(i, j))
+        .sum();
+    Matching { cost, assignment }
+}
+
+/// Greedy-token-aligning (Sec. III-G5): select the globally minimum-weight
+/// edge, remove both endpoints, repeat.
+///
+/// Runs in `O(n² log n)` (sorting the n² edges) — the paper's
+/// `T(xᵗ)·T(yᵗ)·log(T(xᵗ)·T(yᵗ))` term. The result is a valid perfect
+/// matching whose cost is an *upper bound* on the optimum, which keeps the
+/// approximation on the false-negative side (precision stays 1.0).
+///
+/// Ties are broken by `(cost, row, column)` so the approximation is
+/// deterministic across runs and platforms.
+pub fn greedy(m: &SquareMatrix) -> Matching {
+    let n = m.n();
+    let mut edges: Vec<(u64, u32, u32)> = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            edges.push((m.get(i, j), i as u32, j as u32));
+        }
+    }
+    edges.sort_unstable();
+    let mut row_used = vec![false; n];
+    let mut col_used = vec![false; n];
+    let mut assignment = vec![usize::MAX; n];
+    let mut cost = 0u64;
+    let mut matched = 0usize;
+    for (w, i, j) in edges {
+        let (i, j) = (i as usize, j as usize);
+        if row_used[i] || col_used[j] {
+            continue;
+        }
+        row_used[i] = true;
+        col_used[j] = true;
+        assignment[i] = j;
+        cost += w;
+        matched += 1;
+        if matched == n {
+            break;
+        }
+    }
+    Matching { cost, assignment }
+}
+
+/// Brute-force minimum over all `n!` permutations. Exposed for tests and
+/// tiny instances.
+///
+/// # Panics
+///
+/// Panics for `n > 10` (10! ≈ 3.6M permutations is the practical ceiling).
+pub fn exhaustive(m: &SquareMatrix) -> Matching {
+    let n = m.n();
+    assert!(n <= 10, "exhaustive matching is for n ≤ 10 (got {n})");
+    if n == 0 {
+        return Matching { cost: 0, assignment: vec![] };
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best_cost = u64::MAX;
+    let mut best: Vec<usize> = perm.clone();
+    permute(&mut perm, 0, &mut |p| {
+        let c: u64 = p.iter().enumerate().map(|(i, &j)| m.get(i, j)).sum();
+        if c < best_cost {
+            best_cost = c;
+            best.copy_from_slice(p);
+        }
+    });
+    Matching { cost: best_cost, assignment: best }
+}
+
+fn permute(p: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == p.len() {
+        visit(p);
+        return;
+    }
+    for i in k..p.len() {
+        p.swap(k, i);
+        permute(p, k + 1, visit);
+        p.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance() {
+        let m = SquareMatrix::zeros(0);
+        assert_eq!(hungarian(&m).cost, 0);
+        assert_eq!(greedy(&m).cost, 0);
+        assert_eq!(exhaustive(&m).cost, 0);
+    }
+
+    #[test]
+    fn singleton() {
+        let m = SquareMatrix::from_rows(&[vec![7]]);
+        let h = hungarian(&m);
+        assert_eq!(h.cost, 7);
+        assert_eq!(h.assignment, vec![0]);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        let m = SquareMatrix::from_rows(&[vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]]);
+        assert_eq!(hungarian(&m).cost, 5);
+        assert_eq!(exhaustive(&m).cost, 5);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_valid() {
+        // Greedy takes the 0 edge (0,0), forcing 10+10; optimal is 1+1+0.
+        let m = SquareMatrix::from_rows(&[
+            vec![0, 1, 10],
+            vec![1, 10, 10],
+            vec![10, 10, 0],
+        ]);
+        let h = hungarian(&m);
+        let g = greedy(&m);
+        assert_eq!(h.cost, 2);
+        assert!(g.cost >= h.cost);
+        assert_permutation(&g.assignment);
+    }
+
+    #[test]
+    fn hungarian_matches_exhaustive_on_fixed_cases() {
+        let cases = [
+            vec![vec![1, 2], vec![3, 4]],
+            vec![vec![5, 5], vec![5, 5]],
+            vec![
+                vec![9, 2, 7, 8],
+                vec![6, 4, 3, 7],
+                vec![5, 8, 1, 8],
+                vec![7, 6, 9, 4],
+            ],
+        ];
+        for rows in cases {
+            let m = SquareMatrix::from_rows(&rows);
+            assert_eq!(hungarian(&m).cost, exhaustive(&m).cost, "{rows:?}");
+        }
+    }
+
+    #[test]
+    fn assignments_are_permutations() {
+        let m = SquareMatrix::from_rows(&[
+            vec![3, 1, 4, 1],
+            vec![5, 9, 2, 6],
+            vec![5, 3, 5, 8],
+            vec![9, 7, 9, 3],
+        ]);
+        assert_permutation(&hungarian(&m).assignment);
+        assert_permutation(&greedy(&m).assignment);
+        assert_permutation(&exhaustive(&m).assignment);
+    }
+
+    #[test]
+    fn deterministic_greedy_tie_breaking() {
+        let m = SquareMatrix::from_rows(&[vec![1, 1], vec![1, 1]]);
+        let g1 = greedy(&m);
+        let g2 = greedy(&m);
+        assert_eq!(g1.assignment, g2.assignment);
+        assert_eq!(g1.assignment, vec![0, 1]); // row-major tie order
+    }
+
+    fn assert_permutation(a: &[usize]) {
+        let mut seen = vec![false; a.len()];
+        for &j in a {
+            assert!(j < a.len() && !seen[j], "not a permutation: {a:?}");
+            seen[j] = true;
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Dense square cost matrices for the assignment solvers.
+
+/// A dense `n × n` matrix of `u64` costs in row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl SquareMatrix {
+    /// An all-zero `n × n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0; n * n] }
+    }
+
+    /// Builds from a cost function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> u64) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Builds from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix.
+    pub fn from_rows(rows: &[Vec<u64>]) -> Self {
+        let n = rows.len();
+        assert!(
+            rows.iter().all(|r| r.len() == n),
+            "rows must form a square matrix"
+        );
+        let mut data = Vec::with_capacity(n * n);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self { n, data }
+    }
+
+    /// Side length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cost at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col]
+    }
+
+    /// Sets the cost at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: u64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Iterates over all costs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = SquareMatrix::zeros(2);
+        m.set(0, 1, 5);
+        assert_eq!(m.get(0, 1), 5);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(m.n(), 2);
+
+        let f = SquareMatrix::from_fn(3, |i, j| (i * 10 + j) as u64);
+        assert_eq!(f.get(2, 1), 21);
+
+        let r = SquareMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.get(1, 1), 4);
+        assert_eq!(r.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_ragged_rows() {
+        let _ = SquareMatrix::from_rows(&[vec![1], vec![2, 3]]);
+    }
+}

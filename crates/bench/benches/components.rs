@@ -1,0 +1,67 @@
+//! Component-level benchmarks: segmenting, the token NLD joins, and the
+//! candidate filters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsj_datagen::{generate_names, NameGenConfig};
+use tsj_mapreduce::Cluster;
+use tsj_passjoin::{even_partitions, nld_self_join_serial, substring_window, MassJoin};
+
+fn distinct_tokens(n_names: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names = generate_names(n_names, &mut rng, &NameGenConfig::default());
+    let mut tokens: Vec<String> = names
+        .iter()
+        .flat_map(|n| n.split_whitespace().map(str::to_owned))
+        .collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segments");
+    g.bench_function("even_partitions/len12_parts3", |b| {
+        b.iter(|| even_partitions(black_box(12), black_box(3)))
+    });
+    g.bench_function("substring_window", |b| {
+        b.iter(|| substring_window(black_box(10), black_box(12), 1, 4, 4, 2))
+    });
+    g.finish();
+}
+
+fn bench_token_joins(c: &mut Criterion) {
+    let tokens = distinct_tokens(4000, 99);
+    let mut g = c.benchmark_group("token_joins");
+    g.sample_size(10);
+    g.bench_function(format!("serial_nld_join/{}_tokens", tokens.len()), |b| {
+        b.iter(|| nld_self_join_serial(black_box(&tokens), 0.15))
+    });
+    let cluster = Cluster::with_machines(64);
+    g.bench_function(format!("massjoin/{}_tokens", tokens.len()), |b| {
+        b.iter(|| MassJoin::new(&cluster, 0.15).nld_self_join(black_box(&tokens)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    use tsj_setdist::{nsld_lower_bound_from_total_lens, sld_lower_bound_sorted_lens};
+    let mut g = c.benchmark_group("filters");
+    g.bench_function("length_filter", |b| {
+        b.iter(|| nsld_lower_bound_from_total_lens(black_box(13), black_box(17)))
+    });
+    let xl = [1u32, 5, 6];
+    let yl = [4u32, 6, 7];
+    g.bench_function("histogram_filter", |b| {
+        b.iter(|| sld_lower_bound_sorted_lens(black_box(&xl), black_box(&yl)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_segments, bench_token_joins, bench_filters
+}
+criterion_main!(benches);

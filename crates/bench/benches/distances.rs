@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the distance kernels (the per-pair costs that
+//! Sec. III-F's complexity analysis is about).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tsj_assignment::{greedy, hungarian, SquareMatrix};
+use tsj_setdist::{nsld, nsld_greedy, nsld_within, Aligning};
+use tsj_strdist::{jaro_winkler, levenshtein, levenshtein_within, nld, nld_within};
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levenshtein");
+    g.bench_function("ld/short_names", |b| {
+        b.iter(|| levenshtein(black_box("thomson"), black_box("thompson")))
+    });
+    g.bench_function("ld/long_tokens", |b| {
+        b.iter(|| {
+            levenshtein(
+                black_box("krishnamurthy-venkatesan"),
+                black_box("krishnamoorthy-venkatesen"),
+            )
+        })
+    });
+    g.bench_function("ld_within/hit_k1", |b| {
+        b.iter(|| levenshtein_within(black_box("thomson"), black_box("thompson"), 1))
+    });
+    g.bench_function("ld_within/miss_k1", |b| {
+        b.iter(|| levenshtein_within(black_box("barakxyz"), black_box("obamapqr"), 1))
+    });
+    g.finish();
+}
+
+fn bench_nld(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nld");
+    g.bench_function("nld/full", |b| {
+        b.iter(|| nld(black_box("jonathan"), black_box("jonathon")))
+    });
+    g.bench_function("nld_within/t0.1", |b| {
+        b.iter(|| nld_within(black_box("jonathan"), black_box("jonathon"), 0.1))
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| jaro_winkler(black_box("martha"), black_box("marhta")))
+    });
+    g.finish();
+}
+
+fn bench_setwise(c: &mut Criterion) {
+    let x3 = ["barak", "hussein", "obama"];
+    let y3 = ["burak", "husein", "obamma"];
+    let x5 = ["maria", "del", "carmen", "garcia", "lopez"];
+    let y5 = ["mariah", "del", "carmen", "garcia", "lopes"];
+    let mut g = c.benchmark_group("nsld");
+    g.bench_function("nsld/hungarian_k3", |b| b.iter(|| nsld(black_box(&x3), black_box(&y3))));
+    g.bench_function("nsld/greedy_k3", |b| {
+        b.iter(|| nsld_greedy(black_box(&x3), black_box(&y3)))
+    });
+    g.bench_function("nsld/hungarian_k5", |b| b.iter(|| nsld(black_box(&x5), black_box(&y5))));
+    g.bench_function("nsld/greedy_k5", |b| {
+        b.iter(|| nsld_greedy(black_box(&x5), black_box(&y5)))
+    });
+    g.bench_function("nsld_within/prune_path", |b| {
+        // Length filter rejects before any LD work.
+        b.iter(|| {
+            nsld_within(
+                black_box(&["a"]),
+                black_box(&["abcdefgh", "ijklmnop"]),
+                0.1,
+                Aligning::Hungarian,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assignment");
+    for n in [4usize, 8, 16] {
+        let m = SquareMatrix::from_fn(n, |i, j| ((i * 31 + j * 17) % 23) as u64);
+        g.bench_function(format!("hungarian/{n}x{n}"), |b| {
+            b.iter(|| hungarian(black_box(&m)))
+        });
+        g.bench_function(format!("greedy/{n}x{n}"), |b| b.iter(|| greedy(black_box(&m))));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_levenshtein, bench_nld, bench_setwise, bench_assignment
+}
+criterion_main!(benches);

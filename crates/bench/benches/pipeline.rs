@@ -1,0 +1,111 @@
+//! End-to-end pipeline benchmarks: the TSJ schemes, the HMJ baseline, and
+//! the brute-force reference, all on the same workload (real wall time of
+//! the local execution, complementing the simulated-cluster figures).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tsj::{brute_force_self_join, ApproximationScheme, DedupStrategy, TsjConfig, TsjJoiner};
+use tsj_datagen::workload;
+use tsj_mapreduce::Cluster;
+use tsj_metricjoin::{HmjConfig, HmjJoiner};
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+fn bench_joins(c: &mut Criterion) {
+    let w = workload(1500, 0.3, 7);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(64);
+
+    let mut g = c.benchmark_group("join_1500");
+    g.sample_size(10);
+    for scheme in [
+        ApproximationScheme::FuzzyTokenMatching,
+        ApproximationScheme::GreedyTokenAligning,
+        ApproximationScheme::ExactTokenMatching,
+    ] {
+        g.bench_function(format!("tsj/{}", scheme.name()), |b| {
+            b.iter(|| {
+                TsjJoiner::new(&cluster)
+                    .self_join(
+                        black_box(&corpus),
+                        &TsjConfig {
+                            threshold: 0.1,
+                            max_token_frequency: Some(100),
+                            scheme,
+                            ..TsjConfig::default()
+                        },
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    for dedup in [DedupStrategy::OneString, DedupStrategy::BothStrings] {
+        g.bench_function(format!("tsj/dedup_{dedup:?}"), |b| {
+            b.iter(|| {
+                TsjJoiner::new(&cluster)
+                    .self_join(
+                        black_box(&corpus),
+                        &TsjConfig {
+                            threshold: 0.1,
+                            max_token_frequency: Some(100),
+                            dedup,
+                            ..TsjConfig::default()
+                        },
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    g.bench_function("hmj", |b| {
+        b.iter(|| {
+            HmjJoiner::new(
+                &cluster,
+                HmjConfig { num_centroids: 32, max_partition_size: 256, ..HmjConfig::default() },
+            )
+            .self_join(black_box(&corpus), 0.1)
+            .unwrap()
+        })
+    });
+    g.bench_function("brute_force", |b| {
+        b.iter(|| brute_force_self_join(black_box(&corpus), 0.1, 8))
+    });
+    g.finish();
+}
+
+/// Ablation D4: filters on vs off — wall time of the verification stage.
+fn bench_filter_ablation(c: &mut Criterion) {
+    let w = workload(1500, 0.3, 11);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(64);
+    let mut g = c.benchmark_group("ablation_filters");
+    g.sample_size(10);
+    for (name, length, histogram) in [
+        ("both_filters", true, true),
+        ("length_only", true, false),
+        ("histogram_only", false, true),
+        ("no_filters", false, false),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                TsjJoiner::new(&cluster)
+                    .self_join(
+                        black_box(&corpus),
+                        &TsjConfig {
+                            threshold: 0.15,
+                            max_token_frequency: Some(100),
+                            length_filter: length,
+                            histogram_filter: histogram,
+                            ..TsjConfig::default()
+                        },
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_joins, bench_filter_ablation
+}
+criterion_main!(benches);

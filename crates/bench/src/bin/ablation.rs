@@ -1,0 +1,158 @@
+//! Ablations of the design choices called out in DESIGN.md §5.
+//!
+//! * **D2** — even-partition vs fixed-width segmenting: distinct chunk
+//!   count (index size) over the corpus's token space.
+//! * **D3** — the paper's hash-parity key-selection rule vs always-smaller
+//!   key: reduce-side load balance of the one-string dedup job.
+//! * **D4** — filter contributions: candidate survival through length /
+//!   histogram pruning and the verification count with each filter setting.
+//! * **D5** — Hungarian vs greedy verification: result deltas on the
+//!   survivor set (the runtime side lives in the criterion benches).
+
+use std::collections::HashMap;
+
+use tsj::{pair_set, recall, ApproximationScheme, TsjConfig, TsjJoiner};
+use tsj_bench::FigParams;
+use tsj_datagen::workload;
+use tsj_mapreduce::{fingerprint64, Cluster};
+use tsj_passjoin::even_partitions;
+use tsj_strdist::segments_for_indexed_len;
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+fn main() {
+    let mut p = FigParams::from_env();
+    p.n = p.n.min(8000); // ablations are about ratios; keep them quick
+    let w = workload(p.n, p.ring_fraction, p.seed);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = p.cluster(p.default_machines);
+
+    ablate_partition_scheme(&corpus, p.default_t);
+    ablate_key_rule(&corpus, &cluster, &p);
+    ablate_filters(&corpus, &cluster, &p);
+    ablate_aligning(&corpus, &cluster, &p);
+}
+
+/// D2: chunk-space size under even vs fixed-width partitioning.
+fn ablate_partition_scheme(corpus: &Corpus, t: f64) {
+    let mut even_chunks: std::collections::HashSet<(u32, u16, u64)> = Default::default();
+    let mut fixed_chunks: std::collections::HashSet<(u32, u16, u64)> = Default::default();
+    for tok in corpus.token_ids() {
+        let text: Vec<char> = corpus.token_text(tok).chars().collect();
+        let l = text.len();
+        if l == 0 {
+            continue;
+        }
+        let parts = segments_for_indexed_len(l, t).min(l);
+        // Even-partition scheme (the paper's choice).
+        for (i, (start, len)) in even_partitions(l, parts).into_iter().enumerate() {
+            even_chunks.insert((l as u32, i as u16, fingerprint64(&text[start..start + len])));
+        }
+        // Fixed-width alternative: ⌈l/parts⌉-wide segments, last one ragged.
+        let width = l.div_ceil(parts);
+        let mut start = 0;
+        let mut i = 0u16;
+        while start < l {
+            let end = (start + width).min(l);
+            fixed_chunks.insert((l as u32, i, fingerprint64(&text[start..end])));
+            start = end;
+            i += 1;
+        }
+    }
+    println!("# ablation D2: segment scheme (chunk-space size, smaller = cheaper shuffle)");
+    println!("even-partition\t{}", even_chunks.len());
+    println!("fixed-width\t{}", fixed_chunks.len());
+}
+
+/// D3: key-side load balance of the one-string grouping rule.
+fn ablate_key_rule(corpus: &Corpus, cluster: &Cluster, p: &FigParams) {
+    // Generate the candidate pairs once via the real pipeline (fuzzy).
+    let out = TsjJoiner::new(cluster)
+        .self_join(
+            corpus,
+            &TsjConfig {
+                threshold: p.default_t,
+                max_token_frequency: Some(p.default_m),
+                ..TsjConfig::default()
+            },
+        )
+        .unwrap();
+    // Reconstruct pair keys under both rules from the verified pairs (a
+    // proxy for the candidate distribution with identical structure).
+    let mut paper_rule: HashMap<u32, u64> = HashMap::new();
+    let mut min_rule: HashMap<u32, u64> = HashMap::new();
+    for pair in &out.pairs {
+        let (a, b) = (pair.a.0, pair.b.0);
+        let (ha, hb) = (fingerprint64(&a), fingerprint64(&b));
+        let key = if u64::from(ha < hb) == ha.wrapping_add(hb) % 2 { a } else { b };
+        *paper_rule.entry(key).or_insert(0) += 1;
+        *min_rule.entry(a.min(b)).or_insert(0) += 1;
+    }
+    let max_of = |m: &HashMap<u32, u64>| m.values().copied().max().unwrap_or(0);
+    println!("\n# ablation D3: one-string key rule (max candidates on one key, lower = better balance)");
+    println!("paper-hash-parity\t{}", max_of(&paper_rule));
+    println!("always-smaller-id\t{}", max_of(&min_rule));
+}
+
+/// D4: per-filter candidate survival.
+fn ablate_filters(corpus: &Corpus, cluster: &Cluster, p: &FigParams) {
+    println!("\n# ablation D4: filter survival (distinct candidates -> verified)");
+    for (name, length, histogram) in [
+        ("both", true, true),
+        ("length-only", true, false),
+        ("histogram-only", false, true),
+        ("none", false, false),
+    ] {
+        let out = TsjJoiner::new(cluster)
+            .self_join(
+                corpus,
+                &TsjConfig {
+                    threshold: p.default_t,
+                    max_token_frequency: Some(p.default_m),
+                    length_filter: length,
+                    histogram_filter: histogram,
+                    ..TsjConfig::default()
+                },
+            )
+            .unwrap();
+        println!(
+            "{name}\tcandidates={}\tpruned_len={}\tpruned_hist={}\tverified={}\tpairs={}",
+            out.report.counter("candidates_distinct"),
+            out.report.counter("pruned_length"),
+            out.report.counter("pruned_histogram"),
+            out.report.counter("verified"),
+            out.pairs.len(),
+        );
+    }
+}
+
+/// D5: Hungarian vs greedy result deltas.
+fn ablate_aligning(corpus: &Corpus, cluster: &Cluster, p: &FigParams) {
+    let join = |scheme| {
+        TsjJoiner::new(cluster)
+            .self_join(
+                corpus,
+                &TsjConfig {
+                    threshold: 0.2, // wide threshold stresses the aligning
+                    max_token_frequency: Some(p.default_m),
+                    scheme,
+                    ..TsjConfig::default()
+                },
+            )
+            .unwrap()
+    };
+    let fuzzy = join(ApproximationScheme::FuzzyTokenMatching);
+    let greedy = join(ApproximationScheme::GreedyTokenAligning);
+    println!("\n# ablation D5: aligning (T = 0.2)");
+    println!(
+        "hungarian\tpairs={}\tsim_secs={:.1}",
+        fuzzy.pairs.len(),
+        fuzzy.sim_secs()
+    );
+    println!(
+        "greedy\tpairs={}\tsim_secs={:.1}\trecall_vs_hungarian={:.6}\tsubset={}",
+        greedy.pairs.len(),
+        greedy.sim_secs(),
+        recall(&greedy.pairs, &fuzzy.pairs),
+        pair_set(&greedy.pairs).is_subset(&pair_set(&fuzzy.pairs)),
+    );
+}

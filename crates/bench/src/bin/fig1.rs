@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 of the paper. See crate docs for env knobs.
+fn main() {
+    let params = tsj_bench::FigParams::from_env();
+    tsj_bench::figures::fig1(&params).print_tsv();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 of the paper. See crate docs for env knobs.
+fn main() {
+    let params = tsj_bench::FigParams::from_env();
+    tsj_bench::figures::fig3(&params).print_tsv();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 of the paper. See crate docs for env knobs.
+fn main() {
+    let params = tsj_bench::FigParams::from_env();
+    tsj_bench::figures::fig5(&params).print_tsv();
+}

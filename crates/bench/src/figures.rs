@@ -1,0 +1,463 @@
+//! The per-figure reproduction harnesses.
+
+use tsj::{
+    recall, ApproximationScheme, DedupStrategy, JoinOutput, TsjConfig, TsjJoiner,
+};
+use tsj_datagen::{roc_dataset, workload};
+use tsj_fuzzyset::{fuzzy_distance, roc_curve, FuzzyMeasure, TokenWeights};
+use tsj_metricjoin::{HmjConfig, HmjJoiner};
+use tsj_setdist::nsld;
+use tsj_tokenize::{Corpus, NameTokenizer, Tokenizer};
+
+use crate::params::FigParams;
+
+/// One data point of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Series name (e.g. `"greedy-token-aligning"`).
+    pub series: String,
+    /// X coordinate (machines, T, M, or FPR).
+    pub x: f64,
+    /// Y coordinate (simulated seconds, pair count, or TPR).
+    pub y: f64,
+}
+
+/// A regenerated figure: rows plus free-form notes (speedups, recalls,
+/// AUCs) matching the claims the paper states in prose.
+#[derive(Debug, Clone)]
+pub struct FigData {
+    pub title: String,
+    pub xlabel: String,
+    pub ylabel: String,
+    pub rows: Vec<Row>,
+    pub notes: Vec<String>,
+}
+
+impl FigData {
+    /// Prints the figure as TSV (`series⟨TAB⟩x⟨TAB⟩y`) with `#` headers.
+    pub fn print_tsv(&self) {
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut w = stdout.lock();
+        writeln!(w, "# {}", self.title).unwrap();
+        writeln!(w, "# x = {}, y = {}", self.xlabel, self.ylabel).unwrap();
+        writeln!(w, "series\tx\ty").unwrap();
+        for r in &self.rows {
+            writeln!(w, "{}\t{}\t{}", r.series, r.x, r.y).unwrap();
+        }
+        for n in &self.notes {
+            writeln!(w, "# note: {n}").unwrap();
+        }
+    }
+
+    /// The y values of one series, ordered by x.
+    pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
+        let mut v: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .filter(|r| r.series == name)
+            .map(|r| (r.x, r.y))
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    }
+}
+
+fn build_corpus(p: &FigParams) -> Corpus {
+    let w = workload(p.n, p.ring_fraction, p.seed);
+    Corpus::build(&w.strings, &NameTokenizer::default())
+}
+
+fn run_join(
+    corpus: &Corpus,
+    p: &FigParams,
+    machines: usize,
+    t: f64,
+    m: usize,
+    scheme: ApproximationScheme,
+    dedup: DedupStrategy,
+) -> JoinOutput {
+    let cluster = p.cluster(machines);
+    TsjJoiner::new(&cluster)
+        .self_join(
+            corpus,
+            &TsjConfig {
+                threshold: t,
+                max_token_frequency: Some(m),
+                scheme,
+                dedup,
+                ..TsjConfig::default()
+            },
+        )
+        .expect("join completes")
+}
+
+/// **Fig. 1** — TSJ runtime vs machines, grouping-on-one-string vs
+/// grouping-on-both-strings.
+///
+/// Paper claims: both scale out well (≈3.8× speedup for 10× machines);
+/// one-string consistently faster by 13–32%.
+pub fn fig1(p: &FigParams) -> FigData {
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    for &machines in &p.machines_sweep {
+        for (dedup, series) in [
+            (DedupStrategy::OneString, "grouping-on-one-string"),
+            (DedupStrategy::BothStrings, "grouping-on-both-strings"),
+        ] {
+            let out = run_join(
+                &corpus,
+                p,
+                machines,
+                p.default_t,
+                p.default_m,
+                ApproximationScheme::FuzzyTokenMatching,
+                dedup,
+            );
+            rows.push(Row { series: series.into(), x: machines as f64, y: out.sim_secs() });
+        }
+    }
+    let mut fig = FigData {
+        title: "Fig 1: TSJ runtime vs machines and dedup strategy".into(),
+        xlabel: "machines".into(),
+        ylabel: "simulated seconds".into(),
+        rows,
+        notes: Vec::new(),
+    };
+    for series in ["grouping-on-one-string", "grouping-on-both-strings"] {
+        let s = fig.series(series);
+        if let (Some(first), Some(last)) = (s.first(), s.last()) {
+            fig.notes.push(format!(
+                "{series}: speedup {:.2}x from {}x machines (paper: 3.8x from 10x)",
+                first.1 / last.1,
+                (last.0 / first.0) as u64,
+            ));
+        }
+    }
+    let one = fig.series("grouping-on-one-string");
+    let both = fig.series("grouping-on-both-strings");
+    if !one.is_empty() && one.len() == both.len() {
+        let gaps: Vec<f64> = one
+            .iter()
+            .zip(&both)
+            .map(|((_, o), (_, b))| (b - o) / b * 100.0)
+            .collect();
+        fig.notes.push(format!(
+            "one-string faster by {:.0}%..{:.0}% (paper: 13%..32%)",
+            gaps.iter().copied().fold(f64::INFINITY, f64::min),
+            gaps.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ));
+    }
+    fig
+}
+
+const SCHEMES: [ApproximationScheme; 3] = [
+    ApproximationScheme::FuzzyTokenMatching,
+    ApproximationScheme::GreedyTokenAligning,
+    ApproximationScheme::ExactTokenMatching,
+];
+
+/// **Fig. 2** — runtime vs `T` for the three token matching/aligning
+/// schemes. Paper: greedy saves ≈13% over fuzzy (more at higher T);
+/// exact saves ≈60% and is nearly flat in T.
+pub fn fig2(p: &FigParams) -> FigData {
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    for &t in &p.thresholds {
+        for scheme in SCHEMES {
+            let out = run_join(
+                &corpus,
+                p,
+                p.default_machines,
+                t,
+                p.default_m,
+                scheme,
+                DedupStrategy::OneString,
+            );
+            rows.push(Row { series: scheme.name().into(), x: t, y: out.sim_secs() });
+        }
+    }
+    let mut fig = FigData {
+        title: "Fig 2: TSJ runtime vs NSLD threshold T".into(),
+        xlabel: "T".into(),
+        ylabel: "simulated seconds".into(),
+        rows,
+        notes: Vec::new(),
+    };
+    push_saving_notes(&mut fig, "13% (greedy), 60% (exact)");
+    fig
+}
+
+/// **Fig. 3** — runtime vs `M`. Paper: greedy saves ≈9%, exact ≈33%,
+/// both fairly stable across M.
+pub fn fig3(p: &FigParams) -> FigData {
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    for &m in &p.m_values {
+        for scheme in SCHEMES {
+            let out = run_join(
+                &corpus,
+                p,
+                p.default_machines,
+                p.default_t,
+                m,
+                scheme,
+                DedupStrategy::OneString,
+            );
+            rows.push(Row { series: scheme.name().into(), x: m as f64, y: out.sim_secs() });
+        }
+    }
+    let mut fig = FigData {
+        title: "Fig 3: TSJ runtime vs max token frequency M".into(),
+        xlabel: "M".into(),
+        ylabel: "simulated seconds".into(),
+        rows,
+        notes: Vec::new(),
+    };
+    push_saving_notes(&mut fig, "9% (greedy), 33% (exact)");
+    fig
+}
+
+fn push_saving_notes(fig: &mut FigData, paper: &str) {
+    let fuzzy = fig.series("fuzzy-token-matching");
+    for name in ["greedy-token-aligning", "exact-token-matching"] {
+        let s = fig.series(name);
+        if s.len() != fuzzy.len() || s.is_empty() {
+            continue;
+        }
+        let mean_saving: f64 = fuzzy
+            .iter()
+            .zip(&s)
+            .map(|((_, f), (_, a))| (f - a) / f * 100.0)
+            .sum::<f64>()
+            / s.len() as f64;
+        fig.notes.push(format!(
+            "{name}: mean runtime saving over fuzzy {mean_saving:.0}% (paper: {paper})"
+        ));
+    }
+}
+
+/// **Fig. 4** — number of discovered pairs vs `T` per scheme, with recall
+/// against fuzzy in the notes. Paper: at T = 0.225, greedy recall 0.99993,
+/// exact recall 0.86655; both 1.0 at T = 0.025.
+pub fn fig4(p: &FigParams) -> FigData {
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for &t in &p.thresholds {
+        let mut fuzzy_pairs = None;
+        for scheme in SCHEMES {
+            let out = run_join(
+                &corpus,
+                p,
+                p.default_machines,
+                t,
+                p.default_m,
+                scheme,
+                DedupStrategy::OneString,
+            );
+            rows.push(Row {
+                series: scheme.name().into(),
+                x: t,
+                y: out.pairs.len() as f64,
+            });
+            match scheme {
+                ApproximationScheme::FuzzyTokenMatching => fuzzy_pairs = Some(out.pairs),
+                _ => {
+                    let r = recall(&out.pairs, fuzzy_pairs.as_ref().expect("fuzzy ran first"));
+                    notes.push(format!("T={t:.3} {}: recall {r:.5}", scheme.name()));
+                }
+            }
+        }
+    }
+    FigData {
+        title: "Fig 4: discovered pairs vs NSLD threshold T".into(),
+        xlabel: "T".into(),
+        ylabel: "similar pairs".into(),
+        rows,
+        notes,
+    }
+}
+
+/// **Fig. 5** — number of discovered pairs vs `M` per scheme. Paper:
+/// greedy recall ≈0.999999 across M; exact between 0.974 and 0.985.
+pub fn fig5(p: &FigParams) -> FigData {
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for &m in &p.m_values {
+        let mut fuzzy_pairs = None;
+        for scheme in SCHEMES {
+            let out = run_join(
+                &corpus,
+                p,
+                p.default_machines,
+                p.default_t,
+                m,
+                scheme,
+                DedupStrategy::OneString,
+            );
+            rows.push(Row {
+                series: scheme.name().into(),
+                x: m as f64,
+                y: out.pairs.len() as f64,
+            });
+            match scheme {
+                ApproximationScheme::FuzzyTokenMatching => fuzzy_pairs = Some(out.pairs),
+                _ => {
+                    let r = recall(&out.pairs, fuzzy_pairs.as_ref().expect("fuzzy ran first"));
+                    notes.push(format!("M={m} {}: recall {r:.5}", scheme.name()));
+                }
+            }
+        }
+    }
+    FigData {
+        title: "Fig 5: discovered pairs vs max token frequency M".into(),
+        xlabel: "M".into(),
+        ylabel: "similar pairs".into(),
+        rows,
+        notes,
+    }
+}
+
+/// **Fig. 6** — ROC curves of NSLD vs weighted FJaccard / FCosine / FDice
+/// on labelled name changes. Paper: NSLD dominates.
+pub fn fig6(p: &FigParams) -> FigData {
+    let samples = roc_dataset(p.roc_samples, p.seed);
+    let corpus = Corpus::build(
+        samples.iter().flat_map(|s| [s.old.as_str(), s.new.as_str()]),
+        &NameTokenizer::default(),
+    );
+    let weights = TokenWeights::from_corpus(&corpus);
+    let tokenizer = NameTokenizer::default();
+    let delta = 0.8;
+
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    type DistFn = Box<dyn Fn(&[String], &[String]) -> f64>;
+    let measures: [(&str, DistFn); 4] = [
+        ("NSLD", Box::new(|o: &[String], n: &[String]| nsld(o, n))),
+        (
+            "weighted FJaccard",
+            Box::new(move |o, n| fuzzy_distance(o, n, &weights, delta, FuzzyMeasure::Jaccard)),
+        ),
+        (
+            "weighted FCosine",
+            Box::new({
+                let weights = TokenWeights::from_corpus(&corpus);
+                move |o, n| fuzzy_distance(o, n, &weights, delta, FuzzyMeasure::Cosine)
+            }),
+        ),
+        (
+            "weighted FDice",
+            Box::new({
+                let weights = TokenWeights::from_corpus(&corpus);
+                move |o, n| fuzzy_distance(o, n, &weights, delta, FuzzyMeasure::Dice)
+            }),
+        ),
+    ];
+    let tokenized: Vec<(Vec<String>, Vec<String>, bool)> = samples
+        .iter()
+        .map(|s| (tokenizer.tokenize(&s.old), tokenizer.tokenize(&s.new), s.fraud))
+        .collect();
+    for (name, dist) in &measures {
+        let scored: Vec<(f64, bool)> = tokenized
+            .iter()
+            .map(|(o, n, fraud)| (dist(o, n), *fraud))
+            .collect();
+        let curve = roc_curve(&scored);
+        notes.push(format!("{name}: AUC {:.4}", curve.auc()));
+        // Downsample the curve for readable TSV output.
+        let step = (curve.points.len() / 200).max(1);
+        for (i, (fpr, tpr)) in curve.points.iter().enumerate() {
+            if i % step == 0 || i + 1 == curve.points.len() {
+                rows.push(Row { series: (*name).into(), x: *fpr, y: *tpr });
+            }
+        }
+    }
+    FigData {
+        title: "Fig 6: ROC of NSLD vs weighted set-based fuzzy measures".into(),
+        xlabel: "false positive rate".into(),
+        ylabel: "true positive rate".into(),
+        rows,
+        notes,
+    }
+}
+
+/// **Fig. 7** — TSJ vs HMJ runtime vs machines. Paper: HMJ did not finish
+/// on 100 machines; TSJ 12–15× faster elsewhere.
+pub fn fig7(p: &FigParams) -> FigData {
+    // Both systems run on n/2: HMJ's partitioning bill alone is
+    // n × machines NSLD evaluations, which makes the *baseline* the
+    // wall-clock bottleneck of the whole harness at full n. The comparison
+    // stays apples-to-apples (same corpus for both series).
+    let p = &FigParams { n: (p.n / 2).max(1000), ..p.clone() };
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for &machines in &p.machines_sweep {
+        let tsj_out = run_join(
+            &corpus,
+            p,
+            machines,
+            p.default_t,
+            p.default_m,
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::OneString,
+        );
+        rows.push(Row { series: "TSJ".into(), x: machines as f64, y: tsj_out.sim_secs() });
+
+        let cluster = p.cluster(machines);
+        // HMJ partition count scales with the cluster (as in ClusterJoin);
+        // target partition size shrinks as machines grow. The distance
+        // budget mirrors the paper's "did not finish in a reasonable
+        // amount of time" protocol at 100 machines.
+        let hmj = HmjJoiner::new(
+            &cluster,
+            HmjConfig {
+                num_centroids: machines,
+                max_partition_size: (4 * p.n / machines).max(64),
+                // Partitioning alone costs n × machines distances; grant
+                // that plus a fixed verification allowance. Low machine
+                // counts blow the allowance through partition blow-up —
+                // the paper's DNF outcome.
+                max_distance_computations: Some(
+                    (p.n * machines) as u64 + 15_000_000,
+                ),
+                ..HmjConfig::default()
+            },
+        )
+        .self_join(&corpus, p.default_t)
+        .expect("hmj job runs");
+        if hmj.dnf {
+            notes.push(format!("HMJ DNF at {machines} machines (distance budget exhausted)"));
+        } else {
+            rows.push(Row { series: "HMJ".into(), x: machines as f64, y: hmj.sim_secs() });
+        }
+    }
+    let mut fig = FigData {
+        title: "Fig 7: TSJ vs HMJ runtime vs machines".into(),
+        xlabel: "machines".into(),
+        ylabel: "simulated seconds".into(),
+        rows,
+        notes,
+    };
+    let tsj = fig.series("TSJ");
+    let hmj = fig.series("HMJ");
+    let ratios: Vec<String> = hmj
+        .iter()
+        .map(|(m, h)| {
+            let t = tsj
+                .iter()
+                .find(|(tm, _)| tm == m)
+                .map(|(_, t)| *t)
+                .unwrap_or(f64::NAN);
+            format!("{}x@{m}", (h / t).round())
+        })
+        .collect();
+    fig.notes.push(format!(
+        "HMJ/TSJ runtime ratio: {} (paper: 12x..15x, DNF at 100 machines)",
+        ratios.join(", ")
+    ));
+    fig
+}

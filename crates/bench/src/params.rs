@@ -1,0 +1,128 @@
+//! Harness parameters with environment overrides.
+
+use tsj_mapreduce::{Cluster, ClusterConfig, CostModel};
+
+/// Parameters shared by the figure harnesses.
+#[derive(Debug, Clone)]
+pub struct FigParams {
+    /// Corpus size (paper: 44,382,766; default here: 20,000).
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Fraction of strings planted inside fraud rings.
+    pub ring_fraction: f64,
+    /// Machine counts for Figs. 1 and 7 (paper: 100–1,000).
+    pub machines_sweep: Vec<usize>,
+    /// NSLD thresholds for Figs. 2 and 4 (paper: 0.025–0.225).
+    pub thresholds: Vec<f64>,
+    /// Max-frequency values for Figs. 3 and 5 (paper: 100–1,000).
+    pub m_values: Vec<usize>,
+    /// Default `T` (paper: 0.1).
+    pub default_t: f64,
+    /// Default `M` operating point. The paper uses 1,000 on 44M strings;
+    /// `M` scales with corpus size (the paper footnote tunes it per
+    /// region), and the equivalent tail cutoff for a 20k corpus is 100.
+    pub default_m: usize,
+    /// Default machine count (paper: 1,000).
+    pub default_machines: usize,
+    /// Measured-CPU → simulated-machine-seconds factor (see crate docs).
+    pub cpu_scale: f64,
+    /// Real execution threads (0 = all cores).
+    pub threads: usize,
+    /// ROC sample count for Fig. 6 (paper: 10,000).
+    pub roc_samples: usize,
+}
+
+impl Default for FigParams {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            seed: 0x75_1A11,
+            ring_fraction: 0.25,
+            machines_sweep: (1..=10).map(|k| k * 100).collect(),
+            thresholds: (1..=9).map(|k| k as f64 * 0.025).collect(),
+            m_values: (1..=10).map(|k| k * 100).collect(),
+            default_t: 0.1,
+            default_m: 100,
+            default_machines: 1000,
+            cpu_scale: 12000.0,
+            threads: 0,
+            roc_samples: 10_000,
+        }
+    }
+}
+
+impl FigParams {
+    /// Defaults with `TSJ_FIG_*` environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut p = Self::default();
+        if let Some(n) = env_usize("TSJ_FIG_N") {
+            p.n = n;
+        }
+        if let Some(s) = env_u64("TSJ_FIG_SEED") {
+            p.seed = s;
+        }
+        if let Some(c) = env_f64("TSJ_FIG_CPU_SCALE") {
+            p.cpu_scale = c;
+        }
+        if let Some(t) = env_usize("TSJ_FIG_THREADS") {
+            p.threads = t;
+        }
+        p
+    }
+
+    /// Tiny parameters for smoke tests (seconds, not minutes).
+    pub fn smoke() -> Self {
+        Self {
+            n: 400,
+            machines_sweep: vec![8, 64],
+            thresholds: vec![0.05, 0.15],
+            m_values: vec![50, 400],
+            roc_samples: 400,
+            ..Self::default()
+        }
+    }
+
+    /// Builds the simulated cluster for a machine count.
+    pub fn cluster(&self, machines: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            machines,
+            threads: self.threads,
+            cost: CostModel { cpu_scale: self.cpu_scale, ..CostModel::default() },
+        })
+    }
+}
+
+fn env_usize(k: &str) -> Option<usize> {
+    std::env::var(k).ok()?.parse().ok()
+}
+fn env_u64(k: &str) -> Option<u64> {
+    std::env::var(k).ok()?.parse().ok()
+}
+fn env_f64(k: &str) -> Option<f64> {
+    std::env::var(k).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_sweeps() {
+        let p = FigParams::default();
+        assert_eq!(p.machines_sweep.first(), Some(&100));
+        assert_eq!(p.machines_sweep.last(), Some(&1000));
+        assert!((p.thresholds[0] - 0.025).abs() < 1e-12);
+        assert!((p.thresholds[8] - 0.225).abs() < 1e-12);
+        assert_eq!(p.m_values, vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]);
+        assert_eq!(p.default_t, 0.1);
+        assert_eq!(p.default_m, 100);
+    }
+
+    #[test]
+    fn smoke_params_are_small() {
+        let p = FigParams::smoke();
+        assert!(p.n <= 1000);
+        assert!(p.machines_sweep.len() <= 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Join configuration: thresholds, approximation schemes, optimizations.
+
+pub use tsj_setdist::Aligning;
+
+/// How candidate pairs are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateGen {
+    /// Shared-token *and* similar-token candidates (Sec. III-C + III-D) —
+    /// the complete generation strategy.
+    #[default]
+    SharedAndSimilar,
+    /// Shared-token candidates only — the *exact-token-matching*
+    /// approximation (Sec. III-G4): skips the expensive token NLD-join,
+    /// losing pairs whose only witness is a non-identical similar token.
+    SharedOnly,
+}
+
+/// The de-duplication strategies of Sec. III-G3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupStrategy {
+    /// Key each candidate pair by *one* of its strings, chosen by the
+    /// paper's hash-parity balancing rule; the reducer de-duplicates that
+    /// string's candidate list with a hash set. Fewer reduce workers
+    /// (one per string) → less instantiation overhead, more skew.
+    #[default]
+    OneString,
+    /// Key each candidate pair by the *pair itself*; the shuffler
+    /// de-duplicates. One worker per pair → more overhead, better balance.
+    BothStrings,
+}
+
+/// The three named operating points of the paper's evaluation (Sec. V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproximationScheme {
+    /// Complete candidates + exact Hungarian verification. Produces the
+    /// correct join result; the recall baseline for the other two.
+    #[default]
+    FuzzyTokenMatching,
+    /// Complete candidates + greedy token aligning (Sec. III-G5).
+    GreedyTokenAligning,
+    /// Shared-token candidates only + exact verification (Sec. III-G4).
+    ExactTokenMatching,
+}
+
+impl ApproximationScheme {
+    /// The candidate-generation side of the scheme.
+    pub fn candidates(self) -> CandidateGen {
+        match self {
+            Self::FuzzyTokenMatching | Self::GreedyTokenAligning => {
+                CandidateGen::SharedAndSimilar
+            }
+            Self::ExactTokenMatching => CandidateGen::SharedOnly,
+        }
+    }
+
+    /// The verification side of the scheme.
+    pub fn aligning(self) -> Aligning {
+        match self {
+            Self::FuzzyTokenMatching | Self::ExactTokenMatching => Aligning::Hungarian,
+            Self::GreedyTokenAligning => Aligning::Greedy,
+        }
+    }
+
+    /// Stable name used in reports and figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::FuzzyTokenMatching => "fuzzy-token-matching",
+            Self::GreedyTokenAligning => "greedy-token-aligning",
+            Self::ExactTokenMatching => "exact-token-matching",
+        }
+    }
+}
+
+/// Full join configuration.
+///
+/// Defaults mirror the paper's evaluation defaults (Sec. V): `T = 0.1`,
+/// `M = 1000`, fuzzy-token-matching, grouping-on-one-string, both filters
+/// enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsjConfig {
+    /// The NSLD join threshold `T`.
+    pub threshold: f64,
+    /// Drop tokens shared by more than `M` tokenized strings
+    /// (Sec. III-G2); `None` disables the filter.
+    pub max_token_frequency: Option<usize>,
+    /// Candidate generation + verification operating point.
+    pub scheme: ApproximationScheme,
+    /// Candidate-pair de-duplication strategy.
+    pub dedup: DedupStrategy,
+    /// Enable the Lemma 6 aggregate-length prune (Sec. III-E1).
+    pub length_filter: bool,
+    /// Enable the histogram/Lemma 10 SLD lower-bound prune (Sec. III-E2).
+    pub histogram_filter: bool,
+}
+
+impl Default for TsjConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.1,
+            max_token_frequency: Some(1000),
+            scheme: ApproximationScheme::FuzzyTokenMatching,
+            dedup: DedupStrategy::OneString,
+            length_filter: true,
+            histogram_filter: true,
+        }
+    }
+}
+
+impl TsjConfig {
+    /// Validates the configuration, panicking on nonsense values.
+    pub(crate) fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.threshold),
+            "NSLD threshold must be in [0, 1), got {}",
+            self.threshold
+        );
+        assert!(
+            self.threshold < 2.0 / 3.0,
+            "thresholds ≥ 2/3 are outside the token-join completeness domain \
+             (paper sweeps T ∈ [0.025, 0.225])"
+        );
+        if let Some(m) = self.max_token_frequency {
+            assert!(m >= 1, "M must be ≥ 1 (use None to disable the filter)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_decompose_as_in_the_paper() {
+        assert_eq!(
+            ApproximationScheme::FuzzyTokenMatching.candidates(),
+            CandidateGen::SharedAndSimilar
+        );
+        assert_eq!(
+            ApproximationScheme::FuzzyTokenMatching.aligning(),
+            Aligning::Hungarian
+        );
+        assert_eq!(
+            ApproximationScheme::GreedyTokenAligning.aligning(),
+            Aligning::Greedy
+        );
+        assert_eq!(
+            ApproximationScheme::ExactTokenMatching.candidates(),
+            CandidateGen::SharedOnly
+        );
+    }
+
+    #[test]
+    fn defaults_match_paper_section_v() {
+        let c = TsjConfig::default();
+        assert_eq!(c.threshold, 0.1);
+        assert_eq!(c.max_token_frequency, Some(1000));
+        assert_eq!(c.scheme, ApproximationScheme::FuzzyTokenMatching);
+        assert_eq!(c.dedup, DedupStrategy::OneString);
+        assert!(c.length_filter && c.histogram_filter);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness domain")]
+    fn rejects_out_of_domain_threshold() {
+        TsjConfig { threshold: 0.7, ..TsjConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn rejects_negative_threshold() {
+        TsjConfig { threshold: -0.1, ..TsjConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,332 @@
+//! The TSJ pipeline: generate → filter → verify, staged as MapReduce jobs.
+//!
+//! | Job | Paper section | Role |
+//! |---|---|---|
+//! | `tsj.token_stats` | III-G2 | token document frequencies → `M` eligibility |
+//! | `tsj.shared_token` | III-C | candidates sharing an eligible token |
+//! | `massjoin.*` | III-D | NLD self-join of the eligible token space |
+//! | `tsj.expand_similar` | III-D | similar-token pairs × postings → candidates |
+//! | `tsj.dedup_verify` | III-E/F/G3 | dedup, filter, final NSLD verification |
+
+use std::collections::HashSet;
+
+use tsj_mapreduce::{
+    fingerprint64, Cluster, Emitter, FxBuildHasher, JobError, OutputSink, SimReport,
+};
+use tsj_passjoin::MassJoin;
+use tsj_tokenize::{Corpus, StringId, TokenId};
+
+use crate::config::{CandidateGen, DedupStrategy, TsjConfig};
+use crate::filters::{FilterContext, FilterVerdict, SimilarMap};
+use crate::verify::verify_pair;
+
+/// One verified join result: `a < b` and `NSLD(a, b) ≤ T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarPair {
+    pub a: StringId,
+    pub b: StringId,
+    /// The verified distance. Under greedy aligning this is the greedy
+    /// upper bound (still ≤ T).
+    pub nsld: f64,
+}
+
+/// The join result: verified pairs plus the full pipeline simulation report.
+#[derive(Debug)]
+pub struct JoinOutput {
+    /// Verified similar pairs, sorted by `(a, b)`.
+    pub pairs: Vec<SimilarPair>,
+    /// Per-job statistics and simulated runtimes.
+    pub report: SimReport,
+}
+
+impl JoinOutput {
+    /// End-to-end simulated pipeline runtime in seconds — the quantity the
+    /// paper's runtime figures plot.
+    pub fn sim_secs(&self) -> f64 {
+        self.report.total_sim_secs()
+    }
+}
+
+/// The Tokenized-String Joiner bound to a cluster.
+#[derive(Debug, Clone)]
+pub struct TsjJoiner<'c> {
+    cluster: &'c Cluster,
+}
+
+impl<'c> TsjJoiner<'c> {
+    pub fn new(cluster: &'c Cluster) -> Self {
+        Self { cluster }
+    }
+
+    /// NSLD self-join of `corpus` under `cfg` (the motivating application:
+    /// "the joined sets are one and the same", Sec. II footnote 3).
+    pub fn self_join(&self, corpus: &Corpus, cfg: &TsjConfig) -> Result<JoinOutput, JobError> {
+        cfg.validate();
+        let t = cfg.threshold;
+        let mut report = SimReport::new();
+        let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
+
+        // ---- Stage 0: token document frequencies → M eligibility --------
+        let stats = self.cluster.run(
+            "tsj.token_stats",
+            &string_ids,
+            |&s, e: &mut Emitter<u32, ()>| {
+                for t in distinct_tokens(corpus, StringId(s)) {
+                    e.emit(t.0, ());
+                }
+            },
+            |&tid, hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| {
+                out.emit((tid, hits.len() as u32));
+            },
+        )?;
+        report.push(stats.stats);
+        let mut eligible = vec![false; corpus.num_tokens()];
+        let mut dropped_tokens = 0u64;
+        for (tid, df) in stats.output {
+            if cfg.max_token_frequency.is_none_or(|m| df as usize <= m) {
+                eligible[tid as usize] = true;
+            } else {
+                dropped_tokens += 1;
+            }
+        }
+        let _ = dropped_tokens;
+
+        // ---- Stage 1: shared-token candidates (Sec. III-C) --------------
+        let shared = self.cluster.run(
+            "tsj.shared_token",
+            &string_ids,
+            |&s, e: &mut Emitter<u32, u32>| {
+                for t in distinct_tokens(corpus, StringId(s)) {
+                    if eligible[t.index()] {
+                        e.emit(t.0, s);
+                    }
+                }
+            },
+            |_token, mut sids: Vec<u32>, out: &mut OutputSink<(u32, u32)>| {
+                // Self-join symmetry optimization: each unordered pair once.
+                sids.sort_unstable();
+                sids.dedup();
+                for i in 0..sids.len() {
+                    for j in i + 1..sids.len() {
+                        out.emit((sids[i], sids[j]));
+                        out.add_counter("shared_token_candidates", 1);
+                    }
+                }
+            },
+        )?;
+        report.push(shared.stats);
+        let mut candidates = shared.output;
+
+        // ---- Stage 2: similar-token candidates (Sec. III-D) -------------
+        let similar_map: Option<SimilarMap> = match cfg.scheme.candidates() {
+            CandidateGen::SharedOnly => None,
+            CandidateGen::SharedAndSimilar => {
+                // 2a: NLD self-join of the eligible token space.
+                let elig_tokens: Vec<TokenId> =
+                    corpus.token_ids().filter(|t| eligible[t.index()]).collect();
+                let texts: Vec<&str> =
+                    elig_tokens.iter().map(|&t| corpus.token_text(t)).collect();
+                let (token_pairs, mass_report) =
+                    MassJoin::new(self.cluster, t).nld_self_join(&texts)?;
+                report.extend(mass_report);
+
+                let mut map = SimilarMap::default();
+                let mut expand_input: Vec<(u32, u32)> = Vec::with_capacity(token_pairs.len());
+                for p in &token_pairs {
+                    let ta = elig_tokens[p.a as usize];
+                    let tb = elig_tokens[p.b as usize];
+                    let key = if ta.0 <= tb.0 { (ta.0, tb.0) } else { (tb.0, ta.0) };
+                    map.insert(key, p.ld);
+                    expand_input.push(key);
+                }
+
+                // 2b: expand similar token pairs through the postings.
+                let expanded = self.cluster.run(
+                    "tsj.expand_similar",
+                    &expand_input,
+                    |&(ta, tb), e: &mut Emitter<(u32, u32), ()>| {
+                        for &sa in corpus.postings(TokenId(ta)) {
+                            for &sb in corpus.postings(TokenId(tb)) {
+                                if sa == sb {
+                                    continue;
+                                }
+                                let key = if sa < sb { (sa.0, sb.0) } else { (sb.0, sa.0) };
+                                e.emit(key, ());
+                                e.add_counter("similar_token_candidates", 1);
+                            }
+                        }
+                    },
+                    |&pair, _hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| {
+                        out.emit(pair); // within-job dedup
+                    },
+                )?;
+                report.push(expanded.stats);
+                candidates.extend(expanded.output);
+                Some(map)
+            }
+        };
+
+        // ---- Stage 3: dedup + filter + verify (Sec. III-E/F/G3) ---------
+        let filter = FilterContext::new(
+            corpus,
+            t,
+            cfg.length_filter,
+            cfg.histogram_filter,
+            similar_map.as_ref(),
+            Some(&eligible),
+        );
+        let aligning = cfg.scheme.aligning();
+
+        let check_and_verify =
+            |a: u32, b: u32, out: &mut OutputSink<SimilarPair>| {
+                out.add_counter("candidates_distinct", 1);
+                match filter.check(StringId(a), StringId(b)) {
+                    FilterVerdict::PrunedByLength => {
+                        out.add_counter("pruned_length", 1);
+                    }
+                    FilterVerdict::PrunedByHistogram => {
+                        out.add_counter("pruned_histogram", 1);
+                    }
+                    FilterVerdict::Survives => {
+                        out.add_counter("verified", 1);
+                        // NSLD verification costs far more than a filter
+                        // check, and Hungarian costs more than greedy;
+                        // declare it so the simulated clock tracks the
+                        // actual cost distribution (Sec. III-F complexity).
+                        out.add_work(crate::verify::verification_work_units(
+                            corpus,
+                            StringId(a),
+                            StringId(b),
+                            aligning,
+                        ));
+                        if let Some(d) =
+                            verify_pair(corpus, StringId(a), StringId(b), t, aligning)
+                        {
+                            out.emit(SimilarPair { a: StringId(a), b: StringId(b), nsld: d });
+                        }
+                    }
+                }
+            };
+
+        let verify_overhead = self.cluster.config().cost.verify_group_overhead_secs;
+        let verified = match cfg.dedup {
+            DedupStrategy::BothStrings => self.cluster.run_with_group_overhead(
+                "tsj.dedup_verify.both_strings",
+                verify_overhead,
+                &candidates,
+                |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+                |&(a, b), _hits: Vec<()>, out: &mut OutputSink<SimilarPair>| {
+                    check_and_verify(a, b, out);
+                },
+            )?,
+            DedupStrategy::OneString => self.cluster.run_with_group_overhead(
+                "tsj.dedup_verify.one_string",
+                verify_overhead,
+                &candidates,
+                |&(a, b), e: &mut Emitter<u32, u32>| {
+                    let (k, v) = one_string_key(a, b);
+                    e.emit(k, v);
+                },
+                |&key, values: Vec<u32>, out: &mut OutputSink<SimilarPair>| {
+                    // "The reducer then de-duplicates the reduce value list
+                    // using a hash set."
+                    let mut seen: HashSet<u32, FxBuildHasher> = HashSet::default();
+                    for other in values {
+                        if seen.insert(other) {
+                            let (a, b) = if key < other { (key, other) } else { (other, key) };
+                            check_and_verify(a, b, out);
+                        }
+                    }
+                },
+            )?,
+        };
+        report.push(verified.stats);
+        let mut pairs = verified.output;
+
+        // Strings that tokenize to nothing are all mutually at NSLD 0
+        // (Definition 4's degenerate case); candidate generation cannot see
+        // them (no tokens), so they are joined directly here.
+        let empties: Vec<u32> = string_ids
+            .iter()
+            .copied()
+            .filter(|&s| corpus.token_count(StringId(s)) == 0)
+            .collect();
+        for i in 0..empties.len() {
+            for j in i + 1..empties.len() {
+                pairs.push(SimilarPair {
+                    a: StringId(empties[i]),
+                    b: StringId(empties[j]),
+                    nsld: 0.0,
+                });
+            }
+        }
+
+        pairs.sort_unstable_by_key(|p| (p.a, p.b));
+        Ok(JoinOutput { pairs, report })
+    }
+}
+
+/// The paper's grouping-on-one-string key-selection rule (Sec. III-G3):
+/// `τ` becomes the key iff `int(HASH(τ) < HASH(υ)) == (HASH(τ)+HASH(υ)) % 2`;
+/// otherwise `υ` does. The parity term decorrelates the choice from the
+/// hash order, balancing key-side load across the pair population.
+pub(crate) fn one_string_key(a: u32, b: u32) -> (u32, u32) {
+    let ha = fingerprint64(&a);
+    let hb = fingerprint64(&b);
+    let less = u64::from(ha < hb);
+    let parity = ha.wrapping_add(hb) % 2;
+    if less == parity {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Iterates a string's tokens with within-string duplicates removed
+/// (postings semantics: a token names a string once).
+fn distinct_tokens<'a>(
+    corpus: &'a Corpus,
+    s: StringId,
+) -> impl Iterator<Item = TokenId> + 'a {
+    let tokens = corpus.tokens(s);
+    tokens
+        .iter()
+        .enumerate()
+        .filter(move |(i, t)| !tokens[..*i].contains(t))
+        .map(|(_, &t)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_string_key_is_deterministic_and_keeps_both_ids() {
+        for (a, b) in [(1u32, 2u32), (10, 99), (5, 5), (0, 1000)] {
+            let (k1, v1) = one_string_key(a, b);
+            let (k2, v2) = one_string_key(a, b);
+            assert_eq!((k1, v1), (k2, v2));
+            let mut ids = [k1, v1];
+            ids.sort_unstable();
+            let mut expect = [a, b];
+            expect.sort_unstable();
+            assert_eq!(ids, expect);
+        }
+    }
+
+    #[test]
+    fn one_string_key_balances_key_side() {
+        // Over many pairs, each side should be chosen roughly half the time
+        // (that is the point of the parity rule).
+        let mut first = 0u32;
+        let n = 10_000u32;
+        for i in 0..n {
+            let (k, _) = one_string_key(i, i + n);
+            if k == i {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "key-side fraction {frac}");
+    }
+}

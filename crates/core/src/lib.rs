@@ -1,0 +1,57 @@
+//! # Tokenized-String Joiner (TSJ)
+//!
+//! The paper's primary contribution (Sec. III): a scalable, distributed
+//! framework for NSLD similarity self-joins of tokenized strings, following
+//! a **generate–filter–verify** paradigm:
+//!
+//! 1. **Generate** candidate pairs that either *share a token*
+//!    (Sec. III-C) or *have a pair of similar tokens* (Sec. III-D): the
+//!    NSLD threshold `T` carries down to an NLD threshold on tokens
+//!    (Theorem 3), so the token spaces are NLD-self-joined with MassJoin
+//!    and the hits are expanded through the postings lists.
+//! 2. **Filter** candidates with two sound, cheap prunes (Sec. III-E):
+//!    the aggregate-length bound (Lemma 6) and a lower bound on SLD
+//!    assembled from token-length histograms, the exact LDs of
+//!    similar-token matches, and Lemma 10 for provably-dissimilar token
+//!    pairs.
+//! 3. **Verify** the survivors by computing SLD exactly (Hungarian
+//!    matching on the ε-padded token bigraph, Sec. III-F) or approximately
+//!    (greedy-token-aligning, Sec. III-G5).
+//!
+//! The optimizations and approximations of Sec. III-G are all here:
+//! self-join symmetry skipping, high-frequency-token dropping (`M`),
+//! de-duplication by grouping-on-one-string or grouping-on-both-strings,
+//! the exact-token-matching approximation (skip step 1's similar-token
+//! side), and greedy-token-aligning.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tsj::{TsjConfig, TsjJoiner};
+//! use tsj_mapreduce::Cluster;
+//! use tsj_tokenize::{Corpus, NameTokenizer};
+//!
+//! let corpus = Corpus::build(
+//!     ["barak obama", "barak obamma", "maria garcia", "mariah garcia"],
+//!     &NameTokenizer::default(),
+//! );
+//! let cluster = Cluster::with_machines(8);
+//! let out = TsjJoiner::new(&cluster)
+//!     .self_join(&corpus, &TsjConfig { threshold: 0.15, ..TsjConfig::default() })
+//!     .unwrap();
+//! assert_eq!(out.pairs.len(), 2); // the two near-duplicate pairs
+//! ```
+
+pub mod config;
+pub mod filters;
+pub mod joiner;
+pub mod reference;
+pub mod scoring;
+pub mod verify;
+
+pub use config::{ApproximationScheme, CandidateGen, DedupStrategy, TsjConfig};
+pub use filters::{FilterContext, SimilarMap};
+pub use joiner::{JoinOutput, SimilarPair, TsjJoiner};
+pub use reference::brute_force_self_join;
+pub use scoring::{pair_set, precision, recall};
+pub use verify::{verification_work_units, verify_pair};

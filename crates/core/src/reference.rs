@@ -1,0 +1,70 @@
+//! Brute-force reference join: the ground truth every TSJ configuration is
+//! measured against (`O(n²)` NSLD computations, thread-parallel).
+
+use tsj_mapreduce::pool::run_indexed;
+use tsj_setdist::{nsld_within, Aligning};
+use tsj_tokenize::{Corpus, StringId};
+
+use crate::joiner::SimilarPair;
+
+/// All pairs with `NSLD ≤ t`, computed exactly (Hungarian verification on
+/// every pair, with only the always-sound Lemma 6 pre-check inside
+/// `nsld_within`). Sorted by `(a, b)`.
+///
+/// Use for tests and for the recall denominators of Figs. 4–5; quadratic,
+/// so keep inputs ≲ 20k strings.
+pub fn brute_force_self_join(corpus: &Corpus, t: f64, threads: usize) -> Vec<SimilarPair> {
+    let n = corpus.len();
+    let rows: Vec<Vec<SimilarPair>> = run_indexed(n, threads.max(1), |i| {
+        let a = StringId(i as u32);
+        let ta = corpus.token_texts(a);
+        let mut out = Vec::new();
+        for j in i + 1..n {
+            let b = StringId(j as u32);
+            let tb = corpus.token_texts(b);
+            if let Some(d) = nsld_within(&ta, &tb, t, Aligning::Hungarian) {
+                out.push(SimilarPair { a, b, nsld: d });
+            }
+        }
+        out
+    })
+    .expect("brute-force workers do not panic");
+    let mut pairs: Vec<SimilarPair> = rows.into_iter().flatten().collect();
+    pairs.sort_unstable_by_key(|p| (p.a, p.b));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tokenize::NameTokenizer;
+
+    #[test]
+    fn finds_known_pairs() {
+        let c = Corpus::build(
+            ["chan kalan", "chank alan", "other name", "chan kalan"],
+            &NameTokenizer::default(),
+        );
+        let pairs = brute_force_self_join(&c, 0.2, 4);
+        let ids: Vec<(u32, u32)> = pairs.iter().map(|p| (p.a.0, p.b.0)).collect();
+        assert_eq!(ids, vec![(0, 1), (0, 3), (1, 3)]);
+        assert_eq!(pairs[1].nsld, 0.0); // exact duplicate
+    }
+
+    #[test]
+    fn empty_corpus_and_singleton() {
+        let c = Corpus::build(Vec::<&str>::new(), &NameTokenizer::default());
+        assert!(brute_force_self_join(&c, 0.3, 2).is_empty());
+        let c1 = Corpus::build(["solo act"], &NameTokenizer::default());
+        assert!(brute_force_self_join(&c1, 0.3, 2).is_empty());
+    }
+
+    #[test]
+    fn includes_tokenless_duplicates() {
+        let c = Corpus::build(["", "  ", "real name"], &NameTokenizer::default());
+        let pairs = brute_force_self_join(&c, 0.1, 2);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a.0, pairs[0].b.0), (0, 1));
+        assert_eq!(pairs[0].nsld, 0.0);
+    }
+}

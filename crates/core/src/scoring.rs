@@ -1,0 +1,69 @@
+//! Precision / recall scoring of join results against a reference
+//! (the metrics of Sec. V-B2).
+
+use std::collections::HashSet;
+
+use crate::joiner::SimilarPair;
+
+/// Collapses join results to their unordered id-pair set.
+pub fn pair_set(pairs: &[SimilarPair]) -> HashSet<(u32, u32)> {
+    pairs.iter().map(|p| (p.a.0, p.b.0)).collect()
+}
+
+/// Recall of `found` against `truth`: "the ratio between the number of the
+/// discovered pairs to the number of pairs discovered by
+/// fuzzy-token-matching". `1.0` when the truth is empty.
+pub fn recall(found: &[SimilarPair], truth: &[SimilarPair]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let f = pair_set(found);
+    let t = pair_set(truth);
+    t.intersection(&f).count() as f64 / t.len() as f64
+}
+
+/// Precision of `found` against `truth`: "the percentage of the discovered
+/// pairs that are truly similar". `1.0` when nothing was found.
+pub fn precision(found: &[SimilarPair], truth: &[SimilarPair]) -> f64 {
+    if found.is_empty() {
+        return 1.0;
+    }
+    let f = pair_set(found);
+    let t = pair_set(truth);
+    f.intersection(&t).count() as f64 / f.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tokenize::StringId;
+
+    fn pairs(ids: &[(u32, u32)]) -> Vec<SimilarPair> {
+        ids.iter()
+            .map(|&(a, b)| SimilarPair { a: StringId(a), b: StringId(b), nsld: 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_scores() {
+        let t = pairs(&[(0, 1), (2, 3)]);
+        assert_eq!(recall(&t, &t), 1.0);
+        assert_eq!(precision(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let truth = pairs(&[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let found = pairs(&[(0, 1), (2, 3), (8, 9)]);
+        assert_eq!(recall(&found, &truth), 0.5);
+        assert!((precision(&found, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let some = pairs(&[(0, 1)]);
+        assert_eq!(recall(&[], &some), 0.0);
+        assert_eq!(recall(&some, &[]), 1.0);
+        assert_eq!(precision(&[], &some), 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Final verification (Sec. III-F): exact or greedy NSLD on a candidate
+//! pair, with the tokenized-string identifiers resolved back to token text.
+
+use tsj_setdist::{nsld_within, Aligning};
+use tsj_tokenize::{Corpus, StringId};
+
+/// Simulated work units for verifying one candidate pair (in the runtime's
+/// ~100 ns units): the `O(L(x)*L(y))` token-bigraph construction plus the
+/// matching itself -- `O(k^3)` Hungarian or `O(k^2 log k)` greedy
+/// (Sec. III-F/III-G5 complexity analysis). This is what makes
+/// greedy-token-aligning *simulate* faster as well as run faster.
+pub fn verification_work_units(
+    corpus: &Corpus,
+    a: StringId,
+    b: StringId,
+    aligning: Aligning,
+) -> u64 {
+    let (la, lb) = (corpus.total_len(a) as u64, corpus.total_len(b) as u64);
+    let k = corpus.token_count(a).max(corpus.token_count(b)) as u64;
+    let bigraph = (la * lb / 40).max(1);
+    let align = match aligning {
+        Aligning::Hungarian => k * k * k / 2,
+        Aligning::Greedy => k * k * (64 - k.leading_zeros() as u64) / 4,
+    };
+    bigraph + align.max(1)
+}
+
+/// Computes `NSLD` for one candidate pair and returns it when it is within
+/// `t` under the chosen aligning.
+///
+/// With [`Aligning::Greedy`] the distance is an upper bound on the exact
+/// NSLD, so an accepted pair is always a true positive (precision 1.0,
+/// Sec. V-B2); some true pairs may be rejected (recall < 1).
+pub fn verify_pair(
+    corpus: &Corpus,
+    a: StringId,
+    b: StringId,
+    t: f64,
+    aligning: Aligning,
+) -> Option<f64> {
+    let ta = corpus.token_texts(a);
+    let tb = corpus.token_texts(b);
+    nsld_within(&ta, &tb, t, aligning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tokenize::NameTokenizer;
+
+    #[test]
+    fn verifies_known_pairs() {
+        let c = Corpus::build(
+            ["chan kalan", "chank alan", "zzz yyy"],
+            &NameTokenizer::default(),
+        );
+        // NSLD = 0.2 (paper example).
+        let d = verify_pair(&c, StringId(0), StringId(1), 0.2, Aligning::Hungarian).unwrap();
+        assert!((d - 0.2).abs() < 1e-12);
+        assert!(verify_pair(&c, StringId(0), StringId(1), 0.19, Aligning::Hungarian).is_none());
+        assert!(verify_pair(&c, StringId(0), StringId(2), 0.5, Aligning::Hungarian).is_none());
+    }
+
+    #[test]
+    fn greedy_never_reports_below_exact() {
+        let c = Corpus::build(
+            ["ann bee cee", "anne bea see", "ann cee bee"],
+            &NameTokenizer::default(),
+        );
+        for (a, b) in [(0u32, 1u32), (0, 2), (1, 2)] {
+            let exact = verify_pair(&c, StringId(a), StringId(b), 0.99, Aligning::Hungarian);
+            let greedy = verify_pair(&c, StringId(a), StringId(b), 0.99, Aligning::Greedy);
+            if let (Some(e), Some(g)) = (exact, greedy) {
+                assert!(g >= e - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Fraud-ring generation: the adversarial edit model of Sec. I-A.
+//!
+//! A ring is a set of accounts whose names derive from one base identity by
+//! *small, well-crafted edits* — enough to defeat exact matching, small
+//! enough that "the bank officers would not be alarmed". The edit inventory
+//! mirrors the paper's examples ("Obamma, Boraak H.", "Burak Ubama",
+//! "chan kalan" → "chank alan"):
+//!
+//! * in-token typo (insert/delete/substitute one character),
+//! * duplicated character ("obama" → "obamma"),
+//! * token shuffle (free under NSLD — that is the point of setwise
+//!   distances),
+//! * boundary shift (move a character across a token boundary, the
+//!   "chank alan" pattern: 2 character edits under SLD),
+//! * vowel swap ("barak" → "burak").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::names::{generate_name, NameGenConfig};
+use crate::zipf::Zipf;
+
+/// Ring shape parameters.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Minimum accounts per ring (including the base identity).
+    pub min_size: usize,
+    /// Maximum accounts per ring.
+    pub max_size: usize,
+    /// Minimum adversarial edit operations applied per variant.
+    pub min_ops: usize,
+    /// Maximum adversarial edit operations per variant.
+    pub max_ops: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self { min_size: 3, max_size: 8, min_ops: 1, max_ops: 2 }
+    }
+}
+
+const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+
+/// Applies one random adversarial edit to a tokenized name, in place.
+pub fn adversarial_edit(tokens: &mut [String], rng: &mut StdRng) {
+    if tokens.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..5u8) {
+        // In-token typo.
+        0 => {
+            let t = pick_editable(tokens, rng);
+            let chars: Vec<char> = tokens[t].chars().collect();
+            let mut chars = chars;
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // insert
+                    let p = rng.gen_range(0..=chars.len());
+                    chars.insert(p, random_letter(rng));
+                }
+                1 if chars.len() > 2 => {
+                    // delete (keep tokens ≥ 2 chars so they stay name-like)
+                    let p = rng.gen_range(0..chars.len());
+                    chars.remove(p);
+                }
+                _ => {
+                    // substitute
+                    let p = rng.gen_range(0..chars.len());
+                    chars[p] = random_letter(rng);
+                }
+            }
+            tokens[t] = chars.into_iter().collect();
+        }
+        // Duplicate a character ("obama" → "obamma").
+        1 => {
+            let t = pick_editable(tokens, rng);
+            let mut chars: Vec<char> = tokens[t].chars().collect();
+            let p = rng.gen_range(0..chars.len());
+            let c = chars[p];
+            chars.insert(p, c);
+            tokens[t] = chars.into_iter().collect();
+        }
+        // Token shuffle (free under NSLD).
+        2 => {
+            if tokens.len() >= 2 {
+                let i = rng.gen_range(0..tokens.len());
+                let j = rng.gen_range(0..tokens.len());
+                tokens.swap(i, j);
+            }
+        }
+        // Boundary shift: "chan kalan" → "chank alan" (2 SLD edits).
+        3 => {
+            if tokens.len() >= 2 {
+                let i = rng.gen_range(0..tokens.len() - 1);
+                let (left, right) = (i, i + 1);
+                if tokens[left].chars().count() >= 3 {
+                    let c = tokens[left].pop().expect("non-empty");
+                    tokens[right].insert(0, c);
+                } else if tokens[right].chars().count() >= 3 {
+                    let c = tokens[right].remove(0);
+                    tokens[left].push(c);
+                }
+            }
+        }
+        // Vowel swap ("barak" → "burak").
+        _ => {
+            let t = pick_editable(tokens, rng);
+            let mut chars: Vec<char> = tokens[t].chars().collect();
+            let vowel_positions: Vec<usize> = chars
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| VOWELS.contains(c))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&p) = pick(&vowel_positions, rng) {
+                let old = chars[p];
+                let mut new = old;
+                while new == old {
+                    new = VOWELS[rng.gen_range(0..VOWELS.len())];
+                }
+                chars[p] = new;
+                tokens[t] = chars.into_iter().collect();
+            }
+        }
+    }
+}
+
+fn pick_editable(tokens: &[String], rng: &mut StdRng) -> usize {
+    // Prefer tokens with ≥ 2 chars (initials survive verbatim).
+    let candidates: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.chars().count() >= 2)
+        .map(|(i, _)| i)
+        .collect();
+    *pick(&candidates, rng).unwrap_or(&0)
+}
+
+fn pick<'a, T>(xs: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+fn random_letter(rng: &mut StdRng) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+/// Derives one ring variant from a base name with `ops` adversarial edits.
+pub fn ring_variant(base: &str, ops: usize, rng: &mut StdRng) -> String {
+    let mut tokens: Vec<String> = base.split_whitespace().map(str::to_owned).collect();
+    for _ in 0..ops {
+        adversarial_edit(&mut tokens, rng);
+    }
+    tokens.retain(|t| !t.is_empty());
+    tokens.join(" ")
+}
+
+/// Plants `num_rings` fraud rings into `population`, appending the ring
+/// members and returning each ring's indices.
+pub fn plant_rings(
+    population: &mut Vec<String>,
+    num_rings: usize,
+    rng: &mut StdRng,
+    cfg: &RingConfig,
+) -> Vec<Vec<usize>> {
+    assert!(cfg.min_size >= 2 && cfg.max_size >= cfg.min_size);
+    assert!(cfg.max_ops >= cfg.min_ops);
+    let name_cfg = NameGenConfig::default();
+    let given_z = Zipf::new(crate::names::GIVEN_NAMES.len(), name_cfg.zipf_exponent);
+    let sur_z = Zipf::new(crate::names::SURNAMES.len(), name_cfg.zipf_exponent);
+
+    let mut rings = Vec::with_capacity(num_rings);
+    for _ in 0..num_rings {
+        let base = generate_name(rng, &name_cfg, &given_z, &sur_z);
+        let size = rng.gen_range(cfg.min_size..=cfg.max_size);
+        let mut members = Vec::with_capacity(size);
+        members.push(population.len());
+        population.push(base.clone());
+        for _ in 1..size {
+            let ops = rng.gen_range(cfg.min_ops..=cfg.max_ops);
+            members.push(population.len());
+            population.push(ring_variant(&base, ops, rng));
+        }
+        rings.push(members);
+    }
+    rings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variants_stay_close_to_base_in_nsld() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = "barak hussein obama";
+        let base_tokens: Vec<&str> = base.split_whitespace().collect();
+        for _ in 0..100 {
+            let v = ring_variant(base, 2, &mut rng);
+            let v_tokens: Vec<&str> = v.split_whitespace().collect();
+            let d = tsj_setdist::nsld(&base_tokens, &v_tokens);
+            // 2 small ops on an 18-char name: comfortably under 0.35.
+            assert!(d <= 0.35, "variant {v:?} drifted to NSLD {d}");
+        }
+    }
+
+    #[test]
+    fn variants_differ_from_base_usually() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let base = "maria garcia lopez";
+        let mut changed = 0;
+        for _ in 0..50 {
+            if ring_variant(base, 2, &mut rng) != base {
+                changed += 1;
+            }
+        }
+        // Shuffles of identical tokens can be no-ops, but most edits change
+        // the string.
+        assert!(changed >= 40, "only {changed}/50 variants differ");
+    }
+
+    #[test]
+    fn planted_rings_index_into_population() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut pop = vec!["background one".to_owned(), "background two".to_owned()];
+        let rings = plant_rings(&mut pop, 5, &mut rng, &RingConfig::default());
+        assert_eq!(rings.len(), 5);
+        for ring in &rings {
+            assert!(ring.len() >= RingConfig::default().min_size);
+            for &i in ring {
+                assert!(i >= 2 && i < pop.len()); // appended after background
+                assert!(!pop[i].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn edits_never_produce_empty_strings() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..500 {
+            let v = ring_variant("al bo cy", 4, &mut rng);
+            assert!(!v.is_empty());
+            assert!(v.split_whitespace().all(|t| !t.is_empty()));
+        }
+    }
+}

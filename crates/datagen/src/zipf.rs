@@ -1,0 +1,105 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Token popularity in name corpora is classically Zipfian: the r-th most
+//! popular name appears with probability ∝ 1/r^s. The `M` filter experiment
+//! (Fig. 3/5) sweeps how many of these heavy hitters TSJ drops.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table: `O(log n)`
+/// per draw, exact, deterministic given the RNG.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; name corpora are near `s ≈ 1`).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if there is exactly one rank (degenerate sampler).
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n ≥ 1
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 is ≈ 1/H(1000) ≈ 13% of draws; rank 500 ≈ 0.027%.
+        assert!(counts[0] > 10_000, "head rank too light: {}", counts[0]);
+        assert!(counts[0] > 50 * counts[500].max(1));
+        // Top-10 ranks together should dominate a uniform share.
+        let top10: u32 = counts[..10].iter().sum();
+        assert!(top10 > 35_000, "top-10 share too small: {top10}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "not uniform: {c}");
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+}

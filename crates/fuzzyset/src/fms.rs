@@ -1,0 +1,199 @@
+//! Fuzzy Matching Similarity (FMS) and its approximation AFMS
+//! (Chaudhuri et al., "Robust and Efficient Fuzzy Match for Online Data
+//! Cleaning", SIGMOD 2003 — reference [10] of the paper).
+//!
+//! These are the earliest token-edit-tolerant measures the paper reviews
+//! (Sec. IV), implemented here so their documented drawbacks can be
+//! *demonstrated*, not just cited:
+//!
+//! * **FMS is order-sensitive**: the transformation cost matches token `i`
+//!   of the input against token `i`-ish of the target (positional), so a
+//!   token shuffle — free under NSLD — costs under FMS.
+//! * **FMS and AFMS are asymmetric**: `fms(x, y) ≠ fms(y, x)` in general,
+//!   which "poses challenges when using them as tokenized-string similarity
+//!   measures in other applications".
+//!
+//! The implementation follows the paper's [10] description at the level of
+//! detail the comparison needs: a weighted transformation cost with
+//! user-set penalties for token replacement (scaled by normalized edit
+//! distance), insertion, and deletion; FMS compares tokens positionally,
+//! AFMS matches each input token to its best target token (possibly
+//! many-to-one).
+
+use tsj_strdist::{char_len, levenshtein};
+
+use crate::measures::TokenWeights;
+
+/// Penalty configuration of [10] ("the user sets penalties for token
+/// insertion, deletion, or editing").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmsPenalties {
+    /// Cost multiplier for replacing (editing) a token, scaled by the
+    /// tokens' normalized edit distance.
+    pub replace: f64,
+    /// Cost multiplier for inserting a target token the input lacks.
+    pub insert: f64,
+    /// Cost multiplier for deleting an input token absent from the target.
+    pub delete: f64,
+}
+
+impl Default for FmsPenalties {
+    fn default() -> Self {
+        Self { replace: 1.0, insert: 1.0, delete: 1.0 }
+    }
+}
+
+fn ned(a: &str, b: &str) -> f64 {
+    let m = char_len(a).max(char_len(b));
+    if m == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / m as f64
+}
+
+/// Fuzzy Matching Similarity: `1 − cost / total_weight`, where the cost
+/// transforms the *input* `x` into the *target* `y` by editing positionally
+/// aligned tokens and inserting/deleting the overhang.
+///
+/// Positional alignment is what makes FMS **order-sensitive**; transforming
+/// *into* `y` (weights and insertions charged against `y`'s tokens) is what
+/// makes it **asymmetric**. Clamped to `[0, 1]`.
+pub fn fms(
+    x: &[impl AsRef<str>],
+    y: &[impl AsRef<str>],
+    weights: &TokenWeights,
+    penalties: FmsPenalties,
+) -> f64 {
+    let total: f64 = y.iter().map(|t| weights.weight(t.as_ref())).sum();
+    if total == 0.0 {
+        return if x.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut cost = 0.0;
+    let common = x.len().min(y.len());
+    for i in 0..common {
+        let (a, b) = (x[i].as_ref(), y[i].as_ref());
+        cost += penalties.replace * weights.weight(b) * ned(a, b);
+    }
+    for t in y.iter().skip(common) {
+        cost += penalties.insert * weights.weight(t.as_ref());
+    }
+    for t in x.iter().skip(common) {
+        cost += penalties.delete * weights.weight(t.as_ref());
+    }
+    (1.0 - cost / total).clamp(0.0, 1.0)
+}
+
+/// Approximate FMS: "ignores the token positions. AFMS matches each token
+/// in a string to its best matching token in the other string, which may
+/// result in multiple tokens from one string matched to the same token in
+/// the other string."
+pub fn afms(
+    x: &[impl AsRef<str>],
+    y: &[impl AsRef<str>],
+    weights: &TokenWeights,
+    penalties: FmsPenalties,
+) -> f64 {
+    let total: f64 = y.iter().map(|t| weights.weight(t.as_ref())).sum();
+    if total == 0.0 {
+        return if x.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut cost = 0.0;
+    for a in x {
+        let a = a.as_ref();
+        // Best (cheapest) target token — duplicates allowed.
+        let best = y
+            .iter()
+            .map(|b| {
+                let b = b.as_ref();
+                penalties.replace * weights.weight(b) * ned(a, b)
+            })
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            cost += best;
+        } else {
+            cost += penalties.delete * weights.weight(a);
+        }
+    }
+    (1.0 - cost / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> TokenWeights {
+        TokenWeights::uniform()
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        let x = ["barak", "obama"];
+        assert_eq!(fms(&x, &x, &w(), FmsPenalties::default()), 1.0);
+        assert_eq!(afms(&x, &x, &w(), FmsPenalties::default()), 1.0);
+    }
+
+    /// The paper's first criticism: FMS is sensitive to token order —
+    /// a shuffle that NSLD treats as free costs almost everything here.
+    #[test]
+    fn fms_is_order_sensitive() {
+        let x = ["barak", "obama"];
+        let shuffled = ["obama", "barak"];
+        let same_order = fms(&x, &x, &w(), FmsPenalties::default());
+        let shuffled_score = fms(&x, &shuffled, &w(), FmsPenalties::default());
+        assert!(
+            shuffled_score < same_order - 0.3,
+            "shuffle should hurt FMS badly: {shuffled_score} vs {same_order}"
+        );
+        // NSLD, by contrast, treats the shuffle as identity.
+        assert_eq!(tsj_setdist::nsld(&x, &shuffled), 0.0);
+    }
+
+    /// The paper's second criticism: FMS and AFMS are not symmetric.
+    #[test]
+    fn fms_and_afms_are_asymmetric() {
+        let x = ["barak"];
+        let y = ["barak", "hussein", "obama"];
+        let p = FmsPenalties::default();
+        let weights = TokenWeights::from_dfs(
+            [("barak", 1usize), ("hussein", 50), ("obama", 2)],
+            100,
+        );
+        assert_ne!(fms(&x, &y, &weights, p), fms(&y, &x, &weights, p));
+        assert_ne!(afms(&x, &y, &weights, p), afms(&y, &x, &weights, p));
+    }
+
+    /// AFMS fixes order-sensitivity but introduces many-to-one matching.
+    #[test]
+    fn afms_ignores_order_but_collapses_duplicates() {
+        let x = ["obama", "barak"];
+        let y = ["barak", "obama"];
+        let p = FmsPenalties::default();
+        assert_eq!(afms(&x, &y, &w(), p), 1.0); // shuffle is free here
+        // Two copies of "bob" both match the single target "bob": AFMS
+        // sees a perfect score even though the multisets differ.
+        let dup = ["bob", "bob"];
+        let single = ["bob"];
+        assert_eq!(afms(&dup, &single, &w(), p), 1.0);
+        // NSLD charges the duplicate's deletion.
+        assert!(tsj_setdist::nsld(&dup, &single) > 0.0);
+    }
+
+    #[test]
+    fn penalties_scale_costs() {
+        let x = ["barak"];
+        let y = ["barak", "obama"];
+        let cheap = fms(&x, &y, &w(), FmsPenalties { insert: 0.1, ..Default::default() });
+        let pricey = fms(&x, &y, &w(), FmsPenalties { insert: 1.0, ..Default::default() });
+        assert!(cheap > pricey);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let e: &[&str] = &[];
+        let x = ["a"];
+        let p = FmsPenalties::default();
+        assert_eq!(fms(e, e, &w(), p), 1.0);
+        assert_eq!(fms(&x, e, &w(), p), 0.0);
+        assert_eq!(afms(e, e, &w(), p), 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Weighted set-based fuzzy similarity measures and ROC tooling.
+//!
+//! These are the *related-work* measures the paper compares NSLD against in
+//! Fig. 6 (Sec. V-D): the weighted fuzzy variants of Jaccard, cosine and
+//! Dice from Wang et al. [67] ("Extending String Similarity Join to
+//! Tolerant Fuzzy Token Matching"), plus SoftTfIdf [13] for completeness.
+//! They all share the two-threshold structure the paper criticizes: a
+//! token-level edit-similarity threshold `δ` *and* a set-level similarity
+//! threshold, "two totally unrelated thresholds, which impairs the tuning
+//! of the join" — and none of them is a metric (demonstrated by the
+//! triangle-violation tests).
+//!
+//! [`roc`] computes ROC curves / AUC for the Fig. 6 experiment.
+
+pub mod fms;
+pub mod measures;
+pub mod roc;
+
+pub use fms::{afms, fms, FmsPenalties};
+pub use measures::{
+    fuzzy_distance, fuzzy_similarity, soft_tfidf, FuzzyMeasure, TokenWeights,
+};
+pub use roc::{auc, roc_curve, RocCurve};

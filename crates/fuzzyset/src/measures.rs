@@ -1,0 +1,322 @@
+//! Weighted fuzzy set-similarity measures (Wang et al. [67], Cohen et
+//! al. [13]).
+
+use std::collections::HashMap;
+
+use tsj_strdist::{char_len, jaro_winkler, levenshtein};
+use tsj_tokenize::Corpus;
+
+/// IDF-style token weights: `w(t) = ln(1 + N / df(t))`.
+///
+/// Popular tokens ("john", "smith") carry little evidence of identity;
+/// rare tokens carry a lot. This is the "weighted" in the paper's
+/// "weighted FJaccard/FCosine/FDice".
+#[derive(Debug, Clone)]
+pub struct TokenWeights {
+    weights: HashMap<String, f64>,
+    /// Weight for tokens never seen in the reference corpus (max IDF).
+    unseen: f64,
+}
+
+impl TokenWeights {
+    /// Builds weights from `(token, document frequency)` pairs over a
+    /// collection of `n_docs` documents.
+    pub fn from_dfs<I, S>(dfs: I, n_docs: usize) -> Self
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let n = n_docs.max(1) as f64;
+        let weights = dfs
+            .into_iter()
+            .map(|(t, df)| (t.into(), (1.0 + n / df.max(1) as f64).ln()))
+            .collect();
+        Self { weights, unseen: (1.0 + n).ln() }
+    }
+
+    /// Builds weights from an interned corpus's postings.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        Self::from_dfs(
+            corpus
+                .token_ids()
+                .map(|t| (corpus.token_text(t).to_owned(), corpus.df(t))),
+            corpus.len(),
+        )
+    }
+
+    /// Uniform weights (1.0 for everything) — the unweighted variants.
+    pub fn uniform() -> Self {
+        Self { weights: HashMap::new(), unseen: 1.0 }
+    }
+
+    /// Weight of one token.
+    pub fn weight(&self, token: &str) -> f64 {
+        self.weights.get(token).copied().unwrap_or(self.unseen)
+    }
+
+    /// Total weight of a token multiset.
+    pub fn total(&self, tokens: &[impl AsRef<str>]) -> f64 {
+        tokens.iter().map(|t| self.weight(t.as_ref())).sum()
+    }
+}
+
+/// Which set-similarity normalization to apply to the fuzzy overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzyMeasure {
+    /// `O / (W(x) + W(y) − O)` — weighted FJaccard.
+    Jaccard,
+    /// `O / √(W(x)·W(y))` — weighted FCosine.
+    Cosine,
+    /// `2·O / (W(x) + W(y))` — weighted FDice.
+    Dice,
+}
+
+/// Normalized edit similarity between tokens:
+/// `NED(a, b) = 1 − LD(a, b) / max(|a|, |b|)`.
+fn ned(a: &str, b: &str) -> f64 {
+    let m = char_len(a).max(char_len(b));
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / m as f64
+}
+
+/// Greedy one-to-one fuzzy token matching: all cross pairs with
+/// `NED ≥ δ`, taken in decreasing-similarity order (the matching strategy
+/// of [67]; like the paper's AFMS discussion, best-match but one-to-one).
+/// Returns `(i, j, sim)` matched pairs.
+fn fuzzy_matching(x: &[impl AsRef<str>], y: &[impl AsRef<str>], delta: f64) -> Vec<(usize, usize, f64)> {
+    let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, a) in x.iter().enumerate() {
+        for (j, b) in y.iter().enumerate() {
+            let s = ned(a.as_ref(), b.as_ref());
+            if s >= delta {
+                edges.push((s, i, j));
+            }
+        }
+    }
+    // Descending similarity; deterministic tie-break on indices.
+    edges.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut used_x = vec![false; x.len()];
+    let mut used_y = vec![false; y.len()];
+    let mut out = Vec::new();
+    for (s, i, j) in edges {
+        if !used_x[i] && !used_y[j] {
+            used_x[i] = true;
+            used_y[j] = true;
+            out.push((i, j, s));
+        }
+    }
+    out
+}
+
+/// Weighted fuzzy set similarity (Wang et al. [67] style).
+///
+/// The fuzzy overlap is `O = Σ min(w(a), w(b)) · NED(a, b)` over the greedy
+/// one-to-one matching of token pairs with `NED ≥ δ`; with `δ = 1` this
+/// degenerates to the classical weighted overlap on exact-equal tokens.
+/// The result is in `[0, 1]` for all three normalizations.
+pub fn fuzzy_similarity(
+    x: &[impl AsRef<str>],
+    y: &[impl AsRef<str>],
+    weights: &TokenWeights,
+    delta: f64,
+    measure: FuzzyMeasure,
+) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 1.0;
+    }
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let overlap: f64 = fuzzy_matching(x, y, delta)
+        .into_iter()
+        .map(|(i, j, s)| {
+            weights
+                .weight(x[i].as_ref())
+                .min(weights.weight(y[j].as_ref()))
+                * s
+        })
+        .sum();
+    let (wx, wy) = (weights.total(x), weights.total(y));
+    let sim = match measure {
+        FuzzyMeasure::Jaccard => overlap / (wx + wy - overlap),
+        FuzzyMeasure::Cosine => overlap / (wx * wy).sqrt(),
+        FuzzyMeasure::Dice => 2.0 * overlap / (wx + wy),
+    };
+    sim.clamp(0.0, 1.0)
+}
+
+/// Distance form: `1 − similarity` (the conversion used in Sec. V-D).
+pub fn fuzzy_distance(
+    x: &[impl AsRef<str>],
+    y: &[impl AsRef<str>],
+    weights: &TokenWeights,
+    delta: f64,
+    measure: FuzzyMeasure,
+) -> f64 {
+    1.0 - fuzzy_similarity(x, y, weights, delta, measure)
+}
+
+/// SoftTfIdf (Cohen et al. [13]): tokens match when their Jaro–Winkler
+/// similarity is at least `theta`; each matched pair contributes the
+/// product of the tokens' normalized weights scaled by the JW similarity.
+pub fn soft_tfidf(
+    x: &[impl AsRef<str>],
+    y: &[impl AsRef<str>],
+    weights: &TokenWeights,
+    theta: f64,
+) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 1.0;
+    }
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let norm = |ts: &[&str]| -> f64 {
+        ts.iter().map(|t| weights.weight(t).powi(2)).sum::<f64>().sqrt()
+    };
+    let xs: Vec<&str> = x.iter().map(AsRef::as_ref).collect();
+    let ys: Vec<&str> = y.iter().map(AsRef::as_ref).collect();
+    let (nx, ny) = (norm(&xs), norm(&ys));
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    let mut sim = 0.0;
+    for a in &xs {
+        // Best JW partner in y at or above theta (CLOSE(θ) of [13]).
+        let best = ys
+            .iter()
+            .map(|b| (jaro_winkler(a, b), *b))
+            .filter(|(jw, _)| *jw >= theta)
+            .max_by(|p, q| p.0.total_cmp(&q.0));
+        if let Some((jw, b)) = best {
+            sim += (weights.weight(a) / nx) * (weights.weight(b) / ny) * jw;
+        }
+    }
+    sim.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEASURES: [FuzzyMeasure; 3] =
+        [FuzzyMeasure::Jaccard, FuzzyMeasure::Cosine, FuzzyMeasure::Dice];
+
+    #[test]
+    fn identical_multisets_have_similarity_one() {
+        let w = TokenWeights::uniform();
+        let x = ["barak", "obama"];
+        for m in MEASURES {
+            assert!((fuzzy_similarity(&x, &x, &w, 0.8, m) - 1.0).abs() < 1e-12, "{m:?}");
+            assert_eq!(fuzzy_distance(&x, &x, &w, 0.8, m), 0.0);
+        }
+        assert!((soft_tfidf(&x, &x, &w, 0.9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_multisets_have_similarity_zero() {
+        let w = TokenWeights::uniform();
+        let x = ["aaaa", "bbbb"];
+        let y = ["cccc", "dddd"];
+        for m in MEASURES {
+            assert_eq!(fuzzy_similarity(&x, &y, &w, 0.5, m), 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn token_order_is_irrelevant() {
+        let w = TokenWeights::uniform();
+        let x = ["chan", "kalan"];
+        let y = ["kalan", "chan"];
+        for m in MEASURES {
+            assert!((fuzzy_similarity(&x, &y, &w, 0.8, m) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delta_one_degenerates_to_exact_weighted_jaccard() {
+        let w = TokenWeights::from_dfs(
+            [("john", 100usize), ("smith", 50), ("zanzibar", 1)],
+            100,
+        );
+        let x = ["john", "zanzibar"];
+        let y = ["john", "smith"];
+        let got = fuzzy_similarity(&x, &y, &w, 1.0, FuzzyMeasure::Jaccard);
+        // Exact overlap = w(john); classical weighted Jaccard.
+        let o = w.weight("john");
+        let expect = o / (w.total(&x) + w.total(&y) - o);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuzzy_overlap_tolerates_token_edits() {
+        let w = TokenWeights::uniform();
+        // "obama" vs "obamma": NED = 1 − 1/6 = 0.833.
+        let x = ["barak", "obama"];
+        let y = ["barak", "obamma"];
+        let rigid = fuzzy_similarity(&x, &y, &w, 1.0, FuzzyMeasure::Jaccard);
+        let fuzzy = fuzzy_similarity(&x, &y, &w, 0.8, FuzzyMeasure::Jaccard);
+        assert!(fuzzy > rigid, "fuzzy {fuzzy} should exceed rigid {rigid}");
+    }
+
+    #[test]
+    fn rare_tokens_dominate_weighted_measures() {
+        let w = TokenWeights::from_dfs([("john", 10_000usize), ("xylophanes", 2)], 10_000);
+        // Sharing the rare token counts far more than sharing the common one.
+        let share_rare =
+            fuzzy_similarity(&["john", "xylophanes"], &["mary", "xylophanes"], &w, 1.0, FuzzyMeasure::Jaccard);
+        let share_common =
+            fuzzy_similarity(&["john", "xylophanes"], &["john", "abcdefgh"], &w, 1.0, FuzzyMeasure::Jaccard);
+        assert!(share_rare > 2.0 * share_common);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let w = TokenWeights::uniform();
+        let cases: &[(&[&str], &[&str])] = &[
+            (&["a", "bb"], &["ab"]),
+            (&["chan", "kalan"], &["chank", "alan"]),
+            (&[], &["x"]),
+        ];
+        for (x, y) in cases {
+            for m in MEASURES {
+                let xy = fuzzy_similarity(x, y, &w, 0.7, m);
+                let yx = fuzzy_similarity(y, x, &w, 0.7, m);
+                assert!((xy - yx).abs() < 1e-12, "{m:?} {x:?} {y:?}");
+                assert!((0.0..=1.0).contains(&xy));
+            }
+        }
+    }
+
+    /// The paper's structural criticism: these distances are not metrics.
+    /// A concrete triangle violation for 1 − FJaccard with fuzzy matching
+    /// (found by exhaustive search over small token universes): the middle
+    /// set `y` fuzzy-matches both neighbours through "abc", but `x` and `z`
+    /// share nothing fuzzy at δ = 0.3 beyond the common "a".
+    #[test]
+    fn fuzzy_jaccard_distance_violates_triangle_inequality() {
+        let w = TokenWeights::uniform();
+        let delta = 0.3;
+        let x: &[&str] = &["a", "ab"];
+        let y: &[&str] = &["a", "abc"];
+        let z: &[&str] = &["a", "bc"];
+        let dist = |p: &[&str], q: &[&str]| fuzzy_distance(p, q, &w, delta, FuzzyMeasure::Jaccard);
+        let (dxy, dyz, dxz) = (dist(x, y), dist(y, z), dist(x, z));
+        assert!(
+            dxy + dyz < dxz - 1e-9,
+            "expected violation: {dxy} + {dyz} vs {dxz}"
+        );
+    }
+
+    #[test]
+    fn soft_tfidf_behaves() {
+        let w = TokenWeights::uniform();
+        // Close names score high; unrelated names score low.
+        let a = soft_tfidf(&["martha", "jones"], &["marhta", "jones"], &w, 0.9);
+        let b = soft_tfidf(&["martha", "jones"], &["xavier", "quine"], &w, 0.9);
+        assert!(a > 0.9, "close names should score high, got {a}");
+        assert!(b < 0.2, "unrelated names should score low, got {b}");
+    }
+}

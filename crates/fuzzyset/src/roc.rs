@@ -1,0 +1,146 @@
+//! ROC curves and AUC for the Fig. 6 distance-quality experiment.
+//!
+//! Convention: each sample is `(score, label)` where `score` is a
+//! *distance* (higher ⇒ more suspicious) and `label` is `true` for fraud.
+//! The classifier "predict fraud when distance ≥ θ" sweeps θ from +∞ down,
+//! tracing (FPR, TPR) points.
+
+/// An ROC curve: `(fpr, tpr)` points, monotonically non-decreasing in both
+/// coordinates, starting at `(0, 0)` and ending at `(1, 1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    pub points: Vec<(f64, f64)>,
+}
+
+impl RocCurve {
+    /// Area under the curve by trapezoidal integration.
+    pub fn auc(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                (x1 - x0) * (y0 + y1) / 2.0
+            })
+            .sum()
+    }
+
+    /// True-positive rate at the smallest threshold whose FPR does not
+    /// exceed `max_fpr` (operating-point lookup).
+    pub fn tpr_at_fpr(&self, max_fpr: f64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|(fpr, _)| *fpr <= max_fpr + 1e-12)
+            .map(|(_, tpr)| *tpr)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builds the ROC curve of a scored, labelled sample set.
+///
+/// Ties in scores are handled correctly (grouped into one step), so the
+/// AUC equals the Mann–Whitney U statistic.
+pub fn roc_curve(samples: &[(f64, bool)]) -> RocCurve {
+    let pos = samples.iter().filter(|(_, l)| *l).count();
+    let neg = samples.len() - pos;
+    if pos == 0 || neg == 0 {
+        // Degenerate: no discrimination task; return the diagonal.
+        return RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)] };
+    }
+    let mut sorted: Vec<(f64, bool)> = samples.to_vec();
+    // Descending score: highest distance classified fraud first.
+    sorted.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+
+    let mut points = Vec::with_capacity(sorted.len() + 2);
+    points.push((0.0, 0.0));
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < sorted.len() {
+        // Consume the whole tie group at this score.
+        let score = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == score {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push((fp as f64 / neg as f64, tp as f64 / pos as f64));
+    }
+    RocCurve { points }
+}
+
+/// AUC computed directly via the rank (Mann–Whitney) statistic:
+/// `P(score_fraud > score_legit) + ½·P(equal)`.
+pub fn auc(samples: &[(f64, bool)]) -> f64 {
+    roc_curve(samples).auc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let samples: Vec<(f64, bool)> = (0..50)
+            .map(|i| (i as f64, false))
+            .chain((0..50).map(|i| (100.0 + i as f64, true)))
+            .collect();
+        let c = roc_curve(&samples);
+        assert!((c.auc() - 1.0).abs() < 1e-12);
+        assert_eq!(c.tpr_at_fpr(0.0), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_has_auc_zero() {
+        let samples: Vec<(f64, bool)> = (0..50)
+            .map(|i| (i as f64, true))
+            .chain((0..50).map(|i| (100.0 + i as f64, false)))
+            .collect();
+        assert!(roc_curve(&samples).auc() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_is_chance() {
+        let samples: Vec<(f64, bool)> =
+            (0..100).map(|i| (0.5, i % 2 == 0)).collect();
+        assert!((roc_curve(&samples).auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_is_near_chance() {
+        let samples: Vec<(f64, bool)> =
+            (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
+        let a = roc_curve(&samples).auc();
+        assert!((a - 0.5).abs() < 0.01, "AUC {a}");
+    }
+
+    #[test]
+    fn curve_endpoints_and_monotonicity() {
+        let samples = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        let c = roc_curve(&samples);
+        assert_eq!(*c.points.first().unwrap(), (0.0, 0.0));
+        assert_eq!(*c.points.last().unwrap(), (1.0, 1.0));
+        for w in c.points.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        assert_eq!(roc_curve(&[(0.5, true)]).auc(), 0.5);
+        assert_eq!(roc_curve(&[]).auc(), 0.5);
+    }
+
+    #[test]
+    fn tpr_at_fpr_lookup() {
+        // fraud at 0.9/0.7, legit at 0.8/0.1.
+        let samples = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        let c = roc_curve(&samples);
+        // θ just above 0.8: TP=1, FP=0.
+        assert_eq!(c.tpr_at_fpr(0.0), 0.5);
+        // Allowing FPR 0.5 admits θ=0.7: TP=2.
+        assert_eq!(c.tpr_at_fpr(0.5), 1.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The cluster: real threaded execution + simulated machine accounting.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::Instant;
+
+use crate::hash::{fingerprint64, FxBuildHasher};
+use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
+use crate::pool::run_indexed;
+
+/// Simulated-cost parameters of the cluster.
+///
+/// The defaults model the paper's evaluation cluster (Sec. V: 1,000
+/// machines, 1 GB RAM, 0.5 CPU each, production MapReduce): multi-second
+/// job submission, sub-second worker spin-up, and a small per-reduce-group
+/// worker-instantiation overhead — the quantity the paper blames for
+/// grouping-on-both-strings losing to grouping-on-one-string (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-job scheduling/submission overhead (simulated seconds).
+    pub job_startup_secs: f64,
+    /// One-time map-wave worker spin-up (simulated seconds).
+    pub map_worker_startup_secs: f64,
+    /// Per-reduce-group worker instantiation overhead (simulated seconds)
+    /// for ordinary jobs, where a reducer task streams through thousands of
+    /// groups.
+    pub reduce_group_overhead_secs: f64,
+    /// Per-group overhead for *verification* jobs, where the paper's Fig. 1
+    /// discussion applies: "grouping-on-one-string instantiates a worker
+    /// for each string ... grouping-on-both-strings instantiates a worker
+    /// for each candidate pair". Jobs opt in via
+    /// [`Cluster::run_with_group_overhead`].
+    pub verify_group_overhead_secs: f64,
+    /// Shuffle cost per intermediate record, divided across machines.
+    pub shuffle_secs_per_record: f64,
+    /// Multiplier from measured local CPU-seconds to simulated
+    /// machine-seconds (models the paper's 0.5-CPU machines being slower
+    /// than a modern core; also usable to extrapolate dataset scale).
+    pub cpu_scale: f64,
+    /// Simulated seconds charged per work unit (records in + records out +
+    /// explicitly declared units), before `cpu_scale`. With a positive
+    /// value the simulated clock is a *deterministic* function of the data
+    /// — immune to OS scheduling noise in µs-scale task measurements. Set
+    /// to `0.0` to fall back to the measured per-job rate (Σ cpu / Σ work).
+    /// The default, 100 ns, matches the measured per-record cost of the
+    /// join pipelines on a modern core.
+    pub work_unit_secs: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            job_startup_secs: 4.0,
+            map_worker_startup_secs: 1.0,
+            reduce_group_overhead_secs: 1e-4,
+            verify_group_overhead_secs: 3e-2,
+            shuffle_secs_per_record: 2e-6,
+            cpu_scale: 1.0,
+            work_unit_secs: 1e-7,
+        }
+    }
+}
+
+/// Cluster configuration: how many machines to simulate and how many real
+/// threads to execute with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Simulated machine count (the x-axis of the paper's Figures 1 and 7).
+    pub machines: usize,
+    /// Real worker threads; `0` means all available cores.
+    pub threads: usize,
+    /// Simulated-cost parameters.
+    pub cost: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { machines: 1000, threads: 0, cost: CostModel::default() }
+    }
+}
+
+/// An executable cluster. Cheap to construct; holds no threads between jobs.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let mut cfg = cfg;
+        cfg.machines = cfg.machines.max(1);
+        Self { cfg }
+    }
+
+    /// A cluster with `machines` simulated machines and default costs.
+    pub fn with_machines(machines: usize) -> Self {
+        Self::new(ClusterConfig { machines, ..ClusterConfig::default() })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn machines(&self) -> usize {
+        self.cfg.machines
+    }
+
+    fn threads(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+
+    /// Runs one MapReduce job (Sec. III-A semantics).
+    ///
+    /// * `map` is applied to every input record, emitting `⟨key2, value2⟩`
+    ///   pairs into the [`Emitter`].
+    /// * The shuffler groups pairs by key; each key's values are handed to
+    ///   `reduce` exactly once, on the simulated machine
+    ///   `hash(key) % machines`.
+    /// * Output order across groups is unspecified (as on a real cluster).
+    ///
+    /// Simulated time = job startup + map makespan + shuffle + reduce
+    /// makespan; see [`CostModel`]. Real execution uses all configured
+    /// threads regardless of the simulated machine count.
+    pub fn run<I, K, V, O, M, R>(
+        &self,
+        name: &str,
+        input: &[I],
+        map: M,
+        reduce: R,
+    ) -> Result<JobResult<O>, JobError>
+    where
+        I: Sync,
+        K: Hash + Eq + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        self.run_with_group_overhead(name, self.cfg.cost.reduce_group_overhead_secs, input, map, reduce)
+    }
+
+    /// [`Cluster::run`] with an explicit per-reduce-group worker overhead —
+    /// used by verification jobs, whose work units are the workers the
+    /// paper's dedup-strategy analysis counts (Sec. III-G3 / Fig. 1).
+    pub fn run_with_group_overhead<I, K, V, O, M, R>(
+        &self,
+        name: &str,
+        group_overhead_secs: f64,
+        input: &[I],
+        map: M,
+        reduce: R,
+    ) -> Result<JobResult<O>, JobError>
+    where
+        I: Sync,
+        K: Hash + Eq + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let wall_start = Instant::now();
+        let machines = self.cfg.machines;
+        let threads = self.threads();
+        let mut cost = self.cfg.cost;
+        cost.reduce_group_overhead_secs = group_overhead_secs;
+
+        // ---- Map phase ------------------------------------------------
+        // One map task per simulated machine (a single mapper wave), unless
+        // the input is smaller than the machine count.
+        let num_tasks = machines.min(input.len()).max(1);
+        let chunk = input.len().div_ceil(num_tasks).max(1);
+
+        struct MapTaskOut<K, V> {
+            cpu_secs: f64,
+            /// Work units: input records + emitted pairs. The simulated
+            /// load is rate-capped per work unit so that OS scheduling
+            /// noise in the µs-scale measurements cannot masquerade as
+            /// data skew (see `rate_capped_loads`).
+            work: u64,
+            pairs: Vec<(u64, K, V)>,
+            counters: HashMap<&'static str, u64>,
+        }
+
+        let map_tasks: Vec<MapTaskOut<K, V>> =
+            run_indexed(num_tasks, threads, |task| {
+                let lo = (task * chunk).min(input.len());
+                let hi = ((task + 1) * chunk).min(input.len());
+                let start = Instant::now();
+                let mut emitter = Emitter::new();
+                for record in &input[lo..hi] {
+                    map(record, &mut emitter);
+                }
+                let cpu_secs = start.elapsed().as_secs_f64();
+                let work = (hi - lo) as u64 + emitter.pairs.len() as u64 + emitter.work_units;
+                let pairs = emitter
+                    .pairs
+                    .into_iter()
+                    .map(|(k, v)| (fingerprint64(&k), k, v))
+                    .collect();
+                MapTaskOut { cpu_secs, work, pairs, counters: emitter.counters }
+            })
+            .map_err(|message| JobError::WorkerPanic { phase: "map", message })?;
+
+        let mut counters: HashMap<&'static str, u64> = HashMap::new();
+        let mut map_output_records = 0u64;
+        for out in &map_tasks {
+            map_output_records += out.pairs.len() as u64;
+            for (k, v) in &out.counters {
+                *counters.entry(k).or_insert(0) += v;
+            }
+        }
+        let map_loads = proportional_loads(
+            map_tasks.iter().map(|t| (t.cpu_secs, t.work)),
+            &cost,
+        );
+        let map_sim = phase_sim(&map_loads, machines.min(num_tasks));
+
+        // ---- Shuffle ---------------------------------------------------
+        // Route every pair to partition `hash % machines`. Only non-empty
+        // partitions materialize.
+        let mut partitions: HashMap<usize, Vec<(u64, K, V)>, FxBuildHasher> =
+            HashMap::default();
+        for task in map_tasks {
+            for (h, k, v) in task.pairs {
+                partitions
+                    .entry((h % machines as u64) as usize)
+                    .or_default()
+                    .push((h, k, v));
+            }
+        }
+        let shuffle_secs =
+            cost.shuffle_secs_per_record * map_output_records as f64 / machines as f64;
+
+        // ---- Reduce phase ----------------------------------------------
+        struct ReduceTaskOut<O> {
+            machine: usize,
+            /// Measured CPU total for the whole partition (ms-scale, so
+            /// reliable; feeds the job-wide work rate).
+            cpu_secs: f64,
+            /// Work units over the partition: values in + records emitted +
+            /// explicitly declared units.
+            work: u64,
+            groups: u64,
+            max_group: u64,
+            out: Vec<O>,
+            counters: HashMap<&'static str, u64>,
+        }
+
+        // Each reduce task takes exclusive ownership of its partition via a
+        // take-once cell, so values move into the reducer without cloning.
+        type PartitionCell<K, V> = parking_lot::Mutex<Option<Vec<(u64, K, V)>>>;
+        let mut parts: Vec<(usize, PartitionCell<K, V>)> = partitions
+            .into_iter()
+            .map(|(m, pairs)| (m, parking_lot::Mutex::new(Some(pairs))))
+            .collect();
+        parts.sort_unstable_by_key(|(m, _)| *m); // deterministic task order
+        let reduce_tasks: Vec<ReduceTaskOut<O>> =
+            run_indexed(parts.len(), threads, |idx| {
+                let (machine, cell) = &parts[idx];
+                let pairs = cell.lock().take().expect("each partition reduced once");
+                // Group by key; remember each key's first occurrence so the
+                // group order within a partition is deterministic.
+                let mut groups: HashMap<K, (usize, Vec<V>), FxBuildHasher> =
+                    HashMap::default();
+                for (pos, (_h, k, v)) in pairs.into_iter().enumerate() {
+                    groups.entry(k).or_insert_with(|| (pos, Vec::new())).1.push(v);
+                }
+                let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
+                ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
+
+                let mut sink = OutputSink::new();
+                let mut max_group = 0u64;
+                let n_groups = ordered.len() as u64;
+                let mut work = 0u64;
+                let start = Instant::now();
+                for (key, (_, values)) in ordered {
+                    let n_values = values.len() as u64;
+                    max_group = max_group.max(n_values);
+                    work += n_values;
+                    reduce(&key, values, &mut sink);
+                }
+                let cpu_secs = start.elapsed().as_secs_f64();
+                work += sink.out.len() as u64 + sink.work_units;
+                ReduceTaskOut {
+                    machine: *machine,
+                    cpu_secs,
+                    work,
+                    groups: n_groups,
+                    max_group,
+                    out: sink.out,
+                    counters: sink.counters,
+                }
+            })
+            .map_err(|message| JobError::WorkerPanic { phase: "reduce", message })?;
+
+        // Deterministic per-partition loads: each partition is charged its
+        // declared work at the job-wide measured rate, plus the per-group
+        // worker-instantiation overheads.
+        let base_loads = proportional_loads(
+            reduce_tasks.iter().map(|t| (t.cpu_secs, t.work)),
+            &cost,
+        );
+        let mut reduce_loads = Vec::with_capacity(reduce_tasks.len());
+        let mut output = Vec::new();
+        let mut reduce_groups = 0u64;
+        let mut max_group_size = 0u64;
+        for (t, base) in reduce_tasks.into_iter().zip(base_loads) {
+            debug_assert!(t.machine < machines);
+            reduce_loads.push(base + t.groups as f64 * cost.reduce_group_overhead_secs);
+            reduce_groups += t.groups;
+            max_group_size = max_group_size.max(t.max_group);
+            output.extend(t.out);
+            for (k, v) in t.counters {
+                *counters.entry(k).or_insert(0) += v;
+            }
+        }
+        let reduce_sim = phase_sim(&reduce_loads, machines);
+
+        let sim_total_secs = cost.job_startup_secs
+            + cost.map_worker_startup_secs
+            + map_sim.makespan_secs
+            + shuffle_secs
+            + reduce_sim.makespan_secs;
+
+        let stats = JobStats {
+            name: name.to_owned(),
+            machines,
+            input_records: input.len() as u64,
+            map_output_records,
+            reduce_groups,
+            max_group_size,
+            output_records: output.len() as u64,
+            map: map_sim,
+            shuffle_secs,
+            reduce: reduce_sim,
+            sim_total_secs,
+            wall_secs: wall_start.elapsed().as_secs_f64(),
+            counters,
+        };
+        Ok(JobResult { output, stats })
+    }
+}
+
+/// Converts measured `(cpu_secs, work_units)` samples into simulated
+/// loads: every sample is charged its work units at the *job-wide* rate
+/// `Σ cpu / Σ work`, scaled by `cpu_scale`.
+///
+/// Rationale: tasks and reduce partitions are often microseconds long, and
+/// a single OS preemption inflates one measurement by orders of magnitude;
+/// multiplied by `cpu_scale` that would masquerade as a straggler machine.
+/// Charging declared work at one aggregate measured rate makes the
+/// simulated load distribution *deterministic* given the data (only the
+/// global rate is measured, over a large sample), while genuine skew is
+/// preserved because hot tasks/partitions declare proportionally more work
+/// (records in + records out + explicit [`add_work`] units).
+///
+/// [`add_work`]: crate::job::OutputSink::add_work
+fn proportional_loads(
+    samples: impl Iterator<Item = (f64, u64)>,
+    cost: &CostModel,
+) -> Vec<f64> {
+    let samples: Vec<(f64, u64)> = samples.collect();
+    let total_work: u64 = samples.iter().map(|(_, w)| w).sum();
+    if total_work == 0 {
+        return vec![0.0; samples.len()];
+    }
+    let rate = if cost.work_unit_secs > 0.0 {
+        cost.work_unit_secs
+    } else {
+        let total_cpu: f64 = samples.iter().map(|(c, _)| c).sum();
+        total_cpu / total_work as f64
+    };
+    samples
+        .iter()
+        .map(|&(_, w)| w as f64 * rate * cost.cpu_scale)
+        .collect()
+}
+
+/// Computes makespan/total/skew for a phase from per-unit loads, where each
+/// load is already assigned to a distinct simulated machine.
+fn phase_sim(loads: &[f64], machines: usize) -> PhaseSim {
+    if loads.is_empty() {
+        return PhaseSim::default();
+    }
+    let makespan = loads.iter().copied().fold(0.0, f64::max);
+    let total: f64 = loads.iter().sum();
+    let mean = total / machines.max(1) as f64;
+    let skew = if mean > 0.0 { makespan / mean } else { 1.0 };
+    PhaseSim { makespan_secs: makespan, total_cpu_secs: total, skew }
+}

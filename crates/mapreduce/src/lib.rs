@@ -1,0 +1,39 @@
+//! An in-process MapReduce runtime with a simulated shared-nothing cluster.
+//!
+//! The paper's TSJ framework (Sec. III) is "parallelized using MapReduce"
+//! and its evaluation (Sec. V) reports runtimes as a function of the number
+//! of machines (100–1000). This crate substitutes Google's production
+//! MapReduce with:
+//!
+//! * **Real execution** — `map`, shuffle, and `reduce` run on a local thread
+//!   pool (all cores), so joins over hundreds of thousands of strings finish
+//!   in seconds, and
+//! * **A simulated cluster clock** — every map task and every reduce group
+//!   is individually timed, charged to one of `machines` *simulated*
+//!   machines (map tasks round-robin, reduce groups by key hash — exactly
+//!   how a real shuffler routes keys to reducers), and the job's simulated
+//!   runtime is the *makespan*: startup overheads plus the busiest machine's
+//!   load per phase. Load imbalance from skewed keys therefore shows up in
+//!   the simulated runtime exactly as it does in the paper's Figures 1–3
+//!   and 7.
+//!
+//! The semantics follow Sec. III-A:
+//!
+//! ```text
+//! map:    ⟨key1, value1⟩        → [⟨key2, value2⟩]
+//! reduce: ⟨key2, [value2]⟩      → [value3]
+//! ```
+//!
+//! See [`Cluster::run`] for the entry point, [`JobStats`] for what gets
+//! measured, and [`SimReport`] for aggregating a multi-job pipeline.
+
+pub mod cluster;
+pub mod hash;
+pub mod job;
+pub mod pool;
+pub mod report;
+
+pub use cluster::{Cluster, ClusterConfig, CostModel};
+pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
+pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
+pub use report::SimReport;

@@ -1,0 +1,158 @@
+//! A minimal scoped thread pool for executing indexed task sets.
+//!
+//! The runtime's map tasks and reduce partitions are both "N independent
+//! tasks, run them on all cores" workloads; this module provides exactly
+//! that with work stealing via an atomic cursor, panic capture (so a
+//! panicking worker surfaces as a job error instead of poisoning the
+//! process), and deterministic result placement by task index.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `f(0..n_tasks)` on up to `threads` worker threads and returns the
+/// results in task order.
+///
+/// If any task panics, the panic message of the first observed panic is
+/// returned as `Err` after all in-flight tasks finish; remaining queued
+/// tasks are abandoned.
+pub fn run_indexed<R, F>(n_tasks: usize, threads: usize, f: F) -> Result<Vec<R>, String>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n_tasks == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1).min(n_tasks);
+    if threads == 1 {
+        // Fast path, also keeps single-threaded debugging simple.
+        let mut out = Vec::with_capacity(n_tasks);
+        for i in 0..n_tasks {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => out.push(r),
+                Err(p) => return Err(panic_message(p)),
+            }
+        }
+        return Ok(out);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if failure.lock().is_some() {
+                    return; // abandon queued work after a failure
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(r) => *slots[i].lock() = Some(r),
+                    Err(p) => {
+                        let mut guard = failure.lock();
+                        if guard.is_none() {
+                            *guard = Some(panic_message(p));
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("pool worker threads never panic outside caught tasks");
+
+    if let Some(msg) = failure.into_inner() {
+        return Err(msg);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all tasks completed"))
+        .collect())
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_task_order() {
+        let out = run_indexed(100, 8, |i| i * i).unwrap();
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = run_indexed(10, 1, |i| i + 1).unwrap();
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let out = run_indexed(3, 64, |i| i).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn panic_is_captured_as_error() {
+        let res: Result<Vec<()>, String> = run_indexed(16, 4, |i| {
+            if i == 7 {
+                panic!("task 7 exploded");
+            }
+        });
+        assert_eq!(res.unwrap_err(), "task 7 exploded");
+    }
+
+    #[test]
+    fn panic_with_string_payload() {
+        let res: Result<Vec<()>, String> =
+            run_indexed(4, 2, |i| panic!("boom {i}"));
+        assert!(res.unwrap_err().starts_with("boom"));
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // All tasks must be observed in flight before any completes when
+        // threads ≥ tasks — proves tasks are not serialized.
+        use std::sync::atomic::AtomicUsize;
+        static STARTED: AtomicUsize = AtomicUsize::new(0);
+        let n = 4;
+        let out = run_indexed(n, n, |i| {
+            STARTED.fetch_add(1, Ordering::SeqCst);
+            // Wait (bounded) for all peers to start.
+            for _ in 0..10_000 {
+                if STARTED.load(Ordering::SeqCst) >= n {
+                    return i;
+                }
+                std::thread::yield_now();
+            }
+            i
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Pipeline-level aggregation of job statistics.
+
+use crate::job::JobStats;
+
+/// A report over a multi-job pipeline (TSJ runs 3–6 MapReduce jobs per
+/// join; the paper's reported runtime is the whole pipeline's).
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    jobs: Vec<JobStats>,
+}
+
+impl SimReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one executed job's stats.
+    pub fn push(&mut self, stats: JobStats) {
+        self.jobs.push(stats);
+    }
+
+    /// All recorded jobs, in execution order.
+    pub fn jobs(&self) -> &[JobStats] {
+        &self.jobs
+    }
+
+    /// End-to-end simulated pipeline time (jobs run sequentially, as the
+    /// stages of TSJ depend on each other).
+    pub fn total_sim_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.sim_total_secs).sum()
+    }
+
+    /// Total real wall-clock spent executing locally.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.wall_secs).sum()
+    }
+
+    /// Sum of a counter across all jobs.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.jobs.iter().map(|j| j.counter(name)).sum()
+    }
+
+    /// Merges another report's jobs (pipelines composed of sub-pipelines).
+    pub fn extend(&mut self, other: SimReport) {
+        self.jobs.extend(other.jobs);
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "job", "input", "shuffled", "groups", "output", "sim(s)", "skew"
+        )?;
+        for j in &self.jobs {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
+                j.name,
+                j.input_records,
+                j.map_output_records,
+                j.reduce_groups,
+                j.output_records,
+                j.sim_total_secs,
+                j.reduce.skew,
+            )?;
+        }
+        write!(
+            f,
+            "{:<28} {:>10} {:>12} {:>10} {:>10} {:>10.2}",
+            "TOTAL",
+            "",
+            "",
+            "",
+            "",
+            self.total_sim_secs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, sim: f64, wall: f64) -> JobStats {
+        JobStats {
+            name: name.into(),
+            sim_total_secs: sim,
+            wall_secs: wall,
+            ..JobStats::default()
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut r = SimReport::new();
+        r.push(stats("a", 10.0, 0.1));
+        r.push(stats("b", 5.5, 0.2));
+        assert_eq!(r.jobs().len(), 2);
+        assert!((r.total_sim_secs() - 15.5).abs() < 1e-12);
+        assert!((r.total_wall_secs() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_sum_across_jobs() {
+        let mut a = stats("a", 1.0, 0.0);
+        a.counters.insert("pairs", 3);
+        let mut b = stats("b", 1.0, 0.0);
+        b.counters.insert("pairs", 4);
+        let mut r = SimReport::new();
+        r.push(a);
+        r.push(b);
+        assert_eq!(r.counter("pairs"), 7);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let mut r = SimReport::new();
+        r.push(stats("tsj.shared_token", 12.0, 0.5));
+        let rendered = format!("{r}");
+        assert!(rendered.contains("tsj.shared_token"));
+        assert!(rendered.contains("TOTAL"));
+    }
+
+    #[test]
+    fn extend_merges_pipelines() {
+        let mut a = SimReport::new();
+        a.push(stats("x", 1.0, 0.0));
+        let mut b = SimReport::new();
+        b.push(stats("y", 2.0, 0.0));
+        a.extend(b);
+        assert_eq!(a.jobs().len(), 2);
+        assert!((a.total_sim_secs() - 3.0).abs() < 1e-12);
+    }
+}

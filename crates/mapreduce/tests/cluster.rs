@@ -1,0 +1,316 @@
+//! End-to-end tests of the MapReduce runtime: correctness of the
+//! map/shuffle/reduce semantics, the simulated clock's qualitative
+//! behaviour (scaling, skew), and failure injection.
+
+use tsj_mapreduce::{Cluster, ClusterConfig, CostModel, Emitter, JobError, OutputSink};
+
+fn test_cluster(machines: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines,
+        threads: 4,
+        cost: CostModel {
+            job_startup_secs: 0.0,
+            map_worker_startup_secs: 0.0,
+            reduce_group_overhead_secs: 0.0,
+            verify_group_overhead_secs: 0.0,
+            shuffle_secs_per_record: 0.0,
+            cpu_scale: 1.0,
+            work_unit_secs: 0.0, // measured rates: these tests time real work
+        },
+    })
+}
+
+#[test]
+fn word_count() {
+    let docs = vec![
+        "the quick brown fox".to_owned(),
+        "the lazy dog".to_owned(),
+        "the quick dog".to_owned(),
+    ];
+    let result = test_cluster(8)
+        .run(
+            "wordcount",
+            &docs,
+            |doc: &String, e: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_owned(), 1);
+                }
+            },
+            |word: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+                out.emit((word.clone(), counts.iter().sum()));
+            },
+        )
+        .unwrap();
+
+    let mut counts = result.output;
+    counts.sort();
+    assert_eq!(
+        counts,
+        vec![
+            ("brown".into(), 1),
+            ("dog".into(), 2),
+            ("fox".into(), 1),
+            ("lazy".into(), 1),
+            ("quick".into(), 2),
+            ("the".into(), 3),
+        ]
+    );
+    assert_eq!(result.stats.input_records, 3);
+    assert_eq!(result.stats.map_output_records, 10);
+    assert_eq!(result.stats.reduce_groups, 6);
+    assert_eq!(result.stats.max_group_size, 3); // "the"
+    assert_eq!(result.stats.output_records, 6);
+}
+
+#[test]
+fn empty_input_runs_cleanly() {
+    let input: Vec<u32> = vec![];
+    let r = test_cluster(4)
+        .run(
+            "empty",
+            &input,
+            |_: &u32, _: &mut Emitter<u32, u32>| {},
+            |_: &u32, _: Vec<u32>, _: &mut OutputSink<u32>| {},
+        )
+        .unwrap();
+    assert!(r.output.is_empty());
+    assert_eq!(r.stats.reduce_groups, 0);
+}
+
+#[test]
+fn values_reach_reducer_grouped_by_key() {
+    let input: Vec<u64> = (0..1000).collect();
+    let r = test_cluster(16)
+        .run(
+            "group",
+            &input,
+            |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 7, *n),
+            |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, usize, u64)>| {
+                out.emit((*k, vs.len(), vs.iter().sum()));
+            },
+        )
+        .unwrap();
+    assert_eq!(r.output.len(), 7);
+    let mut out = r.output;
+    out.sort();
+    for (k, n, sum) in out {
+        let expect: Vec<u64> = (0..1000).filter(|v| v % 7 == k).collect();
+        assert_eq!(n, expect.len());
+        assert_eq!(sum, expect.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn counters_aggregate_across_phases() {
+    let input: Vec<u32> = (0..100).collect();
+    let r = test_cluster(4)
+        .run(
+            "counters",
+            &input,
+            |n: &u32, e: &mut Emitter<u32, u32>| {
+                e.add_counter("mapped", 1);
+                if n.is_multiple_of(2) {
+                    e.emit(*n, *n);
+                }
+            },
+            |_: &u32, vs: Vec<u32>, out: &mut OutputSink<u32>| {
+                out.add_counter("reduced_values", vs.len() as u64);
+                out.emit(vs[0]);
+            },
+        )
+        .unwrap();
+    assert_eq!(r.stats.counter("mapped"), 100);
+    assert_eq!(r.stats.counter("reduced_values"), 50);
+}
+
+#[test]
+fn map_panic_surfaces_as_job_error() {
+    let input: Vec<u32> = (0..64).collect();
+    let err = test_cluster(4)
+        .run(
+            "bad-map",
+            &input,
+            |n: &u32, _: &mut Emitter<u32, u32>| {
+                if *n == 33 {
+                    panic!("poison record {n}");
+                }
+            },
+            |_: &u32, _: Vec<u32>, _: &mut OutputSink<u32>| {},
+        )
+        .unwrap_err();
+    match err {
+        JobError::WorkerPanic { phase, message } => {
+            assert_eq!(phase, "map");
+            assert!(message.contains("poison record"));
+        }
+    }
+}
+
+#[test]
+fn reduce_panic_surfaces_as_job_error() {
+    let input: Vec<u32> = (0..64).collect();
+    let err = test_cluster(4)
+        .run(
+            "bad-reduce",
+            &input,
+            |n: &u32, e: &mut Emitter<u32, u32>| e.emit(*n, *n),
+            |k: &u32, _: Vec<u32>, _: &mut OutputSink<u32>| {
+                if *k == 7 {
+                    panic!("bad group");
+                }
+            },
+        )
+        .unwrap_err();
+    match err {
+        JobError::WorkerPanic { phase, .. } => assert_eq!(phase, "reduce"),
+    }
+}
+
+#[test]
+fn simulated_time_scales_down_with_machines() {
+    // A CPU-bound job: simulated makespan should shrink as machines grow
+    // (sub-linearly, because of per-job fixed costs — the Fig. 1 shape).
+    let input: Vec<u64> = (0..4000).collect();
+    let run = |machines: usize| {
+        let cluster = Cluster::new(ClusterConfig {
+            machines,
+            threads: 4,
+            cost: CostModel {
+                job_startup_secs: 1.0,
+                map_worker_startup_secs: 0.0,
+                reduce_group_overhead_secs: 1e-5,
+                verify_group_overhead_secs: 1e-5,
+                shuffle_secs_per_record: 1e-6,
+                cpu_scale: 1.0,
+                work_unit_secs: 0.0,
+            },
+        });
+        cluster
+            .run(
+                "scale",
+                &input,
+                |n: &u64, e: &mut Emitter<u64, u64>| {
+                    // Busy work so the measured CPU time is non-trivial.
+                    let mut acc = *n;
+                    for i in 0..2_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    e.emit(n % 512, acc);
+                },
+                |_: &u64, vs: Vec<u64>, out: &mut OutputSink<u64>| {
+                    out.emit(vs.iter().copied().fold(0, u64::wrapping_add));
+                },
+            )
+            .unwrap()
+            .stats
+    };
+    let s100 = run(100);
+    let s1000 = run(1000);
+    assert!(
+        s1000.sim_total_secs < s100.sim_total_secs,
+        "1000 machines ({:.4}s) should beat 100 machines ({:.4}s)",
+        s1000.sim_total_secs,
+        s100.sim_total_secs
+    );
+    // Speedup is sub-linear: fixed startup dominates eventually.
+    let speedup = s100.sim_total_secs / s1000.sim_total_secs;
+    assert!(speedup < 10.0, "speedup {speedup} cannot exceed the machine ratio");
+}
+
+#[test]
+fn hot_key_shows_up_as_reduce_skew() {
+    let input: Vec<u64> = (0..2000).collect();
+    let run_with_keys = |hot: bool| {
+        test_cluster(64)
+            .run(
+                "skew",
+                &input,
+                move |n: &u64, e: &mut Emitter<u64, u64>| {
+                    // hot: 50% of records share one key; uniform otherwise.
+                    let key = if hot && n.is_multiple_of(2) { 0 } else { n % 256 };
+                    e.emit(key, *n);
+                },
+                |_: &u64, vs: Vec<u64>, out: &mut OutputSink<u64>| {
+                    // Work proportional to group size (like verification).
+                    let mut acc = 0u64;
+                    for v in &vs {
+                        for i in 0..200u64 {
+                            acc = acc.wrapping_mul(31).wrapping_add(v + i);
+                        }
+                    }
+                    out.emit(acc);
+                },
+            )
+            .unwrap()
+            .stats
+    };
+    let uniform = run_with_keys(false);
+    let skewed = run_with_keys(true);
+    assert!(
+        skewed.reduce.skew > uniform.reduce.skew,
+        "hot key must raise skew: {} vs {}",
+        skewed.reduce.skew,
+        uniform.reduce.skew
+    );
+    assert!(skewed.max_group_size >= 1000);
+}
+
+#[test]
+fn group_overhead_charges_per_group() {
+    // Same data, two cost models: per-group overhead must raise simulated
+    // time by (groups / machines)·overhead on the busiest machine.
+    let input: Vec<u64> = (0..512).collect();
+    let run = |overhead: f64| {
+        Cluster::new(ClusterConfig {
+            machines: 1, // all groups on one machine → clean arithmetic
+            threads: 2,
+            cost: CostModel {
+                job_startup_secs: 0.0,
+                map_worker_startup_secs: 0.0,
+                reduce_group_overhead_secs: overhead,
+                verify_group_overhead_secs: overhead,
+                shuffle_secs_per_record: 0.0,
+                cpu_scale: 1.0,
+                work_unit_secs: 0.0,
+            },
+        })
+        .run(
+            "overhead",
+            &input,
+            |n: &u64, e: &mut Emitter<u64, ()>| e.emit(*n, ()),
+            |_: &u64, _: Vec<()>, out: &mut OutputSink<()>| out.emit(()),
+        )
+        .unwrap()
+        .stats
+    };
+    let cheap = run(0.0);
+    let costly = run(0.01);
+    let delta = costly.sim_total_secs - cheap.sim_total_secs;
+    // 512 groups × 0.01s = 5.12 simulated seconds (CPU noise is ≪ 1s).
+    assert!(
+        (delta - 5.12).abs() < 0.5,
+        "expected ≈5.12s of group overhead, got {delta}"
+    );
+}
+
+#[test]
+fn deterministic_output_multiset_across_runs() {
+    let input: Vec<u64> = (0..3000).collect();
+    let run = || {
+        let mut out = test_cluster(32)
+            .run(
+                "det",
+                &input,
+                |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 97, n * 3),
+                |k: &u64, mut vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                    vs.sort_unstable();
+                    out.emit((*k, vs.iter().fold(0, |a, b| a ^ b)));
+                },
+            )
+            .unwrap()
+            .output;
+        out.sort_unstable();
+        out
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,100 @@
+//! HMJ must produce exactly the same result set as TSJ's
+//! fuzzy-token-matching (both are exact NSLD joins) — they differ only in
+//! *how much work* it takes, which is the subject of Fig. 7.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsj::{brute_force_self_join, pair_set};
+use tsj_datagen::{generate_names, plant_rings, NameGenConfig, RingConfig};
+use tsj_mapreduce::Cluster;
+use tsj_metricjoin::{HmjConfig, HmjJoiner};
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+#[test]
+fn hmj_equals_brute_force_on_workload() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut strings = generate_names(150, &mut rng, &NameGenConfig::default());
+    plant_rings(&mut strings, 10, &mut rng, &RingConfig::default());
+    let corpus = Corpus::build(&strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(16);
+
+    for t in [0.1, 0.2] {
+        let truth = pair_set(&brute_force_self_join(&corpus, t, 4));
+        let hmj: std::collections::HashSet<(u32, u32)> = HmjJoiner::new(
+            &cluster,
+            HmjConfig { num_centroids: 8, max_partition_size: 16, ..HmjConfig::default() },
+        )
+        .self_join(&corpus, t)
+        .unwrap()
+        .pairs
+        .iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+        assert_eq!(hmj, truth, "t = {t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hmj_equals_brute_force_random(
+        seed in 0u64..5_000,
+        t in 0.05f64..0.3,
+        centroids in 1usize..12,
+        max_part in 2usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut strings = generate_names(35, &mut rng, &NameGenConfig::default());
+        plant_rings(&mut strings, 3, &mut rng, &RingConfig::default());
+        let corpus = Corpus::build(&strings, &NameTokenizer::default());
+        let cluster = Cluster::with_machines(8);
+        let truth = pair_set(&brute_force_self_join(&corpus, t, 4));
+        let hmj: std::collections::HashSet<(u32, u32)> = HmjJoiner::new(
+            &cluster,
+            HmjConfig {
+                num_centroids: centroids,
+                max_partition_size: max_part,
+                max_depth: 3,
+                seed,
+                max_distance_computations: None,
+            },
+        )
+        .self_join(&corpus, t)
+        .unwrap()
+        .pairs
+        .iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+        prop_assert_eq!(hmj, truth);
+    }
+}
+
+#[test]
+fn budget_exhaustion_reports_dnf() {
+    let mut rng = StdRng::seed_from_u64(72);
+    let strings = generate_names(200, &mut rng, &NameGenConfig::default());
+    let corpus = Corpus::build(&strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(8);
+    let out = HmjJoiner::new(
+        &cluster,
+        HmjConfig {
+            num_centroids: 16,
+            max_distance_computations: Some(100), // far below 200 × 16
+            ..HmjConfig::default()
+        },
+    )
+    .self_join(&corpus, 0.1)
+    .unwrap();
+    assert!(out.dnf, "a 100-distance budget cannot cover this join");
+    assert!(out.pairs.is_empty(), "DNF joins must not leak partial results");
+    // And with no budget, the same join finishes.
+    let ok = HmjJoiner::new(
+        &cluster,
+        HmjConfig { num_centroids: 16, ..HmjConfig::default() },
+    )
+    .self_join(&corpus, 0.1)
+    .unwrap();
+    assert!(!ok.dnf);
+}

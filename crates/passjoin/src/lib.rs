@@ -1,0 +1,55 @@
+//! PassJoin / MassJoin: scalable string-similarity self-joins under `LD`
+//! and `NLD` thresholds (Sec. III-D of the paper).
+//!
+//! TSJ reduces the NSLD-join of tokenized strings to an NLD-join of their
+//! *token spaces* (Theorem 3), and performs that join with MassJoin [19], a
+//! MapReduce-distributed version of Pass-Join [36]. The building blocks:
+//!
+//! * [`segments`] — the even-partition segmenting scheme (Lemma 7: any
+//!   `U + 1` segments of `y` guarantee a shared substring with any `x`
+//!   within `LD ≤ U`) and the multi-match-aware substring windows that keep
+//!   the probe side's candidate substrings to `O(U)` per segment.
+//! * [`serial`] — single-threaded PassJoin self-joins under an `LD`
+//!   threshold ([`ld_self_join_serial`]) and an `NLD` threshold
+//!   ([`nld_self_join_serial`]), used as reference implementations and by
+//!   small workloads.
+//! * [`massjoin`] — [`MassJoin`]: the same join staged as two MapReduce
+//!   jobs (chunk-grouping candidate generation, then dedup + banded
+//!   verification), executed on a [`tsj_mapreduce::Cluster`].
+//!
+//! **Threshold domain.** The NLD joins guarantee completeness for
+//! `t < 2/3`: beyond that, Lemma 8's cap `U` reaches the token length and
+//! the even-partition scheme degenerates. The paper sweeps `T ∈ [0.025,
+//! 0.225]`, far inside the guaranteed region; the joins debug-assert this.
+
+pub mod massjoin;
+pub mod segments;
+pub mod serial;
+
+pub use massjoin::MassJoin;
+pub use segments::{even_partitions, substring_window};
+pub use serial::{ld_self_join_serial, nld_self_join_serial};
+
+/// A verified NLD-similar token pair produced by the joins.
+///
+/// Ids are the indices of the tokens in the join's input slice; `a < b`
+/// always. `ld` is carried alongside `nld` because the TSJ histogram filter
+/// (Sec. III-E2) charges matched token pairs their exact edit cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarTokenPair {
+    /// Smaller token index.
+    pub a: u32,
+    /// Larger token index.
+    pub b: u32,
+    /// Exact Levenshtein distance between the tokens.
+    pub ld: u32,
+    /// Normalized Levenshtein distance (≤ the join threshold).
+    pub nld: f64,
+}
+
+impl SimilarTokenPair {
+    pub(crate) fn new(i: u32, j: u32, ld: u32, nld: f64) -> Self {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        Self { a, b, ld, nld }
+    }
+}

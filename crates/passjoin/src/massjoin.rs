@@ -1,0 +1,220 @@
+//! MassJoin: the Pass-Join NLD self-join staged as MapReduce jobs
+//! (Deng et al. [19], adapted to NLD per Sec. III-D).
+//!
+//! Two jobs:
+//!
+//! 1. **`massjoin.candidates`** — every token plays both roles: as the
+//!    *indexed* (longer) side it emits its Lemma-7 segments keyed by the
+//!    chunk `(length, segment index, content)`; as the *probe* (shorter)
+//!    side it emits the multi-match-aware substrings of every valid indexed
+//!    length (Lemmas 8–9). Reducers cross segment-bearers with
+//!    substring-bearers under the length condition and emit candidate id
+//!    pairs. Chunk keys are 64-bit fingerprints ("whenever possible, uses
+//!    unique ids of chunks and tokens"); fingerprint collisions only ever
+//!    *add* spurious candidates, which verification removes.
+//! 2. **`massjoin.verify`** — groups by candidate pair (deduplicating the
+//!    multi-chunk hits) and runs the banded NLD verifier exactly once per
+//!    distinct pair.
+
+use std::sync::Arc;
+
+use tsj_mapreduce::{fingerprint64, Cluster, Emitter, JobError, OutputSink, SimReport};
+use tsj_strdist::{max_ld_given_nld, min_len_given_nld};
+
+use crate::segments::{even_partitions, substring_window};
+use crate::serial::{fp_chars, to_chars, verify_nld, MAX_COMPLETE_T};
+use crate::SimilarTokenPair;
+
+/// Which role a token plays in a candidate chunk group.
+#[derive(Debug, Clone, Copy)]
+enum ChunkRole {
+    /// The token contributed this chunk as one of its segments (indexed).
+    Seg(u32),
+    /// The token contributed this chunk as a probe substring.
+    Sub(u32),
+}
+
+/// A MassJoin executor bound to a cluster and an `NLD` threshold.
+#[derive(Debug, Clone)]
+pub struct MassJoin<'c> {
+    cluster: &'c Cluster,
+    t: f64,
+}
+
+impl<'c> MassJoin<'c> {
+    /// Creates a joiner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside `[0, 2/3)` (see crate docs).
+    pub fn new(cluster: &'c Cluster, t: f64) -> Self {
+        assert!(
+            (0.0..MAX_COMPLETE_T).contains(&t),
+            "NLD threshold {t} outside the completeness domain [0, 2/3)"
+        );
+        Self { cluster, t }
+    }
+
+    /// NLD self-join over `tokens`; ids in the result are indices into
+    /// `tokens`. Returns the verified pairs plus the per-job simulation
+    /// report.
+    pub fn nld_self_join(
+        &self,
+        tokens: &[impl AsRef<str>],
+    ) -> Result<(Vec<SimilarTokenPair>, SimReport), JobError> {
+        let t = self.t;
+        let chars: Arc<Vec<Vec<char>>> =
+            Arc::new(tokens.iter().map(|tk| to_chars(tk.as_ref())).collect());
+        let max_len = chars.iter().map(Vec::len).max().unwrap_or(0);
+        let ids: Vec<u32> = (0..chars.len() as u32).collect();
+        let mut report = SimReport::new();
+
+        // ---- Job 1: candidate generation -------------------------------
+        let chars_map = Arc::clone(&chars);
+        let chars_red = Arc::clone(&chars);
+        let candidates = self.cluster.run(
+            "massjoin.candidates",
+            &ids,
+            move |&id, e: &mut Emitter<u64, ChunkRole>| {
+                let x = &chars_map[id as usize];
+                let lx = x.len();
+                if lx == 0 {
+                    return;
+                }
+                // Indexed role: own segments.
+                let u_own = max_ld_given_nld(lx, lx, t);
+                for (i, (start, seg_len)) in
+                    even_partitions(lx, u_own + 1).into_iter().enumerate()
+                {
+                    let key = chunk_key(lx, i, fp_chars(&x[start..start + seg_len]));
+                    e.emit(key, ChunkRole::Seg(id));
+                    e.add_counter("segments_emitted", 1);
+                }
+                // Probe role: substrings against every valid indexed length.
+                let lmax = ((lx as f64 / (1.0 - t)).floor() as usize).min(max_len);
+                for l in lx..=lmax {
+                    if min_len_given_nld(l, t) > lx {
+                        continue;
+                    }
+                    let u = max_ld_given_nld(l, l, t);
+                    for (i, (start, seg_len)) in
+                        even_partitions(l, u + 1).into_iter().enumerate()
+                    {
+                        let Some((lo, hi)) =
+                            substring_window(lx, l, i, start, seg_len, u)
+                        else {
+                            continue;
+                        };
+                        for p in lo..=hi {
+                            let key = chunk_key(l, i, fp_chars(&x[p..p + seg_len]));
+                            e.emit(key, ChunkRole::Sub(id));
+                            e.add_counter("substrings_emitted", 1);
+                        }
+                    }
+                }
+            },
+            move |_chunk, roles: Vec<ChunkRole>, out: &mut OutputSink<(u32, u32)>| {
+                let mut segs: Vec<u32> = Vec::new();
+                let mut subs: Vec<u32> = Vec::new();
+                for r in roles {
+                    match r {
+                        ChunkRole::Seg(id) => segs.push(id),
+                        ChunkRole::Sub(id) => subs.push(id),
+                    }
+                }
+                for &y in &segs {
+                    let ly = chars_red[y as usize].len();
+                    for &x in &subs {
+                        let lx = chars_red[x as usize].len();
+                        // Length condition (Lemmas 8–9): probe is shorter.
+                        if lx > ly || min_len_given_nld(ly, t) > lx {
+                            continue;
+                        }
+                        // Same length: the larger id probes (one emission
+                        // direction, mirroring the serial join).
+                        if lx == ly && x <= y {
+                            continue;
+                        }
+                        let (a, b) = if x < y { (x, y) } else { (y, x) };
+                        out.emit((a, b));
+                        out.add_counter("candidates_generated", 1);
+                    }
+                }
+            },
+        )?;
+        report.push(candidates.stats);
+
+        // ---- Job 2: dedup + verification --------------------------------
+        let chars_ver = Arc::clone(&chars);
+        let verified = self.cluster.run(
+            "massjoin.verify",
+            &candidates.output,
+            |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+            move |&(a, b), hits: Vec<()>, out: &mut OutputSink<SimilarTokenPair>| {
+                debug_assert!(!hits.is_empty());
+                out.add_counter("candidates_distinct", 1);
+                out.add_work(5); // banded NLD verification per distinct pair
+                if let Some(p) =
+                    verify_nld(a, &chars_ver[a as usize], b, &chars_ver[b as usize], t)
+                {
+                    out.add_counter("pairs_verified", 1);
+                    out.emit(p);
+                }
+            },
+        )?;
+        report.push(verified.stats);
+
+        let mut pairs = verified.output;
+        pairs.sort_unstable_by_key(|p| (p.a, p.b));
+        Ok((pairs, report))
+    }
+}
+
+#[inline]
+fn chunk_key(indexed_len: usize, seg_idx: usize, content_fp: u64) -> u64 {
+    fingerprint64(&(indexed_len as u32, seg_idx as u16, content_fp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::nld_self_join_serial;
+
+    fn cluster() -> Cluster {
+        Cluster::with_machines(16)
+    }
+
+    #[test]
+    fn agrees_with_serial_join() {
+        let tokens = [
+            "barak", "barack", "obama", "obamma", "ubama", "burak", "chan", "chank", "kalan",
+            "alan", "jonathan", "jonathon", "jon", "bob", "bob",
+        ];
+        let c = cluster();
+        for t in [0.05, 0.1, 0.2, 0.3] {
+            let (got, report) = MassJoin::new(&c, t).nld_self_join(&tokens).unwrap();
+            let expect = nld_self_join_serial(&tokens, t);
+            assert_eq!(got, expect, "t = {t}");
+            assert_eq!(report.jobs().len(), 2);
+            // Dedup happened: distinct candidates ≤ generated candidates.
+            assert!(
+                report.counter("candidates_distinct")
+                    <= report.counter("candidates_generated")
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (pairs, _) = MassJoin::new(&cluster(), 0.1)
+            .nld_self_join(&[] as &[&str])
+            .unwrap();
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness domain")]
+    fn rejects_bad_threshold() {
+        let _ = MassJoin::new(&cluster(), 0.8);
+    }
+}

@@ -1,0 +1,166 @@
+//! Even-partition segmenting and multi-match-aware substring selection
+//! (the Pass-Join machinery behind Lemma 7).
+
+/// Splits a string of length `len` into `parts` contiguous segments whose
+/// lengths differ by at most one (the paper's *even-partition scheme*,
+/// Sec. III-D: it "reduces the space of string chunks").
+///
+/// Returns `(start, seg_len)` pairs. Shorter segments come first, matching
+/// Pass-Join's convention (`len % parts` trailing segments are one longer).
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or `parts > len` (an empty segment would be a
+/// substring of everything and defeat the filter).
+pub fn even_partitions(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts >= 1, "at least one segment required");
+    assert!(parts <= len, "cannot split length {len} into {parts} non-empty segments");
+    let base = len / parts;
+    let longer = len % parts; // this many trailing segments have base + 1
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let seg_len = if i < parts - longer { base } else { base + 1 };
+        out.push((start, seg_len));
+        start += seg_len;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// The multi-match-aware substring window of Pass-Join.
+///
+/// For the `i`-th segment (0-based `seg_idx`) of an indexed string `y`
+/// (`|y| = indexed_len`), starting at `seg_start` with length `seg_len`,
+/// and a probe string `x` (`|x| = probe_len`) under `LD(x, y) ≤ u`:
+/// a substring of `x` equal to the segment can only start within
+///
+/// ```text
+/// [p − i, p + i] ∩ [p + Δ − (u − i), p + Δ + (u − i)] ∩ [0, |x| − seg_len]
+/// ```
+///
+/// where `p = seg_start`, `Δ = |x| − |y|`, because at most `i` edits can
+/// precede the segment and at most `u − i` can follow it. Returns the
+/// inclusive start-position range, or `None` when empty.
+pub fn substring_window(
+    probe_len: usize,
+    indexed_len: usize,
+    seg_idx: usize,
+    seg_start: usize,
+    seg_len: usize,
+    u: usize,
+) -> Option<(usize, usize)> {
+    if seg_len == 0 || seg_len > probe_len {
+        return None;
+    }
+    let p = seg_start as isize;
+    let i = seg_idx as isize;
+    let u = u as isize;
+    let delta = probe_len as isize - indexed_len as isize;
+    let lo = 0isize.max(p - i).max(p + delta - (u - i));
+    let hi = (probe_len as isize - seg_len as isize)
+        .min(p + i)
+        .min(p + delta + (u - i));
+    if lo > hi {
+        None
+    } else {
+        Some((lo as usize, hi as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_strdist::levenshtein_within_slices;
+
+    #[test]
+    fn even_partitions_cover_exactly() {
+        for len in 1..=30 {
+            for parts in 1..=len {
+                let segs = even_partitions(len, parts);
+                assert_eq!(segs.len(), parts);
+                let mut pos = 0;
+                for (start, seg_len) in &segs {
+                    assert_eq!(*start, pos);
+                    assert!(*seg_len >= 1);
+                    pos += seg_len;
+                }
+                assert_eq!(pos, len);
+                // Even: lengths differ by at most one, shorter first.
+                let lens: Vec<usize> = segs.iter().map(|(_, l)| *l).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1);
+                assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty segments")]
+    fn rejects_overpartitioning() {
+        let _ = even_partitions(3, 4);
+    }
+
+    #[test]
+    fn window_basic_bounds() {
+        // y = "abcdef" (len 6), 3 segments of len 2; x = "abcdef", u = 2.
+        // Segment 0 at p=0: window [0, 0+0] ∩ [Δ−2, Δ+2] = [0, 0] (Δ=0 → lo ≥ −2).
+        assert_eq!(substring_window(6, 6, 0, 0, 2, 2), Some((0, 0)));
+        // Segment 2 at p=4: [4−2, 4+2] ∩ [4+0−0, 4+0+0] = [4, 4].
+        assert_eq!(substring_window(6, 6, 2, 4, 2, 2), Some((4, 4)));
+    }
+
+    #[test]
+    fn window_empty_when_segment_longer_than_probe() {
+        assert_eq!(substring_window(3, 8, 0, 0, 4, 2), None);
+    }
+
+    /// Lemma 7 end-to-end: for every pair within LD ≤ u, at least one of the
+    /// u+1 segments of one string appears as a substring of the other at a
+    /// position inside the window.
+    #[test]
+    fn lemma7_completeness_exhaustive() {
+        // All strings of length 3..=6 over {a, b}.
+        let mut words: Vec<Vec<u8>> = Vec::new();
+        for len in 3..=6usize {
+            for bits in 0..(1u32 << len) {
+                words.push(
+                    (0..len)
+                        .map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' })
+                        .collect(),
+                );
+            }
+        }
+        let u = 2usize;
+        for y in &words {
+            if y.len() <= u {
+                continue; // wildcard case handled separately by the joins
+            }
+            let segs = even_partitions(y.len(), u + 1);
+            for x in &words {
+                if levenshtein_within_slices(x, y, u).is_none() {
+                    continue;
+                }
+                let mut witnessed = false;
+                'outer: for (idx, (start, seg_len)) in segs.iter().enumerate() {
+                    if let Some((lo, hi)) =
+                        substring_window(x.len(), y.len(), idx, *start, *seg_len, u)
+                    {
+                        for p in lo..=hi {
+                            if x[p..p + seg_len] == y[*start..*start + seg_len] {
+                                witnessed = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    witnessed,
+                    "no segment witness for x={:?} y={:?} (LD ≤ {u})",
+                    std::str::from_utf8(x).unwrap(),
+                    std::str::from_utf8(y).unwrap(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: the joins are *exactly* the brute-force result set —
+//! complete (no false negatives from segmenting/windowing) and correct
+//! (verification removes every spurious candidate, including fingerprint
+//! collisions).
+
+use proptest::prelude::*;
+use tsj_mapreduce::Cluster;
+use tsj_passjoin::{ld_self_join_serial, nld_self_join_serial, MassJoin};
+use tsj_strdist::{levenshtein, nld};
+
+fn token_set() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(proptest::string::string_regex("[abc]{1,10}").unwrap(), 0..24)
+}
+
+fn brute_nld_pairs(tokens: &[String], t: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        for j in i + 1..tokens.len() {
+            if nld(&tokens[i], &tokens[j]) <= t {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn serial_nld_join_equals_brute_force(tokens in token_set(), t in 0.01f64..0.6) {
+        let got: Vec<(u32, u32)> =
+            nld_self_join_serial(&tokens, t).iter().map(|p| (p.a, p.b)).collect();
+        prop_assert_eq!(got, brute_nld_pairs(&tokens, t));
+    }
+
+    #[test]
+    fn serial_ld_join_equals_brute_force(tokens in token_set(), u in 0usize..5) {
+        let got = ld_self_join_serial(&tokens, u);
+        let mut expect = Vec::new();
+        for i in 0..tokens.len() {
+            for j in i + 1..tokens.len() {
+                let d = levenshtein(&tokens[i], &tokens[j]);
+                if d <= u {
+                    expect.push((i as u32, j as u32, d as u32));
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn massjoin_equals_serial(tokens in token_set(), t in 0.01f64..0.6) {
+        let cluster = Cluster::with_machines(8);
+        let (got, _) = MassJoin::new(&cluster, t).nld_self_join(&tokens).unwrap();
+        let expect = nld_self_join_serial(&tokens, t);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Reported LD/NLD values are exact, not just threshold-consistent.
+    #[test]
+    fn reported_distances_are_exact(tokens in token_set(), t in 0.05f64..0.6) {
+        for p in nld_self_join_serial(&tokens, t) {
+            let ld = levenshtein(&tokens[p.a as usize], &tokens[p.b as usize]);
+            prop_assert_eq!(ld as u32, p.ld);
+            let d = nld(&tokens[p.a as usize], &tokens[p.b as usize]);
+            prop_assert!((d - p.nld).abs() < 1e-12);
+            prop_assert!(p.nld <= t);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Jaro and Jaro–Winkler similarities.
+//!
+//! These are *not* part of the paper's contribution — they are the
+//! token-matching similarities used by the related-work measures the paper
+//! compares against (Sec. IV: SoftTfIdf of Cohen et al. matches tokens whose
+//! Jaro–Winkler similarity clears a threshold). The `tsj-fuzzyset` crate
+//! builds those measures on top of this module.
+//!
+//! Note the paper's observation that Jaro–Winkler violates the triangle
+//! inequality, which is one reason SoftTfIdf is non-metric; the property
+//! tests in `tsj-fuzzyset` demonstrate a concrete violation.
+
+/// Jaro similarity in `[0, 1]`; `1` means identical, `0` means no matching
+/// characters within the Jaro window.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_strdist::jaro;
+/// assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-5);
+/// assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-5);
+/// assert_eq!(jaro("", ""), 1.0);
+/// assert_eq!(jaro("abc", ""), 0.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    jaro_chars(&av, &bv)
+}
+
+fn jaro_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched: Vec<usize> = Vec::new(); // indices into `a`, in order
+    let mut b_matched: Vec<usize> = Vec::new(); // indices into `b`, in order
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == *ca {
+                b_taken[j] = true;
+                matches += 1;
+                a_matched.push(i);
+                b_matched.push(j);
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters compared in order of appearance.
+    b_matched.sort_unstable();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(i, j)| a[**i] != b[**j])
+        .count();
+    let m = matches as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by a shared prefix of up to four
+/// characters, with the standard scaling factor `p = 0.1`.
+///
+/// ```
+/// use tsj_strdist::jaro_winkler;
+/// assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961111).abs() < 1e-5);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const SCALING: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let j = jaro_chars(&av, &bv);
+    let prefix = av
+        .iter()
+        .zip(&bv)
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * SCALING * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_reference_values() {
+        assert!((jaro("MARTHA", "MARHTA") - 17.0 / 18.0).abs() < 1e-9);
+        assert!((jaro("DWAYNE", "DUANE") - 0.822222).abs() < 1e-5);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-5);
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961111).abs() < 1e-5);
+        assert!((jaro_winkler("DIXON", "DICKSONX") - 0.813333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bounds_and_identity() {
+        for (a, b) in [("abc", "abc"), ("", ""), ("x", "y"), ("ab", "ba")] {
+            let j = jaro(a, b);
+            assert!((0.0..=1.0).contains(&j), "{a} {b} -> {j}");
+            let jw = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&jw));
+            assert!(jw >= j - 1e-12, "winkler never decreases jaro");
+        }
+        assert_eq!(jaro("hello", "hello"), 1.0);
+        assert_eq!(jaro_winkler("hello", "hello"), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("DIXON", "DICKSONX"), ("ab", "")] {
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Levenshtein Distance (Definition 1 of the paper).
+//!
+//! `LD(x, y)` is the minimum number of character-level edit operations
+//! (insertion, deletion, substitution) transforming `x` into `y`. It is a
+//! metric (Lemma 1).
+//!
+//! Two algorithms are provided:
+//!
+//! * [`levenshtein`] / [`levenshtein_slices`]: the classic two-row dynamic
+//!   program, `O(|x|·|y|)` time, `O(min(|x|,|y|))` space.
+//! * [`levenshtein_within`] / [`levenshtein_within_slices`]: Ukkonen's banded
+//!   dynamic program that answers "is `LD ≤ k`, and if so what is it?" in
+//!   `O((2k+1)·|x|)` time. The join framework always knows a threshold, so
+//!   this is the variant used on hot paths.
+
+/// A value larger than any real distance, used as the out-of-band sentinel
+/// in the banded DP. Chosen so `SENTINEL + 1` cannot overflow.
+const SENTINEL: usize = usize::MAX / 2;
+
+/// Levenshtein distance between two strings, counting edits over Unicode
+/// scalar values.
+///
+/// ASCII inputs are compared byte-wise without allocating.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_strdist::levenshtein;
+/// assert_eq!(levenshtein("Thomson", "Thompson"), 1);
+/// assert_eq!(levenshtein("Alex", "Alexa"), 1);
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        levenshtein_slices(a.as_bytes(), b.as_bytes())
+    } else {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        levenshtein_slices(&av, &bv)
+    }
+}
+
+/// Levenshtein distance over arbitrary comparable items.
+///
+/// Used directly by the tokenized-string layer where tokens have already
+/// been interned to ids, and by the string wrappers above.
+pub fn levenshtein_slices<T: Eq>(a: &[T], b: &[T]) -> usize {
+    // Keep the row as short as possible: iterate over the longer slice.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    // Trim the common prefix and suffix; names in rings share long runs.
+    let prefix = short.iter().zip(long).take_while(|(x, y)| x == y).count();
+    let (short, long) = (&short[prefix..], &long[prefix..]);
+    let suffix = short
+        .iter()
+        .rev()
+        .zip(long.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (short, long) = (&short[..short.len() - suffix], &long[..long.len() - suffix]);
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lc) in long.iter().enumerate() {
+        let mut diag = row[0]; // dp[i][0]
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Thresholded Levenshtein distance: `Some(LD(a, b))` when `LD(a, b) ≤ k`,
+/// `None` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_strdist::levenshtein_within;
+/// assert_eq!(levenshtein_within("Thomson", "Thompson", 1), Some(1));
+/// assert_eq!(levenshtein_within("Thomson", "Thompson", 0), None);
+/// assert_eq!(levenshtein_within("abc", "xyz", 2), None);
+/// ```
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    if a.is_ascii() && b.is_ascii() {
+        levenshtein_within_slices(a.as_bytes(), b.as_bytes(), k)
+    } else {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        levenshtein_within_slices(&av, &bv, k)
+    }
+}
+
+/// Banded (Ukkonen) thresholded Levenshtein distance over slices.
+///
+/// Runs in `O((2k+1)·max(|a|,|b|))` time: only cells within `k` of the main
+/// diagonal can hold a value `≤ k`, so the dynamic program visits a band of
+/// width `2k+1` per row and abandons the computation as soon as the whole
+/// band exceeds `k`.
+pub fn levenshtein_within_slices<T: Eq>(a: &[T], b: &[T], k: usize) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() - short.len() > k {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len()); // already known ≤ k
+    }
+    if k == 0 {
+        // Same length (checked above) and must be equal.
+        return (short == long).then_some(0);
+    }
+
+    // Trim common prefix/suffix; the band then covers the differing core.
+    let prefix = short.iter().zip(long).take_while(|(x, y)| x == y).count();
+    let (short, long) = (&short[prefix..], &long[prefix..]);
+    let suffix = short
+        .iter()
+        .rev()
+        .zip(long.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (short, long) = (&short[..short.len() - suffix], &long[..long.len() - suffix]);
+    if short.is_empty() {
+        return Some(long.len());
+    }
+
+    let n = long.len(); // rows
+    let m = short.len(); // columns
+    debug_assert!(n >= m);
+
+    // row[j] holds dp[i][j] for the current row `i`, but only within the
+    // band `j ∈ [i−k, i+k]`; cells outside carry `SENTINEL`.
+    let mut row: Vec<usize> = vec![SENTINEL; m + 1];
+    let init_hi = k.min(m);
+    for (j, cell) in row.iter_mut().enumerate().take(init_hi + 1) {
+        *cell = j;
+    }
+
+    for (i, lc) in long.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(k);
+        let hi = (i + 1 + k).min(m);
+        let mut diag = if lo == 0 { row[0] } else { row[lo - 1] };
+        if lo == 0 {
+            row[0] = i + 1;
+        } else {
+            // The cell left of the band must read as "unreachable".
+            row[lo - 1] = SENTINEL;
+        }
+        let mut best = SENTINEL;
+        for j in lo.max(1)..=hi {
+            let cost = usize::from(*lc != short[j - 1]);
+            let next = (diag + cost).min(row[j - 1] + 1).min(row[j] + 1);
+            diag = row[j];
+            row[j] = next;
+            best = best.min(next);
+        }
+        if lo == 0 {
+            best = best.min(row[0]);
+        }
+        // The cell just right of the band (consumed as `diag` next row) must
+        // also read as unreachable.
+        if hi < m {
+            row[hi + 1] = SENTINEL;
+        }
+        if best > k {
+            return None; // every diagonal already exceeded the threshold
+        }
+    }
+    let d = row[m];
+    (d <= k).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(levenshtein("Thomson", "Thompson"), 1);
+        assert_eq!(levenshtein("Alex", "Alexa"), 1);
+    }
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+    }
+
+    #[test]
+    fn unicode_edits_count_scalars_not_bytes() {
+        // 'ä' is two bytes in UTF-8 but one edit away from 'a'.
+        assert_eq!(levenshtein("bär", "bar"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn within_agrees_with_full_when_inside_threshold() {
+        let cases = [
+            ("chan", "chank"),
+            ("kalan", "alan"),
+            ("obama", "obamma"),
+            ("barak", "burak"),
+            ("", "xyz"),
+            ("same", "same"),
+        ];
+        for (a, b) in cases {
+            let d = levenshtein(a, b);
+            for k in d..d + 3 {
+                assert_eq!(levenshtein_within(a, b, k), Some(d), "{a:?} vs {b:?} k={k}");
+            }
+            if d > 0 {
+                assert_eq!(levenshtein_within(a, b, d - 1), None, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_zero_threshold_is_equality() {
+        assert_eq!(levenshtein_within("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_within("abc", "abd", 0), None);
+        assert_eq!(levenshtein_within("abc", "abcd", 0), None);
+    }
+
+    #[test]
+    fn within_length_gap_prunes_immediately() {
+        assert_eq!(levenshtein_within("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn within_handles_band_edges() {
+        // Band width 3 (k=1) with strings differing only near the ends.
+        assert_eq!(levenshtein_within("xabcdef", "abcdef", 1), Some(1));
+        assert_eq!(levenshtein_within("abcdef", "abcdefx", 1), Some(1));
+        assert_eq!(levenshtein_within("xabcdefy", "abcdef", 2), Some(2));
+        assert_eq!(levenshtein_within("xabcdefy", "abcdef", 1), None);
+    }
+
+    #[test]
+    fn slices_work_over_token_ids() {
+        let a = [1u32, 2, 3, 4];
+        let b = [1u32, 9, 3, 4, 5];
+        assert_eq!(levenshtein_slices(&a, &b), 2);
+        assert_eq!(levenshtein_within_slices(&a, &b, 2), Some(2));
+        assert_eq!(levenshtein_within_slices(&a, &b, 1), None);
+    }
+
+    /// Reference implementation: full-matrix DP, used to cross-check the
+    /// optimized variants on exhaustive small alphabets.
+    fn reference(a: &[u8], b: &[u8]) -> usize {
+        let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+        for (i, r) in dp.iter_mut().enumerate() {
+            r[0] = i;
+        }
+        for (j, cell) in dp[0].iter_mut().enumerate() {
+            *cell = j;
+        }
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                let cost = usize::from(a[i - 1] != b[j - 1]);
+                dp[i][j] = (dp[i - 1][j - 1] + cost)
+                    .min(dp[i - 1][j] + 1)
+                    .min(dp[i][j - 1] + 1);
+            }
+        }
+        dp[a.len()][b.len()]
+    }
+
+    #[test]
+    fn exhaustive_small_alphabet_cross_check() {
+        // All pairs of strings of length ≤ 4 over {a, b}: 31 × 31 pairs.
+        let mut words: Vec<Vec<u8>> = vec![vec![]];
+        for len in 1..=4 {
+            for idx in 0..(1u32 << len) {
+                let w: Vec<u8> = (0..len)
+                    .map(|i| if idx >> i & 1 == 1 { b'b' } else { b'a' })
+                    .collect();
+                words.push(w);
+            }
+        }
+        for x in &words {
+            for y in &words {
+                let expect = reference(x, y);
+                assert_eq!(levenshtein_slices(x, y), expect);
+                for k in 0..=5 {
+                    let got = levenshtein_within_slices(x, y, k);
+                    if expect <= k {
+                        assert_eq!(got, Some(expect), "{x:?} {y:?} k={k}");
+                    } else {
+                        assert_eq!(got, None, "{x:?} {y:?} k={k}");
+                    }
+                }
+            }
+        }
+    }
+}

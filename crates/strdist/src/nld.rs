@@ -1,0 +1,126 @@
+//! Normalized Levenshtein Distance (Definition 2 of the paper, after Li &
+//! Liu, "A Normalized Levenshtein Distance Metric", TPAMI 2007).
+//!
+//! `NLD(x, y) = 2·LD(x, y) / (|x| + |y| + LD(x, y))`.
+//!
+//! `NLD` lies in `[0, 1]` (Lemma 2) and is a metric (Theorem 1). The paper
+//! uses it as the token-level distance whose threshold is *derived from* the
+//! tokenized-string threshold `T` (Theorem 3), so this module also offers a
+//! thresholded verifier that pushes `T` down into a banded `LD` computation.
+
+use crate::bounds::max_ld_given_nld;
+use crate::levenshtein::{levenshtein, levenshtein_within};
+use crate::char_len;
+
+/// Converts a known Levenshtein distance into the normalized distance.
+///
+/// Degenerate case: two empty strings have `NLD = 0`.
+#[inline]
+pub fn nld_from_ld(ld: usize, len_x: usize, len_y: usize) -> f64 {
+    let denom = len_x + len_y + ld;
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * ld as f64 / denom as f64
+    }
+}
+
+/// Normalized Levenshtein distance between two strings.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_strdist::nld;
+/// // Paper examples (Sec. II-C2):
+/// assert!((nld("Thomson", "Thompson") - 1.0 / 8.0).abs() < 1e-12);
+/// assert!((nld("Alex", "Alexa") - 1.0 / 5.0).abs() < 1e-12);
+/// ```
+pub fn nld(x: &str, y: &str) -> f64 {
+    nld_from_ld(levenshtein(x, y), char_len(x), char_len(y))
+}
+
+/// Thresholded normalized distance: `Some(NLD(x, y))` when `NLD(x, y) ≤ t`,
+/// `None` otherwise.
+///
+/// Internally converts `t` into the Lemma 8 cap on `LD` and runs the banded
+/// verifier, so the cost is `O((2k+1)·|x|)` with `k` the derived cap — far
+/// cheaper than a full DP for small thresholds.
+///
+/// ```
+/// use tsj_strdist::nld_within;
+/// assert!(nld_within("Thomson", "Thompson", 0.2).is_some());
+/// assert!(nld_within("Thomson", "Thompson", 0.1).is_none());
+/// ```
+pub fn nld_within(x: &str, y: &str, t: f64) -> Option<f64> {
+    if t < 0.0 {
+        return None;
+    }
+    if t >= 1.0 {
+        return Some(nld(x, y)); // every pair qualifies (Lemma 2)
+    }
+    let (lx, ly) = (char_len(x), char_len(y));
+    // Lemma 8 is stated relative to the longer string; order the arguments.
+    let (shorter, longer) = if lx <= ly { (lx, ly) } else { (ly, lx) };
+    let cap = max_ld_given_nld(shorter, longer, t);
+    let ld = levenshtein_within(x, y, cap)?;
+    let d = nld_from_ld(ld, lx, ly);
+    (d <= t).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        assert!((nld("Thomson", "Thompson") - 0.125).abs() < 1e-12);
+        assert!((nld("Alex", "Alexa") - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_and_range() {
+        assert_eq!(nld("", ""), 0.0);
+        assert_eq!(nld("abc", "abc"), 0.0);
+        // Completely disjoint equal-length strings: LD = n, NLD = 2n/3n.
+        assert!((nld("aaa", "bbb") - 2.0 / 3.0).abs() < 1e-12);
+        // One empty string: the supremum 1.0 (Lemma 5's extreme).
+        assert_eq!(nld("", "abc"), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [("chan", "chank"), ("kalan", "alan"), ("a", "")];
+        for (a, b) in pairs {
+            assert_eq!(nld(a, b), nld(b, a));
+        }
+    }
+
+    #[test]
+    fn within_agrees_with_unconditional() {
+        let pairs = [
+            ("Thomson", "Thompson"),
+            ("Alex", "Alexa"),
+            ("barak", "burak"),
+            ("jonathan", "jon"),
+            ("x", "y"),
+        ];
+        for (a, b) in pairs {
+            let d = nld(a, b);
+            assert_eq!(nld_within(a, b, d + 1e-9).map(|v| (v * 1e12).round()),
+                       Some((d * 1e12).round()), "{a} {b}");
+            if d > 0.0 {
+                assert_eq!(nld_within(a, b, d - 1e-9), None, "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_threshold_one_accepts_everything() {
+        assert_eq!(nld_within("", "zzzzzz", 1.0), Some(1.0));
+    }
+
+    #[test]
+    fn within_rejects_negative_threshold() {
+        assert_eq!(nld_within("a", "a", -0.1), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the string-distance layer.
+//!
+//! These verify the paper's formal claims directly: Lemma 1 (LD is a
+//! metric), Lemma 2 / Theorem 1 (NLD ∈ [0,1], NLD is a metric), Lemma 3
+//! (length-ratio bounds), Lemmas 8–10 (threshold transfer), and agreement
+//! between the banded and the full dynamic programs.
+
+use proptest::prelude::*;
+use tsj_strdist::{
+    char_len, ld_exceeds_bound_given_nld_exceeds, levenshtein, levenshtein_within,
+    max_ld_given_nld, min_len_given_nld, nld, nld_from_ld, nld_range_from_lens, nld_within,
+};
+
+/// Short strings over a tiny alphabet maximize edit-distance edge cases
+/// (ties, transposition-like patterns) per generated case.
+fn small_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[abc]{0,8}").unwrap()
+}
+
+/// Occasionally longer, more varied strings, including non-ASCII.
+fn name_like() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-eé]{0,16}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ld_identity(x in small_string()) {
+        prop_assert_eq!(levenshtein(&x, &x), 0);
+    }
+
+    #[test]
+    fn ld_symmetry(x in small_string(), y in small_string()) {
+        prop_assert_eq!(levenshtein(&x, &y), levenshtein(&y, &x));
+    }
+
+    #[test]
+    fn ld_triangle_inequality(x in small_string(), y in small_string(), z in small_string()) {
+        let xy = levenshtein(&x, &y);
+        let yz = levenshtein(&y, &z);
+        let xz = levenshtein(&x, &z);
+        prop_assert!(xy + yz >= xz, "LD({x},{y})={xy} + LD({y},{z})={yz} < LD({x},{z})={xz}");
+    }
+
+    #[test]
+    fn ld_positivity(x in small_string(), y in small_string()) {
+        let d = levenshtein(&x, &y);
+        prop_assert_eq!(d == 0, x == y);
+        // LD is bounded by the longer length and below by the length gap.
+        let (lx, ly) = (char_len(&x), char_len(&y));
+        prop_assert!(d >= lx.abs_diff(ly));
+        prop_assert!(d <= lx.max(ly));
+    }
+
+    #[test]
+    fn banded_agrees_with_full(x in name_like(), y in name_like(), k in 0usize..12) {
+        let full = levenshtein(&x, &y);
+        match levenshtein_within(&x, &y, k) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= k);
+            }
+            None => prop_assert!(full > k, "within said >{k} but full = {full}"),
+        }
+    }
+
+    #[test]
+    fn nld_in_unit_interval(x in name_like(), y in name_like()) {
+        let d = nld(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d == 0.0, x == y);
+    }
+
+    #[test]
+    fn nld_symmetry(x in small_string(), y in small_string()) {
+        prop_assert_eq!(nld(&x, &y), nld(&y, &x));
+    }
+
+    #[test]
+    fn nld_triangle_inequality(x in small_string(), y in small_string(), z in small_string()) {
+        let xy = nld(&x, &y);
+        let yz = nld(&y, &z);
+        let xz = nld(&x, &z);
+        prop_assert!(xy + yz >= xz - 1e-12,
+            "NLD({x},{y})={xy} + NLD({y},{z})={yz} < NLD({x},{z})={xz}");
+    }
+
+    #[test]
+    fn lemma3_bounds_hold(x in name_like(), y in name_like()) {
+        let (lo, hi) = nld_range_from_lens(char_len(&x), char_len(&y));
+        let d = nld(&x, &y);
+        prop_assert!(lo <= d + 1e-12, "lower bound {lo} exceeds NLD {d} for {x:?},{y:?}");
+        prop_assert!(d <= hi + 1e-12, "upper bound {hi} below NLD {d} for {x:?},{y:?}");
+    }
+
+    #[test]
+    fn lemma8_cap_sound(x in name_like(), y in name_like(), t in 0.01f64..0.9) {
+        if nld(&x, &y) <= t {
+            let cap = max_ld_given_nld(char_len(&x), char_len(&y), t);
+            prop_assert!(levenshtein(&x, &y) <= cap);
+        }
+    }
+
+    #[test]
+    fn lemma9_length_condition_sound(x in name_like(), y in name_like(), t in 0.01f64..0.9) {
+        let (lx, ly) = (char_len(&x), char_len(&y));
+        if lx <= ly && nld(&x, &y) <= t {
+            prop_assert!(lx >= min_len_given_nld(ly, t));
+        }
+    }
+
+    #[test]
+    fn lemma10_bound_sound(x in name_like(), y in name_like(), t in 0.01f64..0.9) {
+        if nld(&x, &y) > t {
+            let bound = ld_exceeds_bound_given_nld_exceeds(char_len(&x), char_len(&y), t);
+            prop_assert!(levenshtein(&x, &y) > bound);
+        }
+    }
+
+    #[test]
+    fn nld_within_is_exact_filter(x in name_like(), y in name_like(), t in 0.0f64..1.0) {
+        let d = nld(&x, &y);
+        match nld_within(&x, &y, t) {
+            Some(v) => {
+                prop_assert!((v - d).abs() < 1e-12);
+                prop_assert!(v <= t);
+            }
+            None => prop_assert!(d > t),
+        }
+    }
+
+    #[test]
+    fn nld_from_ld_monotone_in_ld(lx in 0usize..32, ly in 0usize..32, ld in 0usize..32) {
+        // NLD grows with LD for fixed lengths: verification thresholds can
+        // therefore be transferred through Lemma 8 caps safely.
+        let a = nld_from_ld(ld, lx, ly);
+        let b = nld_from_ld(ld + 1, lx, ly);
+        prop_assert!(a <= b + 1e-12);
+    }
+}

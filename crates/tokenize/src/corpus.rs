@@ -1,0 +1,335 @@
+//! Interned corpora of tokenized strings.
+//!
+//! "For efficiency, identifiers of the tokenized strings and the tokens are
+//! used" (Sec. III-C). A [`Corpus`] assigns a dense [`TokenId`] to every
+//! distinct token and a [`StringId`] to every input string, and maintains
+//! the postings lists (token → containing strings) that drive shared-token
+//! candidate generation and the `M`-frequency filter, plus the per-string
+//! statistics (`L`, `T`, sorted token lengths) that drive the pruning
+//! filters.
+
+use std::collections::HashMap;
+
+use crate::tokenized::TokenizedString;
+use crate::tokenizer::Tokenizer;
+
+/// Identifier of a distinct token within one [`Corpus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+/// Identifier of one tokenized string within one [`Corpus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StringId(pub u32);
+
+impl TokenId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StringId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An immutable, interned collection of tokenized strings.
+///
+/// Build one with [`Corpus::build`] or incrementally with
+/// [`CorpusBuilder`].
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    // ---- token table ----
+    token_text: Vec<Box<str>>,
+    token_len: Vec<u32>,
+    token_lookup: HashMap<Box<str>, TokenId>,
+    /// Postings: for each token, the *distinct* strings containing it,
+    /// sorted ascending. `postings[t].len()` is the token's document
+    /// frequency (the paper's "number of tokenized strings sharing the
+    /// token", compared against `M`).
+    postings: Vec<Vec<StringId>>,
+    // ---- string table ----
+    raw: Vec<Box<str>>,
+    tokens_of: Vec<Vec<TokenId>>,
+    total_len: Vec<u32>,
+}
+
+impl Corpus {
+    /// Tokenizes and interns every input string.
+    pub fn build<I, S, T>(strings: I, tokenizer: &T) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+        T: Tokenizer,
+    {
+        let mut b = CorpusBuilder::new();
+        for s in strings {
+            b.push(s.as_ref(), tokenizer);
+        }
+        b.finish()
+    }
+
+    /// Number of strings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` when the corpus holds no strings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Number of distinct tokens. Typically "orders of magnitude smaller
+    /// than that of distinct tokenized strings" (Sec. III-D) — the property
+    /// TSJ's token-domain reduction exploits.
+    #[inline]
+    pub fn num_tokens(&self) -> usize {
+        self.token_text.len()
+    }
+
+    /// Iterates over all string ids.
+    pub fn string_ids(&self) -> impl ExactSizeIterator<Item = StringId> + '_ {
+        (0..self.raw.len() as u32).map(StringId)
+    }
+
+    /// Iterates over all token ids.
+    pub fn token_ids(&self) -> impl ExactSizeIterator<Item = TokenId> + '_ {
+        (0..self.token_text.len() as u32).map(TokenId)
+    }
+
+    /// The original (pre-tokenization) text of a string.
+    #[inline]
+    pub fn raw(&self, id: StringId) -> &str {
+        &self.raw[id.index()]
+    }
+
+    /// The token ids of a string, in tokenizer order.
+    #[inline]
+    pub fn tokens(&self, id: StringId) -> &[TokenId] {
+        &self.tokens_of[id.index()]
+    }
+
+    /// The paper's `L(xᵗ)`: aggregate token length in characters.
+    #[inline]
+    pub fn total_len(&self, id: StringId) -> usize {
+        self.total_len[id.index()] as usize
+    }
+
+    /// The paper's `T(xᵗ)`: token count.
+    #[inline]
+    pub fn token_count(&self, id: StringId) -> usize {
+        self.tokens_of[id.index()].len()
+    }
+
+    /// Text of a token.
+    #[inline]
+    pub fn token_text(&self, id: TokenId) -> &str {
+        &self.token_text[id.index()]
+    }
+
+    /// Character length of a token.
+    #[inline]
+    pub fn token_len(&self, id: TokenId) -> usize {
+        self.token_len[id.index()] as usize
+    }
+
+    /// Resolves token text by id.
+    pub fn lookup_token(&self, text: &str) -> Option<TokenId> {
+        self.token_lookup.get(text).copied()
+    }
+
+    /// Document frequency: how many *distinct* strings contain this token.
+    #[inline]
+    pub fn df(&self, id: TokenId) -> usize {
+        self.postings[id.index()].len()
+    }
+
+    /// The distinct strings containing `token`, sorted ascending.
+    #[inline]
+    pub fn postings(&self, token: TokenId) -> &[StringId] {
+        &self.postings[token.index()]
+    }
+
+    /// Sorted token lengths of a string — the length histogram consumed by
+    /// the SLD lower-bound filter (Sec. III-E2).
+    pub fn sorted_token_lens(&self, id: StringId) -> Vec<u32> {
+        let mut lens: Vec<u32> = self.tokens_of[id.index()]
+            .iter()
+            .map(|t| self.token_len[t.index()])
+            .collect();
+        lens.sort_unstable();
+        lens
+    }
+
+    /// Materializes an owned [`TokenizedString`] (for display/verification
+    /// at API boundaries; joins work on ids).
+    pub fn tokenized(&self, id: StringId) -> TokenizedString {
+        TokenizedString::new(
+            self.tokens_of[id.index()]
+                .iter()
+                .map(|t| self.token_text[t.index()].to_string()),
+        )
+    }
+
+    /// Resolves a string's tokens to their texts.
+    pub fn token_texts(&self, id: StringId) -> Vec<&str> {
+        self.tokens_of[id.index()]
+            .iter()
+            .map(|t| self.token_text(*t))
+            .collect()
+    }
+}
+
+/// Incremental [`Corpus`] construction.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    token_text: Vec<Box<str>>,
+    token_len: Vec<u32>,
+    token_lookup: HashMap<Box<str>, TokenId>,
+    postings: Vec<Vec<StringId>>,
+    raw: Vec<Box<str>>,
+    tokens_of: Vec<Vec<TokenId>>,
+    total_len: Vec<u32>,
+    scratch: Vec<String>,
+}
+
+impl CorpusBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizes `input` and appends it, returning its id.
+    pub fn push<T: Tokenizer>(&mut self, input: &str, tokenizer: &T) -> StringId {
+        self.scratch.clear();
+        tokenizer.tokenize_into(input, &mut self.scratch);
+        let sid = StringId(self.raw.len() as u32);
+        let mut ids = Vec::with_capacity(self.scratch.len());
+        let mut total = 0u32;
+        for tok in self.scratch.drain(..) {
+            debug_assert!(!tok.is_empty());
+            let tid = match self.token_lookup.get(tok.as_str()) {
+                Some(&tid) => tid,
+                None => {
+                    let tid = TokenId(self.token_text.len() as u32);
+                    let boxed: Box<str> = tok.into_boxed_str();
+                    self.token_text.push(boxed.clone());
+                    let len = if boxed.is_ascii() {
+                        boxed.len()
+                    } else {
+                        boxed.chars().count()
+                    };
+                    self.token_len.push(len as u32);
+                    self.postings.push(Vec::new());
+                    self.token_lookup.insert(boxed, tid);
+                    tid
+                }
+            };
+            total += self.token_len[tid.index()];
+            // Postings are per *distinct* string: a token repeated inside
+            // one string is recorded once.
+            let plist = &mut self.postings[tid.index()];
+            if plist.last() != Some(&sid) {
+                plist.push(sid);
+            }
+            ids.push(tid);
+        }
+        self.raw.push(input.into());
+        self.tokens_of.push(ids);
+        self.total_len.push(total);
+        sid
+    }
+
+    pub fn finish(self) -> Corpus {
+        Corpus {
+            token_text: self.token_text,
+            token_len: self.token_len,
+            token_lookup: self.token_lookup,
+            postings: self.postings,
+            raw: self.raw,
+            tokens_of: self.tokens_of,
+            total_len: self.total_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::NameTokenizer;
+
+    fn small() -> Corpus {
+        Corpus::build(
+            ["Barak Obama", "Obamma, Boraak H.", "Burak Ubama", "Barak Obama"],
+            &NameTokenizer::default(),
+        )
+    }
+
+    #[test]
+    fn interning_dedups_tokens() {
+        let c = small();
+        assert_eq!(c.len(), 4);
+        // barak, obama, obamma, boraak, h, burak, ubama
+        assert_eq!(c.num_tokens(), 7);
+        let barak = c.lookup_token("barak").unwrap();
+        assert_eq!(c.token_text(barak), "barak");
+        assert_eq!(c.token_len(barak), 5);
+    }
+
+    #[test]
+    fn postings_and_df() {
+        let c = small();
+        let barak = c.lookup_token("barak").unwrap();
+        // "Barak Obama" appears twice (ids 0 and 3).
+        assert_eq!(c.df(barak), 2);
+        assert_eq!(c.postings(barak), &[StringId(0), StringId(3)]);
+        let h = c.lookup_token("h").unwrap();
+        assert_eq!(c.df(h), 1);
+    }
+
+    #[test]
+    fn repeated_token_in_one_string_counted_once_in_postings() {
+        let c = Corpus::build(["bob bob bob"], &NameTokenizer::default());
+        let bob = c.lookup_token("bob").unwrap();
+        assert_eq!(c.df(bob), 1);
+        // ...but multiplicity is preserved in the string's token list.
+        assert_eq!(c.token_count(StringId(0)), 3);
+        assert_eq!(c.total_len(StringId(0)), 9);
+    }
+
+    #[test]
+    fn per_string_statistics() {
+        let c = small();
+        let s1 = StringId(1); // {obamma, boraak, h}
+        assert_eq!(c.token_count(s1), 3);
+        assert_eq!(c.total_len(s1), 13);
+        assert_eq!(c.sorted_token_lens(s1), vec![1, 6, 6]);
+        assert_eq!(c.raw(s1), "Obamma, Boraak H.");
+    }
+
+    #[test]
+    fn tokenized_roundtrip() {
+        let c = small();
+        let ts = c.tokenized(StringId(0));
+        assert_eq!(ts, TokenizedString::new(["obama", "barak"])); // multiset eq
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::build(Vec::<&str>::new(), &NameTokenizer::default());
+        assert!(c.is_empty());
+        assert_eq!(c.num_tokens(), 0);
+        assert_eq!(c.string_ids().count(), 0);
+    }
+
+    #[test]
+    fn string_with_no_tokens() {
+        let c = Corpus::build(["", "  ,, "], &NameTokenizer::default());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.token_count(StringId(0)), 0);
+        assert_eq!(c.total_len(StringId(1)), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Tokenization layer: turning raw strings into the paper's *tokenized
+//! strings* (finite multisets of tokens, Sec. II-A).
+//!
+//! A tokenizer `t(·)` maps a string `x` to a multiset
+//! `xᵗ = {xᵗ¹, …, xᵗᵐ}`. The paper's experiments tokenize account names
+//! "using whitespaces and punctuation characters"; [`NameTokenizer`]
+//! implements exactly that (plus Unicode-aware lowercasing so that
+//! adversarial case-flips do not defeat the join), while
+//! [`WhitespaceTokenizer`] implements the simpler scheme of Sec. II-A.
+//!
+//! Two representations are provided:
+//!
+//! * [`TokenizedString`] — an owned token multiset with the paper's
+//!   `T(xᵗ)` (token count) and `L(xᵗ)` (aggregate token length) statistics
+//!   and the token-length histogram used by the TSJ pruning filter.
+//! * [`Corpus`] — an interned collection of tokenized strings: every
+//!   distinct token gets a dense [`TokenId`], every string a [`StringId`],
+//!   and the corpus maintains the postings (token → containing strings) and
+//!   document frequencies that both TSJ and the IDF-weighted baseline
+//!   measures need. Joins at the scale of Sec. V only touch ids; token text
+//!   is resolved back only for edit-distance work.
+
+pub mod corpus;
+pub mod tokenized;
+pub mod tokenizer;
+
+pub use corpus::{Corpus, CorpusBuilder, StringId, TokenId};
+pub use tokenized::TokenizedString;
+pub use tokenizer::{NameTokenizer, Tokenizer, WhitespaceTokenizer};

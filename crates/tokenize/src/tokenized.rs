@@ -1,0 +1,187 @@
+//! Owned tokenized strings: the paper's `xᵗ` with its `T(·)` / `L(·)`
+//! statistics (Sec. II-A).
+
+use crate::tokenizer::Tokenizer;
+
+/// A tokenized string: a finite multiset of non-empty tokens.
+///
+/// Token order is preserved for display purposes but is *semantically
+/// irrelevant*: equality, hashing and every distance defined on tokenized
+/// strings treat the tokens as a multiset (that is the whole point of the
+/// setwise distances — token shuffles are free).
+#[derive(Debug, Clone, Default)]
+pub struct TokenizedString {
+    tokens: Vec<String>,
+    /// Cached aggregate character length `L(xᵗ) = Σᵢ |xᵗⁱ|`.
+    total_len: usize,
+}
+
+impl TokenizedString {
+    /// Builds from pre-split tokens. Empty tokens are rejected because `ε`
+    /// is reserved for SLD's set-level edit operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token is empty.
+    pub fn new<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = tokens.into_iter().map(Into::into).collect();
+        assert!(
+            tokens.iter().all(|t| !t.is_empty()),
+            "empty tokens are reserved for SLD set-level edits"
+        );
+        let total_len = tokens.iter().map(|t| char_count(t)).sum();
+        Self { tokens, total_len }
+    }
+
+    /// Tokenizes `input` with `tokenizer`.
+    pub fn from_str_with<T: Tokenizer>(input: &str, tokenizer: &T) -> Self {
+        Self::new(tokenizer.tokenize(input))
+    }
+
+    /// The paper's `T(xᵗ)`: number of tokens (with multiplicity).
+    #[inline]
+    pub fn num_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The paper's `L(xᵗ)`: aggregate character length of all tokens.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// `true` when the multiset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The tokens in their original order.
+    #[inline]
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Token lengths (in characters) sorted ascending — the "histogram of
+    /// token lengths" the TSJ pruning filter attaches to each string id
+    /// (Sec. III-E2). The sorted representation is what the filter's
+    /// minimum-cost length matching consumes.
+    pub fn sorted_token_lens(&self) -> Vec<u32> {
+        let mut lens: Vec<u32> = self.tokens.iter().map(|t| char_count(t) as u32).collect();
+        lens.sort_unstable();
+        lens
+    }
+
+    /// Multiset equality: same tokens with the same multiplicities,
+    /// regardless of order.
+    pub fn multiset_eq(&self, other: &Self) -> bool {
+        if self.tokens.len() != other.tokens.len() || self.total_len != other.total_len {
+            return false;
+        }
+        let mut a: Vec<&str> = self.tokens.iter().map(String::as_str).collect();
+        let mut b: Vec<&str> = other.tokens.iter().map(String::as_str).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+impl PartialEq for TokenizedString {
+    fn eq(&self, other: &Self) -> bool {
+        self.multiset_eq(other)
+    }
+}
+impl Eq for TokenizedString {}
+
+impl std::fmt::Display for TokenizedString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for TokenizedString {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::new(iter)
+    }
+}
+
+#[inline]
+fn char_count(s: &str) -> usize {
+    if s.is_ascii() {
+        s.len()
+    } else {
+        s.chars().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::NameTokenizer;
+
+    #[test]
+    fn statistics_match_paper_notation() {
+        // xᵗ = {"chan", "kalan"}: T = 2, L = 9 (Sec. II-D example).
+        let x = TokenizedString::new(["chan", "kalan"]);
+        assert_eq!(x.num_tokens(), 2);
+        assert_eq!(x.total_len(), 9);
+        // yᵗ = {"chank", "alan"}: T = 2, L = 9.
+        let y = TokenizedString::new(["chank", "alan"]);
+        assert_eq!(y.total_len(), 9);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let a = TokenizedString::new(["barak", "obama"]);
+        let b = TokenizedString::new(["obama", "barak"]);
+        let c = TokenizedString::new(["barak", "barak"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Multiplicity matters.
+        let d = TokenizedString::new(["obama", "barak", "barak"]);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tokens")]
+    fn rejects_empty_tokens() {
+        let _ = TokenizedString::new(["ok", ""]);
+    }
+
+    #[test]
+    fn sorted_lens() {
+        let x = TokenizedString::new(["chan", "kalan", "x"]);
+        assert_eq!(x.sorted_token_lens(), vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn unicode_lengths_in_chars() {
+        let x = TokenizedString::new(["josé"]);
+        assert_eq!(x.total_len(), 4);
+        assert_eq!(x.sorted_token_lens(), vec![4]);
+    }
+
+    #[test]
+    fn from_tokenizer() {
+        let x = TokenizedString::from_str_with("Barak H. Obama", &NameTokenizer::default());
+        assert_eq!(x.num_tokens(), 3);
+        assert_eq!(x.total_len(), 11);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = TokenizedString::new(["a", "b"]);
+        assert_eq!(format!("{x}"), r#"{"a", "b"}"#);
+    }
+}

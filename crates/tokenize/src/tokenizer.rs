@@ -1,0 +1,138 @@
+//! Tokenizer implementations (the paper's `t(·)`, Sec. II-A).
+
+/// A tokenizer maps a string to a finite multiset of tokens.
+///
+/// Implementations must be deterministic and must never emit empty tokens:
+/// the empty token `ε` is reserved for the set-level edit operations of
+/// Definition 3 (AddEmptyToken / RemoveEmptyToken) inside the SLD
+/// computation.
+pub trait Tokenizer {
+    /// Appends the tokens of `input` to `out`.
+    ///
+    /// The buffer-reuse signature keeps tokenization allocation-free in the
+    /// corpus-building hot loop; use [`Tokenizer::tokenize`] for convenience.
+    fn tokenize_into(&self, input: &str, out: &mut Vec<String>);
+
+    /// Tokenizes `input` into a fresh vector.
+    fn tokenize(&self, input: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.tokenize_into(input, &mut out);
+        out
+    }
+}
+
+/// Splits on Unicode whitespace only — the "simple and commonly used
+/// tokenizer" of Sec. II-A. Token text is preserved verbatim.
+///
+/// ```
+/// use tsj_tokenize::{Tokenizer, WhitespaceTokenizer};
+/// let toks = WhitespaceTokenizer.tokenize("Obamma,  Boraak H.");
+/// assert_eq!(toks, vec!["Obamma,", "Boraak", "H."]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WhitespaceTokenizer;
+
+impl Tokenizer for WhitespaceTokenizer {
+    fn tokenize_into(&self, input: &str, out: &mut Vec<String>) {
+        out.extend(input.split_whitespace().map(str::to_owned));
+    }
+}
+
+/// The evaluation tokenizer of Sec. V: splits on whitespace *and*
+/// punctuation, lowercases, and drops empty fragments.
+///
+/// Lowercasing is not stated in the paper but is the standard normalization
+/// for name joining; it can be disabled via [`NameTokenizer::case_sensitive`].
+///
+/// ```
+/// use tsj_tokenize::{Tokenizer, NameTokenizer};
+/// let toks = NameTokenizer::default().tokenize("Obamma,  Boraak H.");
+/// assert_eq!(toks, vec!["obamma", "boraak", "h"]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NameTokenizer {
+    lowercase: bool,
+}
+
+impl Default for NameTokenizer {
+    fn default() -> Self {
+        Self { lowercase: true }
+    }
+}
+
+impl NameTokenizer {
+    /// A tokenizer that keeps the original character case.
+    pub fn case_sensitive() -> Self {
+        Self { lowercase: false }
+    }
+}
+
+impl Tokenizer for NameTokenizer {
+    fn tokenize_into(&self, input: &str, out: &mut Vec<String>) {
+        for frag in input.split(|c: char| c.is_whitespace() || c.is_ascii_punctuation()) {
+            if frag.is_empty() {
+                continue;
+            }
+            if self.lowercase && frag.chars().any(char::is_uppercase) {
+                out.push(frag.to_lowercase());
+            } else {
+                out.push(frag.to_owned());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_keeps_punctuation() {
+        let toks = WhitespaceTokenizer.tokenize(" Barak  Obama ");
+        assert_eq!(toks, vec!["Barak", "Obama"]);
+        let toks = WhitespaceTokenizer.tokenize("Obamma, Boraak H.");
+        assert_eq!(toks, vec!["Obamma,", "Boraak", "H."]);
+    }
+
+    #[test]
+    fn name_tokenizer_strips_punctuation_and_lowercases() {
+        let t = NameTokenizer::default();
+        assert_eq!(t.tokenize("Obamma, Boraak H."), vec!["obamma", "boraak", "h"]);
+        assert_eq!(t.tokenize("O'Neil-Smith"), vec!["o", "neil", "smith"]);
+        assert_eq!(t.tokenize(""), Vec::<String>::new());
+        assert_eq!(t.tokenize("  ,,,  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn case_sensitive_variant() {
+        let t = NameTokenizer::case_sensitive();
+        assert_eq!(t.tokenize("Barak H. Obama"), vec!["Barak", "H", "Obama"]);
+    }
+
+    #[test]
+    fn never_emits_empty_tokens() {
+        for input in ["", " ", "a  b", "--", "a--b", " ,a, "] {
+            for tok in NameTokenizer::default().tokenize(input) {
+                assert!(!tok.is_empty(), "input {input:?}");
+            }
+            for tok in WhitespaceTokenizer.tokenize(input) {
+                assert!(!tok.is_empty(), "input {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_names_survive() {
+        let t = NameTokenizer::default();
+        assert_eq!(t.tokenize("José María"), vec!["josé", "maría"]);
+    }
+
+    #[test]
+    fn tokenize_into_reuses_buffer() {
+        let t = NameTokenizer::default();
+        let mut buf = Vec::with_capacity(8);
+        t.tokenize_into("one two", &mut buf);
+        t.tokenize_into("three", &mut buf);
+        assert_eq!(buf, vec!["one", "two", "three"]);
+    }
+}

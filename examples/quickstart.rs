@@ -1,0 +1,61 @@
+//! Quickstart: the five-minute tour of the public API.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tsj::{TsjConfig, TsjJoiner};
+use tsj_mapreduce::Cluster;
+use tsj_setdist::{nsld, sld};
+use tsj_strdist::{levenshtein, nld};
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+fn main() {
+    // ---- 1. The distances -------------------------------------------------
+    // Character level (Sec. II-C): Levenshtein and its normalized form.
+    println!("LD(\"Thomson\", \"Thompson\")   = {}", levenshtein("Thomson", "Thompson"));
+    println!("NLD(\"Thomson\", \"Thompson\")  = {:.4}", nld("Thomson", "Thompson"));
+
+    // Tokenized-string level (Sec. II-D): setwise Levenshtein, where token
+    // shuffles are free and token edits are counted exactly.
+    let x = ["chan", "kalan"];
+    let y = ["chank", "alan"];
+    println!("SLD({{chan,kalan}}, {{chank,alan}})  = {}", sld(&x, &y));
+    println!("NSLD({{chan,kalan}}, {{chank,alan}}) = {:.4}", nsld(&x, &y));
+
+    // ---- 2. A similarity self-join ----------------------------------------
+    // The motivating application (Sec. I-A): account names, some of which
+    // are adversarial variants of the same bank-account holder.
+    let accounts = [
+        "Barak Obama",
+        "Obamma, Boraak H.",  // attacker variant: edits + shuffle + initial
+        "Burak Ubama",        // attacker variant: vowel swaps
+        "Maria Garcia Lopez",
+        "Maria Garcia",       // legitimate near-duplicate
+        "Wei Chen",
+        "John Smith",
+    ];
+    let corpus = Corpus::build(accounts, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(100);
+
+    let config = TsjConfig {
+        threshold: 0.3, // generous T to link the heavily-edited variants
+        ..TsjConfig::default()
+    };
+    let result = TsjJoiner::new(&cluster)
+        .self_join(&corpus, &config)
+        .expect("join runs to completion");
+
+    println!("\nSimilar account-name pairs at NSLD ≤ {}:", config.threshold);
+    for p in &result.pairs {
+        println!(
+            "  {:<22} ~ {:<22} (NSLD = {:.3})",
+            corpus.raw(p.a),
+            corpus.raw(p.b),
+            p.nsld
+        );
+    }
+
+    // ---- 3. The pipeline report -------------------------------------------
+    // Every MapReduce stage reports simulated cluster time and skew.
+    println!("\nPipeline report ({} simulated machines):", cluster.machines());
+    println!("{}", result.report);
+}

@@ -1,0 +1,110 @@
+//! The approximation trade-off surface of Sec. V-B across a (T, M) grid:
+//! precision always 1.0; recall orderings; monotone candidate behaviour.
+
+use tsj_repro::datagen::workload;
+use tsj_repro::mapreduce::Cluster;
+use tsj_repro::tokenize::{Corpus, NameTokenizer};
+use tsj_repro::tsj::{
+    pair_set, precision, recall, ApproximationScheme, TsjConfig, TsjJoiner,
+};
+
+fn join(
+    corpus: &Corpus,
+    cluster: &Cluster,
+    t: f64,
+    m: Option<usize>,
+    scheme: ApproximationScheme,
+) -> Vec<tsj_repro::tsj::SimilarPair> {
+    TsjJoiner::new(cluster)
+        .self_join(
+            corpus,
+            &TsjConfig { threshold: t, max_token_frequency: m, scheme, ..TsjConfig::default() },
+        )
+        .unwrap()
+        .pairs
+}
+
+#[test]
+fn approximation_grid() {
+    let w = workload(700, 0.35, 777);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(32);
+
+    for t in [0.05, 0.125, 0.2] {
+        for m in [Some(60), None] {
+            let fuzzy = join(&corpus, &cluster, t, m, ApproximationScheme::FuzzyTokenMatching);
+            let greedy =
+                join(&corpus, &cluster, t, m, ApproximationScheme::GreedyTokenAligning);
+            let exact = join(&corpus, &cluster, t, m, ApproximationScheme::ExactTokenMatching);
+
+            // "The proposed approximations make TSJ err on the false
+            // negative side, guaranteeing the precision to be always 1.0."
+            assert_eq!(precision(&greedy, &fuzzy), 1.0, "t={t} m={m:?}");
+            assert_eq!(precision(&exact, &fuzzy), 1.0, "t={t} m={m:?}");
+            assert!(pair_set(&greedy).is_subset(&pair_set(&fuzzy)));
+            assert!(pair_set(&exact).is_subset(&pair_set(&fuzzy)));
+
+            // Greedy stays near-perfect (paper: ≥ 0.9999 on names).
+            assert!(
+                recall(&greedy, &fuzzy) > 0.97,
+                "greedy recall collapsed at t={t} m={m:?}: {}",
+                recall(&greedy, &fuzzy)
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_recall_degrades_with_t_not_below_greedy() {
+    let w = workload(700, 0.35, 778);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(32);
+    let mut last_exact_recall = 1.0f64;
+    let mut degraded = false;
+    for t in [0.025, 0.1, 0.2] {
+        let fuzzy = join(&corpus, &cluster, t, None, ApproximationScheme::FuzzyTokenMatching);
+        let greedy = join(&corpus, &cluster, t, None, ApproximationScheme::GreedyTokenAligning);
+        let exact = join(&corpus, &cluster, t, None, ApproximationScheme::ExactTokenMatching);
+        let rg = recall(&greedy, &fuzzy);
+        let re = recall(&exact, &fuzzy);
+        assert!(rg + 1e-9 >= re, "greedy below exact at t={t}: {rg} < {re}");
+        if re < last_exact_recall - 1e-9 {
+            degraded = true;
+        }
+        last_exact_recall = re;
+    }
+    // "increasing T has more impact on the recall of the approximations":
+    // somewhere over the sweep, exact-token-matching must lose pairs.
+    assert!(degraded, "exact recall never degraded over the T sweep");
+}
+
+#[test]
+fn pairs_monotone_in_t_and_m() {
+    let w = workload(600, 0.35, 779);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = Cluster::with_machines(32);
+
+    // Monotone in T (fixed M): a larger radius only adds pairs.
+    let mut prev = pair_set(&join(
+        &corpus, &cluster, 0.05, Some(100), ApproximationScheme::FuzzyTokenMatching,
+    ));
+    for t in [0.1, 0.15, 0.2] {
+        let cur = pair_set(&join(
+            &corpus, &cluster, t, Some(100), ApproximationScheme::FuzzyTokenMatching,
+        ));
+        assert!(prev.is_subset(&cur), "losing pairs as T grows to {t}");
+        prev = cur;
+    }
+
+    // Monotone in M (fixed T): keeping more tokens only adds candidates.
+    let mut prev = pair_set(&join(
+        &corpus, &cluster, 0.1, Some(5), ApproximationScheme::FuzzyTokenMatching,
+    ));
+    for m in [20, 100, 400] {
+        let cur = pair_set(&join(
+            &corpus, &cluster, 0.1, Some(m), ApproximationScheme::FuzzyTokenMatching,
+        ));
+        assert!(prev.is_subset(&cur), "losing pairs as M grows to {m}");
+        prev = cur;
+    }
+}

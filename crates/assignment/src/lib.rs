@@ -53,7 +53,10 @@ pub struct Matching {
 pub fn hungarian(m: &SquareMatrix) -> Matching {
     let n = m.n();
     if n == 0 {
-        return Matching { cost: 0, assignment: vec![] };
+        return Matching {
+            cost: 0,
+            assignment: vec![],
+        };
     }
     assert!(
         m.iter().all(|c| c <= u64::MAX / 4),
@@ -181,7 +184,10 @@ pub fn exhaustive(m: &SquareMatrix) -> Matching {
     let n = m.n();
     assert!(n <= 10, "exhaustive matching is for n ≤ 10 (got {n})");
     if n == 0 {
-        return Matching { cost: 0, assignment: vec![] };
+        return Matching {
+            cost: 0,
+            assignment: vec![],
+        };
     }
     let mut perm: Vec<usize> = (0..n).collect();
     let mut best_cost = u64::MAX;
@@ -193,7 +199,10 @@ pub fn exhaustive(m: &SquareMatrix) -> Matching {
             best.copy_from_slice(p);
         }
     });
-    Matching { cost: best_cost, assignment: best }
+    Matching {
+        cost: best_cost,
+        assignment: best,
+    }
 }
 
 fn permute(p: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
@@ -238,11 +247,7 @@ mod tests {
     #[test]
     fn greedy_can_be_suboptimal_but_valid() {
         // Greedy takes the 0 edge (0,0), forcing 10+10; optimal is 1+1+0.
-        let m = SquareMatrix::from_rows(&[
-            vec![0, 1, 10],
-            vec![1, 10, 10],
-            vec![10, 10, 0],
-        ]);
+        let m = SquareMatrix::from_rows(&[vec![0, 1, 10], vec![1, 10, 10], vec![10, 10, 0]]);
         let h = hungarian(&m);
         let g = greedy(&m);
         assert_eq!(h.cost, 2);

@@ -10,7 +10,10 @@ pub struct SquareMatrix {
 impl SquareMatrix {
     /// An all-zero `n × n` matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0; n * n] }
+        Self {
+            n,
+            data: vec![0; n * n],
+        }
     }
 
     /// Builds from a cost function.

@@ -40,7 +40,11 @@ fn bench_token_joins(c: &mut Criterion) {
     });
     let cluster = Cluster::with_machines(64);
     g.bench_function(format!("massjoin/{}_tokens", tokens.len()), |b| {
-        b.iter(|| MassJoin::new(&cluster, 0.15).nld_self_join(black_box(&tokens)).unwrap())
+        b.iter(|| {
+            MassJoin::new(&cluster, 0.15)
+                .nld_self_join(black_box(&tokens))
+                .unwrap()
+        })
     });
     g.finish();
 }

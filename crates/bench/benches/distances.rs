@@ -48,11 +48,15 @@ fn bench_setwise(c: &mut Criterion) {
     let x5 = ["maria", "del", "carmen", "garcia", "lopez"];
     let y5 = ["mariah", "del", "carmen", "garcia", "lopes"];
     let mut g = c.benchmark_group("nsld");
-    g.bench_function("nsld/hungarian_k3", |b| b.iter(|| nsld(black_box(&x3), black_box(&y3))));
+    g.bench_function("nsld/hungarian_k3", |b| {
+        b.iter(|| nsld(black_box(&x3), black_box(&y3)))
+    });
     g.bench_function("nsld/greedy_k3", |b| {
         b.iter(|| nsld_greedy(black_box(&x3), black_box(&y3)))
     });
-    g.bench_function("nsld/hungarian_k5", |b| b.iter(|| nsld(black_box(&x5), black_box(&y5))));
+    g.bench_function("nsld/hungarian_k5", |b| {
+        b.iter(|| nsld(black_box(&x5), black_box(&y5)))
+    });
     g.bench_function("nsld/greedy_k5", |b| {
         b.iter(|| nsld_greedy(black_box(&x5), black_box(&y5)))
     });
@@ -77,7 +81,9 @@ fn bench_assignment(c: &mut Criterion) {
         g.bench_function(format!("hungarian/{n}x{n}"), |b| {
             b.iter(|| hungarian(black_box(&m)))
         });
-        g.bench_function(format!("greedy/{n}x{n}"), |b| b.iter(|| greedy(black_box(&m))));
+        g.bench_function(format!("greedy/{n}x{n}"), |b| {
+            b.iter(|| greedy(black_box(&m)))
+        });
     }
     g.finish();
 }

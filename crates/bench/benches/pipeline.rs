@@ -58,7 +58,11 @@ fn bench_joins(c: &mut Criterion) {
         b.iter(|| {
             HmjJoiner::new(
                 &cluster,
-                HmjConfig { num_centroids: 32, max_partition_size: 256, ..HmjConfig::default() },
+                HmjConfig {
+                    num_centroids: 32,
+                    max_partition_size: 256,
+                    ..HmjConfig::default()
+                },
             )
             .self_join(black_box(&corpus), 0.1)
             .unwrap()

@@ -83,12 +83,18 @@ fn ablate_key_rule(corpus: &Corpus, cluster: &Cluster, p: &FigParams) {
     for pair in &out.pairs {
         let (a, b) = (pair.a.0, pair.b.0);
         let (ha, hb) = (fingerprint64(&a), fingerprint64(&b));
-        let key = if u64::from(ha < hb) == ha.wrapping_add(hb) % 2 { a } else { b };
+        let key = if u64::from(ha < hb) == ha.wrapping_add(hb) % 2 {
+            a
+        } else {
+            b
+        };
         *paper_rule.entry(key).or_insert(0) += 1;
         *min_rule.entry(a.min(b)).or_insert(0) += 1;
     }
     let max_of = |m: &HashMap<u32, u64>| m.values().copied().max().unwrap_or(0);
-    println!("\n# ablation D3: one-string key rule (max candidates on one key, lower = better balance)");
+    println!(
+        "\n# ablation D3: one-string key rule (max candidates on one key, lower = better balance)"
+    );
     println!("paper-hash-parity\t{}", max_of(&paper_rule));
     println!("always-smaller-id\t{}", max_of(&min_rule));
 }

@@ -9,17 +9,28 @@ fn main() {
     let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
     println!("n={} distinct_tokens={}", corpus.len(), corpus.num_tokens());
     let cluster = p.cluster(p.default_machines);
-    for scheme in [ApproximationScheme::FuzzyTokenMatching, ApproximationScheme::ExactTokenMatching] {
+    for scheme in [
+        ApproximationScheme::FuzzyTokenMatching,
+        ApproximationScheme::ExactTokenMatching,
+    ] {
         let out = TsjJoiner::new(&cluster)
-            .self_join(&corpus, &TsjConfig {
-                threshold: p.default_t,
-                max_token_frequency: Some(p.default_m),
-                scheme,
-                dedup: DedupStrategy::OneString,
-                ..TsjConfig::default()
-            })
+            .self_join(
+                &corpus,
+                &TsjConfig {
+                    threshold: p.default_t,
+                    max_token_frequency: Some(p.default_m),
+                    scheme,
+                    dedup: DedupStrategy::OneString,
+                    ..TsjConfig::default()
+                },
+            )
             .unwrap();
-        println!("\n=== {} : {} pairs, {:.1} sim secs", scheme.name(), out.pairs.len(), out.sim_secs());
+        println!(
+            "\n=== {} : {} pairs, {:.1} sim secs",
+            scheme.name(),
+            out.pairs.len(),
+            out.sim_secs()
+        );
         println!("{}", out.report);
     }
 }

@@ -1,8 +1,6 @@
 //! The per-figure reproduction harnesses.
 
-use tsj::{
-    recall, ApproximationScheme, DedupStrategy, JoinOutput, TsjConfig, TsjJoiner,
-};
+use tsj::{recall, ApproximationScheme, DedupStrategy, JoinOutput, TsjConfig, TsjJoiner};
 use tsj_datagen::{roc_dataset, workload};
 use tsj_fuzzyset::{fuzzy_distance, roc_curve, FuzzyMeasure, TokenWeights};
 use tsj_metricjoin::{HmjConfig, HmjJoiner};
@@ -114,7 +112,11 @@ pub fn fig1(p: &FigParams) -> FigData {
                 ApproximationScheme::FuzzyTokenMatching,
                 dedup,
             );
-            rows.push(Row { series: series.into(), x: machines as f64, y: out.sim_secs() });
+            rows.push(Row {
+                series: series.into(),
+                x: machines as f64,
+                y: out.sim_secs(),
+            });
         }
     }
     let mut fig = FigData {
@@ -174,7 +176,11 @@ pub fn fig2(p: &FigParams) -> FigData {
                 scheme,
                 DedupStrategy::OneString,
             );
-            rows.push(Row { series: scheme.name().into(), x: t, y: out.sim_secs() });
+            rows.push(Row {
+                series: scheme.name().into(),
+                x: t,
+                y: out.sim_secs(),
+            });
         }
     }
     let mut fig = FigData {
@@ -204,7 +210,11 @@ pub fn fig3(p: &FigParams) -> FigData {
                 scheme,
                 DedupStrategy::OneString,
             );
-            rows.push(Row { series: scheme.name().into(), x: m as f64, y: out.sim_secs() });
+            rows.push(Row {
+                series: scheme.name().into(),
+                x: m as f64,
+                y: out.sim_secs(),
+            });
         }
     }
     let mut fig = FigData {
@@ -325,7 +335,9 @@ pub fn fig5(p: &FigParams) -> FigData {
 pub fn fig6(p: &FigParams) -> FigData {
     let samples = roc_dataset(p.roc_samples, p.seed);
     let corpus = Corpus::build(
-        samples.iter().flat_map(|s| [s.old.as_str(), s.new.as_str()]),
+        samples
+            .iter()
+            .flat_map(|s| [s.old.as_str(), s.new.as_str()]),
         &NameTokenizer::default(),
     );
     let weights = TokenWeights::from_corpus(&corpus);
@@ -358,7 +370,13 @@ pub fn fig6(p: &FigParams) -> FigData {
     ];
     let tokenized: Vec<(Vec<String>, Vec<String>, bool)> = samples
         .iter()
-        .map(|s| (tokenizer.tokenize(&s.old), tokenizer.tokenize(&s.new), s.fraud))
+        .map(|s| {
+            (
+                tokenizer.tokenize(&s.old),
+                tokenizer.tokenize(&s.new),
+                s.fraud,
+            )
+        })
         .collect();
     for (name, dist) in &measures {
         let scored: Vec<(f64, bool)> = tokenized
@@ -371,7 +389,11 @@ pub fn fig6(p: &FigParams) -> FigData {
         let step = (curve.points.len() / 200).max(1);
         for (i, (fpr, tpr)) in curve.points.iter().enumerate() {
             if i % step == 0 || i + 1 == curve.points.len() {
-                rows.push(Row { series: (*name).into(), x: *fpr, y: *tpr });
+                rows.push(Row {
+                    series: (*name).into(),
+                    x: *fpr,
+                    y: *tpr,
+                });
             }
         }
     }
@@ -391,7 +413,10 @@ pub fn fig7(p: &FigParams) -> FigData {
     // n × machines NSLD evaluations, which makes the *baseline* the
     // wall-clock bottleneck of the whole harness at full n. The comparison
     // stays apples-to-apples (same corpus for both series).
-    let p = &FigParams { n: (p.n / 2).max(1000), ..p.clone() };
+    let p = &FigParams {
+        n: (p.n / 2).max(1000),
+        ..p.clone()
+    };
     let corpus = build_corpus(p);
     let mut rows = Vec::new();
     let mut notes = Vec::new();
@@ -405,7 +430,11 @@ pub fn fig7(p: &FigParams) -> FigData {
             ApproximationScheme::FuzzyTokenMatching,
             DedupStrategy::OneString,
         );
-        rows.push(Row { series: "TSJ".into(), x: machines as f64, y: tsj_out.sim_secs() });
+        rows.push(Row {
+            series: "TSJ".into(),
+            x: machines as f64,
+            y: tsj_out.sim_secs(),
+        });
 
         let cluster = p.cluster(machines);
         // HMJ partition count scales with the cluster (as in ClusterJoin);
@@ -421,18 +450,22 @@ pub fn fig7(p: &FigParams) -> FigData {
                 // that plus a fixed verification allowance. Low machine
                 // counts blow the allowance through partition blow-up —
                 // the paper's DNF outcome.
-                max_distance_computations: Some(
-                    (p.n * machines) as u64 + 15_000_000,
-                ),
+                max_distance_computations: Some((p.n * machines) as u64 + 15_000_000),
                 ..HmjConfig::default()
             },
         )
         .self_join(&corpus, p.default_t)
         .expect("hmj job runs");
         if hmj.dnf {
-            notes.push(format!("HMJ DNF at {machines} machines (distance budget exhausted)"));
+            notes.push(format!(
+                "HMJ DNF at {machines} machines (distance budget exhausted)"
+            ));
         } else {
-            rows.push(Row { series: "HMJ".into(), x: machines as f64, y: hmj.sim_secs() });
+            rows.push(Row {
+                series: "HMJ".into(),
+                x: machines as f64,
+                y: hmj.sim_secs(),
+            });
         }
     }
     let mut fig = FigData {

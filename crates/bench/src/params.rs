@@ -88,7 +88,11 @@ impl FigParams {
         Cluster::new(ClusterConfig {
             machines,
             threads: self.threads,
-            cost: CostModel { cpu_scale: self.cpu_scale, ..CostModel::default() },
+            cost: CostModel {
+                cpu_scale: self.cpu_scale,
+                ..CostModel::default()
+            },
+            ..ClusterConfig::default()
         })
     }
 }
@@ -114,7 +118,10 @@ mod tests {
         assert_eq!(p.machines_sweep.last(), Some(&1000));
         assert!((p.thresholds[0] - 0.025).abs() < 1e-12);
         assert!((p.thresholds[8] - 0.225).abs() < 1e-12);
-        assert_eq!(p.m_values, vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]);
+        assert_eq!(
+            p.m_values,
+            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        );
         assert_eq!(p.default_t, 0.1);
         assert_eq!(p.default_m, 100);
     }

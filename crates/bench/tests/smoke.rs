@@ -26,7 +26,11 @@ fn fig1_runs_and_one_string_wins() {
 #[test]
 fn fig2_runs_with_three_series() {
     let fig = figures::fig2(&smoke());
-    for s in ["fuzzy-token-matching", "greedy-token-aligning", "exact-token-matching"] {
+    for s in [
+        "fuzzy-token-matching",
+        "greedy-token-aligning",
+        "exact-token-matching",
+    ] {
         assert_eq!(fig.series(s).len(), smoke().thresholds.len(), "{s}");
     }
     // Exact never exceeds fuzzy (it strictly skips work).
@@ -74,11 +78,7 @@ fn fig6_nsld_dominates() {
     };
     let nsld = auc("NSLD");
     for m in ["weighted FJaccard", "weighted FCosine", "weighted FDice"] {
-        assert!(
-            nsld >= auc(m),
-            "NSLD AUC {nsld} below {m} {}",
-            auc(m)
-        );
+        assert!(nsld >= auc(m), "NSLD AUC {nsld} below {m} {}", auc(m));
     }
     assert!(nsld > 0.8, "NSLD AUC implausibly low: {nsld}");
 }

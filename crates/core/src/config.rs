@@ -46,9 +46,7 @@ impl ApproximationScheme {
     /// The candidate-generation side of the scheme.
     pub fn candidates(self) -> CandidateGen {
         match self {
-            Self::FuzzyTokenMatching | Self::GreedyTokenAligning => {
-                CandidateGen::SharedAndSimilar
-            }
+            Self::FuzzyTokenMatching | Self::GreedyTokenAligning => CandidateGen::SharedAndSimilar,
             Self::ExactTokenMatching => CandidateGen::SharedOnly,
         }
     }
@@ -163,12 +161,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "completeness domain")]
     fn rejects_out_of_domain_threshold() {
-        TsjConfig { threshold: 0.7, ..TsjConfig::default() }.validate();
+        TsjConfig {
+            threshold: 0.7,
+            ..TsjConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "must be in [0, 1)")]
     fn rejects_negative_threshold() {
-        TsjConfig { threshold: -0.1, ..TsjConfig::default() }.validate();
+        TsjConfig {
+            threshold: -0.1,
+            ..TsjConfig::default()
+        }
+        .validate();
     }
 }

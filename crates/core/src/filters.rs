@@ -55,7 +55,14 @@ impl<'a> FilterContext<'a> {
         similar: Option<&'a SimilarMap>,
         eligible: Option<&'a [bool]>,
     ) -> Self {
-        Self { corpus, t, length_on, histogram_on, similar, eligible }
+        Self {
+            corpus,
+            t,
+            length_on,
+            histogram_on,
+            similar,
+            eligible,
+        }
     }
 
     /// Applies the enabled filters to a candidate pair.
@@ -179,8 +186,16 @@ mod tests {
     #[test]
     fn filters_are_sound() {
         let strings = [
-            "barak obama", "barak obamma", "burak ubama", "chan kalan", "chank alan",
-            "maria garcia lopez", "maria garcia", "jon smith", "jonathan smyth", "wei chen",
+            "barak obama",
+            "barak obamma",
+            "burak ubama",
+            "chan kalan",
+            "chank alan",
+            "maria garcia lopez",
+            "maria garcia",
+            "jon smith",
+            "jonathan smyth",
+            "wei chen",
         ];
         let c = corpus(&strings);
         for t in [0.05, 0.1, 0.2, 0.3] {
@@ -240,7 +255,10 @@ mod tests {
         let sim = similar_map(&c, t); // empty: nothing is similar
         assert!(sim.is_empty());
         let plain = FilterContext::new(&c, t, true, true, None, None);
-        assert_eq!(plain.check(StringId(0), StringId(1)), FilterVerdict::Survives);
+        assert_eq!(
+            plain.check(StringId(0), StringId(1)),
+            FilterVerdict::Survives
+        );
         let refined = FilterContext::new(&c, t, true, true, Some(&sim), None);
         assert_eq!(
             refined.check(StringId(0), StringId(1)),

@@ -11,7 +11,7 @@
 use std::collections::HashSet;
 
 use tsj_mapreduce::{
-    fingerprint64, Cluster, Emitter, FxBuildHasher, JobError, OutputSink, SimReport,
+    fingerprint64, Cluster, Count, Dedup, Emitter, FxBuildHasher, JobError, OutputSink, SimReport,
 };
 use tsj_passjoin::MassJoin;
 use tsj_tokenize::{Corpus, StringId, TokenId};
@@ -67,16 +67,21 @@ impl<'c> TsjJoiner<'c> {
         let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
 
         // ---- Stage 0: token document frequencies → M eligibility --------
-        let stats = self.cluster.run(
+        // Counting job: mappers emit a partial count of 1 per distinct
+        // token occurrence and the `Count` combiner folds them map-side,
+        // so the shuffle carries one record per (map task, distinct token)
+        // instead of one per token *occurrence*.
+        let stats = self.cluster.run_combined(
             "tsj.token_stats",
             &string_ids,
-            |&s, e: &mut Emitter<u32, ()>| {
+            |&s, e: &mut Emitter<u32, u64>| {
                 for t in distinct_tokens(corpus, StringId(s)) {
-                    e.emit(t.0, ());
+                    e.emit(t.0, 1);
                 }
             },
-            |&tid, hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| {
-                out.emit((tid, hits.len() as u32));
+            &Count,
+            |&tid, partial_counts: Vec<u64>, out: &mut OutputSink<(u32, u32)>| {
+                out.emit((tid, partial_counts.iter().sum::<u64>() as u32));
             },
         )?;
         report.push(stats.stats);
@@ -92,6 +97,11 @@ impl<'c> TsjJoiner<'c> {
         let _ = dropped_tokens;
 
         // ---- Stage 1: shared-token candidates (Sec. III-C) --------------
+        // No combiner: `distinct_tokens` already guarantees each (token,
+        // string) posting is emitted at most once, and every string lives
+        // in exactly one map task, so there are no within-task duplicates
+        // for a combiner to fold — it would only add a sort of the
+        // highest-volume map output for zero shuffle savings.
         let shared = self.cluster.run(
             "tsj.shared_token",
             &string_ids,
@@ -124,8 +134,7 @@ impl<'c> TsjJoiner<'c> {
                 // 2a: NLD self-join of the eligible token space.
                 let elig_tokens: Vec<TokenId> =
                     corpus.token_ids().filter(|t| eligible[t.index()]).collect();
-                let texts: Vec<&str> =
-                    elig_tokens.iter().map(|&t| corpus.token_text(t)).collect();
+                let texts: Vec<&str> = elig_tokens.iter().map(|&t| corpus.token_text(t)).collect();
                 let (token_pairs, mass_report) =
                     MassJoin::new(self.cluster, t).nld_self_join(&texts)?;
                 report.extend(mass_report);
@@ -135,13 +144,20 @@ impl<'c> TsjJoiner<'c> {
                 for p in &token_pairs {
                     let ta = elig_tokens[p.a as usize];
                     let tb = elig_tokens[p.b as usize];
-                    let key = if ta.0 <= tb.0 { (ta.0, tb.0) } else { (tb.0, ta.0) };
+                    let key = if ta.0 <= tb.0 {
+                        (ta.0, tb.0)
+                    } else {
+                        (tb.0, ta.0)
+                    };
                     map.insert(key, p.ld);
                     expand_input.push(key);
                 }
 
                 // 2b: expand similar token pairs through the postings.
-                let expanded = self.cluster.run(
+                // Candidate pairs are keyed on themselves and the reducer
+                // only deduplicates, so the `Dedup` combiner ships one
+                // record per distinct pair per map task.
+                let expanded = self.cluster.run_combined(
                     "tsj.expand_similar",
                     &expand_input,
                     |&(ta, tb), e: &mut Emitter<(u32, u32), ()>| {
@@ -156,6 +172,7 @@ impl<'c> TsjJoiner<'c> {
                             }
                         }
                     },
+                    &Dedup,
                     |&pair, _hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| {
                         out.emit(pair); // within-job dedup
                     },
@@ -177,49 +194,55 @@ impl<'c> TsjJoiner<'c> {
         );
         let aligning = cfg.scheme.aligning();
 
-        let check_and_verify =
-            |a: u32, b: u32, out: &mut OutputSink<SimilarPair>| {
-                out.add_counter("candidates_distinct", 1);
-                match filter.check(StringId(a), StringId(b)) {
-                    FilterVerdict::PrunedByLength => {
-                        out.add_counter("pruned_length", 1);
-                    }
-                    FilterVerdict::PrunedByHistogram => {
-                        out.add_counter("pruned_histogram", 1);
-                    }
-                    FilterVerdict::Survives => {
-                        out.add_counter("verified", 1);
-                        // NSLD verification costs far more than a filter
-                        // check, and Hungarian costs more than greedy;
-                        // declare it so the simulated clock tracks the
-                        // actual cost distribution (Sec. III-F complexity).
-                        out.add_work(crate::verify::verification_work_units(
-                            corpus,
-                            StringId(a),
-                            StringId(b),
-                            aligning,
-                        ));
-                        if let Some(d) =
-                            verify_pair(corpus, StringId(a), StringId(b), t, aligning)
-                        {
-                            out.emit(SimilarPair { a: StringId(a), b: StringId(b), nsld: d });
-                        }
+        let check_and_verify = |a: u32, b: u32, out: &mut OutputSink<SimilarPair>| {
+            out.add_counter("candidates_distinct", 1);
+            match filter.check(StringId(a), StringId(b)) {
+                FilterVerdict::PrunedByLength => {
+                    out.add_counter("pruned_length", 1);
+                }
+                FilterVerdict::PrunedByHistogram => {
+                    out.add_counter("pruned_histogram", 1);
+                }
+                FilterVerdict::Survives => {
+                    out.add_counter("verified", 1);
+                    // NSLD verification costs far more than a filter
+                    // check, and Hungarian costs more than greedy;
+                    // declare it so the simulated clock tracks the
+                    // actual cost distribution (Sec. III-F complexity).
+                    out.add_work(crate::verify::verification_work_units(
+                        corpus,
+                        StringId(a),
+                        StringId(b),
+                        aligning,
+                    ));
+                    if let Some(d) = verify_pair(corpus, StringId(a), StringId(b), t, aligning) {
+                        out.emit(SimilarPair {
+                            a: StringId(a),
+                            b: StringId(b),
+                            nsld: d,
+                        });
                     }
                 }
-            };
+            }
+        };
 
+        // Both dedup strategies deduplicate in the reducer, so the `Dedup`
+        // combiner removes repeated candidates before the shuffle — the
+        // map-side half of the paper's de-duplication analysis
+        // (Sec. III-G3): fewer shuffled records, same instantiated workers.
         let verify_overhead = self.cluster.config().cost.verify_group_overhead_secs;
         let verified = match cfg.dedup {
-            DedupStrategy::BothStrings => self.cluster.run_with_group_overhead(
+            DedupStrategy::BothStrings => self.cluster.run_combined_with_group_overhead(
                 "tsj.dedup_verify.both_strings",
                 verify_overhead,
                 &candidates,
                 |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+                &Dedup,
                 |&(a, b), _hits: Vec<()>, out: &mut OutputSink<SimilarPair>| {
                     check_and_verify(a, b, out);
                 },
             )?,
-            DedupStrategy::OneString => self.cluster.run_with_group_overhead(
+            DedupStrategy::OneString => self.cluster.run_combined_with_group_overhead(
                 "tsj.dedup_verify.one_string",
                 verify_overhead,
                 &candidates,
@@ -227,13 +250,18 @@ impl<'c> TsjJoiner<'c> {
                     let (k, v) = one_string_key(a, b);
                     e.emit(k, v);
                 },
+                &Dedup,
                 |&key, values: Vec<u32>, out: &mut OutputSink<SimilarPair>| {
                     // "The reducer then de-duplicates the reduce value list
                     // using a hash set."
                     let mut seen: HashSet<u32, FxBuildHasher> = HashSet::default();
                     for other in values {
                         if seen.insert(other) {
-                            let (a, b) = if key < other { (key, other) } else { (other, key) };
+                            let (a, b) = if key < other {
+                                (key, other)
+                            } else {
+                                (other, key)
+                            };
                             check_and_verify(a, b, out);
                         }
                     }
@@ -284,10 +312,7 @@ pub(crate) fn one_string_key(a: u32, b: u32) -> (u32, u32) {
 
 /// Iterates a string's tokens with within-string duplicates removed
 /// (postings semantics: a token names a string once).
-fn distinct_tokens<'a>(
-    corpus: &'a Corpus,
-    s: StringId,
-) -> impl Iterator<Item = TokenId> + 'a {
+fn distinct_tokens<'a>(corpus: &'a Corpus, s: StringId) -> impl Iterator<Item = TokenId> + 'a {
     let tokens = corpus.tokens(s);
     tokens
         .iter()

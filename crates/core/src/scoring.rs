@@ -3,10 +3,13 @@
 
 use std::collections::HashSet;
 
+use tsj_mapreduce::FxBuildHasher;
+
 use crate::joiner::SimilarPair;
 
-/// Collapses join results to their unordered id-pair set.
-pub fn pair_set(pairs: &[SimilarPair]) -> HashSet<(u32, u32)> {
+/// Collapses join results to their unordered id-pair set (keyed with the
+/// runtime's deterministic Fx hasher, not std's per-process SipHash).
+pub fn pair_set(pairs: &[SimilarPair]) -> HashSet<(u32, u32), FxBuildHasher> {
     pairs.iter().map(|p| (p.a.0, p.b.0)).collect()
 }
 
@@ -40,7 +43,11 @@ mod tests {
 
     fn pairs(ids: &[(u32, u32)]) -> Vec<SimilarPair> {
         ids.iter()
-            .map(|&(a, b)| SimilarPair { a: StringId(a), b: StringId(b), nsld: 0.0 })
+            .map(|&(a, b)| SimilarPair {
+                a: StringId(a),
+                b: StringId(b),
+                nsld: 0.0,
+            })
             .collect()
     }
 

@@ -51,10 +51,26 @@ fn join(
 #[test]
 fn fuzzy_equals_brute_force_on_fixed_corpus() {
     let strings: Vec<String> = [
-        "barak obama", "barak obamma", "burak ubama", "obama barak", "chan kalan",
-        "chank alan", "maria garcia", "mariah garcia", "maria lopez garcia",
-        "wei chen", "wei chan", "jon smith", "jonathan smith", "j smith", "", "  ",
-        "bob bob", "bob", "anna lee kim", "ana lee kim",
+        "barak obama",
+        "barak obamma",
+        "burak ubama",
+        "obama barak",
+        "chan kalan",
+        "chank alan",
+        "maria garcia",
+        "mariah garcia",
+        "maria lopez garcia",
+        "wei chen",
+        "wei chan",
+        "jon smith",
+        "jonathan smith",
+        "j smith",
+        "",
+        "  ",
+        "bob bob",
+        "bob",
+        "anna lee kim",
+        "ana lee kim",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -62,7 +78,13 @@ fn fuzzy_equals_brute_force_on_fixed_corpus() {
     let c = corpus_of(&strings);
     for t in [0.05, 0.1, 0.15, 0.25] {
         let truth = brute_force_self_join(&c, t, 4);
-        let got = join(&c, t, ApproximationScheme::FuzzyTokenMatching, DedupStrategy::OneString, None);
+        let got = join(
+            &c,
+            t,
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::OneString,
+            None,
+        );
         assert_eq!(
             pair_set(&got),
             pair_set(&truth),
@@ -81,8 +103,20 @@ fn dedup_strategies_agree() {
     let w = workload(300, 0.3, 17);
     let c = corpus_of(&w.strings);
     for t in [0.1, 0.2] {
-        let one = join(&c, t, ApproximationScheme::FuzzyTokenMatching, DedupStrategy::OneString, None);
-        let both = join(&c, t, ApproximationScheme::FuzzyTokenMatching, DedupStrategy::BothStrings, None);
+        let one = join(
+            &c,
+            t,
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::OneString,
+            None,
+        );
+        let both = join(
+            &c,
+            t,
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::BothStrings,
+            None,
+        );
         assert_eq!(pair_set(&one), pair_set(&both), "t={t}");
     }
 }
@@ -92,9 +126,27 @@ fn approximations_err_on_the_false_negative_side() {
     let w = workload(400, 0.4, 23);
     let c = corpus_of(&w.strings);
     for t in [0.075, 0.15, 0.225] {
-        let fuzzy = join(&c, t, ApproximationScheme::FuzzyTokenMatching, DedupStrategy::OneString, None);
-        let greedy = join(&c, t, ApproximationScheme::GreedyTokenAligning, DedupStrategy::OneString, None);
-        let exact = join(&c, t, ApproximationScheme::ExactTokenMatching, DedupStrategy::OneString, None);
+        let fuzzy = join(
+            &c,
+            t,
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::OneString,
+            None,
+        );
+        let greedy = join(
+            &c,
+            t,
+            ApproximationScheme::GreedyTokenAligning,
+            DedupStrategy::OneString,
+            None,
+        );
+        let exact = join(
+            &c,
+            t,
+            ApproximationScheme::ExactTokenMatching,
+            DedupStrategy::OneString,
+            None,
+        );
 
         // Precision 1.0: every reported pair is truly similar.
         assert_eq!(precision(&greedy, &fuzzy), 1.0, "greedy precision at t={t}");
@@ -107,7 +159,10 @@ fn approximations_err_on_the_false_negative_side() {
         // Recall ordering observed in the paper: greedy ≈ 1, exact below.
         let rg = recall(&greedy, &fuzzy);
         let re = recall(&exact, &fuzzy);
-        assert!(rg >= re - 1e-9, "greedy recall {rg} < exact recall {re} at t={t}");
+        assert!(
+            rg >= re - 1e-9,
+            "greedy recall {rg} < exact recall {re} at t={t}"
+        );
         assert!(rg > 0.95, "greedy recall {rg} too low at t={t}");
     }
 }
@@ -117,11 +172,23 @@ fn m_filter_only_loses_pairs() {
     let w = workload(400, 0.3, 31);
     let c = corpus_of(&w.strings);
     let t = 0.1;
-    let unfiltered = join(&c, t, ApproximationScheme::FuzzyTokenMatching, DedupStrategy::OneString, None);
+    let unfiltered = join(
+        &c,
+        t,
+        ApproximationScheme::FuzzyTokenMatching,
+        DedupStrategy::OneString,
+        None,
+    );
     let mut prev = pair_set(&unfiltered);
     // Decreasing M drops more tokens, monotonically losing candidates.
     for m in [200usize, 50, 10, 2] {
-        let got = join(&c, t, ApproximationScheme::FuzzyTokenMatching, DedupStrategy::OneString, Some(m));
+        let got = join(
+            &c,
+            t,
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::OneString,
+            Some(m),
+        );
         let set = pair_set(&got);
         assert!(
             set.is_subset(&prev),
@@ -171,12 +238,20 @@ fn filters_can_be_disabled_without_changing_results() {
     let w = workload(250, 0.4, 53);
     let c = corpus_of(&w.strings);
     let cluster = Cluster::with_machines(8);
-    let base = TsjConfig { threshold: 0.15, max_token_frequency: None, ..TsjConfig::default() };
+    let base = TsjConfig {
+        threshold: 0.15,
+        max_token_frequency: None,
+        ..TsjConfig::default()
+    };
     let with = TsjJoiner::new(&cluster).self_join(&c, &base).unwrap();
     let without = TsjJoiner::new(&cluster)
         .self_join(
             &c,
-            &TsjConfig { length_filter: false, histogram_filter: false, ..base },
+            &TsjConfig {
+                length_filter: false,
+                histogram_filter: false,
+                ..base
+            },
         )
         .unwrap();
     assert_eq!(pair_set(&with.pairs), pair_set(&without.pairs));

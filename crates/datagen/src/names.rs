@@ -9,41 +9,258 @@ use crate::zipf::Zipf;
 /// English/Spanish/Arabic/South-Asian romanizations so token lengths and
 /// character distributions resemble a real multi-script-romanized region.
 pub const GIVEN_NAMES: &[&str] = &[
-    "john", "mary", "james", "robert", "michael", "william", "david", "richard", "joseph",
-    "thomas", "charles", "maria", "patricia", "jennifer", "linda", "elizabeth", "barbara",
-    "susan", "jessica", "sarah", "karen", "mohammed", "ahmed", "ali", "omar", "hassan",
-    "fatima", "aisha", "zainab", "yusuf", "ibrahim", "carlos", "jose", "juan", "luis",
-    "miguel", "ana", "carmen", "rosa", "elena", "sofia", "wei", "ming", "hui", "jing",
-    "chen", "yan", "lei", "xin", "hao", "raj", "amit", "sanjay", "vijay", "ravi", "priya",
-    "anita", "sunita", "deepa", "kavita", "ivan", "dmitri", "sergei", "olga", "natasha",
-    "pierre", "jean", "marie", "claire", "luc", "hans", "karl", "greta", "ingrid", "lars",
-    "kenji", "hiroshi", "yuki", "akira", "sakura", "kwame", "kofi", "ama", "abena", "femi",
-    "daniel", "matthew", "anthony", "mark", "donald", "steven", "paul", "andrew", "joshua",
-    "kevin", "brian", "george", "edward", "ronald", "timothy", "jason", "jeffrey", "ryan",
-    "jacob", "gary", "nancy", "lisa", "betty", "margaret", "sandra", "ashley", "kimberly",
-    "emily", "donna", "michelle", "dorothy", "carol", "amanda", "melissa", "deborah",
+    "john",
+    "mary",
+    "james",
+    "robert",
+    "michael",
+    "william",
+    "david",
+    "richard",
+    "joseph",
+    "thomas",
+    "charles",
+    "maria",
+    "patricia",
+    "jennifer",
+    "linda",
+    "elizabeth",
+    "barbara",
+    "susan",
+    "jessica",
+    "sarah",
+    "karen",
+    "mohammed",
+    "ahmed",
+    "ali",
+    "omar",
+    "hassan",
+    "fatima",
+    "aisha",
+    "zainab",
+    "yusuf",
+    "ibrahim",
+    "carlos",
+    "jose",
+    "juan",
+    "luis",
+    "miguel",
+    "ana",
+    "carmen",
+    "rosa",
+    "elena",
+    "sofia",
+    "wei",
+    "ming",
+    "hui",
+    "jing",
+    "chen",
+    "yan",
+    "lei",
+    "xin",
+    "hao",
+    "raj",
+    "amit",
+    "sanjay",
+    "vijay",
+    "ravi",
+    "priya",
+    "anita",
+    "sunita",
+    "deepa",
+    "kavita",
+    "ivan",
+    "dmitri",
+    "sergei",
+    "olga",
+    "natasha",
+    "pierre",
+    "jean",
+    "marie",
+    "claire",
+    "luc",
+    "hans",
+    "karl",
+    "greta",
+    "ingrid",
+    "lars",
+    "kenji",
+    "hiroshi",
+    "yuki",
+    "akira",
+    "sakura",
+    "kwame",
+    "kofi",
+    "ama",
+    "abena",
+    "femi",
+    "daniel",
+    "matthew",
+    "anthony",
+    "mark",
+    "donald",
+    "steven",
+    "paul",
+    "andrew",
+    "joshua",
+    "kevin",
+    "brian",
+    "george",
+    "edward",
+    "ronald",
+    "timothy",
+    "jason",
+    "jeffrey",
+    "ryan",
+    "jacob",
+    "gary",
+    "nancy",
+    "lisa",
+    "betty",
+    "margaret",
+    "sandra",
+    "ashley",
+    "kimberly",
+    "emily",
+    "donna",
+    "michelle",
+    "dorothy",
+    "carol",
+    "amanda",
+    "melissa",
+    "deborah",
 ];
 
 /// Popular surnames.
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
-    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
-    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white",
-    "harris", "sanchez", "clark", "ramirez", "lewis", "robinson", "walker", "young",
-    "allen", "king", "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
-    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell", "carter",
-    "roberts", "khan", "ahmed", "hussain", "malik", "sheikh", "patel", "sharma", "singh",
-    "kumar", "gupta", "mehta", "shah", "reddy", "rao", "nair", "iyer", "chen", "wang",
-    "zhang", "liu", "yang", "huang", "zhao", "wu", "zhou", "xu", "sun", "ma", "zhu",
-    "kim", "park", "choi", "jung", "kang", "cho", "yoon", "jang", "lim", "han",
-    "tanaka", "suzuki", "takahashi", "watanabe", "ito", "yamamoto", "nakamura", "kobayashi",
-    "ivanov", "petrov", "sidorov", "volkov", "kuznetsov", "muller", "schmidt", "schneider",
-    "fischer", "weber", "meyer", "wagner", "becker", "hoffmann", "dubois", "moreau",
-    "laurent", "simon", "michel", "leroy", "rossi", "russo", "ferrari", "esposito",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
+    "khan",
+    "ahmed",
+    "hussain",
+    "malik",
+    "sheikh",
+    "patel",
+    "sharma",
+    "singh",
+    "kumar",
+    "gupta",
+    "mehta",
+    "shah",
+    "reddy",
+    "rao",
+    "nair",
+    "iyer",
+    "chen",
+    "wang",
+    "zhang",
+    "liu",
+    "yang",
+    "huang",
+    "zhao",
+    "wu",
+    "zhou",
+    "xu",
+    "sun",
+    "ma",
+    "zhu",
+    "kim",
+    "park",
+    "choi",
+    "jung",
+    "kang",
+    "cho",
+    "yoon",
+    "jang",
+    "lim",
+    "han",
+    "tanaka",
+    "suzuki",
+    "takahashi",
+    "watanabe",
+    "ito",
+    "yamamoto",
+    "nakamura",
+    "kobayashi",
+    "ivanov",
+    "petrov",
+    "sidorov",
+    "volkov",
+    "kuznetsov",
+    "muller",
+    "schmidt",
+    "schneider",
+    "fischer",
+    "weber",
+    "meyer",
+    "wagner",
+    "becker",
+    "hoffmann",
+    "dubois",
+    "moreau",
+    "laurent",
+    "simon",
+    "michel",
+    "leroy",
+    "rossi",
+    "russo",
+    "ferrari",
+    "esposito",
 ];
 
 /// Syllables for generating tail (rare) names.
-const ONSETS: &[&str] = &["b", "ch", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "t", "v", "w", "y", "z", "br", "dr", "kr", "st", "tr"];
+const ONSETS: &[&str] = &[
+    "b", "ch", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "t", "v", "w",
+    "y", "z", "br", "dr", "kr", "st", "tr",
+];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou", "ia"];
 const CODAS: &[&str] = &["", "", "n", "m", "r", "l", "s", "t", "k", "nd", "ng"];
 
@@ -88,7 +305,12 @@ pub fn rare_name(rng: &mut StdRng) -> String {
 }
 
 /// Draws one full name (2–4 tokens) according to `cfg`.
-pub fn generate_name(rng: &mut StdRng, cfg: &NameGenConfig, given_z: &Zipf, sur_z: &Zipf) -> String {
+pub fn generate_name(
+    rng: &mut StdRng,
+    cfg: &NameGenConfig,
+    given_z: &Zipf,
+    sur_z: &Zipf,
+) -> String {
     let mut tokens: Vec<String> = Vec::with_capacity(4);
     let given = if rng.gen_bool(cfg.rare_name_prob) {
         rare_name(rng)
@@ -123,7 +345,9 @@ pub fn generate_name(rng: &mut StdRng, cfg: &NameGenConfig, given_z: &Zipf, sur_
 pub fn generate_names(n: usize, rng: &mut StdRng, cfg: &NameGenConfig) -> Vec<String> {
     let given_z = Zipf::new(GIVEN_NAMES.len(), cfg.zipf_exponent);
     let sur_z = Zipf::new(SURNAMES.len(), cfg.zipf_exponent);
-    (0..n).map(|_| generate_name(rng, cfg, &given_z, &sur_z)).collect()
+    (0..n)
+        .map(|_| generate_name(rng, cfg, &given_z, &sur_z))
+        .collect()
 }
 
 #[cfg(test)]
@@ -156,8 +380,11 @@ mod tests {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // Head token should be orders of magnitude above the median.
         let median = counts[counts.len() / 2];
-        assert!(counts[0] > 50 * median.max(1),
-            "head {} vs median {median} — not Zipf-like", counts[0]);
+        assert!(
+            counts[0] > 50 * median.max(1),
+            "head {} vs median {median} — not Zipf-like",
+            counts[0]
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub struct RingConfig {
 
 impl Default for RingConfig {
     fn default() -> Self {
-        Self { min_size: 3, max_size: 8, min_ops: 1, max_ops: 2 }
+        Self {
+            min_size: 3,
+            max_size: 8,
+            min_ops: 1,
+            max_ops: 2,
+        }
     }
 }
 

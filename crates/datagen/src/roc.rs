@@ -17,13 +17,34 @@ use crate::zipf::Zipf;
 
 /// Nickname pairs for legitimate renames (formal → familiar).
 pub const NICKNAMES: &[(&str, &str)] = &[
-    ("william", "bill"), ("robert", "bob"), ("richard", "dick"), ("james", "jim"),
-    ("john", "jack"), ("michael", "mike"), ("joseph", "joe"), ("thomas", "tom"),
-    ("charles", "chuck"), ("elizabeth", "liz"), ("margaret", "peggy"), ("patricia", "pat"),
-    ("jennifer", "jen"), ("katherine", "kate"), ("daniel", "dan"), ("matthew", "matt"),
-    ("anthony", "tony"), ("steven", "steve"), ("andrew", "andy"), ("joshua", "josh"),
-    ("timothy", "tim"), ("jeffrey", "jeff"), ("edward", "ed"), ("ronald", "ron"),
-    ("kenneth", "ken"), ("alexander", "alex"), ("benjamin", "ben"), ("samuel", "sam"),
+    ("william", "bill"),
+    ("robert", "bob"),
+    ("richard", "dick"),
+    ("james", "jim"),
+    ("john", "jack"),
+    ("michael", "mike"),
+    ("joseph", "joe"),
+    ("thomas", "tom"),
+    ("charles", "chuck"),
+    ("elizabeth", "liz"),
+    ("margaret", "peggy"),
+    ("patricia", "pat"),
+    ("jennifer", "jen"),
+    ("katherine", "kate"),
+    ("daniel", "dan"),
+    ("matthew", "matt"),
+    ("anthony", "tony"),
+    ("steven", "steve"),
+    ("andrew", "andy"),
+    ("joshua", "josh"),
+    ("timothy", "tim"),
+    ("jeffrey", "jeff"),
+    ("edward", "ed"),
+    ("ronald", "ron"),
+    ("kenneth", "ken"),
+    ("alexander", "alex"),
+    ("benjamin", "ben"),
+    ("samuel", "sam"),
 ];
 
 /// One labelled name change.

@@ -47,7 +47,9 @@ impl Zipf {
     /// Draws a rank in `0..n` (0 = most popular).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 

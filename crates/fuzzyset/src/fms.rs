@@ -39,7 +39,11 @@ pub struct FmsPenalties {
 
 impl Default for FmsPenalties {
     fn default() -> Self {
-        Self { replace: 1.0, insert: 1.0, delete: 1.0 }
+        Self {
+            replace: 1.0,
+            insert: 1.0,
+            delete: 1.0,
+        }
     }
 }
 
@@ -154,10 +158,8 @@ mod tests {
         let x = ["barak"];
         let y = ["barak", "hussein", "obama"];
         let p = FmsPenalties::default();
-        let weights = TokenWeights::from_dfs(
-            [("barak", 1usize), ("hussein", 50), ("obama", 2)],
-            100,
-        );
+        let weights =
+            TokenWeights::from_dfs([("barak", 1usize), ("hussein", 50), ("obama", 2)], 100);
         assert_ne!(fms(&x, &y, &weights, p), fms(&y, &x, &weights, p));
         assert_ne!(afms(&x, &y, &weights, p), afms(&y, &x, &weights, p));
     }
@@ -169,8 +171,8 @@ mod tests {
         let y = ["barak", "obama"];
         let p = FmsPenalties::default();
         assert_eq!(afms(&x, &y, &w(), p), 1.0); // shuffle is free here
-        // Two copies of "bob" both match the single target "bob": AFMS
-        // sees a perfect score even though the multisets differ.
+                                                // Two copies of "bob" both match the single target "bob": AFMS
+                                                // sees a perfect score even though the multisets differ.
         let dup = ["bob", "bob"];
         let single = ["bob"];
         assert_eq!(afms(&dup, &single, &w(), p), 1.0);
@@ -182,8 +184,24 @@ mod tests {
     fn penalties_scale_costs() {
         let x = ["barak"];
         let y = ["barak", "obama"];
-        let cheap = fms(&x, &y, &w(), FmsPenalties { insert: 0.1, ..Default::default() });
-        let pricey = fms(&x, &y, &w(), FmsPenalties { insert: 1.0, ..Default::default() });
+        let cheap = fms(
+            &x,
+            &y,
+            &w(),
+            FmsPenalties {
+                insert: 0.1,
+                ..Default::default()
+            },
+        );
+        let pricey = fms(
+            &x,
+            &y,
+            &w(),
+            FmsPenalties {
+                insert: 1.0,
+                ..Default::default()
+            },
+        );
         assert!(cheap > pricey);
     }
 

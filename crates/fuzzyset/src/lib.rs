@@ -17,7 +17,5 @@ pub mod measures;
 pub mod roc;
 
 pub use fms::{afms, fms, FmsPenalties};
-pub use measures::{
-    fuzzy_distance, fuzzy_similarity, soft_tfidf, FuzzyMeasure, TokenWeights,
-};
+pub use measures::{fuzzy_distance, fuzzy_similarity, soft_tfidf, FuzzyMeasure, TokenWeights};
 pub use roc::{auc, roc_curve, RocCurve};

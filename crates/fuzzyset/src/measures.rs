@@ -31,7 +31,10 @@ impl TokenWeights {
             .into_iter()
             .map(|(t, df)| (t.into(), (1.0 + n / df.max(1) as f64).ln()))
             .collect();
-        Self { weights, unseen: (1.0 + n).ln() }
+        Self {
+            weights,
+            unseen: (1.0 + n).ln(),
+        }
     }
 
     /// Builds weights from an interned corpus's postings.
@@ -46,7 +49,10 @@ impl TokenWeights {
 
     /// Uniform weights (1.0 for everything) — the unweighted variants.
     pub fn uniform() -> Self {
-        Self { weights: HashMap::new(), unseen: 1.0 }
+        Self {
+            weights: HashMap::new(),
+            unseen: 1.0,
+        }
     }
 
     /// Weight of one token.
@@ -85,7 +91,11 @@ fn ned(a: &str, b: &str) -> f64 {
 /// `NED ≥ δ`, taken in decreasing-similarity order (the matching strategy
 /// of [67]; like the paper's AFMS discussion, best-match but one-to-one).
 /// Returns `(i, j, sim)` matched pairs.
-fn fuzzy_matching(x: &[impl AsRef<str>], y: &[impl AsRef<str>], delta: f64) -> Vec<(usize, usize, f64)> {
+fn fuzzy_matching(
+    x: &[impl AsRef<str>],
+    y: &[impl AsRef<str>],
+    delta: f64,
+) -> Vec<(usize, usize, f64)> {
     let mut edges: Vec<(f64, usize, usize)> = Vec::new();
     for (i, a) in x.iter().enumerate() {
         for (j, b) in y.iter().enumerate() {
@@ -174,7 +184,10 @@ pub fn soft_tfidf(
         return 0.0;
     }
     let norm = |ts: &[&str]| -> f64 {
-        ts.iter().map(|t| weights.weight(t).powi(2)).sum::<f64>().sqrt()
+        ts.iter()
+            .map(|t| weights.weight(t).powi(2))
+            .sum::<f64>()
+            .sqrt()
     };
     let xs: Vec<&str> = x.iter().map(AsRef::as_ref).collect();
     let ys: Vec<&str> = y.iter().map(AsRef::as_ref).collect();
@@ -201,15 +214,21 @@ pub fn soft_tfidf(
 mod tests {
     use super::*;
 
-    const MEASURES: [FuzzyMeasure; 3] =
-        [FuzzyMeasure::Jaccard, FuzzyMeasure::Cosine, FuzzyMeasure::Dice];
+    const MEASURES: [FuzzyMeasure; 3] = [
+        FuzzyMeasure::Jaccard,
+        FuzzyMeasure::Cosine,
+        FuzzyMeasure::Dice,
+    ];
 
     #[test]
     fn identical_multisets_have_similarity_one() {
         let w = TokenWeights::uniform();
         let x = ["barak", "obama"];
         for m in MEASURES {
-            assert!((fuzzy_similarity(&x, &x, &w, 0.8, m) - 1.0).abs() < 1e-12, "{m:?}");
+            assert!(
+                (fuzzy_similarity(&x, &x, &w, 0.8, m) - 1.0).abs() < 1e-12,
+                "{m:?}"
+            );
             assert_eq!(fuzzy_distance(&x, &x, &w, 0.8, m), 0.0);
         }
         assert!((soft_tfidf(&x, &x, &w, 0.9) - 1.0).abs() < 1e-9);
@@ -237,10 +256,7 @@ mod tests {
 
     #[test]
     fn delta_one_degenerates_to_exact_weighted_jaccard() {
-        let w = TokenWeights::from_dfs(
-            [("john", 100usize), ("smith", 50), ("zanzibar", 1)],
-            100,
-        );
+        let w = TokenWeights::from_dfs([("john", 100usize), ("smith", 50), ("zanzibar", 1)], 100);
         let x = ["john", "zanzibar"];
         let y = ["john", "smith"];
         let got = fuzzy_similarity(&x, &y, &w, 1.0, FuzzyMeasure::Jaccard);
@@ -265,10 +281,20 @@ mod tests {
     fn rare_tokens_dominate_weighted_measures() {
         let w = TokenWeights::from_dfs([("john", 10_000usize), ("xylophanes", 2)], 10_000);
         // Sharing the rare token counts far more than sharing the common one.
-        let share_rare =
-            fuzzy_similarity(&["john", "xylophanes"], &["mary", "xylophanes"], &w, 1.0, FuzzyMeasure::Jaccard);
-        let share_common =
-            fuzzy_similarity(&["john", "xylophanes"], &["john", "abcdefgh"], &w, 1.0, FuzzyMeasure::Jaccard);
+        let share_rare = fuzzy_similarity(
+            &["john", "xylophanes"],
+            &["mary", "xylophanes"],
+            &w,
+            1.0,
+            FuzzyMeasure::Jaccard,
+        );
+        let share_common = fuzzy_similarity(
+            &["john", "xylophanes"],
+            &["john", "abcdefgh"],
+            &w,
+            1.0,
+            FuzzyMeasure::Jaccard,
+        );
         assert!(share_rare > 2.0 * share_common);
     }
 

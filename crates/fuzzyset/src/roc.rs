@@ -45,7 +45,9 @@ pub fn roc_curve(samples: &[(f64, bool)]) -> RocCurve {
     let neg = samples.len() - pos;
     if pos == 0 || neg == 0 {
         // Degenerate: no discrimination task; return the diagonal.
-        return RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)] };
+        return RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        };
     }
     let mut sorted: Vec<(f64, bool)> = samples.to_vec();
     // Descending score: highest distance classified fraud first.
@@ -103,15 +105,13 @@ mod tests {
 
     #[test]
     fn all_ties_is_chance() {
-        let samples: Vec<(f64, bool)> =
-            (0..100).map(|i| (0.5, i % 2 == 0)).collect();
+        let samples: Vec<(f64, bool)> = (0..100).map(|i| (0.5, i % 2 == 0)).collect();
         assert!((roc_curve(&samples).auc() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn interleaved_is_near_chance() {
-        let samples: Vec<(f64, bool)> =
-            (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
+        let samples: Vec<(f64, bool)> = (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
         let a = roc_curve(&samples).auc();
         assert!((a - 0.5).abs() < 0.01, "AUC {a}");
     }

@@ -2,11 +2,18 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::hash::{fingerprint64, FxBuildHasher};
+use crate::hash::FxBuildHasher;
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 use crate::pool::run_indexed;
+use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleRecord};
+
+/// Applies a combiner to a map task's output buffers and returns the
+/// post-combine record count (how `run_inner` receives a combiner without
+/// needing `K: Clone` on the uncombined entry points).
+type CombineFn<'a, K, V> = &'a (dyn Fn(&mut PartitionedBuffer<K, V>) -> usize + Sync);
 
 /// Simulated-cost parameters of the cluster.
 ///
@@ -31,7 +38,10 @@ pub struct CostModel {
     /// for each candidate pair". Jobs opt in via
     /// [`Cluster::run_with_group_overhead`].
     pub verify_group_overhead_secs: f64,
-    /// Shuffle cost per intermediate record, divided across machines.
+    /// Shuffle cost per shuffled record, divided across machines. Charged
+    /// on the **post-combine** record count
+    /// ([`JobStats::shuffle_records`]), so map-side combining shows up as
+    /// a shuffle saving exactly as it would on a real cluster.
     pub shuffle_secs_per_record: f64,
     /// Multiplier from measured local CPU-seconds to simulated
     /// machine-seconds (models the paper's 0.5-CPU machines being slower
@@ -69,13 +79,24 @@ pub struct ClusterConfig {
     pub machines: usize,
     /// Real worker threads; `0` means all available cores.
     pub threads: usize,
+    /// Shuffle partition count; `0` (the default) means one partition per
+    /// simulated machine, matching how a production shuffler routes keys
+    /// to reducers. Any positive count is legal — job output is
+    /// partition-count-invariant — and reduce partition `p` is charged to
+    /// machine `p % machines`.
+    pub partitions: usize,
     /// Simulated-cost parameters.
     pub cost: CostModel,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        Self { machines: 1000, threads: 0, cost: CostModel::default() }
+        Self {
+            machines: 1000,
+            threads: 0,
+            partitions: 0,
+            cost: CostModel::default(),
+        }
     }
 }
 
@@ -94,7 +115,10 @@ impl Cluster {
 
     /// A cluster with `machines` simulated machines and default costs.
     pub fn with_machines(machines: usize) -> Self {
-        Self::new(ClusterConfig { machines, ..ClusterConfig::default() })
+        Self::new(ClusterConfig {
+            machines,
+            ..ClusterConfig::default()
+        })
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -105,22 +129,37 @@ impl Cluster {
         self.cfg.machines
     }
 
+    /// Shuffle partition count jobs run with (see [`ClusterConfig`]).
+    pub fn partitions(&self) -> usize {
+        if self.cfg.partitions > 0 {
+            self.cfg.partitions
+        } else {
+            self.cfg.machines
+        }
+    }
+
     fn threads(&self) -> usize {
         if self.cfg.threads > 0 {
             self.cfg.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 
     /// Runs one MapReduce job (Sec. III-A semantics).
     ///
     /// * `map` is applied to every input record, emitting `⟨key2, value2⟩`
-    ///   pairs into the [`Emitter`].
-    /// * The shuffler groups pairs by key; each key's values are handed to
+    ///   pairs into the [`Emitter`], which routes each pair to its shuffle
+    ///   partition `HASH(key2) % partitions` at emit time.
+    /// * Each partition's buffers are handed to exactly one reduce task,
+    ///   which groups pairs by key; each key's values are handed to
     ///   `reduce` exactly once, on the simulated machine
-    ///   `hash(key) % machines`.
-    /// * Output order across groups is unspecified (as on a real cluster).
+    ///   `partition % machines`.
+    /// * Output order across groups is unspecified (as on a real cluster),
+    ///   but deterministic given the input and the partition count —
+    ///   independent of the real thread count.
     ///
     /// Simulated time = job startup + map makespan + shuffle + reduce
     /// makespan; see [`CostModel`]. Real execution uses all configured
@@ -140,7 +179,50 @@ impl Cluster {
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
-        self.run_with_group_overhead(name, self.cfg.cost.reduce_group_overhead_secs, input, map, reduce)
+        self.run_inner(
+            name,
+            self.cfg.cost.reduce_group_overhead_secs,
+            input,
+            map,
+            None,
+            reduce,
+        )
+    }
+
+    /// [`Cluster::run`] with a map-side [`Combiner`]: each map task folds
+    /// its emitted values per key through `combiner` before the shuffle,
+    /// and the shuffle is charged on the post-combine record count
+    /// ([`JobStats::shuffle_records`]).
+    ///
+    /// The reducer must be insensitive to the partial aggregation (see the
+    /// [`Combiner`] contract) — given that, output is identical to
+    /// [`Cluster::run`] with the same `map`/`reduce`.
+    pub fn run_combined<I, K, V, O, M, C, R>(
+        &self,
+        name: &str,
+        input: &[I],
+        map: M,
+        combiner: &C,
+        reduce: R,
+    ) -> Result<JobResult<O>, JobError>
+    where
+        I: Sync,
+        K: Hash + Eq + Clone + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut Emitter<K, V>) + Sync,
+        C: Combiner<K, V>,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
+        self.run_inner(
+            name,
+            self.cfg.cost.reduce_group_overhead_secs,
+            input,
+            map,
+            Some(&combine),
+            reduce,
+        )
     }
 
     /// [`Cluster::run`] with an explicit per-reduce-group worker overhead —
@@ -162,15 +244,73 @@ impl Cluster {
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
+        self.run_inner(name, group_overhead_secs, input, map, None, reduce)
+    }
+
+    /// [`Cluster::run_combined`] with an explicit per-reduce-group worker
+    /// overhead (verification jobs with a map-side combiner).
+    pub fn run_combined_with_group_overhead<I, K, V, O, M, C, R>(
+        &self,
+        name: &str,
+        group_overhead_secs: f64,
+        input: &[I],
+        map: M,
+        combiner: &C,
+        reduce: R,
+    ) -> Result<JobResult<O>, JobError>
+    where
+        I: Sync,
+        K: Hash + Eq + Clone + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut Emitter<K, V>) + Sync,
+        C: Combiner<K, V>,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
+        self.run_inner(
+            name,
+            group_overhead_secs,
+            input,
+            map,
+            Some(&combine),
+            reduce,
+        )
+    }
+
+    /// Shared engine behind `run*`. The combiner arrives pre-applied as a
+    /// buffer-combining closure ([`CombineFn`]) so that only the
+    /// `run_combined*` entry points need `K: Clone` (combining clones
+    /// keys; plain jobs never do).
+    fn run_inner<I, K, V, O, M, R>(
+        &self,
+        name: &str,
+        group_overhead_secs: f64,
+        input: &[I],
+        map: M,
+        combine: Option<CombineFn<'_, K, V>>,
+        reduce: R,
+    ) -> Result<JobResult<O>, JobError>
+    where
+        I: Sync,
+        K: Hash + Eq + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
         let wall_start = Instant::now();
         let machines = self.cfg.machines;
+        let partitions = self.partitions();
         let threads = self.threads();
         let mut cost = self.cfg.cost;
         cost.reduce_group_overhead_secs = group_overhead_secs;
 
         // ---- Map phase ------------------------------------------------
         // One map task per simulated machine (a single mapper wave), unless
-        // the input is smaller than the machine count.
+        // the input is smaller than the machine count. Each task partitions
+        // its output at emit time and (optionally) combines it before the
+        // shuffle, so no serial post-map partitioning pass exists.
         let num_tasks = machines.min(input.len()).max(1);
         let chunk = input.len().div_ceil(num_tasks).max(1);
 
@@ -181,59 +321,75 @@ impl Cluster {
             /// noise in the µs-scale measurements cannot masquerade as
             /// data skew (see `rate_capped_loads`).
             work: u64,
-            pairs: Vec<(u64, K, V)>,
+            /// Pairs emitted by `map` (pre-combine).
+            emitted: u64,
+            /// Records handed to the shuffle (post-combine).
+            shuffled: u64,
+            /// Partition-indexed output buffers.
+            parts: Vec<Vec<ShuffleRecord<K, V>>>,
             counters: HashMap<&'static str, u64>,
         }
 
-        let map_tasks: Vec<MapTaskOut<K, V>> =
-            run_indexed(num_tasks, threads, |task| {
-                let lo = (task * chunk).min(input.len());
-                let hi = ((task + 1) * chunk).min(input.len());
-                let start = Instant::now();
-                let mut emitter = Emitter::new();
-                for record in &input[lo..hi] {
-                    map(record, &mut emitter);
-                }
-                let cpu_secs = start.elapsed().as_secs_f64();
-                let work = (hi - lo) as u64 + emitter.pairs.len() as u64 + emitter.work_units;
-                let pairs = emitter
-                    .pairs
-                    .into_iter()
-                    .map(|(k, v)| (fingerprint64(&k), k, v))
-                    .collect();
-                MapTaskOut { cpu_secs, work, pairs, counters: emitter.counters }
-            })
-            .map_err(|message| JobError::WorkerPanic { phase: "map", message })?;
-
-        let mut counters: HashMap<&'static str, u64> = HashMap::new();
-        let mut map_output_records = 0u64;
-        for out in &map_tasks {
-            map_output_records += out.pairs.len() as u64;
-            for (k, v) in &out.counters {
-                *counters.entry(k).or_insert(0) += v;
+        let map_tasks: Vec<MapTaskOut<K, V>> = run_indexed(num_tasks, threads, |task| {
+            let lo = (task * chunk).min(input.len());
+            let hi = ((task + 1) * chunk).min(input.len());
+            let start = Instant::now();
+            let mut emitter = Emitter::with_partitions(partitions);
+            for record in &input[lo..hi] {
+                map(record, &mut emitter);
             }
-        }
-        let map_loads = proportional_loads(
-            map_tasks.iter().map(|t| (t.cpu_secs, t.work)),
-            &cost,
-        );
+            let emitted = emitter.buffer.len() as u64;
+            // Map-side combine: inside the timed task (for the measured
+            // rate mode) *and* declared as one work unit per combined
+            // record (for the deterministic work_unit_secs mode), so its
+            // CPU cost lands in the simulated map phase like a real
+            // combiner's would instead of being booked as free.
+            let (shuffled, combine_work) = match combine {
+                Some(c) => (c(&mut emitter.buffer) as u64, emitted),
+                None => (emitted, 0),
+            };
+            let cpu_secs = start.elapsed().as_secs_f64();
+            let work = (hi - lo) as u64 + emitted + combine_work + emitter.work_units;
+            MapTaskOut {
+                cpu_secs,
+                work,
+                emitted,
+                shuffled,
+                parts: emitter.buffer.into_parts(),
+                counters: emitter.counters,
+            }
+        })
+        .map_err(|message| JobError::WorkerPanic {
+            phase: "map",
+            message,
+        })?;
+
+        let map_loads = proportional_loads(map_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
         let map_sim = phase_sim(&map_loads, machines.min(num_tasks));
 
         // ---- Shuffle ---------------------------------------------------
-        // Route every pair to partition `hash % machines`. Only non-empty
-        // partitions materialize.
-        let mut partitions: HashMap<usize, Vec<(u64, K, V)>, FxBuildHasher> =
-            HashMap::default();
+        // Records were already routed to `hash % partitions` at emit time;
+        // the "shuffle" is now a buffer handoff: collect each partition's
+        // per-task segments (task order, so grouping below is
+        // deterministic). Cost is charged on the post-combine volume.
+        let mut counters: HashMap<&'static str, u64> = HashMap::new();
+        let mut map_output_records = 0u64;
+        let mut shuffle_records = 0u64;
+        let mut partition_segments: Vec<Vec<Vec<ShuffleRecord<K, V>>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
         for task in map_tasks {
-            for (h, k, v) in task.pairs {
-                partitions
-                    .entry((h % machines as u64) as usize)
-                    .or_default()
-                    .push((h, k, v));
+            map_output_records += task.emitted;
+            shuffle_records += task.shuffled;
+            for (k, v) in &task.counters {
+                *counters.entry(k).or_insert(0) += v;
+            }
+            for (p, segment) in task.parts.into_iter().enumerate() {
+                if !segment.is_empty() {
+                    partition_segments[p].push(segment);
+                }
             }
         }
-        let shuffle_secs =
-            cost.shuffle_secs_per_record * map_output_records as f64 / machines as f64;
+        let shuffle_secs = cost.shuffle_secs_per_record * shuffle_records as f64 / machines as f64;
 
         // ---- Reduce phase ----------------------------------------------
         struct ReduceTaskOut<O> {
@@ -250,67 +406,82 @@ impl Cluster {
             counters: HashMap<&'static str, u64>,
         }
 
-        // Each reduce task takes exclusive ownership of its partition via a
-        // take-once cell, so values move into the reducer without cloning.
-        type PartitionCell<K, V> = parking_lot::Mutex<Option<Vec<(u64, K, V)>>>;
-        let mut parts: Vec<(usize, PartitionCell<K, V>)> = partitions
+        // Each reduce task takes exclusive ownership of its partition's
+        // segments via a take-once cell, so values move into the reducer
+        // without cloning.
+        type PartitionCell<K, V> = Mutex<Option<Vec<Vec<ShuffleRecord<K, V>>>>>;
+        let parts: Vec<(usize, PartitionCell<K, V>)> = partition_segments
             .into_iter()
-            .map(|(m, pairs)| (m, parking_lot::Mutex::new(Some(pairs))))
+            .enumerate()
+            .filter(|(_, segments)| !segments.is_empty())
+            .map(|(p, segments)| (p, Mutex::new(Some(segments))))
             .collect();
-        parts.sort_unstable_by_key(|(m, _)| *m); // deterministic task order
-        let reduce_tasks: Vec<ReduceTaskOut<O>> =
-            run_indexed(parts.len(), threads, |idx| {
-                let (machine, cell) = &parts[idx];
-                let pairs = cell.lock().take().expect("each partition reduced once");
-                // Group by key; remember each key's first occurrence so the
-                // group order within a partition is deterministic.
-                let mut groups: HashMap<K, (usize, Vec<V>), FxBuildHasher> =
-                    HashMap::default();
-                for (pos, (_h, k, v)) in pairs.into_iter().enumerate() {
-                    groups.entry(k).or_insert_with(|| (pos, Vec::new())).1.push(v);
+        let reduce_tasks: Vec<ReduceTaskOut<O>> = run_indexed(parts.len(), threads, |idx| {
+            let (partition, cell) = &parts[idx];
+            let segments = cell
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("each partition reduced once");
+            // Group by key; remember each key's first occurrence so the
+            // group order within a partition is deterministic (segments
+            // arrive in map-task order).
+            let mut groups: HashMap<K, (usize, Vec<V>), FxBuildHasher> = HashMap::default();
+            let mut pos = 0usize;
+            for segment in segments {
+                for (_h, k, v) in segment {
+                    groups
+                        .entry(k)
+                        .or_insert_with(|| (pos, Vec::new()))
+                        .1
+                        .push(v);
+                    pos += 1;
                 }
-                let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
-                ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
+            }
+            let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
+            ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
 
-                let mut sink = OutputSink::new();
-                let mut max_group = 0u64;
-                let n_groups = ordered.len() as u64;
-                let mut work = 0u64;
-                let start = Instant::now();
-                for (key, (_, values)) in ordered {
-                    let n_values = values.len() as u64;
-                    max_group = max_group.max(n_values);
-                    work += n_values;
-                    reduce(&key, values, &mut sink);
-                }
-                let cpu_secs = start.elapsed().as_secs_f64();
-                work += sink.out.len() as u64 + sink.work_units;
-                ReduceTaskOut {
-                    machine: *machine,
-                    cpu_secs,
-                    work,
-                    groups: n_groups,
-                    max_group,
-                    out: sink.out,
-                    counters: sink.counters,
-                }
-            })
-            .map_err(|message| JobError::WorkerPanic { phase: "reduce", message })?;
+            let mut sink = OutputSink::new();
+            let mut max_group = 0u64;
+            let n_groups = ordered.len() as u64;
+            let mut work = 0u64;
+            let start = Instant::now();
+            for (key, (_, values)) in ordered {
+                let n_values = values.len() as u64;
+                max_group = max_group.max(n_values);
+                work += n_values;
+                reduce(&key, values, &mut sink);
+            }
+            let cpu_secs = start.elapsed().as_secs_f64();
+            work += sink.out.len() as u64 + sink.work_units;
+            ReduceTaskOut {
+                machine: partition % machines,
+                cpu_secs,
+                work,
+                groups: n_groups,
+                max_group,
+                out: sink.out,
+                counters: sink.counters,
+            }
+        })
+        .map_err(|message| JobError::WorkerPanic {
+            phase: "reduce",
+            message,
+        })?;
 
         // Deterministic per-partition loads: each partition is charged its
         // declared work at the job-wide measured rate, plus the per-group
-        // worker-instantiation overheads.
-        let base_loads = proportional_loads(
-            reduce_tasks.iter().map(|t| (t.cpu_secs, t.work)),
-            &cost,
-        );
-        let mut reduce_loads = Vec::with_capacity(reduce_tasks.len());
+        // worker-instantiation overheads; partitions sharing a simulated
+        // machine (partitions > machines) add up on it.
+        let base_loads =
+            proportional_loads(reduce_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
+        let mut machine_loads = vec![0.0f64; machines];
         let mut output = Vec::new();
         let mut reduce_groups = 0u64;
         let mut max_group_size = 0u64;
         for (t, base) in reduce_tasks.into_iter().zip(base_loads) {
             debug_assert!(t.machine < machines);
-            reduce_loads.push(base + t.groups as f64 * cost.reduce_group_overhead_secs);
+            machine_loads[t.machine] += base + t.groups as f64 * cost.reduce_group_overhead_secs;
             reduce_groups += t.groups;
             max_group_size = max_group_size.max(t.max_group);
             output.extend(t.out);
@@ -318,7 +489,11 @@ impl Cluster {
                 *counters.entry(k).or_insert(0) += v;
             }
         }
-        let reduce_sim = phase_sim(&reduce_loads, machines);
+        let reduce_sim = if reduce_groups == 0 {
+            PhaseSim::default()
+        } else {
+            phase_sim(&machine_loads, machines)
+        };
 
         let sim_total_secs = cost.job_startup_secs
             + cost.map_worker_startup_secs
@@ -331,6 +506,7 @@ impl Cluster {
             machines,
             input_records: input.len() as u64,
             map_output_records,
+            shuffle_records,
             reduce_groups,
             max_group_size,
             output_records: output.len() as u64,
@@ -359,10 +535,7 @@ impl Cluster {
 /// (records in + records out + explicit [`add_work`] units).
 ///
 /// [`add_work`]: crate::job::OutputSink::add_work
-fn proportional_loads(
-    samples: impl Iterator<Item = (f64, u64)>,
-    cost: &CostModel,
-) -> Vec<f64> {
+fn proportional_loads(samples: impl Iterator<Item = (f64, u64)>, cost: &CostModel) -> Vec<f64> {
     let samples: Vec<(f64, u64)> = samples.collect();
     let total_work: u64 = samples.iter().map(|(_, w)| w).sum();
     if total_work == 0 {
@@ -390,5 +563,9 @@ fn phase_sim(loads: &[f64], machines: usize) -> PhaseSim {
     let total: f64 = loads.iter().sum();
     let mean = total / machines.max(1) as f64;
     let skew = if mean > 0.0 { makespan / mean } else { 1.0 };
-    PhaseSim { makespan_secs: makespan, total_cpu_secs: total, skew }
+    PhaseSim {
+        makespan_secs: makespan,
+        total_cpu_secs: total,
+        skew,
+    }
 }

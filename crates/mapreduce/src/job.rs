@@ -1,19 +1,30 @@
 //! Job-facing types: emitters, statistics, and errors.
 
 use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::shuffle::PartitionedBuffer;
 
 /// Collects the `[⟨key2, value2⟩]` output of a map invocation, plus
 /// user-defined counters (candidate counts, filter survival rates, …).
+///
+/// Emitted pairs are routed to their shuffle partition
+/// (`HASH(key) % partitions`) immediately — the emitter *is* the map side
+/// of the shuffle (see [`crate::shuffle`]).
 #[derive(Debug)]
 pub struct Emitter<K, V> {
-    pub(crate) pairs: Vec<(K, V)>,
+    pub(crate) buffer: PartitionedBuffer<K, V>,
     pub(crate) counters: HashMap<&'static str, u64>,
     pub(crate) work_units: u64,
 }
 
 impl<K, V> Emitter<K, V> {
-    pub(crate) fn new() -> Self {
-        Self { pairs: Vec::new(), counters: HashMap::new(), work_units: 0 }
+    pub(crate) fn with_partitions(partitions: usize) -> Self {
+        Self {
+            buffer: PartitionedBuffer::new(partitions),
+            counters: HashMap::new(),
+            work_units: 0,
+        }
     }
 
     /// Declares extra simulated work units for the current record, on top
@@ -25,17 +36,20 @@ impl<K, V> Emitter<K, V> {
         self.work_units += units;
     }
 
-    /// Emits one intermediate key/value pair.
-    #[inline]
-    pub fn emit(&mut self, key: K, value: V) {
-        self.pairs.push((key, value));
-    }
-
     /// Increments a named job counter (aggregated across all workers into
     /// [`JobStats::counters`]).
     #[inline]
     pub fn add_counter(&mut self, name: &'static str, delta: u64) {
         *self.counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+impl<K: Hash, V> Emitter<K, V> {
+    /// Emits one intermediate key/value pair, routing it to its shuffle
+    /// partition at once.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.buffer.emit(key, value);
     }
 }
 
@@ -51,7 +65,11 @@ impl<O> OutputSink<O> {
     /// Creates a standalone sink (public so that algorithms can nest
     /// reducer-style logic, e.g. HMJ's recursive repartitioning).
     pub fn new() -> Self {
-        Self { out: Vec::new(), counters: HashMap::new(), work_units: 0 }
+        Self {
+            out: Vec::new(),
+            counters: HashMap::new(),
+            work_units: 0,
+        }
     }
 
     /// Consumes the sink, returning its outputs and counters.
@@ -99,7 +117,10 @@ impl<O> Default for OutputSink<O> {
 pub enum JobError {
     /// A map or reduce worker panicked; carries the phase and the panic
     /// message. Mirrors a task failing permanently on a real cluster.
-    WorkerPanic { phase: &'static str, message: String },
+    WorkerPanic {
+        phase: &'static str,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -137,8 +158,15 @@ pub struct JobStats {
     pub machines: usize,
     /// Input records fed to mappers.
     pub input_records: u64,
-    /// Intermediate pairs emitted by mappers (shuffle volume).
+    /// Intermediate pairs emitted by mappers (pre-combine).
     pub map_output_records: u64,
+    /// Records actually shuffled (post-combine). Equal to
+    /// `map_output_records` for jobs without a combiner; the gap between
+    /// the two is the map-side-aggregation saving the [`CostModel`] charges
+    /// shuffle cost on.
+    ///
+    /// [`CostModel`]: crate::cluster::CostModel
+    pub shuffle_records: u64,
     /// Distinct reduce keys (= instantiated reduce workers).
     pub reduce_groups: u64,
     /// Largest reduce group (hot-key diagnosis).
@@ -181,12 +209,12 @@ mod tests {
 
     #[test]
     fn emitter_collects_pairs_and_counters() {
-        let mut e: Emitter<u32, &str> = Emitter::new();
+        let mut e: Emitter<u32, &str> = Emitter::with_partitions(4);
         e.emit(1, "a");
         e.emit(2, "b");
         e.add_counter("seen", 2);
         e.add_counter("seen", 1);
-        assert_eq!(e.pairs.len(), 2);
+        assert_eq!(e.buffer.len(), 2);
         assert_eq!(e.counters["seen"], 3);
     }
 
@@ -201,7 +229,10 @@ mod tests {
 
     #[test]
     fn job_error_displays() {
-        let e = JobError::WorkerPanic { phase: "map", message: "oops".into() };
+        let e = JobError::WorkerPanic {
+            phase: "map",
+            message: "oops".into(),
+        };
         assert_eq!(e.to_string(), "map worker panicked: oops");
     }
 

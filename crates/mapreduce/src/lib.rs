@@ -7,7 +7,9 @@
 //!
 //! * **Real execution** — `map`, shuffle, and `reduce` run on a local thread
 //!   pool (all cores), so joins over hundreds of thousands of strings finish
-//!   in seconds, and
+//!   in seconds. Mappers partition their output by key hash *at emit time*
+//!   and can fold it through a map-side [`Combiner`] before the shuffle
+//!   (see [`shuffle`]), and
 //! * **A simulated cluster clock** — every map task and every reduce group
 //!   is individually timed, charged to one of `machines` *simulated*
 //!   machines (map tasks round-robin, reduce groups by key hash — exactly
@@ -32,8 +34,10 @@ pub mod hash;
 pub mod job;
 pub mod pool;
 pub mod report;
+pub mod shuffle;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
 pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 pub use report::SimReport;
+pub use shuffle::{combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, Sum};

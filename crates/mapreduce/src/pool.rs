@@ -8,8 +8,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
+/// Locks `m`, shrugging off poisoning: the pool's own state is only ever
+/// written under `catch_unwind`, so a poisoned lock just means another
+/// worker's task panicked — the data is still consistent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Runs `f(0..n_tasks)` on up to `threads` worker threads and returns the
 /// results in task order.
@@ -42,10 +48,10 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
     let failure: Mutex<Option<String>> = Mutex::new(None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                if failure.lock().is_some() {
+            scope.spawn(|| loop {
+                if lock(&failure).is_some() {
                     return; // abandon queued work after a failure
                 }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -53,9 +59,9 @@ where
                     return;
                 }
                 match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                    Ok(r) => *slots[i].lock() = Some(r),
+                    Ok(r) => *lock(&slots[i]) = Some(r),
                     Err(p) => {
-                        let mut guard = failure.lock();
+                        let mut guard = lock(&failure);
                         if guard.is_none() {
                             *guard = Some(panic_message(p));
                         }
@@ -64,15 +70,18 @@ where
                 }
             });
         }
-    })
-    .expect("pool worker threads never panic outside caught tasks");
+    });
 
-    if let Some(msg) = failure.into_inner() {
+    if let Some(msg) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(msg);
     }
     Ok(slots
         .into_iter()
-        .map(|s| s.into_inner().expect("all tasks completed"))
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("all tasks completed")
+        })
         .collect())
 }
 
@@ -129,8 +138,7 @@ mod tests {
 
     #[test]
     fn panic_with_string_payload() {
-        let res: Result<Vec<()>, String> =
-            run_indexed(4, 2, |i| panic!("boom {i}"));
+        let res: Result<Vec<()>, String> = run_indexed(4, 2, |i| panic!("boom {i}"));
         assert!(res.unwrap_err().starts_with("boom"));
     }
 

@@ -44,22 +44,35 @@ impl SimReport {
     pub fn extend(&mut self, other: SimReport) {
         self.jobs.extend(other.jobs);
     }
+
+    /// Total intermediate pairs emitted by mappers across all jobs
+    /// (pre-combine).
+    pub fn total_map_output_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.map_output_records).sum()
+    }
+
+    /// Total records actually shuffled across all jobs (post-combine) —
+    /// the volume the paper's cost analysis is about.
+    pub fn total_shuffle_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_records).sum()
+    }
 }
 
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>10} {:>10} {:>10} {:>8}",
-            "job", "input", "shuffled", "groups", "output", "sim(s)", "skew"
+            "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "job", "input", "emitted", "shuffled", "groups", "output", "sim(s)", "skew"
         )?;
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
+                "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
+                j.shuffle_records,
                 j.reduce_groups,
                 j.output_records,
                 j.sim_total_secs,
@@ -68,10 +81,11 @@ impl std::fmt::Display for SimReport {
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>10} {:>10} {:>10.2}",
+            "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10.2}",
             "TOTAL",
             "",
-            "",
+            self.total_map_output_records(),
+            self.total_shuffle_records(),
             "",
             "",
             self.total_sim_secs()

@@ -1,0 +1,405 @@
+//! The shuffle: hash partitioning at emit time and map-side combining.
+//!
+//! # Mapping to the paper (Sec. III-A)
+//!
+//! The paper describes TSJ's jobs in classic MapReduce terms:
+//!
+//! ```text
+//! map:    ⟨key1, value1⟩        → [⟨key2, value2⟩]
+//! reduce: ⟨key2, [value2]⟩      → [value3]
+//! ```
+//!
+//! Between `map` and `reduce` sits the *shuffle*, which this module
+//! implements in the form real shared-nothing MapReduce systems use:
+//!
+//! * **Partitioning at emit time** ([`PartitionedBuffer`]) — every
+//!   `⟨key2, value2⟩` pair a mapper emits is routed immediately to the
+//!   output buffer of partition `HASH(key2) % partitions` (the paper's
+//!   fingerprint function `HASH(·)`, Sec. III-G3, is
+//!   [`fingerprint64`](crate::hash::fingerprint64)). Reducer `p` then
+//!   consumes exactly the partition-`p` buffers of all map tasks; no
+//!   global collect-then-partition pass exists, so the shuffle is a
+//!   constant-per-partition buffer handoff instead of a serial
+//!   per-record scan.
+//! * **Map-side combining** ([`Combiner`]) — before a map task's buffers
+//!   are handed to the shuffle, values sharing a key *within that task*
+//!   are folded by an associative combiner. This is the standard
+//!   MapReduce optimization the paper's cost analysis motivates: the
+//!   framework's runtime is dominated by shuffle volume and per-group
+//!   overheads (Sec. III-A, III-G, Fig. 1), so shrinking the shuffled
+//!   record count directly shrinks the simulated (and real) cost. For
+//!   example, `tsj.token_stats` (Sec. III-G2's document-frequency job)
+//!   combines per-task partial counts instead of shuffling one record per
+//!   token *occurrence*, and the candidate-pair jobs (Sec. III-C/III-D)
+//!   deduplicate candidate pairs map-side before the shuffle — the same
+//!   volume the MassJoin-style analyses count as the dominant cost.
+//!
+//! The simulated cluster charges shuffle cost on the *post-combine*
+//! record count ([`JobStats::shuffle_records`](crate::job::JobStats)), so
+//! combiner savings show up in the simulated runtimes exactly as they
+//! would on the paper's production cluster.
+//!
+//! # Combiner contract
+//!
+//! A combiner must be *semantics-preserving* for its reducer: the reducer
+//! must produce the same output whether it sees the raw emitted values or
+//! any partition of them with `combine` applied per part (combiners run
+//! once per map task, so different subsets of a key's values are combined
+//! independently). The stock combiners uphold this for the usual reducer
+//! shapes: [`Sum`]/[`Count`] for reducers that fold with `+`, [`Min`] for
+//! reducers that take a minimum, and [`Dedup`] for reducers that are
+//! insensitive to duplicate values (e.g. TSJ's candidate-pair dedup
+//! jobs, Sec. III-E/III-G3).
+
+use std::hash::Hash;
+use std::ops::Add;
+
+use crate::hash::{fingerprint64, FxBuildHasher};
+
+/// One shuffled record: the key's stable 64-bit fingerprint (computed once
+/// at emit time and reused for partition routing and machine assignment),
+/// the key, and one value.
+pub type ShuffleRecord<K, V> = (u64, K, V);
+
+/// Map-side value folding (the MapReduce "combiner").
+///
+/// `combine` is handed all values observed for `key` *within one map
+/// task* and shrinks the list in place to the records to shuffle in their
+/// stead. Leaving a single element is the common case (`Sum`, `Min`);
+/// leaving several is allowed (`Dedup` keeps every distinct value).
+/// Clearing the list drops the key entirely — legal, but rarely what a
+/// reducer expects. In-place (rather than returning a fresh `Vec`) so the
+/// hot path — one call per distinct key per map task — performs no
+/// allocation.
+///
+/// Implementations must be associative and insensitive to value order,
+/// because the runtime combines each map task's output independently and
+/// the reducer sees the concatenation in unspecified interleaving.
+pub trait Combiner<K, V>: Sync {
+    fn combine(&self, key: &K, values: &mut Vec<V>);
+}
+
+/// Folds values with `+` (combiner form of a summing reducer).
+///
+/// The canonical port: a job that emitted `⟨key, ()⟩` per occurrence and
+/// counted in the reducer instead emits `⟨key, 1⟩` and sums — identical
+/// totals, one shuffled record per *distinct* key per map task.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sum;
+
+impl<K, V> Combiner<K, V> for Sum
+where
+    V: Add<Output = V> + Send,
+{
+    fn combine(&self, _key: &K, values: &mut Vec<V>) {
+        if let Some(folded) = values.drain(..).reduce(|a, b| a + b) {
+            values.push(folded);
+        }
+    }
+}
+
+/// Sums `u64` partial counts (a named special case of [`Sum`] for the
+/// pervasive counting idiom: mappers emit `1` per occurrence).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Count;
+
+impl<K> Combiner<K, u64> for Count {
+    fn combine(&self, _key: &K, values: &mut Vec<u64>) {
+        let total: u64 = values.iter().sum();
+        values.clear();
+        values.push(total);
+    }
+}
+
+/// Keeps the minimum value (combiner form of a min-taking reducer).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Min;
+
+impl<K, V> Combiner<K, V> for Min
+where
+    V: Ord + Send,
+{
+    fn combine(&self, _key: &K, values: &mut Vec<V>) {
+        if let Some(min) = values.drain(..).min() {
+            values.push(min);
+        }
+    }
+}
+
+/// Keeps one copy of each distinct value, preserving first-occurrence
+/// order. The combiner form of reducers that deduplicate their value list
+/// (TSJ's grouping-on-one-string dedup, Sec. III-G3) or ignore values
+/// entirely (candidate-pair jobs keyed on the pair itself, where every
+/// value is `()` and one survivor per key is enough).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dedup;
+
+/// Below this group size, quadratic scanning beats building a hash set
+/// (and allocates nothing) — and most reduce keys have few values.
+const DEDUP_SCAN_LIMIT: usize = 24;
+
+impl<K, V> Combiner<K, V> for Dedup
+where
+    V: Eq + Hash + Clone + Send,
+{
+    fn combine(&self, _key: &K, values: &mut Vec<V>) {
+        if values.len() <= DEDUP_SCAN_LIMIT {
+            let mut kept = 0;
+            for i in 0..values.len() {
+                if !values[..kept].contains(&values[i]) {
+                    values.swap(kept, i);
+                    kept += 1;
+                }
+            }
+            values.truncate(kept);
+        } else {
+            let mut seen: std::collections::HashSet<V, FxBuildHasher> =
+                std::collections::HashSet::with_capacity_and_hasher(values.len(), FxBuildHasher);
+            values.retain(|v| seen.insert(v.clone()));
+        }
+    }
+}
+
+/// Per-partition output buffers: the emit-time half of the shuffle.
+///
+/// `push` routes a record to partition `hash % partitions`; the runtime
+/// later hands each partition's buffers (one per map task) to the reduce
+/// task that owns the partition. Buffers start empty and unallocated, so
+/// sparse partition use costs nothing beyond the spine.
+#[derive(Debug)]
+pub struct PartitionedBuffer<K, V> {
+    parts: Vec<Vec<ShuffleRecord<K, V>>>,
+}
+
+impl<K, V> PartitionedBuffer<K, V> {
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "shuffle needs at least one partition");
+        Self {
+            parts: (0..partitions).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total records currently buffered across all partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Routes one record by its precomputed key fingerprint.
+    #[inline]
+    pub fn push(&mut self, hash: u64, key: K, value: V) {
+        let p = (hash % self.parts.len() as u64) as usize;
+        self.parts[p].push((hash, key, value));
+    }
+
+    /// Consumes the buffer, yielding the partition-indexed record vectors.
+    pub fn into_parts(self) -> Vec<Vec<ShuffleRecord<K, V>>> {
+        self.parts
+    }
+}
+
+impl<K: Hash, V> PartitionedBuffer<K, V> {
+    /// Fingerprints `key` and routes the record (emit-time path).
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        let h = fingerprint64(&key);
+        self.push(h, key, value);
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> PartitionedBuffer<K, V> {
+    /// Applies `combiner` to every partition in place (see
+    /// [`combine_records`]); returns the post-combine record count.
+    pub fn combine(&mut self, combiner: &dyn Combiner<K, V>) -> usize {
+        let mut total = 0;
+        for part in &mut self.parts {
+            let records = std::mem::take(part);
+            *part = combine_records(records, combiner);
+            total += part.len();
+        }
+        total
+    }
+}
+
+/// Groups `records` by key and replaces each key's values with the
+/// combiner's output.
+///
+/// Grouping is by stable sort on the precomputed key fingerprint — equal
+/// keys become adjacent runs, so the whole pass needs one reused scratch
+/// buffer instead of a hash table with a `Vec` per key. The resulting
+/// record order is fingerprint order: different from the emit order, but a
+/// pure function of the data, so job output stays deterministic across
+/// thread and partition counts. (On a fingerprint collision between
+/// distinct keys, an interleaved run may split a key's values into two
+/// combined records — harmless, since combiners are associative and the
+/// reducer re-groups by the full key.)
+pub fn combine_records<K: Hash + Eq + Clone, V>(
+    records: Vec<ShuffleRecord<K, V>>,
+    combiner: &dyn Combiner<K, V>,
+) -> Vec<ShuffleRecord<K, V>> {
+    if records.len() <= 1 {
+        return records;
+    }
+    let mut records = records;
+    records.sort_by_key(|(h, _, _)| *h); // stable: value order per key kept
+
+    let mut out = Vec::with_capacity(records.len() / 2 + 1);
+    let mut it = records.into_iter();
+    let (mut run_h, mut run_key, first_v) = it.next().expect("len > 1");
+    let mut values: Vec<V> = Vec::new(); // scratch, reused across runs
+    values.push(first_v);
+    for (h, k, v) in it {
+        if h == run_h && k == run_key {
+            values.push(v);
+        } else {
+            flush_run(
+                combiner,
+                run_h,
+                std::mem::replace(&mut run_key, k),
+                &mut values,
+                &mut out,
+            );
+            run_h = h;
+            values.push(v);
+        }
+    }
+    flush_run(combiner, run_h, run_key, &mut values, &mut out);
+    out
+}
+
+/// Combines one key's buffered values and appends the surviving records;
+/// `values` is drained but keeps its capacity for the next run.
+fn flush_run<K: Clone, V>(
+    combiner: &dyn Combiner<K, V>,
+    h: u64,
+    key: K,
+    values: &mut Vec<V>,
+    out: &mut Vec<ShuffleRecord<K, V>>,
+) {
+    combiner.combine(&key, values);
+    let mut vs = values.drain(..);
+    if let Some(first) = vs.next() {
+        match vs.next() {
+            // Single combined value (the overwhelmingly common case):
+            // move the key, no clone.
+            None => out.push((h, key, first)),
+            Some(second) => {
+                out.push((h, key.clone(), first));
+                out.push((h, key.clone(), second));
+                out.extend(vs.map(|v| (h, key.clone(), v)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_routes_by_hash_modulo() {
+        let mut buf: PartitionedBuffer<u64, u32> = PartitionedBuffer::new(4);
+        for k in 0u64..100 {
+            buf.emit(k, 1);
+        }
+        assert_eq!(buf.len(), 100);
+        let parts = buf.into_parts();
+        assert_eq!(parts.len(), 4);
+        for (p, records) in parts.iter().enumerate() {
+            for (h, _, _) in records {
+                assert_eq!((*h % 4) as usize, p);
+            }
+        }
+        // A sane hash spreads 100 sequential keys over all 4 partitions.
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn sum_combiner_folds_to_one_record() {
+        let recs: Vec<ShuffleRecord<u32, u64>> = vec![(7, 1, 10), (7, 1, 20), (9, 2, 5)];
+        let out = combine_records(recs, &Sum);
+        assert_eq!(out, vec![(7, 1, 30), (9, 2, 5)]);
+    }
+
+    #[test]
+    fn count_combiner_sums_partial_counts() {
+        let recs: Vec<ShuffleRecord<u32, u64>> = vec![(1, 4, 1), (1, 4, 1), (1, 4, 3)];
+        assert_eq!(combine_records(recs, &Count), vec![(1, 4, 5)]);
+    }
+
+    #[test]
+    fn min_combiner_keeps_minimum() {
+        let recs: Vec<ShuffleRecord<u32, u64>> = vec![(1, 1, 9), (1, 1, 3), (1, 1, 7)];
+        assert_eq!(combine_records(recs, &Min), vec![(1, 1, 3)]);
+    }
+
+    #[test]
+    fn dedup_combiner_keeps_distinct_values_in_first_occurrence_order() {
+        let recs: Vec<ShuffleRecord<u32, u32>> =
+            vec![(1, 1, 5), (1, 1, 6), (1, 1, 5), (1, 1, 6), (1, 1, 4)];
+        assert_eq!(
+            combine_records(recs, &Dedup),
+            vec![(1, 1, 5), (1, 1, 6), (1, 1, 4)]
+        );
+    }
+
+    #[test]
+    fn combine_orders_by_fingerprint_and_totals_are_exact() {
+        let recs: Vec<ShuffleRecord<u32, u64>> = vec![(4, 9, 1), (2, 3, 1), (4, 9, 1), (1, 7, 1)];
+        let out = combine_records(recs, &Count);
+        // Runs are merged per key; records come out in fingerprint order —
+        // deterministic regardless of emit order.
+        assert_eq!(out, vec![(1, 7, 1), (2, 3, 1), (4, 9, 2)]);
+    }
+
+    #[test]
+    fn combine_splits_runs_on_fingerprint_collision() {
+        // Two distinct keys sharing a fingerprint: values must not be
+        // merged across keys, and none may be lost.
+        let recs: Vec<ShuffleRecord<u32, u64>> = vec![(5, 1, 10), (5, 2, 1), (5, 1, 20), (5, 2, 2)];
+        let out = combine_records(recs, &Sum);
+        let total_by_key = |key: u32| -> u64 {
+            out.iter()
+                .filter(|(_, k, _)| *k == key)
+                .map(|(_, _, v)| v)
+                .sum()
+        };
+        assert_eq!(total_by_key(1), 30);
+        assert_eq!(total_by_key(2), 3);
+    }
+
+    #[test]
+    fn buffer_combine_counts_post_combine_records() {
+        let mut buf: PartitionedBuffer<u64, u64> = PartitionedBuffer::new(8);
+        for k in 0u64..50 {
+            for _ in 0..4 {
+                buf.emit(k, 1);
+            }
+        }
+        assert_eq!(buf.len(), 200);
+        let shuffled = buf.combine(&Count);
+        assert_eq!(shuffled, 50, "one record per distinct key");
+        assert_eq!(buf.len(), 50);
+        let total: u64 = buf
+            .into_parts()
+            .into_iter()
+            .flatten()
+            .map(|(_, _, v)| v)
+            .sum();
+        assert_eq!(total, 200, "counts preserved");
+    }
+
+    #[test]
+    fn empty_combine_is_noop() {
+        let out = combine_records(Vec::<ShuffleRecord<u32, u64>>::new(), &Sum);
+        assert!(out.is_empty());
+    }
+}

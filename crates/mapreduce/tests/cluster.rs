@@ -8,6 +8,7 @@ fn test_cluster(machines: usize) -> Cluster {
     Cluster::new(ClusterConfig {
         machines,
         threads: 4,
+        partitions: 0,
         cost: CostModel {
             job_startup_secs: 0.0,
             map_worker_startup_secs: 0.0,
@@ -175,6 +176,7 @@ fn simulated_time_scales_down_with_machines() {
         let cluster = Cluster::new(ClusterConfig {
             machines,
             threads: 4,
+            partitions: 0,
             cost: CostModel {
                 job_startup_secs: 1.0,
                 map_worker_startup_secs: 0.0,
@@ -214,7 +216,10 @@ fn simulated_time_scales_down_with_machines() {
     );
     // Speedup is sub-linear: fixed startup dominates eventually.
     let speedup = s100.sim_total_secs / s1000.sim_total_secs;
-    assert!(speedup < 10.0, "speedup {speedup} cannot exceed the machine ratio");
+    assert!(
+        speedup < 10.0,
+        "speedup {speedup} cannot exceed the machine ratio"
+    );
 }
 
 #[test]
@@ -227,7 +232,11 @@ fn hot_key_shows_up_as_reduce_skew() {
                 &input,
                 move |n: &u64, e: &mut Emitter<u64, u64>| {
                     // hot: 50% of records share one key; uniform otherwise.
-                    let key = if hot && n.is_multiple_of(2) { 0 } else { n % 256 };
+                    let key = if hot && n.is_multiple_of(2) {
+                        0
+                    } else {
+                        n % 256
+                    };
                     e.emit(key, *n);
                 },
                 |_: &u64, vs: Vec<u64>, out: &mut OutputSink<u64>| {
@@ -264,6 +273,7 @@ fn group_overhead_charges_per_group() {
         Cluster::new(ClusterConfig {
             machines: 1, // all groups on one machine → clean arithmetic
             threads: 2,
+            partitions: 0,
             cost: CostModel {
                 job_startup_secs: 0.0,
                 map_worker_startup_secs: 0.0,
@@ -313,4 +323,204 @@ fn deterministic_output_multiset_across_runs() {
         out
     };
     assert_eq!(run(), run());
+}
+
+// ---- Partitioned shuffle + combiner -----------------------------------
+
+#[test]
+fn combined_wordcount_matches_plain_and_shrinks_shuffle() {
+    use tsj_mapreduce::Count;
+    let docs: Vec<String> = (0..500)
+        .map(|i| format!("the quick token{} the the", i % 37))
+        .collect();
+    let map = |doc: &String, e: &mut Emitter<String, u64>| {
+        for w in doc.split_whitespace() {
+            e.emit(w.to_owned(), 1);
+        }
+    };
+    let reduce = |word: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+        out.emit((word.clone(), counts.iter().sum()));
+    };
+    let cluster = test_cluster(8);
+    let plain = cluster.run("wc.plain", &docs, map, reduce).unwrap();
+    let combined = cluster
+        .run_combined("wc.combined", &docs, map, &Count, reduce)
+        .unwrap();
+
+    let sort = |mut v: Vec<(String, u64)>| {
+        v.sort();
+        v
+    };
+    assert_eq!(sort(plain.output), sort(combined.output));
+    // No combiner: every emitted pair is shuffled.
+    assert_eq!(plain.stats.shuffle_records, plain.stats.map_output_records);
+    // Combiner: strictly fewer records shuffled ("the" repeats per task).
+    assert_eq!(
+        combined.stats.map_output_records,
+        plain.stats.map_output_records
+    );
+    assert!(
+        combined.stats.shuffle_records < combined.stats.map_output_records,
+        "combiner did not shrink the shuffle: {} vs {}",
+        combined.stats.shuffle_records,
+        combined.stats.map_output_records
+    );
+    // Reduce groups are unchanged — combining folds values, not keys.
+    assert_eq!(plain.stats.reduce_groups, combined.stats.reduce_groups);
+}
+
+#[test]
+fn shuffle_cost_charged_on_post_combine_records() {
+    use tsj_mapreduce::Count;
+    // Zero out everything except the shuffle so the simulated time is
+    // exactly shuffle_secs_per_record × shuffled / machines.
+    let cluster = Cluster::new(ClusterConfig {
+        machines: 4,
+        threads: 2,
+        partitions: 0,
+        cost: CostModel {
+            job_startup_secs: 0.0,
+            map_worker_startup_secs: 0.0,
+            reduce_group_overhead_secs: 0.0,
+            verify_group_overhead_secs: 0.0,
+            shuffle_secs_per_record: 1.0,
+            cpu_scale: 0.0,
+            work_unit_secs: 1e-9,
+        },
+    });
+    let input: Vec<u64> = (0..1000).collect();
+    let map = |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 10, 1);
+    let reduce = |_: &u64, vs: Vec<u64>, out: &mut OutputSink<u64>| {
+        out.emit(vs.iter().sum());
+    };
+    let plain = cluster.run("cost.plain", &input, map, reduce).unwrap();
+    let combined = cluster
+        .run_combined("cost.combined", &input, map, &Count, reduce)
+        .unwrap();
+    assert!((plain.stats.shuffle_secs - 1000.0 / 4.0).abs() < 1e-9);
+    let expected = combined.stats.shuffle_records as f64 / 4.0;
+    assert!((combined.stats.shuffle_secs - expected).abs() < 1e-9);
+    assert!(
+        combined.stats.sim_total_secs < plain.stats.sim_total_secs,
+        "post-combine charging must lower the simulated cost: {} vs {}",
+        combined.stats.sim_total_secs,
+        plain.stats.sim_total_secs
+    );
+}
+
+#[test]
+fn dedup_combiner_preserves_distinct_values() {
+    use tsj_mapreduce::Dedup;
+    // Each key sees duplicated values; the reducer collects the distinct
+    // set, so map-side dedup must not change its output.
+    let input: Vec<u64> = (0..2000).collect();
+    let map = |n: &u64, e: &mut Emitter<u64, u64>| {
+        e.emit(n % 50, n % 7);
+        e.emit(n % 50, n % 7); // duplicate on purpose
+    };
+    let reduce = |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, Vec<u64>)>| {
+        let mut distinct = vs;
+        distinct.sort_unstable();
+        distinct.dedup();
+        out.emit((*k, distinct));
+    };
+    let cluster = test_cluster(16);
+    let plain = cluster.run("dedup.plain", &input, map, reduce).unwrap();
+    let combined = cluster
+        .run_combined("dedup.combined", &input, map, &Dedup, reduce)
+        .unwrap();
+    let sort = |mut v: Vec<(u64, Vec<u64>)>| {
+        v.sort();
+        v
+    };
+    assert_eq!(sort(plain.output), sort(combined.output));
+    assert!(combined.stats.shuffle_records < plain.stats.shuffle_records);
+}
+
+#[test]
+fn min_combiner_matches_uncombined_min() {
+    use tsj_mapreduce::Min;
+    let input: Vec<u64> = (0..3000).collect();
+    let map = |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 13, n.wrapping_mul(2654435761) % 997);
+    let reduce = |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+        out.emit((*k, vs.into_iter().min().unwrap()));
+    };
+    let cluster = test_cluster(8);
+    let plain = cluster.run("min.plain", &input, map, reduce).unwrap();
+    let combined = cluster
+        .run_combined("min.combined", &input, map, &Min, reduce)
+        .unwrap();
+    let sort = |mut v: Vec<(u64, u64)>| {
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(sort(plain.output), sort(combined.output));
+}
+
+#[test]
+fn output_identical_across_threads_and_partitions() {
+    use tsj_mapreduce::Count;
+    let input: Vec<u64> = (0..5000).collect();
+    let run_with = |threads: usize, partitions: usize| {
+        let cluster = Cluster::new(ClusterConfig {
+            machines: 32,
+            threads,
+            partitions,
+            cost: CostModel::default(),
+        });
+        let mut out = cluster
+            .run_combined(
+                "invariance",
+                &input,
+                |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 211, 1),
+                &Count,
+                |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                    out.emit((*k, vs.iter().sum()));
+                },
+            )
+            .unwrap()
+            .output;
+        out.sort_unstable();
+        out
+    };
+    let reference = run_with(1, 0);
+    for threads in [2, 8] {
+        assert_eq!(run_with(threads, 0), reference, "threads = {threads}");
+    }
+    for partitions in [1, 7, 32, 100] {
+        assert_eq!(
+            run_with(4, partitions),
+            reference,
+            "partitions = {partitions}"
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_output_order_either() {
+    // Stronger than multiset equality: the concatenated reducer output is
+    // deterministic (partition order × first-occurrence group order), so
+    // even the unsorted output must match across thread counts.
+    let input: Vec<u64> = (0..4000).collect();
+    let run_with = |threads: usize| {
+        Cluster::new(ClusterConfig {
+            machines: 16,
+            threads,
+            partitions: 0,
+            cost: CostModel::default(),
+        })
+        .run(
+            "order",
+            &input,
+            |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 97, *n),
+            |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((*k, vs.iter().copied().fold(0, u64::wrapping_add)));
+            },
+        )
+        .unwrap()
+        .output
+    };
+    let reference = run_with(1);
+    assert_eq!(run_with(2), reference);
+    assert_eq!(run_with(8), reference);
 }

@@ -141,7 +141,11 @@ impl<'c> HmjJoiner<'c> {
             .take(self.cfg.num_centroids.min(n.max(1)))
             .collect();
         if centroids.is_empty() {
-            return Ok(HmjOutput { pairs: Vec::new(), report, dnf: false });
+            return Ok(HmjOutput {
+                pairs: Vec::new(),
+                report,
+                dnf: false,
+            });
         }
         let centroid_tokens: Vec<Vec<&str>> = centroids
             .iter()
@@ -150,22 +154,19 @@ impl<'c> HmjJoiner<'c> {
 
         let cfg = self.cfg;
         let budget = AtomicU64::new(0);
-        let over_budget =
-            |spent: u64| cfg.max_distance_computations.is_some_and(|cap| spent > cap);
+        let over_budget = |spent: u64| cfg.max_distance_computations.is_some_and(|cap| spent > cap);
         // ---- Single pipeline job: partition (map) + verify (reduce) -----
         let job = self.cluster.run(
             "hmj.partition_verify",
             &string_ids,
             |&sid, e: &mut Emitter<u32, Replica>| {
-                let spent =
-                    budget.fetch_add(centroid_tokens.len() as u64, Ordering::Relaxed);
+                let spent = budget.fetch_add(centroid_tokens.len() as u64, Ordering::Relaxed);
                 if over_budget(spent) {
                     return; // DNF: stop burning work
                 }
                 let tokens = corpus.token_texts(StringId(sid));
                 // The expensive part: distance to EVERY centroid.
-                let dists: Vec<f64> =
-                    centroid_tokens.iter().map(|c| nsld(&tokens, c)).collect();
+                let dists: Vec<f64> = centroid_tokens.iter().map(|c| nsld(&tokens, c)).collect();
                 e.add_counter("distance_computations", dists.len() as u64);
                 e.add_work(10 * dists.len() as u64); // NSLD per centroid
                 let (home, best) = dists
@@ -179,7 +180,11 @@ impl<'c> HmjJoiner<'c> {
                     if d - best <= 2.0 * t {
                         e.emit(
                             p as u32,
-                            Replica { sid, home, dist_to_centroid: *d },
+                            Replica {
+                                sid,
+                                home,
+                                dist_to_centroid: *d,
+                            },
                         );
                         e.add_counter("replicas", 1);
                     }
@@ -211,8 +216,7 @@ fn verify_partition(
     out: &mut OutputSink<MetricPair>,
     budget: &AtomicU64,
 ) {
-    let over_budget =
-        |spent: u64| cfg.max_distance_computations.is_some_and(|cap| spent > cap);
+    let over_budget = |spent: u64| cfg.max_distance_computations.is_some_and(|cap| spent > cap);
     if over_budget(budget.load(Ordering::Relaxed)) {
         return; // DNF: the join has already been declared dead
     }
@@ -235,7 +239,11 @@ fn verify_partition(
                 if ri.home.min(rj.home) != partition {
                     continue;
                 }
-                let key = if ri.sid < rj.sid { (ri.sid, rj.sid) } else { (rj.sid, ri.sid) };
+                let key = if ri.sid < rj.sid {
+                    (ri.sid, rj.sid)
+                } else {
+                    (rj.sid, ri.sid)
+                };
                 if !emitted.insert(key) {
                     continue;
                 }
@@ -247,7 +255,11 @@ fn verify_partition(
                 let ta = corpus.token_texts(StringId(key.0));
                 let tb = corpus.token_texts(StringId(key.1));
                 if let Some(d) = nsld_within(&ta, &tb, t, Aligning::Hungarian) {
-                    out.emit(MetricPair { a: key.0, b: key.1, dist: d });
+                    out.emit(MetricPair {
+                        a: key.0,
+                        b: key.1,
+                        dist: d,
+                    });
                 }
             }
         }
@@ -257,9 +269,7 @@ fn verify_partition(
     // Oversized: recursive repartition with sub-centroids [68]. Runs
     // inside this reducer — the straggler behaviour the paper observes.
     let k = (replicas.len() / cfg.max_partition_size + 2).min(replicas.len());
-    let mut rng = StdRng::seed_from_u64(
-        cfg.seed ^ (u64::from(partition) << 32) ^ depth as u64,
-    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(partition) << 32) ^ depth as u64);
     let mut sample = replicas.clone();
     sample.shuffle(&mut rng);
     let sub_centroids: Vec<u32> = sample.iter().take(k).map(|r| r.sid).collect();
@@ -294,7 +304,16 @@ fn verify_partition(
     let mut emitted: HashSet<(u32, u32), FxBuildHasher> = HashSet::default();
     for sub in sub_parts {
         let mut local: OutputSink<MetricPair> = OutputSink::new();
-        verify_partition(corpus, partition, sub, t, cfg, depth + 1, &mut local, budget);
+        verify_partition(
+            corpus,
+            partition,
+            sub,
+            t,
+            cfg,
+            depth + 1,
+            &mut local,
+            budget,
+        );
         out.add_work(local.work_units());
         let (pairs, counters) = local.into_parts();
         for (name, delta) in counters {
@@ -334,14 +353,26 @@ mod tests {
     #[test]
     fn matches_brute_force_small() {
         let c = corpus(&[
-            "barak obama", "barak obamma", "burak ubama", "chan kalan", "chank alan",
-            "maria garcia", "mariah garcia", "wei chen", "wei chan", "jon smith",
+            "barak obama",
+            "barak obamma",
+            "burak ubama",
+            "chan kalan",
+            "chank alan",
+            "maria garcia",
+            "mariah garcia",
+            "wei chen",
+            "wei chan",
+            "jon smith",
         ]);
         let cluster = Cluster::with_machines(8);
         for t in [0.1, 0.2, 0.3] {
             let got: Vec<(u32, u32)> = HmjJoiner::new(
                 &cluster,
-                HmjConfig { num_centroids: 3, max_partition_size: 4, ..HmjConfig::default() },
+                HmjConfig {
+                    num_centroids: 3,
+                    max_partition_size: 4,
+                    ..HmjConfig::default()
+                },
             )
             .self_join(&c, t)
             .unwrap()
@@ -357,7 +388,9 @@ mod tests {
     fn empty_corpus() {
         let c = corpus(&[]);
         let cluster = Cluster::with_machines(4);
-        let out = HmjJoiner::new(&cluster, HmjConfig::default()).self_join(&c, 0.1).unwrap();
+        let out = HmjJoiner::new(&cluster, HmjConfig::default())
+            .self_join(&c, 0.1)
+            .unwrap();
         assert!(out.pairs.is_empty());
     }
 
@@ -367,7 +400,10 @@ mod tests {
         let cluster = Cluster::with_machines(4);
         let out = HmjJoiner::new(
             &cluster,
-            HmjConfig { num_centroids: 2, ..HmjConfig::default() },
+            HmjConfig {
+                num_centroids: 2,
+                ..HmjConfig::default()
+            },
         )
         .self_join(&c, 0.2)
         .unwrap();

@@ -59,7 +59,9 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.total_cmp(&other.dist).then(self.item.cmp(&other.item))
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.item.cmp(&other.item))
     }
 }
 
@@ -78,7 +80,12 @@ where
     fn build_node(items: &[T], dist: &D, ids: &mut [usize]) -> Option<Box<Node>> {
         let (&vantage, rest) = ids.split_first()?;
         if rest.is_empty() {
-            return Some(Box::new(Node { vantage, radius: 0.0, inside: None, outside: None }));
+            return Some(Box::new(Node {
+                vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            }));
         }
         // Median-of-distances split around the vantage point.
         let mut with_d: Vec<(f64, usize)> = rest
@@ -127,20 +134,20 @@ where
         out
     }
 
-    fn search(
-        &self,
-        node: Option<&Node>,
-        query: &T,
-        k: usize,
-        heap: &mut BinaryHeap<HeapEntry>,
-    ) {
+    fn search(&self, node: Option<&Node>, query: &T, k: usize, heap: &mut BinaryHeap<HeapEntry>) {
         let Some(node) = node else { return };
         let d = (self.dist)(query, &self.items[node.vantage]);
         if heap.len() < k {
-            heap.push(HeapEntry { dist: d, item: node.vantage });
+            heap.push(HeapEntry {
+                dist: d,
+                item: node.vantage,
+            });
         } else if d < heap.peek().expect("non-empty").dist {
             heap.pop();
-            heap.push(HeapEntry { dist: d, item: node.vantage });
+            heap.push(HeapEntry {
+                dist: d,
+                item: node.vantage,
+            });
         }
         let tau = if heap.len() < k {
             f64::INFINITY
@@ -205,6 +212,8 @@ mod tests {
     use super::*;
     use tsj_setdist::nsld;
 
+    // `&Vec<String>` because `VpTree::build` wants `Fn(&T, &T)`.
+    #[allow(clippy::ptr_arg)]
     fn name_dist(a: &Vec<String>, b: &Vec<String>) -> f64 {
         nsld(a, b)
     }
@@ -217,8 +226,11 @@ mod tests {
     }
 
     fn brute_knn(items: &[Vec<String>], q: &Vec<String>, k: usize) -> Vec<(usize, f64)> {
-        let mut all: Vec<(usize, f64)> =
-            items.iter().enumerate().map(|(i, x)| (i, name_dist(q, x))).collect();
+        let mut all: Vec<(usize, f64)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i, name_dist(q, x)))
+            .collect();
         all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
@@ -227,8 +239,16 @@ mod tests {
     #[test]
     fn knn_matches_brute_force() {
         let items = tokenize_all(&[
-            "barak obama", "barak obamma", "burak ubama", "chan kalan", "chank alan",
-            "maria garcia", "mariah garcia", "wei chen", "jon smith", "jonathan smyth",
+            "barak obama",
+            "barak obamma",
+            "burak ubama",
+            "chan kalan",
+            "chank alan",
+            "maria garcia",
+            "mariah garcia",
+            "wei chen",
+            "jon smith",
+            "jonathan smyth",
         ]);
         let tree = VpTree::build(items.clone(), name_dist);
         for q_raw in ["barak obama", "chan kalan", "zzz qqq"] {
@@ -252,7 +272,11 @@ mod tests {
     #[test]
     fn range_query_matches_brute_force() {
         let items = tokenize_all(&[
-            "barak obama", "barak obamma", "burak ubama", "chan kalan", "chank alan",
+            "barak obama",
+            "barak obamma",
+            "burak ubama",
+            "chan kalan",
+            "chank alan",
             "maria garcia",
         ]);
         let tree = VpTree::build(items.clone(), name_dist);

@@ -21,16 +21,21 @@ fn hmj_equals_brute_force_on_workload() {
 
     for t in [0.1, 0.2] {
         let truth = pair_set(&brute_force_self_join(&corpus, t, 4));
-        let hmj: std::collections::HashSet<(u32, u32)> = HmjJoiner::new(
-            &cluster,
-            HmjConfig { num_centroids: 8, max_partition_size: 16, ..HmjConfig::default() },
-        )
-        .self_join(&corpus, t)
-        .unwrap()
-        .pairs
-        .iter()
-        .map(|p| (p.a, p.b))
-        .collect();
+        let hmj: std::collections::HashSet<(u32, u32), tsj_mapreduce::FxBuildHasher> =
+            HmjJoiner::new(
+                &cluster,
+                HmjConfig {
+                    num_centroids: 8,
+                    max_partition_size: 16,
+                    ..HmjConfig::default()
+                },
+            )
+            .self_join(&corpus, t)
+            .unwrap()
+            .pairs
+            .iter()
+            .map(|p| (p.a, p.b))
+            .collect();
         assert_eq!(hmj, truth, "t = {t}");
     }
 }
@@ -51,7 +56,7 @@ proptest! {
         let corpus = Corpus::build(&strings, &NameTokenizer::default());
         let cluster = Cluster::with_machines(8);
         let truth = pair_set(&brute_force_self_join(&corpus, t, 4));
-        let hmj: std::collections::HashSet<(u32, u32)> = HmjJoiner::new(
+        let hmj: std::collections::HashSet<(u32, u32), tsj_mapreduce::FxBuildHasher> = HmjJoiner::new(
             &cluster,
             HmjConfig {
                 num_centroids: centroids,
@@ -88,11 +93,17 @@ fn budget_exhaustion_reports_dnf() {
     .self_join(&corpus, 0.1)
     .unwrap();
     assert!(out.dnf, "a 100-distance budget cannot cover this join");
-    assert!(out.pairs.is_empty(), "DNF joins must not leak partial results");
+    assert!(
+        out.pairs.is_empty(),
+        "DNF joins must not leak partial results"
+    );
     // And with no budget, the same join finishes.
     let ok = HmjJoiner::new(
         &cluster,
-        HmjConfig { num_centroids: 16, ..HmjConfig::default() },
+        HmjConfig {
+            num_centroids: 16,
+            ..HmjConfig::default()
+        },
     )
     .self_join(&corpus, 0.1)
     .unwrap();

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use tsj_mapreduce::{fingerprint64, Cluster, Emitter, JobError, OutputSink, SimReport};
+use tsj_mapreduce::{fingerprint64, Cluster, Dedup, Emitter, JobError, OutputSink, SimReport};
 use tsj_strdist::{max_ld_given_nld, min_len_given_nld};
 
 use crate::segments::{even_partitions, substring_window};
@@ -26,7 +26,7 @@ use crate::serial::{fp_chars, to_chars, verify_nld, MAX_COMPLETE_T};
 use crate::SimilarTokenPair;
 
 /// Which role a token plays in a candidate chunk group.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum ChunkRole {
     /// The token contributed this chunk as one of its segments (indexed).
     Seg(u32),
@@ -70,9 +70,13 @@ impl<'c> MassJoin<'c> {
         let mut report = SimReport::new();
 
         // ---- Job 1: candidate generation -------------------------------
+        // A probe token can hit the same chunk content at several window
+        // positions, emitting duplicate ⟨chunk, role⟩ records; the reducer
+        // crosses role *sets*, so the `Dedup` combiner drops those
+        // duplicates before the shuffle.
         let chars_map = Arc::clone(&chars);
         let chars_red = Arc::clone(&chars);
-        let candidates = self.cluster.run(
+        let candidates = self.cluster.run_combined(
             "massjoin.candidates",
             &ids,
             move |&id, e: &mut Emitter<u64, ChunkRole>| {
@@ -83,8 +87,7 @@ impl<'c> MassJoin<'c> {
                 }
                 // Indexed role: own segments.
                 let u_own = max_ld_given_nld(lx, lx, t);
-                for (i, (start, seg_len)) in
-                    even_partitions(lx, u_own + 1).into_iter().enumerate()
+                for (i, (start, seg_len)) in even_partitions(lx, u_own + 1).into_iter().enumerate()
                 {
                     let key = chunk_key(lx, i, fp_chars(&x[start..start + seg_len]));
                     e.emit(key, ChunkRole::Seg(id));
@@ -97,12 +100,8 @@ impl<'c> MassJoin<'c> {
                         continue;
                     }
                     let u = max_ld_given_nld(l, l, t);
-                    for (i, (start, seg_len)) in
-                        even_partitions(l, u + 1).into_iter().enumerate()
-                    {
-                        let Some((lo, hi)) =
-                            substring_window(lx, l, i, start, seg_len, u)
-                        else {
+                    for (i, (start, seg_len)) in even_partitions(l, u + 1).into_iter().enumerate() {
+                        let Some((lo, hi)) = substring_window(lx, l, i, start, seg_len, u) else {
                             continue;
                         };
                         for p in lo..=hi {
@@ -113,6 +112,7 @@ impl<'c> MassJoin<'c> {
                     }
                 }
             },
+            &Dedup,
             move |_chunk, roles: Vec<ChunkRole>, out: &mut OutputSink<(u32, u32)>| {
                 let mut segs: Vec<u32> = Vec::new();
                 let mut subs: Vec<u32> = Vec::new();
@@ -145,17 +145,20 @@ impl<'c> MassJoin<'c> {
         report.push(candidates.stats);
 
         // ---- Job 2: dedup + verification --------------------------------
+        // Grouping on the pair itself deduplicates; the `Dedup` combiner
+        // does the same map-side, so multi-chunk hits of one pair shuffle
+        // a single record per map task.
         let chars_ver = Arc::clone(&chars);
-        let verified = self.cluster.run(
+        let verified = self.cluster.run_combined(
             "massjoin.verify",
             &candidates.output,
             |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+            &Dedup,
             move |&(a, b), hits: Vec<()>, out: &mut OutputSink<SimilarTokenPair>| {
                 debug_assert!(!hits.is_empty());
                 out.add_counter("candidates_distinct", 1);
                 out.add_work(5); // banded NLD verification per distinct pair
-                if let Some(p) =
-                    verify_nld(a, &chars_ver[a as usize], b, &chars_ver[b as usize], t)
+                if let Some(p) = verify_nld(a, &chars_ver[a as usize], b, &chars_ver[b as usize], t)
                 {
                     out.add_counter("pairs_verified", 1);
                     out.emit(p);
@@ -198,8 +201,7 @@ mod tests {
             assert_eq!(report.jobs().len(), 2);
             // Dedup happened: distinct candidates ≤ generated candidates.
             assert!(
-                report.counter("candidates_distinct")
-                    <= report.counter("candidates_generated")
+                report.counter("candidates_distinct") <= report.counter("candidates_generated")
             );
         }
     }

@@ -14,7 +14,10 @@
 /// substring of everything and defeat the filter).
 pub fn even_partitions(len: usize, parts: usize) -> Vec<(usize, usize)> {
     assert!(parts >= 1, "at least one segment required");
-    assert!(parts <= len, "cannot split length {len} into {parts} non-empty segments");
+    assert!(
+        parts <= len,
+        "cannot split length {len} into {parts} non-empty segments"
+    );
     let base = len / parts;
     let longer = len % parts; // this many trailing segments have base + 1
     let mut out = Vec::with_capacity(parts);

@@ -11,9 +11,7 @@
 use std::collections::{HashMap, HashSet};
 
 use tsj_mapreduce::{fingerprint64, FxBuildHasher};
-use tsj_strdist::{
-    levenshtein_within_slices, max_ld_given_nld, min_len_given_nld, nld_from_ld,
-};
+use tsj_strdist::{levenshtein_within_slices, max_ld_given_nld, min_len_given_nld, nld_from_ld};
 
 use crate::segments::{even_partitions, substring_window};
 use crate::SimilarTokenPair;
@@ -69,9 +67,7 @@ pub fn ld_self_join_serial(tokens: &[impl AsRef<str>], u: usize) -> Vec<(u32, u3
                     cand.extend(ids.iter().copied());
                 }
             } else {
-                for (i, (start, seg_len)) in
-                    even_partitions(l, u + 1).into_iter().enumerate()
-                {
+                for (i, (start, seg_len)) in even_partitions(l, u + 1).into_iter().enumerate() {
                     let Some((lo, hi)) = substring_window(lx, l, i, start, seg_len, u) else {
                         continue;
                     };
@@ -236,8 +232,8 @@ mod tests {
     #[test]
     fn ld_join_matches_brute_force() {
         let tokens = [
-            "barak", "barack", "obama", "obamma", "ubama", "chan", "chank", "kalan", "alan",
-            "a", "ab", "b", "",
+            "barak", "barack", "obama", "obamma", "ubama", "chan", "chank", "kalan", "alan", "a",
+            "ab", "b", "",
         ];
         for u in 0..=3 {
             let got = ld_self_join_serial(&tokens, u);
@@ -253,8 +249,10 @@ mod tests {
             "alan", "jonathan", "jonathon", "jon",
         ];
         for t in [0.05, 0.1, 0.15, 0.2, 0.3, 0.5] {
-            let got: Vec<(u32, u32)> =
-                nld_self_join_serial(&tokens, t).iter().map(|p| (p.a, p.b)).collect();
+            let got: Vec<(u32, u32)> = nld_self_join_serial(&tokens, t)
+                .iter()
+                .map(|p| (p.a, p.b))
+                .collect();
             let expect = brute_nld(&tokens, t);
             assert_eq!(got, expect, "t = {t}");
         }

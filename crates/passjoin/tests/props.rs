@@ -9,7 +9,10 @@ use tsj_passjoin::{ld_self_join_serial, nld_self_join_serial, MassJoin};
 use tsj_strdist::{levenshtein, nld};
 
 fn token_set() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(proptest::string::string_regex("[abc]{1,10}").unwrap(), 0..24)
+    proptest::collection::vec(
+        proptest::string::string_regex("[abc]{1,10}").unwrap(),
+        0..24,
+    )
 }
 
 fn brute_nld_pairs(tokens: &[String], t: f64) -> Vec<(u32, u32)> {

@@ -129,7 +129,11 @@ mod tests {
         assert_eq!(sld(x, y), 4); // > max(L(x), L(y)) = 3, contra the proof
         let claimed = nsld_upper_bound_lemma6(3, 2);
         assert!((claimed - 0.75).abs() < 1e-12);
-        assert!(nsld(x, y) > claimed, "NSLD {} should exceed the claimed bound", nsld(x, y));
+        assert!(
+            nsld(x, y) > claimed,
+            "NSLD {} should exceed the claimed bound",
+            nsld(x, y)
+        );
         // The upper bound does hold for singleton multisets (string case).
         let a: &[&str] = &["thomson"];
         let b: &[&str] = &["thompson"];

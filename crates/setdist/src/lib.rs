@@ -25,6 +25,4 @@ pub use bounds::{
     max_sld_given_nsld, nsld_lower_bound_from_total_lens, nsld_upper_bound_lemma6,
     sld_lower_bound_sorted_lens,
 };
-pub use sld::{
-    nsld, nsld_from_sld, nsld_greedy, nsld_within, sld, sld_greedy, Aligning,
-};
+pub use sld::{nsld, nsld_from_sld, nsld_greedy, nsld_within, sld, sld_greedy, Aligning};

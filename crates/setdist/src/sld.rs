@@ -214,8 +214,7 @@ mod tests {
     #[test]
     fn within_greedy_is_conservative() {
         // Wherever greedy accepts, the exact distance is also within t.
-        let cases: &[(&[&str], &[&str])] =
-            &[(X, Y), (&["ann", "lee"], &["anne", "lee"]), (X, Z)];
+        let cases: &[(&[&str], &[&str])] = &[(X, Y), (&["ann", "lee"], &["anne", "lee"]), (X, Z)];
         for (a, b) in cases {
             for t in [0.05, 0.1, 0.2, 0.5, 0.9] {
                 if let Some(g) = nsld_within(a, b, t, Aligning::Greedy) {

@@ -1,0 +1,536 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this in-tree shim
+//! provides the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, integer and float range
+//! strategies, [`collection::vec`], [`string::string_regex`] (char-class +
+//! repetition patterns only), and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (deterministic, no `PROPTEST_CASES` env or persistence file), and
+//! there is **no shrinking** — a failing case reports the assertion message
+//! only. For this workspace's tests (all seeded and small) that trade-off
+//! is acceptable; swap the real crate back in when a registry is available.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test deterministic RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from the test's name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`, `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Test-runner configuration (subset of `proptest`'s).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values (subset of `proptest::strategy::Strategy`; no
+/// value trees, no shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Allowed sizes for a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let n = self.size.lo
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from [`string_regex`] (pattern not in the supported subset).
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex pattern: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex atom: a set of candidate chars and a repetition range.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy over strings matching a simple regex.
+    ///
+    /// Supported subset (all this workspace uses): concatenations of
+    /// `[class]{m,n}`, `[class]{m}`, `[class]`, and literal characters,
+    /// where a class lists literal chars and `a-z` ranges.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut s = String::new();
+            for atom in &self.atoms {
+                let span = (atom.max - atom.min) as u64;
+                let n = atom.min
+                    + if span == 0 {
+                        0
+                    } else {
+                        rng.below(span + 1) as usize
+                    };
+                for _ in 0..n {
+                    s.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+                }
+            }
+            s
+        }
+    }
+
+    /// Parses `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let err = || Error(pattern.to_owned());
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        let item = chars.next().ok_or_else(err)?;
+                        if item == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next(); // consume '-'
+                            let hi = chars.next().ok_or_else(err)?;
+                            if hi == ']' {
+                                // trailing '-' is a literal
+                                set.push(item);
+                                set.push('-');
+                                break;
+                            }
+                            let (lo, hi) = (item as u32, hi as u32);
+                            if lo > hi {
+                                return Err(err());
+                            }
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                        } else {
+                            set.push(item);
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(err());
+                    }
+                    set
+                }
+                '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                    return Err(err());
+                }
+                '\\' => vec![chars.next().ok_or_else(err)?],
+                literal => vec![literal],
+            };
+            // Optional {m,n} / {m} repetition.
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    let d = chars.next().ok_or_else(err)?;
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (m.parse().map_err(|_| err())?, n.parse().map_err(|_| err())?),
+                    None => {
+                        let m = spec.parse().map_err(|_| err())?;
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(err());
+            }
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Like `assert!`, inside a property (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs (deterministically seeded from the test name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = &($strat);)*
+            for _case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate($arg, &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_regex_respects_class_and_bounds() {
+        let s = crate::string::string_regex("[a-c]{2,5}").unwrap();
+        let mut rng = crate::TestRng::for_test("regex");
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn string_regex_handles_unicode_class() {
+        let s = crate::string::string_regex("[a-eé]{0,16}").unwrap();
+        let mut rng = crate::TestRng::for_test("unicode");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.chars().count() <= 16);
+            assert!(
+                v.chars().all(|c| ('a'..='e').contains(&c) || c == 'é'),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("(ab)+").is_err());
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let s = crate::collection::vec(0u64..10, 3..7);
+        let mut rng = crate::TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        // Exact-size form (used by the assignment tests).
+        let s = crate::collection::vec(0u64..50, 9usize);
+        assert_eq!(s.generate(&mut rng).len(), 9);
+    }
+
+    #[test]
+    fn flat_map_threads_the_outer_value() {
+        let s = (1usize..=6).prop_flat_map(|n| {
+            crate::collection::vec(0u64..50, n * n).prop_map(move |data| (n, data))
+        });
+        let mut rng = crate::TestRng::for_test("flat");
+        for _ in 0..100 {
+            let (n, data) = s.generate(&mut rng);
+            assert_eq!(data.len(), n * n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: generated args satisfy their strategies.
+        #[test]
+        fn macro_generates_in_range(x in 0u64..100, f in 0.25f64..0.75) {
+            prop_assert!(x < 100);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn macro_supports_trailing_comma(
+            x in 1usize..4,
+        ) {
+            prop_assert!((1..4).contains(&x));
+        }
+    }
+}

@@ -29,7 +29,9 @@ pub use bounds::{
     segments_for_indexed_len,
 };
 pub use jaro::{jaro, jaro_winkler};
-pub use levenshtein::{levenshtein, levenshtein_slices, levenshtein_within, levenshtein_within_slices};
+pub use levenshtein::{
+    levenshtein, levenshtein_slices, levenshtein_within, levenshtein_within_slices,
+};
 pub use nld::{nld, nld_from_ld, nld_within};
 
 /// Returns the number of Unicode scalar values in `s`.

@@ -9,8 +9,8 @@
 //! thresholded verifier that pushes `T` down into a banded `LD` computation.
 
 use crate::bounds::max_ld_given_nld;
-use crate::levenshtein::{levenshtein, levenshtein_within};
 use crate::char_len;
+use crate::levenshtein::{levenshtein, levenshtein_within};
 
 /// Converts a known Levenshtein distance into the normalized distance.
 ///
@@ -106,8 +106,11 @@ mod tests {
         ];
         for (a, b) in pairs {
             let d = nld(a, b);
-            assert_eq!(nld_within(a, b, d + 1e-9).map(|v| (v * 1e12).round()),
-                       Some((d * 1e12).round()), "{a} {b}");
+            assert_eq!(
+                nld_within(a, b, d + 1e-9).map(|v| (v * 1e12).round()),
+                Some((d * 1e12).round()),
+                "{a} {b}"
+            );
             if d > 0.0 {
                 assert_eq!(nld_within(a, b, d - 1e-9), None, "{a} {b}");
             }

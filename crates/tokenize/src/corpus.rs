@@ -263,7 +263,12 @@ mod tests {
 
     fn small() -> Corpus {
         Corpus::build(
-            ["Barak Obama", "Obamma, Boraak H.", "Burak Ubama", "Barak Obama"],
+            [
+                "Barak Obama",
+                "Obamma, Boraak H.",
+                "Burak Ubama",
+                "Barak Obama",
+            ],
             &NameTokenizer::default(),
         )
     }

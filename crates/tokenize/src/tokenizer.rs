@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn name_tokenizer_strips_punctuation_and_lowercases() {
         let t = NameTokenizer::default();
-        assert_eq!(t.tokenize("Obamma, Boraak H."), vec!["obamma", "boraak", "h"]);
+        assert_eq!(
+            t.tokenize("Obamma, Boraak H."),
+            vec!["obamma", "boraak", "h"]
+        );
         assert_eq!(t.tokenize("O'Neil-Smith"), vec!["o", "neil", "smith"]);
         assert_eq!(t.tokenize(""), Vec::<String>::new());
         assert_eq!(t.tokenize("  ,,,  "), Vec::<String>::new());

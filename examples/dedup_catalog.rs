@@ -16,17 +16,17 @@ fn main() {
     // A small catalog with vendor-specific listings of the same products.
     let listings = [
         "Acme Stainless Steel Water Bottle 750ml",
-        "Acme Water Bottle Stainless Steel 750ml",      // token shuffle
-        "Acme Stainles Steel Water Botle 750ml",        // typos
-        "Acme Steel Water Bottle 750 ml",               // token split
+        "Acme Water Bottle Stainless Steel 750ml", // token shuffle
+        "Acme Stainles Steel Water Botle 750ml",   // typos
+        "Acme Steel Water Bottle 750 ml",          // token split
         "Globex Wireless Optical Mouse Black",
-        "Globex Wireless Optical Mouse Blck",           // typo
-        "Globex Optical Wireless Mouse, Black",         // shuffle + punct
+        "Globex Wireless Optical Mouse Blck",   // typo
+        "Globex Optical Wireless Mouse, Black", // shuffle + punct
         "Initech Mechanical Keyboard RGB",
-        "Initech Mechanical Keybord RGB",               // typo
+        "Initech Mechanical Keybord RGB", // typo
         "Umbrella Corp First Aid Kit Large",
         "Hooli Phone Charger USB C 20W",
-        "Hooli Phone Charger USBC 20 W",                // token merge/split
+        "Hooli Phone Charger USBC 20 W", // token merge/split
         "Vandelay Industries Latex Gloves Box 100",
         "Soylent Green Protein Bar Chocolate",
     ];
@@ -43,9 +43,15 @@ fn main() {
         max_token_frequency: None, // tiny catalog: keep every token
         ..TsjConfig::default()
     };
-    let out = TsjJoiner::new(&cluster).self_join(&corpus, &config).unwrap();
+    let out = TsjJoiner::new(&cluster)
+        .self_join(&corpus, &config)
+        .unwrap();
 
-    println!("duplicate candidates at NSLD ≤ {} ({}):", config.threshold, config.scheme.name());
+    println!(
+        "duplicate candidates at NSLD ≤ {} ({}):",
+        config.threshold,
+        config.scheme.name()
+    );
     for p in &out.pairs {
         println!(
             "  [{:>2} ~ {:>2}] {:.3}  {}  <->  {}",

@@ -22,7 +22,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect() }
+        Self {
+            parent: (0..n as u32).collect(),
+        }
     }
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
@@ -58,7 +60,13 @@ fn main() {
     let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
     let cluster = Cluster::with_machines(200);
     let out = TsjJoiner::new(&cluster)
-        .self_join(&corpus, &TsjConfig { threshold: 0.2, ..TsjConfig::default() })
+        .self_join(
+            &corpus,
+            &TsjConfig {
+                threshold: 0.2,
+                ..TsjConfig::default()
+            },
+        )
         .expect("join succeeds");
     println!(
         "join: {} similar pairs, {:.1} simulated seconds on {} machines",

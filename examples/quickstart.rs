@@ -11,8 +11,14 @@ use tsj_tokenize::{Corpus, NameTokenizer};
 fn main() {
     // ---- 1. The distances -------------------------------------------------
     // Character level (Sec. II-C): Levenshtein and its normalized form.
-    println!("LD(\"Thomson\", \"Thompson\")   = {}", levenshtein("Thomson", "Thompson"));
-    println!("NLD(\"Thomson\", \"Thompson\")  = {:.4}", nld("Thomson", "Thompson"));
+    println!(
+        "LD(\"Thomson\", \"Thompson\")   = {}",
+        levenshtein("Thomson", "Thompson")
+    );
+    println!(
+        "NLD(\"Thomson\", \"Thompson\")  = {:.4}",
+        nld("Thomson", "Thompson")
+    );
 
     // Tokenized-string level (Sec. II-D): setwise Levenshtein, where token
     // shuffles are free and token edits are counted exactly.
@@ -26,10 +32,10 @@ fn main() {
     // are adversarial variants of the same bank-account holder.
     let accounts = [
         "Barak Obama",
-        "Obamma, Boraak H.",  // attacker variant: edits + shuffle + initial
-        "Burak Ubama",        // attacker variant: vowel swaps
+        "Obamma, Boraak H.", // attacker variant: edits + shuffle + initial
+        "Burak Ubama",       // attacker variant: vowel swaps
         "Maria Garcia Lopez",
-        "Maria Garcia",       // legitimate near-duplicate
+        "Maria Garcia", // legitimate near-duplicate
         "Wei Chen",
         "John Smith",
     ];
@@ -44,7 +50,10 @@ fn main() {
         .self_join(&corpus, &config)
         .expect("join runs to completion");
 
-    println!("\nSimilar account-name pairs at NSLD ≤ {}:", config.threshold);
+    println!(
+        "\nSimilar account-name pairs at NSLD ≤ {}:",
+        config.threshold
+    );
     for p in &result.pairs {
         println!(
             "  {:<22} ~ {:<22} (NSLD = {:.3})",
@@ -56,6 +65,9 @@ fn main() {
 
     // ---- 3. The pipeline report -------------------------------------------
     // Every MapReduce stage reports simulated cluster time and skew.
-    println!("\nPipeline report ({} simulated machines):", cluster.machines());
+    println!(
+        "\nPipeline report ({} simulated machines):",
+        cluster.machines()
+    );
     println!("{}", result.report);
 }

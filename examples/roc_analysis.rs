@@ -28,9 +28,7 @@ fn main() {
     let weights = TokenWeights::from_corpus(&corpus);
 
     let tokenizer = NameTokenizer::default();
-    let tok = |s: &str| -> Vec<String> {
-        tsj_tokenize::Tokenizer::tokenize(&tokenizer, s)
-    };
+    let tok = |s: &str| -> Vec<String> { tsj_tokenize::Tokenizer::tokenize(&tokenizer, s) };
 
     let mut scored: Vec<(&str, Vec<(f64, bool)>)> = vec![
         ("NSLD", Vec::new()),
@@ -43,9 +41,13 @@ fn main() {
         let old = tok(&s.old);
         let new = tok(&s.new);
         scored[0].1.push((nsld(&old, &new), s.fraud));
-        for (i, m) in [FuzzyMeasure::Jaccard, FuzzyMeasure::Cosine, FuzzyMeasure::Dice]
-            .into_iter()
-            .enumerate()
+        for (i, m) in [
+            FuzzyMeasure::Jaccard,
+            FuzzyMeasure::Cosine,
+            FuzzyMeasure::Dice,
+        ]
+        .into_iter()
+        .enumerate()
         {
             scored[i + 1]
                 .1

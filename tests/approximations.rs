@@ -4,9 +4,7 @@
 use tsj_repro::datagen::workload;
 use tsj_repro::mapreduce::Cluster;
 use tsj_repro::tokenize::{Corpus, NameTokenizer};
-use tsj_repro::tsj::{
-    pair_set, precision, recall, ApproximationScheme, TsjConfig, TsjJoiner,
-};
+use tsj_repro::tsj::{pair_set, precision, recall, ApproximationScheme, TsjConfig, TsjJoiner};
 
 fn join(
     corpus: &Corpus,
@@ -18,7 +16,12 @@ fn join(
     TsjJoiner::new(cluster)
         .self_join(
             corpus,
-            &TsjConfig { threshold: t, max_token_frequency: m, scheme, ..TsjConfig::default() },
+            &TsjConfig {
+                threshold: t,
+                max_token_frequency: m,
+                scheme,
+                ..TsjConfig::default()
+            },
         )
         .unwrap()
         .pairs
@@ -32,10 +35,27 @@ fn approximation_grid() {
 
     for t in [0.05, 0.125, 0.2] {
         for m in [Some(60), None] {
-            let fuzzy = join(&corpus, &cluster, t, m, ApproximationScheme::FuzzyTokenMatching);
-            let greedy =
-                join(&corpus, &cluster, t, m, ApproximationScheme::GreedyTokenAligning);
-            let exact = join(&corpus, &cluster, t, m, ApproximationScheme::ExactTokenMatching);
+            let fuzzy = join(
+                &corpus,
+                &cluster,
+                t,
+                m,
+                ApproximationScheme::FuzzyTokenMatching,
+            );
+            let greedy = join(
+                &corpus,
+                &cluster,
+                t,
+                m,
+                ApproximationScheme::GreedyTokenAligning,
+            );
+            let exact = join(
+                &corpus,
+                &cluster,
+                t,
+                m,
+                ApproximationScheme::ExactTokenMatching,
+            );
 
             // "The proposed approximations make TSJ err on the false
             // negative side, guaranteeing the precision to be always 1.0."
@@ -62,9 +82,27 @@ fn exact_recall_degrades_with_t_not_below_greedy() {
     let mut last_exact_recall = 1.0f64;
     let mut degraded = false;
     for t in [0.025, 0.1, 0.2] {
-        let fuzzy = join(&corpus, &cluster, t, None, ApproximationScheme::FuzzyTokenMatching);
-        let greedy = join(&corpus, &cluster, t, None, ApproximationScheme::GreedyTokenAligning);
-        let exact = join(&corpus, &cluster, t, None, ApproximationScheme::ExactTokenMatching);
+        let fuzzy = join(
+            &corpus,
+            &cluster,
+            t,
+            None,
+            ApproximationScheme::FuzzyTokenMatching,
+        );
+        let greedy = join(
+            &corpus,
+            &cluster,
+            t,
+            None,
+            ApproximationScheme::GreedyTokenAligning,
+        );
+        let exact = join(
+            &corpus,
+            &cluster,
+            t,
+            None,
+            ApproximationScheme::ExactTokenMatching,
+        );
         let rg = recall(&greedy, &fuzzy);
         let re = recall(&exact, &fuzzy);
         assert!(rg + 1e-9 >= re, "greedy below exact at t={t}: {rg} < {re}");
@@ -86,11 +124,19 @@ fn pairs_monotone_in_t_and_m() {
 
     // Monotone in T (fixed M): a larger radius only adds pairs.
     let mut prev = pair_set(&join(
-        &corpus, &cluster, 0.05, Some(100), ApproximationScheme::FuzzyTokenMatching,
+        &corpus,
+        &cluster,
+        0.05,
+        Some(100),
+        ApproximationScheme::FuzzyTokenMatching,
     ));
     for t in [0.1, 0.15, 0.2] {
         let cur = pair_set(&join(
-            &corpus, &cluster, t, Some(100), ApproximationScheme::FuzzyTokenMatching,
+            &corpus,
+            &cluster,
+            t,
+            Some(100),
+            ApproximationScheme::FuzzyTokenMatching,
         ));
         assert!(prev.is_subset(&cur), "losing pairs as T grows to {t}");
         prev = cur;
@@ -98,11 +144,19 @@ fn pairs_monotone_in_t_and_m() {
 
     // Monotone in M (fixed T): keeping more tokens only adds candidates.
     let mut prev = pair_set(&join(
-        &corpus, &cluster, 0.1, Some(5), ApproximationScheme::FuzzyTokenMatching,
+        &corpus,
+        &cluster,
+        0.1,
+        Some(5),
+        ApproximationScheme::FuzzyTokenMatching,
     ));
     for m in [20, 100, 400] {
         let cur = pair_set(&join(
-            &corpus, &cluster, 0.1, Some(m), ApproximationScheme::FuzzyTokenMatching,
+            &corpus,
+            &cluster,
+            0.1,
+            Some(m),
+            ApproximationScheme::FuzzyTokenMatching,
         ));
         assert!(prev.is_subset(&cur), "losing pairs as M grows to {m}");
         prev = cur;

@@ -26,21 +26,30 @@ fn all_three_joiners_agree_on_the_exact_result() {
     let tsj = TsjJoiner::new(&cluster)
         .self_join(
             &corpus,
-            &TsjConfig { threshold: t, max_token_frequency: None, ..TsjConfig::default() },
+            &TsjConfig {
+                threshold: t,
+                max_token_frequency: None,
+                ..TsjConfig::default()
+            },
         )
         .unwrap();
     assert_eq!(pair_set(&tsj.pairs), truth, "TSJ fuzzy != brute force");
 
-    let hmj: std::collections::HashSet<(u32, u32)> = HmjJoiner::new(
-        &cluster,
-        HmjConfig { num_centroids: 12, max_partition_size: 64, ..HmjConfig::default() },
-    )
-    .self_join(&corpus, t)
-    .unwrap()
-    .pairs
-    .iter()
-    .map(|p| (p.a, p.b))
-    .collect();
+    let hmj: std::collections::HashSet<(u32, u32), tsj_repro::mapreduce::FxBuildHasher> =
+        HmjJoiner::new(
+            &cluster,
+            HmjConfig {
+                num_centroids: 12,
+                max_partition_size: 64,
+                ..HmjConfig::default()
+            },
+        )
+        .self_join(&corpus, t)
+        .unwrap()
+        .pairs
+        .iter()
+        .map(|p| (p.a, p.b))
+        .collect();
     assert_eq!(hmj, truth, "HMJ != brute force");
 }
 
@@ -52,7 +61,10 @@ fn simulated_runtime_decreases_with_machines() {
         TsjJoiner::new(&cluster)
             .self_join(
                 &corpus,
-                &TsjConfig { max_token_frequency: Some(100), ..TsjConfig::default() },
+                &TsjConfig {
+                    max_token_frequency: Some(100),
+                    ..TsjConfig::default()
+                },
             )
             .unwrap()
             .sim_secs()
@@ -85,7 +97,11 @@ fn tsj_does_less_distance_work_than_hmj() {
         .unwrap();
     let hmj = HmjJoiner::new(
         &cluster,
-        HmjConfig { num_centroids: 64, max_partition_size: 128, ..HmjConfig::default() },
+        HmjConfig {
+            num_centroids: 64,
+            max_partition_size: 128,
+            ..HmjConfig::default()
+        },
     )
     .self_join(&corpus, t)
     .unwrap();
@@ -135,7 +151,11 @@ fn exact_token_matching_skips_the_token_join_jobs() {
         )
         .unwrap();
     assert_eq!(out.report.jobs().len(), 3, "exact mode runs 3 jobs, not 6");
-    assert!(!out.report.jobs().iter().any(|j| j.name.starts_with("massjoin")));
+    assert!(!out
+        .report
+        .jobs()
+        .iter()
+        .any(|j| j.name.starts_with("massjoin")));
 }
 
 #[test]
@@ -144,7 +164,13 @@ fn dedup_strategy_changes_worker_counts_not_results() {
     let cluster = Cluster::with_machines(32);
     let run = |dedup| {
         TsjJoiner::new(&cluster)
-            .self_join(&corpus, &TsjConfig { dedup, ..TsjConfig::default() })
+            .self_join(
+                &corpus,
+                &TsjConfig {
+                    dedup,
+                    ..TsjConfig::default()
+                },
+            )
             .unwrap()
     };
     let one = run(DedupStrategy::OneString);

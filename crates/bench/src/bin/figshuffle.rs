@@ -1,0 +1,7 @@
+//! Regenerates the shuffle-volume figure (emitted vs shuffled vs spilled
+//! records per threshold `T`). See crate docs for env knobs, plus
+//! `TSJ_FIG_SPILL_THRESHOLD` for the memory-bounded series.
+fn main() {
+    let params = tsj_bench::FigParams::from_env();
+    tsj_bench::figures::fig_shuffle(&params).print_tsv();
+}

@@ -406,6 +406,107 @@ pub fn fig6(p: &FigParams) -> FigData {
     }
 }
 
+/// **Shuffle-volume figure** (no paper counterpart; ROADMAP item) — per
+/// threshold `T`, the pipeline-total intermediate records at each stage of
+/// the paper's cost analysis (Sec. III-A/III-G: "the framework's runtime
+/// is dominated by shuffle volume"): pairs emitted by mappers, records
+/// actually shuffled after map-side combining, and — for the same join run
+/// with memory-bounded mappers — records that travelled via disk spill
+/// segments, plus the simulated cost of bounding.
+///
+/// The gap between `emitted` and `shuffled` is the combiner saving the
+/// cost model charges for; `spilled` shows how much of the shuffle a
+/// 1 GB-RAM-style worker would push through its local disk.
+pub fn fig_shuffle(p: &FigParams) -> FigData {
+    let corpus = build_corpus(p);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    // The per-job breakdown note reuses the sweep's run nearest the
+    // default operating point instead of paying for an extra join.
+    let breakdown_t = p
+        .thresholds
+        .iter()
+        .copied()
+        .min_by(|a, b| (a - p.default_t).abs().total_cmp(&(b - p.default_t).abs()))
+        .unwrap_or(p.default_t);
+    let mut breakdown: Option<JoinOutput> = None;
+    for &t in &p.thresholds {
+        let unbounded = TsjJoiner::new(&p.cluster(p.default_machines))
+            .self_join(
+                &corpus,
+                &TsjConfig {
+                    threshold: t,
+                    max_token_frequency: Some(p.default_m),
+                    ..TsjConfig::default()
+                },
+            )
+            .expect("unbounded join completes");
+        let bounded = TsjJoiner::new(&p.bounded_cluster(p.default_machines))
+            .self_join(
+                &corpus,
+                &TsjConfig {
+                    threshold: t,
+                    max_token_frequency: Some(p.default_m),
+                    ..TsjConfig::default()
+                },
+            )
+            .expect("bounded join completes");
+        assert_eq!(
+            unbounded.pairs, bounded.pairs,
+            "bounded mappers must not change the join result"
+        );
+        for (series, y) in [
+            ("emitted", unbounded.report.total_map_output_records()),
+            ("shuffled", unbounded.report.total_shuffle_records()),
+            (
+                "spilled (bounded mappers)",
+                bounded.report.total_spilled_records(),
+            ),
+        ] {
+            rows.push(Row {
+                series: series.into(),
+                x: t,
+                y: y as f64,
+            });
+        }
+        notes.push(format!(
+            "T={t:.3}: combiner saves {:.1}% of shuffle volume; bounding mappers at \
+             {} records spills {} records ({} KiB) and costs {:+.1}% simulated time",
+            100.0
+                * (1.0
+                    - unbounded.report.total_shuffle_records() as f64
+                        / unbounded.report.total_map_output_records().max(1) as f64),
+            p.spill_threshold,
+            bounded.report.total_spilled_records(),
+            bounded.report.total_spill_bytes() / 1024,
+            100.0 * (bounded.report.total_sim_secs() / unbounded.report.total_sim_secs() - 1.0),
+        ));
+        if t == breakdown_t {
+            breakdown = Some(unbounded);
+        }
+    }
+    // Per-job breakdown near the default operating point (the shape the
+    // ROADMAP asks to compare against the paper's cost analysis).
+    if let Some(at_default) = &breakdown {
+        for j in at_default.report.jobs() {
+            notes.push(format!(
+                "T={breakdown_t:.3} {}: emitted {}, shuffled {} ({:.1}% saved)",
+                j.name,
+                j.map_output_records,
+                j.shuffle_records,
+                100.0 * (1.0 - j.shuffle_records as f64 / j.map_output_records.max(1) as f64),
+            ));
+        }
+    }
+    FigData {
+        title: "Shuffle volume: emitted vs shuffled vs spilled, per NSLD threshold T".into(),
+        xlabel: "T".into(),
+        ylabel: "records".into(),
+        rows,
+        notes,
+    }
+}
+
 /// **Fig. 7** — TSJ vs HMJ runtime vs machines. Paper: HMJ did not finish
 /// on 100 machines; TSJ 12–15× faster elsewhere.
 pub fn fig7(p: &FigParams) -> FigData {

@@ -1,6 +1,6 @@
 //! Harness parameters with environment overrides.
 
-use tsj_mapreduce::{Cluster, ClusterConfig, CostModel};
+use tsj_mapreduce::{Cluster, ClusterConfig, CostModel, ShuffleConfig};
 
 /// Parameters shared by the figure harnesses.
 #[derive(Debug, Clone)]
@@ -31,6 +31,11 @@ pub struct FigParams {
     pub threads: usize,
     /// ROC sample count for Fig. 6 (paper: 10,000).
     pub roc_samples: usize,
+    /// Per-mapper record cap for the shuffle-volume figure's
+    /// memory-bounded series (the paper's workers have 1 GB RAM; this
+    /// models that bound at harness scale). The combine threshold is half
+    /// of it.
+    pub spill_threshold: usize,
 }
 
 impl Default for FigParams {
@@ -48,6 +53,7 @@ impl Default for FigParams {
             cpu_scale: 12000.0,
             threads: 0,
             roc_samples: 10_000,
+            spill_threshold: 4096,
         }
     }
 }
@@ -68,6 +74,9 @@ impl FigParams {
         if let Some(t) = env_usize("TSJ_FIG_THREADS") {
             p.threads = t;
         }
+        if let Some(s) = env_usize("TSJ_FIG_SPILL_THRESHOLD") {
+            p.spill_threshold = s.max(2);
+        }
         p
     }
 
@@ -79,6 +88,12 @@ impl FigParams {
             thresholds: vec![0.05, 0.15],
             m_values: vec![50, 400],
             roc_samples: 400,
+            spill_threshold: 64,
+            // 1000 machines over 400 strings would mean one string per map
+            // task — nothing for combiners (or the shuffle figure) to
+            // measure. Join *output* is machine-count-invariant, so the
+            // other figures' smoke assertions are unaffected.
+            default_machines: 64,
             ..Self::default()
         }
     }
@@ -94,6 +109,16 @@ impl FigParams {
             },
             ..ClusterConfig::default()
         })
+    }
+
+    /// [`FigParams::cluster`] with memory-bounded mappers: combine at half
+    /// the spill threshold, spill at [`FigParams::spill_threshold`].
+    pub fn bounded_cluster(&self, machines: usize) -> Cluster {
+        self.cluster(machines)
+            .with_shuffle_config(ShuffleConfig::bounded(
+                (self.spill_threshold / 2).max(1),
+                self.spill_threshold,
+            ))
     }
 }
 

@@ -112,3 +112,30 @@ fn fig3_runs() {
         smoke().m_values.len()
     );
 }
+
+#[test]
+fn fig_shuffle_volumes_are_ordered_and_spill_engages() {
+    let p = smoke();
+    let fig = figures::fig_shuffle(&p);
+    let emitted = fig.series("emitted");
+    let shuffled = fig.series("shuffled");
+    let spilled = fig.series("spilled (bounded mappers)");
+    assert_eq!(emitted.len(), p.thresholds.len());
+    assert_eq!(shuffled.len(), p.thresholds.len());
+    assert_eq!(spilled.len(), p.thresholds.len());
+    for i in 0..emitted.len() {
+        // Combining can only shrink the shuffle, and only shuffled records
+        // can spill.
+        assert!(shuffled[i].1 <= emitted[i].1, "shuffled > emitted at {i}");
+        assert!(spilled[i].1 <= shuffled[i].1, "spilled > shuffled at {i}");
+        // The combiner-enabled jobs must actually engage on this workload…
+        assert!(
+            shuffled[i].1 < emitted[i].1,
+            "combiner never engaged at {i}"
+        );
+        // …and the smoke spill threshold (64 records) must force spilling.
+        assert!(spilled[i].1 > 0.0, "spill path never engaged at {i}");
+    }
+    // The notes carry per-job savings for the default operating point.
+    assert!(fig.notes.iter().any(|n| n.contains("tsj.token_stats")));
+}

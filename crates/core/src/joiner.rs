@@ -48,6 +48,15 @@ impl JoinOutput {
 }
 
 /// The Tokenized-String Joiner bound to a cluster.
+///
+/// Every pipeline job inherits the cluster's
+/// [`ShuffleConfig`](tsj_mapreduce::ShuffleConfig): with
+/// `Cluster::with_shuffle_config(ShuffleConfig::bounded(..))` the whole
+/// pipeline runs with memory-bounded mappers (periodic combine, spill to
+/// disk, external sort-merge reduce) and produces output byte-identical to
+/// the unbounded configuration — property-tested in
+/// `tests/spill_equivalence.rs`. `SimReport` then shows the spilled volume
+/// per job and the cost model charges its I/O.
 #[derive(Debug, Clone)]
 pub struct TsjJoiner<'c> {
     cluster: &'c Cluster,

@@ -2,13 +2,15 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::hash::FxBuildHasher;
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
+use crate::merge::{merge_segments, Segment};
 use crate::pool::run_indexed;
-use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleRecord};
+use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleConfig, ShuffleRecord};
+use crate::spill::{reserve_job_spill_dir, Spill, SpillDirGuard};
 
 /// Applies a combiner to a map task's output buffers and returns the
 /// post-combine record count (how `run_inner` receives a combiner without
@@ -43,6 +45,13 @@ pub struct CostModel {
     /// ([`JobStats::shuffle_records`]), so map-side combining shows up as
     /// a shuffle saving exactly as it would on a real cluster.
     pub shuffle_secs_per_record: f64,
+    /// Spill I/O cost per byte, divided across machines. Charged on
+    /// `2 ×` [`JobStats::spill_bytes`] (each spilled byte is written by a
+    /// memory-bounded mapper and read back once by the sort-merge reduce),
+    /// so bounding mapper memory has a visible simulated price exactly as
+    /// local disks would on a real cluster. The default models ~100 MB/s
+    /// sequential disk on the paper's vintage worker.
+    pub spill_secs_per_byte: f64,
     /// Multiplier from measured local CPU-seconds to simulated
     /// machine-seconds (models the paper's 0.5-CPU machines being slower
     /// than a modern core; also usable to extrapolate dataset scale).
@@ -65,6 +74,7 @@ impl Default for CostModel {
             reduce_group_overhead_secs: 1e-4,
             verify_group_overhead_secs: 3e-2,
             shuffle_secs_per_record: 2e-6,
+            spill_secs_per_byte: 1e-8,
             cpu_scale: 1.0,
             work_unit_secs: 1e-7,
         }
@@ -104,13 +114,24 @@ impl Default for ClusterConfig {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     cfg: ClusterConfig,
+    /// Shuffle memory knobs shared by every job this cluster runs.
+    shuffle: ShuffleConfig,
 }
 
 impl Cluster {
+    /// Builds a cluster with the default (unbounded) shuffle, honouring
+    /// the `TSJ_COMBINE_THRESHOLD` / `TSJ_SPILL_THRESHOLD` /
+    /// `TSJ_SPILL_DIR` environment overrides (see [`ShuffleConfig`]) so an
+    /// entire binary can be forced through the spill path. Use
+    /// [`Cluster::with_shuffle_config`] to pin an explicit configuration
+    /// that ignores the environment.
     pub fn new(cfg: ClusterConfig) -> Self {
         let mut cfg = cfg;
         cfg.machines = cfg.machines.max(1);
-        Self { cfg }
+        Self {
+            cfg,
+            shuffle: ShuffleConfig::from_env(),
+        }
     }
 
     /// A cluster with `machines` simulated machines and default costs.
@@ -121,8 +142,20 @@ impl Cluster {
         })
     }
 
+    /// Replaces the shuffle memory configuration (exactly as given — no
+    /// environment overrides).
+    pub fn with_shuffle_config(mut self, shuffle: ShuffleConfig) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The shuffle memory knobs jobs run with.
+    pub fn shuffle_config(&self) -> &ShuffleConfig {
+        &self.shuffle
     }
 
     pub fn machines(&self) -> usize {
@@ -173,8 +206,8 @@ impl Cluster {
     ) -> Result<JobResult<O>, JobError>
     where
         I: Sync,
-        K: Hash + Eq + Send,
-        V: Send,
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
         O: Send,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
@@ -207,8 +240,8 @@ impl Cluster {
     ) -> Result<JobResult<O>, JobError>
     where
         I: Sync,
-        K: Hash + Eq + Clone + Send,
-        V: Send,
+        K: Hash + Eq + Clone + Send + Spill,
+        V: Send + Spill,
         O: Send,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         C: Combiner<K, V>,
@@ -238,8 +271,8 @@ impl Cluster {
     ) -> Result<JobResult<O>, JobError>
     where
         I: Sync,
-        K: Hash + Eq + Send,
-        V: Send,
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
         O: Send,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
@@ -260,8 +293,8 @@ impl Cluster {
     ) -> Result<JobResult<O>, JobError>
     where
         I: Sync,
-        K: Hash + Eq + Clone + Send,
-        V: Send,
+        K: Hash + Eq + Clone + Send + Spill,
+        V: Send + Spill,
         O: Send,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         C: Combiner<K, V>,
@@ -293,8 +326,8 @@ impl Cluster {
     ) -> Result<JobResult<O>, JobError>
     where
         I: Sync,
-        K: Hash + Eq + Send,
-        V: Send,
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
         O: Send,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
@@ -310,23 +343,45 @@ impl Cluster {
         // One map task per simulated machine (a single mapper wave), unless
         // the input is smaller than the machine count. Each task partitions
         // its output at emit time and (optionally) combines it before the
-        // shuffle, so no serial post-map partitioning pass exists.
+        // shuffle, so no serial post-map partitioning pass exists. Under a
+        // memory-bounded ShuffleConfig the task additionally combines its
+        // buffer periodically mid-task and spills sorted runs to disk when
+        // the buffer reaches the spill threshold (see `crate::shuffle`).
         let num_tasks = machines.min(input.len()).max(1);
         let chunk = input.len().div_ceil(num_tasks).max(1);
 
+        // One uniquely named spill directory per job, removed (with its
+        // segments) when the job finishes or fails. Tasks create it lazily
+        // on first spill (`create_dir_all` is racy-safe), so an unspilled
+        // bounded job touches the filesystem not at all.
+        let spill_dir: Option<SpillDirGuard> = self.shuffle.spill_threshold.map(|_| {
+            let base = self
+                .shuffle
+                .spill_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir);
+            SpillDirGuard(reserve_job_spill_dir(&base))
+        });
+
         struct MapTaskOut<K, V> {
             cpu_secs: f64,
-            /// Work units: input records + emitted pairs. The simulated
-            /// load is rate-capped per work unit so that OS scheduling
-            /// noise in the µs-scale measurements cannot masquerade as
-            /// data skew (see `rate_capped_loads`).
+            /// Work units: input records + emitted pairs + combine scans +
+            /// spilled records. The simulated load is rate-capped per work
+            /// unit so that OS scheduling noise in the µs-scale
+            /// measurements cannot masquerade as data skew (see
+            /// `proportional_loads`).
             work: u64,
             /// Pairs emitted by `map` (pre-combine).
             emitted: u64,
-            /// Records handed to the shuffle (post-combine).
+            /// Records handed to the shuffle (post-combine, spilled runs
+            /// included).
             shuffled: u64,
-            /// Partition-indexed output buffers.
+            /// High-water mark of in-memory buffered records.
+            peak_buffered: u64,
+            /// Partition-indexed in-memory output buffers.
             parts: Vec<Vec<ShuffleRecord<K, V>>>,
+            /// Spill file + run directory, if this task spilled.
+            spill: Option<crate::shuffle::TaskSpill>,
             counters: HashMap<&'static str, u64>,
         }
 
@@ -334,28 +389,59 @@ impl Cluster {
             let lo = (task * chunk).min(input.len());
             let hi = ((task + 1) * chunk).min(input.len());
             let start = Instant::now();
-            let mut emitter = Emitter::with_partitions(partitions);
+            let mut emitter = match (&spill_dir, self.shuffle.spill_threshold) {
+                (Some(guard), Some(threshold)) => Emitter::with_buffer(
+                    PartitionedBuffer::with_spill(partitions, threshold, guard.0.clone(), task),
+                ),
+                _ => Emitter::with_partitions(partitions),
+            };
+            // Periodic combine watermark: re-combine only after the buffer
+            // has grown by combine_threshold records since the last pass,
+            // so a poorly combinable stream cannot trigger quadratic
+            // re-combining. (usize::MAX = never, the unbounded default.)
+            let combine_threshold = match (combine.is_some(), self.shuffle.combine_threshold) {
+                (true, Some(t)) => t.max(1),
+                _ => usize::MAX,
+            };
+            let mut next_combine = combine_threshold;
+            let mut combine_work = 0u64;
             for record in &input[lo..hi] {
                 map(record, &mut emitter);
+                if emitter.buffer.len() >= next_combine {
+                    combine_work += emitter.buffer.len() as u64;
+                    combine.expect("combine_threshold implies combiner")(&mut emitter.buffer);
+                    // Combining may not have freed enough (distinct keys);
+                    // spill the combined run if still over the cap.
+                    emitter.buffer.maybe_spill();
+                    next_combine = emitter.buffer.len() + combine_threshold;
+                }
             }
-            let emitted = emitter.buffer.len() as u64;
-            // Map-side combine: inside the timed task (for the measured
-            // rate mode) *and* declared as one work unit per combined
-            // record (for the deterministic work_unit_secs mode), so its
-            // CPU cost lands in the simulated map phase like a real
-            // combiner's would instead of being booked as free.
-            let (shuffled, combine_work) = match combine {
-                Some(c) => (c(&mut emitter.buffer) as u64, emitted),
-                None => (emitted, 0),
+            let emitted = emitter.emitted;
+            // Final map-side combine over the leftover buffer: inside the
+            // timed task (for the measured rate mode) *and* declared as one
+            // work unit per scanned record (for the deterministic
+            // work_unit_secs mode), so its CPU cost lands in the simulated
+            // map phase like a real combiner's would instead of being
+            // booked as free.
+            let shuffled_in_mem = match combine {
+                Some(c) => {
+                    combine_work += emitter.buffer.len() as u64;
+                    c(&mut emitter.buffer) as u64
+                }
+                None => emitter.buffer.len() as u64,
             };
+            let spill = emitter.buffer.take_spill();
+            let spilled = spill.as_ref().map_or(0, |s| s.records);
             let cpu_secs = start.elapsed().as_secs_f64();
-            let work = (hi - lo) as u64 + emitted + combine_work + emitter.work_units;
+            let work = (hi - lo) as u64 + emitted + combine_work + spilled + emitter.work_units;
             MapTaskOut {
                 cpu_secs,
                 work,
                 emitted,
-                shuffled,
+                shuffled: shuffled_in_mem + spilled,
+                peak_buffered: emitter.buffer.peak_buffered() as u64,
                 parts: emitter.buffer.into_parts(),
+                spill,
                 counters: emitter.counters,
             }
         })
@@ -369,27 +455,46 @@ impl Cluster {
 
         // ---- Shuffle ---------------------------------------------------
         // Records were already routed to `hash % partitions` at emit time;
-        // the "shuffle" is now a buffer handoff: collect each partition's
-        // per-task segments (task order, so grouping below is
-        // deterministic). Cost is charged on the post-combine volume.
+        // the "shuffle" is now a segment handoff: collect each partition's
+        // per-task segments — spilled sorted runs first, then the task's
+        // in-memory leftover, in task order, so grouping below is
+        // deterministic. Cost is charged on the post-combine volume, plus
+        // spill I/O on the spilled bytes (written once, read back once).
         let mut counters: HashMap<&'static str, u64> = HashMap::new();
         let mut map_output_records = 0u64;
         let mut shuffle_records = 0u64;
-        let mut partition_segments: Vec<Vec<Vec<ShuffleRecord<K, V>>>> =
+        let mut spilled_records = 0u64;
+        let mut spill_bytes = 0u64;
+        let mut peak_buffered_records = 0u64;
+        let mut partition_segments: Vec<Vec<Segment<K, V>>> =
             (0..partitions).map(|_| Vec::new()).collect();
         for task in map_tasks {
             map_output_records += task.emitted;
             shuffle_records += task.shuffled;
+            peak_buffered_records = peak_buffered_records.max(task.peak_buffered);
             for (k, v) in &task.counters {
                 *counters.entry(k).or_insert(0) += v;
             }
+            if let Some(spill) = task.spill {
+                spilled_records += spill.records;
+                spill_bytes += spill.bytes;
+                for (p, runs) in spill.runs.into_iter().enumerate() {
+                    for meta in runs {
+                        partition_segments[p].push(Segment::Spilled {
+                            file: Arc::clone(&spill.file),
+                            meta,
+                        });
+                    }
+                }
+            }
             for (p, segment) in task.parts.into_iter().enumerate() {
                 if !segment.is_empty() {
-                    partition_segments[p].push(segment);
+                    partition_segments[p].push(Segment::Mem(segment));
                 }
             }
         }
         let shuffle_secs = cost.shuffle_secs_per_record * shuffle_records as f64 / machines as f64;
+        let spill_secs = cost.spill_secs_per_byte * 2.0 * spill_bytes as f64 / machines as f64;
 
         // ---- Reduce phase ----------------------------------------------
         struct ReduceTaskOut<O> {
@@ -409,7 +514,7 @@ impl Cluster {
         // Each reduce task takes exclusive ownership of its partition's
         // segments via a take-once cell, so values move into the reducer
         // without cloning.
-        type PartitionCell<K, V> = Mutex<Option<Vec<Vec<ShuffleRecord<K, V>>>>>;
+        type PartitionCell<K, V> = Mutex<Option<Vec<Segment<K, V>>>>;
         let parts: Vec<(usize, PartitionCell<K, V>)> = partition_segments
             .into_iter()
             .enumerate()
@@ -423,34 +528,53 @@ impl Cluster {
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .expect("each partition reduced once");
-            // Group by key; remember each key's first occurrence so the
-            // group order within a partition is deterministic (segments
-            // arrive in map-task order).
-            let mut groups: HashMap<K, (usize, Vec<V>), FxBuildHasher> = HashMap::default();
-            let mut pos = 0usize;
-            for segment in segments {
-                for (_h, k, v) in segment {
-                    groups
-                        .entry(k)
-                        .or_insert_with(|| (pos, Vec::new()))
-                        .1
-                        .push(v);
-                    pos += 1;
-                }
-            }
-            let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
-            ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
 
             let mut sink = OutputSink::new();
             let mut max_group = 0u64;
-            let n_groups = ordered.len() as u64;
+            let mut n_groups = 0u64;
             let mut work = 0u64;
             let start = Instant::now();
-            for (key, (_, values)) in ordered {
-                let n_values = values.len() as u64;
-                max_group = max_group.max(n_values);
-                work += n_values;
-                reduce(&key, values, &mut sink);
+            if segments.iter().any(Segment::is_spilled) {
+                // External path: stream a k-way sort-merge over the sorted
+                // spill runs and the (sorted-on-the-fly) in-memory
+                // segments, reducing each key as its run completes — the
+                // partition is never materialized. Group order: ascending
+                // key fingerprint.
+                merge_segments(segments, |key, values| {
+                    let n_values = values.len() as u64;
+                    max_group = max_group.max(n_values);
+                    n_groups += 1;
+                    work += n_values;
+                    reduce(&key, values, &mut sink);
+                });
+            } else {
+                // In-memory path: group by key, remembering each key's
+                // first occurrence so the group order within a partition
+                // is deterministic (segments arrive in map-task order).
+                let mut groups: HashMap<K, (usize, Vec<V>), FxBuildHasher> = HashMap::default();
+                let mut pos = 0usize;
+                for segment in segments {
+                    let Segment::Mem(records) = segment else {
+                        unreachable!("spilled segments take the merge path");
+                    };
+                    for (_h, k, v) in records {
+                        groups
+                            .entry(k)
+                            .or_insert_with(|| (pos, Vec::new()))
+                            .1
+                            .push(v);
+                        pos += 1;
+                    }
+                }
+                let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
+                ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
+                n_groups = ordered.len() as u64;
+                for (key, (_, values)) in ordered {
+                    let n_values = values.len() as u64;
+                    max_group = max_group.max(n_values);
+                    work += n_values;
+                    reduce(&key, values, &mut sink);
+                }
             }
             let cpu_secs = start.elapsed().as_secs_f64();
             work += sink.out.len() as u64 + sink.work_units;
@@ -499,6 +623,7 @@ impl Cluster {
             + cost.map_worker_startup_secs
             + map_sim.makespan_secs
             + shuffle_secs
+            + spill_secs
             + reduce_sim.makespan_secs;
 
         let stats = JobStats {
@@ -507,11 +632,15 @@ impl Cluster {
             input_records: input.len() as u64,
             map_output_records,
             shuffle_records,
+            spilled_records,
+            spill_bytes,
+            peak_buffered_records,
             reduce_groups,
             max_group_size,
             output_records: output.len() as u64,
             map: map_sim,
             shuffle_secs,
+            spill_secs,
             reduce: reduce_sim,
             sim_total_secs,
             wall_secs: wall_start.elapsed().as_secs_f64(),

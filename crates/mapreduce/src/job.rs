@@ -4,26 +4,39 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 use crate::shuffle::PartitionedBuffer;
+use crate::spill::Spill;
 
 /// Collects the `[⟨key2, value2⟩]` output of a map invocation, plus
 /// user-defined counters (candidate counts, filter survival rates, …).
 ///
 /// Emitted pairs are routed to their shuffle partition
 /// (`HASH(key) % partitions`) immediately — the emitter *is* the map side
-/// of the shuffle (see [`crate::shuffle`]).
+/// of the shuffle (see [`crate::shuffle`]). Under a memory-bounded
+/// [`ShuffleConfig`](crate::shuffle::ShuffleConfig) the emitter also
+/// enforces the spill threshold at every emit, so a mapper's in-memory
+/// record count never exceeds it — even when a single input record emits a
+/// burst of pairs.
 #[derive(Debug)]
 pub struct Emitter<K, V> {
     pub(crate) buffer: PartitionedBuffer<K, V>,
     pub(crate) counters: HashMap<&'static str, u64>,
     pub(crate) work_units: u64,
+    /// Pairs emitted so far (survives periodic combines and spills, unlike
+    /// `buffer.len()`).
+    pub(crate) emitted: u64,
 }
 
 impl<K, V> Emitter<K, V> {
     pub(crate) fn with_partitions(partitions: usize) -> Self {
+        Self::with_buffer(PartitionedBuffer::new(partitions))
+    }
+
+    pub(crate) fn with_buffer(buffer: PartitionedBuffer<K, V>) -> Self {
         Self {
-            buffer: PartitionedBuffer::new(partitions),
+            buffer,
             counters: HashMap::new(),
             work_units: 0,
+            emitted: 0,
         }
     }
 
@@ -44,12 +57,15 @@ impl<K, V> Emitter<K, V> {
     }
 }
 
-impl<K: Hash, V> Emitter<K, V> {
+impl<K: Hash + Spill, V: Spill> Emitter<K, V> {
     /// Emits one intermediate key/value pair, routing it to its shuffle
-    /// partition at once.
+    /// partition at once (and spilling the buffer if this emit reached the
+    /// configured spill threshold).
     #[inline]
     pub fn emit(&mut self, key: K, value: V) {
         self.buffer.emit(key, value);
+        self.emitted += 1;
+        self.buffer.maybe_spill();
     }
 }
 
@@ -167,6 +183,20 @@ pub struct JobStats {
     ///
     /// [`CostModel`]: crate::cluster::CostModel
     pub shuffle_records: u64,
+    /// Records spilled to disk by memory-bounded mappers (0 without a
+    /// [`ShuffleConfig`](crate::shuffle::ShuffleConfig) spill threshold).
+    /// Spilled records are part of `shuffle_records`: they were still
+    /// shuffled, they just travelled via a disk segment.
+    pub spilled_records: u64,
+    /// Bytes written to spill segments (read back once by the reduce
+    /// phase; the [`CostModel`] charges both directions).
+    ///
+    /// [`CostModel`]: crate::cluster::CostModel
+    pub spill_bytes: u64,
+    /// Largest in-memory record count any map task's shuffle buffer
+    /// reached. With a spill threshold configured this never exceeds it —
+    /// the memory bound the spill path exists to enforce.
+    pub peak_buffered_records: u64,
     /// Distinct reduce keys (= instantiated reduce workers).
     pub reduce_groups: u64,
     /// Largest reduce group (hot-key diagnosis).
@@ -177,6 +207,9 @@ pub struct JobStats {
     pub map: PhaseSim,
     /// Simulated shuffle time (volume / machines).
     pub shuffle_secs: f64,
+    /// Simulated spill I/O time (write + read-back of `spill_bytes`,
+    /// spread across machines).
+    pub spill_secs: f64,
     /// Reduce-phase simulated timing.
     pub reduce: PhaseSim,
     /// End-to-end simulated job time (startup + map + shuffle + reduce).
@@ -209,12 +242,13 @@ mod tests {
 
     #[test]
     fn emitter_collects_pairs_and_counters() {
-        let mut e: Emitter<u32, &str> = Emitter::with_partitions(4);
-        e.emit(1, "a");
-        e.emit(2, "b");
+        let mut e: Emitter<u32, String> = Emitter::with_partitions(4);
+        e.emit(1, "a".to_owned());
+        e.emit(2, "b".to_owned());
         e.add_counter("seen", 2);
         e.add_counter("seen", 1);
         assert_eq!(e.buffer.len(), 2);
+        assert_eq!(e.emitted, 2);
         assert_eq!(e.counters["seen"], 3);
     }
 

@@ -9,7 +9,11 @@
 //!   pool (all cores), so joins over hundreds of thousands of strings finish
 //!   in seconds. Mappers partition their output by key hash *at emit time*
 //!   and can fold it through a map-side [`Combiner`] before the shuffle
-//!   (see [`shuffle`]), and
+//!   (see [`shuffle`]). With a [`ShuffleConfig`] the whole data plane is
+//!   *memory-bounded*: mappers periodically combine and spill sorted runs
+//!   to disk ([`spill`]) and reducers consume their partitions through a
+//!   streaming k-way sort-merge ([`merge`]), modelling genuinely
+//!   out-of-core workloads, and
 //! * **A simulated cluster clock** — every map task and every reduce group
 //!   is individually timed, charged to one of `machines` *simulated*
 //!   machines (map tasks round-robin, reduce groups by key hash — exactly
@@ -32,12 +36,17 @@
 pub mod cluster;
 pub mod hash;
 pub mod job;
+pub mod merge;
 pub mod pool;
 pub mod report;
 pub mod shuffle;
+pub mod spill;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
 pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 pub use report::SimReport;
-pub use shuffle::{combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, Sum};
+pub use shuffle::{
+    combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, ShuffleConfig, Sum,
+};
+pub use spill::Spill;

@@ -1,0 +1,233 @@
+//! The reduce side of the memory-bounded shuffle: a streaming k-way
+//! sort-merge over a partition's segments.
+//!
+//! A reduce partition's input arrives as *segments*: the in-memory buffers
+//! of map tasks that never spilled, plus zero or more sorted runs in the
+//! tasks' spill files (see [`crate::spill`]). When any segment is spilled,
+//! the partition is reduced by merging all segments in key-fingerprint
+//! order — the external-sort discipline real MapReduce reducers use — so
+//! the partition is never materialized: at any moment the reducer holds
+//! one read buffer per spilled run plus the value run of the single key
+//! being reduced.
+//!
+//! Group order under the merge is ascending key fingerprint (ties between
+//! distinct keys sharing a fingerprint resolve to first-occurrence order
+//! within the merged run) — different from the first-occurrence order of
+//! the purely in-memory path, but equally deterministic given the input
+//! and the partition count.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::sync::Arc;
+
+use crate::shuffle::{for_each_key_group, ShuffleRecord};
+use crate::spill::{RunMeta, RunReader, Spill};
+
+/// One input segment of a reduce partition.
+#[derive(Debug)]
+pub(crate) enum Segment<K, V> {
+    /// A map task's in-memory records for this partition (any order; the
+    /// merge sorts them stably by fingerprint first).
+    Mem(Vec<ShuffleRecord<K, V>>),
+    /// One sorted run inside a map task's spill file.
+    Spilled { file: Arc<File>, meta: RunMeta },
+}
+
+impl<K, V> Segment<K, V> {
+    pub(crate) fn is_spilled(&self) -> bool {
+        matches!(self, Segment::Spilled { .. })
+    }
+}
+
+/// A sorted record source being merged: an in-memory segment or a
+/// streaming spill-run reader.
+enum Stream<K, V> {
+    Mem(std::vec::IntoIter<ShuffleRecord<K, V>>),
+    Run(RunReader),
+}
+
+impl<K: Spill, V: Spill> Stream<K, V> {
+    fn next(&mut self) -> Option<ShuffleRecord<K, V>> {
+        match self {
+            Stream::Mem(it) => it.next(),
+            Stream::Run(r) => r.next(),
+        }
+    }
+}
+
+/// Merges `segments` in `(fingerprint, segment index)` order and invokes
+/// `each_group` exactly once per distinct key with that key's full value
+/// run. Keys sharing a fingerprint (collisions) are separated by full key
+/// equality, first-occurrence order within the merged fingerprint run.
+///
+/// Segment order is the caller's (map-task order, spill runs before the
+/// task's in-memory leftover), so the grouping — and therefore job output
+/// — is a pure function of the data and the partition count, independent
+/// of thread scheduling.
+pub(crate) fn merge_segments<K, V, F>(segments: Vec<Segment<K, V>>, mut each_group: F)
+where
+    K: Spill + Eq,
+    V: Spill,
+    F: FnMut(K, Vec<V>),
+{
+    let mut streams: Vec<Stream<K, V>> = segments
+        .into_iter()
+        .map(|seg| match seg {
+            Segment::Mem(mut records) => {
+                // Stable: a key's values keep their within-segment order.
+                records.sort_by_key(|(h, _, _)| *h);
+                Stream::Mem(records.into_iter())
+            }
+            Segment::Spilled { file, meta } => Stream::Run(RunReader::new(file, meta)),
+        })
+        .collect();
+
+    // One lookahead record per stream; the heap orders stream heads by
+    // (fingerprint, stream index) so equal-fingerprint records drain
+    // stream-by-stream in segment order.
+    let mut heads: Vec<Option<ShuffleRecord<K, V>>> =
+        streams.iter_mut().map(Stream::next).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, head)| head.as_ref().map(|(h, _, _)| Reverse((*h, i))))
+        .collect();
+
+    let mut run: Vec<(K, V)> = Vec::new(); // records of the current fingerprint
+    let mut run_h = 0u64;
+    while let Some(Reverse((h, i))) = heap.pop() {
+        let (head_h, key, value) = heads[i].take().expect("heap entry implies a head");
+        debug_assert_eq!(head_h, h);
+        heads[i] = streams[i].next();
+        if let Some((next_h, _, _)) = &heads[i] {
+            debug_assert!(*next_h >= h, "segment not sorted by fingerprint");
+            heap.push(Reverse((*next_h, i)));
+        }
+        if h != run_h && !run.is_empty() {
+            // The shared helper applies the same collision-grouping
+            // discipline as the map-side combine (full key equality,
+            // first-occurrence order within the fingerprint run).
+            for_each_key_group(&mut run, &mut each_group);
+        }
+        run_h = h;
+        run.push((key, value));
+    }
+    for_each_key_group(&mut run, &mut each_group);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill::{create_job_spill_dir, SpillDirGuard, SpillWriter};
+
+    /// Runs the merge and collects `(key, values)` groups in call order.
+    fn collect<K: Spill + Eq, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<(K, Vec<V>)> {
+        let mut got = Vec::new();
+        merge_segments(segments, |k, vs| got.push((k, vs)));
+        got
+    }
+
+    #[test]
+    fn merges_mem_segments_in_fingerprint_order() {
+        let a: Vec<ShuffleRecord<u32, u32>> = vec![(5, 50, 1), (2, 20, 1), (9, 90, 1)];
+        let b: Vec<ShuffleRecord<u32, u32>> = vec![(2, 20, 2), (7, 70, 2)];
+        let got = collect(vec![Segment::Mem(a), Segment::Mem(b)]);
+        assert_eq!(
+            got,
+            vec![
+                (20, vec![1, 2]), // segment order: a's value before b's
+                (50, vec![1]),
+                (70, vec![2]),
+                (90, vec![1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn collisions_group_by_full_key_in_first_occurrence_order() {
+        // Three distinct keys share fingerprint 4 across two segments.
+        let a: Vec<ShuffleRecord<u32, u32>> = vec![(4, 1, 10), (4, 2, 20), (4, 1, 11)];
+        let b: Vec<ShuffleRecord<u32, u32>> = vec![(4, 3, 30), (4, 2, 21)];
+        let got = collect(vec![Segment::Mem(a), Segment::Mem(b)]);
+        assert_eq!(
+            got,
+            vec![(1, vec![10, 11]), (2, vec![20, 21]), (3, vec![30]),]
+        );
+    }
+
+    #[test]
+    fn merges_spilled_runs_with_mem_segments() {
+        let dir = create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        let _guard = SpillDirGuard(dir.clone());
+        let mut w = SpillWriter::create(dir.join("task0.spill")).unwrap();
+        let run1: Vec<ShuffleRecord<u64, u64>> = vec![(1, 100, 1), (3, 300, 1), (3, 300, 2)];
+        let run2: Vec<ShuffleRecord<u64, u64>> = vec![(2, 200, 1), (3, 300, 3)];
+        let m1 = w.write_run(&run1).unwrap();
+        let m2 = w.write_run(&run2).unwrap();
+        let (file, _) = w.into_reader().unwrap();
+
+        let mem: Vec<ShuffleRecord<u64, u64>> = vec![(4, 400, 9), (1, 100, 7)];
+        let got = collect(vec![
+            Segment::Spilled {
+                file: Arc::clone(&file),
+                meta: m1,
+            },
+            Segment::Spilled { file, meta: m2 },
+            Segment::Mem(mem),
+        ]);
+        assert_eq!(
+            got,
+            vec![
+                (100, vec![1, 7]), // spilled run first (lower segment index)
+                (200, vec![1]),
+                (300, vec![1, 2, 3]),
+                (400, vec![9]),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_single_segment_edge_cases() {
+        assert!(collect(Vec::<Segment<u32, u32>>::new()).is_empty());
+        assert!(collect(vec![Segment::Mem(Vec::<ShuffleRecord<u32, u32>>::new())]).is_empty());
+        let got = collect(vec![Segment::Mem(vec![(1u64, 1u32, 2u32)])]);
+        assert_eq!(got, vec![(1, vec![2])]);
+    }
+
+    #[test]
+    fn group_multiset_matches_naive_grouping_on_many_segments() {
+        // 8 segments × 200 records over 40 keys; merge must produce exactly
+        // one group per key with all its values.
+        let mut segments = Vec::new();
+        let mut expect: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        let mut x = 7u64;
+        for s in 0..8u64 {
+            let mut seg: Vec<ShuffleRecord<u64, u64>> = Vec::new();
+            for i in 0..200u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let key = x % 40;
+                let h = crate::hash::fingerprint64(&key);
+                seg.push((h, key, s * 1000 + i));
+            }
+            segments.push(Segment::Mem(seg));
+        }
+        for seg in &segments {
+            if let Segment::Mem(v) = seg {
+                for (_, k, val) in v {
+                    expect.entry(*k).or_default().push(*val);
+                }
+            }
+        }
+        let got = collect(segments);
+        assert_eq!(got.len(), expect.len(), "one group per distinct key");
+        for (k, mut vs) in got {
+            let mut want = expect.remove(&k).expect("key exists");
+            vs.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(vs, want, "key {k}");
+        }
+    }
+}

@@ -56,23 +56,35 @@ impl SimReport {
     pub fn total_shuffle_records(&self) -> u64 {
         self.jobs.iter().map(|j| j.shuffle_records).sum()
     }
+
+    /// Total records spilled to disk by memory-bounded mappers across all
+    /// jobs (zero when the shuffle runs unbounded).
+    pub fn total_spilled_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spilled_records).sum()
+    }
+
+    /// Total bytes written to spill segments across all jobs.
+    pub fn total_spill_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spill_bytes).sum()
+    }
 }
 
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
-            "job", "input", "emitted", "shuffled", "groups", "output", "sim(s)", "skew"
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "job", "input", "emitted", "shuffled", "spilled", "groups", "output", "sim(s)", "skew"
         )?;
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
                 j.shuffle_records,
+                j.spilled_records,
                 j.reduce_groups,
                 j.output_records,
                 j.sim_total_secs,
@@ -81,11 +93,12 @@ impl std::fmt::Display for SimReport {
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10.2}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2}",
             "TOTAL",
             "",
             self.total_map_output_records(),
             self.total_shuffle_records(),
+            self.total_spilled_records(),
             "",
             "",
             self.total_sim_secs()

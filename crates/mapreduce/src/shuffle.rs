@@ -39,6 +39,29 @@
 //! combiner savings show up in the simulated runtimes exactly as they
 //! would on the paper's production cluster.
 //!
+//! # Memory-bounded mappers ([`ShuffleConfig`])
+//!
+//! By default a map task buffers its whole output in memory — fine for the
+//! in-process simulation, but not a model of the paper's 1 GB-RAM workers
+//! (Sec. V). A [`ShuffleConfig`] bounds the buffer:
+//!
+//! * `combine_threshold` — once the task has this many records buffered,
+//!   the job's combiner runs over them *mid-task* (a periodic, spill-style
+//!   combine instead of one pass at task end), shrinking the buffer
+//!   whenever keys repeat.
+//! * `spill_threshold` — a hard cap, enforced at every emit: when the
+//!   buffer reaches it (e.g. keys do not repeat, or a single input record
+//!   emits a burst), each partition's records are stable-sorted by key
+//!   fingerprint and appended to the task's spill file as a sorted run
+//!   (see [`crate::spill`]). The reduce phase then k-way-merges the
+//!   spilled runs with the in-memory segments ([`crate::merge`]), so no
+//!   worker ever holds an unbounded partition.
+//!
+//! Both thresholds default to `None` (unbounded, the original behaviour).
+//! Reduce group order is first-occurrence for purely in-memory partitions
+//! and key-fingerprint order for partitions with spilled runs — both
+//! deterministic functions of the data and configuration.
+//!
 //! # Combiner contract
 //!
 //! A combiner must be *semantics-preserving* for its reducer: the reducer
@@ -51,10 +74,14 @@
 //! insensitive to duplicate values (e.g. TSJ's candidate-pair dedup
 //! jobs, Sec. III-E/III-G3).
 
+use std::fs::File;
 use std::hash::Hash;
 use std::ops::Add;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::hash::{fingerprint64, FxBuildHasher};
+use crate::spill::{RunMeta, Spill, SpillWriter};
 
 /// One shuffled record: the key's stable 64-bit fingerprint (computed once
 /// at emit time and reused for partition routing and machine assignment),
@@ -160,15 +187,111 @@ where
     }
 }
 
+/// Memory knobs of the shuffle's map side (see the module docs).
+///
+/// The default is fully unbounded — existing callers are untouched. The
+/// environment variables `TSJ_COMBINE_THRESHOLD`, `TSJ_SPILL_THRESHOLD`
+/// and `TSJ_SPILL_DIR` override the *default* configuration (applied by
+/// [`Cluster::new`](crate::cluster::Cluster); an explicit
+/// [`with_shuffle_config`](crate::cluster::Cluster::with_shuffle_config)
+/// always wins), so a whole test or bench run can be pushed through the
+/// spill path without touching code.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShuffleConfig {
+    /// Buffered-record count at which a map task runs the job's combiner
+    /// over its buffer mid-task (checked between input records). `None`
+    /// (default) combines once at task end, as before. Ignored by jobs
+    /// without a combiner.
+    pub combine_threshold: Option<usize>,
+    /// Hard per-mapper buffer cap, enforced at every emit: reaching it
+    /// sorts and spills the buffer to disk. `None` (default) never spills.
+    pub spill_threshold: Option<usize>,
+    /// Directory for per-job spill subdirectories; `None` uses the system
+    /// temp dir. Spill files are deleted when their job completes.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl ShuffleConfig {
+    /// The default: no periodic combine, no spilling.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Bounds both the combine and spill thresholds (spill in the system
+    /// temp dir).
+    pub fn bounded(combine_threshold: usize, spill_threshold: usize) -> Self {
+        Self {
+            combine_threshold: Some(combine_threshold),
+            spill_threshold: Some(spill_threshold),
+            spill_dir: None,
+        }
+    }
+
+    /// True when neither threshold is set (the buffer never spills and the
+    /// combiner runs only at task end).
+    pub fn is_unbounded(&self) -> bool {
+        self.combine_threshold.is_none() && self.spill_threshold.is_none()
+    }
+
+    /// The defaults with `TSJ_COMBINE_THRESHOLD` / `TSJ_SPILL_THRESHOLD` /
+    /// `TSJ_SPILL_DIR` environment overrides applied.
+    pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|v| v.max(1))
+        };
+        Self {
+            combine_threshold: parse("TSJ_COMBINE_THRESHOLD"),
+            spill_threshold: parse("TSJ_SPILL_THRESHOLD"),
+            spill_dir: std::env::var_os("TSJ_SPILL_DIR").map(PathBuf::from),
+        }
+    }
+}
+
+/// A map task's spill output: the read-only file handle, every partition's
+/// sorted runs, and the spilled volume (for [`JobStats`] accounting).
+///
+/// [`JobStats`]: crate::job::JobStats
+#[derive(Debug)]
+pub(crate) struct TaskSpill {
+    pub(crate) file: Arc<File>,
+    /// Partition-indexed run locations, in spill order.
+    pub(crate) runs: Vec<Vec<RunMeta>>,
+    pub(crate) records: u64,
+    pub(crate) bytes: u64,
+}
+
+/// Spill machinery of one map task's buffer (present only when a
+/// [`ShuffleConfig`] sets `spill_threshold`).
+#[derive(Debug)]
+struct BufferSpill {
+    threshold: usize,
+    /// Job spill dir; the task's file is created lazily on first spill.
+    dir: PathBuf,
+    task: usize,
+    writer: Option<SpillWriter>,
+    runs: Vec<Vec<RunMeta>>,
+}
+
 /// Per-partition output buffers: the emit-time half of the shuffle.
 ///
 /// `push` routes a record to partition `hash % partitions`; the runtime
 /// later hands each partition's buffers (one per map task) to the reduce
 /// task that owns the partition. Buffers start empty and unallocated, so
-/// sparse partition use costs nothing beyond the spine.
+/// sparse partition use costs nothing beyond the spine. With a spill
+/// threshold ([`PartitionedBuffer::with_spill`]) the buffered record count
+/// is capped: reaching the cap sorts each partition and appends it to the
+/// task's spill file as a run (see the module docs).
 #[derive(Debug)]
 pub struct PartitionedBuffer<K, V> {
     parts: Vec<Vec<ShuffleRecord<K, V>>>,
+    /// Records currently buffered (all partitions).
+    len: usize,
+    /// High-water mark of `len` — what a memory-bounded mapper peaks at.
+    peak: usize,
+    spill: Option<BufferSpill>,
 }
 
 impl<K, V> PartitionedBuffer<K, V> {
@@ -176,7 +299,30 @@ impl<K, V> PartitionedBuffer<K, V> {
         assert!(partitions > 0, "shuffle needs at least one partition");
         Self {
             parts: (0..partitions).map(|_| Vec::new()).collect(),
+            len: 0,
+            peak: 0,
+            spill: None,
         }
+    }
+
+    /// A buffer that spills to `<dir>/task<task>.spill` whenever `len()`
+    /// reaches `threshold` (the directory must exist; clean-up is the
+    /// job's responsibility).
+    pub(crate) fn with_spill(
+        partitions: usize,
+        threshold: usize,
+        dir: PathBuf,
+        task: usize,
+    ) -> Self {
+        let mut buf = Self::new(partitions);
+        buf.spill = Some(BufferSpill {
+            threshold: threshold.max(1),
+            dir,
+            task,
+            writer: None,
+            runs: (0..partitions).map(|_| Vec::new()).collect(),
+        });
+        buf
     }
 
     #[inline]
@@ -184,13 +330,22 @@ impl<K, V> PartitionedBuffer<K, V> {
         self.parts.len()
     }
 
-    /// Total records currently buffered across all partitions.
+    /// Records currently buffered in memory across all partitions
+    /// (excludes anything already spilled).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.parts.iter().map(Vec::len).sum()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.parts.iter().all(Vec::is_empty)
+        self.len == 0
+    }
+
+    /// High-water mark of in-memory buffered records over the buffer's
+    /// lifetime. With a spill threshold this never exceeds the threshold.
+    #[inline]
+    pub fn peak_buffered(&self) -> usize {
+        self.peak
     }
 
     /// Routes one record by its precomputed key fingerprint.
@@ -198,11 +353,81 @@ impl<K, V> PartitionedBuffer<K, V> {
     pub fn push(&mut self, hash: u64, key: K, value: V) {
         let p = (hash % self.parts.len() as u64) as usize;
         self.parts[p].push((hash, key, value));
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
     }
 
     /// Consumes the buffer, yielding the partition-indexed record vectors.
     pub fn into_parts(self) -> Vec<Vec<ShuffleRecord<K, V>>> {
         self.parts
+    }
+}
+
+impl<K: Spill, V: Spill> PartitionedBuffer<K, V> {
+    /// Spills the whole buffer if it has reached the spill threshold.
+    /// Called on every emit, so in-memory records never exceed the
+    /// threshold. Panics on I/O failure (surfaced by the runtime as a map
+    /// worker panic).
+    #[inline]
+    pub(crate) fn maybe_spill(&mut self) {
+        if let Some(spill) = &self.spill {
+            if self.len >= spill.threshold {
+                self.spill_now();
+            }
+        }
+    }
+
+    /// Stable-sorts each non-empty partition by fingerprint and appends it
+    /// to the task's spill file as one sorted run, emptying the buffer.
+    fn spill_now(&mut self) {
+        let Some(spill) = self.spill.as_mut() else {
+            return;
+        };
+        if self.len == 0 {
+            return;
+        }
+        let writer = match spill.writer.as_mut() {
+            Some(w) => w,
+            None => {
+                let path = spill.dir.join(format!("task{}.spill", spill.task));
+                spill.writer = Some(
+                    SpillWriter::create(path)
+                        .unwrap_or_else(|e| panic!("shuffle spill file creation failed: {e}")),
+                );
+                spill.writer.as_mut().expect("just created")
+            }
+        };
+        for (p, part) in self.parts.iter_mut().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            // Stable: equal-fingerprint records keep emit order within the run.
+            part.sort_by_key(|(h, _, _)| *h);
+            let meta = writer
+                .write_run(part)
+                .unwrap_or_else(|e| panic!("shuffle spill write failed: {e}"));
+            spill.runs[p].push(meta);
+            part.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Finishes spilling: flushes the task's spill file and returns its
+    /// read-only handle plus run directory, or `None` if nothing spilled.
+    /// The remaining in-memory records stay in the buffer.
+    pub(crate) fn take_spill(&mut self) -> Option<TaskSpill> {
+        let spill = self.spill.take()?;
+        let writer = spill.writer?;
+        let (records, bytes) = (writer.records, writer.bytes);
+        let (file, _path) = writer
+            .into_reader()
+            .unwrap_or_else(|e| panic!("shuffle spill finalize failed: {e}"));
+        Some(TaskSpill {
+            file,
+            runs: spill.runs,
+            records,
+            bytes,
+        })
     }
 }
 
@@ -225,6 +450,7 @@ impl<K: Hash + Eq + Clone, V> PartitionedBuffer<K, V> {
             *part = combine_records(records, combiner);
             total += part.len();
         }
+        self.len = total; // combining only ever shrinks; peak is unchanged
         total
     }
 }
@@ -237,10 +463,12 @@ impl<K: Hash + Eq + Clone, V> PartitionedBuffer<K, V> {
 /// buffer instead of a hash table with a `Vec` per key. The resulting
 /// record order is fingerprint order: different from the emit order, but a
 /// pure function of the data, so job output stays deterministic across
-/// thread and partition counts. (On a fingerprint collision between
-/// distinct keys, an interleaved run may split a key's values into two
-/// combined records — harmless, since combiners are associative and the
-/// reducer re-groups by the full key.)
+/// thread and partition counts. On a fingerprint collision between
+/// distinct keys, the colliding run is re-grouped by full key equality
+/// (first-occurrence order within the run), so every key's values reach
+/// the combiner in exactly one call — an interleaved collision cannot
+/// split a key into two combined records and leak duplicates past a
+/// [`Dedup`] combine into the charged shuffle volume.
 pub fn combine_records<K: Hash + Eq + Clone, V>(
     records: Vec<ShuffleRecord<K, V>>,
     combiner: &dyn Combiner<K, V>,
@@ -252,27 +480,56 @@ pub fn combine_records<K: Hash + Eq + Clone, V>(
     records.sort_by_key(|(h, _, _)| *h); // stable: value order per key kept
 
     let mut out = Vec::with_capacity(records.len() / 2 + 1);
-    let mut it = records.into_iter();
-    let (mut run_h, mut run_key, first_v) = it.next().expect("len > 1");
+    let mut it = records.into_iter().peekable();
     let mut values: Vec<V> = Vec::new(); // scratch, reused across runs
-    values.push(first_v);
-    for (h, k, v) in it {
-        if h == run_h && k == run_key {
-            values.push(v);
-        } else {
-            flush_run(
-                combiner,
-                run_h,
-                std::mem::replace(&mut run_key, k),
-                &mut values,
-                &mut out,
-            );
-            run_h = h;
-            values.push(v);
+    let mut extras: Vec<(K, V)> = Vec::new(); // fingerprint-collision overflow
+    while let Some((h, key, v)) = it.next() {
+        values.push(v);
+        while let Some((h2, _, _)) = it.peek() {
+            if *h2 != h {
+                break;
+            }
+            let (_, k2, v2) = it.next().expect("peeked");
+            if k2 == key {
+                values.push(v2);
+            } else {
+                extras.push((k2, v2));
+            }
         }
+        flush_run(combiner, h, key, &mut values, &mut out);
+        // Rare: other keys shared this fingerprint. The shared helper
+        // applies the same grouping discipline as the reduce-side merge.
+        for_each_key_group(&mut extras, |k, mut vs| {
+            values.append(&mut vs);
+            flush_run(combiner, h, k, &mut values, &mut out);
+        });
     }
-    flush_run(combiner, run_h, run_key, &mut values, &mut out);
     out
+}
+
+/// Splits one fingerprint run's records into per-key groups (full key
+/// equality, first-occurrence order) and hands each to `f`.
+///
+/// This is the single source of truth for fingerprint-collision grouping:
+/// both the map-side combine ([`combine_records`]) and the reduce-side
+/// sort-merge ([`crate::merge`]) go through it, so the two sides cannot
+/// silently diverge on ordering or key-splitting semantics.
+pub(crate) fn for_each_key_group<K: Eq, V, F: FnMut(K, Vec<V>)>(run: &mut Vec<(K, V)>, mut f: F) {
+    while !run.is_empty() {
+        // Almost always the whole run is one key; collisions leave `rest`.
+        let (key, first) = run.remove(0);
+        let mut values = vec![first];
+        let mut rest = Vec::new();
+        for (k, v) in run.drain(..) {
+            if k == key {
+                values.push(v);
+            } else {
+                rest.push((k, v));
+            }
+        }
+        f(key, values);
+        *run = rest;
+    }
 }
 
 /// Combines one key's buffered values and appends the surviving records;
@@ -361,19 +618,43 @@ mod tests {
     }
 
     #[test]
-    fn combine_splits_runs_on_fingerprint_collision() {
-        // Two distinct keys sharing a fingerprint: values must not be
-        // merged across keys, and none may be lost.
+    fn combine_groups_colliding_keys_by_full_equality() {
+        // Two distinct keys sharing a fingerprint, interleaved: values must
+        // not be merged across keys, none may be lost, and each key must be
+        // combined exactly once (no split runs).
         let recs: Vec<ShuffleRecord<u32, u64>> = vec![(5, 1, 10), (5, 2, 1), (5, 1, 20), (5, 2, 2)];
         let out = combine_records(recs, &Sum);
-        let total_by_key = |key: u32| -> u64 {
-            out.iter()
-                .filter(|(_, k, _)| *k == key)
-                .map(|(_, _, v)| v)
-                .sum()
-        };
-        assert_eq!(total_by_key(1), 30);
-        assert_eq!(total_by_key(2), 3);
+        assert_eq!(out, vec![(5, 1, 30), (5, 2, 3)]);
+    }
+
+    #[test]
+    fn dedup_combine_fully_deduplicates_across_a_collision() {
+        // Regression: the pre-fix grouping split a key's run at every
+        // key alternation inside a colliding fingerprint run, so Dedup let
+        // duplicate values through map-side and inflated shuffle_records
+        // (and the charged shuffle cost). Now each key's values are
+        // deduplicated in one pass.
+        let recs: Vec<ShuffleRecord<u32, u32>> = vec![
+            (9, 1, 100),
+            (9, 2, 100),
+            (9, 1, 100), // duplicate of (1, 100) across the interleaving
+            (9, 2, 100), // duplicate of (2, 100) across the interleaving
+            (9, 1, 200),
+        ];
+        let out = combine_records(recs, &Dedup);
+        assert_eq!(
+            out,
+            vec![(9, 1, 100), (9, 1, 200), (9, 2, 100)],
+            "one record per distinct (key, value), first-occurrence order per key"
+        );
+    }
+
+    #[test]
+    fn three_way_collision_groups_each_key_once() {
+        let recs: Vec<ShuffleRecord<u32, u64>> =
+            vec![(3, 7, 1), (3, 8, 10), (3, 9, 100), (3, 8, 10), (3, 7, 2)];
+        let out = combine_records(recs, &Sum);
+        assert_eq!(out, vec![(3, 7, 3), (3, 8, 20), (3, 9, 100)]);
     }
 
     #[test]
@@ -401,5 +682,51 @@ mod tests {
     fn empty_combine_is_noop() {
         let out = combine_records(Vec::<ShuffleRecord<u32, u64>>::new(), &Sum);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spilling_buffer_caps_in_memory_records() {
+        let dir = crate::spill::create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        let _guard = crate::spill::SpillDirGuard(dir.clone());
+        let mut buf: PartitionedBuffer<u64, u64> =
+            PartitionedBuffer::with_spill(4, 16, dir.clone(), 0);
+        for k in 0u64..1000 {
+            buf.emit(k, k * 2);
+            buf.maybe_spill();
+        }
+        assert!(buf.peak_buffered() <= 16, "peak {}", buf.peak_buffered());
+        let spill = buf.take_spill().expect("must have spilled");
+        let leftover: usize = buf.len();
+        assert_eq!(spill.records as usize + leftover, 1000);
+        assert!(spill.bytes > 0);
+        // Runs are sorted by fingerprint and partition-consistent, and
+        // streaming them back yields exactly the spilled records.
+        let mut restored = 0usize;
+        for (p, runs) in spill.runs.iter().enumerate() {
+            for meta in runs {
+                let mut r = crate::spill::RunReader::new(Arc::clone(&spill.file), *meta);
+                let mut last_h = 0u64;
+                while let Some((h, k, v)) = r.next::<u64, u64>() {
+                    assert!(h >= last_h, "run not sorted");
+                    assert_eq!((h % 4) as usize, p, "record in wrong partition run");
+                    assert_eq!(v, k * 2);
+                    last_h = h;
+                    restored += 1;
+                }
+            }
+        }
+        assert_eq!(restored, spill.records as usize);
+    }
+
+    #[test]
+    fn unbounded_buffer_never_spills() {
+        let mut buf: PartitionedBuffer<u64, u64> = PartitionedBuffer::new(4);
+        for k in 0u64..100 {
+            buf.emit(k, 1);
+            buf.maybe_spill();
+        }
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf.peak_buffered(), 100);
+        assert!(buf.take_spill().is_none());
     }
 }

@@ -1,0 +1,537 @@
+//! On-disk spill segments: the serialization and file format behind the
+//! memory-bounded shuffle.
+//!
+//! When a map task's buffered output crosses its
+//! [`ShuffleConfig::spill_threshold`](crate::shuffle::ShuffleConfig), the
+//! task sorts each partition's buffer by key fingerprint and appends it to
+//! the task's spill file as one *run* — a sorted, self-delimiting sequence
+//! of records. The reduce phase later streams every run back through a
+//! [`RunReader`] and k-way-merges them (see [`crate::merge`]), so neither
+//! side ever materializes a full partition in memory.
+//!
+//! # File format
+//!
+//! One spill file per map task holds the runs of all partitions,
+//! back-to-back; a run is located by the `(offset, bytes)` recorded in its
+//! [`RunMeta`] at write time (there is no in-file directory). Each record
+//! is framed as
+//!
+//! ```text
+//! [u32 payload_len] [u64 key_fingerprint] [K bytes] [V bytes]
+//! ```
+//!
+//! with all integers little-endian. The frame length lets [`RunReader`]
+//! refill its fixed-size read buffer on whole-record boundaries, keeping
+//! reduce-side memory at one buffer per open run regardless of run size.
+//!
+//! # Serialization
+//!
+//! Key and value bytes are produced by the [`Spill`] trait — a minimal,
+//! dependency-free binary codec implemented for the primitive types,
+//! tuples, `String`, `Vec<T>` and `Option<T>`. Job-specific key or value
+//! types implement it in a few lines (see `ChunkRole` in `tsj-passjoin`
+//! for an example). Spill I/O failures panic with a descriptive message;
+//! the runtime's worker panic capture surfaces them as
+//! [`JobError::WorkerPanic`](crate::job::JobError) exactly like any other
+//! failed task on a real cluster.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::shuffle::ShuffleRecord;
+
+/// Binary serialization for shuffle keys and values that may spill to disk.
+///
+/// Implementations must round-trip: `restore` applied to the bytes written
+/// by `spill` yields an equal value and consumes exactly the bytes written.
+/// `restore` returns `None` on truncated or malformed input (the runtime
+/// treats that as file corruption and panics the reduce worker).
+pub trait Spill: Sized {
+    /// Appends this value's encoding to `out`.
+    fn spill(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `buf`, advancing it.
+    fn restore(buf: &mut &[u8]) -> Option<Self>;
+}
+
+/// Reads `N` bytes off the front of `buf`.
+#[inline]
+fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Some(head)
+}
+
+macro_rules! spill_le_int {
+    ($($t:ty),*) => {$(
+        impl Spill for $t {
+            #[inline]
+            fn spill(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn restore(buf: &mut &[u8]) -> Option<Self> {
+                let b = take_bytes(buf, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(b.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+spill_le_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+/// `usize` spills as `u64` so segments are portable across word sizes.
+impl Spill for usize {
+    #[inline]
+    fn spill(&self, out: &mut Vec<u8>) {
+        (*self as u64).spill(out);
+    }
+    #[inline]
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        usize::try_from(u64::restore(buf)?).ok()
+    }
+}
+
+impl Spill for bool {
+    #[inline]
+    fn spill(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    #[inline]
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        match take_bytes(buf, 1)?[0] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Spill for char {
+    #[inline]
+    fn spill(&self, out: &mut Vec<u8>) {
+        (*self as u32).spill(out);
+    }
+    #[inline]
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        char::from_u32(u32::restore(buf)?)
+    }
+}
+
+impl Spill for () {
+    #[inline]
+    fn spill(&self, _out: &mut Vec<u8>) {}
+    #[inline]
+    fn restore(_buf: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Spill for String {
+    #[inline]
+    fn spill(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).spill(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    #[inline]
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        let n = u32::restore(buf)? as usize;
+        let b = take_bytes(buf, n)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+}
+
+impl<T: Spill> Spill for Vec<T> {
+    fn spill(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).spill(out);
+        for item in self {
+            item.spill(out);
+        }
+    }
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        let n = u32::restore(buf)? as usize;
+        let mut v = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            v.push(T::restore(buf)?);
+        }
+        Some(v)
+    }
+}
+
+impl<T: Spill> Spill for Option<T> {
+    fn spill(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.spill(out);
+            }
+        }
+    }
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        match take_bytes(buf, 1)?[0] {
+            0 => Some(None),
+            1 => Some(Some(T::restore(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! spill_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Spill),+> Spill for ($($t,)+) {
+            fn spill(&self, out: &mut Vec<u8>) {
+                $(self.$n.spill(out);)+
+            }
+            fn restore(buf: &mut &[u8]) -> Option<Self> {
+                Some(($($t::restore(buf)?,)+))
+            }
+        }
+    )*};
+}
+
+spill_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Location of one sorted run inside a task's spill file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Byte offset of the run's first record frame.
+    pub offset: u64,
+    /// Total framed bytes of the run.
+    pub bytes: u64,
+    /// Records in the run.
+    pub records: u64,
+}
+
+/// Append-only writer for one map task's spill file.
+#[derive(Debug)]
+pub(crate) struct SpillWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    offset: u64,
+    scratch: Vec<u8>,
+    /// Total records written across all runs.
+    pub(crate) records: u64,
+    /// Total bytes written across all runs.
+    pub(crate) bytes: u64,
+}
+
+impl SpillWriter {
+    pub(crate) fn create(path: PathBuf) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            // Lazily materializes the job's spill dir on first spill;
+            // concurrent map tasks race here safely (create_dir_all is
+            // idempotent).
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = BufWriter::new(File::create(&path)?);
+        Ok(Self {
+            path,
+            file,
+            offset: 0,
+            scratch: Vec::new(),
+            records: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Appends `records` (already sorted by fingerprint) as one run.
+    pub(crate) fn write_run<K: Spill, V: Spill>(
+        &mut self,
+        records: &[ShuffleRecord<K, V>],
+    ) -> std::io::Result<RunMeta> {
+        let offset = self.offset;
+        for (h, k, v) in records {
+            self.scratch.clear();
+            h.spill(&mut self.scratch);
+            k.spill(&mut self.scratch);
+            v.spill(&mut self.scratch);
+            // Fail at the write site rather than corrupting every frame
+            // after this one with a wrapped length prefix.
+            assert!(
+                self.scratch.len() <= u32::MAX as usize,
+                "shuffle record encoding exceeds the 4 GiB frame limit"
+            );
+            let frame = self.scratch.len() as u32;
+            self.file.write_all(&frame.to_le_bytes())?;
+            self.file.write_all(&self.scratch)?;
+            self.offset += 4 + self.scratch.len() as u64;
+        }
+        let meta = RunMeta {
+            offset,
+            bytes: self.offset - offset,
+            records: records.len() as u64,
+        };
+        self.records += meta.records;
+        self.bytes += meta.bytes;
+        Ok(meta)
+    }
+
+    /// Flushes and reopens the file read-only for the reduce phase.
+    pub(crate) fn into_reader(mut self) -> std::io::Result<(Arc<File>, PathBuf)> {
+        self.file.flush()?;
+        drop(self.file);
+        Ok((Arc::new(File::open(&self.path)?), self.path))
+    }
+}
+
+/// Positioned read that never moves a shared cursor, so any number of
+/// [`RunReader`]s can stream from one open [`File`].
+#[cfg(unix)]
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+    std::os::unix::fs::FileExt::read_at(file, buf, offset)
+}
+
+#[cfg(windows)]
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+    std::os::windows::fs::FileExt::seek_read(file, buf, offset)
+}
+
+/// Streams one sorted run back from a spill file, one record at a time,
+/// holding only a fixed-size read buffer (no per-run memory proportional
+/// to the run length).
+#[derive(Debug)]
+pub(crate) struct RunReader {
+    file: Arc<File>,
+    /// Next file offset to refill from.
+    offset: u64,
+    /// One past the run's last byte.
+    end: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// Read-buffer refill size. Small runs read in one shot; large runs
+/// stream through at most this much memory per open run.
+const READ_CHUNK: usize = 32 * 1024;
+
+impl RunReader {
+    pub(crate) fn new(file: Arc<File>, meta: RunMeta) -> Self {
+        Self {
+            file,
+            offset: meta.offset,
+            end: meta.offset + meta.bytes,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Ensures ≥ `n` unread bytes are buffered; `false` at clean end of run.
+    /// Panics on I/O errors or a truncated frame (spill-file corruption).
+    fn ensure(&mut self, n: usize) -> bool {
+        if self.buf.len() - self.pos >= n {
+            return true;
+        }
+        // Compact, then refill from the shared file with positioned reads.
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        while self.buf.len() < n {
+            let remaining = (self.end - self.offset) as usize;
+            if remaining == 0 {
+                break;
+            }
+            let want = remaining.min(READ_CHUNK.max(n - self.buf.len()));
+            let start = self.buf.len();
+            self.buf.resize(start + want, 0);
+            let got = read_at(&self.file, &mut self.buf[start..], self.offset)
+                .unwrap_or_else(|e| panic!("shuffle spill read failed: {e}"));
+            assert!(got > 0, "shuffle spill file truncated mid-run");
+            self.buf.truncate(start + got);
+            self.offset += got as u64;
+        }
+        if self.buf.len() >= n {
+            return true;
+        }
+        assert!(
+            self.buf.is_empty(),
+            "shuffle spill file corrupt: partial record frame at end of run"
+        );
+        false
+    }
+
+    /// Next record of the run, or `None` when exhausted.
+    pub(crate) fn next<K: Spill, V: Spill>(&mut self) -> Option<ShuffleRecord<K, V>> {
+        if !self.ensure(4) {
+            return None;
+        }
+        let frame = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        let frame = frame as usize;
+        assert!(
+            self.ensure(frame),
+            "shuffle spill file corrupt: truncated record payload"
+        );
+        let mut payload = &self.buf[self.pos..self.pos + frame];
+        let rec = (|| {
+            Some((
+                u64::restore(&mut payload)?,
+                K::restore(&mut payload)?,
+                V::restore(&mut payload)?,
+            ))
+        })();
+        let rec = rec.expect("shuffle spill file corrupt: undecodable record");
+        self.pos += frame;
+        Some(rec)
+    }
+}
+
+/// Reserves a uniquely named (process id + sequence number) spill
+/// directory path under `base` for one job. No I/O happens here — the
+/// directory is materialized lazily by the first task that spills.
+pub(crate) fn reserve_job_spill_dir(base: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    base.join(format!(
+        "tsj-spill-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// [`reserve_job_spill_dir`] plus eager creation (test helper).
+#[cfg(test)]
+pub(crate) fn create_job_spill_dir(base: &Path) -> std::io::Result<PathBuf> {
+    let dir = reserve_job_spill_dir(base);
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Best-effort recursive removal of a job's spill directory when the job
+/// finishes (or fails) — spill segments never outlive their job.
+#[derive(Debug)]
+pub(crate) struct SpillDirGuard(pub(crate) PathBuf);
+
+impl Drop for SpillDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Spill + PartialEq + std::fmt::Debug>(v: T) {
+        let mut bytes = Vec::new();
+        v.spill(&mut bytes);
+        let mut slice = bytes.as_slice();
+        assert_eq!(T::restore(&mut slice), Some(v));
+        assert!(
+            slice.is_empty(),
+            "restore must consume exactly what spill wrote"
+        );
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u16::MAX);
+        roundtrip(123_456u32);
+        roundtrip(u64::MAX - 1);
+        roundtrip(-42i64);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip('é');
+        roundtrip(());
+        roundtrip(usize::MAX / 2);
+    }
+
+    #[test]
+    fn compounds_roundtrip() {
+        roundtrip(String::from("tokenized strings"));
+        roundtrip(String::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, 2u64));
+        roundtrip((1u8, String::from("x"), vec![9u16]));
+        roundtrip((1u32, 2u32, 3u32, 4u32));
+    }
+
+    #[test]
+    fn restore_rejects_truncated_input() {
+        let mut bytes = Vec::new();
+        123_456u64.spill(&mut bytes);
+        let mut slice = &bytes[..4];
+        assert_eq!(u64::restore(&mut slice), None);
+        let mut bytes = Vec::new();
+        String::from("hello").spill(&mut bytes);
+        let mut slice = &bytes[..bytes.len() - 1];
+        assert_eq!(String::restore(&mut slice), None);
+    }
+
+    #[test]
+    fn writer_and_reader_roundtrip_runs() {
+        let dir = create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        let _guard = SpillDirGuard(dir.clone());
+        let mut w = SpillWriter::create(dir.join("t0.spill")).unwrap();
+
+        let run1: Vec<ShuffleRecord<u32, String>> = vec![
+            (1, 10, "a".into()),
+            (1, 10, "b".into()),
+            (5, 11, "c".into()),
+        ];
+        let run2: Vec<ShuffleRecord<u32, String>> = vec![(2, 20, "d".into())];
+        let m1 = w.write_run(&run1).unwrap();
+        let m2 = w.write_run(&run2).unwrap();
+        assert_eq!(m1.records, 3);
+        assert_eq!(m2.records, 1);
+        assert_eq!(m2.offset, m1.offset + m1.bytes);
+        assert_eq!(w.records, 4);
+        assert_eq!(w.bytes, m1.bytes + m2.bytes);
+
+        let (file, _path) = w.into_reader().unwrap();
+        // Readers stream independently over one shared file handle.
+        let mut r2 = RunReader::new(Arc::clone(&file), m2);
+        let mut r1 = RunReader::new(file, m1);
+        let mut got1: Vec<ShuffleRecord<u32, String>> = Vec::new();
+        while let Some(rec) = r1.next() {
+            got1.push(rec);
+        }
+        assert_eq!(got1, run1);
+        assert_eq!(r2.next::<u32, String>(), Some((2, 20, "d".into())));
+        assert_eq!(r2.next::<u32, String>(), None);
+    }
+
+    #[test]
+    fn reader_streams_large_runs_through_small_buffer() {
+        let dir = create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        let _guard = SpillDirGuard(dir.clone());
+        let mut w = SpillWriter::create(dir.join("big.spill")).unwrap();
+        // Values large enough that the run is many read-chunks long.
+        let big = "x".repeat(1000);
+        let run: Vec<ShuffleRecord<u64, String>> = (0..500).map(|i| (i, i, big.clone())).collect();
+        let meta = w.write_run(&run).unwrap();
+        assert!(meta.bytes as usize > 4 * READ_CHUNK);
+        let (file, _) = w.into_reader().unwrap();
+        let mut r = RunReader::new(file, meta);
+        let mut n = 0u64;
+        while let Some((h, k, v)) = r.next::<u64, String>() {
+            assert_eq!(h, n);
+            assert_eq!(k, n);
+            assert_eq!(v.len(), 1000);
+            assert!(r.buf.capacity() <= 2 * READ_CHUNK + 2048);
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn spill_dir_guard_removes_directory() {
+        let dir = create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        std::fs::write(dir.join("t1.spill"), b"junk").unwrap();
+        assert!(dir.exists());
+        drop(SpillDirGuard(dir.clone()));
+        assert!(!dir.exists());
+    }
+}

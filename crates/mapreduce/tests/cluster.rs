@@ -15,6 +15,7 @@ fn test_cluster(machines: usize) -> Cluster {
             reduce_group_overhead_secs: 0.0,
             verify_group_overhead_secs: 0.0,
             shuffle_secs_per_record: 0.0,
+            spill_secs_per_byte: 0.0,
             cpu_scale: 1.0,
             work_unit_secs: 0.0, // measured rates: these tests time real work
         },
@@ -183,6 +184,7 @@ fn simulated_time_scales_down_with_machines() {
                 reduce_group_overhead_secs: 1e-5,
                 verify_group_overhead_secs: 1e-5,
                 shuffle_secs_per_record: 1e-6,
+                spill_secs_per_byte: 0.0,
                 cpu_scale: 1.0,
                 work_unit_secs: 0.0,
             },
@@ -280,6 +282,7 @@ fn group_overhead_charges_per_group() {
                 reduce_group_overhead_secs: overhead,
                 verify_group_overhead_secs: overhead,
                 shuffle_secs_per_record: 0.0,
+                spill_secs_per_byte: 0.0,
                 cpu_scale: 1.0,
                 work_unit_secs: 0.0,
             },
@@ -384,6 +387,7 @@ fn shuffle_cost_charged_on_post_combine_records() {
             reduce_group_overhead_secs: 0.0,
             verify_group_overhead_secs: 0.0,
             shuffle_secs_per_record: 1.0,
+            spill_secs_per_byte: 0.0,
             cpu_scale: 0.0,
             work_unit_secs: 1e-9,
         },

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tsj_mapreduce::{Cluster, Emitter, FxBuildHasher, JobError, OutputSink, SimReport};
+use tsj_mapreduce::{Cluster, Emitter, FxBuildHasher, JobError, OutputSink, SimReport, Spill};
 use tsj_setdist::{nsld, nsld_within, Aligning};
 use tsj_tokenize::{Corpus, StringId};
 
@@ -116,6 +116,24 @@ struct Replica {
     home: u32,
     /// Distance to *this* partition's centroid (window pruning).
     dist_to_centroid: f64,
+}
+
+/// Shuffle values must be spillable so the partition job can run with
+/// memory-bounded mappers (`ShuffleConfig`).
+impl Spill for Replica {
+    fn spill(&self, out: &mut Vec<u8>) {
+        self.sid.spill(out);
+        self.home.spill(out);
+        self.dist_to_centroid.spill(out);
+    }
+
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            sid: u32::restore(buf)?,
+            home: u32::restore(buf)?,
+            dist_to_centroid: f64::restore(buf)?,
+        })
+    }
 }
 
 impl<'c> HmjJoiner<'c> {

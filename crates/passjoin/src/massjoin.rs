@@ -18,7 +18,9 @@
 
 use std::sync::Arc;
 
-use tsj_mapreduce::{fingerprint64, Cluster, Dedup, Emitter, JobError, OutputSink, SimReport};
+use tsj_mapreduce::{
+    fingerprint64, Cluster, Dedup, Emitter, JobError, OutputSink, SimReport, Spill,
+};
 use tsj_strdist::{max_ld_given_nld, min_len_given_nld};
 
 use crate::segments::{even_partitions, substring_window};
@@ -34,7 +36,41 @@ enum ChunkRole {
     Sub(u32),
 }
 
+/// Shuffle values must be spillable so the candidates job can run with
+/// memory-bounded mappers (`ShuffleConfig`): a one-byte role tag plus the
+/// token id.
+impl Spill for ChunkRole {
+    fn spill(&self, out: &mut Vec<u8>) {
+        match self {
+            ChunkRole::Seg(id) => {
+                out.push(0);
+                id.spill(out);
+            }
+            ChunkRole::Sub(id) => {
+                out.push(1);
+                id.spill(out);
+            }
+        }
+    }
+
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        let (tag, rest) = buf.split_first()?;
+        *buf = rest;
+        match tag {
+            0 => Some(ChunkRole::Seg(u32::restore(buf)?)),
+            1 => Some(ChunkRole::Sub(u32::restore(buf)?)),
+            _ => None,
+        }
+    }
+}
+
 /// A MassJoin executor bound to a cluster and an `NLD` threshold.
+///
+/// Both jobs inherit the cluster's
+/// [`ShuffleConfig`](tsj_mapreduce::ShuffleConfig) and can run with
+/// memory-bounded mappers: the candidates job's `⟨chunk, role⟩` records
+/// spill via `ChunkRole`'s `Spill` impl, and the verify job's pair keys
+/// are plain tuples. Output is identical to the unbounded configuration.
 #[derive(Debug, Clone)]
 pub struct MassJoin<'c> {
     cluster: &'c Cluster,

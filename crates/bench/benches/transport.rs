@@ -1,0 +1,103 @@
+//! Shuffle-transport benchmarks: the same counting job run over the
+//! in-process segment handoff vs the multi-process file exchange, with
+//! and without mapper spill pressure.
+//!
+//! The point being measured: the exchange serializes every post-combine
+//! record through the `Spill` wire codec into per-partition run files and
+//! streams them back in the reduce merge — real wall-clock (encode, I/O,
+//! decode) and simulated transport time, for byte-identical output. This
+//! is the local-disk stand-in for what a worker NIC would charge on a
+//! genuine cluster.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsj_mapreduce::{Cluster, Count, Emitter, JobResult, OutputSink, ShuffleConfig, Transport};
+
+/// A skewed key stream (Zipf-ish over ~64k distinct keys), the same
+/// workload shape as `benches/spill.rs` so the two reports compare.
+fn skewed_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            (65_536.0 * r.powf(3.0)) as u64
+        })
+        .collect()
+}
+
+fn count_job(cluster: &Cluster, keys: &[u64], name: &str) -> JobResult<(u64, u64)> {
+    cluster
+        .run_combined(
+            name,
+            keys,
+            |&k, e: &mut Emitter<u64, u64>| e.emit(k, 1),
+            &Count,
+            |&k, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((k, vs.iter().sum()));
+            },
+        )
+        .unwrap()
+}
+
+fn bench_transport_job(c: &mut Criterion) {
+    let keys = skewed_keys(200_000, 11);
+    let in_proc = Cluster::with_machines(64).with_shuffle_config(ShuffleConfig::unbounded());
+    let multi = Cluster::with_machines(64)
+        .with_shuffle_config(ShuffleConfig::unbounded().with_transport(Transport::MultiProcess));
+    let multi_spilling = Cluster::with_machines(64).with_shuffle_config(
+        ShuffleConfig::bounded(1024, 2048).with_transport(Transport::MultiProcess),
+    );
+
+    let mut g = c.benchmark_group("transport_count_job");
+    g.sample_size(10);
+    g.bench_function("in-process/200k", |b| {
+        b.iter(|| count_job(&in_proc, black_box(&keys), "bench.transport.inprocess"))
+    });
+    g.bench_function("multi-process/200k", |b| {
+        b.iter(|| count_job(&multi, black_box(&keys), "bench.transport.multiprocess"))
+    });
+    g.bench_function("multi-process+spill2048/200k", |b| {
+        b.iter(|| {
+            count_job(
+                &multi_spilling,
+                black_box(&keys),
+                "bench.transport.spilling",
+            )
+        })
+    });
+    g.finish();
+
+    // Sanity + report outside the timed loops: identical output, bytes
+    // accounted and charged.
+    let sort = |mut v: Vec<(u64, u64)>| {
+        v.sort_unstable();
+        v
+    };
+    let plain = count_job(&in_proc, &keys, "check.inprocess");
+    assert_eq!(plain.stats.transport_bytes, 0);
+    for (cluster, label) in [(&multi, "unbounded"), (&multi_spilling, "spill2048")] {
+        let exchanged = count_job(cluster, &keys, "check.multiprocess");
+        assert_eq!(sort(plain.output.clone()), sort(exchanged.output));
+        assert!(exchanged.stats.transport_bytes > 0);
+        assert!(exchanged.stats.transport_secs > 0.0);
+        println!(
+            "multi-process ({label}): {} KiB exchanged for {} shuffled records \
+             ({:.1} B/record), sim {:+.4}s vs in-process",
+            exchanged.stats.transport_bytes / 1024,
+            exchanged.stats.shuffle_records,
+            exchanged.stats.transport_bytes as f64 / exchanged.stats.shuffle_records.max(1) as f64,
+            exchanged.stats.sim_total_secs - plain.stats.sim_total_secs,
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_transport_job
+}
+criterion_main!(benches);

@@ -416,7 +416,11 @@ pub fn fig6(p: &FigParams) -> FigData {
 ///
 /// The gap between `emitted` and `shuffled` is the combiner saving the
 /// cost model charges for; `spilled` shows how much of the shuffle a
-/// 1 GB-RAM-style worker would push through its local disk.
+/// 1 GB-RAM-style worker would push through its local disk. A third run
+/// of the same join over the `MultiProcess` transport measures the
+/// exchange: its serialized bytes per `T` (the `transport KiB` series and
+/// notes — the volume a real cluster's interconnect would carry) and its
+/// simulated cost, with output asserted identical to both other runs.
 pub fn fig_shuffle(p: &FigParams) -> FigData {
     let corpus = build_corpus(p);
     let mut rows = Vec::new();
@@ -455,12 +459,30 @@ pub fn fig_shuffle(p: &FigParams) -> FigData {
             unbounded.pairs, bounded.pairs,
             "bounded mappers must not change the join result"
         );
+        let transported = TsjJoiner::new(&p.multiprocess_cluster(p.default_machines))
+            .self_join(
+                &corpus,
+                &TsjConfig {
+                    threshold: t,
+                    max_token_frequency: Some(p.default_m),
+                    ..TsjConfig::default()
+                },
+            )
+            .expect("multi-process join completes");
+        assert_eq!(
+            unbounded.pairs, transported.pairs,
+            "the shuffle transport must not change the join result"
+        );
         for (series, y) in [
             ("emitted", unbounded.report.total_map_output_records()),
             ("shuffled", unbounded.report.total_shuffle_records()),
             (
                 "spilled (bounded mappers)",
                 bounded.report.total_spilled_records(),
+            ),
+            (
+                "transport KiB (multi-process)",
+                transported.report.total_transport_bytes() / 1024,
             ),
         ] {
             rows.push(Row {
@@ -480,6 +502,15 @@ pub fn fig_shuffle(p: &FigParams) -> FigData {
             bounded.report.total_spilled_records(),
             bounded.report.total_spill_bytes() / 1024,
             100.0 * (bounded.report.total_sim_secs() / unbounded.report.total_sim_secs() - 1.0),
+        ));
+        notes.push(format!(
+            "T={t:.3}: multi-process exchange moves {} KiB for {} shuffled records \
+             ({:.1} B/record) and costs {:+.1}% simulated time over bounded in-process",
+            transported.report.total_transport_bytes() / 1024,
+            transported.report.total_shuffle_records(),
+            transported.report.total_transport_bytes() as f64
+                / transported.report.total_shuffle_records().max(1) as f64,
+            100.0 * (transported.report.total_sim_secs() / bounded.report.total_sim_secs() - 1.0),
         ));
         if t == breakdown_t {
             breakdown = Some(unbounded);

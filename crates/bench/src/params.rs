@@ -1,6 +1,6 @@
 //! Harness parameters with environment overrides.
 
-use tsj_mapreduce::{Cluster, ClusterConfig, CostModel, ShuffleConfig};
+use tsj_mapreduce::{Cluster, ClusterConfig, CostModel, ShuffleConfig, Transport};
 
 /// Parameters shared by the figure harnesses.
 #[derive(Debug, Clone)]
@@ -119,6 +119,17 @@ impl FigParams {
                 (self.spill_threshold / 2).max(1),
                 self.spill_threshold,
             ))
+    }
+
+    /// [`FigParams::bounded_cluster`] shuffled over the multi-process
+    /// file exchange (the shuffle-volume figure's transport series: the
+    /// same memory bound, with every post-combine byte serialized between
+    /// workers).
+    pub fn multiprocess_cluster(&self, machines: usize) -> Cluster {
+        self.cluster(machines).with_shuffle_config(
+            ShuffleConfig::bounded((self.spill_threshold / 2).max(1), self.spill_threshold)
+                .with_transport(Transport::MultiProcess),
+        )
     }
 }
 

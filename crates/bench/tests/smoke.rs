@@ -136,6 +136,12 @@ fn fig_shuffle_volumes_are_ordered_and_spill_engages() {
         // …and the smoke spill threshold (64 records) must force spilling.
         assert!(spilled[i].1 > 0.0, "spill path never engaged at {i}");
     }
+    // The multi-process run must move real bytes at every threshold.
+    let transported = fig.series("transport KiB (multi-process)");
+    assert_eq!(transported.len(), p.thresholds.len());
+    for (i, (_, kib)) in transported.iter().enumerate() {
+        assert!(*kib > 0.0, "exchange moved nothing at {i}");
+    }
     // The notes carry per-job savings for the default operating point.
     assert!(fig.notes.iter().any(|n| n.contains("tsj.token_stats")));
 }

@@ -57,6 +57,15 @@ impl JoinOutput {
 /// the unbounded configuration — property-tested in
 /// `tests/spill_equivalence.rs`. `SimReport` then shows the spilled volume
 /// per job and the cost model charges its I/O.
+///
+/// The config's [`Transport`](tsj_mapreduce::Transport) is inherited the
+/// same way: under `Transport::MultiProcess` every stage — the TSJ jobs
+/// *and* the MassJoin sub-pipeline — exchanges its map output through
+/// per-partition sorted-run files instead of the in-process handoff,
+/// again byte-identically (property-tested in
+/// `tests/transport_equivalence.rs`), with the exchanged bytes surfaced
+/// per job in `SimReport` and charged by
+/// `CostModel::transport_secs_per_byte`.
 #[derive(Debug, Clone)]
 pub struct TsjJoiner<'c> {
     cluster: &'c Cluster,

@@ -88,7 +88,7 @@ proptest! {
         let shuffle = ShuffleConfig {
             combine_threshold: Some(threshold / 2),
             spill_threshold: Some(threshold),
-            spill_dir: None,
+            ..ShuffleConfig::default()
         };
         let out = join(&cluster_with(4, 0, 16, shuffle), &corpus, 0.15);
         for j in out.report.jobs() {

@@ -1,0 +1,240 @@
+//! The transport differential harness: a full TSJ self-join (including
+//! the MassJoin token-join stages) run over the `MultiProcess` shuffle
+//! transport must produce output *byte-identical* to the default
+//! `InProcess` handoff — across real thread counts, shuffle partition
+//! counts, simulated machine counts, and bounded/unbounded shuffle
+//! memory configurations. A transport bug does not crash; it silently
+//! corrupts join output — this harness is the deliverable that makes the
+//! exchange trustworthy.
+
+use proptest::prelude::*;
+use tsj::{ApproximationScheme, DedupStrategy, SimilarPair, TsjConfig, TsjJoiner};
+use tsj_datagen::workload;
+use tsj_mapreduce::{Cluster, ClusterConfig, ShuffleConfig, Transport};
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+fn cluster_with(
+    threads: usize,
+    partitions: usize,
+    machines: usize,
+    shuffle: ShuffleConfig,
+) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines,
+        threads,
+        partitions,
+        ..ClusterConfig::default()
+    })
+    .with_shuffle_config(shuffle)
+}
+
+fn join(cluster: &Cluster, corpus: &Corpus, t: f64) -> tsj::JoinOutput {
+    TsjJoiner::new(cluster)
+        .self_join(
+            corpus,
+            &TsjConfig {
+                threshold: t,
+                max_token_frequency: Some(100),
+                // FuzzyTokenMatching pulls the MassJoin pipeline in, so
+                // the exchange carries every wire type the workspace has
+                // (u64/u32 keys, (), ChunkRole, tuples).
+                scheme: ApproximationScheme::FuzzyTokenMatching,
+                dedup: DedupStrategy::OneString,
+                ..TsjConfig::default()
+            },
+        )
+        .unwrap()
+}
+
+fn pairs(cluster: &Cluster, corpus: &Corpus, t: f64) -> Vec<SimilarPair> {
+    join(cluster, corpus, t).pairs
+}
+
+/// The shuffle configurations the differential sweep covers: unbounded
+/// and two spill pressures, each pushed through the multi-process
+/// exchange.
+fn multiprocess_configs() -> [ShuffleConfig; 3] {
+    [
+        ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
+        ShuffleConfig::bounded(24, 48).with_transport(Transport::MultiProcess),
+        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole guarantee: swapping the shuffle transport changes
+    /// *nothing* about the verified join output (ids and distances),
+    /// across ≥3 real thread counts × ≥3 partition counts ×
+    /// bounded/unbounded shuffle configs — and machine counts for good
+    /// measure.
+    #[test]
+    fn multiprocess_join_is_byte_identical_to_inprocess(
+        seed in 0u64..1_000,
+        t in 0.05f64..0.2,
+    ) {
+        let w = workload(100, 0.3, seed);
+        let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+        let reference =
+            pairs(&cluster_with(4, 0, 16, ShuffleConfig::unbounded()), &corpus, t);
+        for shuffle in multiprocess_configs() {
+            for threads in [1usize, 2, 8] {
+                let got = pairs(&cluster_with(threads, 0, 16, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&got, &reference, "threads = {}", threads);
+            }
+            for partitions in [1usize, 5, 64] {
+                let got = pairs(&cluster_with(4, partitions, 16, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&got, &reference, "partitions = {}", partitions);
+            }
+            for machines in [1usize, 64] {
+                let got = pairs(&cluster_with(4, 0, machines, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&got, &reference, "machines = {}", machines);
+            }
+        }
+    }
+
+    /// The merge fan-in cap composes with both transports at pipeline
+    /// scale: tiny spill thresholds force many runs per partition, the
+    /// hierarchical merge engages, and output is still byte-identical.
+    #[test]
+    fn capped_merge_fan_in_preserves_pipeline_output(
+        seed in 0u64..1_000,
+    ) {
+        let t = 0.15;
+        let w = workload(100, 0.3, seed);
+        let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+        let reference =
+            pairs(&cluster_with(4, 0, 16, ShuffleConfig::unbounded()), &corpus, t);
+        for transport in [Transport::InProcess, Transport::MultiProcess] {
+            let shuffle = ShuffleConfig::bounded(8, 8)
+                .with_transport(transport)
+                .with_merge_fan_in(3);
+            let out = join(&cluster_with(4, 2, 16, shuffle), &corpus, t);
+            prop_assert_eq!(&out.pairs, &reference, "transport = {:?}", transport);
+            prop_assert!(
+                out.report.jobs().iter().any(|j| j.merge_passes > 0),
+                "8-record spill runs over 2 partitions must exceed fan-in 3 somewhere"
+            );
+        }
+    }
+}
+
+/// Every pipeline job — TSJ's stages *and* the MassJoin sub-pipeline —
+/// must show nonzero transport bytes under `MultiProcess` (nothing takes
+/// a hidden in-process shortcut), must be charged simulated transport
+/// time for them, and the whole pipeline can never be *faster* than the
+/// free in-process handoff on equal data.
+#[test]
+fn multiprocess_reports_transport_bytes_on_every_job() {
+    let w = workload(200, 0.35, 7);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+
+    let in_proc = join(
+        &cluster_with(4, 0, 16, ShuffleConfig::unbounded()),
+        &corpus,
+        0.15,
+    );
+    for j in in_proc.report.jobs() {
+        assert_eq!(j.transport, "in-process", "{}", j.name);
+        assert_eq!(j.transport_bytes, 0, "{}", j.name);
+        assert_eq!(j.transport_secs, 0.0, "{}", j.name);
+    }
+    assert_eq!(in_proc.report.total_transport_bytes(), 0);
+
+    let multi = join(
+        &cluster_with(
+            4,
+            0,
+            16,
+            ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
+        ),
+        &corpus,
+        0.15,
+    );
+    assert_eq!(multi.pairs, in_proc.pairs);
+    let jobs = multi.report.jobs();
+    assert!(
+        jobs.len() >= 5,
+        "pipeline must include TSJ + MassJoin stages, got {}",
+        jobs.len()
+    );
+    for j in jobs {
+        assert_eq!(j.transport, "multi-process", "{}", j.name);
+        assert!(
+            j.transport_bytes > 0,
+            "job {} moved no bytes through the exchange",
+            j.name
+        );
+        assert!(j.transport_secs > 0.0, "{} transport not charged", j.name);
+        // Framing lower bound: 4-byte length + 8-byte fingerprint per
+        // shuffled record.
+        assert!(
+            j.transport_bytes >= 12 * j.shuffle_records,
+            "{}: {} bytes for {} records",
+            j.name,
+            j.transport_bytes,
+            j.shuffle_records
+        );
+    }
+    assert!(multi.report.total_transport_bytes() > 0);
+    assert!(
+        multi.report.total_sim_secs() >= in_proc.report.total_sim_secs(),
+        "multi-process {:.3}s vs in-process {:.3}s",
+        multi.report.total_sim_secs(),
+        in_proc.report.total_sim_secs()
+    );
+    // The rendered report carries the transport column.
+    let rendered = format!("{}", multi.report);
+    assert!(rendered.contains("xport(B)"));
+}
+
+/// Both dedup strategies and all three approximation schemes survive the
+/// exchange (exercising `run_with_group_overhead`, the `ChunkRole` and
+/// tuple wire types, and the greedy/exact pipelines).
+#[test]
+fn all_schemes_and_dedups_match_inprocess_over_the_exchange() {
+    let w = workload(120, 0.3, 99);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    for (scheme, dedup) in [
+        (
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::BothStrings,
+        ),
+        (
+            ApproximationScheme::GreedyTokenAligning,
+            DedupStrategy::OneString,
+        ),
+        (
+            ApproximationScheme::ExactTokenMatching,
+            DedupStrategy::OneString,
+        ),
+    ] {
+        let run = |shuffle: ShuffleConfig| {
+            TsjJoiner::new(&cluster_with(4, 0, 16, shuffle))
+                .self_join(
+                    &corpus,
+                    &TsjConfig {
+                        threshold: 0.15,
+                        max_token_frequency: Some(100),
+                        scheme,
+                        dedup,
+                        ..TsjConfig::default()
+                    },
+                )
+                .unwrap()
+                .pairs
+        };
+        let reference = run(ShuffleConfig::unbounded());
+        assert_eq!(
+            reference,
+            run(ShuffleConfig::unbounded().with_transport(Transport::MultiProcess)),
+            "scheme {scheme:?}, dedup {dedup:?} (unbounded)"
+        );
+        assert_eq!(
+            reference,
+            run(ShuffleConfig::bounded(16, 32).with_transport(Transport::MultiProcess)),
+            "scheme {scheme:?}, dedup {dedup:?} (bounded)"
+        );
+    }
+}

@@ -2,15 +2,16 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::hash::FxBuildHasher;
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
-use crate::merge::{merge_segments, Segment};
+use crate::merge::{merge_segments_capped, Segment};
 use crate::pool::run_indexed;
 use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleConfig, ShuffleRecord};
-use crate::spill::{reserve_job_spill_dir, Spill, SpillDirGuard};
+use crate::spill::{reserve_job_dir, reserve_job_spill_dir, Spill, SpillDirGuard};
+use crate::transport::{InProcess, MapOutput, MultiProcess, ShuffleTransport, Transport};
 
 /// Applies a combiner to a map task's output buffers and returns the
 /// post-combine record count (how `run_inner` receives a combiner without
@@ -52,6 +53,14 @@ pub struct CostModel {
     /// local disks would on a real cluster. The default models ~100 MB/s
     /// sequential disk on the paper's vintage worker.
     pub spill_secs_per_byte: f64,
+    /// Shuffle-transport cost per byte moved between map and reduce
+    /// workers, divided across machines. Charged on
+    /// [`JobStats::transport_bytes`] — each serialized byte crosses the
+    /// exchange once — so the `MultiProcess` transport's serialization
+    /// volume has a visible simulated price the in-process handoff
+    /// doesn't pay, exactly as a real cluster's interconnect would. The
+    /// default models a ~1 Gb/s worker NIC of the paper's vintage.
+    pub transport_secs_per_byte: f64,
     /// Multiplier from measured local CPU-seconds to simulated
     /// machine-seconds (models the paper's 0.5-CPU machines being slower
     /// than a modern core; also usable to extrapolate dataset scale).
@@ -75,6 +84,7 @@ impl Default for CostModel {
             verify_group_overhead_secs: 3e-2,
             shuffle_secs_per_record: 2e-6,
             spill_secs_per_byte: 1e-8,
+            transport_secs_per_byte: 1e-8,
             cpu_scale: 1.0,
             work_unit_secs: 1e-7,
         }
@@ -119,12 +129,13 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds a cluster with the default (unbounded) shuffle, honouring
-    /// the `TSJ_COMBINE_THRESHOLD` / `TSJ_SPILL_THRESHOLD` /
-    /// `TSJ_SPILL_DIR` environment overrides (see [`ShuffleConfig`]) so an
-    /// entire binary can be forced through the spill path. Use
-    /// [`Cluster::with_shuffle_config`] to pin an explicit configuration
-    /// that ignores the environment.
+    /// Builds a cluster with the default (unbounded, in-process) shuffle,
+    /// honouring the `TSJ_COMBINE_THRESHOLD` / `TSJ_SPILL_THRESHOLD` /
+    /// `TSJ_SPILL_DIR` / `TSJ_SHUFFLE_TRANSPORT` / `TSJ_MERGE_FAN_IN`
+    /// environment overrides (see [`ShuffleConfig`]) so an entire binary
+    /// can be forced through the spill path or the multi-process exchange.
+    /// Use [`Cluster::with_shuffle_config`] to pin an explicit
+    /// configuration that ignores the environment.
     pub fn new(cfg: ClusterConfig) -> Self {
         let mut cfg = cfg;
         cfg.machines = cfg.machines.max(1);
@@ -455,19 +466,21 @@ impl Cluster {
 
         // ---- Shuffle ---------------------------------------------------
         // Records were already routed to `hash % partitions` at emit time;
-        // the "shuffle" is now a segment handoff: collect each partition's
-        // per-task segments — spilled sorted runs first, then the task's
-        // in-memory leftover, in task order, so grouping below is
-        // deterministic. Cost is charged on the post-combine volume, plus
-        // spill I/O on the spilled bytes (written once, read back once).
+        // how each partition's per-task segments — spilled sorted runs
+        // first, then the task's in-memory leftover, in task order —
+        // reach the reduce side is the transport's job (in-process
+        // handoff, or serialization into per-partition exchange files;
+        // see `crate::transport`). Cost is charged on the post-combine
+        // volume, plus spill I/O on the spilled bytes (written once, read
+        // back once), plus transport time on the exchanged bytes.
         let mut counters: HashMap<&'static str, u64> = HashMap::new();
         let mut map_output_records = 0u64;
         let mut shuffle_records = 0u64;
         let mut spilled_records = 0u64;
         let mut spill_bytes = 0u64;
+        let mut spill_runs = 0u64;
         let mut peak_buffered_records = 0u64;
-        let mut partition_segments: Vec<Vec<Segment<K, V>>> =
-            (0..partitions).map(|_| Vec::new()).collect();
+        let mut outputs: Vec<MapOutput<K, V>> = Vec::with_capacity(map_tasks.len());
         for task in map_tasks {
             map_output_records += task.emitted;
             shuffle_records += task.shuffled;
@@ -475,26 +488,38 @@ impl Cluster {
             for (k, v) in &task.counters {
                 *counters.entry(k).or_insert(0) += v;
             }
-            if let Some(spill) = task.spill {
+            if let Some(spill) = &task.spill {
                 spilled_records += spill.records;
                 spill_bytes += spill.bytes;
-                for (p, runs) in spill.runs.into_iter().enumerate() {
-                    for meta in runs {
-                        partition_segments[p].push(Segment::Spilled {
-                            file: Arc::clone(&spill.file),
-                            meta,
-                        });
-                    }
-                }
+                spill_runs += spill.runs.iter().map(|runs| runs.len() as u64).sum::<u64>();
             }
-            for (p, segment) in task.parts.into_iter().enumerate() {
-                if !segment.is_empty() {
-                    partition_segments[p].push(Segment::Mem(segment));
-                }
+            outputs.push(MapOutput::new(task.parts, task.spill));
+        }
+        let transport = self.shuffle.transport;
+        let exchange = match transport {
+            Transport::InProcess => InProcess.exchange(outputs, partitions),
+            Transport::MultiProcess => {
+                let base = self
+                    .shuffle
+                    .spill_dir
+                    .clone()
+                    .unwrap_or_else(std::env::temp_dir);
+                MultiProcess::new(reserve_job_dir(&base, "tsj-exchange"))
+                    .exchange(outputs, partitions)
             }
         }
+        .map_err(|e| JobError::Transport {
+            message: e.to_string(),
+        })?;
+        let transport_bytes = exchange.bytes_moved;
+        let partition_segments = exchange.partition_segments;
+        // The exchange directory (if any) must outlive the reduce phase,
+        // which streams the partition files it holds.
+        let exchange_guard = exchange.guard;
         let shuffle_secs = cost.shuffle_secs_per_record * shuffle_records as f64 / machines as f64;
         let spill_secs = cost.spill_secs_per_byte * 2.0 * spill_bytes as f64 / machines as f64;
+        let transport_secs =
+            cost.transport_secs_per_byte * transport_bytes as f64 / machines as f64;
 
         // ---- Reduce phase ----------------------------------------------
         struct ReduceTaskOut<O> {
@@ -507,9 +532,24 @@ impl Cluster {
             work: u64,
             groups: u64,
             max_group: u64,
+            /// Hierarchical pre-merge effort spent honouring the merge
+            /// fan-in cap (zero on the flat or in-memory paths).
+            merge: crate::merge::MergeEffort,
             out: Vec<O>,
             counters: HashMap<&'static str, u64>,
         }
+
+        // Scratch base for fan-in-capped hierarchical merges: the job's
+        // exchange dir (multi-process) or spill dir (in-process spilling)
+        // — whichever exists is also where every spilled segment lives,
+        // and its guard already handles cleanup. Purely in-memory
+        // partitions never merge, so needing scratch implies one exists.
+        let merge_scratch: Option<std::path::PathBuf> = self.shuffle.merge_fan_in.and_then(|_| {
+            exchange_guard
+                .as_ref()
+                .or(spill_dir.as_ref())
+                .map(|guard| guard.0.clone())
+        });
 
         // Each reduce task takes exclusive ownership of its partition's
         // segments via a take-once cell, so values move into the reducer
@@ -533,20 +573,30 @@ impl Cluster {
             let mut max_group = 0u64;
             let mut n_groups = 0u64;
             let mut work = 0u64;
+            let mut merge = crate::merge::MergeEffort::default();
             let start = Instant::now();
             if segments.iter().any(Segment::is_spilled) {
                 // External path: stream a k-way sort-merge over the sorted
-                // spill runs and the (sorted-on-the-fly) in-memory
-                // segments, reducing each key as its run completes — the
-                // partition is never materialized. Group order: ascending
+                // spill/exchange runs and the (sorted-on-the-fly)
+                // in-memory segments, reducing each key as its run
+                // completes — the partition is never materialized. With a
+                // merge fan-in cap, runs beyond the cap are first folded
+                // hierarchically into scratch runs. Group order: ascending
                 // key fingerprint.
-                merge_segments(segments, |key, values| {
-                    let n_values = values.len() as u64;
-                    max_group = max_group.max(n_values);
-                    n_groups += 1;
-                    work += n_values;
-                    reduce(&key, values, &mut sink);
-                });
+                merge = merge_segments_capped(
+                    segments,
+                    self.shuffle.merge_fan_in,
+                    merge_scratch
+                        .as_ref()
+                        .map(|dir| dir.join(format!("reduce{partition}.merge"))),
+                    |key, values| {
+                        let n_values = values.len() as u64;
+                        max_group = max_group.max(n_values);
+                        n_groups += 1;
+                        work += n_values;
+                        reduce(&key, values, &mut sink);
+                    },
+                );
             } else {
                 // In-memory path: group by key, remembering each key's
                 // first occurrence so the group order within a partition
@@ -584,6 +634,7 @@ impl Cluster {
                 work,
                 groups: n_groups,
                 max_group,
+                merge,
                 out: sink.out,
                 counters: sink.counters,
             }
@@ -603,27 +654,39 @@ impl Cluster {
         let mut output = Vec::new();
         let mut reduce_groups = 0u64;
         let mut max_group_size = 0u64;
+        let mut merge_passes = 0u64;
+        let mut merge_scratch_bytes = 0u64;
         for (t, base) in reduce_tasks.into_iter().zip(base_loads) {
             debug_assert!(t.machine < machines);
             machine_loads[t.machine] += base + t.groups as f64 * cost.reduce_group_overhead_secs;
             reduce_groups += t.groups;
             max_group_size = max_group_size.max(t.max_group);
+            merge_passes += t.merge.passes;
+            merge_scratch_bytes += t.merge.scratch_bytes;
             output.extend(t.out);
             for (k, v) in t.counters {
                 *counters.entry(k).or_insert(0) += v;
             }
         }
+        // Reduce has drained every exchange file; the directory can go.
+        drop(exchange_guard);
         let reduce_sim = if reduce_groups == 0 {
             PhaseSim::default()
         } else {
             phase_sim(&machine_loads, machines)
         };
 
+        // Hierarchical-merge scratch runs are local-disk I/O exactly like
+        // mapper spill (each scratch byte is written once and read back
+        // once), so they are charged at the same rate, into the same line.
+        let spill_secs = spill_secs
+            + cost.spill_secs_per_byte * 2.0 * merge_scratch_bytes as f64 / machines as f64;
         let sim_total_secs = cost.job_startup_secs
             + cost.map_worker_startup_secs
             + map_sim.makespan_secs
             + shuffle_secs
             + spill_secs
+            + transport_secs
             + reduce_sim.makespan_secs;
 
         let stats = JobStats {
@@ -634,6 +697,11 @@ impl Cluster {
             shuffle_records,
             spilled_records,
             spill_bytes,
+            spill_runs,
+            transport: transport.name(),
+            transport_bytes,
+            merge_passes,
+            merge_scratch_bytes,
             peak_buffered_records,
             reduce_groups,
             max_group_size,
@@ -641,6 +709,7 @@ impl Cluster {
             map: map_sim,
             shuffle_secs,
             spill_secs,
+            transport_secs,
             reduce: reduce_sim,
             sim_total_secs,
             wall_secs: wall_start.elapsed().as_secs_f64(),

@@ -137,6 +137,10 @@ pub enum JobError {
         phase: &'static str,
         message: String,
     },
+    /// The shuffle transport failed to move map output to the reduce side
+    /// (an I/O error writing or finalizing the exchange files). Mirrors a
+    /// shuffle-fetch failure on a real cluster.
+    Transport { message: String },
 }
 
 impl std::fmt::Display for JobError {
@@ -144,6 +148,9 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::WorkerPanic { phase, message } => {
                 write!(f, "{phase} worker panicked: {message}")
+            }
+            JobError::Transport { message } => {
+                write!(f, "shuffle transport failed: {message}")
             }
         }
     }
@@ -193,6 +200,26 @@ pub struct JobStats {
     ///
     /// [`CostModel`]: crate::cluster::CostModel
     pub spill_bytes: u64,
+    /// Sorted runs written by memory-bounded mappers across all spill
+    /// files (what the reduce-side merge fan-in is up against).
+    pub spill_runs: u64,
+    /// Name of the shuffle transport the job ran over
+    /// ([`Transport::name`](crate::transport::Transport)).
+    pub transport: &'static str,
+    /// Bytes serialized through the shuffle transport (0 for the
+    /// in-process handoff; the full post-combine exchange volume for the
+    /// multi-process transport). Charged by
+    /// [`CostModel::transport_secs_per_byte`](crate::cluster::CostModel).
+    pub transport_bytes: u64,
+    /// Hierarchical pre-merge passes reduce tasks ran to honour
+    /// [`ShuffleConfig::merge_fan_in`](crate::shuffle::ShuffleConfig)
+    /// (0 when every partition's segment count fit the cap).
+    pub merge_passes: u64,
+    /// Bytes written to hierarchical-merge scratch runs (each also read
+    /// back by a later pass or the final merge); charged into
+    /// `spill_secs` at the spill I/O rate, since scratch runs are the
+    /// same local-disk resource.
+    pub merge_scratch_bytes: u64,
     /// Largest in-memory record count any map task's shuffle buffer
     /// reached. With a spill threshold configured this never exceeds it —
     /// the memory bound the spill path exists to enforce.
@@ -207,9 +234,12 @@ pub struct JobStats {
     pub map: PhaseSim,
     /// Simulated shuffle time (volume / machines).
     pub shuffle_secs: f64,
-    /// Simulated spill I/O time (write + read-back of `spill_bytes`,
-    /// spread across machines).
+    /// Simulated spill I/O time (write + read-back of `spill_bytes` and
+    /// `merge_scratch_bytes`, spread across machines).
     pub spill_secs: f64,
+    /// Simulated transport time (`transport_bytes` over the exchange,
+    /// spread across machines; 0 in-process).
+    pub transport_secs: f64,
     /// Reduce-phase simulated timing.
     pub reduce: PhaseSim,
     /// End-to-end simulated job time (startup + map + shuffle + reduce).

@@ -13,7 +13,9 @@
 //!   *memory-bounded*: mappers periodically combine and spill sorted runs
 //!   to disk ([`spill`]) and reducers consume their partitions through a
 //!   streaming k-way sort-merge ([`merge`]), modelling genuinely
-//!   out-of-core workloads, and
+//!   out-of-core workloads. The [`transport`] layer decides how map
+//!   output reaches reducers: an in-process segment handoff (default) or
+//!   a multi-process file exchange over the spill-run wire format, and
 //! * **A simulated cluster clock** — every map task and every reduce group
 //!   is individually timed, charged to one of `machines` *simulated*
 //!   machines (map tasks round-robin, reduce groups by key hash — exactly
@@ -41,6 +43,7 @@ pub mod pool;
 pub mod report;
 pub mod shuffle;
 pub mod spill;
+pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
@@ -49,4 +52,5 @@ pub use report::SimReport;
 pub use shuffle::{
     combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, ShuffleConfig, Sum,
 };
-pub use spill::Spill;
+pub use spill::{RunMeta, RunReader, Spill, SpillWriter};
+pub use transport::{InProcess, MultiProcess, ShuffleTransport, Transport};

@@ -3,12 +3,28 @@
 //!
 //! A reduce partition's input arrives as *segments*: the in-memory buffers
 //! of map tasks that never spilled, plus zero or more sorted runs in the
-//! tasks' spill files (see [`crate::spill`]). When any segment is spilled,
-//! the partition is reduced by merging all segments in key-fingerprint
-//! order — the external-sort discipline real MapReduce reducers use — so
-//! the partition is never materialized: at any moment the reducer holds
-//! one read buffer per spilled run plus the value run of the single key
-//! being reduced.
+//! tasks' spill files or — under the `MultiProcess` transport
+//! ([`crate::transport`]) — in per-partition exchange files (see
+//! [`crate::spill`]). When any segment is spilled, the partition is
+//! reduced by merging all segments in key-fingerprint order — the
+//! external-sort discipline real MapReduce reducers use — so the partition
+//! is never materialized: at any moment the reducer holds one read buffer
+//! per spilled run plus the value run of the single key being reduced.
+//!
+//! # Bounded fan-in
+//!
+//! With an unbounded merge, pathologically tiny spill thresholds mean one
+//! open run (file-handle + read buffer) per spilled run. A
+//! [`ShuffleConfig::merge_fan_in`](crate::shuffle::ShuffleConfig) caps
+//! that: when a partition has more segments than the cap,
+//! [`merge_segments_capped`] first runs *pre-merge passes* that fold
+//! consecutive chunks of at most `fan_in` segments into single sorted runs
+//! in a per-reduce-task scratch file, then k-way-merges the survivors.
+//! Chunks are consecutive in segment order and the pre-merge preserves
+//! `(fingerprint, within-chunk segment index)` order, so the final merge
+//! sees records in exactly the order the flat merge would — the grouping,
+//! group order, and therefore job output are *identical* with and without
+//! the cap.
 //!
 //! Group order under the merge is ascending key fingerprint (ties between
 //! distinct keys sharing a fingerprint resolve to first-occurrence order
@@ -19,10 +35,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fs::File;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::shuffle::{for_each_key_group, ShuffleRecord};
-use crate::spill::{RunMeta, RunReader, Spill};
+use crate::spill::{RunMeta, RunReader, Spill, SpillWriter};
 
 /// One input segment of a reduce partition.
 #[derive(Debug)]
@@ -56,22 +73,10 @@ impl<K: Spill, V: Spill> Stream<K, V> {
     }
 }
 
-/// Merges `segments` in `(fingerprint, segment index)` order and invokes
-/// `each_group` exactly once per distinct key with that key's full value
-/// run. Keys sharing a fingerprint (collisions) are separated by full key
-/// equality, first-occurrence order within the merged fingerprint run.
-///
-/// Segment order is the caller's (map-task order, spill runs before the
-/// task's in-memory leftover), so the grouping — and therefore job output
-/// — is a pure function of the data and the partition count, independent
-/// of thread scheduling.
-pub(crate) fn merge_segments<K, V, F>(segments: Vec<Segment<K, V>>, mut each_group: F)
-where
-    K: Spill + Eq,
-    V: Spill,
-    F: FnMut(K, Vec<V>),
-{
-    let mut streams: Vec<Stream<K, V>> = segments
+/// Turns segments into sorted record streams (in-memory segments are
+/// sorted stably here; spilled runs were sorted at write time).
+fn make_streams<K: Spill, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<Stream<K, V>> {
+    segments
         .into_iter()
         .map(|seg| match seg {
             Segment::Mem(mut records) => {
@@ -81,8 +86,19 @@ where
             }
             Segment::Spilled { file, meta } => Stream::Run(RunReader::new(file, meta)),
         })
-        .collect();
+        .collect()
+}
 
+/// The raw k-way merge: drains `streams` in `(fingerprint, stream index)`
+/// order, handing every record to `on_record`. Shared by the grouping
+/// merge below and the hierarchical pre-merge passes (which write the
+/// records back out as one longer sorted run).
+fn merge_streams<K, V, F>(mut streams: Vec<Stream<K, V>>, mut on_record: F)
+where
+    K: Spill,
+    V: Spill,
+    F: FnMut(ShuffleRecord<K, V>),
+{
     // One lookahead record per stream; the heap orders stream heads by
     // (fingerprint, stream index) so equal-fingerprint records drain
     // stream-by-stream in segment order.
@@ -94,8 +110,6 @@ where
         .filter_map(|(i, head)| head.as_ref().map(|(h, _, _)| Reverse((*h, i))))
         .collect();
 
-    let mut run: Vec<(K, V)> = Vec::new(); // records of the current fingerprint
-    let mut run_h = 0u64;
     while let Some(Reverse((h, i))) = heap.pop() {
         let (head_h, key, value) = heads[i].take().expect("heap entry implies a head");
         debug_assert_eq!(head_h, h);
@@ -104,6 +118,110 @@ where
             debug_assert!(*next_h >= h, "segment not sorted by fingerprint");
             heap.push(Reverse((*next_h, i)));
         }
+        on_record((h, key, value));
+    }
+}
+
+/// Merges `segments` in `(fingerprint, segment index)` order and invokes
+/// `each_group` exactly once per distinct key with that key's full value
+/// run. Keys sharing a fingerprint (collisions) are separated by full key
+/// equality, first-occurrence order within the merged fingerprint run.
+///
+/// Segment order is the caller's (map-task order, spill runs before the
+/// task's in-memory leftover), so the grouping — and therefore job output
+/// — is a pure function of the data and the partition count, independent
+/// of thread scheduling.
+///
+/// (The runtime always goes through [`merge_segments_capped`]; this flat
+/// entry point remains as the reference the capped merge is tested
+/// against.)
+#[cfg(test)]
+pub(crate) fn merge_segments<K, V, F>(segments: Vec<Segment<K, V>>, each_group: F)
+where
+    K: Spill + Eq,
+    V: Spill,
+    F: FnMut(K, Vec<V>),
+{
+    merge_segments_capped(segments, None, None, each_group);
+}
+
+/// What a capped merge did beyond the flat path: pre-merge passes run and
+/// scratch bytes written (each scratch byte is also read back by the next
+/// pass or the final merge, so the cost model charges both directions,
+/// like mapper spill I/O).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct MergeEffort {
+    pub(crate) passes: u64,
+    pub(crate) scratch_bytes: u64,
+}
+
+/// [`merge_segments`] with a fan-in cap: when `fan_in` is set and
+/// `segments` exceeds it, consecutive chunks of at most `fan_in` segments
+/// are pre-merged into single sorted runs in `scratch_file` (hierarchical
+/// external merge) until at most `fan_in` runs remain, then the survivors
+/// are merged with full grouping. Grouping and group order are identical
+/// to the flat merge (see the module docs). Returns the pre-merge effort
+/// ([`MergeEffort::default`] = the flat path).
+///
+/// A `fan_in` below 2 is treated as 2 (a 1-way "merge" would never shrink
+/// the run count). Without a `scratch_file` the cap is ignored.
+pub(crate) fn merge_segments_capped<K, V, F>(
+    segments: Vec<Segment<K, V>>,
+    fan_in: Option<usize>,
+    scratch_file: Option<PathBuf>,
+    mut each_group: F,
+) -> MergeEffort
+where
+    K: Spill + Eq,
+    V: Spill,
+    F: FnMut(K, Vec<V>),
+{
+    let mut segments = segments;
+    let mut effort = MergeEffort::default();
+    if let (Some(cap), Some(scratch)) = (fan_in, scratch_file) {
+        let cap = cap.max(2);
+        while segments.len() > cap {
+            effort.passes += 1;
+            // Each pass gets its own scratch file: the previous pass's
+            // runs are still being read while the next pass writes.
+            let path = scratch.with_extension(format!("pass{}", effort.passes));
+            let mut writer = SpillWriter::create(path)
+                .unwrap_or_else(|e| panic!("reduce merge scratch file creation failed: {e}"));
+            let mut metas: Vec<RunMeta> = Vec::new();
+            let mut chunks = segments.into_iter().peekable();
+            while chunks.peek().is_some() {
+                let chunk: Vec<Segment<K, V>> = chunks.by_ref().take(cap).collect();
+                let offset = writer.offset();
+                let mut records = 0u64;
+                merge_streams(make_streams(chunk), |(h, k, v)| {
+                    writer
+                        .write_record(h, &k, &v)
+                        .unwrap_or_else(|e| panic!("reduce merge scratch write failed: {e}"));
+                    records += 1;
+                });
+                metas.push(RunMeta {
+                    offset,
+                    bytes: writer.offset() - offset,
+                    records,
+                });
+            }
+            effort.scratch_bytes += writer.bytes();
+            let (file, _path) = writer
+                .into_reader()
+                .unwrap_or_else(|e| panic!("reduce merge scratch finalize failed: {e}"));
+            segments = metas
+                .into_iter()
+                .map(|meta| Segment::Spilled {
+                    file: Arc::clone(&file),
+                    meta,
+                })
+                .collect();
+        }
+    }
+
+    let mut run: Vec<(K, V)> = Vec::new(); // records of the current fingerprint
+    let mut run_h = 0u64;
+    merge_streams(make_streams(segments), |(h, key, value)| {
         if h != run_h && !run.is_empty() {
             // The shared helper applies the same collision-grouping
             // discipline as the map-side combine (full key equality,
@@ -112,8 +230,9 @@ where
         }
         run_h = h;
         run.push((key, value));
-    }
+    });
     for_each_key_group(&mut run, &mut each_group);
+    effort
 }
 
 #[cfg(test)]
@@ -193,6 +312,101 @@ mod tests {
         assert!(collect(vec![Segment::Mem(Vec::<ShuffleRecord<u32, u32>>::new())]).is_empty());
         let got = collect(vec![Segment::Mem(vec![(1u64, 1u32, 2u32)])]);
         assert_eq!(got, vec![(1, vec![2])]);
+    }
+
+    /// Builds `n` single-record spilled runs plus two mem segments, so a
+    /// capped merge has plenty of fan-in pressure.
+    fn many_run_segments(n: u64) -> (Vec<Segment<u64, u64>>, SpillDirGuard) {
+        let dir = create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        let guard = SpillDirGuard(dir.clone());
+        let mut w = SpillWriter::create(dir.join("task0.spill")).unwrap();
+        let mut metas = Vec::new();
+        for i in 0..n {
+            // Deliberately overlapping fingerprints across runs.
+            let run: Vec<ShuffleRecord<u64, u64>> = vec![(i % 7, i % 7, i)];
+            metas.push(w.write_run(&run).unwrap());
+        }
+        let (file, _) = w.into_reader().unwrap();
+        let mut segments: Vec<Segment<u64, u64>> = metas
+            .into_iter()
+            .map(|meta| Segment::Spilled {
+                file: Arc::clone(&file),
+                meta,
+            })
+            .collect();
+        segments.push(Segment::Mem(vec![(3, 3, 900), (11, 11, 901)]));
+        segments.push(Segment::Mem(vec![(0, 0, 902)]));
+        (segments, guard)
+    }
+
+    #[test]
+    fn capped_merge_is_identical_to_flat_merge() {
+        let (flat_segments, _g1) = many_run_segments(23);
+        let flat = collect(flat_segments);
+        for cap in [2usize, 3, 5, 24] {
+            let (segments, guard) = many_run_segments(23);
+            let mut got = Vec::new();
+            let effort = merge_segments_capped(
+                segments,
+                Some(cap),
+                Some(guard.0.join("reduce0.merge")),
+                |k, vs| got.push((k, vs)),
+            );
+            assert_eq!(got, flat, "cap {cap}");
+            if cap < 25 {
+                assert!(effort.passes > 0, "cap {cap} must trigger pre-merge passes");
+                assert!(
+                    effort.scratch_bytes > 0,
+                    "pre-merge passes must report scratch I/O"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_larger_than_segment_count_takes_the_flat_path() {
+        let (segments, guard) = many_run_segments(4);
+        let mut got = Vec::new();
+        let effort = merge_segments_capped(
+            segments,
+            Some(64),
+            Some(guard.0.join("reduce0.merge")),
+            |k, vs| got.push((k, vs)),
+        );
+        assert_eq!(effort, MergeEffort::default());
+        assert!(!got.is_empty());
+        // No scratch file materialized on the flat path.
+        assert!(!guard.0.join("reduce0.pass1").exists());
+    }
+
+    #[test]
+    fn degenerate_fan_in_of_one_is_clamped_and_terminates() {
+        let (flat_segments, _g1) = many_run_segments(9);
+        let flat = collect(flat_segments);
+        let (segments, guard) = many_run_segments(9);
+        let mut got = Vec::new();
+        let effort = merge_segments_capped(
+            segments,
+            Some(1),
+            Some(guard.0.join("reduce0.merge")),
+            |k, vs| got.push((k, vs)),
+        );
+        assert_eq!(got, flat);
+        assert!(
+            effort.passes >= 2,
+            "11 segments at fan-in 2 need multiple passes"
+        );
+    }
+
+    #[test]
+    fn cap_without_scratch_file_falls_back_to_flat_merge() {
+        let (flat_segments, _g1) = many_run_segments(6);
+        let flat = collect(flat_segments);
+        let (segments, _g2) = many_run_segments(6);
+        let mut got = Vec::new();
+        let effort = merge_segments_capped(segments, Some(2), None, |k, vs| got.push((k, vs)));
+        assert_eq!(got, flat);
+        assert_eq!(effort, MergeEffort::default());
     }
 
     #[test]

@@ -67,24 +67,41 @@ impl SimReport {
     pub fn total_spill_bytes(&self) -> u64 {
         self.jobs.iter().map(|j| j.spill_bytes).sum()
     }
+
+    /// Total bytes serialized through the shuffle transport across all
+    /// jobs (zero under the in-process handoff; the full post-combine
+    /// exchange volume under the multi-process transport).
+    pub fn total_transport_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.transport_bytes).sum()
+    }
 }
 
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
-            "job", "input", "emitted", "shuffled", "spilled", "groups", "output", "sim(s)", "skew"
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "job",
+            "input",
+            "emitted",
+            "shuffled",
+            "spilled",
+            "xport(B)",
+            "groups",
+            "output",
+            "sim(s)",
+            "skew"
         )?;
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
                 j.shuffle_records,
                 j.spilled_records,
+                j.transport_bytes,
                 j.reduce_groups,
                 j.output_records,
                 j.sim_total_secs,
@@ -93,12 +110,13 @@ impl std::fmt::Display for SimReport {
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2}",
             "TOTAL",
             "",
             self.total_map_output_records(),
             self.total_shuffle_records(),
             self.total_spilled_records(),
+            self.total_transport_bytes(),
             "",
             "",
             self.total_sim_secs()
@@ -149,6 +167,19 @@ mod tests {
         let rendered = format!("{r}");
         assert!(rendered.contains("tsj.shared_token"));
         assert!(rendered.contains("TOTAL"));
+        assert!(rendered.contains("xport(B)"));
+    }
+
+    #[test]
+    fn transport_bytes_total_across_jobs() {
+        let mut a = stats("a", 1.0, 0.0);
+        a.transport_bytes = 100;
+        let mut b = stats("b", 1.0, 0.0);
+        b.transport_bytes = 23;
+        let mut r = SimReport::new();
+        r.push(a);
+        r.push(b);
+        assert_eq!(r.total_transport_bytes(), 123);
     }
 
     #[test]

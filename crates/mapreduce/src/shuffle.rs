@@ -82,6 +82,7 @@ use std::sync::Arc;
 
 use crate::hash::{fingerprint64, FxBuildHasher};
 use crate::spill::{RunMeta, Spill, SpillWriter};
+use crate::transport::Transport;
 
 /// One shuffled record: the key's stable 64-bit fingerprint (computed once
 /// at emit time and reused for partition routing and machine assignment),
@@ -187,15 +188,17 @@ where
     }
 }
 
-/// Memory knobs of the shuffle's map side (see the module docs).
+/// Memory and transport knobs of the shuffle (see the module docs and
+/// [`crate::transport`]).
 ///
-/// The default is fully unbounded — existing callers are untouched. The
-/// environment variables `TSJ_COMBINE_THRESHOLD`, `TSJ_SPILL_THRESHOLD`
-/// and `TSJ_SPILL_DIR` override the *default* configuration (applied by
+/// The default is fully unbounded, in-process — existing callers are
+/// untouched. The environment variables `TSJ_COMBINE_THRESHOLD`,
+/// `TSJ_SPILL_THRESHOLD`, `TSJ_SPILL_DIR`, `TSJ_SHUFFLE_TRANSPORT` and
+/// `TSJ_MERGE_FAN_IN` override the *default* configuration (applied by
 /// [`Cluster::new`](crate::cluster::Cluster); an explicit
 /// [`with_shuffle_config`](crate::cluster::Cluster::with_shuffle_config)
 /// always wins), so a whole test or bench run can be pushed through the
-/// spill path without touching code.
+/// spill path — or the multi-process exchange — without touching code.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShuffleConfig {
     /// Buffered-record count at which a map task runs the job's combiner
@@ -206,13 +209,24 @@ pub struct ShuffleConfig {
     /// Hard per-mapper buffer cap, enforced at every emit: reaching it
     /// sorts and spills the buffer to disk. `None` (default) never spills.
     pub spill_threshold: Option<usize>,
-    /// Directory for per-job spill subdirectories; `None` uses the system
-    /// temp dir. Spill files are deleted when their job completes.
+    /// Directory for per-job spill *and exchange* subdirectories; `None`
+    /// uses the system temp dir. Both are deleted when their job
+    /// completes.
     pub spill_dir: Option<PathBuf>,
+    /// How map output physically reaches reduce tasks: the in-process
+    /// segment handoff (default) or the multi-process file exchange over
+    /// the spill-run wire format (see [`crate::transport`]).
+    pub transport: Transport,
+    /// Cap on the reduce-side merge's open runs: a partition with more
+    /// segments than this is merged hierarchically (consecutive chunks
+    /// pre-merged into scratch runs; see [`crate::merge`]). `None`
+    /// (default) merges all runs in one pass. Values below 2 behave as 2.
+    pub merge_fan_in: Option<usize>,
 }
 
 impl ShuffleConfig {
-    /// The default: no periodic combine, no spilling.
+    /// The default: no periodic combine, no spilling, in-process
+    /// transport, unbounded merge fan-in.
     pub fn unbounded() -> Self {
         Self::default()
     }
@@ -223,8 +237,20 @@ impl ShuffleConfig {
         Self {
             combine_threshold: Some(combine_threshold),
             spill_threshold: Some(spill_threshold),
-            spill_dir: None,
+            ..Self::default()
         }
+    }
+
+    /// Replaces the transport (builder style).
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Caps the reduce-side merge fan-in (builder style).
+    pub fn with_merge_fan_in(mut self, fan_in: usize) -> Self {
+        self.merge_fan_in = Some(fan_in);
+        self
     }
 
     /// True when neither threshold is set (the buffer never spills and the
@@ -234,18 +260,54 @@ impl ShuffleConfig {
     }
 
     /// The defaults with `TSJ_COMBINE_THRESHOLD` / `TSJ_SPILL_THRESHOLD` /
-    /// `TSJ_SPILL_DIR` environment overrides applied.
+    /// `TSJ_SPILL_DIR` / `TSJ_SHUFFLE_TRANSPORT` / `TSJ_MERGE_FAN_IN`
+    /// environment overrides applied.
+    ///
+    /// Invalid values fall back to the default *loudly* (one warning line
+    /// on stderr) instead of panicking or being silently swallowed — a
+    /// typo in a CI matrix must not quietly run the wrong configuration.
     pub fn from_env() -> Self {
-        let parse = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .map(|v| v.max(1))
+        Self::from_lookup(|name| std::env::var_os(name))
+    }
+
+    /// [`ShuffleConfig::from_env`] against an arbitrary variable lookup —
+    /// the testable core (tests pass a map instead of mutating the
+    /// process environment, which is racy under the threaded test
+    /// runner).
+    pub(crate) fn from_lookup(lookup: impl Fn(&str) -> Option<std::ffi::OsString>) -> Self {
+        let parse_count = |name: &str| -> Option<usize> {
+            let raw = lookup(name)?;
+            match raw.to_str().and_then(|v| v.trim().parse::<usize>().ok()) {
+                Some(v) => Some(v.max(1)),
+                None => {
+                    eprintln!(
+                        "tsj-mapreduce: ignoring invalid {name}={raw:?} \
+                         (expected a positive record count); using the default"
+                    );
+                    None
+                }
+            }
+        };
+        let transport = match lookup("TSJ_SHUFFLE_TRANSPORT") {
+            None => Transport::default(),
+            Some(raw) => match raw.to_str().and_then(|v| Transport::parse(v.trim())) {
+                Some(t) => t,
+                None => {
+                    eprintln!(
+                        "tsj-mapreduce: ignoring invalid TSJ_SHUFFLE_TRANSPORT={raw:?} \
+                         (expected \"inprocess\" or \"multiprocess\"); using the default \
+                         in-process transport"
+                    );
+                    Transport::default()
+                }
+            },
         };
         Self {
-            combine_threshold: parse("TSJ_COMBINE_THRESHOLD"),
-            spill_threshold: parse("TSJ_SPILL_THRESHOLD"),
-            spill_dir: std::env::var_os("TSJ_SPILL_DIR").map(PathBuf::from),
+            combine_threshold: parse_count("TSJ_COMBINE_THRESHOLD"),
+            spill_threshold: parse_count("TSJ_SPILL_THRESHOLD"),
+            spill_dir: lookup("TSJ_SPILL_DIR").map(PathBuf::from),
+            transport,
+            merge_fan_in: parse_count("TSJ_MERGE_FAN_IN"),
         }
     }
 }
@@ -516,19 +578,19 @@ pub fn combine_records<K: Hash + Eq + Clone, V>(
 /// silently diverge on ordering or key-splitting semantics.
 pub(crate) fn for_each_key_group<K: Eq, V, F: FnMut(K, Vec<V>)>(run: &mut Vec<(K, V)>, mut f: F) {
     while !run.is_empty() {
-        // Almost always the whole run is one key; collisions leave `rest`.
-        let (key, first) = run.remove(0);
+        // Almost always the whole run is one key; collisions refill `run`
+        // with the leftovers for the next round (no O(n) front-shift).
+        let mut it = std::mem::take(run).into_iter();
+        let (key, first) = it.next().expect("loop guard: non-empty");
         let mut values = vec![first];
-        let mut rest = Vec::new();
-        for (k, v) in run.drain(..) {
+        for (k, v) in it {
             if k == key {
                 values.push(v);
             } else {
-                rest.push((k, v));
+                run.push((k, v));
             }
         }
         f(key, values);
-        *run = rest;
     }
 }
 
@@ -716,6 +778,85 @@ mod tests {
             }
         }
         assert_eq!(restored, spill.records as usize);
+    }
+
+    /// An env lookup backed by a slice (no process-global mutation).
+    fn lookup<'a>(
+        vars: &'a [(&'a str, &'a str)],
+    ) -> impl Fn(&str) -> Option<std::ffi::OsString> + 'a {
+        move |name| {
+            vars.iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| std::ffi::OsString::from(v))
+        }
+    }
+
+    #[test]
+    fn from_lookup_with_nothing_set_is_the_default() {
+        assert_eq!(
+            ShuffleConfig::from_lookup(lookup(&[])),
+            ShuffleConfig::default()
+        );
+    }
+
+    #[test]
+    fn from_lookup_parses_valid_overrides() {
+        let cfg = ShuffleConfig::from_lookup(lookup(&[
+            ("TSJ_COMBINE_THRESHOLD", "32"),
+            ("TSJ_SPILL_THRESHOLD", "64"),
+            ("TSJ_SPILL_DIR", "/tmp/tsj-test-spill"),
+            ("TSJ_SHUFFLE_TRANSPORT", "multiprocess"),
+            ("TSJ_MERGE_FAN_IN", "8"),
+        ]));
+        assert_eq!(cfg.combine_threshold, Some(32));
+        assert_eq!(cfg.spill_threshold, Some(64));
+        assert_eq!(cfg.spill_dir, Some(PathBuf::from("/tmp/tsj-test-spill")));
+        assert_eq!(cfg.transport, Transport::MultiProcess);
+        assert_eq!(cfg.merge_fan_in, Some(8));
+    }
+
+    #[test]
+    fn from_lookup_accepts_transport_spelling_variants_and_whitespace() {
+        for (raw, want) in [
+            ("in-process", Transport::InProcess),
+            ("IN_PROCESS", Transport::InProcess),
+            (" multiprocess ", Transport::MultiProcess),
+            ("Multi-Process", Transport::MultiProcess),
+        ] {
+            let cfg = ShuffleConfig::from_lookup(lookup(&[("TSJ_SHUFFLE_TRANSPORT", raw)]));
+            assert_eq!(cfg.transport, want, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn from_lookup_zero_threshold_clamps_to_one() {
+        // "0" is a plausible attempt at "disable"; a 0-record cap would
+        // spill forever, so it clamps to the minimum meaningful value.
+        let cfg = ShuffleConfig::from_lookup(lookup(&[("TSJ_SPILL_THRESHOLD", "0")]));
+        assert_eq!(cfg.spill_threshold, Some(1));
+    }
+
+    #[test]
+    fn from_lookup_invalid_values_fall_back_without_panicking() {
+        // Every malformed value must yield the default for that knob —
+        // never a panic, never a half-applied configuration.
+        let cfg = ShuffleConfig::from_lookup(lookup(&[
+            ("TSJ_COMBINE_THRESHOLD", "lots"),
+            ("TSJ_SPILL_THRESHOLD", "-5"),
+            ("TSJ_SHUFFLE_TRANSPORT", "carrier-pigeon"),
+            ("TSJ_MERGE_FAN_IN", "3.5"),
+        ]));
+        assert_eq!(cfg.combine_threshold, None);
+        assert_eq!(cfg.spill_threshold, None);
+        assert_eq!(cfg.transport, Transport::InProcess);
+        assert_eq!(cfg.merge_fan_in, None);
+        // A valid knob next to an invalid one still applies.
+        let cfg = ShuffleConfig::from_lookup(lookup(&[
+            ("TSJ_COMBINE_THRESHOLD", ""),
+            ("TSJ_SPILL_THRESHOLD", "48"),
+        ]));
+        assert_eq!(cfg.combine_threshold, None);
+        assert_eq!(cfg.spill_threshold, Some(48));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! On-disk spill segments: the serialization and file format behind the
-//! memory-bounded shuffle.
+//! memory-bounded shuffle — and, since the transport layer
+//! ([`crate::transport`]), the runtime's *wire format*.
 //!
 //! When a map task's buffered output crosses its
 //! [`ShuffleConfig::spill_threshold`](crate::shuffle::ShuffleConfig), the
@@ -7,7 +8,12 @@
 //! the task's spill file as one *run* — a sorted, self-delimiting sequence
 //! of records. The reduce phase later streams every run back through a
 //! [`RunReader`] and k-way-merges them (see [`crate::merge`]), so neither
-//! side ever materializes a full partition in memory.
+//! side ever materializes a full partition in memory. The `MultiProcess`
+//! shuffle transport ships every map task's post-combine output between
+//! workers as exactly these sorted runs, written to per-partition exchange
+//! files; [`SpillWriter`] and [`RunReader`] are public so external tools
+//! (and future remote workers) can produce and consume the exchange
+//! format.
 //!
 //! # File format
 //!
@@ -212,9 +218,15 @@ pub struct RunMeta {
     pub records: u64,
 }
 
-/// Append-only writer for one map task's spill file.
+/// Append-only writer of sorted-run files in the spill/exchange wire
+/// format: one length-prefixed frame per record (see the module docs).
+///
+/// Used by memory-bounded mappers for task spill files, by the
+/// `MultiProcess` shuffle transport for per-partition exchange files, and
+/// by the reduce-side hierarchical merge for intermediate runs. Public so
+/// external processes can produce wire-compatible run files.
 #[derive(Debug)]
-pub(crate) struct SpillWriter {
+pub struct SpillWriter {
     path: PathBuf,
     file: BufWriter<File>,
     offset: u64,
@@ -226,7 +238,9 @@ pub(crate) struct SpillWriter {
 }
 
 impl SpillWriter {
-    pub(crate) fn create(path: PathBuf) -> std::io::Result<Self> {
+    /// Creates (truncating) the run file at `path`, materializing its
+    /// parent directory if needed.
+    pub fn create(path: PathBuf) -> std::io::Result<Self> {
         if let Some(parent) = path.parent() {
             // Lazily materializes the job's spill dir on first spill;
             // concurrent map tasks race here safely (create_dir_all is
@@ -244,40 +258,105 @@ impl SpillWriter {
         })
     }
 
+    /// The file offset the next frame will be written at. Streaming
+    /// callers bracket a run with `offset()` before and after to build its
+    /// [`RunMeta`] (or use [`SpillWriter::write_run`] for a buffered run).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Total records written so far (all runs).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total bytes written so far (all runs).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Appends one framed record. The caller is responsible for feeding
+    /// records in fingerprint order within a run.
+    pub fn write_record<K: Spill, V: Spill>(
+        &mut self,
+        h: u64,
+        key: &K,
+        value: &V,
+    ) -> std::io::Result<()> {
+        self.scratch.clear();
+        h.spill(&mut self.scratch);
+        key.spill(&mut self.scratch);
+        value.spill(&mut self.scratch);
+        // Fail at the write site rather than corrupting every frame
+        // after this one with a wrapped length prefix.
+        assert!(
+            self.scratch.len() <= u32::MAX as usize,
+            "shuffle record encoding exceeds the 4 GiB frame limit"
+        );
+        let frame = self.scratch.len() as u32;
+        self.file.write_all(&frame.to_le_bytes())?;
+        self.file.write_all(&self.scratch)?;
+        self.offset += 4 + self.scratch.len() as u64;
+        self.records += 1;
+        self.bytes += 4 + self.scratch.len() as u64;
+        Ok(())
+    }
+
+    /// Appends an already-encoded sorted run, copied byte-for-byte from
+    /// `src` at `meta`'s location — the frames are the wire format on
+    /// both sides, so re-shipping a spilled run (e.g. through a transport
+    /// exchange file) needs no decode/re-encode. Returns the run's
+    /// location in *this* file.
+    pub fn copy_raw_run(&mut self, src: &File, meta: RunMeta) -> std::io::Result<RunMeta> {
+        let offset = self.offset;
+        // Reuse the frame-encoding scratch as the copy buffer: one
+        // allocation per writer, not one per copied run.
+        const COPY_CHUNK: usize = 64 * 1024;
+        if self.scratch.len() < COPY_CHUNK {
+            self.scratch.resize(COPY_CHUNK, 0);
+        }
+        let mut pos = meta.offset;
+        let end = meta.offset + meta.bytes;
+        while pos < end {
+            let want = self.scratch.len().min((end - pos) as usize);
+            let got = read_at(src, &mut self.scratch[..want], pos)?;
+            if got == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "spill file truncated while copying a run",
+                ));
+            }
+            self.file.write_all(&self.scratch[..got])?;
+            pos += got as u64;
+        }
+        self.offset += meta.bytes;
+        self.records += meta.records;
+        self.bytes += meta.bytes;
+        Ok(RunMeta {
+            offset,
+            bytes: meta.bytes,
+            records: meta.records,
+        })
+    }
+
     /// Appends `records` (already sorted by fingerprint) as one run.
-    pub(crate) fn write_run<K: Spill, V: Spill>(
+    pub fn write_run<K: Spill, V: Spill>(
         &mut self,
         records: &[ShuffleRecord<K, V>],
     ) -> std::io::Result<RunMeta> {
         let offset = self.offset;
         for (h, k, v) in records {
-            self.scratch.clear();
-            h.spill(&mut self.scratch);
-            k.spill(&mut self.scratch);
-            v.spill(&mut self.scratch);
-            // Fail at the write site rather than corrupting every frame
-            // after this one with a wrapped length prefix.
-            assert!(
-                self.scratch.len() <= u32::MAX as usize,
-                "shuffle record encoding exceeds the 4 GiB frame limit"
-            );
-            let frame = self.scratch.len() as u32;
-            self.file.write_all(&frame.to_le_bytes())?;
-            self.file.write_all(&self.scratch)?;
-            self.offset += 4 + self.scratch.len() as u64;
+            self.write_record(*h, k, v)?;
         }
-        let meta = RunMeta {
+        Ok(RunMeta {
             offset,
             bytes: self.offset - offset,
             records: records.len() as u64,
-        };
-        self.records += meta.records;
-        self.bytes += meta.bytes;
-        Ok(meta)
+        })
     }
 
     /// Flushes and reopens the file read-only for the reduce phase.
-    pub(crate) fn into_reader(mut self) -> std::io::Result<(Arc<File>, PathBuf)> {
+    pub fn into_reader(mut self) -> std::io::Result<(Arc<File>, PathBuf)> {
         self.file.flush()?;
         drop(self.file);
         Ok((Arc::new(File::open(&self.path)?), self.path))
@@ -296,11 +375,12 @@ fn read_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
     std::os::windows::fs::FileExt::seek_read(file, buf, offset)
 }
 
-/// Streams one sorted run back from a spill file, one record at a time,
-/// holding only a fixed-size read buffer (no per-run memory proportional
-/// to the run length).
+/// Streams one sorted run back from a spill or exchange file, one record
+/// at a time, holding only a fixed-size read buffer (no per-run memory
+/// proportional to the run length). Public counterpart of [`SpillWriter`]
+/// for consuming the wire format.
 #[derive(Debug)]
-pub(crate) struct RunReader {
+pub struct RunReader {
     file: Arc<File>,
     /// Next file offset to refill from.
     offset: u64,
@@ -315,7 +395,10 @@ pub(crate) struct RunReader {
 const READ_CHUNK: usize = 32 * 1024;
 
 impl RunReader {
-    pub(crate) fn new(file: Arc<File>, meta: RunMeta) -> Self {
+    /// A reader over the run located by `meta` inside `file`. Any number
+    /// of readers can stream concurrently from one shared handle
+    /// (positioned reads; no shared cursor).
+    pub fn new(file: Arc<File>, meta: RunMeta) -> Self {
         Self {
             file,
             offset: meta.offset,
@@ -359,7 +442,16 @@ impl RunReader {
     }
 
     /// Next record of the run, or `None` when exhausted.
-    pub(crate) fn next<K: Spill, V: Spill>(&mut self) -> Option<ShuffleRecord<K, V>> {
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, a truncated frame, or an undecodable payload
+    /// (spill/exchange file corruption); inside a job, the runtime
+    /// surfaces that as a reduce-worker panic.
+    // Not `Iterator`: the record type is chosen per *call*, and one frame
+    // format serves any (K, V) the caller restores it as.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next<K: Spill, V: Spill>(&mut self) -> Option<ShuffleRecord<K, V>> {
         if !self.ensure(4) {
             return None;
         }
@@ -384,17 +476,23 @@ impl RunReader {
     }
 }
 
-/// Reserves a uniquely named (process id + sequence number) spill
-/// directory path under `base` for one job. No I/O happens here — the
-/// directory is materialized lazily by the first task that spills.
-pub(crate) fn reserve_job_spill_dir(base: &Path) -> PathBuf {
+/// Reserves a uniquely named (prefix + process id + sequence number)
+/// directory path under `base` for one job — spill dirs and transport
+/// exchange dirs share the sequence. No I/O happens here — the directory
+/// is materialized lazily by the first writer that needs it.
+pub(crate) fn reserve_job_dir(base: &Path, prefix: &str) -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     base.join(format!(
-        "tsj-spill-{}-{}",
+        "{prefix}-{}-{}",
         std::process::id(),
         SEQ.fetch_add(1, Ordering::Relaxed)
     ))
+}
+
+/// Reserves a spill directory for one job (see [`reserve_job_dir`]).
+pub(crate) fn reserve_job_spill_dir(base: &Path) -> PathBuf {
+    reserve_job_dir(base, "tsj-spill")
 }
 
 /// [`reserve_job_spill_dir`] plus eager creation (test helper).

@@ -1,0 +1,424 @@
+//! The shuffle transport: how map output physically reaches reduce tasks.
+//!
+//! The runtime always *routes* records to partitions at emit time
+//! ([`crate::shuffle`]); the transport decides how a partition's segments
+//! travel from the map side to the reduce side:
+//!
+//! * [`InProcess`] (the default) — the original segment handoff: each map
+//!   task's in-memory partition buffers and spill-run locations are moved
+//!   to the reduce tasks by reference, within one address space. Nothing
+//!   is serialized beyond what the mapper itself spilled; `bytes_moved`
+//!   is 0.
+//! * [`MultiProcess`] — a real exchange over the spill-run wire format
+//!   (see [`crate::spill`]): every map task's post-combine output — the
+//!   in-memory leftover *and* any runs the task spilled — is serialized
+//!   through the [`Spill`] codec into **per-partition sorted-run files**
+//!   under a shared exchange directory, exactly as a cluster of separate
+//!   worker processes would publish map output for reducers to fetch.
+//!   Reduce tasks then consume the exchange runs through the ordinary
+//!   k-way sort-merge ([`crate::merge`]) — reduce never special-cases the
+//!   transport, because an exchange run is indistinguishable from a spill
+//!   run. `bytes_moved` is the full serialized exchange volume, charged by
+//!   [`CostModel::transport_secs_per_byte`](crate::cluster::CostModel).
+//!
+//! # Determinism and equivalence
+//!
+//! For each partition, `MultiProcess` writes runs in map-task order, a
+//! task's spilled runs before its in-memory leftover — the same segment
+//! order `InProcess` hands to the merge. Since the merge resolves
+//! equal-fingerprint ties by segment index, the merged record order (and
+//! therefore grouping and job output) is identical across transports
+//! whenever the reduce side merges. The remaining difference — purely
+//! in-memory partitions reduce in first-occurrence order under
+//! `InProcess` but in fingerprint order under `MultiProcess` (everything
+//! is a sorted run there) — is the same deterministic reordering the
+//! spill path already introduces, and the pipeline output is
+//! property-tested byte-identical across transports in
+//! `crates/core/tests/transport_equivalence.rs`.
+//!
+//! # Wire format
+//!
+//! One exchange file per non-empty partition, named `part<p>.runs`,
+//! holding that partition's runs back-to-back in the [`SpillWriter`]
+//! frame format. A future genuinely-remote worker needs only the
+//! `(offset, bytes, records)` run directory — the same [`RunMeta`] the
+//! in-process reduce uses — to stream its partition over any byte
+//! transport.
+//!
+//! [`RunMeta`]: crate::spill::RunMeta
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::merge::Segment;
+use crate::shuffle::{ShuffleRecord, TaskSpill};
+use crate::spill::{RunMeta, Spill, SpillDirGuard, SpillWriter};
+
+#[cfg(test)]
+use crate::spill::RunReader;
+
+/// Which transport a job's shuffle uses (the configuration-level knob;
+/// see [`ShuffleConfig`](crate::shuffle::ShuffleConfig)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process segment handoff (the default).
+    #[default]
+    InProcess,
+    /// File exchange over the spill-run wire format.
+    MultiProcess,
+}
+
+impl Transport {
+    /// Stable lowercase name (what `TSJ_SHUFFLE_TRANSPORT` accepts and
+    /// [`JobStats::transport`](crate::job::JobStats) reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transport::InProcess => "in-process",
+            Transport::MultiProcess => "multi-process",
+        }
+    }
+
+    /// Parses a `TSJ_SHUFFLE_TRANSPORT` value (ASCII case-insensitive;
+    /// hyphens and underscores optional).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "inprocess" => Some(Transport::InProcess),
+            "multiprocess" => Some(Transport::MultiProcess),
+            _ => None,
+        }
+    }
+}
+
+/// One map task's complete post-combine output, as handed to the
+/// transport: partition-indexed in-memory buffers plus the task's spill
+/// file (if it spilled). Constructed by the runtime only.
+#[derive(Debug)]
+pub struct MapOutput<K, V> {
+    pub(crate) parts: Vec<Vec<ShuffleRecord<K, V>>>,
+    pub(crate) spill: Option<TaskSpill>,
+}
+
+impl<K, V> MapOutput<K, V> {
+    pub(crate) fn new(parts: Vec<Vec<ShuffleRecord<K, V>>>, spill: Option<TaskSpill>) -> Self {
+        Self { parts, spill }
+    }
+}
+
+/// The transport's result: every partition's reduce-input segments, plus
+/// what moving them cost.
+#[derive(Debug)]
+pub struct Exchange<K, V> {
+    pub(crate) partition_segments: Vec<Vec<Segment<K, V>>>,
+    /// Bytes serialized through the transport (0 for [`InProcess`]).
+    pub bytes_moved: u64,
+    /// Keeps the exchange directory alive until the reduce phase has
+    /// drained it; dropping removes the directory.
+    pub(crate) guard: Option<SpillDirGuard>,
+}
+
+/// A shuffle transport: turns the map phase's per-task outputs into
+/// per-partition segment lists for the reduce phase.
+///
+/// Implementations must preserve the segment discipline the merge relies
+/// on: partition `p`'s segments appear in map-task order, a task's
+/// spilled runs (in spill order) before its in-memory leftover.
+pub trait ShuffleTransport {
+    /// The transport's stable name (reported in job stats).
+    fn name(&self) -> &'static str;
+
+    /// Moves `tasks`' outputs into per-partition reduce inputs.
+    fn exchange<K: Spill, V: Spill>(
+        &self,
+        tasks: Vec<MapOutput<K, V>>,
+        partitions: usize,
+    ) -> std::io::Result<Exchange<K, V>>;
+}
+
+/// The in-process segment handoff: buffers and spill-run handles move by
+/// reference. Zero serialization, zero bytes moved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcess;
+
+impl ShuffleTransport for InProcess {
+    fn name(&self) -> &'static str {
+        Transport::InProcess.name()
+    }
+
+    fn exchange<K: Spill, V: Spill>(
+        &self,
+        tasks: Vec<MapOutput<K, V>>,
+        partitions: usize,
+    ) -> std::io::Result<Exchange<K, V>> {
+        let mut partition_segments: Vec<Vec<Segment<K, V>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for task in tasks {
+            if let Some(spill) = task.spill {
+                for (p, runs) in spill.runs.into_iter().enumerate() {
+                    for meta in runs {
+                        partition_segments[p].push(Segment::Spilled {
+                            file: Arc::clone(&spill.file),
+                            meta,
+                        });
+                    }
+                }
+            }
+            for (p, segment) in task.parts.into_iter().enumerate() {
+                if !segment.is_empty() {
+                    partition_segments[p].push(Segment::Mem(segment));
+                }
+            }
+        }
+        Ok(Exchange {
+            partition_segments,
+            bytes_moved: 0,
+            guard: None,
+        })
+    }
+}
+
+/// The file-exchange transport: serializes every map task's output into
+/// per-partition sorted-run files under `exchange_dir` (see the module
+/// docs) and hands reducers only [`Segment::Spilled`] entries backed by
+/// those files.
+#[derive(Debug, Clone)]
+pub struct MultiProcess {
+    /// The job's shared exchange directory (reserved by the runtime,
+    /// materialized lazily by the first written partition, removed when
+    /// the returned [`Exchange`]'s guard drops).
+    pub exchange_dir: PathBuf,
+}
+
+impl MultiProcess {
+    pub fn new(exchange_dir: PathBuf) -> Self {
+        Self { exchange_dir }
+    }
+}
+
+/// One partition's exchange file while it is being written.
+struct PartitionFile {
+    writer: SpillWriter,
+    metas: Vec<RunMeta>,
+}
+
+impl PartitionFile {
+    /// The partition's exchange file, opened on first use.
+    fn open<'a>(
+        files: &'a mut [Option<PartitionFile>],
+        dir: &std::path::Path,
+        p: usize,
+    ) -> std::io::Result<&'a mut PartitionFile> {
+        if files[p].is_none() {
+            files[p] = Some(PartitionFile {
+                writer: SpillWriter::create(dir.join(format!("part{p}.runs")))?,
+                metas: Vec::new(),
+            });
+        }
+        Ok(files[p].as_mut().expect("just created"))
+    }
+}
+
+impl ShuffleTransport for MultiProcess {
+    fn name(&self) -> &'static str {
+        Transport::MultiProcess.name()
+    }
+
+    fn exchange<K: Spill, V: Spill>(
+        &self,
+        tasks: Vec<MapOutput<K, V>>,
+        partitions: usize,
+    ) -> std::io::Result<Exchange<K, V>> {
+        let guard = SpillDirGuard(self.exchange_dir.clone());
+        // One exchange file per partition, created lazily so sparse
+        // partitions (common with partitions ≈ machines ≫ keys) cost
+        // nothing.
+        let mut files: Vec<Option<PartitionFile>> = (0..partitions).map(|_| None).collect();
+
+        for task in tasks {
+            // The task's spilled runs first, then its in-memory leftover —
+            // the same segment order InProcess produces, so the reduce
+            // merge's tie-breaking (and thus job output) is unchanged.
+            if let Some(spill) = &task.spill {
+                for (p, runs) in spill.runs.iter().enumerate() {
+                    for meta in runs {
+                        let slot = PartitionFile::open(&mut files, &self.exchange_dir, p)?;
+                        // Re-ship the mapper-local run over the "wire": a
+                        // raw byte copy — spill runs are already in the
+                        // exchange frame format, so no decode/re-encode.
+                        let copied = slot.writer.copy_raw_run(&spill.file, *meta)?;
+                        slot.metas.push(copied);
+                    }
+                }
+            }
+            for (p, mut segment) in task.parts.into_iter().enumerate() {
+                if segment.is_empty() {
+                    continue;
+                }
+                // Stable sort: equal-fingerprint records keep emit order,
+                // mirroring the mapper's own spill discipline.
+                segment.sort_by_key(|(h, _, _)| *h);
+                let slot = PartitionFile::open(&mut files, &self.exchange_dir, p)?;
+                slot.metas.push(slot.writer.write_run(&segment)?);
+            }
+        }
+
+        let mut bytes_moved = 0u64;
+        let mut partition_segments: Vec<Vec<Segment<K, V>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for (p, file) in files.into_iter().enumerate() {
+            let Some(PartitionFile { writer, metas }) = file else {
+                continue;
+            };
+            bytes_moved += writer.bytes();
+            let (file, _path) = writer.into_reader()?;
+            partition_segments[p].extend(metas.into_iter().map(|meta| Segment::Spilled {
+                file: Arc::clone(&file),
+                meta,
+            }));
+        }
+        Ok(Exchange {
+            partition_segments,
+            bytes_moved,
+            guard: Some(guard),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fingerprint64;
+    use crate::spill::reserve_job_dir;
+
+    fn rec(key: u64, value: u64, partitions: usize) -> (usize, ShuffleRecord<u64, u64>) {
+        let h = fingerprint64(&key);
+        ((h % partitions as u64) as usize, (h, key, value))
+    }
+
+    fn mem_task(keys: &[(u64, u64)], partitions: usize) -> MapOutput<u64, u64> {
+        let mut parts: Vec<Vec<ShuffleRecord<u64, u64>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for &(k, v) in keys {
+            let (p, r) = rec(k, v, partitions);
+            parts[p].push(r);
+        }
+        MapOutput { parts, spill: None }
+    }
+
+    /// Drains every segment of an exchange into (partition, record) order.
+    fn drain(exchange: Exchange<u64, u64>) -> Vec<(usize, ShuffleRecord<u64, u64>)> {
+        let mut out = Vec::new();
+        for (p, segments) in exchange.partition_segments.into_iter().enumerate() {
+            for seg in segments {
+                match seg {
+                    Segment::Mem(records) => {
+                        let mut records = records;
+                        records.sort_by_key(|(h, _, _)| *h);
+                        out.extend(records.into_iter().map(|r| (p, r)));
+                    }
+                    Segment::Spilled { file, meta } => {
+                        let mut r = RunReader::new(file, meta);
+                        while let Some(record) = r.next::<u64, u64>() {
+                            out.push((p, record));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transport_parse_accepts_spelling_variants() {
+        for s in ["inprocess", "in-process", "IN_PROCESS", "InProcess"] {
+            assert_eq!(Transport::parse(s), Some(Transport::InProcess), "{s}");
+        }
+        for s in ["multiprocess", "multi-process", "MULTI_PROCESS"] {
+            assert_eq!(Transport::parse(s), Some(Transport::MultiProcess), "{s}");
+        }
+        assert_eq!(Transport::parse("network"), None);
+        assert_eq!(Transport::parse(""), None);
+    }
+
+    #[test]
+    fn multiprocess_ships_the_same_records_as_inprocess() {
+        let partitions = 4;
+        let data_a: Vec<(u64, u64)> = (0..40).map(|i| (i % 11, i)).collect();
+        let data_b: Vec<(u64, u64)> = (0..25).map(|i| (i % 7, 100 + i)).collect();
+
+        let in_proc = InProcess
+            .exchange(
+                vec![mem_task(&data_a, partitions), mem_task(&data_b, partitions)],
+                partitions,
+            )
+            .unwrap();
+        assert_eq!(in_proc.bytes_moved, 0);
+
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-exchange-test");
+        let multi = MultiProcess::new(dir.clone())
+            .exchange(
+                vec![mem_task(&data_a, partitions), mem_task(&data_b, partitions)],
+                partitions,
+            )
+            .unwrap();
+        assert!(multi.bytes_moved > 0);
+        assert!(dir.exists(), "exchange dir materialized");
+
+        // Same records per partition, in the same merged order (mem
+        // segments compared post-sort, the order the merge consumes).
+        assert_eq!(drain(multi), drain(in_proc));
+        assert!(!dir.exists(), "guard removes the exchange dir on drop");
+    }
+
+    #[test]
+    fn exchange_files_are_per_partition_and_runs_are_sorted() {
+        let partitions = 3;
+        let data: Vec<(u64, u64)> = (0..60).map(|i| (i, i * 2)).collect();
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-exchange-test");
+        let exchange = MultiProcess::new(dir.clone())
+            .exchange(vec![mem_task(&data, partitions)], partitions)
+            .unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        for name in &names {
+            assert!(
+                name.starts_with("part") && name.ends_with(".runs"),
+                "{name}"
+            );
+        }
+        for (p, segments) in exchange.partition_segments.iter().enumerate() {
+            for seg in segments {
+                let Segment::Spilled { file, meta } = seg else {
+                    panic!("multi-process exchange must hand out spilled segments only");
+                };
+                let mut r = RunReader::new(Arc::clone(file), *meta);
+                let mut last = 0u64;
+                while let Some((h, _, _)) = r.next::<u64, u64>() {
+                    assert!(h >= last, "exchange run not sorted");
+                    assert_eq!((h % partitions as u64) as usize, p);
+                    last = h;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitions_create_no_exchange_files() {
+        let partitions = 64;
+        let data: Vec<(u64, u64)> = vec![(1, 1)];
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-exchange-test");
+        let exchange = MultiProcess::new(dir.clone())
+            .exchange(vec![mem_task(&data, partitions)], partitions)
+            .unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        assert_eq!(
+            exchange
+                .partition_segments
+                .iter()
+                .filter(|s| !s.is_empty())
+                .count(),
+            1
+        );
+    }
+}

@@ -16,6 +16,7 @@ fn test_cluster(machines: usize) -> Cluster {
             verify_group_overhead_secs: 0.0,
             shuffle_secs_per_record: 0.0,
             spill_secs_per_byte: 0.0,
+            transport_secs_per_byte: 0.0,
             cpu_scale: 1.0,
             work_unit_secs: 0.0, // measured rates: these tests time real work
         },
@@ -145,6 +146,7 @@ fn map_panic_surfaces_as_job_error() {
             assert_eq!(phase, "map");
             assert!(message.contains("poison record"));
         }
+        other => panic!("expected a map worker panic, got {other:?}"),
     }
 }
 
@@ -165,6 +167,7 @@ fn reduce_panic_surfaces_as_job_error() {
         .unwrap_err();
     match err {
         JobError::WorkerPanic { phase, .. } => assert_eq!(phase, "reduce"),
+        other => panic!("expected a reduce worker panic, got {other:?}"),
     }
 }
 
@@ -185,6 +188,7 @@ fn simulated_time_scales_down_with_machines() {
                 verify_group_overhead_secs: 1e-5,
                 shuffle_secs_per_record: 1e-6,
                 spill_secs_per_byte: 0.0,
+                transport_secs_per_byte: 0.0,
                 cpu_scale: 1.0,
                 work_unit_secs: 0.0,
             },
@@ -283,6 +287,7 @@ fn group_overhead_charges_per_group() {
                 verify_group_overhead_secs: overhead,
                 shuffle_secs_per_record: 0.0,
                 spill_secs_per_byte: 0.0,
+                transport_secs_per_byte: 0.0,
                 cpu_scale: 1.0,
                 work_unit_secs: 0.0,
             },
@@ -388,6 +393,7 @@ fn shuffle_cost_charged_on_post_combine_records() {
             verify_group_overhead_secs: 0.0,
             shuffle_secs_per_record: 1.0,
             spill_secs_per_byte: 0.0,
+            transport_secs_per_byte: 0.0,
             cpu_scale: 0.0,
             work_unit_secs: 1e-9,
         },

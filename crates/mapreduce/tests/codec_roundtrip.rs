@@ -1,0 +1,336 @@
+//! Property tests of the `Spill` wire codec — the format every shuffle
+//! byte travels in, whether through mapper spill files or the
+//! multi-process exchange. Three families:
+//!
+//! 1. **Roundtrip**: for every codec impl (primitives, tuples, `String`,
+//!    `Vec`, `Option`, nested compounds, and the job-specific exemplars
+//!    `ChunkRole` / `Replica`), `restore ∘ spill` is the identity and
+//!    consumes *exactly* the bytes written — a codec that under- or
+//!    over-reads corrupts every frame that follows it in a run.
+//! 2. **Truncation**: `restore` on any strict prefix of an encoding
+//!    returns `None` (never panics, never fabricates a value).
+//! 3. **Frame corruption**: a `RunReader` over a truncated or
+//!    length-corrupted run file panics with a corruption message (the
+//!    runtime surfaces that as a reduce-worker failure) instead of
+//!    silently dropping or inventing records.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::string::string_regex;
+
+use tsj_mapreduce::{RunReader, Spill, SpillWriter};
+use tsj_metricjoin::Replica;
+use tsj_passjoin::ChunkRole;
+
+/// Encodes `v`, checks exact-consumption roundtrip, and returns the bytes.
+fn roundtrip<T: Spill + PartialEq + std::fmt::Debug>(v: &T) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    v.spill(&mut bytes);
+    let mut slice = bytes.as_slice();
+    let restored = T::restore(&mut slice);
+    assert!(
+        restored.as_ref() == Some(v),
+        "roundtrip mismatch: {v:?} -> {restored:?}"
+    );
+    assert!(
+        slice.is_empty(),
+        "restore of {v:?} left {} unconsumed bytes",
+        slice.len()
+    );
+    bytes
+}
+
+/// Every strict prefix of a value's encoding must fail to decode.
+fn rejects_all_strict_prefixes<T: Spill + PartialEq + std::fmt::Debug>(v: &T, bytes: &[u8]) {
+    for cut in 0..bytes.len() {
+        let mut slice = &bytes[..cut];
+        assert!(
+            T::restore(&mut slice).is_none(),
+            "{v:?}: prefix of {cut}/{} bytes decoded to something",
+            bytes.len()
+        );
+    }
+}
+
+fn check<T: Spill + PartialEq + std::fmt::Debug>(v: T) {
+    let bytes = roundtrip(&v);
+    rejects_all_strict_prefixes(&v, &bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn integers_roundtrip(a in 0u64..=u64::MAX, bits in 0u64..=u64::MAX) {
+        // (Signed values derive from raw bits: the shim's inclusive-range
+        // strategy cannot span all of i64.)
+        let b = bits as i64;
+        check(a);
+        check(b);
+        check(a as u8);
+        check(a as u16);
+        check(a as u32);
+        check(a as usize);
+        check((a as u128) << 64 | b as u128);
+        check(b as i8);
+        check(b as i16);
+        check(b as i32);
+        check(b as i128);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly(bits32 in 0u32..=u32::MAX, bits64 in 0u64..=u64::MAX) {
+        // Compare bit patterns, not values: NaN payloads must survive the
+        // wire too (a reducer must see exactly what the mapper emitted).
+        let f = f32::from_bits(bits32);
+        let mut bytes = Vec::new();
+        f.spill(&mut bytes);
+        let mut slice = bytes.as_slice();
+        prop_assert_eq!(f32::restore(&mut slice).map(f32::to_bits), Some(bits32));
+        prop_assert!(slice.is_empty());
+
+        let d = f64::from_bits(bits64);
+        let mut bytes = Vec::new();
+        d.spill(&mut bytes);
+        let mut slice = bytes.as_slice();
+        prop_assert_eq!(f64::restore(&mut slice).map(f64::to_bits), Some(bits64));
+        prop_assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn chars_and_bools_roundtrip(c in 0u32..=0x10FFFF, b in 0u8..=1) {
+        if let Some(c) = char::from_u32(c) {
+            check(c);
+        }
+        check(b == 1);
+        check(());
+    }
+
+    #[test]
+    fn strings_roundtrip(s in string_regex("[a-zéß 0-9]{0,40}").unwrap()) {
+        check(s);
+    }
+
+    #[test]
+    fn vecs_and_options_roundtrip(
+        v in vec(0u32..1000, 0..20),
+        s in string_regex("[a-z]{0,12}").unwrap(),
+        some in 0u8..=1,
+    ) {
+        check(v.clone());
+        check(Vec::<u64>::new());
+        check(if some == 1 { Some(s.clone()) } else { None });
+        check(Option::<u32>::None);
+        // Nested compounds: the codecs must compose.
+        check(vec![Some((s.clone(), v.clone())), None]);
+        check(vec![v.clone(), Vec::new()]);
+    }
+
+    #[test]
+    fn tuples_roundtrip(
+        a in 0u32..=u32::MAX,
+        b in 0u64..=u64::MAX,
+        s in string_regex("[a-z]{0,9}").unwrap(),
+    ) {
+        check((a,));
+        check((a, b));
+        check((a, s.clone(), vec![b]));
+        check((a, b, a, b));
+    }
+
+    #[test]
+    fn chunk_role_roundtrips(id in 0u32..=u32::MAX, seg in 0u8..=1) {
+        let role = if seg == 1 { ChunkRole::Seg(id) } else { ChunkRole::Sub(id) };
+        check(role);
+    }
+
+    #[test]
+    fn replica_roundtrips(sid in 0u32..=u32::MAX, home in 0u32..=u32::MAX, bits in 0u64..=u64::MAX) {
+        // Finite distances compare by value (PartialEq), so `check` works
+        // whenever the payload is not NaN.
+        let dist = f64::from_bits(bits);
+        if !dist.is_nan() {
+            check(Replica { sid, home, dist_to_centroid: dist });
+        } else {
+            let r = Replica { sid, home, dist_to_centroid: dist };
+            let mut bytes = Vec::new();
+            r.spill(&mut bytes);
+            let mut slice = bytes.as_slice();
+            let back = Replica::restore(&mut slice).expect("NaN distance must still decode");
+            prop_assert!(slice.is_empty());
+            prop_assert_eq!(back.sid, sid);
+            prop_assert_eq!(back.home, home);
+            prop_assert_eq!(back.dist_to_centroid.to_bits(), bits);
+        }
+    }
+}
+
+#[test]
+fn corrupt_tag_bytes_are_rejected() {
+    // bool: only 0 and 1 decode.
+    for b in 2u8..=255 {
+        let mut slice: &[u8] = &[b];
+        assert_eq!(bool::restore(&mut slice), None, "bool tag {b}");
+    }
+    // Option: only tags 0 and 1.
+    let mut slice: &[u8] = &[7, 42, 0, 0, 0];
+    assert_eq!(Option::<u32>::restore(&mut slice), None);
+    // ChunkRole: only tags 0 and 1.
+    let mut slice: &[u8] = &[2, 1, 0, 0, 0];
+    assert_eq!(ChunkRole::restore(&mut slice), None);
+    // char: surrogates and beyond-max scalar values are invalid.
+    for bad in [0xD800u32, 0xDFFF, 0x110000, u32::MAX] {
+        let mut bytes = Vec::new();
+        bad.spill(&mut bytes);
+        let mut slice = bytes.as_slice();
+        assert_eq!(char::restore(&mut slice), None, "char {bad:#x}");
+    }
+    // String: invalid UTF-8 payload.
+    let mut bytes = Vec::new();
+    2u32.spill(&mut bytes);
+    bytes.extend_from_slice(&[0xFF, 0xFE]);
+    let mut slice = bytes.as_slice();
+    assert_eq!(String::restore(&mut slice), None);
+}
+
+#[test]
+fn corrupt_length_prefixes_are_rejected_without_overallocation() {
+    // A length prefix pointing far past the buffer must fail cleanly —
+    // and for Vec, without attempting a u32::MAX-element allocation.
+    let mut bytes = Vec::new();
+    u32::MAX.spill(&mut bytes);
+    bytes.extend_from_slice(b"tiny");
+    let mut slice = bytes.as_slice();
+    assert_eq!(String::restore(&mut slice), None);
+    let mut slice = bytes.as_slice();
+    assert_eq!(Vec::<u8>::restore(&mut slice), None);
+    let mut slice = bytes.as_slice();
+    assert_eq!(Vec::<u64>::restore(&mut slice), None);
+}
+
+/// Writes one run of `(h, u64, String)` records and returns the raw file
+/// contents plus a scratch dir to rewrite corrupted variants into.
+fn sample_run_file() -> (tempdir::Dir, Vec<u8>, tsj_mapreduce::RunMeta) {
+    let dir = tempdir::Dir::new("tsj-codec-test");
+    let path = dir.path().join("run.spill");
+    let mut w = SpillWriter::create(path.clone()).unwrap();
+    let records: Vec<(u64, u64, String)> = (0..50u64)
+        .map(|i| (i, i * 3, format!("value-{i}")))
+        .collect();
+    let meta = w.write_run(&records).unwrap();
+    let (_file, path) = w.into_reader().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (dir, bytes, meta)
+}
+
+/// Minimal self-cleaning temp dir (no tempfile crate in this container).
+mod tempdir {
+    use std::path::{Path, PathBuf};
+
+    pub struct Dir(PathBuf);
+
+    impl Dir {
+        pub fn new(prefix: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "{prefix}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for Dir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+/// Reads a whole run out of `bytes` written to a fresh file.
+fn read_run(
+    dir: &tempdir::Dir,
+    name: &str,
+    bytes: &[u8],
+    meta: tsj_mapreduce::RunMeta,
+) -> Vec<(u64, u64, String)> {
+    let path = dir.path().join(name);
+    std::fs::write(&path, bytes).unwrap();
+    let file = std::sync::Arc::new(std::fs::File::open(&path).unwrap());
+    let mut reader = RunReader::new(file, meta);
+    let mut out = Vec::new();
+    while let Some(rec) = reader.next::<u64, String>() {
+        out.push(rec);
+    }
+    out
+}
+
+#[test]
+fn run_reader_roundtrips_an_intact_file() {
+    let (dir, bytes, meta) = sample_run_file();
+    let got = read_run(&dir, "intact.spill", &bytes, meta);
+    assert_eq!(got.len(), 50);
+    assert_eq!(got[7], (7, 21, "value-7".to_owned()));
+}
+
+#[test]
+fn run_reader_panics_on_truncated_frame() {
+    let (dir, bytes, meta) = sample_run_file();
+    // Chop the file mid-record: the final frame's payload is incomplete.
+    let cut = bytes.len() - 5;
+    let err = std::panic::catch_unwind(|| read_run(&dir, "truncated.spill", &bytes[..cut], meta))
+        .expect_err("truncated run must not read cleanly");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("truncated") || msg.contains("corrupt"),
+        "panic message should blame corruption: {msg:?}"
+    );
+}
+
+#[test]
+fn run_reader_panics_on_corrupt_length_prefix() {
+    let (dir, mut bytes, meta) = sample_run_file();
+    // Rewrite the first frame's length prefix to reach far past the run.
+    bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = std::panic::catch_unwind(|| read_run(&dir, "badlen.spill", &bytes, meta))
+        .expect_err("corrupt length prefix must not read cleanly");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("truncated") || msg.contains("corrupt"),
+        "panic message should blame corruption: {msg:?}"
+    );
+}
+
+#[test]
+fn run_reader_panics_on_undecodable_payload() {
+    let (dir, mut bytes, meta) = sample_run_file();
+    // Keep framing intact but scribble over the first record's String
+    // length so the payload no longer decodes as (u64 key, String value):
+    // frame = [len][h: 8][key: 8][str_len: 4][str bytes]. Setting str_len
+    // to a huge value starves the String of bytes *within* the frame.
+    let str_len_at = 4 + 8 + 8;
+    bytes[str_len_at..str_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = std::panic::catch_unwind(|| read_run(&dir, "badpayload.spill", &bytes, meta))
+        .expect_err("undecodable payload must not read cleanly");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("undecodable"), "{msg:?}");
+}

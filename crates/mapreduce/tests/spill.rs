@@ -223,6 +223,7 @@ fn spill_dir_is_cleaned_up_after_the_job() {
             combine_threshold: Some(16),
             spill_threshold: Some(32),
             spill_dir: Some(PathBuf::from(&base)),
+            ..ShuffleConfig::default()
         })
         .run_combined(
             "spill.cleanup",
@@ -267,6 +268,7 @@ fn worker_panics_still_surface_with_spilling_enabled() {
             assert_eq!(phase, "map");
             assert!(message.contains("poison record"));
         }
+        other => panic!("expected a map worker panic, got {other:?}"),
     }
 }
 

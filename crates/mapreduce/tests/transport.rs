@@ -1,0 +1,215 @@
+//! Job-level tests of the shuffle transport: the multi-process file
+//! exchange must reproduce the in-process handoff's output exactly,
+//! account its bytes, charge simulated transport time, clean up its
+//! exchange directory, and compose with mapper spilling and the
+//! fan-in-capped hierarchical merge.
+
+use std::path::PathBuf;
+
+use tsj_mapreduce::{
+    Cluster, ClusterConfig, Count, Emitter, JobResult, OutputSink, ShuffleConfig, Transport,
+};
+
+fn cluster(machines: usize, threads: usize, partitions: usize, shuffle: ShuffleConfig) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines,
+        threads,
+        partitions,
+        ..ClusterConfig::default()
+    })
+    .with_shuffle_config(shuffle)
+}
+
+fn wordcount_docs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("the quick token{} jumps the t{} the", i % 53, i % 7))
+        .collect()
+}
+
+fn wordcount(c: &Cluster, docs: &[String]) -> JobResult<(String, u64)> {
+    c.run_combined(
+        "transport.wordcount",
+        docs,
+        |doc: &String, e: &mut Emitter<String, u64>| {
+            for w in doc.split_whitespace() {
+                e.emit(w.to_owned(), 1);
+            }
+        },
+        &Count,
+        |w: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+            out.emit((w.clone(), counts.iter().sum()));
+        },
+    )
+    .unwrap()
+}
+
+fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+    v.sort();
+    v
+}
+
+#[test]
+fn multiprocess_wordcount_matches_inprocess_and_accounts_bytes() {
+    let docs = wordcount_docs(600);
+    let in_proc = wordcount(&cluster(8, 4, 0, ShuffleConfig::unbounded()), &docs);
+    assert_eq!(in_proc.stats.transport, "in-process");
+    assert_eq!(in_proc.stats.transport_bytes, 0);
+    assert_eq!(in_proc.stats.transport_secs, 0.0);
+
+    let multi = wordcount(
+        &cluster(
+            8,
+            4,
+            0,
+            ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
+        ),
+        &docs,
+    );
+    assert_eq!(multi.stats.transport, "multi-process");
+    assert_eq!(sorted(in_proc.output), sorted(multi.output));
+    // Every shuffled record crossed the exchange as framed bytes: at
+    // least the 4-byte length prefix + 8-byte fingerprint per record.
+    assert!(
+        multi.stats.transport_bytes >= 12 * multi.stats.shuffle_records,
+        "transport_bytes {} too small for {} shuffled records",
+        multi.stats.transport_bytes,
+        multi.stats.shuffle_records
+    );
+    assert!(
+        multi.stats.transport_secs > 0.0,
+        "exchange volume must be charged"
+    );
+    assert_eq!(
+        multi.stats.shuffle_records, in_proc.stats.shuffle_records,
+        "the transport moves records; it must not change how many there are"
+    );
+    assert!(multi.stats.sim_total_secs > in_proc.stats.sim_total_secs);
+}
+
+#[test]
+fn multiprocess_output_is_deterministic_across_threads_and_identical_to_inprocess_spilling() {
+    // Once anything spills, both transports reduce through the same
+    // fingerprint-order merge — so their unsorted outputs must be
+    // *identical*, not merely equal as multisets.
+    let docs = wordcount_docs(500);
+    let reference = wordcount(&cluster(8, 1, 0, ShuffleConfig::bounded(16, 32)), &docs).output;
+    for threads in [2usize, 8] {
+        for spill in [None, Some((16usize, 32usize))] {
+            let mut shuffle = match spill {
+                Some((c, s)) => ShuffleConfig::bounded(c, s),
+                None => ShuffleConfig::unbounded(),
+            };
+            shuffle.transport = Transport::MultiProcess;
+            let got = wordcount(&cluster(8, threads, 0, shuffle), &docs).output;
+            assert_eq!(got, reference, "threads = {threads}, spill = {spill:?}");
+        }
+    }
+}
+
+#[test]
+fn exchange_dir_is_cleaned_up_and_spill_stats_still_account() {
+    let base = std::env::temp_dir().join(format!("tsj-transport-test-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let docs = wordcount_docs(800);
+    let shuffle = ShuffleConfig {
+        combine_threshold: Some(16),
+        spill_threshold: Some(32),
+        spill_dir: Some(PathBuf::from(&base)),
+        transport: Transport::MultiProcess,
+        ..ShuffleConfig::default()
+    };
+    let out = wordcount(&cluster(8, 4, 0, shuffle), &docs);
+    assert!(out.stats.spilled_records > 0, "job must actually spill");
+    assert!(out.stats.spill_runs > 0);
+    assert!(out.stats.transport_bytes > 0);
+    let leftovers: Vec<_> = std::fs::read_dir(&base).unwrap().collect();
+    assert!(
+        leftovers.is_empty(),
+        "exchange + spill dirs must not outlive their job: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn merge_fan_in_cap_engages_and_preserves_output() {
+    // Tiny spill threshold over distinct keys → far more sorted runs than
+    // the cap; the hierarchical merge must engage yet change nothing.
+    let input: Vec<u64> = (0..4000).collect();
+    let run = |shuffle: ShuffleConfig| {
+        cluster(4, 4, 0, shuffle)
+            .run(
+                "transport.fanin",
+                &input,
+                |n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 701, *n),
+                |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                    out.emit((*k, vs.iter().copied().fold(0, u64::wrapping_add)));
+                },
+            )
+            .unwrap()
+    };
+    let reference = run(ShuffleConfig::unbounded());
+
+    for transport in [Transport::InProcess, Transport::MultiProcess] {
+        let uncapped = run(ShuffleConfig::bounded(4, 8).with_transport(transport));
+        assert!(
+            uncapped.stats.spill_runs > 16,
+            "tiny threshold must force many runs (got {})",
+            uncapped.stats.spill_runs
+        );
+        assert_eq!(uncapped.stats.merge_passes, 0);
+
+        let capped = run(ShuffleConfig::bounded(4, 8)
+            .with_transport(transport)
+            .with_merge_fan_in(4));
+        assert!(
+            capped.stats.merge_passes > 0,
+            "runs ≫ fan-in must trigger hierarchical merge passes ({transport:?})"
+        );
+        assert!(
+            capped.stats.merge_scratch_bytes > 0,
+            "pre-merge passes must account their scratch I/O ({transport:?})"
+        );
+        assert!(
+            capped.stats.spill_secs > uncapped.stats.spill_secs,
+            "scratch I/O must be charged by the cost model ({transport:?})"
+        );
+        assert_eq!(
+            sorted(capped.output.clone()),
+            sorted(reference.output.clone()),
+            "{transport:?}"
+        );
+        assert_eq!(
+            capped.output, uncapped.output,
+            "the cap must not even reorder the output ({transport:?})"
+        );
+    }
+}
+
+#[test]
+fn uncombined_jobs_cross_the_exchange_too() {
+    // No combiner, burst emits: exercises the transport on raw map
+    // output, where in-memory partitions would otherwise reduce in
+    // first-occurrence order.
+    let input: Vec<u64> = (0..300).collect();
+    let run = |shuffle: ShuffleConfig| {
+        cluster(16, 4, 5, shuffle)
+            .run(
+                "transport.nocombiner",
+                &input,
+                |n: &u64, e: &mut Emitter<u64, u64>| {
+                    for j in 0..8u64 {
+                        e.emit((n * 31 + j) % 97, *n);
+                    }
+                },
+                |k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64, u64)>| {
+                    out.emit((*k, vs.len() as u64, vs.iter().copied().min().unwrap()));
+                },
+            )
+            .unwrap()
+    };
+    let in_proc = run(ShuffleConfig::unbounded());
+    let multi = run(ShuffleConfig::unbounded().with_transport(Transport::MultiProcess));
+    assert_eq!(sorted(in_proc.output), sorted(multi.output));
+    assert_eq!(multi.stats.reduce_groups, in_proc.stats.reduce_groups);
+    assert!(multi.stats.transport_bytes > 0);
+}

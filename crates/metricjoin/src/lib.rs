@@ -109,13 +109,18 @@ pub struct HmjJoiner<'c> {
 }
 
 /// A record replicated into a partition.
-#[derive(Debug, Clone, Copy)]
-struct Replica {
-    sid: u32,
+///
+/// Public as the workspace's exemplar of a job-specific [`Spill`] codec
+/// on a plain struct (fixed-width fields, including an `f64`); its
+/// roundtrip behaviour is property-tested in
+/// `crates/mapreduce/tests/codec_roundtrip.rs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replica {
+    pub sid: u32,
     /// The record's home partition (nearest centroid).
-    home: u32,
+    pub home: u32,
     /// Distance to *this* partition's centroid (window pruning).
-    dist_to_centroid: f64,
+    pub dist_to_centroid: f64,
 }
 
 /// Shuffle values must be spillable so the partition job can run with

@@ -26,7 +26,7 @@ pub mod massjoin;
 pub mod segments;
 pub mod serial;
 
-pub use massjoin::MassJoin;
+pub use massjoin::{ChunkRole, MassJoin};
 pub use segments::{even_partitions, substring_window};
 pub use serial::{ld_self_join_serial, nld_self_join_serial};
 

@@ -28,8 +28,13 @@ use crate::serial::{fp_chars, to_chars, verify_nld, MAX_COMPLETE_T};
 use crate::SimilarTokenPair;
 
 /// Which role a token plays in a candidate chunk group.
+///
+/// Public as the workspace's exemplar of a job-specific [`Spill`] codec
+/// on an enum (a one-byte tag plus payload); its roundtrip and
+/// corrupt-tag behaviour are property-tested in
+/// `crates/mapreduce/tests/codec_roundtrip.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum ChunkRole {
+pub enum ChunkRole {
     /// The token contributed this chunk as one of its segments (indexed).
     Seg(u32),
     /// The token contributed this chunk as a probe substring.

@@ -32,5 +32,21 @@ fn main() {
             out.sim_secs()
         );
         println!("{}", out.report);
+        // The dataset layer's headline number (EXPERIMENTS.md): records
+        // crossing the driver boundary, vs what the collect-based
+        // chaining (`self_join_collected`) materializes by construction
+        // — every job's input + output.
+        let collected: u64 = out
+            .report
+            .jobs()
+            .iter()
+            .map(|j| j.input_records + j.output_records)
+            .sum();
+        println!(
+            "driver-boundary records: {} chained vs {} collect-based ({:.1}x less)",
+            out.report.total_driver_records(),
+            collected,
+            collected as f64 / out.report.total_driver_records().max(1) as f64
+        );
     }
 }

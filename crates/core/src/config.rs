@@ -104,22 +104,67 @@ impl Default for TsjConfig {
     }
 }
 
-impl TsjConfig {
-    /// Validates the configuration, panicking on nonsense values.
-    pub(crate) fn validate(&self) {
-        assert!(
-            (0.0..1.0).contains(&self.threshold),
-            "NSLD threshold must be in [0, 1), got {}",
-            self.threshold
-        );
-        assert!(
-            self.threshold < 2.0 / 3.0,
-            "thresholds ≥ 2/3 are outside the token-join completeness domain \
-             (paper sweeps T ∈ [0.025, 0.225])"
-        );
-        if let Some(m) = self.max_token_frequency {
-            assert!(m >= 1, "M must be ≥ 1 (use None to disable the filter)");
+/// Why a [`TsjConfig`] is unusable. Surfaced by [`TsjConfig::validate`]
+/// and, through [`JoinError::Config`](crate::joiner::JoinError), by
+/// [`TsjJoiner::self_join`](crate::joiner::TsjJoiner::self_join) — a bad
+/// configuration is an error the caller handles, not a panic at join time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The NSLD threshold is outside `[0, 1)` — NSLD itself is normalized
+    /// into that range (Definition 4).
+    ThresholdOutOfRange {
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// The threshold is in range but ≥ 2/3, outside the token-join
+    /// completeness domain (Lemma 8's cap reaches the token length; the
+    /// paper sweeps `T ∈ [0.025, 0.225]`).
+    ThresholdOutsideCompleteness {
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// `max_token_frequency` is `Some(0)`, which would drop every token;
+    /// use `None` to disable the `M` filter instead.
+    ZeroMaxTokenFrequency,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ThresholdOutOfRange { threshold } => {
+                write!(f, "NSLD threshold must be in [0, 1), got {threshold}")
+            }
+            ConfigError::ThresholdOutsideCompleteness { threshold } => write!(
+                f,
+                "threshold {threshold} is outside the token-join completeness domain \
+                 [0, 2/3) (paper sweeps T ∈ [0.025, 0.225])"
+            ),
+            ConfigError::ZeroMaxTokenFrequency => {
+                write!(f, "M must be ≥ 1 (use None to disable the filter)")
+            }
         }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl TsjConfig {
+    /// Validates the configuration, reporting the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..1.0).contains(&self.threshold) {
+            return Err(ConfigError::ThresholdOutOfRange {
+                threshold: self.threshold,
+            });
+        }
+        if self.threshold >= 2.0 / 3.0 {
+            return Err(ConfigError::ThresholdOutsideCompleteness {
+                threshold: self.threshold,
+            });
+        }
+        if self.max_token_frequency == Some(0) {
+            return Err(ConfigError::ZeroMaxTokenFrequency);
+        }
+        Ok(())
     }
 }
 
@@ -155,26 +200,62 @@ mod tests {
         assert_eq!(c.scheme, ApproximationScheme::FuzzyTokenMatching);
         assert_eq!(c.dedup, DedupStrategy::OneString);
         assert!(c.length_filter && c.histogram_filter);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "completeness domain")]
     fn rejects_out_of_domain_threshold() {
-        TsjConfig {
+        let err = TsjConfig {
             threshold: 0.7,
             ..TsjConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ThresholdOutsideCompleteness { threshold: 0.7 }
+        );
+        assert!(err.to_string().contains("completeness domain"));
     }
 
     #[test]
-    #[should_panic(expected = "must be in [0, 1)")]
     fn rejects_negative_threshold() {
-        TsjConfig {
+        let err = TsjConfig {
             threshold: -0.1,
             ..TsjConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ThresholdOutOfRange { threshold: -0.1 });
+        assert!(err.to_string().contains("must be in [0, 1)"));
+    }
+
+    #[test]
+    fn rejects_nan_threshold_and_zero_m() {
+        assert!(matches!(
+            TsjConfig {
+                threshold: f64::NAN,
+                ..TsjConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ThresholdOutOfRange { .. })
+        ));
+        assert_eq!(
+            TsjConfig {
+                max_token_frequency: Some(0),
+                ..TsjConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroMaxTokenFrequency)
+        );
+        // None disables the filter and is always legal.
+        assert_eq!(
+            TsjConfig {
+                max_token_frequency: None,
+                ..TsjConfig::default()
+            }
+            .validate(),
+            Ok(())
+        );
     }
 }

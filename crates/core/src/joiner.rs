@@ -7,16 +7,36 @@
 //! | `massjoin.*` | III-D | NLD self-join of the eligible token space |
 //! | `tsj.expand_similar` | III-D | similar-token pairs × postings → candidates |
 //! | `tsj.dedup_verify` | III-E/F/G3 | dedup, filter, final NSLD verification |
+//!
+//! # Stage chaining
+//!
+//! [`TsjJoiner::self_join`] chains the stages as a
+//! [`Dataset`](tsj_mapreduce::Dataset) job graph: the candidate-carrying
+//! stages (`tsj.shared_token`, `tsj.expand_similar`, `massjoin.candidates`)
+//! keep their output partitioned *inside the runtime* — the shared-token
+//! and expand-similar streams are `union`ed and flow into `tsj.dedup_verify`
+//! without the candidate set ever materializing in driver memory, so their
+//! [`driver_out_records`](tsj_mapreduce::JobStats::driver_out_records) are
+//! zero and driver memory no longer scales with the candidate count. Only
+//! small stage outputs legitimately cross the driver boundary: token
+//! document frequencies (to build the `M`-eligibility bitmap), the
+//! similar-token pairs (to build the histogram filter's
+//! [`SimilarMap`]), and the final verified pairs.
+//! [`TsjJoiner::self_join_collected`] is the collect-based form of the
+//! same pipeline (every stage a one-stage graph chained through driver
+//! `Vec`s), kept as the migration reference and differential baseline
+//! (`tests/dataset_equivalence.rs` pins the two byte-identical).
 
 use std::collections::HashSet;
 
 use tsj_mapreduce::{
     fingerprint64, Cluster, Count, Dedup, Emitter, FxBuildHasher, JobError, OutputSink, SimReport,
+    Spill,
 };
 use tsj_passjoin::MassJoin;
 use tsj_tokenize::{Corpus, StringId, TokenId};
 
-use crate::config::{CandidateGen, DedupStrategy, TsjConfig};
+use crate::config::{Aligning, CandidateGen, ConfigError, DedupStrategy, TsjConfig};
 use crate::filters::{FilterContext, FilterVerdict, SimilarMap};
 use crate::verify::verify_pair;
 
@@ -28,6 +48,66 @@ pub struct SimilarPair {
     /// The verified distance. Under greedy aligning this is the greedy
     /// upper bound (still ≤ T).
     pub nsld: f64,
+}
+
+/// Join outputs are [`Spill`] so the final `tsj.dedup_verify` stage can
+/// keep them runtime-side (and spill them under a bounded shuffle) until
+/// the driver collects.
+impl Spill for SimilarPair {
+    fn spill(&self, out: &mut Vec<u8>) {
+        self.a.0.spill(out);
+        self.b.0.spill(out);
+        self.nsld.spill(out);
+    }
+
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            a: StringId(u32::restore(buf)?),
+            b: StringId(u32::restore(buf)?),
+            nsld: f64::restore(buf)?,
+        })
+    }
+}
+
+/// Why a join failed: the configuration never made sense, or the runtime
+/// lost a job. Bad configurations surface as [`JoinError::Config`] from
+/// [`TsjJoiner::self_join`] instead of panicking at join time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// The [`TsjConfig`] failed validation (checked before any job runs).
+    Config(ConfigError),
+    /// A pipeline job failed in the MapReduce runtime.
+    Job(JobError),
+}
+
+impl From<ConfigError> for JoinError {
+    fn from(e: ConfigError) -> Self {
+        JoinError::Config(e)
+    }
+}
+
+impl From<JobError> for JoinError {
+    fn from(e: JobError) -> Self {
+        JoinError::Job(e)
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Config(e) => write!(f, "invalid join configuration: {e}"),
+            JoinError::Job(e) => write!(f, "pipeline job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Config(e) => Some(e),
+            JoinError::Job(e) => Some(e),
+        }
+    }
 }
 
 /// The join result: verified pairs plus the full pipeline simulation report.
@@ -66,6 +146,12 @@ impl JoinOutput {
 /// `tests/transport_equivalence.rs`), with the exchanged bytes surfaced
 /// per job in `SimReport` and charged by
 /// `CostModel::transport_secs_per_byte`.
+///
+/// With both knobs set, a bounded-shuffle dataset-chained join is
+/// memory-bounded end to end: mappers spill, reducers sort-merge, stage
+/// outputs stream between jobs as runtime-side sorted runs, and driver
+/// memory holds only the corpus, the small driver-crossing stage outputs,
+/// and the final result.
 #[derive(Debug, Clone)]
 pub struct TsjJoiner<'c> {
     cluster: &'c Cluster,
@@ -77,70 +163,149 @@ impl<'c> TsjJoiner<'c> {
     }
 
     /// NSLD self-join of `corpus` under `cfg` (the motivating application:
-    /// "the joined sets are one and the same", Sec. II footnote 3).
-    pub fn self_join(&self, corpus: &Corpus, cfg: &TsjConfig) -> Result<JoinOutput, JobError> {
-        cfg.validate();
+    /// "the joined sets are one and the same", Sec. II footnote 3), staged
+    /// as a dataset job graph — interior candidate streams never
+    /// materialize driver-side (see the [module docs](self)).
+    pub fn self_join(&self, corpus: &Corpus, cfg: &TsjConfig) -> Result<JoinOutput, JoinError> {
+        cfg.validate()?;
         let t = cfg.threshold;
         let mut report = SimReport::new();
         let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
 
         // ---- Stage 0: token document frequencies → M eligibility --------
-        // Counting job: mappers emit a partial count of 1 per distinct
-        // token occurrence and the `Count` combiner folds them map-side,
-        // so the shuffle carries one record per (map task, distinct token)
-        // instead of one per token *occurrence*.
-        let stats = self.cluster.run_combined(
+        let stats = self.cluster.input(&string_ids).map_reduce_combined(
             "tsj.token_stats",
-            &string_ids,
-            |&s, e: &mut Emitter<u32, u64>| {
-                for t in distinct_tokens(corpus, StringId(s)) {
-                    e.emit(t.0, 1);
-                }
-            },
+            token_stats_map(corpus),
             &Count,
-            |&tid, partial_counts: Vec<u64>, out: &mut OutputSink<(u32, u32)>| {
-                out.emit((tid, partial_counts.iter().sum::<u64>() as u32));
-            },
+            token_stats_reduce(),
         )?;
-        report.push(stats.stats);
-        let mut eligible = vec![false; corpus.num_tokens()];
-        let mut dropped_tokens = 0u64;
-        for (tid, df) in stats.output {
-            if cfg.max_token_frequency.is_none_or(|m| df as usize <= m) {
-                eligible[tid as usize] = true;
-            } else {
-                dropped_tokens += 1;
-            }
-        }
-        let _ = dropped_tokens;
+        let (stats_output, mut stats_report) = stats.collect();
+        let (eligible, dropped_tokens) = apply_m_filter(corpus, cfg, stats_output);
+        stats_report.jobs_mut()[0]
+            .counters
+            .insert("tokens_dropped_by_M", dropped_tokens);
+        report.extend(stats_report);
 
         // ---- Stage 1: shared-token candidates (Sec. III-C) --------------
-        // No combiner: `distinct_tokens` already guarantees each (token,
-        // string) posting is emitted at most once, and every string lives
-        // in exactly one map task, so there are no within-task duplicates
-        // for a combiner to fold — it would only add a sort of the
-        // highest-volume map output for zero shuffle savings.
+        let mut shared = self.cluster.input(&string_ids).map_reduce(
+            "tsj.shared_token",
+            shared_token_map(corpus, &eligible),
+            shared_token_reduce(),
+        )?;
+        // Fold stage stats into the pipeline report as stages execute, so
+        // the report stays in execution order even though the candidate
+        // records themselves stay behind in the runtime.
+        report.extend(shared.take_report());
+
+        // ---- Stage 2: similar-token candidates (Sec. III-D) -------------
+        let (candidates, similar_map) = match cfg.scheme.candidates() {
+            CandidateGen::SharedOnly => (shared, None),
+            CandidateGen::SharedAndSimilar => {
+                // 2a: NLD self-join of the eligible token space — itself a
+                // dataset graph whose candidate stage stays interior; the
+                // verified token pairs legitimately cross (they feed the
+                // driver-side SimilarMap the filters need).
+                let elig_tokens: Vec<TokenId> =
+                    corpus.token_ids().filter(|t| eligible[t.index()]).collect();
+                let texts: Vec<&str> = elig_tokens.iter().map(|&t| corpus.token_text(t)).collect();
+                let (token_pairs, mass_report) =
+                    MassJoin::new(self.cluster, t).nld_self_join(&texts)?;
+                report.extend(mass_report);
+                let (map, expand_input) = build_similar_map(&elig_tokens, &token_pairs);
+
+                // 2b: expand similar token pairs through the postings,
+                // then union with the shared-token stream — both stay
+                // partitioned in the runtime on their way to dedup_verify.
+                let mut expanded = self.cluster.input_vec(expand_input).map_reduce_combined(
+                    "tsj.expand_similar",
+                    expand_similar_map(corpus),
+                    &Dedup,
+                    expand_similar_reduce(),
+                )?;
+                report.extend(expanded.take_report());
+                (shared.union(expanded), Some(map))
+            }
+        };
+
+        // ---- Stage 3: dedup + filter + verify (Sec. III-E/F/G3) ---------
+        let filter = FilterContext::new(
+            corpus,
+            t,
+            cfg.length_filter,
+            cfg.histogram_filter,
+            similar_map.as_ref(),
+            Some(&eligible),
+        );
+        let aligning = cfg.scheme.aligning();
+        let verify_overhead = self.cluster.config().cost.verify_group_overhead_secs;
+        let verified = match cfg.dedup {
+            DedupStrategy::BothStrings => candidates.map_reduce_combined_with_group_overhead(
+                "tsj.dedup_verify.both_strings",
+                verify_overhead,
+                |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+                &Dedup,
+                |&(a, b), _hits: Vec<()>, out: &mut OutputSink<SimilarPair>| {
+                    check_and_verify(corpus, &filter, aligning, t, a, b, out);
+                },
+            )?,
+            DedupStrategy::OneString => candidates.map_reduce_combined_with_group_overhead(
+                "tsj.dedup_verify.one_string",
+                verify_overhead,
+                |&(a, b), e: &mut Emitter<u32, u32>| {
+                    let (k, v) = one_string_key(a, b);
+                    e.emit(k, v);
+                },
+                &Dedup,
+                |&key, values: Vec<u32>, out: &mut OutputSink<SimilarPair>| {
+                    one_string_dedup(corpus, &filter, aligning, t, key, values, out);
+                },
+            )?,
+        };
+        let (mut pairs, verify_report) = verified.collect();
+        report.extend(verify_report);
+
+        join_empty_strings(corpus, &string_ids, &mut pairs);
+        pairs.sort_unstable_by_key(|p| (p.a, p.b));
+        Ok(JoinOutput { pairs, report })
+    }
+
+    /// The collect-based form of [`TsjJoiner::self_join`]: identical jobs,
+    /// identical output, but every stage is a one-stage graph whose output
+    /// materializes in a driver `Vec` before feeding the next — driver
+    /// memory is O(candidates). Kept as the migration reference and the
+    /// baseline the dataset-chained pipeline is differentially tested
+    /// against (`tests/dataset_equivalence.rs`).
+    pub fn self_join_collected(
+        &self,
+        corpus: &Corpus,
+        cfg: &TsjConfig,
+    ) -> Result<JoinOutput, JoinError> {
+        cfg.validate()?;
+        let t = cfg.threshold;
+        let mut report = SimReport::new();
+        let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
+
+        // ---- Stage 0: token document frequencies → M eligibility --------
+        let mut stats = self.cluster.run_combined(
+            "tsj.token_stats",
+            &string_ids,
+            token_stats_map(corpus),
+            &Count,
+            token_stats_reduce(),
+        )?;
+        let (eligible, dropped_tokens) = apply_m_filter(corpus, cfg, stats.output);
+        stats
+            .stats
+            .counters
+            .insert("tokens_dropped_by_M", dropped_tokens);
+        report.push(stats.stats);
+
+        // ---- Stage 1: shared-token candidates (Sec. III-C) --------------
         let shared = self.cluster.run(
             "tsj.shared_token",
             &string_ids,
-            |&s, e: &mut Emitter<u32, u32>| {
-                for t in distinct_tokens(corpus, StringId(s)) {
-                    if eligible[t.index()] {
-                        e.emit(t.0, s);
-                    }
-                }
-            },
-            |_token, mut sids: Vec<u32>, out: &mut OutputSink<(u32, u32)>| {
-                // Self-join symmetry optimization: each unordered pair once.
-                sids.sort_unstable();
-                sids.dedup();
-                for i in 0..sids.len() {
-                    for j in i + 1..sids.len() {
-                        out.emit((sids[i], sids[j]));
-                        out.add_counter("shared_token_candidates", 1);
-                    }
-                }
-            },
+            shared_token_map(corpus, &eligible),
+            shared_token_reduce(),
         )?;
         report.push(shared.stats);
         let mut candidates = shared.output;
@@ -154,46 +319,17 @@ impl<'c> TsjJoiner<'c> {
                     corpus.token_ids().filter(|t| eligible[t.index()]).collect();
                 let texts: Vec<&str> = elig_tokens.iter().map(|&t| corpus.token_text(t)).collect();
                 let (token_pairs, mass_report) =
-                    MassJoin::new(self.cluster, t).nld_self_join(&texts)?;
+                    MassJoin::new(self.cluster, t).nld_self_join_collected(&texts)?;
                 report.extend(mass_report);
-
-                let mut map = SimilarMap::default();
-                let mut expand_input: Vec<(u32, u32)> = Vec::with_capacity(token_pairs.len());
-                for p in &token_pairs {
-                    let ta = elig_tokens[p.a as usize];
-                    let tb = elig_tokens[p.b as usize];
-                    let key = if ta.0 <= tb.0 {
-                        (ta.0, tb.0)
-                    } else {
-                        (tb.0, ta.0)
-                    };
-                    map.insert(key, p.ld);
-                    expand_input.push(key);
-                }
+                let (map, expand_input) = build_similar_map(&elig_tokens, &token_pairs);
 
                 // 2b: expand similar token pairs through the postings.
-                // Candidate pairs are keyed on themselves and the reducer
-                // only deduplicates, so the `Dedup` combiner ships one
-                // record per distinct pair per map task.
                 let expanded = self.cluster.run_combined(
                     "tsj.expand_similar",
                     &expand_input,
-                    |&(ta, tb), e: &mut Emitter<(u32, u32), ()>| {
-                        for &sa in corpus.postings(TokenId(ta)) {
-                            for &sb in corpus.postings(TokenId(tb)) {
-                                if sa == sb {
-                                    continue;
-                                }
-                                let key = if sa < sb { (sa.0, sb.0) } else { (sb.0, sa.0) };
-                                e.emit(key, ());
-                                e.add_counter("similar_token_candidates", 1);
-                            }
-                        }
-                    },
+                    expand_similar_map(corpus),
                     &Dedup,
-                    |&pair, _hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| {
-                        out.emit(pair); // within-job dedup
-                    },
+                    expand_similar_reduce(),
                 )?;
                 report.push(expanded.stats);
                 candidates.extend(expanded.output);
@@ -211,43 +347,6 @@ impl<'c> TsjJoiner<'c> {
             Some(&eligible),
         );
         let aligning = cfg.scheme.aligning();
-
-        let check_and_verify = |a: u32, b: u32, out: &mut OutputSink<SimilarPair>| {
-            out.add_counter("candidates_distinct", 1);
-            match filter.check(StringId(a), StringId(b)) {
-                FilterVerdict::PrunedByLength => {
-                    out.add_counter("pruned_length", 1);
-                }
-                FilterVerdict::PrunedByHistogram => {
-                    out.add_counter("pruned_histogram", 1);
-                }
-                FilterVerdict::Survives => {
-                    out.add_counter("verified", 1);
-                    // NSLD verification costs far more than a filter
-                    // check, and Hungarian costs more than greedy;
-                    // declare it so the simulated clock tracks the
-                    // actual cost distribution (Sec. III-F complexity).
-                    out.add_work(crate::verify::verification_work_units(
-                        corpus,
-                        StringId(a),
-                        StringId(b),
-                        aligning,
-                    ));
-                    if let Some(d) = verify_pair(corpus, StringId(a), StringId(b), t, aligning) {
-                        out.emit(SimilarPair {
-                            a: StringId(a),
-                            b: StringId(b),
-                            nsld: d,
-                        });
-                    }
-                }
-            }
-        };
-
-        // Both dedup strategies deduplicate in the reducer, so the `Dedup`
-        // combiner removes repeated candidates before the shuffle — the
-        // map-side half of the paper's de-duplication analysis
-        // (Sec. III-G3): fewer shuffled records, same instantiated workers.
         let verify_overhead = self.cluster.config().cost.verify_group_overhead_secs;
         let verified = match cfg.dedup {
             DedupStrategy::BothStrings => self.cluster.run_combined_with_group_overhead(
@@ -257,7 +356,7 @@ impl<'c> TsjJoiner<'c> {
                 |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
                 &Dedup,
                 |&(a, b), _hits: Vec<()>, out: &mut OutputSink<SimilarPair>| {
-                    check_and_verify(a, b, out);
+                    check_and_verify(corpus, &filter, aligning, t, a, b, out);
                 },
             )?,
             DedupStrategy::OneString => self.cluster.run_combined_with_group_overhead(
@@ -270,45 +369,229 @@ impl<'c> TsjJoiner<'c> {
                 },
                 &Dedup,
                 |&key, values: Vec<u32>, out: &mut OutputSink<SimilarPair>| {
-                    // "The reducer then de-duplicates the reduce value list
-                    // using a hash set."
-                    let mut seen: HashSet<u32, FxBuildHasher> = HashSet::default();
-                    for other in values {
-                        if seen.insert(other) {
-                            let (a, b) = if key < other {
-                                (key, other)
-                            } else {
-                                (other, key)
-                            };
-                            check_and_verify(a, b, out);
-                        }
-                    }
+                    one_string_dedup(corpus, &filter, aligning, t, key, values, out);
                 },
             )?,
         };
         report.push(verified.stats);
         let mut pairs = verified.output;
 
-        // Strings that tokenize to nothing are all mutually at NSLD 0
-        // (Definition 4's degenerate case); candidate generation cannot see
-        // them (no tokens), so they are joined directly here.
-        let empties: Vec<u32> = string_ids
-            .iter()
-            .copied()
-            .filter(|&s| corpus.token_count(StringId(s)) == 0)
-            .collect();
-        for i in 0..empties.len() {
-            for j in i + 1..empties.len() {
-                pairs.push(SimilarPair {
-                    a: StringId(empties[i]),
-                    b: StringId(empties[j]),
-                    nsld: 0.0,
+        join_empty_strings(corpus, &string_ids, &mut pairs);
+        pairs.sort_unstable_by_key(|p| (p.a, p.b));
+        Ok(JoinOutput { pairs, report })
+    }
+}
+
+// ---- Stage builders (shared by the dataset-chained and collect-based
+// pipelines, so the two forms cannot drift apart) -------------------------
+
+/// Stage 0 mapper: one partial count per distinct token occurrence; the
+/// `Count` combiner folds them map-side, so the shuffle carries one record
+/// per (map task, distinct token) instead of one per token *occurrence*.
+fn token_stats_map(corpus: &Corpus) -> impl Fn(&u32, &mut Emitter<u32, u64>) + Sync + '_ {
+    move |&s, e| {
+        for t in distinct_tokens(corpus, StringId(s)) {
+            e.emit(t.0, 1);
+        }
+    }
+}
+
+/// Stage 0 reducer: sums the partial counts into a document frequency.
+fn token_stats_reduce() -> impl Fn(&u32, Vec<u64>, &mut OutputSink<(u32, u32)>) + Sync {
+    |&tid, partial_counts, out| {
+        out.emit((tid, partial_counts.iter().sum::<u64>() as u32));
+    }
+}
+
+/// Builds the `M`-eligibility bitmap from the token_stats output and
+/// returns the number of dropped tokens alongside it; the caller books
+/// the count as a `tokens_dropped_by_M` counter on the `tsj.token_stats`
+/// job (the job the `M` filter acts on), so the filter's effect is
+/// visible in the `SimReport` instead of being computed and discarded.
+fn apply_m_filter(
+    corpus: &Corpus,
+    cfg: &TsjConfig,
+    stats_output: Vec<(u32, u32)>,
+) -> (Vec<bool>, u64) {
+    let mut eligible = vec![false; corpus.num_tokens()];
+    let mut dropped_tokens = 0u64;
+    for (tid, df) in stats_output {
+        if cfg.max_token_frequency.is_none_or(|m| df as usize <= m) {
+            eligible[tid as usize] = true;
+        } else {
+            dropped_tokens += 1;
+        }
+    }
+    (eligible, dropped_tokens)
+}
+
+/// Stage 1 mapper: postings of eligible tokens.
+///
+/// No combiner on this stage: `distinct_tokens` already guarantees each
+/// (token, string) posting is emitted at most once, and every string lives
+/// in exactly one map task, so there are no within-task duplicates for a
+/// combiner to fold — it would only add a sort of the highest-volume map
+/// output for zero shuffle savings.
+fn shared_token_map<'a>(
+    corpus: &'a Corpus,
+    eligible: &'a [bool],
+) -> impl Fn(&u32, &mut Emitter<u32, u32>) + Sync + 'a {
+    move |&s, e| {
+        for t in distinct_tokens(corpus, StringId(s)) {
+            if eligible[t.index()] {
+                e.emit(t.0, s);
+            }
+        }
+    }
+}
+
+/// Stage 1 reducer: every unordered pair of strings sharing the token,
+/// once (self-join symmetry optimization).
+fn shared_token_reduce() -> impl Fn(&u32, Vec<u32>, &mut OutputSink<(u32, u32)>) + Sync {
+    |_token, mut sids, out| {
+        sids.sort_unstable();
+        sids.dedup();
+        for i in 0..sids.len() {
+            for j in i + 1..sids.len() {
+                out.emit((sids[i], sids[j]));
+                out.add_counter("shared_token_candidates", 1);
+            }
+        }
+    }
+}
+
+/// Turns the MassJoin hits back into corpus token ids: the `SimilarMap`
+/// the histogram filter consults, plus the expand stage's input pairs.
+fn build_similar_map(
+    elig_tokens: &[TokenId],
+    token_pairs: &[tsj_passjoin::SimilarTokenPair],
+) -> (SimilarMap, Vec<(u32, u32)>) {
+    let mut map = SimilarMap::default();
+    let mut expand_input: Vec<(u32, u32)> = Vec::with_capacity(token_pairs.len());
+    for p in token_pairs {
+        let ta = elig_tokens[p.a as usize];
+        let tb = elig_tokens[p.b as usize];
+        let key = if ta.0 <= tb.0 {
+            (ta.0, tb.0)
+        } else {
+            (tb.0, ta.0)
+        };
+        map.insert(key, p.ld);
+        expand_input.push(key);
+    }
+    (map, expand_input)
+}
+
+/// An unordered candidate string-id pair, normalized to `a < b`.
+type Pair = (u32, u32);
+
+/// Stage 2b mapper: crosses a similar token pair's postings lists.
+/// Candidate pairs are keyed on themselves and the reducer only
+/// deduplicates, so the `Dedup` combiner ships one record per distinct
+/// pair per map task.
+fn expand_similar_map(corpus: &Corpus) -> impl Fn(&Pair, &mut Emitter<Pair, ()>) + Sync + '_ {
+    move |&(ta, tb), e| {
+        for &sa in corpus.postings(TokenId(ta)) {
+            for &sb in corpus.postings(TokenId(tb)) {
+                if sa == sb {
+                    continue;
+                }
+                let key = if sa < sb { (sa.0, sb.0) } else { (sb.0, sa.0) };
+                e.emit(key, ());
+                e.add_counter("similar_token_candidates", 1);
+            }
+        }
+    }
+}
+
+/// Stage 2b reducer: within-job dedup (grouping on the pair).
+fn expand_similar_reduce() -> impl Fn(&Pair, Vec<()>, &mut OutputSink<Pair>) + Sync {
+    |&pair, _hits, out| out.emit(pair)
+}
+
+/// Stage 3 kernel: filters one deduplicated candidate pair and verifies
+/// the survivors (Sec. III-E/F). Both dedup strategies funnel here.
+fn check_and_verify(
+    corpus: &Corpus,
+    filter: &FilterContext<'_>,
+    aligning: Aligning,
+    t: f64,
+    a: u32,
+    b: u32,
+    out: &mut OutputSink<SimilarPair>,
+) {
+    out.add_counter("candidates_distinct", 1);
+    match filter.check(StringId(a), StringId(b)) {
+        FilterVerdict::PrunedByLength => {
+            out.add_counter("pruned_length", 1);
+        }
+        FilterVerdict::PrunedByHistogram => {
+            out.add_counter("pruned_histogram", 1);
+        }
+        FilterVerdict::Survives => {
+            out.add_counter("verified", 1);
+            // NSLD verification costs far more than a filter check, and
+            // Hungarian costs more than greedy; declare it so the
+            // simulated clock tracks the actual cost distribution
+            // (Sec. III-F complexity).
+            out.add_work(crate::verify::verification_work_units(
+                corpus,
+                StringId(a),
+                StringId(b),
+                aligning,
+            ));
+            if let Some(d) = verify_pair(corpus, StringId(a), StringId(b), t, aligning) {
+                out.emit(SimilarPair {
+                    a: StringId(a),
+                    b: StringId(b),
+                    nsld: d,
                 });
             }
         }
+    }
+}
 
-        pairs.sort_unstable_by_key(|p| (p.a, p.b));
-        Ok(JoinOutput { pairs, report })
+/// Stage 3 reducer body for grouping-on-one-string: "the reducer then
+/// de-duplicates the reduce value list using a hash set" (Sec. III-G3).
+fn one_string_dedup(
+    corpus: &Corpus,
+    filter: &FilterContext<'_>,
+    aligning: Aligning,
+    t: f64,
+    key: u32,
+    values: Vec<u32>,
+    out: &mut OutputSink<SimilarPair>,
+) {
+    let mut seen: HashSet<u32, FxBuildHasher> = HashSet::default();
+    for other in values {
+        if seen.insert(other) {
+            let (a, b) = if key < other {
+                (key, other)
+            } else {
+                (other, key)
+            };
+            check_and_verify(corpus, filter, aligning, t, a, b, out);
+        }
+    }
+}
+
+/// Strings that tokenize to nothing are all mutually at NSLD 0
+/// (Definition 4's degenerate case); candidate generation cannot see them
+/// (no tokens), so they are joined directly driver-side.
+fn join_empty_strings(corpus: &Corpus, string_ids: &[u32], pairs: &mut Vec<SimilarPair>) {
+    let empties: Vec<u32> = string_ids
+        .iter()
+        .copied()
+        .filter(|&s| corpus.token_count(StringId(s)) == 0)
+        .collect();
+    for i in 0..empties.len() {
+        for j in i + 1..empties.len() {
+            pairs.push(SimilarPair {
+                a: StringId(empties[i]),
+                b: StringId(empties[j]),
+                nsld: 0.0,
+            });
+        }
     }
 }
 
@@ -371,5 +654,34 @@ mod tests {
         }
         let frac = first as f64 / n as f64;
         assert!((0.45..0.55).contains(&frac), "key-side fraction {frac}");
+    }
+
+    #[test]
+    fn similar_pair_spills_roundtrip() {
+        let p = SimilarPair {
+            a: StringId(7),
+            b: StringId(1234),
+            nsld: 0.0625,
+        };
+        let mut bytes = Vec::new();
+        p.spill(&mut bytes);
+        let mut slice = bytes.as_slice();
+        assert_eq!(SimilarPair::restore(&mut slice), Some(p));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn join_error_wraps_config_and_job_errors() {
+        let c: JoinError = ConfigError::ZeroMaxTokenFrequency.into();
+        assert!(matches!(c, JoinError::Config(_)));
+        assert!(c.to_string().contains("invalid join configuration"));
+        let j: JoinError = JobError::Transport {
+            message: "exchange failed".into(),
+        }
+        .into();
+        assert!(matches!(j, JoinError::Job(_)));
+        assert!(j.to_string().contains("pipeline job failed"));
+        // Sources chain for error-reporting crates.
+        assert!(std::error::Error::source(&j).is_some());
     }
 }

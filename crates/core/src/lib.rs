@@ -49,9 +49,9 @@ pub mod reference;
 pub mod scoring;
 pub mod verify;
 
-pub use config::{ApproximationScheme, CandidateGen, DedupStrategy, TsjConfig};
+pub use config::{ApproximationScheme, CandidateGen, ConfigError, DedupStrategy, TsjConfig};
 pub use filters::{FilterContext, SimilarMap};
-pub use joiner::{JoinOutput, SimilarPair, TsjJoiner};
+pub use joiner::{JoinError, JoinOutput, SimilarPair, TsjJoiner};
 pub use reference::brute_force_self_join;
 pub use scoring::{pair_set, precision, recall};
 pub use verify::{verification_work_units, verify_pair};

@@ -1,0 +1,271 @@
+//! The dataset differential harness: the dataset-chained TSJ pipeline
+//! ([`TsjJoiner::self_join`]) must produce output *byte-identical* to the
+//! collect-based wrapper pipeline ([`TsjJoiner::self_join_collected`])
+//! across real thread counts, shuffle partition counts, both transports,
+//! and bounded/unbounded shuffle memory — while its interior
+//! candidate-carrying stages move **zero** records across the driver
+//! boundary. A chaining bug does not crash; it silently corrupts join
+//! output or silently re-materializes the candidate set — this harness is
+//! the deliverable that makes the dataset layer trustworthy.
+
+use proptest::prelude::*;
+use tsj::{ApproximationScheme, DedupStrategy, SimilarPair, TsjConfig, TsjJoiner};
+use tsj_datagen::workload;
+use tsj_mapreduce::{Cluster, ClusterConfig, ShuffleConfig, SimReport, Transport};
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+fn cluster_with(
+    threads: usize,
+    partitions: usize,
+    machines: usize,
+    shuffle: ShuffleConfig,
+) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines,
+        threads,
+        partitions,
+        ..ClusterConfig::default()
+    })
+    .with_shuffle_config(shuffle)
+}
+
+fn config(t: f64) -> TsjConfig {
+    TsjConfig {
+        threshold: t,
+        max_token_frequency: Some(100),
+        // FuzzyTokenMatching pulls the MassJoin sub-pipeline in, so the
+        // chained graph exercises every stage shape: uncombined,
+        // Count/Dedup-combined, group-overhead verification, and the
+        // union of two candidate streams.
+        scheme: ApproximationScheme::FuzzyTokenMatching,
+        dedup: DedupStrategy::OneString,
+        ..TsjConfig::default()
+    }
+}
+
+fn chained(cluster: &Cluster, corpus: &Corpus, t: f64) -> tsj::JoinOutput {
+    TsjJoiner::new(cluster)
+        .self_join(corpus, &config(t))
+        .unwrap()
+}
+
+fn collected_pairs(cluster: &Cluster, corpus: &Corpus, t: f64) -> Vec<SimilarPair> {
+    TsjJoiner::new(cluster)
+        .self_join_collected(corpus, &config(t))
+        .unwrap()
+        .pairs
+}
+
+/// The shuffle configurations of the sweep: both transports, unbounded
+/// and spill-pressured.
+fn shuffle_matrix() -> [ShuffleConfig; 4] {
+    [
+        ShuffleConfig::unbounded(),
+        ShuffleConfig::bounded(8, 8),
+        ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
+        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+    ]
+}
+
+/// Interior candidate-carrying stages: their output must stay inside the
+/// runtime (that is the dataset layer's entire point).
+const INTERIOR: [&str; 3] = [
+    "tsj.shared_token",
+    "tsj.expand_similar",
+    "massjoin.candidates",
+];
+
+fn assert_driver_accounting(report: &SimReport, n_strings: u64) {
+    for j in report.jobs() {
+        if INTERIOR.contains(&j.name.as_str()) {
+            assert_eq!(
+                j.driver_out_records, 0,
+                "interior stage {} materialized records driver-side",
+                j.name
+            );
+        }
+        match j.name.as_str() {
+            // Driver-fed stages: the crossing is their input length.
+            "tsj.token_stats" | "tsj.shared_token" => {
+                assert_eq!(j.driver_in_records, n_strings, "{}", j.name);
+            }
+            // Runtime-fed stages: nothing crosses inward.
+            "massjoin.verify" => assert_eq!(j.driver_in_records, 0, "{}", j.name),
+            name if name.starts_with("tsj.dedup_verify") => {
+                assert_eq!(j.driver_in_records, 0, "{}", j.name);
+                // Everything a collected terminal stage emits crosses
+                // exactly once.
+                assert_eq!(j.driver_out_records, j.output_records, "{}", j.name);
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The acceptance guarantee: chaining the pipeline through the
+    /// runtime changes *nothing* about the verified join output (ids and
+    /// distances) versus the collect-based wrappers — across ≥3 real
+    /// thread counts × ≥3 partition counts × both transports ×
+    /// bounded/unbounded shuffles — and interior stages cross zero driver
+    /// records in every configuration.
+    #[test]
+    fn chained_join_is_byte_identical_to_collected(
+        seed in 0u64..1_000,
+        t in 0.05f64..0.2,
+    ) {
+        let w = workload(100, 0.3, seed);
+        let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+        let n = corpus.len() as u64;
+        let reference = collected_pairs(
+            &cluster_with(4, 0, 16, ShuffleConfig::unbounded()),
+            &corpus,
+            t,
+        );
+        for shuffle in shuffle_matrix() {
+            for threads in [1usize, 2, 8] {
+                let out = chained(&cluster_with(threads, 0, 16, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&out.pairs, &reference, "threads = {}", threads);
+                assert_driver_accounting(&out.report, n);
+            }
+            for partitions in [1usize, 5, 64] {
+                let out = chained(&cluster_with(4, partitions, 16, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&out.pairs, &reference, "partitions = {}", partitions);
+                assert_driver_accounting(&out.report, n);
+            }
+        }
+    }
+}
+
+/// The report of a chained join names every stage in execution order,
+/// books the `M` filter's dropped tokens on the token_stats job, and the
+/// driver totals decompose into exactly the legitimate crossings.
+#[test]
+fn chained_report_accounts_for_the_driver_boundary() {
+    let w = workload(200, 0.35, 7);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let cluster = cluster_with(4, 0, 16, ShuffleConfig::bounded(16, 32));
+    let out = TsjJoiner::new(&cluster)
+        .self_join(
+            &corpus,
+            &TsjConfig {
+                threshold: 0.15,
+                // Tiny M so the filter provably bites.
+                max_token_frequency: Some(3),
+                ..TsjConfig::default()
+            },
+        )
+        .unwrap();
+
+    let names: Vec<&str> = out.report.jobs().iter().map(|j| j.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "tsj.token_stats",
+            "tsj.shared_token",
+            "massjoin.candidates",
+            "massjoin.verify",
+            "tsj.expand_similar",
+            "tsj.dedup_verify.one_string",
+        ]
+    );
+    assert_driver_accounting(&out.report, corpus.len() as u64);
+
+    // The dropped-token observability hole is closed: the counter lives
+    // on the token_stats job and agrees with a driver-side recount.
+    let stats_job = &out.report.jobs()[0];
+    let dropped = stats_job.counter("tokens_dropped_by_M");
+    assert!(dropped > 0, "M = 3 on 200 names must drop some tokens");
+    assert_eq!(out.report.counter("tokens_dropped_by_M"), dropped);
+
+    // Driver crossings: inputs of the driver-fed stages + every collected
+    // output — nothing else.
+    let expected_in: u64 = out.report.jobs().iter().map(|j| j.driver_in_records).sum();
+    let expected_out: u64 = out.report.jobs().iter().map(|j| j.driver_out_records).sum();
+    assert_eq!(out.report.total_driver_in_records(), expected_in);
+    assert_eq!(out.report.total_driver_out_records(), expected_out);
+    assert_eq!(
+        out.report.total_driver_records(),
+        expected_in + expected_out
+    );
+    // The rendered report carries the driver column.
+    let rendered = format!("{}", out.report);
+    assert!(rendered.contains("driver(rec)"));
+}
+
+/// Both dedup strategies and all three approximation schemes survive the
+/// chaining (exercising the group-overhead dataset stages, the
+/// SharedOnly graph without a union, and greedy verification).
+#[test]
+fn all_schemes_and_dedups_match_collected_chaining() {
+    let w = workload(120, 0.3, 99);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    for (scheme, dedup) in [
+        (
+            ApproximationScheme::FuzzyTokenMatching,
+            DedupStrategy::BothStrings,
+        ),
+        (
+            ApproximationScheme::GreedyTokenAligning,
+            DedupStrategy::OneString,
+        ),
+        (
+            ApproximationScheme::ExactTokenMatching,
+            DedupStrategy::OneString,
+        ),
+    ] {
+        let cfg = TsjConfig {
+            threshold: 0.15,
+            max_token_frequency: Some(100),
+            scheme,
+            dedup,
+            ..TsjConfig::default()
+        };
+        for shuffle in [
+            ShuffleConfig::unbounded(),
+            ShuffleConfig::bounded(16, 32).with_transport(Transport::MultiProcess),
+        ] {
+            let cluster = cluster_with(4, 0, 16, shuffle);
+            let joiner = TsjJoiner::new(&cluster);
+            let chained = joiner.self_join(&corpus, &cfg).unwrap();
+            let collected = joiner.self_join_collected(&corpus, &cfg).unwrap();
+            assert_eq!(
+                chained.pairs, collected.pairs,
+                "scheme {scheme:?}, dedup {dedup:?}"
+            );
+            assert_driver_accounting(&chained.report, corpus.len() as u64);
+        }
+    }
+}
+
+/// Bad configurations surface as `JoinError::Config` before any job runs
+/// — no panic, and both pipeline forms agree on the error.
+#[test]
+fn invalid_configs_error_instead_of_panicking() {
+    let corpus = Corpus::build(["a b", "a c"], &NameTokenizer::default());
+    let cluster = cluster_with(2, 0, 4, ShuffleConfig::unbounded());
+    let joiner = TsjJoiner::new(&cluster);
+    for bad in [
+        TsjConfig {
+            threshold: 0.9,
+            ..TsjConfig::default()
+        },
+        TsjConfig {
+            threshold: -0.5,
+            ..TsjConfig::default()
+        },
+        TsjConfig {
+            max_token_frequency: Some(0),
+            ..TsjConfig::default()
+        },
+    ] {
+        let err = joiner.self_join(&corpus, &bad).unwrap_err();
+        assert!(
+            matches!(err, tsj::JoinError::Config(_)),
+            "expected a config error, got {err:?}"
+        );
+        assert_eq!(err, joiner.self_join_collected(&corpus, &bad).unwrap_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! Fuzzy Matching Similarity (FMS) and its approximation AFMS
 //! (Chaudhuri et al., "Robust and Efficient Fuzzy Match for Online Data
-//! Cleaning", SIGMOD 2003 — reference [10] of the paper).
+//! Cleaning", SIGMOD 2003 — reference \[10\] of the paper).
 //!
 //! These are the earliest token-edit-tolerant measures the paper reviews
 //! (Sec. IV), implemented here so their documented drawbacks can be
@@ -13,7 +13,7 @@
 //!   which "poses challenges when using them as tokenized-string similarity
 //!   measures in other applications".
 //!
-//! The implementation follows the paper's [10] description at the level of
+//! The implementation follows the paper's \[10\] description at the level of
 //! detail the comparison needs: a weighted transformation cost with
 //! user-set penalties for token replacement (scaled by normalized edit
 //! distance), insertion, and deletion; FMS compares tokens positionally,
@@ -24,7 +24,7 @@ use tsj_strdist::{char_len, levenshtein};
 
 use crate::measures::TokenWeights;
 
-/// Penalty configuration of [10] ("the user sets penalties for token
+/// Penalty configuration of \[10\] ("the user sets penalties for token
 /// insertion, deletion, or editing").
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FmsPenalties {

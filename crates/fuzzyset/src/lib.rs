@@ -2,8 +2,8 @@
 //!
 //! These are the *related-work* measures the paper compares NSLD against in
 //! Fig. 6 (Sec. V-D): the weighted fuzzy variants of Jaccard, cosine and
-//! Dice from Wang et al. [67] ("Extending String Similarity Join to
-//! Tolerant Fuzzy Token Matching"), plus SoftTfIdf [13] for completeness.
+//! Dice from Wang et al. \[67\] ("Extending String Similarity Join to
+//! Tolerant Fuzzy Token Matching"), plus SoftTfIdf \[13\] for completeness.
 //! They all share the two-threshold structure the paper criticizes: a
 //! token-level edit-similarity threshold `δ` *and* a set-level similarity
 //! threshold, "two totally unrelated thresholds, which impairs the tuning

@@ -1,5 +1,5 @@
-//! Weighted fuzzy set-similarity measures (Wang et al. [67], Cohen et
-//! al. [13]).
+//! Weighted fuzzy set-similarity measures (Wang et al. \[67\], Cohen et
+//! al. \[13\]).
 
 use std::collections::HashMap;
 
@@ -89,7 +89,7 @@ fn ned(a: &str, b: &str) -> f64 {
 
 /// Greedy one-to-one fuzzy token matching: all cross pairs with
 /// `NED ≥ δ`, taken in decreasing-similarity order (the matching strategy
-/// of [67]; like the paper's AFMS discussion, best-match but one-to-one).
+/// of \[67\]; like the paper's AFMS discussion, best-match but one-to-one).
 /// Returns `(i, j, sim)` matched pairs.
 fn fuzzy_matching(
     x: &[impl AsRef<str>],
@@ -120,7 +120,7 @@ fn fuzzy_matching(
     out
 }
 
-/// Weighted fuzzy set similarity (Wang et al. [67] style).
+/// Weighted fuzzy set similarity (Wang et al. \[67\] style).
 ///
 /// The fuzzy overlap is `O = Σ min(w(a), w(b)) · NED(a, b)` over the greedy
 /// one-to-one matching of token pairs with `NED ≥ δ`; with `δ = 1` this
@@ -168,7 +168,7 @@ pub fn fuzzy_distance(
     1.0 - fuzzy_similarity(x, y, weights, delta, measure)
 }
 
-/// SoftTfIdf (Cohen et al. [13]): tokens match when their Jaro–Winkler
+/// SoftTfIdf (Cohen et al. \[13\]): tokens match when their Jaro–Winkler
 /// similarity is at least `theta`; each matched pair contributes the
 /// product of the tokens' normalized weights scaled by the JW similarity.
 pub fn soft_tfidf(

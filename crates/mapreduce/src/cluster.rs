@@ -2,21 +2,67 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::dataset::DataPartition;
 use crate::hash::FxBuildHasher;
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 use crate::merge::{merge_segments_capped, Segment};
 use crate::pool::run_indexed;
 use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleConfig, ShuffleRecord};
-use crate::spill::{reserve_job_dir, reserve_job_spill_dir, Spill, SpillDirGuard};
+use crate::spill::{
+    reserve_job_dir, reserve_job_spill_dir, RunMeta, RunReader, Spill, SpillDirGuard, SpillWriter,
+};
 use crate::transport::{InProcess, MapOutput, MultiProcess, ShuffleTransport, Transport};
 
 /// Applies a combiner to a map task's output buffers and returns the
-/// post-combine record count (how `run_inner` receives a combiner without
+/// post-combine record count (how `run_stage` receives a combiner without
 /// needing `K: Clone` on the uncombined entry points).
-type CombineFn<'a, K, V> = &'a (dyn Fn(&mut PartitionedBuffer<K, V>) -> usize + Sync);
+pub(crate) type CombineFn<'a, K, V> = &'a (dyn Fn(&mut PartitionedBuffer<K, V>) -> usize + Sync);
+
+/// Where a stage's map wave reads its input from.
+pub(crate) enum StageInput<'a, I> {
+    /// A driver-resident slice (the classic [`Cluster::run`] path and the
+    /// first stage after [`Cluster::input`](crate::dataset)): chunked into
+    /// one map task per simulated machine, and counted as records crossing
+    /// the driver boundary ([`JobStats::driver_in_records`]).
+    Slice(&'a [I]),
+    /// The partitioned output of a previous [`Dataset`] stage, resident in
+    /// the runtime: one map task per non-empty partition, each streaming
+    /// its segment (in-memory buffer or spilled run) directly. No records
+    /// cross the driver boundary.
+    ///
+    /// [`Dataset`]: crate::dataset::Dataset
+    Parts(&'a [DataPartition<I>]),
+}
+
+/// Where a stage's reduce output goes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SinkMode {
+    /// Concatenate into one driver-side `Vec` ([`JobResult::output`]) —
+    /// the classic `run*` behaviour, counted as records crossing the
+    /// driver boundary ([`JobStats::driver_out_records`]).
+    Driver,
+    /// Keep the output partitioned in the runtime for the next stage: one
+    /// [`DataPartition`] per reduce task — an in-memory buffer, or (under
+    /// a bounded [`ShuffleConfig`]) a sorted-run file in the wire format,
+    /// drained group-by-group so no worker buffers a partition's output.
+    Dataset,
+}
+
+/// What a stage produced: driver output *or* runtime partitions, plus the
+/// guard keeping any stage-output run files alive, and the stats.
+pub(crate) struct StageResult<O> {
+    /// Reducer outputs concatenated in partition order ([`SinkMode::Driver`]).
+    pub(crate) output: Vec<O>,
+    /// Per-reduce-task output partitions ([`SinkMode::Dataset`]).
+    pub(crate) parts: Vec<DataPartition<O>>,
+    /// Keeps spilled stage-output runs alive until the consuming
+    /// [`Dataset`](crate::dataset::Dataset) drops.
+    pub(crate) guard: Option<Arc<SpillDirGuard>>,
+    pub(crate) stats: JobStats,
+}
 
 /// Simulated-cost parameters of the cluster.
 ///
@@ -192,6 +238,18 @@ impl Cluster {
         }
     }
 
+    /// The single source of truth for how a driver slice of `len` records
+    /// is chunked into map tasks — one task per simulated machine, capped
+    /// by the input — as `(num_tasks, chunk_size)`. The engine's Slice
+    /// path and the dataset layer's driver→partition conversion
+    /// ([`Dataset::union`](crate::dataset::Dataset::union)) both use it,
+    /// so a union's partition layout always matches what the first stage
+    /// would have seen.
+    pub(crate) fn slice_chunking(&self, len: usize) -> (usize, usize) {
+        let tasks = self.cfg.machines.min(len).max(1);
+        (tasks, len.div_ceil(tasks).max(1))
+    }
+
     /// Runs one MapReduce job (Sec. III-A semantics).
     ///
     /// * `map` is applied to every input record, emitting `⟨key2, value2⟩`
@@ -216,14 +274,14 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync,
+        I: Sync + Spill,
         K: Hash + Eq + Send + Spill,
         V: Send + Spill,
-        O: Send,
+        O: Send + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
-        self.run_inner(
+        self.run_one_stage(
             name,
             self.cfg.cost.reduce_group_overhead_secs,
             input,
@@ -250,16 +308,16 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync,
+        I: Sync + Spill,
         K: Hash + Eq + Clone + Send + Spill,
         V: Send + Spill,
-        O: Send,
+        O: Send + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         C: Combiner<K, V>,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
         let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
-        self.run_inner(
+        self.run_one_stage(
             name,
             self.cfg.cost.reduce_group_overhead_secs,
             input,
@@ -281,14 +339,14 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync,
+        I: Sync + Spill,
         K: Hash + Eq + Send + Spill,
         V: Send + Spill,
-        O: Send,
+        O: Send + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
-        self.run_inner(name, group_overhead_secs, input, map, None, reduce)
+        self.run_one_stage(name, group_overhead_secs, input, map, None, reduce)
     }
 
     /// [`Cluster::run_combined`] with an explicit per-reduce-group worker
@@ -303,16 +361,16 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync,
+        I: Sync + Spill,
         K: Hash + Eq + Clone + Send + Spill,
         V: Send + Spill,
-        O: Send,
+        O: Send + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         C: Combiner<K, V>,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
         let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
-        self.run_inner(
+        self.run_one_stage(
             name,
             group_overhead_secs,
             input,
@@ -322,11 +380,9 @@ impl Cluster {
         )
     }
 
-    /// Shared engine behind `run*`. The combiner arrives pre-applied as a
-    /// buffer-combining closure ([`CombineFn`]) so that only the
-    /// `run_combined*` entry points need `K: Clone` (combining clones
-    /// keys; plain jobs never do).
-    fn run_inner<I, K, V, O, M, R>(
+    /// One-stage graph: a driver slice in, driver output back out — the
+    /// engine call every `run*` entry point reduces to.
+    fn run_one_stage<I, K, V, O, M, R>(
         &self,
         name: &str,
         group_overhead_secs: f64,
@@ -336,10 +392,48 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync,
+        I: Sync + Spill,
         K: Hash + Eq + Send + Spill,
         V: Send + Spill,
-        O: Send,
+        O: Send + Spill,
+        M: Fn(&I, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let result = self.run_stage(
+            name,
+            group_overhead_secs,
+            StageInput::Slice(input),
+            map,
+            combine,
+            reduce,
+            SinkMode::Driver,
+        )?;
+        Ok(JobResult {
+            output: result.output,
+            stats: result.stats,
+        })
+    }
+
+    /// Shared engine behind `run*` and the [`Dataset`](crate::dataset)
+    /// stages. The combiner arrives pre-applied as a buffer-combining
+    /// closure ([`CombineFn`]) so that only the combined entry points need
+    /// `K: Clone` (combining clones keys; plain jobs never do).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_stage<I, K, V, O, M, R>(
+        &self,
+        name: &str,
+        group_overhead_secs: f64,
+        input: StageInput<'_, I>,
+        map: M,
+        combine: Option<CombineFn<'_, K, V>>,
+        reduce: R,
+        sink_mode: SinkMode,
+    ) -> Result<StageResult<O>, JobError>
+    where
+        I: Sync + Spill,
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
+        O: Send + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
@@ -351,15 +445,34 @@ impl Cluster {
         cost.reduce_group_overhead_secs = group_overhead_secs;
 
         // ---- Map phase ------------------------------------------------
-        // One map task per simulated machine (a single mapper wave), unless
-        // the input is smaller than the machine count. Each task partitions
-        // its output at emit time and (optionally) combines it before the
-        // shuffle, so no serial post-map partitioning pass exists. Under a
-        // memory-bounded ShuffleConfig the task additionally combines its
-        // buffer periodically mid-task and spills sorted runs to disk when
-        // the buffer reaches the spill threshold (see `crate::shuffle`).
-        let num_tasks = machines.min(input.len()).max(1);
-        let chunk = input.len().div_ceil(num_tasks).max(1);
+        // Driver-slice input: one map task per simulated machine (a single
+        // mapper wave), unless the input is smaller than the machine
+        // count. Partitioned input (a previous stage's output): one map
+        // task per non-empty partition, streaming that partition's segment
+        // — an in-memory buffer or a spilled run read back record by
+        // record — so interior stages never touch driver memory. Either
+        // way each task partitions its output at emit time and
+        // (optionally) combines it before the shuffle, so no serial
+        // post-map partitioning pass exists. Under a memory-bounded
+        // ShuffleConfig the task additionally combines its buffer
+        // periodically mid-task and spills sorted runs to disk when the
+        // buffer reaches the spill threshold (see `crate::shuffle`).
+        let (num_tasks, chunk, part_ids, input_records, driver_in_records) = match &input {
+            StageInput::Slice(s) => {
+                let (n, chunk) = self.slice_chunking(s.len());
+                (n, chunk, Vec::new(), s.len() as u64, s.len() as u64)
+            }
+            StageInput::Parts(parts) => {
+                let ids: Vec<usize> = parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.records() > 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                let records: u64 = parts.iter().map(DataPartition::records).sum();
+                (ids.len(), 0, ids, records, 0)
+            }
+        };
 
         // One uniquely named spill directory per job, removed (with its
         // segments) when the job finishes or fails. Tasks create it lazily
@@ -397,8 +510,6 @@ impl Cluster {
         }
 
         let map_tasks: Vec<MapTaskOut<K, V>> = run_indexed(num_tasks, threads, |task| {
-            let lo = (task * chunk).min(input.len());
-            let hi = ((task + 1) * chunk).min(input.len());
             let start = Instant::now();
             let mut emitter = match (&spill_dir, self.shuffle.spill_threshold) {
                 (Some(guard), Some(threshold)) => Emitter::with_buffer(
@@ -416,16 +527,45 @@ impl Cluster {
             };
             let mut next_combine = combine_threshold;
             let mut combine_work = 0u64;
-            for record in &input[lo..hi] {
-                map(record, &mut emitter);
-                if emitter.buffer.len() >= next_combine {
-                    combine_work += emitter.buffer.len() as u64;
-                    combine.expect("combine_threshold implies combiner")(&mut emitter.buffer);
-                    // Combining may not have freed enough (distinct keys);
-                    // spill the combined run if still over the cap.
-                    emitter.buffer.maybe_spill();
-                    next_combine = emitter.buffer.len() + combine_threshold;
+            let mut task_input = 0u64;
+            // One input record through map + the periodic combine check
+            // (macro, not closure: it borrows half the task state).
+            macro_rules! feed {
+                ($record:expr) => {{
+                    task_input += 1;
+                    map($record, &mut emitter);
+                    if emitter.buffer.len() >= next_combine {
+                        combine_work += emitter.buffer.len() as u64;
+                        combine.expect("combine_threshold implies combiner")(&mut emitter.buffer);
+                        // Combining may not have freed enough (distinct
+                        // keys); spill the combined run if still over the
+                        // cap.
+                        emitter.buffer.maybe_spill();
+                        next_combine = emitter.buffer.len() + combine_threshold;
+                    }
+                }};
+            }
+            match &input {
+                StageInput::Slice(s) => {
+                    let lo = (task * chunk).min(s.len());
+                    let hi = ((task + 1) * chunk).min(s.len());
+                    for record in &s[lo..hi] {
+                        feed!(record);
+                    }
                 }
+                StageInput::Parts(parts) => match &parts[part_ids[task]] {
+                    DataPartition::Mem(records) => {
+                        for record in records {
+                            feed!(record);
+                        }
+                    }
+                    DataPartition::Spilled { file, meta } => {
+                        let mut reader = RunReader::new(Arc::clone(file), *meta);
+                        while let Some((_h, (), record)) = reader.next::<(), I>() {
+                            feed!(&record);
+                        }
+                    }
+                },
             }
             let emitted = emitter.emitted;
             // Final map-side combine over the leftover buffer: inside the
@@ -444,7 +584,7 @@ impl Cluster {
             let spill = emitter.buffer.take_spill();
             let spilled = spill.as_ref().map_or(0, |s| s.records);
             let cpu_secs = start.elapsed().as_secs_f64();
-            let work = (hi - lo) as u64 + emitted + combine_work + spilled + emitter.work_units;
+            let work = task_input + emitted + combine_work + spilled + emitter.work_units;
             MapTaskOut {
                 cpu_secs,
                 work,
@@ -535,9 +675,33 @@ impl Cluster {
             /// Hierarchical pre-merge effort spent honouring the merge
             /// fan-in cap (zero on the flat or in-memory paths).
             merge: crate::merge::MergeEffort,
+            /// Records emitted (also counted when drained to a run file).
+            emitted: u64,
+            /// Driver-bound output ([`SinkMode::Driver`]; empty otherwise).
             out: Vec<O>,
+            /// Runtime-resident output partition ([`SinkMode::Dataset`]).
+            part: Option<DataPartition<O>>,
             counters: HashMap<&'static str, u64>,
         }
+
+        // Dataset stages under a bounded shuffle keep their output out of
+        // memory too: each reduce task drains its sink into a sorted-run
+        // file (wire format, fingerprint 0, unit key) after every group,
+        // and the next stage's map wave streams it back. The directory
+        // must outlive the job — the returned guard keeps it until the
+        // consuming Dataset drops.
+        let stage_out_dir: Option<Arc<SpillDirGuard>> =
+            match (sink_mode, self.shuffle.spill_threshold) {
+                (SinkMode::Dataset, Some(_)) => {
+                    let base = self
+                        .shuffle
+                        .spill_dir
+                        .clone()
+                        .unwrap_or_else(std::env::temp_dir);
+                    Some(Arc::new(SpillDirGuard(reserve_job_dir(&base, "tsj-stage"))))
+                }
+                _ => None,
+            };
 
         // Scratch base for fan-in-capped hierarchical merges: the job's
         // exchange dir (multi-process) or spill dir (in-process spilling)
@@ -570,6 +734,7 @@ impl Cluster {
                 .expect("each partition reduced once");
 
             let mut sink = OutputSink::new();
+            let mut out_writer: Option<SpillWriter> = None;
             let mut max_group = 0u64;
             let mut n_groups = 0u64;
             let mut work = 0u64;
@@ -595,6 +760,9 @@ impl Cluster {
                         n_groups += 1;
                         work += n_values;
                         reduce(&key, values, &mut sink);
+                        if let Some(dir) = &stage_out_dir {
+                            drain_stage_output(&mut sink, &mut out_writer, &dir.0, *partition);
+                        }
                     },
                 );
             } else {
@@ -624,10 +792,33 @@ impl Cluster {
                     max_group = max_group.max(n_values);
                     work += n_values;
                     reduce(&key, values, &mut sink);
+                    if let Some(dir) = &stage_out_dir {
+                        drain_stage_output(&mut sink, &mut out_writer, &dir.0, *partition);
+                    }
                 }
             }
             let cpu_secs = start.elapsed().as_secs_f64();
-            work += sink.out.len() as u64 + sink.work_units;
+            work += sink.emitted + sink.work_units;
+            let part: Option<DataPartition<O>> = match (sink_mode, out_writer) {
+                // Bounded dataset stage: the sink was drained after every
+                // group, so the run file *is* the partition.
+                (_, Some(writer)) => {
+                    let meta = RunMeta {
+                        offset: 0,
+                        bytes: writer.bytes(),
+                        records: writer.records(),
+                    };
+                    let (file, _path) = writer
+                        .into_reader()
+                        .unwrap_or_else(|e| panic!("stage output finalize failed: {e}"));
+                    Some(DataPartition::Spilled { file, meta })
+                }
+                // Unbounded dataset stage: hand the buffer over as-is.
+                (SinkMode::Dataset, None) if !sink.out.is_empty() => {
+                    Some(DataPartition::Mem(std::mem::take(&mut sink.out)))
+                }
+                _ => None,
+            };
             ReduceTaskOut {
                 machine: partition % machines,
                 cpu_secs,
@@ -635,7 +826,9 @@ impl Cluster {
                 groups: n_groups,
                 max_group,
                 merge,
+                emitted: sink.emitted,
                 out: sink.out,
+                part,
                 counters: sink.counters,
             }
         })
@@ -652,6 +845,8 @@ impl Cluster {
             proportional_loads(reduce_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
         let mut machine_loads = vec![0.0f64; machines];
         let mut output = Vec::new();
+        let mut parts_out: Vec<DataPartition<O>> = Vec::new();
+        let mut output_records = 0u64;
         let mut reduce_groups = 0u64;
         let mut max_group_size = 0u64;
         let mut merge_passes = 0u64;
@@ -663,7 +858,9 @@ impl Cluster {
             max_group_size = max_group_size.max(t.max_group);
             merge_passes += t.merge.passes;
             merge_scratch_bytes += t.merge.scratch_bytes;
+            output_records += t.emitted;
             output.extend(t.out);
+            parts_out.extend(t.part);
             for (k, v) in t.counters {
                 *counters.entry(k).or_insert(0) += v;
             }
@@ -692,7 +889,7 @@ impl Cluster {
         let stats = JobStats {
             name: name.to_owned(),
             machines,
-            input_records: input.len() as u64,
+            input_records,
             map_output_records,
             shuffle_records,
             spilled_records,
@@ -705,7 +902,12 @@ impl Cluster {
             peak_buffered_records,
             reduce_groups,
             max_group_size,
-            output_records: output.len() as u64,
+            output_records,
+            driver_in_records,
+            driver_out_records: match sink_mode {
+                SinkMode::Driver => output.len() as u64,
+                SinkMode::Dataset => 0,
+            },
             map: map_sim,
             shuffle_secs,
             spill_secs,
@@ -715,7 +917,46 @@ impl Cluster {
             wall_secs: wall_start.elapsed().as_secs_f64(),
             counters,
         };
-        Ok(JobResult { output, stats })
+        Ok(StageResult {
+            output,
+            parts: parts_out,
+            guard: stage_out_dir,
+            stats,
+        })
+    }
+}
+
+/// Drains a reduce sink's buffered output records into the task's
+/// stage-output run file (created lazily on first output), so a
+/// dataset-producing reduce task under a bounded shuffle never holds more
+/// than one group's output in memory. Records are framed in the spill
+/// wire format with a zero fingerprint and a unit key — the next stage
+/// streams them back as plain values. I/O failures panic, surfacing as a
+/// reduce-worker panic like every other task-local I/O failure.
+fn drain_stage_output<O: Spill>(
+    sink: &mut OutputSink<O>,
+    writer: &mut Option<SpillWriter>,
+    dir: &std::path::Path,
+    partition: usize,
+) {
+    if sink.out.is_empty() {
+        return;
+    }
+    let writer = match writer {
+        Some(w) => w,
+        None => {
+            let path = dir.join(format!("part{partition}.run"));
+            *writer = Some(
+                SpillWriter::create(path)
+                    .unwrap_or_else(|e| panic!("stage output file creation failed: {e}")),
+            );
+            writer.as_mut().expect("just created")
+        }
+    };
+    for record in sink.out.drain(..) {
+        writer
+            .write_record(0u64, &(), &record)
+            .unwrap_or_else(|e| panic!("stage output write failed: {e}"));
     }
 }
 

@@ -1,0 +1,480 @@
+//! Dataset handles: chaining pipeline stages inside the runtime.
+//!
+//! The classic [`Cluster::run*`](crate::cluster::Cluster::run) entry
+//! points materialize every job's output as one driver-side `Vec` — fine
+//! for a single job, but a multi-stage pipeline chained through such
+//! `Vec`s holds every intermediate candidate set in driver memory no
+//! matter how tightly the [`ShuffleConfig`](crate::shuffle::ShuffleConfig)
+//! bounds the workers. A [`Dataset`] is the runtime-resident alternative
+//! (the same move Spark-style dataflow engines make over raw MapReduce):
+//!
+//! * [`Cluster::input`] lifts a driver slice into a handle;
+//! * [`Dataset::map_reduce`] / [`Dataset::map_reduce_combined`] (and
+//!   their `_with_group_overhead` variants) run one MapReduce stage whose
+//!   output *stays inside the runtime* as partition segments — per-reduce-
+//!   task in-memory buffers, or (under a bounded shuffle) sorted-run files
+//!   in the spill wire format ([`crate::spill`]) drained group-by-group;
+//! * the next stage's map wave runs **one map task per partition**,
+//!   streaming each segment directly (a [`RunReader`] per spilled run), so
+//!   interior stages move records worker-to-worker without ever crossing
+//!   the driver boundary ([`JobStats::driver_in_records`] /
+//!   [`JobStats::driver_out_records`] are zero for them);
+//! * [`Dataset::union`] concatenates two handles' partitions, so merging
+//!   candidate streams needs no driver-side `Vec::extend`;
+//! * [`Dataset::collect`] (or the streaming [`Dataset::for_each_output`])
+//!   is the only point where records cross back into driver memory, booked
+//!   onto the producing job's `driver_out_records`.
+//!
+//! Every handle carries the [`SimReport`] accumulated over the stages that
+//! built it; `collect` hands it back alongside the records.
+//!
+//! Stages execute eagerly — a `map_reduce` call runs its job before
+//! returning — so the "graph" is the chain of handles itself, and stage
+//! closures may freely borrow driver state (corpus, filters, bitmaps).
+//!
+//! ```
+//! use tsj_mapreduce::{Cluster, Count, Emitter, OutputSink};
+//!
+//! let cluster = Cluster::with_machines(4);
+//! let docs = ["a b a", "b c"].map(String::from);
+//! // Stage 1 (word count) flows into stage 2 (count histogram) without
+//! // the intermediate (word, count) records ever landing driver-side.
+//! let (histogram, report) = cluster
+//!     .input(&docs)
+//!     .map_reduce_combined(
+//!         "wordcount",
+//!         |doc: &String, e: &mut Emitter<String, u64>| {
+//!             for w in doc.split_whitespace() {
+//!                 e.emit(w.to_owned(), 1);
+//!             }
+//!         },
+//!         &Count,
+//!         |w: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+//!             out.emit((w.clone(), counts.iter().sum()));
+//!         },
+//!     )
+//!     .unwrap()
+//!     .map_reduce_combined(
+//!         "histogram",
+//!         |&(_, n): &(String, u64), e: &mut Emitter<u64, u64>| e.emit(n, 1),
+//!         &Count,
+//!         |&n: &u64, ones: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+//!             out.emit((n, ones.iter().sum()));
+//!         },
+//!     )
+//!     .unwrap()
+//!     .collect();
+//! let mut histogram = histogram;
+//! histogram.sort_unstable();
+//! assert_eq!(histogram, vec![(1, 1), (2, 2)]); // {a: 2, b: 2, c: 1}
+//! assert_eq!(report.jobs().len(), 2);
+//! assert_eq!(report.jobs()[0].driver_out_records, 0); // interior stage
+//! ```
+//!
+//! [`JobStats::driver_in_records`]: crate::job::JobStats::driver_in_records
+//! [`JobStats::driver_out_records`]: crate::job::JobStats::driver_out_records
+//! [`RunReader`]: crate::spill::RunReader
+
+use std::fs::File;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::cluster::{Cluster, CombineFn, SinkMode, StageInput};
+use crate::job::{Emitter, JobError, OutputSink};
+use crate::report::SimReport;
+use crate::shuffle::{Combiner, PartitionedBuffer};
+use crate::spill::{RunMeta, RunReader, Spill, SpillDirGuard};
+
+/// One partition of a stage's output, resident in the runtime: the
+/// in-memory buffer of one reduce task, or a sorted-run file in the spill
+/// wire format (zero fingerprint, unit key) that the task drained its
+/// output into under a bounded shuffle.
+#[derive(Debug)]
+pub enum DataPartition<T> {
+    /// A reduce task's in-memory output buffer.
+    Mem(Vec<T>),
+    /// A reduce task's output run on disk (kept alive by the owning
+    /// [`Dataset`]'s directory guard).
+    Spilled {
+        /// Read-only handle on the stage-output run file.
+        file: Arc<File>,
+        /// The run's location (the whole file, for stage output).
+        meta: RunMeta,
+    },
+}
+
+impl<T> DataPartition<T> {
+    /// Records in this partition.
+    pub fn records(&self) -> u64 {
+        match self {
+            DataPartition::Mem(v) => v.len() as u64,
+            DataPartition::Spilled { meta, .. } => meta.records,
+        }
+    }
+}
+
+impl<T: Spill> DataPartition<T> {
+    /// Streams every record to `f` (decoding spilled runs one record at a
+    /// time; in-memory partitions are moved out).
+    fn drain(self, f: &mut impl FnMut(T)) {
+        match self {
+            DataPartition::Mem(records) => records.into_iter().for_each(&mut *f),
+            DataPartition::Spilled { file, meta } => {
+                let mut reader = RunReader::new(file, meta);
+                while let Some((_h, (), record)) = reader.next::<(), T>() {
+                    f(record);
+                }
+            }
+        }
+    }
+}
+
+/// Where a dataset's records currently live.
+enum Source<T> {
+    /// Driver memory, not yet through any stage ([`Cluster::input`]). The
+    /// first stage chunks it exactly like the classic `run*` path (one map
+    /// task per simulated machine) and books the records as
+    /// `driver_in_records`.
+    Driver(Vec<T>),
+    /// Partitioned output of one or more stages, resident in the runtime.
+    Parts {
+        parts: Vec<DataPartition<T>>,
+        /// Directory guards keeping spilled stage-output runs alive.
+        guards: Vec<Arc<SpillDirGuard>>,
+    },
+}
+
+/// A handle on partitioned records inside the runtime — see the [module
+/// docs](self) for the programming model.
+pub struct Dataset<'c, T> {
+    cluster: &'c Cluster,
+    source: Source<T>,
+    report: SimReport,
+    /// Index (into `report`) of the job that produced the current
+    /// partitions; `collect` books the driver crossing there. `None` for
+    /// fresh inputs and unions (a union's partitions have two producers).
+    producer: Option<usize>,
+    /// Driver-resident records hiding inside `Source::Parts` because a
+    /// union converted a fresh input into partitions; the next stage adds
+    /// them to its `driver_in_records` so the boundary accounting stays
+    /// exact for every graph shape.
+    pending_driver_in: u64,
+}
+
+impl<T> std::fmt::Debug for Dataset<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (partitions, resident) = match &self.source {
+            Source::Driver(records) => (1, format!("driver({} records)", records.len())),
+            Source::Parts { parts, .. } => (parts.len(), "runtime".to_owned()),
+        };
+        f.debug_struct("Dataset")
+            .field("partitions", &partitions)
+            .field("resident", &resident)
+            .field("jobs", &self.report.jobs().len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Lifts a driver-resident slice into a [`Dataset`] handle, the entry
+    /// point of a chained job graph. The records cross the driver boundary
+    /// when the first stage consumes them (booked as that job's
+    /// [`driver_in_records`](crate::job::JobStats::driver_in_records)).
+    ///
+    /// Clones the slice; when the caller has an owned `Vec` to give away,
+    /// [`Cluster::input_vec`] avoids the copy.
+    pub fn input<T: Clone>(&self, records: &[T]) -> Dataset<'_, T> {
+        self.input_vec(records.to_vec())
+    }
+
+    /// [`Cluster::input`] taking ownership — no copy of the records.
+    pub fn input_vec<T>(&self, records: Vec<T>) -> Dataset<'_, T> {
+        Dataset {
+            cluster: self,
+            source: Source::Driver(records),
+            report: SimReport::new(),
+            producer: None,
+            pending_driver_in: 0,
+        }
+    }
+}
+
+impl<'c, T: Sync + Spill> Dataset<'c, T> {
+    /// Runs one MapReduce stage over this dataset; the output stays
+    /// partitioned in the runtime (see the [module docs](self)).
+    pub fn map_reduce<K, V, O, M, R>(
+        self,
+        name: &str,
+        map: M,
+        reduce: R,
+    ) -> Result<Dataset<'c, O>, JobError>
+    where
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
+        O: Send + Spill,
+        M: Fn(&T, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let overhead = self.cluster.config().cost.reduce_group_overhead_secs;
+        self.stage(name, overhead, map, None, reduce)
+    }
+
+    /// [`Dataset::map_reduce`] with a map-side [`Combiner`] (same contract
+    /// as [`Cluster::run_combined`](crate::cluster::Cluster::run_combined)).
+    pub fn map_reduce_combined<K, V, O, M, C, R>(
+        self,
+        name: &str,
+        map: M,
+        combiner: &C,
+        reduce: R,
+    ) -> Result<Dataset<'c, O>, JobError>
+    where
+        K: Hash + Eq + Clone + Send + Spill,
+        V: Send + Spill,
+        O: Send + Spill,
+        M: Fn(&T, &mut Emitter<K, V>) + Sync,
+        C: Combiner<K, V>,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let overhead = self.cluster.config().cost.reduce_group_overhead_secs;
+        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
+        self.stage(name, overhead, map, Some(&combine), reduce)
+    }
+
+    /// [`Dataset::map_reduce`] with an explicit per-reduce-group worker
+    /// overhead (verification stages; see
+    /// [`Cluster::run_with_group_overhead`](crate::cluster::Cluster::run_with_group_overhead)).
+    pub fn map_reduce_with_group_overhead<K, V, O, M, R>(
+        self,
+        name: &str,
+        group_overhead_secs: f64,
+        map: M,
+        reduce: R,
+    ) -> Result<Dataset<'c, O>, JobError>
+    where
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
+        O: Send + Spill,
+        M: Fn(&T, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        self.stage(name, group_overhead_secs, map, None, reduce)
+    }
+
+    /// [`Dataset::map_reduce_combined`] with an explicit per-reduce-group
+    /// worker overhead.
+    pub fn map_reduce_combined_with_group_overhead<K, V, O, M, C, R>(
+        self,
+        name: &str,
+        group_overhead_secs: f64,
+        map: M,
+        combiner: &C,
+        reduce: R,
+    ) -> Result<Dataset<'c, O>, JobError>
+    where
+        K: Hash + Eq + Clone + Send + Spill,
+        V: Send + Spill,
+        O: Send + Spill,
+        M: Fn(&T, &mut Emitter<K, V>) + Sync,
+        C: Combiner<K, V>,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
+        self.stage(name, group_overhead_secs, map, Some(&combine), reduce)
+    }
+
+    /// The shared stage runner behind the four `map_reduce*` variants.
+    fn stage<K, V, O, M, R>(
+        self,
+        name: &str,
+        group_overhead_secs: f64,
+        map: M,
+        combine: Option<CombineFn<'_, K, V>>,
+        reduce: R,
+    ) -> Result<Dataset<'c, O>, JobError>
+    where
+        K: Hash + Eq + Send + Spill,
+        V: Send + Spill,
+        O: Send + Spill,
+        M: Fn(&T, &mut Emitter<K, V>) + Sync,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+    {
+        let Dataset {
+            cluster,
+            source,
+            mut report,
+            pending_driver_in,
+            ..
+        } = self;
+        let mut result = match &source {
+            Source::Driver(records) => cluster.run_stage(
+                name,
+                group_overhead_secs,
+                StageInput::Slice(records),
+                map,
+                combine,
+                reduce,
+                SinkMode::Dataset,
+            )?,
+            Source::Parts { parts, .. } => cluster.run_stage(
+                name,
+                group_overhead_secs,
+                StageInput::Parts(parts),
+                map,
+                combine,
+                reduce,
+                SinkMode::Dataset,
+            )?,
+        };
+        // Driver records a union folded into the partitions cross the
+        // boundary here, at their first map wave (the engine only counts
+        // the Slice path itself).
+        result.stats.driver_in_records += pending_driver_in;
+        // The previous stage's buffers and run files are consumed; free
+        // them (and their directories) before handing the new stage back.
+        drop(source);
+        report.push(result.stats);
+        let producer = Some(report.jobs().len() - 1);
+        Ok(Dataset {
+            cluster,
+            source: Source::Parts {
+                parts: result.parts,
+                guards: result.guard.into_iter().collect(),
+            },
+            report,
+            producer,
+            pending_driver_in: 0,
+        })
+    }
+
+    /// Concatenates two datasets' partitions (candidate streams merging
+    /// into one downstream stage). Reports are concatenated too — `self`'s
+    /// jobs first. Both handles must come from the same [`Cluster`].
+    ///
+    /// Driver-boundary accounting stays exact for every shape: a fresh
+    /// input folded in by the union books its records as
+    /// `driver_in_records` on the next stage. A union has no single
+    /// producing job, though, so *collecting* it directly books the
+    /// outbound crossing on no job; route unions into a stage (the normal
+    /// case) for exact outbound accounting.
+    pub fn union(self, other: Dataset<'c, T>) -> Dataset<'c, T> {
+        assert!(
+            std::ptr::eq(self.cluster, other.cluster),
+            "union requires datasets of the same cluster"
+        );
+        let cluster = self.cluster;
+        let (mut parts, mut guards, mut report, pending) = self.into_parts();
+        let (other_parts, other_guards, other_report, other_pending) = other.into_parts();
+        parts.extend(other_parts);
+        guards.extend(other_guards);
+        report.extend(other_report);
+        Dataset {
+            cluster,
+            source: Source::Parts { parts, guards },
+            report,
+            producer: None,
+            pending_driver_in: pending + other_pending,
+        }
+    }
+
+    /// Decomposes into partitions + guards + report + the driver-resident
+    /// record count still awaiting its inbound crossing, converting a
+    /// driver source into the partition layout its first stage would have
+    /// seen (one chunk per simulated machine).
+    #[allow(clippy::type_complexity)]
+    fn into_parts(
+        self,
+    ) -> (
+        Vec<DataPartition<T>>,
+        Vec<Arc<SpillDirGuard>>,
+        SimReport,
+        u64,
+    ) {
+        match self.source {
+            Source::Parts { parts, guards } => (parts, guards, self.report, self.pending_driver_in),
+            Source::Driver(records) => {
+                let pending = self.pending_driver_in + records.len() as u64;
+                let (tasks, chunk) = self.cluster.slice_chunking(records.len());
+                let mut records = records;
+                let mut parts = Vec::with_capacity(tasks);
+                while !records.is_empty() {
+                    let tail = records.split_off(chunk.min(records.len()));
+                    parts.push(DataPartition::Mem(std::mem::replace(&mut records, tail)));
+                }
+                (parts, Vec::new(), self.report, pending)
+            }
+        }
+    }
+
+    /// Brings every record back into driver memory (concatenated in
+    /// partition order) together with the accumulated report — the job
+    /// graph's terminal. The crossing is booked onto the producing job's
+    /// [`driver_out_records`](crate::job::JobStats::driver_out_records).
+    pub fn collect(self) -> (Vec<T>, SimReport) {
+        let mut out = Vec::new();
+        let report = self.drain_into(&mut |record| out.push(record));
+        (out, report)
+    }
+
+    /// Streams every record to `f` in partition order without building a
+    /// driver-side `Vec` (spilled partitions decode one record at a time).
+    /// Returns the accumulated report; the crossing is booked like
+    /// [`Dataset::collect`].
+    pub fn for_each_output(self, mut f: impl FnMut(T)) -> SimReport {
+        self.drain_into(&mut f)
+    }
+
+    fn drain_into(self, f: &mut impl FnMut(T)) -> SimReport {
+        let producer = self.producer;
+        let had_stages = matches!(self.source, Source::Parts { .. });
+        let (parts, guards, mut report, _never_ran) = self.into_parts();
+        let mut crossed = 0u64;
+        for part in parts {
+            part.drain(&mut |record| {
+                crossed += 1;
+                f(record);
+            });
+        }
+        drop(guards);
+        if had_stages {
+            if let Some(i) = producer {
+                report.jobs_mut()[i].driver_out_records += crossed;
+            }
+        }
+        report
+    }
+
+    /// Total records currently held across all partitions.
+    pub fn records(&self) -> u64 {
+        match &self.source {
+            Source::Driver(records) => records.len() as u64,
+            Source::Parts { parts, .. } => parts.iter().map(DataPartition::records).sum(),
+        }
+    }
+
+    /// Partition count (0 for a collected-empty stage output; driver
+    /// inputs report the chunk count their first stage will use).
+    pub fn num_partitions(&self) -> usize {
+        match &self.source {
+            Source::Driver(records) => self.cluster.slice_chunking(records.len()).0,
+            Source::Parts { parts, .. } => parts.len(),
+        }
+    }
+
+    /// The simulation report accumulated over the stages behind this
+    /// handle (consumed by [`Dataset::collect`] /
+    /// [`Dataset::for_each_output`]).
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Moves the accumulated report out of the handle (leaving it empty),
+    /// so a pipeline interleaving several handles can assemble one report
+    /// in true execution order instead of handle-merge order. A later
+    /// `collect` of this handle can no longer book its driver crossing on
+    /// the producing job (the stats left with the report).
+    pub fn take_report(&mut self) -> SimReport {
+        self.producer = None;
+        std::mem::take(&mut self.report)
+    }
+}

@@ -70,11 +70,20 @@ impl<K: Hash + Spill, V: Spill> Emitter<K, V> {
 }
 
 /// Collects the `[value3]` output of a reduce invocation.
+///
+/// Under a dataset-producing stage with a bounded
+/// [`ShuffleConfig`](crate::shuffle::ShuffleConfig) the runtime drains the
+/// sink into a stage-output run file after every reduce group, so the
+/// buffered output never exceeds one group's emissions; `emitted` keeps
+/// the true output count across those drains.
 #[derive(Debug)]
 pub struct OutputSink<O> {
     pub(crate) out: Vec<O>,
     pub(crate) counters: HashMap<&'static str, u64>,
     pub(crate) work_units: u64,
+    /// Records emitted so far (survives runtime drains, unlike
+    /// `out.len()`).
+    pub(crate) emitted: u64,
 }
 
 impl<O> OutputSink<O> {
@@ -85,6 +94,7 @@ impl<O> OutputSink<O> {
             out: Vec::new(),
             counters: HashMap::new(),
             work_units: 0,
+            emitted: 0,
         }
     }
 
@@ -113,6 +123,7 @@ impl<O> OutputSink<O> {
     #[inline]
     pub fn emit(&mut self, value: O) {
         self.out.push(value);
+        self.emitted += 1;
     }
 
     /// Increments a named job counter.
@@ -230,6 +241,20 @@ pub struct JobStats {
     pub max_group_size: u64,
     /// Records emitted by reducers.
     pub output_records: u64,
+    /// Records that crossed from driver memory into the runtime to feed
+    /// this job's map wave: the input length for jobs fed a driver slice
+    /// ([`Cluster::run*`](crate::cluster::Cluster::run) and the first
+    /// stage after [`Cluster::input`](crate::cluster::Cluster::input)),
+    /// zero for fused interior stages of a
+    /// [`Dataset`](crate::dataset::Dataset) graph, whose map tasks stream
+    /// the previous stage's partition segments runtime-side.
+    pub driver_in_records: u64,
+    /// Records this job's reduce wave handed back to driver memory: the
+    /// output length for `Cluster::run*` jobs, zero for dataset stages
+    /// (whose output stays partitioned in the runtime until
+    /// [`Dataset::collect`](crate::dataset::Dataset::collect) — which
+    /// books the crossing onto its producing job when it happens).
+    pub driver_out_records: u64,
     /// Map-phase simulated timing.
     pub map: PhaseSim,
     /// Simulated shuffle time (volume / machines).

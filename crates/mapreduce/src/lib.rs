@@ -32,10 +32,16 @@
 //! reduce: ⟨key2, [value2]⟩      → [value3]
 //! ```
 //!
-//! See [`Cluster::run`] for the entry point, [`JobStats`] for what gets
-//! measured, and [`SimReport`] for aggregating a multi-job pipeline.
+//! See [`Cluster::run`] for the single-job entry point, [`JobStats`] for
+//! what gets measured, and [`SimReport`] for aggregating a multi-job
+//! pipeline. Multi-stage pipelines should chain through the [`dataset`]
+//! layer ([`Cluster::input`] → [`Dataset::map_reduce`] → … →
+//! [`Dataset::collect`]), which keeps every interior stage's output
+//! partitioned inside the runtime instead of materializing it in driver
+//! memory; the `run*` entry points are the one-stage special case.
 
 pub mod cluster;
+pub mod dataset;
 pub mod hash;
 pub mod job;
 pub mod merge;
@@ -46,6 +52,7 @@ pub mod spill;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
+pub use dataset::{DataPartition, Dataset};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
 pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 pub use report::SimReport;

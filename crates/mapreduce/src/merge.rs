@@ -17,7 +17,7 @@
 //! open run (file-handle + read buffer) per spilled run. A
 //! [`ShuffleConfig::merge_fan_in`](crate::shuffle::ShuffleConfig) caps
 //! that: when a partition has more segments than the cap,
-//! [`merge_segments_capped`] first runs *pre-merge passes* that fold
+//! `merge_segments_capped` first runs *pre-merge passes* that fold
 //! consecutive chunks of at most `fan_in` segments into single sorted runs
 //! in a per-reduce-task scratch file, then k-way-merges the survivors.
 //! Chunks are consecutive in segment order and the pre-merge preserves

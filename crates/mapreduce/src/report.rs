@@ -24,6 +24,14 @@ impl SimReport {
         &self.jobs
     }
 
+    /// Mutable access to the recorded jobs — for driver-side annotations
+    /// that only exist after a job ran (e.g. booking a
+    /// [`Dataset::collect`](crate::dataset::Dataset::collect) crossing on
+    /// its producing job, or attaching a post-hoc counter).
+    pub fn jobs_mut(&mut self) -> &mut [JobStats] {
+        &mut self.jobs
+    }
+
     /// End-to-end simulated pipeline time (jobs run sequentially, as the
     /// stages of TSJ depend on each other).
     pub fn total_sim_secs(&self) -> f64 {
@@ -74,19 +82,39 @@ impl SimReport {
     pub fn total_transport_bytes(&self) -> u64 {
         self.jobs.iter().map(|j| j.transport_bytes).sum()
     }
+
+    /// Total records that crossed from driver memory into map waves.
+    pub fn total_driver_in_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.driver_in_records).sum()
+    }
+
+    /// Total records reduce waves handed back to driver memory. For a
+    /// dataset-chained pipeline this counts only the collected terminal
+    /// stages — the driver-materialization saving the dataset layer
+    /// exists to deliver.
+    pub fn total_driver_out_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.driver_out_records).sum()
+    }
+
+    /// Total records that crossed the driver boundary in either direction
+    /// (the `driver(rec)` column's TOTAL).
+    pub fn total_driver_records(&self) -> u64 {
+        self.total_driver_in_records() + self.total_driver_out_records()
+    }
 }
 
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8}",
             "job",
             "input",
             "emitted",
             "shuffled",
             "spilled",
             "xport(B)",
+            "driver(rec)",
             "groups",
             "output",
             "sim(s)",
@@ -95,13 +123,14 @@ impl std::fmt::Display for SimReport {
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2} {:>8.2}",
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
                 j.shuffle_records,
                 j.spilled_records,
                 j.transport_bytes,
+                j.driver_in_records + j.driver_out_records,
                 j.reduce_groups,
                 j.output_records,
                 j.sim_total_secs,
@@ -110,13 +139,14 @@ impl std::fmt::Display for SimReport {
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10.2}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2}",
             "TOTAL",
             "",
             self.total_map_output_records(),
             self.total_shuffle_records(),
             self.total_spilled_records(),
             self.total_transport_bytes(),
+            self.total_driver_records(),
             "",
             "",
             self.total_sim_secs()

@@ -16,7 +16,7 @@
 //!   `⟨key2, value2⟩` pair a mapper emits is routed immediately to the
 //!   output buffer of partition `HASH(key2) % partitions` (the paper's
 //!   fingerprint function `HASH(·)`, Sec. III-G3, is
-//!   [`fingerprint64`](crate::hash::fingerprint64)). Reducer `p` then
+//!   [`fingerprint64`]). Reducer `p` then
 //!   consumes exactly the partition-`p` buffers of all map tasks; no
 //!   global collect-then-partition pass exists, so the shuffle is a
 //!   constant-per-partition buffer handoff instead of a serial
@@ -343,7 +343,7 @@ struct BufferSpill {
 /// later hands each partition's buffers (one per map task) to the reduce
 /// task that owns the partition. Buffers start empty and unallocated, so
 /// sparse partition use costs nothing beyond the spine. With a spill
-/// threshold ([`PartitionedBuffer::with_spill`]) the buffered record count
+/// threshold (`PartitionedBuffer::with_spill`) the buffered record count
 /// is capped: reaching the cap sorts each partition and appends it to the
 /// task's spill file as a run (see the module docs).
 #[derive(Debug)]

@@ -178,7 +178,7 @@ impl ShuffleTransport for InProcess {
 
 /// The file-exchange transport: serializes every map task's output into
 /// per-partition sorted-run files under `exchange_dir` (see the module
-/// docs) and hands reducers only [`Segment::Spilled`] entries backed by
+/// docs) and hands reducers only `Segment::Spilled` entries backed by
 /// those files.
 #[derive(Debug, Clone)]
 pub struct MultiProcess {

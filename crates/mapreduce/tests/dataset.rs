@@ -1,0 +1,340 @@
+//! Integration tests of the dataset job-graph API: chained stages keep
+//! records inside the runtime (driver counters prove it), spill their
+//! output under a bounded shuffle, and produce output identical to the
+//! same jobs chained through driver `Vec`s.
+
+use tsj_mapreduce::{
+    Cluster, ClusterConfig, Count, Dedup, Emitter, OutputSink, ShuffleConfig, Transport,
+};
+
+fn cluster(threads: usize, partitions: usize, shuffle: ShuffleConfig) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        threads,
+        partitions,
+        ..ClusterConfig::default()
+    })
+    .with_shuffle_config(shuffle)
+}
+
+/// The two-stage pipeline under test (word count → count histogram),
+/// chained through the runtime.
+fn chained(c: &Cluster, docs: &[String]) -> (Vec<(u64, u64)>, tsj_mapreduce::SimReport) {
+    let (mut out, report) = c
+        .input(docs)
+        .map_reduce_combined(
+            "wordcount",
+            |doc: &String, e: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_owned(), 1);
+                }
+            },
+            &Count,
+            |w: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+                out.emit((w.clone(), counts.iter().sum()));
+            },
+        )
+        .unwrap()
+        .map_reduce_combined(
+            "histogram",
+            |&(_, n): &(String, u64), e: &mut Emitter<u64, u64>| e.emit(n, 1),
+            &Count,
+            |&n: &u64, ones: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((n, ones.iter().sum()));
+            },
+        )
+        .unwrap()
+        .collect();
+    out.sort_unstable();
+    (out, report)
+}
+
+/// The same two jobs chained through a driver `Vec` (the classic `run*`
+/// wrappers) — the reference the dataset graph must match.
+fn collected(c: &Cluster, docs: &[String]) -> Vec<(u64, u64)> {
+    let counts = c
+        .run_combined(
+            "wordcount",
+            docs,
+            |doc: &String, e: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_owned(), 1);
+                }
+            },
+            &Count,
+            |w: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+                out.emit((w.clone(), counts.iter().sum()));
+            },
+        )
+        .unwrap();
+    let mut out = c
+        .run_combined(
+            "histogram",
+            &counts.output,
+            |&(_, n): &(String, u64), e: &mut Emitter<u64, u64>| e.emit(n, 1),
+            &Count,
+            |&n: &u64, ones: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((n, ones.iter().sum()));
+            },
+        )
+        .unwrap()
+        .output;
+    out.sort_unstable();
+    out
+}
+
+fn docs(n: usize) -> Vec<String> {
+    // Deterministic word soup with repeated and unique words.
+    (0..n)
+        .map(|i| format!("w{} w{} w{} common shared{}", i % 7, i % 13, i, i % 3))
+        .collect()
+}
+
+#[test]
+fn chained_output_matches_collected_chaining() {
+    let input = docs(200);
+    for shuffle in [
+        ShuffleConfig::unbounded(),
+        ShuffleConfig::bounded(16, 24),
+        ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
+        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+    ] {
+        for threads in [1usize, 4] {
+            for partitions in [0usize, 3, 64] {
+                let c = cluster(threads, partitions, shuffle.clone());
+                let (got, _) = chained(&c, &input);
+                assert_eq!(
+                    got,
+                    collected(&c, &input),
+                    "threads={threads} partitions={partitions} shuffle={shuffle:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interior_stage_crosses_no_driver_records() {
+    let input = docs(100);
+    for shuffle in [ShuffleConfig::unbounded(), ShuffleConfig::bounded(8, 8)] {
+        let c = cluster(4, 0, shuffle);
+        let (out, report) = chained(&c, &input);
+        assert!(!out.is_empty());
+        let jobs = report.jobs();
+        assert_eq!(jobs.len(), 2);
+        // Stage 1 reads the driver input, hands nothing back.
+        assert_eq!(jobs[0].name, "wordcount");
+        assert_eq!(jobs[0].driver_in_records, input.len() as u64);
+        assert_eq!(jobs[0].driver_out_records, 0, "interior stage leaked");
+        // Stage 2 reads runtime partitions, and only its collect crosses.
+        assert_eq!(jobs[1].name, "histogram");
+        assert_eq!(jobs[1].driver_in_records, 0);
+        assert_eq!(jobs[1].driver_out_records, out.len() as u64);
+        assert_eq!(jobs[1].input_records, jobs[0].output_records);
+        assert_eq!(
+            report.total_driver_records(),
+            input.len() as u64 + out.len() as u64
+        );
+    }
+}
+
+#[test]
+fn bounded_stage_output_is_spilled_not_buffered() {
+    // Under a spill threshold the interior stage's output partitions are
+    // sorted-run files; the chain still produces identical output and the
+    // mapper peak stays under the cap on every job.
+    let input = docs(300);
+    let threshold = 16;
+    let c = cluster(4, 5, ShuffleConfig::bounded(16, threshold));
+    let (got, report) = chained(&c, &input);
+    let reference = collected(&cluster(4, 5, ShuffleConfig::unbounded()), &input);
+    assert_eq!(got, reference);
+    for j in report.jobs() {
+        assert!(
+            j.peak_buffered_records <= threshold as u64,
+            "{}: peak {} over threshold",
+            j.name,
+            j.peak_buffered_records
+        );
+        assert_eq!(
+            j.driver_out_records,
+            if j.name == "histogram" {
+                j.output_records
+            } else {
+                0
+            }
+        );
+    }
+}
+
+#[test]
+fn union_concatenates_partitions_and_reports() {
+    let c = cluster(4, 0, ShuffleConfig::unbounded());
+    let stage = |name: &str, lo: u64, hi: u64| {
+        let ids: Vec<u64> = (lo..hi).collect();
+        c.input(&ids)
+            .map_reduce(
+                name,
+                |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 10, n),
+                |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                    out.emit((k, vs.iter().sum()));
+                },
+            )
+            .unwrap()
+    };
+    let left = stage("left", 0, 100);
+    let right = stage("right", 100, 200);
+    assert_eq!(left.records(), 10);
+    let unioned = left.union(right);
+    assert_eq!(unioned.records(), 20);
+    assert_eq!(unioned.report().jobs().len(), 2);
+
+    // A stage over the union sees both sides' records.
+    let (mut totals, report) = unioned
+        .map_reduce(
+            "sum",
+            |&(k, v): &(u64, u64), e: &mut Emitter<u64, u64>| e.emit(k, v),
+            |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((k, vs.iter().sum()));
+            },
+        )
+        .unwrap()
+        .collect();
+    totals.sort_unstable();
+    let expect: Vec<(u64, u64)> = (0..10u64)
+        .map(|k| (k, (0..200u64).filter(|n| n % 10 == k).sum()))
+        .collect();
+    assert_eq!(totals, expect);
+    assert_eq!(report.jobs().len(), 3);
+    assert_eq!(report.jobs()[2].driver_in_records, 0);
+    assert_eq!(report.jobs()[2].driver_out_records, 10);
+}
+
+#[test]
+fn for_each_output_streams_the_same_records_as_collect() {
+    let input = docs(120);
+    let c = cluster(2, 7, ShuffleConfig::bounded(8, 8));
+    let build = || {
+        c.input(&input)
+            .map_reduce(
+                "tokens",
+                |doc: &String, e: &mut Emitter<String, u64>| {
+                    for w in doc.split_whitespace() {
+                        e.emit(w.to_owned(), 1);
+                    }
+                },
+                |w: &String, hits: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+                    out.emit((w.clone(), hits.len() as u64));
+                },
+            )
+            .unwrap()
+    };
+    let (collected, r1) = build().collect();
+    let mut streamed = Vec::new();
+    let r2 = build().for_each_output(|rec| streamed.push(rec));
+    assert_eq!(collected, streamed);
+    assert_eq!(
+        r1.jobs()[0].driver_out_records,
+        r2.jobs()[0].driver_out_records
+    );
+    assert_eq!(r1.jobs()[0].driver_out_records, collected.len() as u64);
+}
+
+#[test]
+fn collecting_a_fresh_input_roundtrips() {
+    let c = cluster(2, 0, ShuffleConfig::unbounded());
+    let ids: Vec<u32> = (0..50).collect();
+    let ds = c.input(&ids);
+    assert_eq!(ds.records(), 50);
+    let (out, report) = ds.collect();
+    assert_eq!(out, ids);
+    assert!(report.jobs().is_empty());
+}
+
+#[test]
+fn empty_input_chains_cleanly() {
+    let c = cluster(4, 0, ShuffleConfig::bounded(4, 4));
+    let empty: Vec<u64> = Vec::new();
+    let (out, report) = c
+        .input(&empty)
+        .map_reduce(
+            "a",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .map_reduce(
+            "b",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .collect();
+    assert!(out.is_empty());
+    assert_eq!(report.jobs().len(), 2);
+    assert_eq!(report.total_driver_records(), 0);
+}
+
+#[test]
+fn dedup_combiner_composes_with_chaining() {
+    // A Dedup-combined interior stage (the TSJ candidate shape): pairs
+    // keyed on themselves, deduplicated map-side and reduce-side.
+    let c = cluster(4, 3, ShuffleConfig::bounded(8, 8));
+    let ids: Vec<u32> = (0..60).collect();
+    let (mut out, report) = c
+        .input(&ids)
+        .map_reduce_combined(
+            "pairs",
+            |&n: &u32, e: &mut Emitter<(u32, u32), ()>| {
+                // Every input emits the same few pairs — heavy duplication.
+                e.emit((n % 5, n % 5 + 1), ());
+                e.emit((n % 5, n % 5 + 1), ());
+            },
+            &Dedup,
+            |&pair: &(u32, u32), _hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| out.emit(pair),
+        )
+        .unwrap()
+        .map_reduce(
+            "fanless",
+            |&(a, b): &(u32, u32), e: &mut Emitter<u32, u32>| e.emit(a, b),
+            |&a: &u32, mut bs: Vec<u32>, out: &mut OutputSink<(u32, u32)>| {
+                bs.sort_unstable();
+                bs.dedup();
+                for b in bs {
+                    out.emit((a, b));
+                }
+            },
+        )
+        .unwrap()
+        .collect();
+    out.sort_unstable();
+    assert_eq!(out, (0..5u32).map(|a| (a, a + 1)).collect::<Vec<_>>());
+    assert_eq!(report.jobs()[0].driver_out_records, 0);
+    assert_eq!(report.jobs()[0].output_records, 5);
+}
+
+#[test]
+fn union_of_fresh_inputs_books_driver_in_on_next_stage() {
+    // Regression: a union folding driver inputs into partitions must not
+    // lose their inbound crossing — the next stage books them all.
+    let c = cluster(2, 0, ShuffleConfig::unbounded());
+    let a: Vec<u64> = (0..30).collect();
+    let b: Vec<u64> = (30..75).collect();
+    let (out, report) = c
+        .input(&a)
+        .union(c.input(&b))
+        .map_reduce(
+            "first",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 3, n),
+            |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((k, vs.iter().sum()));
+            },
+        )
+        .unwrap()
+        .collect();
+    assert_eq!(out.len(), 3);
+    assert_eq!(report.jobs().len(), 1);
+    assert_eq!(report.jobs()[0].driver_in_records, 75);
+    assert_eq!(report.jobs()[0].input_records, 75);
+    assert_eq!(report.jobs()[0].driver_out_records, 3);
+}

@@ -1,11 +1,11 @@
 //! Hybrid Metric Joiner (HMJ): the metric-space join baseline of Sec. V-E.
 //!
 //! The paper compares TSJ against "an in-house-built algorithm that is a
-//! hybrid of the most scalable and efficient algorithms [53], [68] proposed
+//! hybrid of the most scalable and efficient algorithms \[53\], \[68\] proposed
 //! for metric-space joins":
 //!
 //! * records are dissected into Voronoi partitions among sampled centroids
-//!   (ClusterJoin [53]), each record landing in its *home* (nearest
+//!   (ClusterJoin \[53\]), each record landing in its *home* (nearest
 //!   centroid) partition;
 //! * the *general filter* replicates a record into every partition whose
 //!   centroid is within `2T` of optimal — the margin that guarantees every
@@ -13,13 +13,13 @@
 //!   qualify, so verification responsibility can be pinned to
 //!   `min(home_x, home_y)` and no global dedup pass is needed);
 //! * distance-metric symmetry is exploited to verify each pair once
-//!   (MR-MAPSS [68]);
+//!   (MR-MAPSS \[68\]);
 //! * oversized partitions are *recursively repartitioned* with
-//!   sub-centroids [68];
+//!   sub-centroids \[68\];
 //! * inside a partition, the triangle inequality prunes pairs through the
 //!   centroid-distance window `|d(x, c) − d(y, c)| > T`.
 //!
-//! (The clique/biclique output compression of [68] is not reproduced — it
+//! (The clique/biclique output compression of \[68\] is not reproduced — it
 //! compresses output, not comparisons, and the paper's Fig. 7 claim is
 //! about runtime/scalability, which this implementation exhibits: dense
 //! name clusters produce heavy partitions whose reducers straggle.)
@@ -48,6 +48,24 @@ pub struct MetricPair {
     pub a: u32,
     pub b: u32,
     pub dist: f64,
+}
+
+/// Job outputs are [`Spill`] so a dataset-producing stage can keep them
+/// runtime-side (and spill them) instead of materializing a driver `Vec`.
+impl Spill for MetricPair {
+    fn spill(&self, out: &mut Vec<u8>) {
+        self.a.spill(out);
+        self.b.spill(out);
+        self.dist.spill(out);
+    }
+
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            a: u32::restore(buf)?,
+            b: u32::restore(buf)?,
+            dist: f64::restore(buf)?,
+        })
+    }
 }
 
 /// HMJ tuning parameters.
@@ -179,9 +197,11 @@ impl<'c> HmjJoiner<'c> {
         let budget = AtomicU64::new(0);
         let over_budget = |spent: u64| cfg.max_distance_computations.is_some_and(|cap| spent > cap);
         // ---- Single pipeline job: partition (map) + verify (reduce) -----
-        let job = self.cluster.run(
+        // One-stage job graph: under a bounded ShuffleConfig the verified
+        // pairs stream through a runtime-side run file and cross into
+        // driver memory only at `collect`.
+        let job = self.cluster.input_vec(string_ids).map_reduce(
             "hmj.partition_verify",
-            &string_ids,
             |&sid, e: &mut Emitter<u32, Replica>| {
                 let spent = budget.fetch_add(centroid_tokens.len() as u64, Ordering::Relaxed);
                 if over_budget(spent) {
@@ -217,10 +237,11 @@ impl<'c> HmjJoiner<'c> {
                 verify_partition(corpus, partition, replicas, t, &cfg, 0, out, &budget);
             },
         )?;
-        report.push(job.stats);
+        let (output, job_report) = job.collect();
+        report.extend(job_report);
 
         let dnf = over_budget(budget.load(Ordering::Relaxed));
-        let mut pairs = if dnf { Vec::new() } else { job.output };
+        let mut pairs = if dnf { Vec::new() } else { output };
         pairs.sort_unstable_by_key(|p| (p.a, p.b));
         Ok(HmjOutput { pairs, report, dnf })
     }

@@ -2,8 +2,8 @@
 //! and `NLD` thresholds (Sec. III-D of the paper).
 //!
 //! TSJ reduces the NSLD-join of tokenized strings to an NLD-join of their
-//! *token spaces* (Theorem 3), and performs that join with MassJoin [19], a
-//! MapReduce-distributed version of Pass-Join [36]. The building blocks:
+//! *token spaces* (Theorem 3), and performs that join with MassJoin \[19\], a
+//! MapReduce-distributed version of Pass-Join \[36\]. The building blocks:
 //!
 //! * [`segments`] — the even-partition segmenting scheme (Lemma 7: any
 //!   `U + 1` segments of `y` guarantee a shared substring with any `x`
@@ -25,6 +25,8 @@
 pub mod massjoin;
 pub mod segments;
 pub mod serial;
+
+use tsj_mapreduce::Spill;
 
 pub use massjoin::{ChunkRole, MassJoin};
 pub use segments::{even_partitions, substring_window};
@@ -51,5 +53,25 @@ impl SimilarTokenPair {
     pub(crate) fn new(i: u32, j: u32, ld: u32, nld: f64) -> Self {
         let (a, b) = if i <= j { (i, j) } else { (j, i) };
         Self { a, b, ld, nld }
+    }
+}
+
+/// Job outputs are [`Spill`] so a dataset-producing stage can keep them
+/// runtime-side (and spill them) instead of materializing a driver `Vec`.
+impl Spill for SimilarTokenPair {
+    fn spill(&self, out: &mut Vec<u8>) {
+        self.a.spill(out);
+        self.b.spill(out);
+        self.ld.spill(out);
+        self.nld.spill(out);
+    }
+
+    fn restore(buf: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            a: u32::restore(buf)?,
+            b: u32::restore(buf)?,
+            ld: u32::restore(buf)?,
+            nld: f64::restore(buf)?,
+        })
     }
 }

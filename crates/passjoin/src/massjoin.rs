@@ -1,5 +1,5 @@
 //! MassJoin: the Pass-Join NLD self-join staged as MapReduce jobs
-//! (Deng et al. [19], adapted to NLD per Sec. III-D).
+//! (Deng et al. \[19\], adapted to NLD per Sec. III-D).
 //!
 //! Two jobs:
 //!
@@ -99,118 +99,188 @@ impl<'c> MassJoin<'c> {
     /// NLD self-join over `tokens`; ids in the result are indices into
     /// `tokens`. Returns the verified pairs plus the per-job simulation
     /// report.
+    ///
+    /// The two jobs are chained as a [`Dataset`](tsj_mapreduce::Dataset)
+    /// graph: the candidate pairs of job 1 stay partitioned inside the
+    /// runtime (spilled to sorted runs under a bounded shuffle) and feed
+    /// job 2's map wave directly — the candidate set never materializes in
+    /// driver memory, so job 1's
+    /// [`driver_out_records`](tsj_mapreduce::JobStats::driver_out_records)
+    /// is zero. Only the verified pairs cross back at collect time.
     pub fn nld_self_join(
         &self,
         tokens: &[impl AsRef<str>],
     ) -> Result<(Vec<SimilarTokenPair>, SimReport), JobError> {
         let t = self.t;
-        let chars: Arc<Vec<Vec<char>>> =
-            Arc::new(tokens.iter().map(|tk| to_chars(tk.as_ref())).collect());
-        let max_len = chars.iter().map(Vec::len).max().unwrap_or(0);
+        let chars = prep_chars(tokens);
+        let ids: Vec<u32> = (0..chars.len() as u32).collect();
+
+        let verified = self
+            .cluster
+            .input_vec(ids)
+            .map_reduce_combined(
+                "massjoin.candidates",
+                candidate_map(&chars, t),
+                &Dedup,
+                candidate_reduce(&chars, t),
+            )?
+            .map_reduce_combined(
+                "massjoin.verify",
+                |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+                &Dedup,
+                verify_reduce(&chars, t),
+            )?;
+        let (mut pairs, report) = verified.collect();
+        pairs.sort_unstable_by_key(|p| (p.a, p.b));
+        Ok((pairs, report))
+    }
+
+    /// The collect-based form of [`MassJoin::nld_self_join`]: the same two
+    /// jobs as one-stage graphs, with the candidate set materialized in a
+    /// driver `Vec` between them. Kept as the migration reference and the
+    /// baseline the dataset-chained join is differentially tested against
+    /// (`crates/core/tests/dataset_equivalence.rs`).
+    pub fn nld_self_join_collected(
+        &self,
+        tokens: &[impl AsRef<str>],
+    ) -> Result<(Vec<SimilarTokenPair>, SimReport), JobError> {
+        let t = self.t;
+        let chars = prep_chars(tokens);
         let ids: Vec<u32> = (0..chars.len() as u32).collect();
         let mut report = SimReport::new();
 
-        // ---- Job 1: candidate generation -------------------------------
-        // A probe token can hit the same chunk content at several window
-        // positions, emitting duplicate ⟨chunk, role⟩ records; the reducer
-        // crosses role *sets*, so the `Dedup` combiner drops those
-        // duplicates before the shuffle.
-        let chars_map = Arc::clone(&chars);
-        let chars_red = Arc::clone(&chars);
         let candidates = self.cluster.run_combined(
             "massjoin.candidates",
             &ids,
-            move |&id, e: &mut Emitter<u64, ChunkRole>| {
-                let x = &chars_map[id as usize];
-                let lx = x.len();
-                if lx == 0 {
-                    return;
-                }
-                // Indexed role: own segments.
-                let u_own = max_ld_given_nld(lx, lx, t);
-                for (i, (start, seg_len)) in even_partitions(lx, u_own + 1).into_iter().enumerate()
-                {
-                    let key = chunk_key(lx, i, fp_chars(&x[start..start + seg_len]));
-                    e.emit(key, ChunkRole::Seg(id));
-                    e.add_counter("segments_emitted", 1);
-                }
-                // Probe role: substrings against every valid indexed length.
-                let lmax = ((lx as f64 / (1.0 - t)).floor() as usize).min(max_len);
-                for l in lx..=lmax {
-                    if min_len_given_nld(l, t) > lx {
-                        continue;
-                    }
-                    let u = max_ld_given_nld(l, l, t);
-                    for (i, (start, seg_len)) in even_partitions(l, u + 1).into_iter().enumerate() {
-                        let Some((lo, hi)) = substring_window(lx, l, i, start, seg_len, u) else {
-                            continue;
-                        };
-                        for p in lo..=hi {
-                            let key = chunk_key(l, i, fp_chars(&x[p..p + seg_len]));
-                            e.emit(key, ChunkRole::Sub(id));
-                            e.add_counter("substrings_emitted", 1);
-                        }
-                    }
-                }
-            },
+            candidate_map(&chars, t),
             &Dedup,
-            move |_chunk, roles: Vec<ChunkRole>, out: &mut OutputSink<(u32, u32)>| {
-                let mut segs: Vec<u32> = Vec::new();
-                let mut subs: Vec<u32> = Vec::new();
-                for r in roles {
-                    match r {
-                        ChunkRole::Seg(id) => segs.push(id),
-                        ChunkRole::Sub(id) => subs.push(id),
-                    }
-                }
-                for &y in &segs {
-                    let ly = chars_red[y as usize].len();
-                    for &x in &subs {
-                        let lx = chars_red[x as usize].len();
-                        // Length condition (Lemmas 8–9): probe is shorter.
-                        if lx > ly || min_len_given_nld(ly, t) > lx {
-                            continue;
-                        }
-                        // Same length: the larger id probes (one emission
-                        // direction, mirroring the serial join).
-                        if lx == ly && x <= y {
-                            continue;
-                        }
-                        let (a, b) = if x < y { (x, y) } else { (y, x) };
-                        out.emit((a, b));
-                        out.add_counter("candidates_generated", 1);
-                    }
-                }
-            },
+            candidate_reduce(&chars, t),
         )?;
         report.push(candidates.stats);
 
-        // ---- Job 2: dedup + verification --------------------------------
-        // Grouping on the pair itself deduplicates; the `Dedup` combiner
-        // does the same map-side, so multi-chunk hits of one pair shuffle
-        // a single record per map task.
-        let chars_ver = Arc::clone(&chars);
         let verified = self.cluster.run_combined(
             "massjoin.verify",
             &candidates.output,
             |&pair, e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
             &Dedup,
-            move |&(a, b), hits: Vec<()>, out: &mut OutputSink<SimilarTokenPair>| {
-                debug_assert!(!hits.is_empty());
-                out.add_counter("candidates_distinct", 1);
-                out.add_work(5); // banded NLD verification per distinct pair
-                if let Some(p) = verify_nld(a, &chars_ver[a as usize], b, &chars_ver[b as usize], t)
-                {
-                    out.add_counter("pairs_verified", 1);
-                    out.emit(p);
-                }
-            },
+            verify_reduce(&chars, t),
         )?;
         report.push(verified.stats);
 
         let mut pairs = verified.output;
         pairs.sort_unstable_by_key(|p| (p.a, p.b));
         Ok((pairs, report))
+    }
+}
+
+/// Decomposes the tokens into shared char vectors (both jobs and both
+/// join forms read them).
+fn prep_chars(tokens: &[impl AsRef<str>]) -> Arc<Vec<Vec<char>>> {
+    Arc::new(tokens.iter().map(|tk| to_chars(tk.as_ref())).collect())
+}
+
+/// Job 1's mapper: every token emits its Lemma-7 segments (indexed role)
+/// and the multi-match-aware substrings of every valid indexed length
+/// (probe role, Lemmas 8–9).
+///
+/// A probe token can hit the same chunk content at several window
+/// positions, emitting duplicate ⟨chunk, role⟩ records; the reducer
+/// crosses role *sets*, so the `Dedup` combiner drops those duplicates
+/// before the shuffle.
+fn candidate_map(
+    chars: &Arc<Vec<Vec<char>>>,
+    t: f64,
+) -> impl Fn(&u32, &mut Emitter<u64, ChunkRole>) + Sync {
+    let chars = Arc::clone(chars);
+    let max_len = chars.iter().map(Vec::len).max().unwrap_or(0);
+    move |&id, e| {
+        let x = &chars[id as usize];
+        let lx = x.len();
+        if lx == 0 {
+            return;
+        }
+        // Indexed role: own segments.
+        let u_own = max_ld_given_nld(lx, lx, t);
+        for (i, (start, seg_len)) in even_partitions(lx, u_own + 1).into_iter().enumerate() {
+            let key = chunk_key(lx, i, fp_chars(&x[start..start + seg_len]));
+            e.emit(key, ChunkRole::Seg(id));
+            e.add_counter("segments_emitted", 1);
+        }
+        // Probe role: substrings against every valid indexed length.
+        let lmax = ((lx as f64 / (1.0 - t)).floor() as usize).min(max_len);
+        for l in lx..=lmax {
+            if min_len_given_nld(l, t) > lx {
+                continue;
+            }
+            let u = max_ld_given_nld(l, l, t);
+            for (i, (start, seg_len)) in even_partitions(l, u + 1).into_iter().enumerate() {
+                let Some((lo, hi)) = substring_window(lx, l, i, start, seg_len, u) else {
+                    continue;
+                };
+                for p in lo..=hi {
+                    let key = chunk_key(l, i, fp_chars(&x[p..p + seg_len]));
+                    e.emit(key, ChunkRole::Sub(id));
+                    e.add_counter("substrings_emitted", 1);
+                }
+            }
+        }
+    }
+}
+
+/// Job 1's reducer: crosses segment-bearers with substring-bearers under
+/// the length condition and emits candidate id pairs.
+fn candidate_reduce(
+    chars: &Arc<Vec<Vec<char>>>,
+    t: f64,
+) -> impl Fn(&u64, Vec<ChunkRole>, &mut OutputSink<(u32, u32)>) + Sync {
+    let chars = Arc::clone(chars);
+    move |_chunk, roles, out| {
+        let mut segs: Vec<u32> = Vec::new();
+        let mut subs: Vec<u32> = Vec::new();
+        for r in roles {
+            match r {
+                ChunkRole::Seg(id) => segs.push(id),
+                ChunkRole::Sub(id) => subs.push(id),
+            }
+        }
+        for &y in &segs {
+            let ly = chars[y as usize].len();
+            for &x in &subs {
+                let lx = chars[x as usize].len();
+                // Length condition (Lemmas 8–9): probe is shorter.
+                if lx > ly || min_len_given_nld(ly, t) > lx {
+                    continue;
+                }
+                // Same length: the larger id probes (one emission
+                // direction, mirroring the serial join).
+                if lx == ly && x <= y {
+                    continue;
+                }
+                let (a, b) = if x < y { (x, y) } else { (y, x) };
+                out.emit((a, b));
+                out.add_counter("candidates_generated", 1);
+            }
+        }
+    }
+}
+
+/// Job 2's reducer: grouping on the pair itself deduplicates (the `Dedup`
+/// combiner does the same map-side, so multi-chunk hits of one pair
+/// shuffle a single record per map task); each distinct pair is verified
+/// by the banded NLD check exactly once.
+fn verify_reduce(
+    chars: &Arc<Vec<Vec<char>>>,
+    t: f64,
+) -> impl Fn(&(u32, u32), Vec<()>, &mut OutputSink<SimilarTokenPair>) + Sync {
+    let chars = Arc::clone(chars);
+    move |&(a, b), hits, out| {
+        debug_assert!(!hits.is_empty());
+        out.add_counter("candidates_distinct", 1);
+        out.add_work(5); // banded NLD verification per distinct pair
+        if let Some(p) = verify_nld(a, &chars[a as usize], b, &chars[b as usize], t) {
+            out.add_counter("pairs_verified", 1);
+            out.emit(p);
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! This crate implements the paper's primary metric contribution:
 //!
-//! * [`sld`] — the Setwise Levenshtein Distance (Definition 3): the minimum
+//! * [`sld()`] — the Setwise Levenshtein Distance (Definition 3): the minimum
 //!   number of character-level edits, with free `AddEmptyToken` /
 //!   `RemoveEmptyToken` set-level edits, transforming one token multiset
 //!   into another. Computed exactly as a minimum-weight perfect matching on

@@ -3,16 +3,16 @@
 //! This crate implements the character-level machinery of Sec. II-C of
 //! *Scalable Similarity Joins of Tokenized Strings* (ICDE 2019):
 //!
-//! * [`levenshtein`] — the Levenshtein Distance `LD` (Definition 1),
+//! * [`levenshtein()`] — the Levenshtein Distance `LD` (Definition 1),
 //!   including a thresholded banded variant [`levenshtein_within`] that runs
 //!   in `O((2k+1)·n)` time and is the workhorse of candidate verification.
-//! * [`nld`] — the Normalized Levenshtein Distance `NLD` of Li & Liu
+//! * [`nld()`] — the Normalized Levenshtein Distance `NLD` of Li & Liu
 //!   (Definition 2), `NLD(x, y) = 2·LD / (|x| + |y| + LD)`, which is a metric
 //!   on `[0, 1]`.
 //! * [`bounds`] — the numeric relationships of Lemmas 3, 8, 9 and 10 that the
 //!   join framework uses to carry an `NLD` threshold into `LD` space
 //!   (segment counts, length conditions, pruning lower bounds).
-//! * [`jaro`] — Jaro and Jaro–Winkler similarities, needed by the
+//! * [`jaro()`] — Jaro and Jaro–Winkler similarities, needed by the
 //!   related-work measures (SoftTfIdf-style matching) that the paper
 //!   compares against in Fig. 6.
 //!

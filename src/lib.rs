@@ -11,7 +11,7 @@
 //! | [`tokenize`] | `tsj-tokenize` | tokenizers, `TokenizedString`, `Corpus` |
 //! | [`assignment`] | `tsj-assignment` | Hungarian / greedy matching |
 //! | [`setdist`] | `tsj-setdist` | SLD, NSLD (Defs. 3–4, Thm. 2) |
-//! | [`mapreduce`] | `tsj-mapreduce` | MapReduce runtime + simulated cluster |
+//! | [`mapreduce`] | `tsj-mapreduce` | MapReduce runtime, `Dataset` job graphs + simulated cluster |
 //! | [`passjoin`] | `tsj-passjoin` | PassJoin / MassJoin NLD joins |
 //! | [`tsj`] | `tsj` | **the TSJ framework** (Sec. III) |
 //! | [`metricjoin`] | `tsj-metricjoin` | HMJ metric-space baseline (Sec. V-E) |

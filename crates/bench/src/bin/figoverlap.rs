@@ -1,0 +1,8 @@
+//! Measures the cross-stage overlap win: real wall-clock of the default
+//! figure join under lazy DAG execution vs eager stage-at-a-time
+//! execution, per worker thread count (see EXPERIMENTS.md). Env knobs as
+//! in the other figure bins (`TSJ_FIG_N`, `TSJ_FIG_SEED`, …).
+fn main() {
+    let params = tsj_bench::FigParams::from_env();
+    tsj_bench::figures::fig_overlap(&params).print_tsv();
+}

@@ -77,6 +77,9 @@ impl FigParams {
         if let Some(s) = env_usize("TSJ_FIG_SPILL_THRESHOLD") {
             p.spill_threshold = s.max(2);
         }
+        if let Some(m) = env_usize("TSJ_FIG_MACHINES") {
+            p.default_machines = m.max(1);
+        }
         p
     }
 

@@ -145,3 +145,17 @@ fn fig_shuffle_volumes_are_ordered_and_spill_engages() {
     // The notes carry per-job savings for the default operating point.
     assert!(fig.notes.iter().any(|n| n.contains("tsj.token_stats")));
 }
+
+#[test]
+fn figoverlap_runs_and_modes_agree() {
+    // The harness itself asserts lazy == eager pairs; here we check the
+    // structure: both series present, every point positive.
+    let fig = figures::fig_overlap(&smoke());
+    let lazy = fig.series("lazy (overlapped)");
+    let eager = fig.series("eager (stage barriers)");
+    assert_eq!(lazy.len(), eager.len());
+    assert!(!lazy.is_empty());
+    for (threads, secs) in lazy.iter().chain(&eager) {
+        assert!(*secs > 0.0, "non-positive wall-clock at {threads} threads");
+    }
+}

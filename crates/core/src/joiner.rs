@@ -10,22 +10,28 @@
 //!
 //! # Stage chaining
 //!
-//! [`TsjJoiner::self_join`] chains the stages as a
+//! [`TsjJoiner::self_join`] records the stages as a *lazy*
 //! [`Dataset`](tsj_mapreduce::Dataset) job graph: the candidate-carrying
 //! stages (`tsj.shared_token`, `tsj.expand_similar`, `massjoin.candidates`)
 //! keep their output partitioned *inside the runtime* — the shared-token
 //! and expand-similar streams are `union`ed and flow into `tsj.dedup_verify`
 //! without the candidate set ever materializing in driver memory, so their
 //! [`driver_out_records`](tsj_mapreduce::JobStats::driver_out_records) are
-//! zero and driver memory no longer scales with the candidate count. Only
-//! small stage outputs legitimately cross the driver boundary: token
-//! document frequencies (to build the `M`-eligibility bitmap), the
-//! similar-token pairs (to build the histogram filter's
-//! [`SimilarMap`]), and the final verified pairs.
-//! [`TsjJoiner::self_join_collected`] is the collect-based form of the
-//! same pipeline (every stage a one-stage graph chained through driver
-//! `Vec`s), kept as the migration reference and differential baseline
-//! (`tests/dataset_equivalence.rs` pins the two byte-identical).
+//! zero and driver memory no longer scales with the candidate count. The
+//! recorded stages execute at the final `collect`, where the DAG scheduler
+//! overlaps one stage's reduce wave with the next stage's map wave
+//! partition by partition on the shared worker pool (the union is fused
+//! feed plumbing, not a stage). Only small stage outputs legitimately
+//! cross the driver boundary — and force execution where they do: token
+//! document frequencies (to build the `M`-eligibility bitmap) and the
+//! similar-token pairs (to build the histogram filter's [`SimilarMap`])
+//! collect early, so the report lists jobs in true execution order
+//! (token_stats, massjoin.*, then the lazily-run candidate stages and the
+//! verifier). [`TsjJoiner::self_join_collected`] is the collect-based form
+//! of the same pipeline (every stage a one-stage graph chained through
+//! driver `Vec`s), kept as the migration reference and differential
+//! baseline (`tests/dataset_equivalence.rs` pins lazy, eager, and
+//! collected byte-identical).
 
 use std::collections::HashSet;
 
@@ -173,13 +179,16 @@ impl<'c> TsjJoiner<'c> {
         let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
 
         // ---- Stage 0: token document frequencies → M eligibility --------
+        // Collected immediately: the eligibility bitmap is driver state
+        // every later stage closure needs, so this one-stage graph cannot
+        // stay lazy past this point.
         let stats = self.cluster.input(&string_ids).map_reduce_combined(
             "tsj.token_stats",
             token_stats_map(corpus),
             &Count,
             token_stats_reduce(),
         )?;
-        let (stats_output, mut stats_report) = stats.collect();
+        let (stats_output, mut stats_report) = stats.collect()?;
         let (eligible, dropped_tokens) = apply_m_filter(corpus, cfg, stats_output);
         stats_report.jobs_mut()[0]
             .counters
@@ -187,24 +196,26 @@ impl<'c> TsjJoiner<'c> {
         report.extend(stats_report);
 
         // ---- Stage 1: shared-token candidates (Sec. III-C) --------------
-        let mut shared = self.cluster.input(&string_ids).map_reduce(
+        // Recorded lazily: the stage executes at the final collect, where
+        // its reduce wave overlaps the dedup_verify map wave partition by
+        // partition on the shared worker pool.
+        let shared = self.cluster.input(&string_ids).map_reduce(
             "tsj.shared_token",
             shared_token_map(corpus, &eligible),
             shared_token_reduce(),
         )?;
-        // Fold stage stats into the pipeline report as stages execute, so
-        // the report stays in execution order even though the candidate
-        // records themselves stay behind in the runtime.
-        report.extend(shared.take_report());
 
         // ---- Stage 2: similar-token candidates (Sec. III-D) -------------
-        let (candidates, similar_map) = match cfg.scheme.candidates() {
-            CandidateGen::SharedOnly => (shared, None),
+        // Binding order matters: `candidates` (whose plan holds the stage
+        // closures) must drop before anything those closures borrow.
+        let (similar_map, candidates) = match cfg.scheme.candidates() {
+            CandidateGen::SharedOnly => (None, shared),
             CandidateGen::SharedAndSimilar => {
                 // 2a: NLD self-join of the eligible token space — itself a
-                // dataset graph whose candidate stage stays interior; the
-                // verified token pairs legitimately cross (they feed the
-                // driver-side SimilarMap the filters need).
+                // lazy two-stage graph (candidates→verify overlap inside);
+                // the verified token pairs legitimately cross at its
+                // collect (they feed the driver-side SimilarMap the
+                // filters need), so it executes here.
                 let elig_tokens: Vec<TokenId> =
                     corpus.token_ids().filter(|t| eligible[t.index()]).collect();
                 let texts: Vec<&str> = elig_tokens.iter().map(|&t| corpus.token_text(t)).collect();
@@ -214,16 +225,16 @@ impl<'c> TsjJoiner<'c> {
                 let (map, expand_input) = build_similar_map(&elig_tokens, &token_pairs);
 
                 // 2b: expand similar token pairs through the postings,
-                // then union with the shared-token stream — both stay
-                // partitioned in the runtime on their way to dedup_verify.
-                let mut expanded = self.cluster.input_vec(expand_input).map_reduce_combined(
+                // then union with the shared-token stream — both recorded
+                // lazily, their partitions flowing into dedup_verify
+                // without a barrier (the union is fused feed plumbing).
+                let expanded = self.cluster.input_vec(expand_input).map_reduce_combined(
                     "tsj.expand_similar",
                     expand_similar_map(corpus),
                     &Dedup,
                     expand_similar_reduce(),
                 )?;
-                report.extend(expanded.take_report());
-                (shared.union(expanded), Some(map))
+                (Some(map), shared.union(expanded))
             }
         };
 
@@ -261,7 +272,10 @@ impl<'c> TsjJoiner<'c> {
                 },
             )?,
         };
-        let (mut pairs, verify_report) = verified.collect();
+        // The graph's terminal: shared_token, expand_similar, and
+        // dedup_verify all execute here, cross-stage overlapped; the
+        // report lands in execution (topological) order.
+        let (mut pairs, verify_report) = verified.collect()?;
         report.extend(verify_report);
 
         join_empty_strings(corpus, &string_ids, &mut pairs);

@@ -1,17 +1,23 @@
 //! The dataset differential harness: the dataset-chained TSJ pipeline
-//! ([`TsjJoiner::self_join`]) must produce output *byte-identical* to the
-//! collect-based wrapper pipeline ([`TsjJoiner::self_join_collected`])
-//! across real thread counts, shuffle partition counts, both transports,
-//! and bounded/unbounded shuffle memory — while its interior
-//! candidate-carrying stages move **zero** records across the driver
-//! boundary. A chaining bug does not crash; it silently corrupts join
-//! output or silently re-materializes the candidate set — this harness is
-//! the deliverable that makes the dataset layer trustworthy.
+//! ([`TsjJoiner::self_join`]) — which since the lazy DAG executor runs
+//! its recorded stages with partition-level cross-stage overlap — must
+//! produce output *byte-identical* to eager stage-at-a-time execution
+//! ([`DatasetMode::Eager`]) and to the collect-based wrapper pipeline
+//! ([`TsjJoiner::self_join_collected`]) across real thread counts,
+//! shuffle partition counts, both transports, and bounded/unbounded
+//! shuffle memory — while its interior candidate-carrying stages move
+//! **zero** records across the driver boundary. A chaining or scheduling
+//! bug does not crash; it silently corrupts join output, silently
+//! reorders a wave, or silently re-materializes the candidate set — this
+//! harness is the deliverable that makes the lazy dataset layer
+//! trustworthy.
 
 use proptest::prelude::*;
 use tsj::{ApproximationScheme, DedupStrategy, SimilarPair, TsjConfig, TsjJoiner};
 use tsj_datagen::workload;
-use tsj_mapreduce::{Cluster, ClusterConfig, ShuffleConfig, SimReport, Transport};
+use tsj_mapreduce::{
+    Cluster, ClusterConfig, DatasetMode, Emitter, OutputSink, ShuffleConfig, SimReport, Transport,
+};
 use tsj_tokenize::{Corpus, NameTokenizer};
 
 fn cluster_with(
@@ -45,6 +51,14 @@ fn config(t: f64) -> TsjConfig {
 
 fn chained(cluster: &Cluster, corpus: &Corpus, t: f64) -> tsj::JoinOutput {
     TsjJoiner::new(cluster)
+        .self_join(corpus, &config(t))
+        .unwrap()
+}
+
+/// The same pipeline with every dataset stage forced at its call site —
+/// the pre-DAG semantics the lazy scheduler must reproduce exactly.
+fn chained_eager(cluster: &Cluster, corpus: &Corpus, t: f64) -> tsj::JoinOutput {
+    TsjJoiner::new(&cluster.clone().with_dataset_mode(DatasetMode::Eager))
         .self_join(corpus, &config(t))
         .unwrap()
 }
@@ -105,12 +119,12 @@ fn assert_driver_accounting(report: &SimReport, n_strings: u64) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
-    /// The acceptance guarantee: chaining the pipeline through the
-    /// runtime changes *nothing* about the verified join output (ids and
-    /// distances) versus the collect-based wrappers — across ≥3 real
-    /// thread counts × ≥3 partition counts × both transports ×
-    /// bounded/unbounded shuffles — and interior stages cross zero driver
-    /// records in every configuration.
+    /// The acceptance guarantee: lazy DAG execution (cross-stage
+    /// overlap), eager stage-at-a-time execution, and the collect-based
+    /// wrappers all produce *byte-identical* verified join output (ids
+    /// and distances) — across ≥3 real thread counts × ≥3 partition
+    /// counts × both transports × bounded/unbounded shuffles — and
+    /// interior stages cross zero driver records in every configuration.
     #[test]
     fn chained_join_is_byte_identical_to_collected(
         seed in 0u64..1_000,
@@ -126,14 +140,22 @@ proptest! {
         );
         for shuffle in shuffle_matrix() {
             for threads in [1usize, 2, 8] {
-                let out = chained(&cluster_with(threads, 0, 16, shuffle.clone()), &corpus, t);
-                prop_assert_eq!(&out.pairs, &reference, "threads = {}", threads);
+                let cluster = cluster_with(threads, 0, 16, shuffle.clone());
+                let out = chained(&cluster, &corpus, t);
+                prop_assert_eq!(&out.pairs, &reference, "lazy, threads = {}", threads);
                 assert_driver_accounting(&out.report, n);
+                let eager = chained_eager(&cluster, &corpus, t);
+                prop_assert_eq!(&eager.pairs, &reference, "eager, threads = {}", threads);
+                assert_driver_accounting(&eager.report, n);
             }
             for partitions in [1usize, 5, 64] {
-                let out = chained(&cluster_with(4, partitions, 16, shuffle.clone()), &corpus, t);
-                prop_assert_eq!(&out.pairs, &reference, "partitions = {}", partitions);
+                let cluster = cluster_with(4, partitions, 16, shuffle.clone());
+                let out = chained(&cluster, &corpus, t);
+                prop_assert_eq!(&out.pairs, &reference, "lazy, partitions = {}", partitions);
                 assert_driver_accounting(&out.report, n);
+                let eager = chained_eager(&cluster, &corpus, t);
+                prop_assert_eq!(&eager.pairs, &reference, "eager, partitions = {}", partitions);
+                assert_driver_accounting(&eager.report, n);
             }
         }
     }
@@ -159,14 +181,18 @@ fn chained_report_accounts_for_the_driver_boundary() {
         )
         .unwrap();
 
+    // Execution order: token_stats and the MassJoin sub-graph collect
+    // early (their outputs are driver state the later stage closures
+    // need); the lazily recorded candidate stages and the verifier all
+    // execute at the final collect, in build order.
     let names: Vec<&str> = out.report.jobs().iter().map(|j| j.name.as_str()).collect();
     assert_eq!(
         names,
         vec![
             "tsj.token_stats",
-            "tsj.shared_token",
             "massjoin.candidates",
             "massjoin.verify",
+            "tsj.shared_token",
             "tsj.expand_similar",
             "tsj.dedup_verify.one_string",
         ]
@@ -267,5 +293,77 @@ fn invalid_configs_error_instead_of_panicking() {
             "expected a config error, got {err:?}"
         );
         assert_eq!(err, joiner.self_join_collected(&corpus, &bad).unwrap_err());
+    }
+}
+
+/// `Dataset::repartition` invariance on real workload data: re-routing a
+/// skewed candidate stream by record hash between two pipeline-shaped
+/// stages changes partition placement only — the downstream stage's
+/// (sorted) output is byte-identical with and without it, across
+/// partition counts, transports, and bounded/unbounded shuffles.
+#[test]
+fn repartition_between_stages_is_output_invariant() {
+    let w = workload(150, 0.35, 11);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
+    for shuffle in [
+        ShuffleConfig::unbounded(),
+        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+    ] {
+        let cluster = cluster_with(4, 0, 16, shuffle);
+        let run = |repartition: Option<usize>| {
+            let candidates = cluster
+                .input(&string_ids)
+                .map_reduce(
+                    "cand.shared_token",
+                    |&s, e: &mut Emitter<u32, u32>| {
+                        for &t in corpus.tokens(tsj_tokenize::StringId(s)) {
+                            e.emit(t.0, s);
+                        }
+                    },
+                    |_t: &u32, mut sids: Vec<u32>, out: &mut OutputSink<(u32, u32)>| {
+                        sids.sort_unstable();
+                        sids.dedup();
+                        for i in 0..sids.len() {
+                            for j in i + 1..sids.len() {
+                                out.emit((sids[i], sids[j]));
+                            }
+                        }
+                    },
+                )
+                .unwrap();
+            let candidates = match repartition {
+                Some(n) => candidates.repartition(n).unwrap(),
+                None => candidates,
+            };
+            let (mut out, report) = candidates
+                .map_reduce_combined(
+                    "cand.dedup",
+                    |&pair: &(u32, u32), e: &mut Emitter<(u32, u32), ()>| e.emit(pair, ()),
+                    &tsj_mapreduce::Dedup,
+                    |&pair: &(u32, u32), _hits: Vec<()>, out: &mut OutputSink<(u32, u32)>| {
+                        out.emit(pair);
+                    },
+                )
+                .unwrap()
+                .collect()
+                .unwrap();
+            out.sort_unstable();
+            if let Some(n) = repartition {
+                let repart = &report.jobs()[1];
+                assert!(repart.name.starts_with("repartition"), "{}", repart.name);
+                assert_eq!(
+                    repart.input_records, repart.output_records,
+                    "repartition({n}) must move every record exactly once"
+                );
+                assert_eq!(repart.driver_in_records + repart.driver_out_records, 0);
+            }
+            out
+        };
+        let plain = run(None);
+        assert!(!plain.is_empty());
+        for n in [1usize, 3, 32] {
+            assert_eq!(run(Some(n)), plain, "repartition({n})");
+        }
     }
 }

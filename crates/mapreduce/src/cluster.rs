@@ -1,66 +1,88 @@
 //! The cluster: real threaded execution + simulated machine accounting.
+//!
+//! Since the lazy dataset layer (the private `dag` module), every stage —
+//! whether a classic [`Cluster::run`] job or a node of a
+//! [`Dataset`](crate::dataset::Dataset) graph — executes through one
+//! *streaming* engine (`run_stage_streamed`): map tasks are submitted to
+//! a shared worker pool as their inputs become ready (a driver slice's
+//! chunks are ready immediately; an upstream stage's partitions become
+//! ready one by one as its reduce tasks finish), and reduce tasks deliver
+//! their output partitions downstream the moment they complete. One
+//! engine, two call shapes — so the classic path and the DAG scheduler
+//! cannot drift apart.
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use crate::dataset::DataPartition;
-use crate::hash::FxBuildHasher;
+use crate::dag::{execute, Feed, MapSource, Recv};
+use crate::dataset::{DataPartition, DatasetMode};
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
-use crate::merge::{merge_segments_capped, Segment};
-use crate::pool::run_indexed;
+use crate::merge::{merge_segments_capped, MergeEffort, Segment};
+use crate::pool::{lock, panic_message, Pool};
 use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleConfig, ShuffleRecord};
 use crate::spill::{
     reserve_job_dir, reserve_job_spill_dir, RunMeta, RunReader, Spill, SpillDirGuard, SpillWriter,
 };
 use crate::transport::{InProcess, MapOutput, MultiProcess, ShuffleTransport, Transport};
 
-/// Applies a combiner to a map task's output buffers and returns the
-/// post-combine record count (how `run_stage` receives a combiner without
-/// needing `K: Clone` on the uncombined entry points).
-pub(crate) type CombineFn<'a, K, V> = &'a (dyn Fn(&mut PartitionedBuffer<K, V>) -> usize + Sync);
+/// A stage's boxed map function (`'f` is the execution lifetime: closures
+/// may borrow the corpus, filters, bitmaps — anything outliving the run).
+pub(crate) type MapFn<'f, I, K, V> = Box<dyn Fn(&I, &mut Emitter<K, V>) + Send + Sync + 'f>;
 
-/// Where a stage's map wave reads its input from.
-pub(crate) enum StageInput<'a, I> {
-    /// A driver-resident slice (the classic [`Cluster::run`] path and the
-    /// first stage after [`Cluster::input`](crate::dataset)): chunked into
-    /// one map task per simulated machine, and counted as records crossing
-    /// the driver boundary ([`JobStats::driver_in_records`]).
-    Slice(&'a [I]),
-    /// The partitioned output of a previous [`Dataset`] stage, resident in
-    /// the runtime: one map task per non-empty partition, each streaming
-    /// its segment (in-memory buffer or spilled run) directly. No records
-    /// cross the driver boundary.
-    ///
-    /// [`Dataset`]: crate::dataset::Dataset
-    Parts(&'a [DataPartition<I>]),
+/// A stage's boxed combine pass: applies the job's [`Combiner`] to a map
+/// task's buffers and returns the post-combine record count. Pre-applied
+/// as a closure so only the combined entry points need `K: Clone`
+/// (combining clones keys; plain jobs never do).
+pub(crate) type CombineFn<'f, K, V> =
+    Box<dyn Fn(&mut PartitionedBuffer<K, V>) -> usize + Send + Sync + 'f>;
+
+/// A stage's boxed reduce function.
+pub(crate) type ReduceFn<'f, K, V, O> =
+    Box<dyn Fn(&K, Vec<V>, &mut OutputSink<O>) + Send + Sync + 'f>;
+
+/// Everything one stage needs to execute, with its user code boxed — the
+/// unit the lazy [`Dataset`](crate::dataset::Dataset) layer records in its
+/// plan instead of executing.
+pub(crate) struct StageSpec<'f, I, K, V, O> {
+    pub(crate) name: String,
+    pub(crate) group_overhead_secs: f64,
+    /// Shuffle partition count for this stage: the cluster default, or a
+    /// [`repartition`](crate::dataset::Dataset::repartition) override.
+    pub(crate) partitions: usize,
+    pub(crate) map: MapFn<'f, I, K, V>,
+    pub(crate) combine: Option<CombineFn<'f, K, V>>,
+    pub(crate) reduce: ReduceFn<'f, K, V, O>,
 }
 
 /// Where a stage's reduce output goes.
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum SinkMode {
-    /// Concatenate into one driver-side `Vec` ([`JobResult::output`]) —
-    /// the classic `run*` behaviour, counted as records crossing the
-    /// driver boundary ([`JobStats::driver_out_records`]).
+pub(crate) enum StageSink<'f, O> {
+    /// Concatenate into one driver-side `Vec` in reduce-task order (the
+    /// classic `run*` behaviour), counted as records crossing the driver
+    /// boundary ([`JobStats::driver_out_records`]).
     Driver,
-    /// Keep the output partitioned in the runtime for the next stage: one
-    /// [`DataPartition`] per reduce task — an in-memory buffer, or (under
-    /// a bounded [`ShuffleConfig`]) a sorted-run file in the wire format,
-    /// drained group-by-group so no worker buffers a partition's output.
-    Dataset,
+    /// Deliver each finished partition into the downstream feed *as its
+    /// reduce task completes* — the cross-stage overlap. `base` is this
+    /// stage's deterministic ordinal base (see [`crate::dag`]).
+    Feed { feed: Feed<'f, O>, base: u64 },
 }
 
-/// What a stage produced: driver output *or* runtime partitions, plus the
-/// guard keeping any stage-output run files alive, and the stats.
-pub(crate) struct StageResult<O> {
-    /// Reducer outputs concatenated in partition order ([`SinkMode::Driver`]).
+/// Why a streamed stage did not produce a result.
+pub(crate) enum StageFailure {
+    /// An upstream producer failed; this stage aborted without running to
+    /// completion and reports nothing (the upstream slot has the error).
+    Upstream,
+    /// The stage itself failed.
+    Job(JobError),
+}
+
+/// A streamed stage's result: its stats, plus the driver-side output when
+/// the sink was [`StageSink::Driver`].
+pub(crate) struct StreamedResult<O> {
     pub(crate) output: Vec<O>,
-    /// Per-reduce-task output partitions ([`SinkMode::Dataset`]).
-    pub(crate) parts: Vec<DataPartition<O>>,
-    /// Keeps spilled stage-output runs alive until the consuming
-    /// [`Dataset`](crate::dataset::Dataset) drops.
-    pub(crate) guard: Option<Arc<SpillDirGuard>>,
     pub(crate) stats: JobStats,
 }
 
@@ -172,6 +194,9 @@ pub struct Cluster {
     cfg: ClusterConfig,
     /// Shuffle memory knobs shared by every job this cluster runs.
     shuffle: ShuffleConfig,
+    /// Whether [`Dataset`](crate::dataset::Dataset) stages execute lazily
+    /// (the default) or at each `map_reduce*` call.
+    dataset_mode: DatasetMode,
 }
 
 impl Cluster {
@@ -179,15 +204,19 @@ impl Cluster {
     /// honouring the `TSJ_COMBINE_THRESHOLD` / `TSJ_SPILL_THRESHOLD` /
     /// `TSJ_SPILL_DIR` / `TSJ_SHUFFLE_TRANSPORT` / `TSJ_MERGE_FAN_IN`
     /// environment overrides (see [`ShuffleConfig`]) so an entire binary
-    /// can be forced through the spill path or the multi-process exchange.
-    /// Use [`Cluster::with_shuffle_config`] to pin an explicit
-    /// configuration that ignores the environment.
+    /// can be forced through the spill path or the multi-process exchange,
+    /// and `TSJ_DATASET_MODE` (see [`DatasetMode`]) so the lazy DAG
+    /// scheduler can be differentially tested against stage-at-a-time
+    /// execution. Use [`Cluster::with_shuffle_config`] /
+    /// [`Cluster::with_dataset_mode`] to pin explicit configurations that
+    /// ignore the environment.
     pub fn new(cfg: ClusterConfig) -> Self {
         let mut cfg = cfg;
         cfg.machines = cfg.machines.max(1);
         Self {
             cfg,
             shuffle: ShuffleConfig::from_env(),
+            dataset_mode: DatasetMode::from_env(),
         }
     }
 
@@ -206,6 +235,13 @@ impl Cluster {
         self
     }
 
+    /// Pins the dataset execution mode (exactly as given — no environment
+    /// override).
+    pub fn with_dataset_mode(mut self, mode: DatasetMode) -> Self {
+        self.dataset_mode = mode;
+        self
+    }
+
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
     }
@@ -213,6 +249,12 @@ impl Cluster {
     /// The shuffle memory knobs jobs run with.
     pub fn shuffle_config(&self) -> &ShuffleConfig {
         &self.shuffle
+    }
+
+    /// How [`Dataset`](crate::dataset::Dataset) stages execute (lazy DAG
+    /// vs stage-at-a-time).
+    pub fn dataset_mode(&self) -> DatasetMode {
+        self.dataset_mode
     }
 
     pub fn machines(&self) -> usize {
@@ -228,7 +270,7 @@ impl Cluster {
         }
     }
 
-    fn threads(&self) -> usize {
+    pub(crate) fn threads(&self) -> usize {
         if self.cfg.threads > 0 {
             self.cfg.threads
         } else {
@@ -240,11 +282,10 @@ impl Cluster {
 
     /// The single source of truth for how a driver slice of `len` records
     /// is chunked into map tasks — one task per simulated machine, capped
-    /// by the input — as `(num_tasks, chunk_size)`. The engine's Slice
-    /// path and the dataset layer's driver→partition conversion
-    /// ([`Dataset::union`](crate::dataset::Dataset::union)) both use it,
-    /// so a union's partition layout always matches what the first stage
-    /// would have seen.
+    /// by the input — as `(num_tasks, chunk_size)`. The engine's
+    /// driver-slice path and the dataset layer's driver→partition
+    /// conversion both use it, so a lifted input's partition layout always
+    /// matches what the classic path would have seen.
     pub(crate) fn slice_chunking(&self, len: usize) -> (usize, usize) {
         let tasks = self.cfg.machines.min(len).max(1);
         (tasks, len.div_ceil(tasks).max(1))
@@ -274,10 +315,10 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync + Spill,
+        I: Send + Sync + Spill,
         K: Hash + Eq + Send + Spill,
         V: Send + Spill,
-        O: Send + Spill,
+        O: Send + Sync + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
@@ -308,21 +349,22 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync + Spill,
+        I: Send + Sync + Spill,
         K: Hash + Eq + Clone + Send + Spill,
         V: Send + Spill,
-        O: Send + Spill,
+        O: Send + Sync + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         C: Combiner<K, V>,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
-        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
+        let combine: CombineFn<'_, K, V> =
+            Box::new(move |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner));
         self.run_one_stage(
             name,
             self.cfg.cost.reduce_group_overhead_secs,
             input,
             map,
-            Some(&combine),
+            Some(combine),
             reduce,
         )
     }
@@ -339,10 +381,10 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync + Spill,
+        I: Send + Sync + Spill,
         K: Hash + Eq + Send + Spill,
         V: Send + Spill,
-        O: Send + Spill,
+        O: Send + Sync + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
@@ -361,27 +403,24 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync + Spill,
+        I: Send + Sync + Spill,
         K: Hash + Eq + Clone + Send + Spill,
         V: Send + Spill,
-        O: Send + Spill,
+        O: Send + Sync + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         C: Combiner<K, V>,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
-        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
-        self.run_one_stage(
-            name,
-            group_overhead_secs,
-            input,
-            map,
-            Some(&combine),
-            reduce,
-        )
+        let combine: CombineFn<'_, K, V> =
+            Box::new(move |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner));
+        self.run_one_stage(name, group_overhead_secs, input, map, Some(combine), reduce)
     }
 
     /// One-stage graph: a driver slice in, driver output back out — the
-    /// engine call every `run*` entry point reduces to.
+    /// single-driver execution every `run*` entry point reduces to. The
+    /// input's chunks are preloaded into the stage's feed (all ready at
+    /// start), so the streamed engine behaves exactly like the former
+    /// fixed map wave.
     fn run_one_stage<I, K, V, O, M, R>(
         &self,
         name: &str,
@@ -392,538 +431,761 @@ impl Cluster {
         reduce: R,
     ) -> Result<JobResult<O>, JobError>
     where
-        I: Sync + Spill,
+        I: Send + Sync + Spill,
         K: Hash + Eq + Send + Spill,
         V: Send + Spill,
-        O: Send + Spill,
+        O: Send + Sync + Spill,
         M: Fn(&I, &mut Emitter<K, V>) + Sync,
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
     {
-        let result = self.run_stage(
-            name,
-            group_overhead_secs,
-            StageInput::Slice(input),
-            map,
-            combine,
-            reduce,
-            SinkMode::Driver,
-        )?;
-        Ok(JobResult {
-            output: result.output,
-            stats: result.stats,
-        })
-    }
-
-    /// Shared engine behind `run*` and the [`Dataset`](crate::dataset)
-    /// stages. The combiner arrives pre-applied as a buffer-combining
-    /// closure ([`CombineFn`]) so that only the combined entry points need
-    /// `K: Clone` (combining clones keys; plain jobs never do).
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_stage<I, K, V, O, M, R>(
-        &self,
-        name: &str,
-        group_overhead_secs: f64,
-        input: StageInput<'_, I>,
-        map: M,
-        combine: Option<CombineFn<'_, K, V>>,
-        reduce: R,
-        sink_mode: SinkMode,
-    ) -> Result<StageResult<O>, JobError>
-    where
-        I: Sync + Spill,
-        K: Hash + Eq + Send + Spill,
-        V: Send + Spill,
-        O: Send + Spill,
-        M: Fn(&I, &mut Emitter<K, V>) + Sync,
-        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
-    {
-        let wall_start = Instant::now();
-        let machines = self.cfg.machines;
-        let partitions = self.partitions();
-        let threads = self.threads();
-        let mut cost = self.cfg.cost;
-        cost.reduce_group_overhead_secs = group_overhead_secs;
-
-        // ---- Map phase ------------------------------------------------
-        // Driver-slice input: one map task per simulated machine (a single
-        // mapper wave), unless the input is smaller than the machine
-        // count. Partitioned input (a previous stage's output): one map
-        // task per non-empty partition, streaming that partition's segment
-        // — an in-memory buffer or a spilled run read back record by
-        // record — so interior stages never touch driver memory. Either
-        // way each task partitions its output at emit time and
-        // (optionally) combines it before the shuffle, so no serial
-        // post-map partitioning pass exists. Under a memory-bounded
-        // ShuffleConfig the task additionally combines its buffer
-        // periodically mid-task and spills sorted runs to disk when the
-        // buffer reaches the spill threshold (see `crate::shuffle`).
-        let (num_tasks, chunk, part_ids, input_records, driver_in_records) = match &input {
-            StageInput::Slice(s) => {
-                let (n, chunk) = self.slice_chunking(s.len());
-                (n, chunk, Vec::new(), s.len() as u64, s.len() as u64)
-            }
-            StageInput::Parts(parts) => {
-                let ids: Vec<usize> = parts
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.records() > 0)
-                    .map(|(i, _)| i)
-                    .collect();
-                let records: u64 = parts.iter().map(DataPartition::records).sum();
-                (ids.len(), 0, ids, records, 0)
-            }
-        };
-
-        // One uniquely named spill directory per job, removed (with its
-        // segments) when the job finishes or fails. Tasks create it lazily
-        // on first spill (`create_dir_all` is racy-safe), so an unspilled
-        // bounded job touches the filesystem not at all.
-        let spill_dir: Option<SpillDirGuard> = self.shuffle.spill_threshold.map(|_| {
-            let base = self
-                .shuffle
-                .spill_dir
-                .clone()
-                .unwrap_or_else(std::env::temp_dir);
-            SpillDirGuard(reserve_job_spill_dir(&base))
-        });
-
-        struct MapTaskOut<K, V> {
-            cpu_secs: f64,
-            /// Work units: input records + emitted pairs + combine scans +
-            /// spilled records. The simulated load is rate-capped per work
-            /// unit so that OS scheduling noise in the µs-scale
-            /// measurements cannot masquerade as data skew (see
-            /// `proportional_loads`).
-            work: u64,
-            /// Pairs emitted by `map` (pre-combine).
-            emitted: u64,
-            /// Records handed to the shuffle (post-combine, spilled runs
-            /// included).
-            shuffled: u64,
-            /// High-water mark of in-memory buffered records.
-            peak_buffered: u64,
-            /// Partition-indexed in-memory output buffers.
-            parts: Vec<Vec<ShuffleRecord<K, V>>>,
-            /// Spill file + run directory, if this task spilled.
-            spill: Option<crate::shuffle::TaskSpill>,
-            counters: HashMap<&'static str, u64>,
+        let feed: Feed<'_, I> = Feed::new();
+        feed.register_producer();
+        feed.add_driver_in(input.len() as u64);
+        let (tasks, chunk) = self.slice_chunking(input.len());
+        for t in 0..tasks {
+            let lo = (t * chunk).min(input.len());
+            let hi = ((t + 1) * chunk).min(input.len());
+            feed.push(t as u64, MapSource::Chunk(&input[lo..hi]));
         }
+        feed.close_producer(true);
 
-        let map_tasks: Vec<MapTaskOut<K, V>> = run_indexed(num_tasks, threads, |task| {
-            let start = Instant::now();
-            let mut emitter = match (&spill_dir, self.shuffle.spill_threshold) {
-                (Some(guard), Some(threshold)) => Emitter::with_buffer(
-                    PartitionedBuffer::with_spill(partitions, threshold, guard.0.clone(), task),
-                ),
-                _ => Emitter::with_partitions(partitions),
-            };
-            // Periodic combine watermark: re-combine only after the buffer
-            // has grown by combine_threshold records since the last pass,
-            // so a poorly combinable stream cannot trigger quadratic
-            // re-combining. (usize::MAX = never, the unbounded default.)
-            let combine_threshold = match (combine.is_some(), self.shuffle.combine_threshold) {
-                (true, Some(t)) => t.max(1),
-                _ => usize::MAX,
-            };
-            let mut next_combine = combine_threshold;
-            let mut combine_work = 0u64;
-            let mut task_input = 0u64;
-            // One input record through map + the periodic combine check
-            // (macro, not closure: it borrows half the task state).
-            macro_rules! feed {
-                ($record:expr) => {{
-                    task_input += 1;
-                    map($record, &mut emitter);
-                    if emitter.buffer.len() >= next_combine {
-                        combine_work += emitter.buffer.len() as u64;
-                        combine.expect("combine_threshold implies combiner")(&mut emitter.buffer);
-                        // Combining may not have freed enough (distinct
-                        // keys); spill the combined run if still over the
-                        // cap.
-                        emitter.buffer.maybe_spill();
-                        next_combine = emitter.buffer.len() + combine_threshold;
-                    }
-                }};
-            }
-            match &input {
-                StageInput::Slice(s) => {
-                    let lo = (task * chunk).min(s.len());
-                    let hi = ((task + 1) * chunk).min(s.len());
-                    for record in &s[lo..hi] {
-                        feed!(record);
-                    }
-                }
-                StageInput::Parts(parts) => match &parts[part_ids[task]] {
-                    DataPartition::Mem(records) => {
-                        for record in records {
-                            feed!(record);
-                        }
-                    }
-                    DataPartition::Spilled { file, meta } => {
-                        let mut reader = RunReader::new(Arc::clone(file), *meta);
-                        while let Some((_h, (), record)) = reader.next::<(), I>() {
-                            feed!(&record);
-                        }
-                    }
-                },
-            }
-            let emitted = emitter.emitted;
-            // Final map-side combine over the leftover buffer: inside the
-            // timed task (for the measured rate mode) *and* declared as one
-            // work unit per scanned record (for the deterministic
-            // work_unit_secs mode), so its CPU cost lands in the simulated
-            // map phase like a real combiner's would instead of being
-            // booked as free.
-            let shuffled_in_mem = match combine {
-                Some(c) => {
-                    combine_work += emitter.buffer.len() as u64;
-                    c(&mut emitter.buffer) as u64
-                }
-                None => emitter.buffer.len() as u64,
-            };
-            let spill = emitter.buffer.take_spill();
-            let spilled = spill.as_ref().map_or(0, |s| s.records);
-            let cpu_secs = start.elapsed().as_secs_f64();
-            let work = task_input + emitted + combine_work + spilled + emitter.work_units;
-            MapTaskOut {
-                cpu_secs,
-                work,
-                emitted,
-                shuffled: shuffled_in_mem + spilled,
-                peak_buffered: emitter.buffer.peak_buffered() as u64,
-                parts: emitter.buffer.into_parts(),
-                spill,
-                counters: emitter.counters,
-            }
-        })
-        .map_err(|message| JobError::WorkerPanic {
-            phase: "map",
-            message,
-        })?;
-
-        let map_loads = proportional_loads(map_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
-        let map_sim = phase_sim(&map_loads, machines.min(num_tasks));
-
-        // ---- Shuffle ---------------------------------------------------
-        // Records were already routed to `hash % partitions` at emit time;
-        // how each partition's per-task segments — spilled sorted runs
-        // first, then the task's in-memory leftover, in task order —
-        // reach the reduce side is the transport's job (in-process
-        // handoff, or serialization into per-partition exchange files;
-        // see `crate::transport`). Cost is charged on the post-combine
-        // volume, plus spill I/O on the spilled bytes (written once, read
-        // back once), plus transport time on the exchanged bytes.
-        let mut counters: HashMap<&'static str, u64> = HashMap::new();
-        let mut map_output_records = 0u64;
-        let mut shuffle_records = 0u64;
-        let mut spilled_records = 0u64;
-        let mut spill_bytes = 0u64;
-        let mut spill_runs = 0u64;
-        let mut peak_buffered_records = 0u64;
-        let mut outputs: Vec<MapOutput<K, V>> = Vec::with_capacity(map_tasks.len());
-        for task in map_tasks {
-            map_output_records += task.emitted;
-            shuffle_records += task.shuffled;
-            peak_buffered_records = peak_buffered_records.max(task.peak_buffered);
-            for (k, v) in &task.counters {
-                *counters.entry(k).or_insert(0) += v;
-            }
-            if let Some(spill) = &task.spill {
-                spilled_records += spill.records;
-                spill_bytes += spill.bytes;
-                spill_runs += spill.runs.iter().map(|runs| runs.len() as u64).sum::<u64>();
-            }
-            outputs.push(MapOutput::new(task.parts, task.spill));
-        }
-        let transport = self.shuffle.transport;
-        let exchange = match transport {
-            Transport::InProcess => InProcess.exchange(outputs, partitions),
-            Transport::MultiProcess => {
-                let base = self
-                    .shuffle
-                    .spill_dir
-                    .clone()
-                    .unwrap_or_else(std::env::temp_dir);
-                MultiProcess::new(reserve_job_dir(&base, "tsj-exchange"))
-                    .exchange(outputs, partitions)
-            }
-        }
-        .map_err(|e| JobError::Transport {
-            message: e.to_string(),
-        })?;
-        let transport_bytes = exchange.bytes_moved;
-        let partition_segments = exchange.partition_segments;
-        // The exchange directory (if any) must outlive the reduce phase,
-        // which streams the partition files it holds.
-        let exchange_guard = exchange.guard;
-        let shuffle_secs = cost.shuffle_secs_per_record * shuffle_records as f64 / machines as f64;
-        let spill_secs = cost.spill_secs_per_byte * 2.0 * spill_bytes as f64 / machines as f64;
-        let transport_secs =
-            cost.transport_secs_per_byte * transport_bytes as f64 / machines as f64;
-
-        // ---- Reduce phase ----------------------------------------------
-        struct ReduceTaskOut<O> {
-            machine: usize,
-            /// Measured CPU total for the whole partition (ms-scale, so
-            /// reliable; feeds the job-wide work rate).
-            cpu_secs: f64,
-            /// Work units over the partition: values in + records emitted +
-            /// explicitly declared units.
-            work: u64,
-            groups: u64,
-            max_group: u64,
-            /// Hierarchical pre-merge effort spent honouring the merge
-            /// fan-in cap (zero on the flat or in-memory paths).
-            merge: crate::merge::MergeEffort,
-            /// Records emitted (also counted when drained to a run file).
-            emitted: u64,
-            /// Driver-bound output ([`SinkMode::Driver`]; empty otherwise).
-            out: Vec<O>,
-            /// Runtime-resident output partition ([`SinkMode::Dataset`]).
-            part: Option<DataPartition<O>>,
-            counters: HashMap<&'static str, u64>,
-        }
-
-        // Dataset stages under a bounded shuffle keep their output out of
-        // memory too: each reduce task drains its sink into a sorted-run
-        // file (wire format, fingerprint 0, unit key) after every group,
-        // and the next stage's map wave streams it back. The directory
-        // must outlive the job — the returned guard keeps it until the
-        // consuming Dataset drops.
-        let stage_out_dir: Option<Arc<SpillDirGuard>> =
-            match (sink_mode, self.shuffle.spill_threshold) {
-                (SinkMode::Dataset, Some(_)) => {
-                    let base = self
-                        .shuffle
-                        .spill_dir
-                        .clone()
-                        .unwrap_or_else(std::env::temp_dir);
-                    Some(Arc::new(SpillDirGuard(reserve_job_dir(&base, "tsj-stage"))))
-                }
-                _ => None,
-            };
-
-        // Scratch base for fan-in-capped hierarchical merges: the job's
-        // exchange dir (multi-process) or spill dir (in-process spilling)
-        // — whichever exists is also where every spilled segment lives,
-        // and its guard already handles cleanup. Purely in-memory
-        // partitions never merge, so needing scratch implies one exists.
-        let merge_scratch: Option<std::path::PathBuf> = self.shuffle.merge_fan_in.and_then(|_| {
-            exchange_guard
-                .as_ref()
-                .or(spill_dir.as_ref())
-                .map(|guard| guard.0.clone())
-        });
-
-        // Each reduce task takes exclusive ownership of its partition's
-        // segments via a take-once cell, so values move into the reducer
-        // without cloning.
-        type PartitionCell<K, V> = Mutex<Option<Vec<Segment<K, V>>>>;
-        let parts: Vec<(usize, PartitionCell<K, V>)> = partition_segments
-            .into_iter()
-            .enumerate()
-            .filter(|(_, segments)| !segments.is_empty())
-            .map(|(p, segments)| (p, Mutex::new(Some(segments))))
-            .collect();
-        let reduce_tasks: Vec<ReduceTaskOut<O>> = run_indexed(parts.len(), threads, |idx| {
-            let (partition, cell) = &parts[idx];
-            let segments = cell
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .take()
-                .expect("each partition reduced once");
-
-            let mut sink = OutputSink::new();
-            let mut out_writer: Option<SpillWriter> = None;
-            let mut max_group = 0u64;
-            let mut n_groups = 0u64;
-            let mut work = 0u64;
-            let mut merge = crate::merge::MergeEffort::default();
-            let start = Instant::now();
-            if segments.iter().any(Segment::is_spilled) {
-                // External path: stream a k-way sort-merge over the sorted
-                // spill/exchange runs and the (sorted-on-the-fly)
-                // in-memory segments, reducing each key as its run
-                // completes — the partition is never materialized. With a
-                // merge fan-in cap, runs beyond the cap are first folded
-                // hierarchically into scratch runs. Group order: ascending
-                // key fingerprint.
-                merge = merge_segments_capped(
-                    segments,
-                    self.shuffle.merge_fan_in,
-                    merge_scratch
-                        .as_ref()
-                        .map(|dir| dir.join(format!("reduce{partition}.merge"))),
-                    |key, values| {
-                        let n_values = values.len() as u64;
-                        max_group = max_group.max(n_values);
-                        n_groups += 1;
-                        work += n_values;
-                        reduce(&key, values, &mut sink);
-                        if let Some(dir) = &stage_out_dir {
-                            drain_stage_output(&mut sink, &mut out_writer, &dir.0, *partition);
-                        }
-                    },
-                );
-            } else {
-                // In-memory path: group by key, remembering each key's
-                // first occurrence so the group order within a partition
-                // is deterministic (segments arrive in map-task order).
-                let mut groups: HashMap<K, (usize, Vec<V>), FxBuildHasher> = HashMap::default();
-                let mut pos = 0usize;
-                for segment in segments {
-                    let Segment::Mem(records) = segment else {
-                        unreachable!("spilled segments take the merge path");
-                    };
-                    for (_h, k, v) in records {
-                        groups
-                            .entry(k)
-                            .or_insert_with(|| (pos, Vec::new()))
-                            .1
-                            .push(v);
-                        pos += 1;
-                    }
-                }
-                let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
-                ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
-                n_groups = ordered.len() as u64;
-                for (key, (_, values)) in ordered {
-                    let n_values = values.len() as u64;
-                    max_group = max_group.max(n_values);
-                    work += n_values;
-                    reduce(&key, values, &mut sink);
-                    if let Some(dir) = &stage_out_dir {
-                        drain_stage_output(&mut sink, &mut out_writer, &dir.0, *partition);
-                    }
-                }
-            }
-            let cpu_secs = start.elapsed().as_secs_f64();
-            work += sink.emitted + sink.work_units;
-            let part: Option<DataPartition<O>> = match (sink_mode, out_writer) {
-                // Bounded dataset stage: the sink was drained after every
-                // group, so the run file *is* the partition.
-                (_, Some(writer)) => {
-                    let meta = RunMeta {
-                        offset: 0,
-                        bytes: writer.bytes(),
-                        records: writer.records(),
-                    };
-                    let (file, _path) = writer
-                        .into_reader()
-                        .unwrap_or_else(|e| panic!("stage output finalize failed: {e}"));
-                    Some(DataPartition::Spilled { file, meta })
-                }
-                // Unbounded dataset stage: hand the buffer over as-is.
-                (SinkMode::Dataset, None) if !sink.out.is_empty() => {
-                    Some(DataPartition::Mem(std::mem::take(&mut sink.out)))
-                }
-                _ => None,
-            };
-            ReduceTaskOut {
-                machine: partition % machines,
-                cpu_secs,
-                work,
-                groups: n_groups,
-                max_group,
-                merge,
-                emitted: sink.emitted,
-                out: sink.out,
-                part,
-                counters: sink.counters,
-            }
-        })
-        .map_err(|message| JobError::WorkerPanic {
-            phase: "reduce",
-            message,
-        })?;
-
-        // Deterministic per-partition loads: each partition is charged its
-        // declared work at the job-wide measured rate, plus the per-group
-        // worker-instantiation overheads; partitions sharing a simulated
-        // machine (partitions > machines) add up on it.
-        let base_loads =
-            proportional_loads(reduce_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
-        let mut machine_loads = vec![0.0f64; machines];
-        let mut output = Vec::new();
-        let mut parts_out: Vec<DataPartition<O>> = Vec::new();
-        let mut output_records = 0u64;
-        let mut reduce_groups = 0u64;
-        let mut max_group_size = 0u64;
-        let mut merge_passes = 0u64;
-        let mut merge_scratch_bytes = 0u64;
-        for (t, base) in reduce_tasks.into_iter().zip(base_loads) {
-            debug_assert!(t.machine < machines);
-            machine_loads[t.machine] += base + t.groups as f64 * cost.reduce_group_overhead_secs;
-            reduce_groups += t.groups;
-            max_group_size = max_group_size.max(t.max_group);
-            merge_passes += t.merge.passes;
-            merge_scratch_bytes += t.merge.scratch_bytes;
-            output_records += t.emitted;
-            output.extend(t.out);
-            parts_out.extend(t.part);
-            for (k, v) in t.counters {
-                *counters.entry(k).or_insert(0) += v;
-            }
-        }
-        // Reduce has drained every exchange file; the directory can go.
-        drop(exchange_guard);
-        let reduce_sim = if reduce_groups == 0 {
-            PhaseSim::default()
-        } else {
-            phase_sim(&machine_loads, machines)
-        };
-
-        // Hierarchical-merge scratch runs are local-disk I/O exactly like
-        // mapper spill (each scratch byte is written once and read back
-        // once), so they are charged at the same rate, into the same line.
-        let spill_secs = spill_secs
-            + cost.spill_secs_per_byte * 2.0 * merge_scratch_bytes as f64 / machines as f64;
-        let sim_total_secs = cost.job_startup_secs
-            + cost.map_worker_startup_secs
-            + map_sim.makespan_secs
-            + shuffle_secs
-            + spill_secs
-            + transport_secs
-            + reduce_sim.makespan_secs;
-
-        let stats = JobStats {
+        let map = &map;
+        let reduce = &reduce;
+        let spec = StageSpec {
             name: name.to_owned(),
-            machines,
-            input_records,
-            map_output_records,
-            shuffle_records,
-            spilled_records,
-            spill_bytes,
-            spill_runs,
-            transport: transport.name(),
-            transport_bytes,
-            merge_passes,
-            merge_scratch_bytes,
-            peak_buffered_records,
-            reduce_groups,
-            max_group_size,
-            output_records,
-            driver_in_records,
-            driver_out_records: match sink_mode {
-                SinkMode::Driver => output.len() as u64,
-                SinkMode::Dataset => 0,
-            },
-            map: map_sim,
-            shuffle_secs,
-            spill_secs,
-            transport_secs,
-            reduce: reduce_sim,
-            sim_total_secs,
-            wall_secs: wall_start.elapsed().as_secs_f64(),
-            counters,
+            group_overhead_secs,
+            partitions: self.partitions(),
+            map: Box::new(move |i: &I, e: &mut Emitter<K, V>| map(i, e)) as MapFn<'_, I, K, V>,
+            combine,
+            reduce: Box::new(move |k: &K, vs: Vec<V>, o: &mut OutputSink<O>| reduce(k, vs, o))
+                as ReduceFn<'_, K, V, O>,
         };
-        Ok(StageResult {
-            output,
-            parts: parts_out,
-            guard: stage_out_dir,
-            stats,
-        })
+
+        type ResultCell<O> = Mutex<Option<Result<StreamedResult<O>, StageFailure>>>;
+        let result: Arc<ResultCell<O>> = Arc::new(Mutex::new(None));
+        let cell = Arc::clone(&result);
+        let cluster = self;
+        // A preloaded one-stage graph never has more runnable map tasks
+        // than input chunks, so tiny jobs need not spawn a full-width
+        // pool; reduce tasks of a job this small are few as well.
+        let workers = self.threads().min(tasks.max(1));
+        execute(
+            workers,
+            vec![Box::new(move |pool: &Pool<'_>| {
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    run_stage_streamed(cluster, spec, feed, StageSink::Driver, pool)
+                }))
+                .unwrap_or_else(|p| {
+                    Err(StageFailure::Job(JobError::WorkerPanic {
+                        phase: "stage",
+                        message: panic_message(p),
+                    }))
+                });
+                *lock(&cell) = Some(res);
+            })],
+        );
+        let outcome = lock(&result).take();
+        match outcome {
+            Some(Ok(r)) => Ok(JobResult {
+                output: r.output,
+                stats: r.stats,
+            }),
+            Some(Err(StageFailure::Job(e))) => Err(e),
+            // A preloaded feed cannot fail upstream, and the thunk always
+            // stores; both arms are defensive.
+            Some(Err(StageFailure::Upstream)) | None => Err(JobError::WorkerPanic {
+                phase: "stage",
+                message: "stage driver exited without reporting".to_owned(),
+            }),
+        }
     }
+}
+
+/// A map task's measured output (one per consumed feed item).
+struct MapTaskOut<K, V> {
+    cpu_secs: f64,
+    /// Work units: input records + emitted pairs + combine scans +
+    /// spilled records. The simulated load is rate-capped per work
+    /// unit so that OS scheduling noise in the µs-scale
+    /// measurements cannot masquerade as data skew (see
+    /// [`proportional_loads`]).
+    work: u64,
+    /// Records this task consumed.
+    input: u64,
+    /// Pairs emitted by `map` (pre-combine).
+    emitted: u64,
+    /// Records handed to the shuffle (post-combine, spilled runs
+    /// included).
+    shuffled: u64,
+    /// High-water mark of in-memory buffered records.
+    peak_buffered: u64,
+    /// Partition-indexed in-memory output buffers.
+    parts: Vec<Vec<ShuffleRecord<K, V>>>,
+    /// Spill file + run directory, if this task spilled.
+    spill: Option<crate::shuffle::TaskSpill>,
+    counters: HashMap<&'static str, u64>,
+}
+
+/// A reduce task's measured output (one per non-empty partition).
+struct ReduceTaskOut<O> {
+    machine: usize,
+    /// Measured CPU total for the whole partition (ms-scale, so
+    /// reliable; feeds the job-wide work rate).
+    cpu_secs: f64,
+    /// Work units over the partition: values in + records emitted +
+    /// explicitly declared units.
+    work: u64,
+    groups: u64,
+    max_group: u64,
+    /// Hierarchical pre-merge effort spent honouring the merge
+    /// fan-in cap (zero on the flat or in-memory paths).
+    merge: MergeEffort,
+    /// Records emitted (also counted when drained to a run file).
+    emitted: u64,
+    /// Driver-bound output ([`StageSink::Driver`]; empty otherwise).
+    out: Vec<O>,
+    counters: HashMap<&'static str, u64>,
+}
+
+/// Per-wave completion latch: task results keyed for deterministic
+/// re-ordering, the lowest-key failure, and a done counter the driver
+/// blocks on.
+struct WaveGather<T> {
+    outs: Vec<(u64, T)>,
+    first_err: Option<(u64, JobError)>,
+    done: usize,
+}
+
+impl<T> WaveGather<T> {
+    fn cell() -> Arc<(Mutex<Self>, Condvar)> {
+        Arc::new((
+            Mutex::new(Self {
+                outs: Vec::new(),
+                first_err: None,
+                done: 0,
+            }),
+            Condvar::new(),
+        ))
+    }
+}
+
+/// Records one task's result into its wave latch and wakes the driver.
+fn wave_record<T>(cell: &(Mutex<WaveGather<T>>, Condvar), key: u64, result: Result<T, JobError>) {
+    let mut g = lock(&cell.0);
+    match result {
+        Ok(out) => g.outs.push((key, out)),
+        Err(e) => {
+            if g.first_err.as_ref().is_none_or(|(k, _)| key < *k) {
+                g.first_err = Some((key, e));
+            }
+        }
+    }
+    g.done += 1;
+    drop(g);
+    cell.1.notify_all();
+}
+
+/// A Drop-armed completion ticket: every submitted task holds one, and if
+/// the task unwinds before explicitly completing (a panic escaping the
+/// task's own `catch_unwind`, e.g. in result delivery), the ticket's Drop
+/// records a structured failure — so [`wave_barrier`] always terminates
+/// and the stage fails instead of hanging the driver forever.
+struct WaveTicket<T> {
+    cell: Arc<(Mutex<WaveGather<T>>, Condvar)>,
+    key: u64,
+    armed: bool,
+}
+
+impl<T> WaveTicket<T> {
+    fn new(cell: Arc<(Mutex<WaveGather<T>>, Condvar)>, key: u64) -> Self {
+        Self {
+            cell,
+            key,
+            armed: true,
+        }
+    }
+
+    /// Records the task's result and disarms the Drop fallback.
+    fn complete(mut self, result: Result<T, JobError>) {
+        self.armed = false;
+        wave_record(&self.cell, self.key, result);
+    }
+}
+
+impl<T> Drop for WaveTicket<T> {
+    fn drop(&mut self) {
+        if self.armed {
+            wave_record(
+                &self.cell,
+                self.key,
+                Err(JobError::WorkerPanic {
+                    phase: "task",
+                    message: "task aborted before reporting its result".to_owned(),
+                }),
+            );
+        }
+    }
+}
+
+/// Blocks until `submitted` tasks have recorded, then returns the sorted
+/// results or the lowest-key error.
+fn wave_barrier<T>(
+    cell: &(Mutex<WaveGather<T>>, Condvar),
+    submitted: usize,
+) -> Result<Vec<T>, JobError> {
+    let mut g = lock(&cell.0);
+    while g.done < submitted {
+        g = cell.1.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    if let Some((_, e)) = g.first_err.take() {
+        return Err(e);
+    }
+    let mut outs = std::mem::take(&mut g.outs);
+    drop(g);
+    outs.sort_unstable_by_key(|(key, _)| *key);
+    Ok(outs.into_iter().map(|(_, t)| t).collect())
+}
+
+/// The streaming stage engine behind both the classic `run*` entry points
+/// and the lazy [`Dataset`](crate::dataset::Dataset) scheduler (see the
+/// module docs). Consumes `input` until its producers close — submitting
+/// one map task per ready item — then shuffles through the configured
+/// transport and runs one reduce task per non-empty partition, delivering
+/// dataset partitions downstream as each task finishes.
+pub(crate) fn run_stage_streamed<'f, I, K, V, O>(
+    cluster: &Cluster,
+    spec: StageSpec<'f, I, K, V, O>,
+    input: Feed<'f, I>,
+    sink: StageSink<'f, O>,
+    pool: &Pool<'f>,
+) -> Result<StreamedResult<O>, StageFailure>
+where
+    I: Send + Sync + Spill + 'f,
+    K: Hash + Eq + Send + Spill + 'f,
+    V: Send + Spill + 'f,
+    O: Send + Sync + Spill + 'f,
+{
+    let machines = cluster.cfg.machines;
+    let partitions = spec.partitions;
+    let shuffle = Arc::new(cluster.shuffle.clone());
+    let mut cost = cluster.cfg.cost;
+    cost.reduce_group_overhead_secs = spec.group_overhead_secs;
+    let spec = Arc::new(spec);
+
+    // Base directory for this job's spill / exchange / stage-output
+    // subdirectories; each is RAII-guarded so a job that fails mid-wave
+    // still removes everything it created.
+    let dir_base = shuffle.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+
+    // One uniquely named spill directory per job, removed (with its
+    // segments) when the job finishes or fails. Tasks create it lazily
+    // on first spill (`create_dir_all` is racy-safe), so an unspilled
+    // bounded job touches the filesystem not at all.
+    let spill_dir: Option<Arc<SpillDirGuard>> = shuffle
+        .spill_threshold
+        .map(|_| Arc::new(SpillDirGuard(reserve_job_spill_dir(&dir_base))));
+
+    // ---- Map wave (streaming) -----------------------------------------
+    // One map task per ready input item, submitted to the shared pool the
+    // moment the item arrives — for a driver slice every chunk is ready
+    // immediately (a single wave, as before); for an upstream stage each
+    // partition becomes ready as its producing reduce task finishes, which
+    // is exactly the cross-stage overlap. Each task partitions its output
+    // at emit time and (optionally) combines it before the shuffle; under
+    // a memory-bounded ShuffleConfig it also combines periodically
+    // mid-task and spills sorted runs when the buffer hits the threshold.
+    let map_gather = WaveGather::<MapTaskOut<K, V>>::cell();
+    let mut submitted = 0usize;
+    let mut wall_start: Option<Instant> = None;
+    let upstream_failed = loop {
+        match input.recv() {
+            Recv::Item(ordinal, source) => {
+                if wall_start.is_none() {
+                    wall_start = Some(Instant::now());
+                }
+                let task = submitted;
+                submitted += 1;
+                let spec = Arc::clone(&spec);
+                let shuffle = Arc::clone(&shuffle);
+                let spill_dir = spill_dir.clone();
+                let ticket = WaveTicket::new(Arc::clone(&map_gather), ordinal);
+                pool.submit(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        run_map_task(
+                            &spec,
+                            &shuffle,
+                            spill_dir.as_deref(),
+                            partitions,
+                            task,
+                            source,
+                        )
+                    }))
+                    .unwrap_or_else(|p| {
+                        Err(JobError::WorkerPanic {
+                            phase: "map",
+                            message: panic_message(p),
+                        })
+                    });
+                    ticket.complete(result);
+                }));
+            }
+            Recv::Closed { failed } => break failed,
+        }
+    };
+    if upstream_failed {
+        // The graph is doomed upstream; in-flight tasks of this stage
+        // drain harmlessly on the pool (they only touch Arc-shared state).
+        return Err(StageFailure::Upstream);
+    }
+    let wall_start = wall_start.unwrap_or_else(Instant::now);
+    let map_tasks = wave_barrier(&map_gather, submitted).map_err(StageFailure::Job)?;
+    let num_tasks = submitted;
+    let driver_in_records = input.driver_in();
+    let input_records: u64 = map_tasks.iter().map(|t| t.input).sum();
+    // Every upstream segment has been streamed; release upstream dirs.
+    drop(input.take_guards());
+
+    let map_loads = proportional_loads(map_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
+    let map_sim = phase_sim(&map_loads, machines.min(num_tasks.max(1)));
+
+    // ---- Shuffle -------------------------------------------------------
+    // Records were already routed to `hash % partitions` at emit time;
+    // how each partition's per-task segments — spilled sorted runs
+    // first, then the task's in-memory leftover, in task (= ordinal)
+    // order — reach the reduce side is the transport's job (in-process
+    // handoff, or serialization into per-partition exchange files;
+    // see `crate::transport`). Cost is charged on the post-combine
+    // volume, plus spill I/O on the spilled bytes (written once, read
+    // back once), plus transport time on the exchanged bytes.
+    let mut counters: HashMap<&'static str, u64> = HashMap::new();
+    let mut map_output_records = 0u64;
+    let mut shuffle_records = 0u64;
+    let mut spilled_records = 0u64;
+    let mut spill_bytes = 0u64;
+    let mut spill_runs = 0u64;
+    let mut peak_buffered_records = 0u64;
+    let mut outputs: Vec<MapOutput<K, V>> = Vec::with_capacity(map_tasks.len());
+    for task in map_tasks {
+        map_output_records += task.emitted;
+        shuffle_records += task.shuffled;
+        peak_buffered_records = peak_buffered_records.max(task.peak_buffered);
+        for (k, v) in &task.counters {
+            *counters.entry(k).or_insert(0) += v;
+        }
+        if let Some(spill) = &task.spill {
+            spilled_records += spill.records;
+            spill_bytes += spill.bytes;
+            spill_runs += spill.runs.iter().map(|runs| runs.len() as u64).sum::<u64>();
+        }
+        outputs.push(MapOutput::new(task.parts, task.spill));
+    }
+    let transport = shuffle.transport;
+    let exchange = match transport {
+        Transport::InProcess => InProcess.exchange(outputs, partitions),
+        Transport::MultiProcess => MultiProcess::new(reserve_job_dir(&dir_base, "tsj-exchange"))
+            .exchange(outputs, partitions),
+    }
+    .map_err(|e| {
+        StageFailure::Job(JobError::Transport {
+            message: e.to_string(),
+        })
+    })?;
+    let transport_bytes = exchange.bytes_moved;
+    let partition_segments = exchange.partition_segments;
+    // The exchange directory (if any) must outlive the reduce phase,
+    // which streams the partition files it holds.
+    let exchange_guard = exchange.guard;
+    let shuffle_secs = cost.shuffle_secs_per_record * shuffle_records as f64 / machines as f64;
+    let spill_secs = cost.spill_secs_per_byte * 2.0 * spill_bytes as f64 / machines as f64;
+    let transport_secs = cost.transport_secs_per_byte * transport_bytes as f64 / machines as f64;
+
+    // ---- Reduce wave ---------------------------------------------------
+    // Dataset stages under a bounded shuffle keep their output out of
+    // memory too: each reduce task drains its sink into a sorted-run
+    // file (wire format, fingerprint 0, unit key) after every group,
+    // and the next stage's map wave streams it back. The directory
+    // must outlive this job — its guard rides the output feed, held by
+    // the consumer until its own map wave is done.
+    let feed_sink: Option<(Feed<'f, O>, u64)> = match &sink {
+        StageSink::Driver => None,
+        StageSink::Feed { feed, base } => Some((feed.clone(), *base)),
+    };
+    let stage_out_dir: Option<Arc<SpillDirGuard>> = match (&feed_sink, shuffle.spill_threshold) {
+        (Some(_), Some(_)) => {
+            let guard = Arc::new(SpillDirGuard(reserve_job_dir(&dir_base, "tsj-stage")));
+            if let Some((feed, _)) = &feed_sink {
+                feed.add_guard(Arc::clone(&guard));
+            }
+            Some(guard)
+        }
+        _ => None,
+    };
+
+    // Scratch base for fan-in-capped hierarchical merges: the job's
+    // exchange dir (multi-process) or spill dir (in-process spilling)
+    // — whichever exists is also where every spilled segment lives,
+    // and its guard already handles cleanup. Purely in-memory
+    // partitions never merge, so needing scratch implies one exists.
+    let merge_scratch: Option<PathBuf> = shuffle.merge_fan_in.and_then(|_| {
+        exchange_guard
+            .as_ref()
+            .map(|guard| guard.0.clone())
+            .or_else(|| spill_dir.as_ref().map(|guard| guard.0.clone()))
+    });
+
+    let reduce_gather = WaveGather::<ReduceTaskOut<O>>::cell();
+    let mut reduce_submitted = 0usize;
+    for (partition, segments) in partition_segments.into_iter().enumerate() {
+        if segments.is_empty() {
+            continue;
+        }
+        let task = reduce_submitted;
+        reduce_submitted += 1;
+        let spec = Arc::clone(&spec);
+        let shuffle = Arc::clone(&shuffle);
+        let stage_out_dir = stage_out_dir.clone();
+        let merge_scratch = merge_scratch.clone();
+        let feed_sink = feed_sink.clone();
+        let ticket = WaveTicket::new(Arc::clone(&reduce_gather), task as u64);
+        pool.submit(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_reduce_task(
+                    &spec,
+                    &shuffle,
+                    feed_sink.is_some(),
+                    stage_out_dir.as_ref().map(|g| g.0.as_path()),
+                    merge_scratch.as_deref(),
+                    machines,
+                    partition,
+                    segments,
+                )
+            }))
+            .unwrap_or_else(|p| {
+                Err(JobError::WorkerPanic {
+                    phase: "reduce",
+                    message: panic_message(p),
+                })
+            });
+            let result = result.map(|(out, part)| {
+                // Deliver the finished partition downstream immediately —
+                // the moment that makes the next stage's map task ready.
+                if let (Some((feed, base)), Some(part)) = (&feed_sink, part) {
+                    feed.push(base | task as u64, MapSource::Part(part));
+                }
+                out
+            });
+            ticket.complete(result);
+        }));
+    }
+    let reduce_tasks = wave_barrier(&reduce_gather, reduce_submitted).map_err(StageFailure::Job)?;
+    // Reduce has drained every exchange file; the directory can go.
+    drop(exchange_guard);
+
+    // Deterministic per-partition loads: each partition is charged its
+    // declared work at the job-wide measured rate, plus the per-group
+    // worker-instantiation overheads; partitions sharing a simulated
+    // machine (partitions > machines) add up on it.
+    let base_loads = proportional_loads(reduce_tasks.iter().map(|t| (t.cpu_secs, t.work)), &cost);
+    let mut machine_loads = vec![0.0f64; machines];
+    let mut output = Vec::new();
+    let mut output_records = 0u64;
+    let mut reduce_groups = 0u64;
+    let mut max_group_size = 0u64;
+    let mut merge_passes = 0u64;
+    let mut merge_scratch_bytes = 0u64;
+    for (t, base) in reduce_tasks.into_iter().zip(base_loads) {
+        debug_assert!(t.machine < machines);
+        machine_loads[t.machine] += base + t.groups as f64 * cost.reduce_group_overhead_secs;
+        reduce_groups += t.groups;
+        max_group_size = max_group_size.max(t.max_group);
+        merge_passes += t.merge.passes;
+        merge_scratch_bytes += t.merge.scratch_bytes;
+        output_records += t.emitted;
+        output.extend(t.out);
+        for (k, v) in t.counters {
+            *counters.entry(k).or_insert(0) += v;
+        }
+    }
+    let reduce_sim = if reduce_groups == 0 {
+        PhaseSim::default()
+    } else {
+        phase_sim(&machine_loads, machines)
+    };
+
+    // Hierarchical-merge scratch runs are local-disk I/O exactly like
+    // mapper spill (each scratch byte is written once and read back
+    // once), so they are charged at the same rate, into the same line.
+    let spill_secs =
+        spill_secs + cost.spill_secs_per_byte * 2.0 * merge_scratch_bytes as f64 / machines as f64;
+    let sim_total_secs = cost.job_startup_secs
+        + cost.map_worker_startup_secs
+        + map_sim.makespan_secs
+        + shuffle_secs
+        + spill_secs
+        + transport_secs
+        + reduce_sim.makespan_secs;
+
+    let stats = JobStats {
+        name: spec.name.clone(),
+        machines,
+        input_records,
+        map_output_records,
+        shuffle_records,
+        spilled_records,
+        spill_bytes,
+        spill_runs,
+        transport: transport.name(),
+        transport_bytes,
+        merge_passes,
+        merge_scratch_bytes,
+        peak_buffered_records,
+        reduce_groups,
+        max_group_size,
+        output_records,
+        driver_in_records,
+        driver_out_records: match &sink {
+            StageSink::Driver => output.len() as u64,
+            StageSink::Feed { .. } => 0,
+        },
+        map: map_sim,
+        shuffle_secs,
+        spill_secs,
+        transport_secs,
+        reduce: reduce_sim,
+        sim_total_secs,
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+        counters,
+    };
+    Ok(StreamedResult { output, stats })
+}
+
+/// One map task: streams its source through `map`, with periodic combine
+/// and spill under a bounded shuffle. Runs on a pool worker.
+fn run_map_task<'f, I, K, V, O>(
+    spec: &StageSpec<'f, I, K, V, O>,
+    shuffle: &ShuffleConfig,
+    spill_dir: Option<&SpillDirGuard>,
+    partitions: usize,
+    task: usize,
+    source: MapSource<'f, I>,
+) -> Result<MapTaskOut<K, V>, JobError>
+where
+    I: Sync + Spill,
+    K: Hash + Eq + Send + Spill,
+    V: Send + Spill,
+    O: Send + Spill,
+{
+    let start = Instant::now();
+    let mut emitter = match (spill_dir, shuffle.spill_threshold) {
+        (Some(guard), Some(threshold)) => Emitter::with_buffer(PartitionedBuffer::with_spill(
+            partitions,
+            threshold,
+            guard.0.clone(),
+            task,
+        )),
+        _ => Emitter::with_partitions(partitions),
+    };
+    // Periodic combine watermark: re-combine only after the buffer
+    // has grown by combine_threshold records since the last pass,
+    // so a poorly combinable stream cannot trigger quadratic
+    // re-combining. (usize::MAX = never, the unbounded default.)
+    let combine_threshold = match (spec.combine.is_some(), shuffle.combine_threshold) {
+        (true, Some(t)) => t.max(1),
+        _ => usize::MAX,
+    };
+    let mut next_combine = combine_threshold;
+    let mut combine_work = 0u64;
+    let mut task_input = 0u64;
+    // One input record through map + the periodic combine check
+    // (macro, not closure: it borrows half the task state).
+    macro_rules! feed {
+        ($record:expr) => {{
+            task_input += 1;
+            (spec.map)($record, &mut emitter);
+            if emitter.buffer.len() >= next_combine {
+                combine_work += emitter.buffer.len() as u64;
+                spec.combine
+                    .as_ref()
+                    .expect("combine_threshold implies combiner")(&mut emitter.buffer);
+                // Combining may not have freed enough (distinct
+                // keys); spill the combined run if still over the
+                // cap.
+                emitter.buffer.maybe_spill();
+                next_combine = emitter.buffer.len() + combine_threshold;
+            }
+        }};
+    }
+    match source {
+        MapSource::Chunk(records) => {
+            for record in records {
+                feed!(record);
+            }
+        }
+        MapSource::Part(DataPartition::Mem(records)) => {
+            for record in &records {
+                feed!(record);
+            }
+        }
+        MapSource::Part(DataPartition::Spilled { file, meta }) => {
+            let mut reader = RunReader::new(file, meta);
+            while let Some((_h, (), record)) = reader.next::<(), I>()? {
+                feed!(&record);
+            }
+        }
+    }
+    let emitted = emitter.emitted;
+    // Final map-side combine over the leftover buffer: inside the
+    // timed task (for the measured rate mode) *and* declared as one
+    // work unit per scanned record (for the deterministic
+    // work_unit_secs mode), so its CPU cost lands in the simulated
+    // map phase like a real combiner's would instead of being
+    // booked as free.
+    let shuffled_in_mem = match &spec.combine {
+        Some(c) => {
+            combine_work += emitter.buffer.len() as u64;
+            c(&mut emitter.buffer) as u64
+        }
+        None => emitter.buffer.len() as u64,
+    };
+    let spill = emitter.buffer.take_spill();
+    let spilled = spill.as_ref().map_or(0, |s| s.records);
+    let cpu_secs = start.elapsed().as_secs_f64();
+    let work = task_input + emitted + combine_work + spilled + emitter.work_units;
+    Ok(MapTaskOut {
+        cpu_secs,
+        work,
+        input: task_input,
+        emitted,
+        shuffled: shuffled_in_mem + spilled,
+        peak_buffered: emitter.buffer.peak_buffered() as u64,
+        parts: emitter.buffer.into_parts(),
+        spill,
+        counters: emitter.counters,
+    })
+}
+
+/// One reduce task: groups its partition's segments (in-memory, or a
+/// streaming k-way sort-merge when anything spilled) and feeds each key's
+/// values to `reduce`. Returns the measured task plus — for dataset
+/// stages — the finished output partition to deliver downstream. Runs on
+/// a pool worker.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn run_reduce_task<'f, I, K, V, O>(
+    spec: &StageSpec<'f, I, K, V, O>,
+    shuffle: &ShuffleConfig,
+    dataset_sink: bool,
+    stage_out_dir: Option<&Path>,
+    merge_scratch: Option<&Path>,
+    machines: usize,
+    partition: usize,
+    segments: Vec<Segment<K, V>>,
+) -> Result<(ReduceTaskOut<O>, Option<DataPartition<O>>), JobError>
+where
+    K: Hash + Eq + Spill,
+    V: Spill,
+    O: Spill,
+{
+    let mut sink = OutputSink::new();
+    let mut out_writer: Option<SpillWriter> = None;
+    let mut max_group = 0u64;
+    let mut n_groups = 0u64;
+    let mut work = 0u64;
+    let mut merge = MergeEffort::default();
+    let start = Instant::now();
+    if segments.iter().any(Segment::is_spilled) {
+        // External path: stream a k-way sort-merge over the sorted
+        // spill/exchange runs and the (sorted-on-the-fly)
+        // in-memory segments, reducing each key as its run
+        // completes — the partition is never materialized. With a
+        // merge fan-in cap, runs beyond the cap are first folded
+        // hierarchically into scratch runs. Group order: ascending
+        // key fingerprint.
+        merge = merge_segments_capped(
+            segments,
+            shuffle.merge_fan_in,
+            merge_scratch.map(|dir| dir.join(format!("reduce{partition}.merge"))),
+            |key, values| {
+                let n_values = values.len() as u64;
+                max_group = max_group.max(n_values);
+                n_groups += 1;
+                work += n_values;
+                (spec.reduce)(&key, values, &mut sink);
+                if let Some(dir) = stage_out_dir {
+                    drain_stage_output(&mut sink, &mut out_writer, dir, partition)?;
+                }
+                Ok(())
+            },
+        )?;
+    } else {
+        // In-memory path: group by key, remembering each key's
+        // first occurrence so the group order within a partition
+        // is deterministic (segments arrive in map-task order).
+        let mut groups: HashMap<K, (usize, Vec<V>), crate::hash::FxBuildHasher> =
+            HashMap::default();
+        let mut pos = 0usize;
+        for segment in segments {
+            let Segment::Mem(records) = segment else {
+                unreachable!("spilled segments take the merge path");
+            };
+            for (_h, k, v) in records {
+                groups
+                    .entry(k)
+                    .or_insert_with(|| (pos, Vec::new()))
+                    .1
+                    .push(v);
+                pos += 1;
+            }
+        }
+        let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
+        ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
+        n_groups = ordered.len() as u64;
+        for (key, (_, values)) in ordered {
+            let n_values = values.len() as u64;
+            max_group = max_group.max(n_values);
+            work += n_values;
+            (spec.reduce)(&key, values, &mut sink);
+            if let Some(dir) = stage_out_dir {
+                drain_stage_output(&mut sink, &mut out_writer, dir, partition)
+                    .map_err(JobError::from)?;
+            }
+        }
+    }
+    let cpu_secs = start.elapsed().as_secs_f64();
+    work += sink.emitted + sink.work_units;
+    let part: Option<DataPartition<O>> = match (dataset_sink, out_writer) {
+        // Bounded dataset stage: the sink was drained after every
+        // group, so the run file *is* the partition.
+        (_, Some(writer)) => {
+            let meta = RunMeta {
+                offset: 0,
+                bytes: writer.bytes(),
+                records: writer.records(),
+            };
+            let (file, _path) = writer.into_reader().map_err(|e| JobError::Spill {
+                message: format!("stage output finalize failed: {e}"),
+            })?;
+            Some(DataPartition::Spilled { file, meta })
+        }
+        // Unbounded dataset stage: hand the buffer over as-is.
+        (true, None) if !sink.out.is_empty() => {
+            Some(DataPartition::Mem(std::mem::take(&mut sink.out)))
+        }
+        _ => None,
+    };
+    Ok((
+        ReduceTaskOut {
+            machine: partition % machines,
+            cpu_secs,
+            work,
+            groups: n_groups,
+            max_group,
+            merge,
+            emitted: sink.emitted,
+            out: sink.out,
+            counters: sink.counters,
+        },
+        part,
+    ))
 }
 
 /// Drains a reduce sink's buffered output records into the task's
@@ -931,33 +1193,30 @@ impl Cluster {
 /// dataset-producing reduce task under a bounded shuffle never holds more
 /// than one group's output in memory. Records are framed in the spill
 /// wire format with a zero fingerprint and a unit key — the next stage
-/// streams them back as plain values. I/O failures panic, surfacing as a
-/// reduce-worker panic like every other task-local I/O failure.
+/// streams them back as plain values. I/O failures surface as a
+/// [`SpillError`](crate::spill::SpillError), which the job path converts
+/// into [`JobError::Spill`] — a full disk fails the job, not the process.
 fn drain_stage_output<O: Spill>(
     sink: &mut OutputSink<O>,
     writer: &mut Option<SpillWriter>,
-    dir: &std::path::Path,
+    dir: &Path,
     partition: usize,
-) {
+) -> Result<(), crate::spill::SpillError> {
     if sink.out.is_empty() {
-        return;
+        return Ok(());
     }
     let writer = match writer {
         Some(w) => w,
         None => {
             let path = dir.join(format!("part{partition}.run"));
-            *writer = Some(
-                SpillWriter::create(path)
-                    .unwrap_or_else(|e| panic!("stage output file creation failed: {e}")),
-            );
+            *writer = Some(SpillWriter::create(path)?);
             writer.as_mut().expect("just created")
         }
     };
     for record in sink.out.drain(..) {
-        writer
-            .write_record(0u64, &(), &record)
-            .unwrap_or_else(|e| panic!("stage output write failed: {e}"));
+        writer.write_record(0u64, &(), &record)?;
     }
+    Ok(())
 }
 
 /// Converts measured `(cpu_secs, work_units)` samples into simulated

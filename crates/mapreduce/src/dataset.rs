@@ -1,4 +1,5 @@
-//! Dataset handles: chaining pipeline stages inside the runtime.
+//! Dataset handles: lazy job graphs chaining pipeline stages inside the
+//! runtime.
 //!
 //! The classic [`Cluster::run*`](crate::cluster::Cluster::run) entry
 //! points materialize every job's output as one driver-side `Vec` — fine
@@ -10,27 +11,39 @@
 //!
 //! * [`Cluster::input`] lifts a driver slice into a handle;
 //! * [`Dataset::map_reduce`] / [`Dataset::map_reduce_combined`] (and
-//!   their `_with_group_overhead` variants) run one MapReduce stage whose
-//!   output *stays inside the runtime* as partition segments — per-reduce-
-//!   task in-memory buffers, or (under a bounded shuffle) sorted-run files
-//!   in the spill wire format ([`crate::spill`]) drained group-by-group;
-//! * the next stage's map wave runs **one map task per partition**,
-//!   streaming each segment directly (a [`RunReader`] per spilled run), so
-//!   interior stages move records worker-to-worker without ever crossing
-//!   the driver boundary ([`JobStats::driver_in_records`] /
-//!   [`JobStats::driver_out_records`] are zero for them);
-//! * [`Dataset::union`] concatenates two handles' partitions, so merging
-//!   candidate streams needs no driver-side `Vec::extend`;
-//! * [`Dataset::collect`] (or the streaming [`Dataset::for_each_output`])
-//!   is the only point where records cross back into driver memory, booked
-//!   onto the producing job's `driver_out_records`.
+//!   their `_with_group_overhead` variants) **record one stage in a job
+//!   DAG without executing it**; [`Dataset::union`] concatenates two
+//!   graphs' output partitions, and [`Dataset::repartition`] records a
+//!   key-hash re-routing stage for skewed stage outputs;
+//! * a terminal — [`Dataset::collect`], the streaming
+//!   [`Dataset::for_each_output`], or [`Dataset::take_report`] — executes
+//!   the recorded graph. The executor (the private `dag` module) runs every pending
+//!   stage on one shared worker pool with **partition-level cross-stage
+//!   overlap**: the moment an upstream reduce task finishes its
+//!   partition, the downstream map task for that partition is submitted,
+//!   so one stage's reduce wave overlaps the next stage's map wave
+//!   instead of idling cores at a stage barrier. `union` is fused into
+//!   its producers' waves (pure feed plumbing — no stage of its own).
 //!
-//! Every handle carries the [`SimReport`] accumulated over the stages that
-//! built it; `collect` hands it back alongside the records.
+//! Laziness changes *when* stages run, never what they compute: output is
+//! byte-identical to executing each stage at its call site
+//! ([`DatasetMode::Eager`], the differential baseline) and to chaining
+//! the same jobs through driver `Vec`s — property-tested in
+//! `crates/core/tests/dataset_equivalence.rs`.
 //!
-//! Stages execute eagerly — a `map_reduce` call runs its job before
-//! returning — so the "graph" is the chain of handles itself, and stage
-//! closures may freely borrow driver state (corpus, filters, bitmaps).
+//! Interior stages move records worker-to-worker: per-reduce-task
+//! partitions are in-memory buffers, or (under a bounded shuffle)
+//! sorted-run files in the spill wire format ([`crate::spill`]) drained
+//! group-by-group and streamed back by the consumer (a [`RunReader`] per
+//! run), so neither driver memory nor any single worker ever holds an
+//! interior candidate set. [`JobStats::driver_in_records`] /
+//! [`JobStats::driver_out_records`] measure the driver boundary: zero for
+//! interior stages, the collected output for the terminal one.
+//!
+//! Stage closures may freely borrow driver state (corpus, filters,
+//! bitmaps): the handle's lifetime is the intersection of the cluster
+//! borrow and everything the closures capture, and the borrows are only
+//! used while a terminal executes.
 //!
 //! ```
 //! use tsj_mapreduce::{Cluster, Count, Emitter, OutputSink};
@@ -38,7 +51,8 @@
 //! let cluster = Cluster::with_machines(4);
 //! let docs = ["a b a", "b c"].map(String::from);
 //! // Stage 1 (word count) flows into stage 2 (count histogram) without
-//! // the intermediate (word, count) records ever landing driver-side.
+//! // the intermediate (word, count) records ever landing driver-side —
+//! // and stage 1's reduce overlaps stage 2's map at collect time.
 //! let (histogram, report) = cluster
 //!     .input(&docs)
 //!     .map_reduce_combined(
@@ -63,7 +77,8 @@
 //!         },
 //!     )
 //!     .unwrap()
-//!     .collect();
+//!     .collect()
+//!     .unwrap();
 //! let mut histogram = histogram;
 //! histogram.sort_unstable();
 //! assert_eq!(histogram, vec![(1, 1), (2, 2)]); // {a: 2, b: 2, c: 1}
@@ -77,13 +92,76 @@
 
 use std::fs::File;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use crate::cluster::{Cluster, CombineFn, SinkMode, StageInput};
+use crate::cluster::{
+    run_stage_streamed, Cluster, CombineFn, MapFn, ReduceFn, StageFailure, StageSink, StageSpec,
+};
+use crate::dag::{self, Builder, Feed, MapSource, StatsSlot};
+use crate::hash::fingerprint64;
 use crate::job::{Emitter, JobError, OutputSink};
+use crate::pool::panic_message;
 use crate::report::SimReport;
-use crate::shuffle::{Combiner, PartitionedBuffer};
-use crate::spill::{RunMeta, RunReader, Spill, SpillDirGuard};
+use crate::shuffle::Combiner;
+use crate::spill::{RunMeta, RunReader, Spill, SpillDirGuard, SpillError};
+
+/// How [`Dataset`] stages execute (`TSJ_DATASET_MODE`, or
+/// [`Cluster::with_dataset_mode`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DatasetMode {
+    /// Record stages in a job DAG; execute at a terminal with
+    /// partition-level cross-stage overlap (the default).
+    #[default]
+    Lazy,
+    /// Execute every stage at its `map_reduce*` call, one stage at a time
+    /// — the pre-DAG behaviour, kept as the differential baseline the
+    /// lazy scheduler is property-tested against (and for debugging:
+    /// errors surface at the call that caused them).
+    Eager,
+}
+
+impl DatasetMode {
+    /// Stable lowercase name (what `TSJ_DATASET_MODE` accepts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetMode::Lazy => "lazy",
+            DatasetMode::Eager => "eager",
+        }
+    }
+
+    /// Parses a `TSJ_DATASET_MODE` value (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "lazy" => Some(DatasetMode::Lazy),
+            "eager" => Some(DatasetMode::Eager),
+            _ => None,
+        }
+    }
+
+    /// The default with the `TSJ_DATASET_MODE` environment override
+    /// applied; invalid values fall back loudly (one stderr line), like
+    /// [`ShuffleConfig::from_env`](crate::shuffle::ShuffleConfig).
+    pub fn from_env() -> Self {
+        Self::from_lookup(|name| std::env::var_os(name))
+    }
+
+    pub(crate) fn from_lookup(lookup: impl Fn(&str) -> Option<std::ffi::OsString>) -> Self {
+        match lookup("TSJ_DATASET_MODE") {
+            None => DatasetMode::default(),
+            Some(raw) => match raw.to_str().and_then(DatasetMode::parse) {
+                Some(mode) => mode,
+                None => {
+                    eprintln!(
+                        "tsj-mapreduce: ignoring invalid TSJ_DATASET_MODE={raw:?} \
+                         (expected \"lazy\" or \"eager\"); using lazy execution"
+                    );
+                    DatasetMode::default()
+                }
+            },
+        }
+    }
+}
 
 /// One partition of a stage's output, resident in the runtime: the
 /// in-memory buffer of one reduce task, or a sorted-run file in the spill
@@ -116,69 +194,95 @@ impl<T> DataPartition<T> {
 impl<T: Spill> DataPartition<T> {
     /// Streams every record to `f` (decoding spilled runs one record at a
     /// time; in-memory partitions are moved out).
-    fn drain(self, f: &mut impl FnMut(T)) {
+    fn drain(self, f: &mut impl FnMut(T)) -> Result<(), SpillError> {
         match self {
-            DataPartition::Mem(records) => records.into_iter().for_each(&mut *f),
+            DataPartition::Mem(records) => {
+                records.into_iter().for_each(&mut *f);
+                Ok(())
+            }
             DataPartition::Spilled { file, meta } => {
                 let mut reader = RunReader::new(file, meta);
-                while let Some((_h, (), record)) = reader.next::<(), T>() {
+                while let Some((_h, (), record)) = reader.next::<(), T>()? {
                     f(record);
                 }
+                Ok(())
             }
         }
     }
 }
 
-/// Where a dataset's records currently live.
-enum Source<T> {
+/// A node producing partitions of `T` — the type-erasure boundary of the
+/// plan tree: the stage's input type (and its key/value types) are known
+/// only inside the implementation, which owns its child plan and the
+/// typed feed connecting them.
+trait PlanNode<'a, T>: Send {
+    /// Lowers this node (and its whole subtree) into stage drivers,
+    /// registering as a producer on `out`.
+    fn build(self: Box<Self>, cluster: &'a Cluster, b: &mut Builder<'a>, out: Feed<'a, T>);
+}
+
+/// Where a dataset's records currently live (or how to compute them).
+enum Plan<'a, T> {
     /// Driver memory, not yet through any stage ([`Cluster::input`]). The
     /// first stage chunks it exactly like the classic `run*` path (one map
     /// task per simulated machine) and books the records as
     /// `driver_in_records`.
-    Driver(Vec<T>),
-    /// Partitioned output of one or more stages, resident in the runtime.
-    Parts {
+    Input(Vec<T>),
+    /// Partitioned output of already-executed stages, resident in the
+    /// runtime (a forced prefix, or [`DatasetMode::Eager`]).
+    Materialized {
         parts: Vec<DataPartition<T>>,
         /// Directory guards keeping spilled stage-output runs alive.
         guards: Vec<Arc<SpillDirGuard>>,
+        /// Driver-resident records hiding inside the partitions because a
+        /// union (or eager forcing) converted a fresh input; the next
+        /// stage books them as `driver_in_records` so the boundary
+        /// accounting stays exact for every graph shape.
+        driver_pending: u64,
     },
+    /// A recorded, not-yet-executed stage (and its upstream subtree).
+    Stage(Box<dyn PlanNode<'a, T> + 'a>),
+    /// Concatenation of two plans' output partitions (left first).
+    Union(Box<Plan<'a, T>>, Box<Plan<'a, T>>),
+    /// A previous terminal failed; the error sticks to the handle so
+    /// every later terminal re-surfaces it instead of silently yielding
+    /// an empty result.
+    Failed(JobError),
 }
 
-/// A handle on partitioned records inside the runtime — see the [module
-/// docs](self) for the programming model.
-pub struct Dataset<'c, T> {
-    cluster: &'c Cluster,
-    source: Source<T>,
+/// A handle on (an unexecuted plan for) partitioned records inside the
+/// runtime — see the [module docs](self) for the programming model.
+pub struct Dataset<'a, T> {
+    cluster: &'a Cluster,
+    plan: Plan<'a, T>,
+    /// Stats of stages already executed behind this handle.
     report: SimReport,
-    /// Index (into `report`) of the job that produced the current
-    /// partitions; `collect` books the driver crossing there. `None` for
-    /// fresh inputs and unions (a union's partitions have two producers).
-    producer: Option<usize>,
-    /// Driver-resident records hiding inside `Source::Parts` because a
-    /// union converted a fresh input into partitions; the next stage adds
-    /// them to its `driver_in_records` so the boundary accounting stays
-    /// exact for every graph shape.
-    pending_driver_in: u64,
+    /// True when the current `Materialized` partitions were produced by
+    /// the last job in `report` — `collect` books its driver crossing
+    /// there, mirroring the stage-at-a-time semantics. Cleared by `union`
+    /// (two producers) and [`Dataset::take_report`] (the stats left).
+    producer_is_last_job: bool,
 }
 
 impl<T> std::fmt::Debug for Dataset<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (partitions, resident) = match &self.source {
-            Source::Driver(records) => (1, format!("driver({} records)", records.len())),
-            Source::Parts { parts, .. } => (parts.len(), "runtime".to_owned()),
+        let resident = match &self.plan {
+            Plan::Input(records) => format!("driver({} records)", records.len()),
+            Plan::Materialized { parts, .. } => format!("runtime({} partitions)", parts.len()),
+            Plan::Stage(_) | Plan::Union(..) => "pending".to_owned(),
+            Plan::Failed(e) => format!("failed({e})"),
         };
         f.debug_struct("Dataset")
-            .field("partitions", &partitions)
             .field("resident", &resident)
-            .field("jobs", &self.report.jobs().len())
+            .field("executed_jobs", &self.report.jobs().len())
             .finish()
     }
 }
 
 impl Cluster {
     /// Lifts a driver-resident slice into a [`Dataset`] handle, the entry
-    /// point of a chained job graph. The records cross the driver boundary
-    /// when the first stage consumes them (booked as that job's
+    /// point of a job graph. The records cross the driver boundary when
+    /// the first stage consumes them (booked as that job's
     /// [`driver_in_records`](crate::job::JobStats::driver_in_records)).
     ///
     /// Clones the slice; when the caller has an owned `Vec` to give away,
@@ -191,54 +295,219 @@ impl Cluster {
     pub fn input_vec<T>(&self, records: Vec<T>) -> Dataset<'_, T> {
         Dataset {
             cluster: self,
-            source: Source::Driver(records),
+            plan: Plan::Input(records),
             report: SimReport::new(),
-            producer: None,
-            pending_driver_in: 0,
+            producer_is_last_job: false,
         }
     }
 }
 
-impl<'c, T: Sync + Spill> Dataset<'c, T> {
-    /// Runs one MapReduce stage over this dataset; the output stays
-    /// partitioned in the runtime (see the [module docs](self)).
+/// The recorded form of one stage: its spec plus its upstream plan.
+struct StagePlan<'a, I, K, V, O> {
+    child: Plan<'a, I>,
+    spec: StageSpec<'a, I, K, V, O>,
+}
+
+impl<'a, I, K, V, O> PlanNode<'a, O> for StagePlan<'a, I, K, V, O>
+where
+    I: Send + Sync + Spill + 'a,
+    K: Hash + Eq + Send + Spill + 'a,
+    V: Send + Spill + 'a,
+    O: Send + Sync + Spill + 'a,
+{
+    fn build(self: Box<Self>, cluster: &'a Cluster, b: &mut Builder<'a>, out: Feed<'a, O>) {
+        let base = b.next_base();
+        out.register_producer();
+        let input: Feed<'a, I> = Feed::new();
+        build_plan(self.child, cluster, b, input.clone());
+        // Slot allocated after the subtree's: slot order = execution
+        // (topological) order, which is what the report shows.
+        let slot: Arc<StatsSlot> = b.new_slot();
+        let spec = self.spec;
+        b.thunks.push(Box::new(move |pool| {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_stage_streamed(
+                    cluster,
+                    spec,
+                    input,
+                    StageSink::Feed {
+                        feed: out.clone(),
+                        base,
+                    },
+                    pool,
+                )
+            }))
+            .unwrap_or_else(|p| {
+                Err(StageFailure::Job(JobError::WorkerPanic {
+                    phase: "stage",
+                    message: panic_message(p),
+                }))
+            });
+            let ok = match result {
+                Ok(r) => {
+                    slot.set(Ok(r.stats));
+                    true
+                }
+                Err(StageFailure::Job(e)) => {
+                    slot.set(Err(e));
+                    false
+                }
+                // Upstream failed: its slot carries the error; this stage
+                // reports nothing and just propagates the failure mark.
+                Err(StageFailure::Upstream) => false,
+            };
+            out.close_producer(ok);
+        }));
+    }
+}
+
+/// Lowers a plan tree into the builder, delivering its output into `out`.
+fn build_plan<'a, T: Send + Sync + Spill + 'a>(
+    plan: Plan<'a, T>,
+    cluster: &'a Cluster,
+    b: &mut Builder<'a>,
+    out: Feed<'a, T>,
+) {
+    match plan {
+        Plan::Input(records) => {
+            let base = b.next_base();
+            out.register_producer();
+            out.add_driver_in(records.len() as u64);
+            // Chunk exactly like the classic driver-slice path, so a
+            // lifted input sees the same map-task layout either way.
+            let (_tasks, chunk) = cluster.slice_chunking(records.len());
+            let mut records = records;
+            let mut idx = 0u64;
+            while !records.is_empty() {
+                let tail = records.split_off(chunk.min(records.len()));
+                let head = std::mem::replace(&mut records, tail);
+                out.push(base | idx, MapSource::Part(DataPartition::Mem(head)));
+                idx += 1;
+            }
+            out.close_producer(true);
+        }
+        Plan::Materialized {
+            parts,
+            guards,
+            driver_pending,
+        } => {
+            let base = b.next_base();
+            out.register_producer();
+            out.add_driver_in(driver_pending);
+            for guard in guards {
+                out.add_guard(guard);
+            }
+            for (idx, part) in parts.into_iter().enumerate() {
+                if part.records() > 0 {
+                    out.push(base | idx as u64, MapSource::Part(part));
+                }
+            }
+            out.close_producer(true);
+        }
+        Plan::Stage(node) => node.build(cluster, b, out),
+        Plan::Failed(_) => unreachable!(
+            "failed handles never reach the builder: force() returns their error first"
+        ),
+        Plan::Union(left, right) => {
+            // Left registers (and gets its ordinal base) first, so the
+            // consumer's ordinal sort reproduces left-then-right — the
+            // same concatenation order stage-at-a-time union used.
+            build_plan(*left, cluster, b, out.clone());
+            build_plan(*right, cluster, b, out);
+        }
+    }
+}
+
+/// What executing a plan yields: its output partitions (ordinal-sorted),
+/// the guards keeping spilled ones alive, the pending driver-crossing
+/// count, and the executed stages' report in topological order.
+type Executed<T> = (
+    Vec<DataPartition<T>>,
+    Vec<Arc<SpillDirGuard>>,
+    u64,
+    SimReport,
+);
+
+/// Builds and runs a plan's pending stages on a shared pool (one worker
+/// per configured thread), with cross-stage overlap.
+fn execute_plan<'a, T: Send + Sync + Spill + 'a>(
+    cluster: &'a Cluster,
+    plan: Plan<'a, T>,
+) -> Result<Executed<T>, JobError> {
+    let mut b = Builder::new();
+    let out: Feed<'a, T> = Feed::new();
+    build_plan(plan, cluster, &mut b, out.clone());
+    let slots = b.slots.clone();
+    dag::execute(cluster.threads(), b.thunks);
+    let report = dag::gather(&slots)?;
+    let (mut items, guards, driver_pending) = out.drain_terminal();
+    items.sort_unstable_by_key(|(ordinal, _)| *ordinal);
+    let parts = items
+        .into_iter()
+        .map(|(_, source)| match source {
+            MapSource::Part(part) => part,
+            // Chunk sources exist only on the classic `run*` path, which
+            // never flows through a plan.
+            MapSource::Chunk(_) => unreachable!("plan feeds carry partitions"),
+        })
+        .collect();
+    Ok((parts, guards, driver_pending, report))
+}
+
+impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
+    /// Records one MapReduce stage over this dataset; the stage executes
+    /// at the next terminal, and its output stays partitioned in the
+    /// runtime (see the [module docs](self)).
+    ///
+    /// Under [`DatasetMode::Lazy`] (the default) this cannot fail — the
+    /// `Result` carries execution errors only in eager mode, where the
+    /// stage runs immediately. Terminal calls surface lazy-mode errors.
     pub fn map_reduce<K, V, O, M, R>(
         self,
         name: &str,
         map: M,
         reduce: R,
-    ) -> Result<Dataset<'c, O>, JobError>
+    ) -> Result<Dataset<'a, O>, JobError>
     where
-        K: Hash + Eq + Send + Spill,
-        V: Send + Spill,
-        O: Send + Spill,
-        M: Fn(&T, &mut Emitter<K, V>) + Sync,
-        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+        K: Hash + Eq + Send + Spill + 'a,
+        V: Send + Spill + 'a,
+        O: Send + Sync + Spill + 'a,
+        M: Fn(&T, &mut Emitter<K, V>) + Send + Sync + 'a,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Send + Sync + 'a,
     {
         let overhead = self.cluster.config().cost.reduce_group_overhead_secs;
-        self.stage(name, overhead, map, None, reduce)
+        self.stage(name, overhead, None, Box::new(map), None, Box::new(reduce))
     }
 
     /// [`Dataset::map_reduce`] with a map-side [`Combiner`] (same contract
-    /// as [`Cluster::run_combined`](crate::cluster::Cluster::run_combined)).
+    /// as [`Cluster::run_combined`](crate::cluster::Cluster::run_combined);
+    /// the combiner is cloned into the recorded stage).
     pub fn map_reduce_combined<K, V, O, M, C, R>(
         self,
         name: &str,
         map: M,
         combiner: &C,
         reduce: R,
-    ) -> Result<Dataset<'c, O>, JobError>
+    ) -> Result<Dataset<'a, O>, JobError>
     where
-        K: Hash + Eq + Clone + Send + Spill,
-        V: Send + Spill,
-        O: Send + Spill,
-        M: Fn(&T, &mut Emitter<K, V>) + Sync,
-        C: Combiner<K, V>,
-        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+        K: Hash + Eq + Clone + Send + Spill + 'a,
+        V: Send + Spill + 'a,
+        O: Send + Sync + Spill + 'a,
+        M: Fn(&T, &mut Emitter<K, V>) + Send + Sync + 'a,
+        C: Combiner<K, V> + Clone + Send + 'a,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Send + Sync + 'a,
     {
         let overhead = self.cluster.config().cost.reduce_group_overhead_secs;
-        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
-        self.stage(name, overhead, map, Some(&combine), reduce)
+        let combiner = combiner.clone();
+        let combine: CombineFn<'a, K, V> = Box::new(move |buffer| buffer.combine(&combiner));
+        self.stage(
+            name,
+            overhead,
+            None,
+            Box::new(map),
+            Some(combine),
+            Box::new(reduce),
+        )
     }
 
     /// [`Dataset::map_reduce`] with an explicit per-reduce-group worker
@@ -250,15 +519,22 @@ impl<'c, T: Sync + Spill> Dataset<'c, T> {
         group_overhead_secs: f64,
         map: M,
         reduce: R,
-    ) -> Result<Dataset<'c, O>, JobError>
+    ) -> Result<Dataset<'a, O>, JobError>
     where
-        K: Hash + Eq + Send + Spill,
-        V: Send + Spill,
-        O: Send + Spill,
-        M: Fn(&T, &mut Emitter<K, V>) + Sync,
-        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+        K: Hash + Eq + Send + Spill + 'a,
+        V: Send + Spill + 'a,
+        O: Send + Sync + Spill + 'a,
+        M: Fn(&T, &mut Emitter<K, V>) + Send + Sync + 'a,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Send + Sync + 'a,
     {
-        self.stage(name, group_overhead_secs, map, None, reduce)
+        self.stage(
+            name,
+            group_overhead_secs,
+            None,
+            Box::new(map),
+            None,
+            Box::new(reduce),
+        )
     }
 
     /// [`Dataset::map_reduce_combined`] with an explicit per-reduce-group
@@ -270,86 +546,107 @@ impl<'c, T: Sync + Spill> Dataset<'c, T> {
         map: M,
         combiner: &C,
         reduce: R,
-    ) -> Result<Dataset<'c, O>, JobError>
+    ) -> Result<Dataset<'a, O>, JobError>
     where
-        K: Hash + Eq + Clone + Send + Spill,
-        V: Send + Spill,
-        O: Send + Spill,
-        M: Fn(&T, &mut Emitter<K, V>) + Sync,
-        C: Combiner<K, V>,
-        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+        K: Hash + Eq + Clone + Send + Spill + 'a,
+        V: Send + Spill + 'a,
+        O: Send + Sync + Spill + 'a,
+        M: Fn(&T, &mut Emitter<K, V>) + Send + Sync + 'a,
+        C: Combiner<K, V> + Clone + Send + 'a,
+        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Send + Sync + 'a,
     {
-        let combine = |buffer: &mut PartitionedBuffer<K, V>| buffer.combine(combiner);
-        self.stage(name, group_overhead_secs, map, Some(&combine), reduce)
+        let combiner = combiner.clone();
+        let combine: CombineFn<'a, K, V> = Box::new(move |buffer| buffer.combine(&combiner));
+        self.stage(
+            name,
+            group_overhead_secs,
+            None,
+            Box::new(map),
+            Some(combine),
+            Box::new(reduce),
+        )
     }
 
-    /// The shared stage runner behind the four `map_reduce*` variants.
-    fn stage<K, V, O, M, R>(
+    /// Records a repartitioning stage: re-routes this dataset's records
+    /// into `partitions` shuffle partitions by record hash (the
+    /// fingerprint of each record's [`Spill`] encoding) through the
+    /// ordinary exchange machinery — the remedy for skewed stage outputs,
+    /// where one fat partition would serialize the next stage's map wave.
+    /// Record multiset is unchanged; partition *placement* (and hence
+    /// concatenation order at `collect`) follows the hash routing, which
+    /// is a pure function of the data.
+    pub fn repartition(self, partitions: usize) -> Result<Dataset<'a, T>, JobError>
+    where
+        T: Clone + 'a,
+    {
+        let overhead = self.cluster.config().cost.reduce_group_overhead_secs;
+        let name = format!("repartition({partitions})");
+        self.stage(
+            &name,
+            overhead,
+            Some(partitions.max(1)),
+            Box::new(|record: &T, e: &mut Emitter<u64, T>| {
+                let mut bytes = Vec::new();
+                record.spill(&mut bytes);
+                e.emit(fingerprint64(&bytes), record.clone());
+            }),
+            None,
+            Box::new(|_h: &u64, records: Vec<T>, out: &mut OutputSink<T>| {
+                for record in records {
+                    out.emit(record);
+                }
+            }),
+        )
+    }
+
+    /// The shared stage recorder behind the `map_reduce*` variants: wraps
+    /// this plan in a [`StagePlan`] node (and, in eager mode, executes it
+    /// immediately).
+    fn stage<K, V, O>(
         self,
         name: &str,
         group_overhead_secs: f64,
-        map: M,
-        combine: Option<CombineFn<'_, K, V>>,
-        reduce: R,
-    ) -> Result<Dataset<'c, O>, JobError>
+        partitions_override: Option<usize>,
+        map: MapFn<'a, T, K, V>,
+        combine: Option<CombineFn<'a, K, V>>,
+        reduce: ReduceFn<'a, K, V, O>,
+    ) -> Result<Dataset<'a, O>, JobError>
     where
-        K: Hash + Eq + Send + Spill,
-        V: Send + Spill,
-        O: Send + Spill,
-        M: Fn(&T, &mut Emitter<K, V>) + Sync,
-        R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Sync,
+        K: Hash + Eq + Send + Spill + 'a,
+        V: Send + Spill + 'a,
+        O: Send + Sync + Spill + 'a,
     {
         let Dataset {
             cluster,
-            source,
-            mut report,
-            pending_driver_in,
+            plan,
+            report,
             ..
         } = self;
-        let mut result = match &source {
-            Source::Driver(records) => cluster.run_stage(
-                name,
-                group_overhead_secs,
-                StageInput::Slice(records),
-                map,
-                combine,
-                reduce,
-                SinkMode::Dataset,
-            )?,
-            Source::Parts { parts, .. } => cluster.run_stage(
-                name,
-                group_overhead_secs,
-                StageInput::Parts(parts),
-                map,
-                combine,
-                reduce,
-                SinkMode::Dataset,
-            )?,
+        let spec = StageSpec {
+            name: name.to_owned(),
+            group_overhead_secs,
+            partitions: partitions_override.unwrap_or_else(|| cluster.partitions()),
+            map,
+            combine,
+            reduce,
         };
-        // Driver records a union folded into the partitions cross the
-        // boundary here, at their first map wave (the engine only counts
-        // the Slice path itself).
-        result.stats.driver_in_records += pending_driver_in;
-        // The previous stage's buffers and run files are consumed; free
-        // them (and their directories) before handing the new stage back.
-        drop(source);
-        report.push(result.stats);
-        let producer = Some(report.jobs().len() - 1);
-        Ok(Dataset {
+        let mut next = Dataset {
             cluster,
-            source: Source::Parts {
-                parts: result.parts,
-                guards: result.guard.into_iter().collect(),
-            },
+            plan: Plan::Stage(Box::new(StagePlan { child: plan, spec })),
             report,
-            producer,
-            pending_driver_in: 0,
-        })
+            producer_is_last_job: false,
+        };
+        if cluster.dataset_mode() == DatasetMode::Eager {
+            next.force()?;
+        }
+        Ok(next)
     }
 
-    /// Concatenates two datasets' partitions (candidate streams merging
-    /// into one downstream stage). Reports are concatenated too — `self`'s
-    /// jobs first. Both handles must come from the same [`Cluster`].
+    /// Concatenates two datasets' output partitions (candidate streams
+    /// merging into one downstream stage) — pure graph plumbing, fused
+    /// into the producers' waves at execution time. Already-executed
+    /// reports are concatenated too, `self`'s jobs first. Both handles
+    /// must come from the same [`Cluster`].
     ///
     /// Driver-boundary accounting stays exact for every shape: a fresh
     /// input folded in by the union books its records as
@@ -357,124 +654,143 @@ impl<'c, T: Sync + Spill> Dataset<'c, T> {
     /// producing job, though, so *collecting* it directly books the
     /// outbound crossing on no job; route unions into a stage (the normal
     /// case) for exact outbound accounting.
-    pub fn union(self, other: Dataset<'c, T>) -> Dataset<'c, T> {
+    pub fn union(self, other: Dataset<'a, T>) -> Dataset<'a, T> {
         assert!(
             std::ptr::eq(self.cluster, other.cluster),
             "union requires datasets of the same cluster"
         );
-        let cluster = self.cluster;
-        let (mut parts, mut guards, mut report, pending) = self.into_parts();
-        let (other_parts, other_guards, other_report, other_pending) = other.into_parts();
-        parts.extend(other_parts);
-        guards.extend(other_guards);
-        report.extend(other_report);
+        let mut report = self.report;
+        report.extend(other.report);
         Dataset {
-            cluster,
-            source: Source::Parts { parts, guards },
+            cluster: self.cluster,
+            plan: Plan::Union(Box::new(self.plan), Box::new(other.plan)),
             report,
-            producer: None,
-            pending_driver_in: pending + other_pending,
+            producer_is_last_job: false,
         }
     }
 
-    /// Decomposes into partitions + guards + report + the driver-resident
-    /// record count still awaiting its inbound crossing, converting a
-    /// driver source into the partition layout its first stage would have
-    /// seen (one chunk per simulated machine).
-    #[allow(clippy::type_complexity)]
-    fn into_parts(
-        self,
-    ) -> (
-        Vec<DataPartition<T>>,
-        Vec<Arc<SpillDirGuard>>,
-        SimReport,
-        u64,
-    ) {
-        match self.source {
-            Source::Parts { parts, guards } => (parts, guards, self.report, self.pending_driver_in),
-            Source::Driver(records) => {
-                let pending = self.pending_driver_in + records.len() as u64;
-                let (tasks, chunk) = self.cluster.slice_chunking(records.len());
-                let mut records = records;
-                let mut parts = Vec::with_capacity(tasks);
-                while !records.is_empty() {
-                    let tail = records.split_off(chunk.min(records.len()));
-                    parts.push(DataPartition::Mem(std::mem::replace(&mut records, tail)));
-                }
-                (parts, Vec::new(), self.report, pending)
+    /// Executes every pending stage behind this handle (the terminals call
+    /// this; so do [`Dataset::records`] and [`DatasetMode::Eager`]) and
+    /// flattens unions, leaving the handle materialized. Idempotent; a
+    /// failure poisons the handle so later terminals re-surface the same
+    /// error instead of silently yielding an empty result.
+    fn force(&mut self) -> Result<(), JobError> {
+        match &self.plan {
+            Plan::Input(_) | Plan::Materialized { .. } => return Ok(()),
+            Plan::Failed(e) => return Err(e.clone()),
+            Plan::Stage(_) | Plan::Union(..) => {}
+        }
+        let plan = std::mem::replace(&mut self.plan, Plan::Input(Vec::new()));
+        let terminal_is_stage = matches!(plan, Plan::Stage(_));
+        // Unions go through the same build path even when no stage is
+        // pending: the feed preload flattens Materialized/Input sides in
+        // left-then-right ordinal order with zero thunks to run.
+        match execute_plan(self.cluster, plan) {
+            Ok((parts, guards, driver_pending, run_report)) => {
+                self.plan = Plan::Materialized {
+                    parts,
+                    guards,
+                    driver_pending,
+                };
+                self.report.extend(run_report);
+                self.producer_is_last_job = terminal_is_stage;
+                Ok(())
+            }
+            Err(e) => {
+                self.plan = Plan::Failed(e.clone());
+                Err(e)
             }
         }
     }
 
     /// Brings every record back into driver memory (concatenated in
     /// partition order) together with the accumulated report — the job
-    /// graph's terminal. The crossing is booked onto the producing job's
+    /// graph's terminal: all pending stages execute here, with
+    /// cross-stage overlap. The crossing is booked onto the producing
+    /// job's
     /// [`driver_out_records`](crate::job::JobStats::driver_out_records).
-    pub fn collect(self) -> (Vec<T>, SimReport) {
+    pub fn collect(self) -> Result<(Vec<T>, SimReport), JobError> {
         let mut out = Vec::new();
-        let report = self.drain_into(&mut |record| out.push(record));
-        (out, report)
+        let report = self.drain_into(&mut |record| out.push(record))?;
+        Ok((out, report))
     }
 
     /// Streams every record to `f` in partition order without building a
     /// driver-side `Vec` (spilled partitions decode one record at a time).
     /// Returns the accumulated report; the crossing is booked like
     /// [`Dataset::collect`].
-    pub fn for_each_output(self, mut f: impl FnMut(T)) -> SimReport {
+    pub fn for_each_output(self, mut f: impl FnMut(T)) -> Result<SimReport, JobError> {
         self.drain_into(&mut f)
     }
 
-    fn drain_into(self, f: &mut impl FnMut(T)) -> SimReport {
-        let producer = self.producer;
-        let had_stages = matches!(self.source, Source::Parts { .. });
-        let (parts, guards, mut report, _never_ran) = self.into_parts();
+    fn drain_into(mut self, f: &mut impl FnMut(T)) -> Result<SimReport, JobError> {
+        self.force()?;
+        let books_on_producer = self.producer_is_last_job;
+        let mut report = self.report;
+        let (parts, guards) = match self.plan {
+            Plan::Input(records) => {
+                // Never ran anything: hand the records straight back, no
+                // crossing to book (they never left the driver).
+                records.into_iter().for_each(&mut *f);
+                return Ok(report);
+            }
+            Plan::Materialized { parts, guards, .. } => (parts, guards),
+            Plan::Stage(_) | Plan::Union(..) | Plan::Failed(_) => unreachable!("forced above"),
+        };
         let mut crossed = 0u64;
         for part in parts {
             part.drain(&mut |record| {
                 crossed += 1;
                 f(record);
-            });
+            })?;
         }
         drop(guards);
-        if had_stages {
-            if let Some(i) = producer {
-                report.jobs_mut()[i].driver_out_records += crossed;
+        if books_on_producer {
+            if let Some(last) = report.jobs_mut().last_mut() {
+                last.driver_out_records += crossed;
             }
         }
-        report
+        Ok(report)
     }
 
-    /// Total records currently held across all partitions.
-    pub fn records(&self) -> u64 {
-        match &self.source {
-            Source::Driver(records) => records.len() as u64,
-            Source::Parts { parts, .. } => parts.iter().map(DataPartition::records).sum(),
-        }
+    /// Total records currently held across all partitions; executes any
+    /// pending stages first.
+    pub fn records(&mut self) -> Result<u64, JobError> {
+        self.force()?;
+        Ok(match &self.plan {
+            Plan::Input(records) => records.len() as u64,
+            Plan::Materialized { parts, .. } => parts.iter().map(DataPartition::records).sum(),
+            Plan::Stage(_) | Plan::Union(..) | Plan::Failed(_) => unreachable!("forced above"),
+        })
     }
 
     /// Partition count (0 for a collected-empty stage output; driver
     /// inputs report the chunk count their first stage will use).
-    pub fn num_partitions(&self) -> usize {
-        match &self.source {
-            Source::Driver(records) => self.cluster.slice_chunking(records.len()).0,
-            Source::Parts { parts, .. } => parts.len(),
-        }
+    /// Executes any pending stages first.
+    pub fn num_partitions(&mut self) -> Result<usize, JobError> {
+        self.force()?;
+        Ok(match &self.plan {
+            Plan::Input(records) => self.cluster.slice_chunking(records.len()).0,
+            Plan::Materialized { parts, .. } => parts.len(),
+            Plan::Stage(_) | Plan::Union(..) | Plan::Failed(_) => unreachable!("forced above"),
+        })
     }
 
-    /// The simulation report accumulated over the stages behind this
-    /// handle (consumed by [`Dataset::collect`] /
-    /// [`Dataset::for_each_output`]).
+    /// The simulation report accumulated over the stages *executed so
+    /// far* behind this handle — pending stages appear only after a
+    /// terminal (or [`Dataset::take_report`]) runs them.
     pub fn report(&self) -> &SimReport {
         &self.report
     }
 
-    /// Moves the accumulated report out of the handle (leaving it empty),
-    /// so a pipeline interleaving several handles can assemble one report
-    /// in true execution order instead of handle-merge order. A later
-    /// `collect` of this handle can no longer book its driver crossing on
-    /// the producing job (the stats left with the report).
-    pub fn take_report(&mut self) -> SimReport {
-        self.producer = None;
-        std::mem::take(&mut self.report)
+    /// Executes any pending stages, then moves the accumulated report out
+    /// of the handle (leaving it empty), so a pipeline interleaving
+    /// several handles can assemble one report in true execution order. A
+    /// later `collect` of this handle can no longer book its driver
+    /// crossing on the producing job (the stats left with the report).
+    pub fn take_report(&mut self) -> Result<SimReport, JobError> {
+        self.force()?;
+        self.producer_is_last_job = false;
+        Ok(std::mem::take(&mut self.report))
     }
 }

@@ -152,6 +152,20 @@ pub enum JobError {
     /// (an I/O error writing or finalizing the exchange files). Mirrors a
     /// shuffle-fetch failure on a real cluster.
     Transport { message: String },
+    /// A spill-format file failed under a job: an I/O error or corruption
+    /// reading a run back ([`SpillError`](crate::spill::SpillError)), or
+    /// an I/O error creating/writing/finalizing a stage-output or merge
+    /// scratch run. Mirrors a worker losing its local disk mid-job; the
+    /// job fails, the process survives.
+    Spill { message: String },
+}
+
+impl From<crate::spill::SpillError> for JobError {
+    fn from(e: crate::spill::SpillError) -> Self {
+        JobError::Spill {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -162,6 +176,9 @@ impl std::fmt::Display for JobError {
             }
             JobError::Transport { message } => {
                 write!(f, "shuffle transport failed: {message}")
+            }
+            JobError::Spill { message } => {
+                write!(f, "spill I/O failed: {message}")
             }
         }
     }

@@ -36,11 +36,16 @@
 //! what gets measured, and [`SimReport`] for aggregating a multi-job
 //! pipeline. Multi-stage pipelines should chain through the [`dataset`]
 //! layer ([`Cluster::input`] → [`Dataset::map_reduce`] → … →
-//! [`Dataset::collect`]), which keeps every interior stage's output
-//! partitioned inside the runtime instead of materializing it in driver
-//! memory; the `run*` entry points are the one-stage special case.
+//! [`Dataset::collect`]), which records a *lazy job DAG*: interior stage
+//! output stays partitioned inside the runtime instead of materializing
+//! in driver memory, and the terminal executes the whole graph with
+//! partition-level cross-stage overlap on one shared worker pool (an
+//! upstream reduce task finishing a partition immediately readies the
+//! downstream map task for it). The `run*` entry points are the one-stage
+//! special case of the same streaming engine.
 
 pub mod cluster;
+mod dag;
 pub mod dataset;
 pub mod hash;
 pub mod job;
@@ -52,12 +57,12 @@ pub mod spill;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
-pub use dataset::{DataPartition, Dataset};
+pub use dataset::{DataPartition, Dataset, DatasetMode};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
 pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 pub use report::SimReport;
 pub use shuffle::{
     combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, ShuffleConfig, Sum,
 };
-pub use spill::{RunMeta, RunReader, Spill, SpillWriter};
+pub use spill::{RunMeta, RunReader, Spill, SpillError, SpillWriter};
 pub use transport::{InProcess, MultiProcess, ShuffleTransport, Transport};

@@ -39,7 +39,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::shuffle::{for_each_key_group, ShuffleRecord};
-use crate::spill::{RunMeta, RunReader, Spill, SpillWriter};
+use crate::spill::{RunMeta, RunReader, Spill, SpillError, SpillWriter};
 
 /// One input segment of a reduce partition.
 #[derive(Debug)]
@@ -65,9 +65,9 @@ enum Stream<K, V> {
 }
 
 impl<K: Spill, V: Spill> Stream<K, V> {
-    fn next(&mut self) -> Option<ShuffleRecord<K, V>> {
+    fn next(&mut self) -> Result<Option<ShuffleRecord<K, V>>, SpillError> {
         match self {
-            Stream::Mem(it) => it.next(),
+            Stream::Mem(it) => Ok(it.next()),
             Stream::Run(r) => r.next(),
         }
     }
@@ -92,18 +92,24 @@ fn make_streams<K: Spill, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<Stream<
 /// The raw k-way merge: drains `streams` in `(fingerprint, stream index)`
 /// order, handing every record to `on_record`. Shared by the grouping
 /// merge below and the hierarchical pre-merge passes (which write the
-/// records back out as one longer sorted run).
-fn merge_streams<K, V, F>(mut streams: Vec<Stream<K, V>>, mut on_record: F)
+/// records back out as one longer sorted run). Short-circuits on the
+/// first read or callback failure.
+fn merge_streams<K, V, F>(
+    mut streams: Vec<Stream<K, V>>,
+    mut on_record: F,
+) -> Result<(), SpillError>
 where
     K: Spill,
     V: Spill,
-    F: FnMut(ShuffleRecord<K, V>),
+    F: FnMut(ShuffleRecord<K, V>) -> Result<(), SpillError>,
 {
     // One lookahead record per stream; the heap orders stream heads by
     // (fingerprint, stream index) so equal-fingerprint records drain
     // stream-by-stream in segment order.
-    let mut heads: Vec<Option<ShuffleRecord<K, V>>> =
-        streams.iter_mut().map(Stream::next).collect();
+    let mut heads: Vec<Option<ShuffleRecord<K, V>>> = streams
+        .iter_mut()
+        .map(Stream::next)
+        .collect::<Result<_, _>>()?;
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = heads
         .iter()
         .enumerate()
@@ -113,13 +119,14 @@ where
     while let Some(Reverse((h, i))) = heap.pop() {
         let (head_h, key, value) = heads[i].take().expect("heap entry implies a head");
         debug_assert_eq!(head_h, h);
-        heads[i] = streams[i].next();
+        heads[i] = streams[i].next()?;
         if let Some((next_h, _, _)) = &heads[i] {
             debug_assert!(*next_h >= h, "segment not sorted by fingerprint");
             heap.push(Reverse((*next_h, i)));
         }
-        on_record((h, key, value));
+        on_record((h, key, value))?;
     }
+    Ok(())
 }
 
 /// Merges `segments` in `(fingerprint, segment index)` order and invokes
@@ -136,13 +143,20 @@ where
 /// entry point remains as the reference the capped merge is tested
 /// against.)
 #[cfg(test)]
-pub(crate) fn merge_segments<K, V, F>(segments: Vec<Segment<K, V>>, each_group: F)
+pub(crate) fn merge_segments<K, V, F>(
+    segments: Vec<Segment<K, V>>,
+    mut each_group: F,
+) -> Result<(), SpillError>
 where
     K: Spill + Eq,
     V: Spill,
     F: FnMut(K, Vec<V>),
 {
-    merge_segments_capped(segments, None, None, each_group);
+    merge_segments_capped(segments, None, None, |k, vs| {
+        each_group(k, vs);
+        Ok(())
+    })
+    .map(|_| ())
 }
 
 /// What a capped merge did beyond the flat path: pre-merge passes run and
@@ -165,16 +179,20 @@ pub(crate) struct MergeEffort {
 ///
 /// A `fan_in` below 2 is treated as 2 (a 1-way "merge" would never shrink
 /// the run count). Without a `scratch_file` the cap is ignored.
+///
+/// Short-circuits with a [`SpillError`] when a run read, a scratch-file
+/// write, or `each_group` itself fails — the job path converts that into
+/// [`JobError::Spill`](crate::job::JobError) instead of panicking.
 pub(crate) fn merge_segments_capped<K, V, F>(
     segments: Vec<Segment<K, V>>,
     fan_in: Option<usize>,
     scratch_file: Option<PathBuf>,
     mut each_group: F,
-) -> MergeEffort
+) -> Result<MergeEffort, SpillError>
 where
     K: Spill + Eq,
     V: Spill,
-    F: FnMut(K, Vec<V>),
+    F: FnMut(K, Vec<V>) -> Result<(), SpillError>,
 {
     let mut segments = segments;
     let mut effort = MergeEffort::default();
@@ -185,8 +203,7 @@ where
             // Each pass gets its own scratch file: the previous pass's
             // runs are still being read while the next pass writes.
             let path = scratch.with_extension(format!("pass{}", effort.passes));
-            let mut writer = SpillWriter::create(path)
-                .unwrap_or_else(|e| panic!("reduce merge scratch file creation failed: {e}"));
+            let mut writer = SpillWriter::create(path)?;
             let mut metas: Vec<RunMeta> = Vec::new();
             let mut chunks = segments.into_iter().peekable();
             while chunks.peek().is_some() {
@@ -194,11 +211,10 @@ where
                 let offset = writer.offset();
                 let mut records = 0u64;
                 merge_streams(make_streams(chunk), |(h, k, v)| {
-                    writer
-                        .write_record(h, &k, &v)
-                        .unwrap_or_else(|e| panic!("reduce merge scratch write failed: {e}"));
+                    writer.write_record(h, &k, &v)?;
                     records += 1;
-                });
+                    Ok(())
+                })?;
                 metas.push(RunMeta {
                     offset,
                     bytes: writer.offset() - offset,
@@ -206,9 +222,7 @@ where
                 });
             }
             effort.scratch_bytes += writer.bytes();
-            let (file, _path) = writer
-                .into_reader()
-                .unwrap_or_else(|e| panic!("reduce merge scratch finalize failed: {e}"));
+            let (file, _path) = writer.into_reader()?;
             segments = metas
                 .into_iter()
                 .map(|meta| Segment::Spilled {
@@ -226,13 +240,14 @@ where
             // The shared helper applies the same collision-grouping
             // discipline as the map-side combine (full key equality,
             // first-occurrence order within the fingerprint run).
-            for_each_key_group(&mut run, &mut each_group);
+            for_each_key_group(&mut run, &mut each_group)?;
         }
         run_h = h;
         run.push((key, value));
-    });
-    for_each_key_group(&mut run, &mut each_group);
-    effort
+        Ok(())
+    })?;
+    for_each_key_group(&mut run, &mut each_group)?;
+    Ok(effort)
 }
 
 #[cfg(test)]
@@ -243,7 +258,7 @@ mod tests {
     /// Runs the merge and collects `(key, values)` groups in call order.
     fn collect<K: Spill + Eq, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<(K, Vec<V>)> {
         let mut got = Vec::new();
-        merge_segments(segments, |k, vs| got.push((k, vs)));
+        merge_segments(segments, |k, vs| got.push((k, vs))).unwrap();
         got
     }
 
@@ -350,8 +365,12 @@ mod tests {
                 segments,
                 Some(cap),
                 Some(guard.0.join("reduce0.merge")),
-                |k, vs| got.push((k, vs)),
-            );
+                |k, vs| {
+                    got.push((k, vs));
+                    Ok(())
+                },
+            )
+            .unwrap();
             assert_eq!(got, flat, "cap {cap}");
             if cap < 25 {
                 assert!(effort.passes > 0, "cap {cap} must trigger pre-merge passes");
@@ -371,8 +390,12 @@ mod tests {
             segments,
             Some(64),
             Some(guard.0.join("reduce0.merge")),
-            |k, vs| got.push((k, vs)),
-        );
+            |k, vs| {
+                got.push((k, vs));
+                Ok(())
+            },
+        )
+        .unwrap();
         assert_eq!(effort, MergeEffort::default());
         assert!(!got.is_empty());
         // No scratch file materialized on the flat path.
@@ -389,8 +412,12 @@ mod tests {
             segments,
             Some(1),
             Some(guard.0.join("reduce0.merge")),
-            |k, vs| got.push((k, vs)),
-        );
+            |k, vs| {
+                got.push((k, vs));
+                Ok(())
+            },
+        )
+        .unwrap();
         assert_eq!(got, flat);
         assert!(
             effort.passes >= 2,
@@ -404,7 +431,11 @@ mod tests {
         let flat = collect(flat_segments);
         let (segments, _g2) = many_run_segments(6);
         let mut got = Vec::new();
-        let effort = merge_segments_capped(segments, Some(2), None, |k, vs| got.push((k, vs)));
+        let effort = merge_segments_capped(segments, Some(2), None, |k, vs| {
+            got.push((k, vs));
+            Ok(())
+        })
+        .unwrap();
         assert_eq!(got, flat);
         assert_eq!(effort, MergeEffort::default());
     }

@@ -1,20 +1,99 @@
-//! A minimal scoped thread pool for executing indexed task sets.
+//! Worker pools for the runtime's task execution.
 //!
-//! The runtime's map tasks and reduce partitions are both "N independent
-//! tasks, run them on all cores" workloads; this module provides exactly
-//! that with work stealing via an atomic cursor, panic capture (so a
-//! panicking worker surfaces as a job error instead of poisoning the
-//! process), and deterministic result placement by task index.
+//! Two shapes live here:
+//!
+//! * [`run_indexed`] — the original "N independent tasks, run them on all
+//!   cores" helper with work stealing via an atomic cursor, panic capture,
+//!   and deterministic result placement by task index. Still the simplest
+//!   tool for standalone waves.
+//! * `Pool` (crate-internal) — a shared *ready-queue* pool for the lazy
+//!   [`dataset`](crate::dataset) executor: tasks are submitted dynamically
+//!   (a downstream stage's map task becomes ready the moment an upstream
+//!   reduce task finishes its partition) and any number of concurrently
+//!   executing stages share one fixed set of worker threads, so
+//!   cross-stage overlap never oversubscribes the machine. Submitters are
+//!   responsible for capturing panics inside their tasks and for their own
+//!   completion signalling (the pool itself only moves closures to
+//!   workers).
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Locks `m`, shrugging off poisoning: the pool's own state is only ever
 /// written under `catch_unwind`, so a poisoned lock just means another
 /// worker's task panicked — the data is still consistent.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A unit of work on the shared pool. `'t` is the execution lifetime: task
+/// closures may borrow anything that outlives the executor run (stage
+/// closures, the corpus behind them, the cluster).
+pub(crate) type PoolTask<'t> = Box<dyn FnOnce() + Send + 't>;
+
+/// The shared ready-queue worker pool behind the lazy dataset executor
+/// (see the module docs). Workers run [`Pool::run_worker`] on scoped
+/// threads; stage drivers feed it with [`Pool::submit`] as partitions
+/// become ready and are woken by their own per-wave completion latches.
+pub(crate) struct Pool<'t> {
+    state: Mutex<PoolState<'t>>,
+    ready: Condvar,
+}
+
+struct PoolState<'t> {
+    queue: VecDeque<PoolTask<'t>>,
+    shutdown: bool,
+}
+
+impl<'t> Pool<'t> {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one task; any idle worker picks it up.
+    pub(crate) fn submit(&self, task: PoolTask<'t>) {
+        lock(&self.state).queue.push_back(task);
+        self.ready.notify_one();
+    }
+
+    /// A worker loop: runs queued tasks until [`Pool::shutdown`] *and* the
+    /// queue is drained. Tasks are expected to capture their own panics;
+    /// as a last line of defence a panic that escapes a task is swallowed
+    /// here rather than poisoning the whole pool. (The engine's task
+    /// wrappers hold a Drop-armed `WaveTicket`, so even an escaped panic
+    /// records a failure and the submitting wave still terminates —
+    /// new task shapes must keep an equivalent Drop-based latch.)
+    pub(crate) fn run_worker(&self) {
+        loop {
+            let task = {
+                let mut st = lock(&self.state);
+                loop {
+                    if let Some(task) = st.queue.pop_front() {
+                        break task;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let _ = catch_unwind(AssertUnwindSafe(task));
+        }
+    }
+
+    /// Tells workers to exit once the queue is empty.
+    pub(crate) fn shutdown(&self) {
+        lock(&self.state).shutdown = true;
+        self.ready.notify_all();
+    }
 }
 
 /// Runs `f(0..n_tasks)` on up to `threads` worker threads and returns the
@@ -85,7 +164,7 @@ where
         .collect())
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -140,6 +219,52 @@ mod tests {
     fn panic_with_string_payload() {
         let res: Result<Vec<()>, String> = run_indexed(4, 2, |i| panic!("boom {i}"));
         assert!(res.unwrap_err().starts_with("boom"));
+    }
+
+    #[test]
+    fn shared_pool_runs_dynamically_submitted_tasks() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        let pool = Pool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| pool.run_worker());
+            }
+            // Submit in two waves, the second only after workers started —
+            // the ready queue accepts work at any time.
+            for i in 0..50u64 {
+                let sum = &sum;
+                pool.submit(Box::new(move || {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                }));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            for i in 50..100u64 {
+                let sum = &sum;
+                pool.submit(Box::new(move || {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                }));
+            }
+            pool.shutdown();
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn shared_pool_survives_a_panicking_task() {
+        use std::sync::atomic::AtomicU64;
+        let ran = AtomicU64::new(0);
+        let pool = Pool::new();
+        std::thread::scope(|s| {
+            s.spawn(|| pool.run_worker());
+            pool.submit(Box::new(|| panic!("escaped panic")));
+            let ran = &ran;
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+            pool.shutdown();
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "worker survived the panic");
     }
 
     #[test]

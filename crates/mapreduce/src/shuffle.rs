@@ -564,19 +564,26 @@ pub fn combine_records<K: Hash + Eq + Clone, V>(
         for_each_key_group(&mut extras, |k, mut vs| {
             values.append(&mut vs);
             flush_run(combiner, h, k, &mut values, &mut out);
-        });
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap_or_else(|e| match e {});
     }
     out
 }
 
 /// Splits one fingerprint run's records into per-key groups (full key
-/// equality, first-occurrence order) and hands each to `f`.
+/// equality, first-occurrence order) and hands each to `f`,
+/// short-circuiting on the first `Err` (map-side callers are infallible
+/// and pass an `Infallible` error type).
 ///
 /// This is the single source of truth for fingerprint-collision grouping:
 /// both the map-side combine ([`combine_records`]) and the reduce-side
 /// sort-merge ([`crate::merge`]) go through it, so the two sides cannot
 /// silently diverge on ordering or key-splitting semantics.
-pub(crate) fn for_each_key_group<K: Eq, V, F: FnMut(K, Vec<V>)>(run: &mut Vec<(K, V)>, mut f: F) {
+pub(crate) fn for_each_key_group<K: Eq, V, E, F: FnMut(K, Vec<V>) -> Result<(), E>>(
+    run: &mut Vec<(K, V)>,
+    mut f: F,
+) -> Result<(), E> {
     while !run.is_empty() {
         // Almost always the whole run is one key; collisions refill `run`
         // with the leftovers for the next round (no O(n) front-shift).
@@ -590,8 +597,9 @@ pub(crate) fn for_each_key_group<K: Eq, V, F: FnMut(K, Vec<V>)>(run: &mut Vec<(K
                 run.push((k, v));
             }
         }
-        f(key, values);
+        f(key, values)?;
     }
+    Ok(())
 }
 
 /// Combines one key's buffered values and appends the surviving records;
@@ -768,7 +776,7 @@ mod tests {
             for meta in runs {
                 let mut r = crate::spill::RunReader::new(Arc::clone(&spill.file), *meta);
                 let mut last_h = 0u64;
-                while let Some((h, k, v)) = r.next::<u64, u64>() {
+                while let Some((h, k, v)) = r.next::<u64, u64>().unwrap() {
                     assert!(h >= last_h, "run not sorted");
                     assert_eq!((h % 4) as usize, p, "record in wrong partition run");
                     assert_eq!(v, k * 2);

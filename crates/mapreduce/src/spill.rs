@@ -36,10 +36,11 @@
 //! dependency-free binary codec implemented for the primitive types,
 //! tuples, `String`, `Vec<T>` and `Option<T>`. Job-specific key or value
 //! types implement it in a few lines (see `ChunkRole` in `tsj-passjoin`
-//! for an example). Spill I/O failures panic with a descriptive message;
-//! the runtime's worker panic capture surfaces them as
-//! [`JobError::WorkerPanic`](crate::job::JobError) exactly like any other
-//! failed task on a real cluster.
+//! for an example). Read-side failures — an I/O error or a
+//! truncated/undecodable frame — surface as a structured [`SpillError`]
+//! from [`RunReader::next`]; inside a job the runtime converts that into
+//! [`JobError::Spill`](crate::job::JobError), so a lost or corrupt local
+//! disk fails the *job*, never the process.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -48,12 +49,52 @@ use std::sync::Arc;
 
 use crate::shuffle::ShuffleRecord;
 
+/// Why reading a spill-format run back failed: the disk, or the bytes.
+///
+/// Produced by [`RunReader`]; the runtime wraps it into
+/// [`JobError::Spill`](crate::job::JobError) on the job path, so spill,
+/// exchange, and stage-output files that go bad fail the job with a
+/// structured error instead of panicking the process.
+#[derive(Debug)]
+pub enum SpillError {
+    /// The underlying positioned read (or scratch write) failed.
+    Io(std::io::Error),
+    /// The file's bytes do not parse as the wire format: a frame truncated
+    /// mid-run, or a payload the [`Spill`] codec rejects.
+    Corrupt(&'static str),
+}
+
+impl From<std::io::Error> for SpillError {
+    fn from(e: std::io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "spill file I/O error: {e}"),
+            SpillError::Corrupt(what) => write!(f, "spill file corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::Io(e) => Some(e),
+            SpillError::Corrupt(_) => None,
+        }
+    }
+}
+
 /// Binary serialization for shuffle keys and values that may spill to disk.
 ///
 /// Implementations must round-trip: `restore` applied to the bytes written
 /// by `spill` yields an equal value and consumes exactly the bytes written.
 /// `restore` returns `None` on truncated or malformed input (the runtime
-/// treats that as file corruption and panics the reduce worker).
+/// treats that as file corruption and fails the job with
+/// [`SpillError::Corrupt`]).
 pub trait Spill: Sized {
     /// Appends this value's encoding to `out`.
     fn spill(&self, out: &mut Vec<u8>);
@@ -408,11 +449,11 @@ impl RunReader {
         }
     }
 
-    /// Ensures ≥ `n` unread bytes are buffered; `false` at clean end of run.
-    /// Panics on I/O errors or a truncated frame (spill-file corruption).
-    fn ensure(&mut self, n: usize) -> bool {
+    /// Ensures ≥ `n` unread bytes are buffered; `Ok(false)` at clean end
+    /// of run, `Err` on an I/O failure or a frame truncated mid-run.
+    fn ensure(&mut self, n: usize) -> Result<bool, SpillError> {
         if self.buf.len() - self.pos >= n {
-            return true;
+            return Ok(true);
         }
         // Compact, then refill from the shared file with positioned reads.
         self.buf.drain(..self.pos);
@@ -425,43 +466,41 @@ impl RunReader {
             let want = remaining.min(READ_CHUNK.max(n - self.buf.len()));
             let start = self.buf.len();
             self.buf.resize(start + want, 0);
-            let got = read_at(&self.file, &mut self.buf[start..], self.offset)
-                .unwrap_or_else(|e| panic!("shuffle spill read failed: {e}"));
-            assert!(got > 0, "shuffle spill file truncated mid-run");
+            let got = read_at(&self.file, &mut self.buf[start..], self.offset)?;
+            if got == 0 {
+                return Err(SpillError::Corrupt("file truncated mid-run"));
+            }
             self.buf.truncate(start + got);
             self.offset += got as u64;
         }
         if self.buf.len() >= n {
-            return true;
+            return Ok(true);
         }
-        assert!(
-            self.buf.is_empty(),
-            "shuffle spill file corrupt: partial record frame at end of run"
-        );
-        false
+        if self.buf.is_empty() {
+            Ok(false)
+        } else {
+            Err(SpillError::Corrupt("partial record frame at end of run"))
+        }
     }
 
-    /// Next record of the run, or `None` when exhausted.
-    ///
-    /// # Panics
-    ///
-    /// Panics on I/O errors, a truncated frame, or an undecodable payload
-    /// (spill/exchange file corruption); inside a job, the runtime
-    /// surfaces that as a reduce-worker panic.
+    /// Next record of the run, `Ok(None)` when cleanly exhausted, or a
+    /// [`SpillError`] on an I/O failure, a truncated frame, or an
+    /// undecodable payload (spill/exchange file corruption); inside a job,
+    /// the runtime surfaces that as
+    /// [`JobError::Spill`](crate::job::JobError).
     // Not `Iterator`: the record type is chosen per *call*, and one frame
     // format serves any (K, V) the caller restores it as.
     #[allow(clippy::should_implement_trait)]
-    pub fn next<K: Spill, V: Spill>(&mut self) -> Option<ShuffleRecord<K, V>> {
-        if !self.ensure(4) {
-            return None;
+    pub fn next<K: Spill, V: Spill>(&mut self) -> Result<Option<ShuffleRecord<K, V>>, SpillError> {
+        if !self.ensure(4)? {
+            return Ok(None);
         }
         let frame = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
         self.pos += 4;
         let frame = frame as usize;
-        assert!(
-            self.ensure(frame),
-            "shuffle spill file corrupt: truncated record payload"
-        );
+        if !self.ensure(frame)? {
+            return Err(SpillError::Corrupt("truncated record payload"));
+        }
         let mut payload = &self.buf[self.pos..self.pos + frame];
         let rec = (|| {
             Some((
@@ -470,9 +509,9 @@ impl RunReader {
                 V::restore(&mut payload)?,
             ))
         })();
-        let rec = rec.expect("shuffle spill file corrupt: undecodable record");
+        let rec = rec.ok_or(SpillError::Corrupt("undecodable record payload"))?;
         self.pos += frame;
-        Some(rec)
+        Ok(Some(rec))
     }
 }
 
@@ -593,12 +632,12 @@ mod tests {
         let mut r2 = RunReader::new(Arc::clone(&file), m2);
         let mut r1 = RunReader::new(file, m1);
         let mut got1: Vec<ShuffleRecord<u32, String>> = Vec::new();
-        while let Some(rec) = r1.next() {
+        while let Some(rec) = r1.next().unwrap() {
             got1.push(rec);
         }
         assert_eq!(got1, run1);
-        assert_eq!(r2.next::<u32, String>(), Some((2, 20, "d".into())));
-        assert_eq!(r2.next::<u32, String>(), None);
+        assert_eq!(r2.next::<u32, String>().unwrap(), Some((2, 20, "d".into())));
+        assert_eq!(r2.next::<u32, String>().unwrap(), None);
     }
 
     #[test]
@@ -614,7 +653,7 @@ mod tests {
         let (file, _) = w.into_reader().unwrap();
         let mut r = RunReader::new(file, meta);
         let mut n = 0u64;
-        while let Some((h, k, v)) = r.next::<u64, String>() {
+        while let Some((h, k, v)) = r.next::<u64, String>().unwrap() {
             assert_eq!(h, n);
             assert_eq!(k, n);
             assert_eq!(v.len(), 1000);
@@ -622,6 +661,26 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn reader_surfaces_truncation_as_spill_error() {
+        let dir = create_job_spill_dir(&std::env::temp_dir()).unwrap();
+        let _guard = SpillDirGuard(dir.clone());
+        let mut w = SpillWriter::create(dir.join("trunc.spill")).unwrap();
+        let run: Vec<ShuffleRecord<u64, String>> = vec![(1, 1, "payload".into())];
+        let meta = w.write_run(&run).unwrap();
+        let (file, path) = w.into_reader().unwrap();
+        drop(file);
+        // Chop the file mid-frame: the reader must report corruption, not
+        // panic and not fabricate a record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let file = Arc::new(File::open(&path).unwrap());
+        let mut r = RunReader::new(file, meta);
+        let err = r.next::<u64, String>().unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("corrupt"), "{err}");
     }
 
     #[test]

@@ -317,7 +317,7 @@ mod tests {
                     }
                     Segment::Spilled { file, meta } => {
                         let mut r = RunReader::new(file, meta);
-                        while let Some(record) = r.next::<u64, u64>() {
+                        while let Some(record) = r.next::<u64, u64>().unwrap() {
                             out.push((p, record));
                         }
                     }
@@ -394,7 +394,7 @@ mod tests {
                 };
                 let mut r = RunReader::new(Arc::clone(file), *meta);
                 let mut last = 0u64;
-                while let Some((h, _, _)) = r.next::<u64, u64>() {
+                while let Some((h, _, _)) = r.next::<u64, u64>().unwrap() {
                     assert!(h >= last, "exchange run not sorted");
                     assert_eq!((h % partitions as u64) as usize, p);
                     last = h;

@@ -10,15 +10,19 @@
 //! 2. **Truncation**: `restore` on any strict prefix of an encoding
 //!    returns `None` (never panics, never fabricates a value).
 //! 3. **Frame corruption**: a `RunReader` over a truncated or
-//!    length-corrupted run file panics with a corruption message (the
-//!    runtime surfaces that as a reduce-worker failure) instead of
-//!    silently dropping or inventing records.
+//!    length-corrupted run file surfaces a structured
+//!    [`SpillError::Corrupt`](tsj_mapreduce::SpillError) (the runtime
+//!    converts that into `JobError::Spill`, failing the job while the
+//!    process survives) instead of panicking, silently dropping, or
+//!    inventing records.
+
+mod helpers;
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::string::string_regex;
 
-use tsj_mapreduce::{RunReader, Spill, SpillWriter};
+use tsj_mapreduce::{RunReader, Spill, SpillError, SpillWriter};
 use tsj_metricjoin::Replica;
 use tsj_passjoin::ChunkRole;
 
@@ -210,8 +214,8 @@ fn corrupt_length_prefixes_are_rejected_without_overallocation() {
 
 /// Writes one run of `(h, u64, String)` records and returns the raw file
 /// contents plus a scratch dir to rewrite corrupted variants into.
-fn sample_run_file() -> (tempdir::Dir, Vec<u8>, tsj_mapreduce::RunMeta) {
-    let dir = tempdir::Dir::new("tsj-codec-test");
+fn sample_run_file() -> (helpers::Dir, Vec<u8>, tsj_mapreduce::RunMeta) {
+    let dir = helpers::Dir::new("tsj-codec-test");
     let path = dir.path().join("run.spill");
     let mut w = SpillWriter::create(path.clone()).unwrap();
     let records: Vec<(u64, u64, String)> = (0..50u64)
@@ -223,101 +227,69 @@ fn sample_run_file() -> (tempdir::Dir, Vec<u8>, tsj_mapreduce::RunMeta) {
     (dir, bytes, meta)
 }
 
-/// Minimal self-cleaning temp dir (no tempfile crate in this container).
-mod tempdir {
-    use std::path::{Path, PathBuf};
-
-    pub struct Dir(PathBuf);
-
-    impl Dir {
-        pub fn new(prefix: &str) -> Self {
-            use std::sync::atomic::{AtomicU64, Ordering};
-            static SEQ: AtomicU64 = AtomicU64::new(0);
-            let path = std::env::temp_dir().join(format!(
-                "{prefix}-{}-{}",
-                std::process::id(),
-                SEQ.fetch_add(1, Ordering::Relaxed)
-            ));
-            std::fs::create_dir_all(&path).unwrap();
-            Self(path)
-        }
-
-        pub fn path(&self) -> &Path {
-            &self.0
-        }
-    }
-
-    impl Drop for Dir {
-        fn drop(&mut self) {
-            let _ = std::fs::remove_dir_all(&self.0);
-        }
-    }
-}
-
-/// Reads a whole run out of `bytes` written to a fresh file.
+/// Reads a whole run out of `bytes` written to a fresh file; any record
+/// failing to decode surfaces as the run's `Err`.
 fn read_run(
-    dir: &tempdir::Dir,
+    dir: &helpers::Dir,
     name: &str,
     bytes: &[u8],
     meta: tsj_mapreduce::RunMeta,
-) -> Vec<(u64, u64, String)> {
+) -> Result<Vec<(u64, u64, String)>, SpillError> {
     let path = dir.path().join(name);
     std::fs::write(&path, bytes).unwrap();
     let file = std::sync::Arc::new(std::fs::File::open(&path).unwrap());
     let mut reader = RunReader::new(file, meta);
     let mut out = Vec::new();
-    while let Some(rec) = reader.next::<u64, String>() {
+    while let Some(rec) = reader.next::<u64, String>()? {
         out.push(rec);
     }
-    out
+    Ok(out)
+}
+
+/// The structured rejection every corruption case must produce: a
+/// `SpillError::Corrupt` whose message blames the bytes — never a panic,
+/// never fabricated records.
+fn assert_corrupt(result: Result<Vec<(u64, u64, String)>, SpillError>, what: &str) {
+    let err = result.expect_err(&format!("{what} must not read cleanly"));
+    assert!(
+        matches!(err, SpillError::Corrupt(_)),
+        "{what}: expected corruption, got {err}"
+    );
+    assert!(err.to_string().contains("corrupt"), "{what}: {err}");
 }
 
 #[test]
 fn run_reader_roundtrips_an_intact_file() {
     let (dir, bytes, meta) = sample_run_file();
-    let got = read_run(&dir, "intact.spill", &bytes, meta);
+    let got = read_run(&dir, "intact.spill", &bytes, meta).unwrap();
     assert_eq!(got.len(), 50);
     assert_eq!(got[7], (7, 21, "value-7".to_owned()));
 }
 
 #[test]
-fn run_reader_panics_on_truncated_frame() {
+fn run_reader_rejects_truncated_frame() {
     let (dir, bytes, meta) = sample_run_file();
     // Chop the file mid-record: the final frame's payload is incomplete.
     let cut = bytes.len() - 5;
-    let err = std::panic::catch_unwind(|| read_run(&dir, "truncated.spill", &bytes[..cut], meta))
-        .expect_err("truncated run must not read cleanly");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
-    assert!(
-        msg.contains("truncated") || msg.contains("corrupt"),
-        "panic message should blame corruption: {msg:?}"
+    assert_corrupt(
+        read_run(&dir, "truncated.spill", &bytes[..cut], meta),
+        "truncated run",
     );
 }
 
 #[test]
-fn run_reader_panics_on_corrupt_length_prefix() {
+fn run_reader_rejects_corrupt_length_prefix() {
     let (dir, mut bytes, meta) = sample_run_file();
     // Rewrite the first frame's length prefix to reach far past the run.
     bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
-    let err = std::panic::catch_unwind(|| read_run(&dir, "badlen.spill", &bytes, meta))
-        .expect_err("corrupt length prefix must not read cleanly");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
-    assert!(
-        msg.contains("truncated") || msg.contains("corrupt"),
-        "panic message should blame corruption: {msg:?}"
+    assert_corrupt(
+        read_run(&dir, "badlen.spill", &bytes, meta),
+        "corrupt length prefix",
     );
 }
 
 #[test]
-fn run_reader_panics_on_undecodable_payload() {
+fn run_reader_rejects_undecodable_payload() {
     let (dir, mut bytes, meta) = sample_run_file();
     // Keep framing intact but scribble over the first record's String
     // length so the payload no longer decodes as (u64 key, String value):
@@ -325,12 +297,7 @@ fn run_reader_panics_on_undecodable_payload() {
     // to a huge value starves the String of bytes *within* the frame.
     let str_len_at = 4 + 8 + 8;
     bytes[str_len_at..str_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-    let err = std::panic::catch_unwind(|| read_run(&dir, "badpayload.spill", &bytes, meta))
+    let err = read_run(&dir, "badpayload.spill", &bytes, meta)
         .expect_err("undecodable payload must not read cleanly");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
-    assert!(msg.contains("undecodable"), "{msg:?}");
+    assert!(err.to_string().contains("undecodable"), "{err}");
 }

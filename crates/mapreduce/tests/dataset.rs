@@ -1,10 +1,18 @@
-//! Integration tests of the dataset job-graph API: chained stages keep
-//! records inside the runtime (driver counters prove it), spill their
-//! output under a bounded shuffle, and produce output identical to the
-//! same jobs chained through driver `Vec`s.
+//! Integration tests of the lazy dataset job-graph API: recorded stages
+//! execute at a terminal with cross-stage overlap, keep records inside
+//! the runtime (driver counters prove it), spill their output under a
+//! bounded shuffle, and produce output identical both to eager
+//! stage-at-a-time execution and to the same jobs chained through driver
+//! `Vec`s — while failures surface as structured `JobError`s and leave no
+//! temp files behind.
+
+use std::path::PathBuf;
+
+mod helpers;
 
 use tsj_mapreduce::{
-    Cluster, ClusterConfig, Count, Dedup, Emitter, OutputSink, ShuffleConfig, Transport,
+    Cluster, ClusterConfig, Count, DatasetMode, Dedup, Emitter, JobError, OutputSink,
+    ShuffleConfig, Transport,
 };
 
 fn cluster(threads: usize, partitions: usize, shuffle: ShuffleConfig) -> Cluster {
@@ -15,6 +23,7 @@ fn cluster(threads: usize, partitions: usize, shuffle: ShuffleConfig) -> Cluster
         ..ClusterConfig::default()
     })
     .with_shuffle_config(shuffle)
+    .with_dataset_mode(DatasetMode::Lazy)
 }
 
 /// The two-stage pipeline under test (word count → count histogram),
@@ -44,7 +53,8 @@ fn chained(c: &Cluster, docs: &[String]) -> (Vec<(u64, u64)>, tsj_mapreduce::Sim
             },
         )
         .unwrap()
-        .collect();
+        .collect()
+        .unwrap();
     out.sort_unstable();
     (out, report)
 }
@@ -91,7 +101,11 @@ fn docs(n: usize) -> Vec<String> {
 }
 
 #[test]
-fn chained_output_matches_collected_chaining() {
+fn lazy_matches_eager_and_collected_chaining() {
+    // The acceptance triangle at the runtime level: the lazy DAG
+    // scheduler (cross-stage overlap), eager stage-at-a-time execution,
+    // and driver-`Vec` chaining all produce byte-identical output across
+    // the shuffle matrix.
     let input = docs(200);
     for shuffle in [
         ShuffleConfig::unbounded(),
@@ -102,11 +116,17 @@ fn chained_output_matches_collected_chaining() {
         for threads in [1usize, 4] {
             for partitions in [0usize, 3, 64] {
                 let c = cluster(threads, partitions, shuffle.clone());
-                let (got, _) = chained(&c, &input);
+                let (lazy, _) = chained(&c, &input);
+                let eager_cluster = c.clone().with_dataset_mode(DatasetMode::Eager);
+                let (eager, _) = chained(&eager_cluster, &input);
+                let reference = collected(&c, &input);
                 assert_eq!(
-                    got,
-                    collected(&c, &input),
-                    "threads={threads} partitions={partitions} shuffle={shuffle:?}"
+                    lazy, reference,
+                    "lazy vs collected: threads={threads} partitions={partitions} shuffle={shuffle:?}"
+                );
+                assert_eq!(
+                    eager, reference,
+                    "eager vs collected: threads={threads} partitions={partitions} shuffle={shuffle:?}"
                 );
             }
         }
@@ -182,11 +202,13 @@ fn union_concatenates_partitions_and_reports() {
             )
             .unwrap()
     };
-    let left = stage("left", 0, 100);
+    let mut left = stage("left", 0, 100);
     let right = stage("right", 100, 200);
-    assert_eq!(left.records(), 10);
-    let unioned = left.union(right);
-    assert_eq!(unioned.records(), 20);
+    // records() forces the pending stage — the handle then reports it.
+    assert_eq!(left.records().unwrap(), 10);
+    assert_eq!(left.report().jobs().len(), 1);
+    let mut unioned = left.union(right);
+    assert_eq!(unioned.records().unwrap(), 20);
     assert_eq!(unioned.report().jobs().len(), 2);
 
     // A stage over the union sees both sides' records.
@@ -199,7 +221,8 @@ fn union_concatenates_partitions_and_reports() {
             },
         )
         .unwrap()
-        .collect();
+        .collect()
+        .unwrap();
     totals.sort_unstable();
     let expect: Vec<(u64, u64)> = (0..10u64)
         .map(|k| (k, (0..200u64).filter(|n| n % 10 == k).sum()))
@@ -208,6 +231,142 @@ fn union_concatenates_partitions_and_reports() {
     assert_eq!(report.jobs().len(), 3);
     assert_eq!(report.jobs()[2].driver_in_records, 0);
     assert_eq!(report.jobs()[2].driver_out_records, 10);
+}
+
+#[test]
+fn fully_lazy_union_executes_at_the_terminal() {
+    // Same graph as above but with *nothing* forced before collect: both
+    // producers and the consumer stage run in one scheduled execution
+    // (left's and right's reduce waves overlap sum's map wave).
+    let c = cluster(4, 0, ShuffleConfig::unbounded());
+    let ids_a: Vec<u64> = (0..100).collect();
+    let ids_b: Vec<u64> = (100..200).collect();
+    let stage = |ids: &[u64], name: &str| {
+        c.input(ids)
+            .map_reduce(
+                name,
+                |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 10, n),
+                |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                    out.emit((k, vs.iter().sum()));
+                },
+            )
+            .unwrap()
+    };
+    let (mut totals, report) = stage(&ids_a, "left")
+        .union(stage(&ids_b, "right"))
+        .map_reduce(
+            "sum",
+            |&(k, v): &(u64, u64), e: &mut Emitter<u64, u64>| e.emit(k, v),
+            |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((k, vs.iter().sum()));
+            },
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    totals.sort_unstable();
+    let expect: Vec<(u64, u64)> = (0..10u64)
+        .map(|k| (k, (0..200u64).filter(|n| n % 10 == k).sum()))
+        .collect();
+    assert_eq!(totals, expect);
+    // Report order is execution (build) order: left, right, sum.
+    let names: Vec<&str> = report.jobs().iter().map(|j| j.name.as_str()).collect();
+    assert_eq!(names, vec!["left", "right", "sum"]);
+    assert_eq!(report.jobs()[2].driver_in_records, 0);
+}
+
+#[test]
+fn repartition_rebalances_without_changing_the_record_multiset() {
+    let c = cluster(4, 0, ShuffleConfig::unbounded());
+    let ids: Vec<u64> = (0..500).collect();
+    let build = || {
+        c.input(&ids)
+            .map_reduce(
+                "skewed",
+                // Everything lands on one key → one fat output partition.
+                |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(7, n),
+                |_k: &u64, vs: Vec<u64>, out: &mut OutputSink<u64>| {
+                    for v in vs {
+                        out.emit(v);
+                    }
+                },
+            )
+            .unwrap()
+    };
+    let mut skewed = build();
+    assert_eq!(skewed.num_partitions().unwrap(), 1, "skew: one partition");
+
+    let mut repartitioned = build().repartition(6).unwrap();
+    assert!(
+        repartitioned.num_partitions().unwrap() > 1,
+        "repartition must spread the fat partition"
+    );
+    assert_eq!(repartitioned.records().unwrap(), 500);
+
+    // Record multiset is unchanged (placement is, so compare sorted).
+    let (mut a, _) = skewed.collect().unwrap();
+    let (mut b, report) = repartitioned.collect().unwrap();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    let repart_job = &report.jobs()[1];
+    assert!(repart_job.name.starts_with("repartition"));
+    assert_eq!(repart_job.input_records, 500);
+    assert_eq!(repart_job.output_records, 500);
+    assert_eq!(repart_job.driver_in_records, 0, "repartition is interior");
+    assert_eq!(repart_job.driver_out_records, 500, "collected terminal");
+}
+
+#[test]
+fn repartition_is_invariant_for_downstream_stages() {
+    // Inserting a repartition between two stages must not change the
+    // downstream stage's (sorted) output — across shuffle configs.
+    let input = docs(150);
+    for shuffle in [
+        ShuffleConfig::unbounded(),
+        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+    ] {
+        let c = cluster(4, 3, shuffle);
+        let run = |repartition: Option<usize>| {
+            let ds = c
+                .input(&input)
+                .map_reduce_combined(
+                    "wordcount",
+                    |doc: &String, e: &mut Emitter<String, u64>| {
+                        for w in doc.split_whitespace() {
+                            e.emit(w.to_owned(), 1);
+                        }
+                    },
+                    &Count,
+                    |w: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+                        out.emit((w.clone(), counts.iter().sum()));
+                    },
+                )
+                .unwrap();
+            let ds = match repartition {
+                Some(n) => ds.repartition(n).unwrap(),
+                None => ds,
+            };
+            let (mut out, _) = ds
+                .map_reduce_combined(
+                    "histogram",
+                    |&(_, n): &(String, u64), e: &mut Emitter<u64, u64>| e.emit(n, 1),
+                    &Count,
+                    |&n: &u64, ones: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                        out.emit((n, ones.iter().sum()));
+                    },
+                )
+                .unwrap()
+                .collect()
+                .unwrap();
+            out.sort_unstable();
+            out
+        };
+        let plain = run(None);
+        for n in [1usize, 4, 32] {
+            assert_eq!(run(Some(n)), plain, "repartition({n})");
+        }
+    }
 }
 
 #[test]
@@ -229,9 +388,9 @@ fn for_each_output_streams_the_same_records_as_collect() {
             )
             .unwrap()
     };
-    let (collected, r1) = build().collect();
+    let (collected, r1) = build().collect().unwrap();
     let mut streamed = Vec::new();
-    let r2 = build().for_each_output(|rec| streamed.push(rec));
+    let r2 = build().for_each_output(|rec| streamed.push(rec)).unwrap();
     assert_eq!(collected, streamed);
     assert_eq!(
         r1.jobs()[0].driver_out_records,
@@ -244,9 +403,9 @@ fn for_each_output_streams_the_same_records_as_collect() {
 fn collecting_a_fresh_input_roundtrips() {
     let c = cluster(2, 0, ShuffleConfig::unbounded());
     let ids: Vec<u32> = (0..50).collect();
-    let ds = c.input(&ids);
-    assert_eq!(ds.records(), 50);
-    let (out, report) = ds.collect();
+    let mut ds = c.input(&ids);
+    assert_eq!(ds.records().unwrap(), 50);
+    let (out, report) = ds.collect().unwrap();
     assert_eq!(out, ids);
     assert!(report.jobs().is_empty());
 }
@@ -269,7 +428,8 @@ fn empty_input_chains_cleanly() {
             |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
         )
         .unwrap()
-        .collect();
+        .collect()
+        .unwrap();
     assert!(out.is_empty());
     assert_eq!(report.jobs().len(), 2);
     assert_eq!(report.total_driver_records(), 0);
@@ -306,7 +466,8 @@ fn dedup_combiner_composes_with_chaining() {
             },
         )
         .unwrap()
-        .collect();
+        .collect()
+        .unwrap();
     out.sort_unstable();
     assert_eq!(out, (0..5u32).map(|a| (a, a + 1)).collect::<Vec<_>>());
     assert_eq!(report.jobs()[0].driver_out_records, 0);
@@ -331,10 +492,270 @@ fn union_of_fresh_inputs_books_driver_in_on_next_stage() {
             },
         )
         .unwrap()
-        .collect();
+        .collect()
+        .unwrap();
     assert_eq!(out.len(), 3);
     assert_eq!(report.jobs().len(), 1);
     assert_eq!(report.jobs()[0].driver_in_records, 75);
     assert_eq!(report.jobs()[0].input_records, 75);
     assert_eq!(report.jobs()[0].driver_out_records, 3);
+}
+
+// ---- Failure paths ------------------------------------------------------
+
+/// A spill/stage/exchange base directory that cannot be used: the path
+/// runs *through a file*, so `create_dir_all` fails with a real I/O error
+/// even when the test runs as root (read-only permission bits would not).
+fn unusable_dir_base() -> (helpers::Dir, PathBuf) {
+    let dir = helpers::Dir::new("tsj-dataset-errors");
+    let blocker = dir.path().join("not-a-dir");
+    std::fs::write(&blocker, b"file in the way").unwrap();
+    (dir, blocker)
+}
+
+#[test]
+fn stage_output_sink_failure_surfaces_as_spill_error() {
+    // Thresholds high enough that mappers never spill, so the first I/O
+    // against the unusable base is the *stage-output sink* creating its
+    // run file — which must fail the job with JobError::Spill, not kill
+    // the process with a panic.
+    let (_guard, blocker) = unusable_dir_base();
+    let shuffle = ShuffleConfig {
+        combine_threshold: Some(1_000_000),
+        spill_threshold: Some(1_000_000),
+        spill_dir: Some(blocker),
+        ..ShuffleConfig::default()
+    };
+    let c = cluster(4, 3, shuffle);
+    let ids: Vec<u64> = (0..100).collect();
+    let err = c
+        .input(&ids)
+        .map_reduce(
+            "sink-fails",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 5, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .map_reduce(
+            "never-runs",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .collect()
+        .expect_err("unwritable stage-output dir must fail the job");
+    assert!(
+        matches!(err, JobError::Spill { .. }),
+        "expected JobError::Spill, got {err:?}"
+    );
+    assert!(err.to_string().contains("spill I/O failed"), "{err}");
+}
+
+#[test]
+fn worker_panic_in_a_lazy_graph_surfaces_once_and_skips_downstream() {
+    let c = cluster(4, 0, ShuffleConfig::unbounded());
+    let ids: Vec<u64> = (0..50).collect();
+    let err = c
+        .input(&ids)
+        .map_reduce(
+            "poisoned",
+            |&n: &u64, e: &mut Emitter<u64, u64>| {
+                if n == 33 {
+                    panic!("poison record {n}");
+                }
+                e.emit(n, n);
+            },
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .map_reduce(
+            "downstream",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .collect()
+        .expect_err("upstream panic must fail the graph");
+    match err {
+        JobError::WorkerPanic { phase, message } => {
+            assert_eq!(phase, "map");
+            assert!(message.contains("poison record"), "{message}");
+        }
+        other => panic!("expected the upstream map panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn failing_jobs_leave_the_spill_dir_empty() {
+    // Regression for the temp-dir leak class: whatever wave a job dies in
+    // — map panic, reduce panic, or a lazy graph failing mid-chain —
+    // every per-job spill/exchange/stage-output directory is removed by
+    // its RAII guard.
+    let base = helpers::Dir::new("tsj-spill-cleanup");
+    let shuffle = ShuffleConfig {
+        combine_threshold: Some(4),
+        spill_threshold: Some(4),
+        spill_dir: Some(base.path().to_path_buf()),
+        ..ShuffleConfig::default()
+    }
+    .with_transport(Transport::MultiProcess);
+    let c = cluster(4, 3, shuffle);
+    let ids: Vec<u64> = (0..200).collect();
+
+    // Map-wave failure.
+    let err = c
+        .run(
+            "map-dies",
+            &ids,
+            |&n: &u64, e: &mut Emitter<u64, u64>| {
+                if n == 150 {
+                    panic!("map poison");
+                }
+                e.emit(n % 7, n);
+            },
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .expect_err("map panic must fail the job");
+    assert!(matches!(err, JobError::WorkerPanic { phase: "map", .. }));
+
+    // Reduce-wave failure (spilled runs + exchange files exist by then).
+    let err = c
+        .run(
+            "reduce-dies",
+            &ids,
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 7, n),
+            |&k: &u64, _vs: Vec<u64>, _out: &mut OutputSink<u64>| {
+                if k == 3 {
+                    panic!("reduce poison");
+                }
+            },
+        )
+        .expect_err("reduce panic must fail the job");
+    assert!(matches!(
+        err,
+        JobError::WorkerPanic {
+            phase: "reduce",
+            ..
+        }
+    ));
+
+    // Lazy chain failing in its second stage.
+    let err = c
+        .input(&ids)
+        .map_reduce(
+            "ok-stage",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 7, n),
+            |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<u64>| {
+                out.emit(k + vs.len() as u64);
+            },
+        )
+        .unwrap()
+        .map_reduce(
+            "chain-dies",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |_k: &u64, _vs: Vec<u64>, _out: &mut OutputSink<u64>| panic!("chain poison"),
+        )
+        .unwrap()
+        .collect()
+        .expect_err("chained reduce panic must fail the graph");
+    assert!(matches!(err, JobError::WorkerPanic { .. }));
+
+    let leftovers: Vec<_> = std::fs::read_dir(base.path())
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "failing jobs leaked temp dirs: {leftovers:?}"
+    );
+}
+
+#[test]
+fn take_report_forces_execution_and_empties_the_handle() {
+    let c = cluster(2, 0, ShuffleConfig::unbounded());
+    let ids: Vec<u64> = (0..40).collect();
+    let mut ds = c
+        .input(&ids)
+        .map_reduce(
+            "stage",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 4, n),
+            |&k: &u64, vs: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((k, vs.iter().sum()));
+            },
+        )
+        .unwrap();
+    assert_eq!(ds.report().jobs().len(), 0, "nothing executed yet");
+    let report = ds.take_report().unwrap();
+    assert_eq!(report.jobs().len(), 1, "take_report executed the stage");
+    assert_eq!(ds.report().jobs().len(), 0, "handle's report emptied");
+    // Collecting afterwards still yields the records; the crossing has
+    // nowhere to book (the stats left with the report) — documented.
+    let (out, rest) = ds.collect().unwrap();
+    assert_eq!(out.len(), 4);
+    assert!(rest.jobs().is_empty());
+}
+
+#[test]
+fn collecting_a_union_of_fresh_inputs_concatenates() {
+    // Regression: a terminal on a union with no pending stages must
+    // materialize it (left then right), not panic — in both modes.
+    for mode in [DatasetMode::Lazy, DatasetMode::Eager] {
+        let c = cluster(2, 0, ShuffleConfig::unbounded()).with_dataset_mode(mode);
+        let a: Vec<u32> = (0..20).collect();
+        let b: Vec<u32> = (20..30).collect();
+        let (out, report) = c.input(&a).union(c.input(&b)).collect().unwrap();
+        assert_eq!(out, (0..30).collect::<Vec<u32>>(), "{mode:?}");
+        assert!(report.jobs().is_empty());
+        // And with one executed side: still a clean concatenation.
+        let mut left = c
+            .input(&a)
+            .map_reduce(
+                "left",
+                |&n: &u32, e: &mut Emitter<u32, u32>| e.emit(n % 3, n),
+                |&k: &u32, _vs: Vec<u32>, out: &mut OutputSink<u32>| out.emit(k),
+            )
+            .unwrap();
+        assert_eq!(left.records().unwrap(), 3);
+        let mut unioned = left.union(c.input(&b));
+        assert_eq!(unioned.records().unwrap(), 13, "{mode:?}");
+        assert!(unioned.num_partitions().unwrap() > 0);
+        let (out, _) = unioned.collect().unwrap();
+        assert_eq!(out.len(), 13);
+    }
+}
+
+#[test]
+fn failed_handles_stay_failed_instead_of_turning_empty() {
+    // Regression: after a terminal fails, the handle is poisoned — later
+    // terminals re-surface the error rather than succeeding with an
+    // empty result.
+    let (_guard, blocker) = unusable_dir_base();
+    let shuffle = ShuffleConfig {
+        combine_threshold: Some(1_000_000),
+        spill_threshold: Some(1_000_000),
+        spill_dir: Some(blocker),
+        ..ShuffleConfig::default()
+    };
+    let c = cluster(2, 3, shuffle);
+    let ids: Vec<u64> = (0..50).collect();
+    let mut ds = c
+        .input(&ids)
+        .map_reduce(
+            "sink-fails",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n % 5, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap()
+        .map_reduce(
+            "downstream",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |&k: &u64, _vs: Vec<u64>, out: &mut OutputSink<u64>| out.emit(k),
+        )
+        .unwrap();
+    let first = ds.records().expect_err("unusable spill dir must fail");
+    assert!(matches!(first, JobError::Spill { .. }), "{first:?}");
+    let second = ds
+        .collect()
+        .expect_err("a failed handle must not silently yield empty output");
+    assert_eq!(first, second, "the original error sticks to the handle");
 }

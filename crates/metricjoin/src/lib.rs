@@ -237,7 +237,7 @@ impl<'c> HmjJoiner<'c> {
                 verify_partition(corpus, partition, replicas, t, &cfg, 0, out, &budget);
             },
         )?;
-        let (output, job_report) = job.collect();
+        let (output, job_report) = job.collect()?;
         report.extend(job_report);
 
         let dnf = over_budget(budget.load(Ordering::Relaxed));

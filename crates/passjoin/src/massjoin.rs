@@ -100,11 +100,14 @@ impl<'c> MassJoin<'c> {
     /// `tokens`. Returns the verified pairs plus the per-job simulation
     /// report.
     ///
-    /// The two jobs are chained as a [`Dataset`](tsj_mapreduce::Dataset)
-    /// graph: the candidate pairs of job 1 stay partitioned inside the
-    /// runtime (spilled to sorted runs under a bounded shuffle) and feed
-    /// job 2's map wave directly — the candidate set never materializes in
-    /// driver memory, so job 1's
+    /// The two jobs are recorded as a lazy
+    /// [`Dataset`](tsj_mapreduce::Dataset) graph and execute at the
+    /// `collect` terminal with cross-stage overlap: as each candidates
+    /// reduce task finishes its partition, the verify job's map task for
+    /// that partition starts on the shared worker pool. Candidate pairs
+    /// stay partitioned inside the runtime (spilled to sorted runs under
+    /// a bounded shuffle) and feed job 2's map wave directly — the
+    /// candidate set never materializes in driver memory, so job 1's
     /// [`driver_out_records`](tsj_mapreduce::JobStats::driver_out_records)
     /// is zero. Only the verified pairs cross back at collect time.
     pub fn nld_self_join(
@@ -130,7 +133,7 @@ impl<'c> MassJoin<'c> {
                 &Dedup,
                 verify_reduce(&chars, t),
             )?;
-        let (mut pairs, report) = verified.collect();
+        let (mut pairs, report) = verified.collect()?;
         pairs.sort_unstable_by_key(|p| (p.a, p.b));
         Ok((pairs, report))
     }

@@ -125,14 +125,16 @@ fn pipeline_report_covers_all_stages() {
     let out = TsjJoiner::new(&cluster)
         .self_join(&corpus, &TsjConfig::default())
         .unwrap();
+    // Execution order: the MassJoin sub-graph collects before the lazily
+    // recorded candidate stages execute at the final collect.
     let names: Vec<&str> = out.report.jobs().iter().map(|j| j.name.as_str()).collect();
     assert_eq!(
         names,
         vec![
             "tsj.token_stats",
-            "tsj.shared_token",
             "massjoin.candidates",
             "massjoin.verify",
+            "tsj.shared_token",
             "tsj.expand_similar",
             "tsj.dedup_verify.one_string",
         ]

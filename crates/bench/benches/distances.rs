@@ -4,7 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tsj_assignment::{greedy, hungarian, SquareMatrix};
 use tsj_setdist::{nsld, nsld_greedy, nsld_within, Aligning};
-use tsj_strdist::{jaro_winkler, levenshtein, levenshtein_within, nld, nld_within};
+use tsj_strdist::{
+    jaro_winkler, levenshtein, levenshtein_within, levenshtein_within_slices_banded, nld,
+    nld_within,
+};
 
 fn bench_levenshtein(c: &mut Criterion) {
     let mut g = c.benchmark_group("levenshtein");
@@ -24,6 +27,77 @@ fn bench_levenshtein(c: &mut Criterion) {
     });
     g.bench_function("ld_within/miss_k1", |b| {
         b.iter(|| levenshtein_within(black_box("barakxyz"), black_box("obamapqr"), 1))
+    });
+    g.finish();
+}
+
+/// A deterministic pseudo-random ASCII string over `[a-z]`.
+fn ascii_string(len: usize, seed: u64) -> String {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (b'a' + (state % 26) as u8) as char
+        })
+        .collect()
+}
+
+/// Applies `edits` scattered single-character substitutions to `s`.
+fn mutate(s: &str, edits: usize) -> String {
+    let mut bytes = s.as_bytes().to_vec();
+    let n = bytes.len();
+    for e in 0..edits {
+        let pos = (e * n) / edits.max(1) + n / (2 * edits.max(1));
+        let pos = pos.min(n - 1);
+        bytes[pos] = if bytes[pos] == b'z' {
+            b'a'
+        } else {
+            bytes[pos] + 1
+        };
+    }
+    String::from_utf8(bytes).unwrap()
+}
+
+/// The verification hot path head-to-head: `levenshtein_within` (which
+/// dispatches to the bit-parallel Myers kernels) against the scalar
+/// banded DP it replaced, on ASCII verification-shaped workloads —
+/// pattern lengths 16–64, thresholds ≤ 8, both accepting pairs (distance
+/// just inside `k`) and rejecting pairs (well outside).
+fn bench_myers_vs_banded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ld_within_impls");
+    for len in [16usize, 32, 64] {
+        for k in [1usize, 4, 8] {
+            let a = ascii_string(len, len as u64 * 31 + k as u64);
+            let hit = mutate(&a, k.min(len / 4).max(1));
+            let miss = ascii_string(len, 0xDEAD_0000 + len as u64);
+            for (case, b_str) in [("hit", &hit), ("miss", &miss)] {
+                g.bench_function(format!("myers/len{len}_k{k}_{case}"), |b| {
+                    b.iter(|| levenshtein_within(black_box(&a), black_box(b_str), k))
+                });
+                g.bench_function(format!("banded/len{len}_k{k}_{case}"), |b| {
+                    b.iter(|| {
+                        levenshtein_within_slices_banded(
+                            black_box(a.as_bytes()),
+                            black_box(b_str.as_bytes()),
+                            k,
+                        )
+                    })
+                });
+            }
+        }
+    }
+    // Beyond one word: the chained-block kernel vs the band.
+    let a = ascii_string(256, 7);
+    let hit = mutate(&a, 4);
+    g.bench_function("myers/len256_k8_hit", |b| {
+        b.iter(|| levenshtein_within(black_box(&a), black_box(&hit), 8))
+    });
+    g.bench_function("banded/len256_k8_hit", |b| {
+        b.iter(|| {
+            levenshtein_within_slices_banded(black_box(a.as_bytes()), black_box(hit.as_bytes()), 8)
+        })
     });
     g.finish();
 }
@@ -91,6 +165,6 @@ fn bench_assignment(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_levenshtein, bench_nld, bench_setwise, bench_assignment
+    targets = bench_levenshtein, bench_myers_vs_banded, bench_nld, bench_setwise, bench_assignment
 }
 criterion_main!(benches);

@@ -81,6 +81,16 @@ fn bench_transport_job(c: &mut Criterion) {
         assert_eq!(sort(plain.output.clone()), sort(exchanged.output));
         assert!(exchanged.stats.transport_bytes > 0);
         assert!(exchanged.stats.transport_secs > 0.0);
+        // v2 framing pin: a (u64, u64) record frames as 1 B length +
+        // 1 B fingerprint delta + 16 B payload = 18 B/record (the v1
+        // fixed frame cost 28). Regressing past 20 means the compact
+        // framing broke.
+        let b_per_rec =
+            exchanged.stats.transport_bytes as f64 / exchanged.stats.shuffle_records.max(1) as f64;
+        assert!(
+            b_per_rec < 20.0,
+            "{label}: exchange cost {b_per_rec:.1} B/record exceeds the v2 framing budget"
+        );
         println!(
             "multi-process ({label}): {} KiB exchanged for {} shuffled records \
              ({:.1} B/record), sim {:+.4}s vs in-process",

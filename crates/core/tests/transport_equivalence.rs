@@ -167,10 +167,10 @@ fn multiprocess_reports_transport_bytes_on_every_job() {
             j.name
         );
         assert!(j.transport_secs > 0.0, "{} transport not charged", j.name);
-        // Framing lower bound: 4-byte length + 8-byte fingerprint per
-        // shuffled record.
+        // v2 framing lower bound: 1-byte length varint + 1-byte
+        // fingerprint delta per shuffled record.
         assert!(
-            j.transport_bytes >= 12 * j.shuffle_records,
+            j.transport_bytes >= 2 * j.shuffle_records,
             "{}: {} bytes for {} records",
             j.name,
             j.transport_bytes,

@@ -64,5 +64,5 @@ pub use report::SimReport;
 pub use shuffle::{
     combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, ShuffleConfig, Sum,
 };
-pub use spill::{RunMeta, RunReader, Spill, SpillError, SpillWriter};
+pub use spill::{read_varint, write_varint, RunMeta, RunReader, Spill, SpillError, SpillWriter};
 pub use transport::{InProcess, MultiProcess, ShuffleTransport, Transport};

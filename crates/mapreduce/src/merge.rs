@@ -35,6 +35,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fs::File;
+use std::hash::Hash;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -64,7 +65,7 @@ enum Stream<K, V> {
     Run(RunReader),
 }
 
-impl<K: Spill, V: Spill> Stream<K, V> {
+impl<K: Spill + Hash, V: Spill> Stream<K, V> {
     fn next(&mut self) -> Result<Option<ShuffleRecord<K, V>>, SpillError> {
         match self {
             Stream::Mem(it) => Ok(it.next()),
@@ -75,7 +76,7 @@ impl<K: Spill, V: Spill> Stream<K, V> {
 
 /// Turns segments into sorted record streams (in-memory segments are
 /// sorted stably here; spilled runs were sorted at write time).
-fn make_streams<K: Spill, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<Stream<K, V>> {
+fn make_streams<K: Spill + Hash, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<Stream<K, V>> {
     segments
         .into_iter()
         .map(|seg| match seg {
@@ -99,7 +100,7 @@ fn merge_streams<K, V, F>(
     mut on_record: F,
 ) -> Result<(), SpillError>
 where
-    K: Spill,
+    K: Spill + Hash,
     V: Spill,
     F: FnMut(ShuffleRecord<K, V>) -> Result<(), SpillError>,
 {
@@ -148,7 +149,7 @@ pub(crate) fn merge_segments<K, V, F>(
     mut each_group: F,
 ) -> Result<(), SpillError>
 where
-    K: Spill + Eq,
+    K: Spill + Eq + Hash,
     V: Spill,
     F: FnMut(K, Vec<V>),
 {
@@ -190,7 +191,7 @@ pub(crate) fn merge_segments_capped<K, V, F>(
     mut each_group: F,
 ) -> Result<MergeEffort, SpillError>
 where
-    K: Spill + Eq,
+    K: Spill + Eq + Hash,
     V: Spill,
     F: FnMut(K, Vec<V>) -> Result<(), SpillError>,
 {
@@ -256,7 +257,7 @@ mod tests {
     use crate::spill::{create_job_spill_dir, SpillDirGuard, SpillWriter};
 
     /// Runs the merge and collects `(key, values)` groups in call order.
-    fn collect<K: Spill + Eq, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<(K, Vec<V>)> {
+    fn collect<K: Spill + Eq + Hash, V: Spill>(segments: Vec<Segment<K, V>>) -> Vec<(K, Vec<V>)> {
         let mut got = Vec::new();
         merge_segments(segments, |k, vs| got.push((k, vs))).unwrap();
         got

@@ -101,19 +101,45 @@ impl SimReport {
     pub fn total_driver_records(&self) -> u64 {
         self.total_driver_in_records() + self.total_driver_out_records()
     }
+
+    /// Average framed bytes per shuffled record across the jobs that
+    /// actually moved bytes through a transport (the `xport(B/rec)`
+    /// column's TOTAL) — the wire format's per-record cost, directly
+    /// comparable across framing versions. `None` when no job exchanged
+    /// bytes (e.g. the in-process handoff).
+    pub fn transport_bytes_per_record(&self) -> Option<f64> {
+        let (bytes, records) = self
+            .jobs
+            .iter()
+            .filter(|j| j.transport_bytes > 0 && j.shuffle_records > 0)
+            .fold((0u64, 0u64), |(b, r), j| {
+                (b + j.transport_bytes, r + j.shuffle_records)
+            });
+        (records > 0).then(|| bytes as f64 / records as f64)
+    }
+}
+
+/// Renders one `xport(B/rec)` cell: blank for jobs that moved no bytes.
+fn bytes_per_record_cell(transport_bytes: u64, shuffle_records: u64) -> String {
+    if transport_bytes == 0 || shuffle_records == 0 {
+        String::new()
+    } else {
+        format!("{:.1}", transport_bytes as f64 / shuffle_records as f64)
+    }
 }
 
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8}",
             "job",
             "input",
             "emitted",
             "shuffled",
             "spilled",
             "xport(B)",
+            "xport(B/rec)",
             "driver(rec)",
             "groups",
             "output",
@@ -123,13 +149,14 @@ impl std::fmt::Display for SimReport {
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2}",
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
                 j.shuffle_records,
                 j.spilled_records,
                 j.transport_bytes,
+                bytes_per_record_cell(j.transport_bytes, j.shuffle_records),
                 j.driver_in_records + j.driver_out_records,
                 j.reduce_groups,
                 j.output_records,
@@ -139,13 +166,16 @@ impl std::fmt::Display for SimReport {
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2}",
             "TOTAL",
             "",
             self.total_map_output_records(),
             self.total_shuffle_records(),
             self.total_spilled_records(),
             self.total_transport_bytes(),
+            self.transport_bytes_per_record()
+                .map(|b| format!("{b:.1}"))
+                .unwrap_or_default(),
             self.total_driver_records(),
             "",
             "",
@@ -210,6 +240,41 @@ mod tests {
         r.push(a);
         r.push(b);
         assert_eq!(r.total_transport_bytes(), 123);
+    }
+
+    #[test]
+    fn transport_bytes_per_record_averages_transported_jobs_only() {
+        let mut a = stats("a", 1.0, 0.0);
+        a.transport_bytes = 210;
+        a.shuffle_records = 10;
+        // An in-process job shuffles records but moves no transport bytes;
+        // it must not dilute the per-record figure.
+        let mut b = stats("b", 1.0, 0.0);
+        b.transport_bytes = 0;
+        b.shuffle_records = 1000;
+        let mut c = stats("c", 1.0, 0.0);
+        c.transport_bytes = 90;
+        c.shuffle_records = 10;
+        let mut r = SimReport::new();
+        r.push(a);
+        r.push(b);
+        r.push(c);
+        let per_rec = r.transport_bytes_per_record().unwrap();
+        assert!((per_rec - 15.0).abs() < 1e-12, "got {per_rec}");
+        // Rendered table: per-job cells plus the aggregated TOTAL cell,
+        // blank for the transportless job.
+        let rendered = format!("{r}");
+        assert!(rendered.contains("xport(B/rec)"));
+        assert!(rendered.contains("21.0"), "{rendered}");
+        assert!(rendered.contains("9.0"), "{rendered}");
+        assert!(rendered.contains("15.0"), "{rendered}");
+    }
+
+    #[test]
+    fn transport_bytes_per_record_is_none_without_transport() {
+        let mut r = SimReport::new();
+        r.push(stats("a", 1.0, 0.0));
+        assert_eq!(r.transport_bytes_per_record(), None);
     }
 
     #[test]

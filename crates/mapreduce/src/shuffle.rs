@@ -425,7 +425,7 @@ impl<K, V> PartitionedBuffer<K, V> {
     }
 }
 
-impl<K: Spill, V: Spill> PartitionedBuffer<K, V> {
+impl<K: Spill + Hash, V: Spill> PartitionedBuffer<K, V> {
     /// Spills the whole buffer if it has reached the spill threshold.
     /// Called on every emit, so in-memory records never exceed the
     /// threshold. Panics on I/O failure (surfaced by the runtime as a map

@@ -15,7 +15,7 @@
 //! (and future remote workers) can produce and consume the exchange
 //! format.
 //!
-//! # File format
+//! # File format (v2)
 //!
 //! One spill file per map task holds the runs of all partitions,
 //! back-to-back; a run is located by the `(offset, bytes)` recorded in its
@@ -23,12 +23,32 @@
 //! is framed as
 //!
 //! ```text
-//! [u32 payload_len] [u64 key_fingerprint] [K bytes] [V bytes]
+//! [varint payload_len] [varint fp_delta] [K bytes] [V bytes]
 //! ```
 //!
-//! with all integers little-endian. The frame length lets [`RunReader`]
-//! refill its fixed-size read buffer on whole-record boundaries, keeping
-//! reduce-side memory at one buffer per open run regardless of run size.
+//! where both varints are LEB128 (7 data bits per byte, high bit =
+//! continuation, at most 10 bytes for a `u64`) and `payload_len` counts
+//! the bytes after it (`fp_delta` + `K` + `V`). The frame length lets
+//! [`RunReader`] refill its fixed-size read buffer on whole-record
+//! boundaries, keeping reduce-side memory at one buffer per open run
+//! regardless of run size; a record must decode to *exactly*
+//! `payload_len` bytes or the reader reports corruption.
+//!
+//! `fp_delta` is the record's shuffle fingerprint XOR
+//! [`fingerprint64`] of its restored key. Every
+//! record the runtime itself produces has `fp == fingerprint64(key)` (the
+//! emitter computes one from the other), so the delta is `0` and the
+//! fingerprint costs **one byte** on the wire instead of the fixed eight
+//! of the v1 frame — while arbitrary fingerprints (tests, external
+//! producers) still round-trip exactly, just at up to 10 bytes. Note the
+//! delta is taken against the *key*, not the previous record's
+//! fingerprint: runs are sorted by fingerprint, but fingerprints are
+//! full-entropy 64-bit hashes, so sequential deltas measure ~`64 −
+//! log2(run_len)` bits and varint-encode *larger* than the raw field;
+//! the key-derived delta is what actually shrinks the frame. Altogether
+//! the fixed 12 B/record framing of v1 (`[u32 len][u64 fp]`) drops to
+//! 2 B/record in the common case. Run files are per-job temp artifacts,
+//! so no cross-version compatibility is kept.
 //!
 //! # Serialization
 //!
@@ -43,11 +63,58 @@
 //! disk fails the *job*, never the process.
 
 use std::fs::File;
+use std::hash::Hash;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use crate::hash::fingerprint64;
 use crate::shuffle::ShuffleRecord;
+
+/// Appends `v` to `out` as an LEB128 varint (7 data bits per byte, high
+/// bit set on all but the last byte; 1 byte for values < 128, at most 10
+/// bytes for a `u64`). The v2 wire format's integer encoding.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, v: u64) {
+    let (buf, len) = varint_bytes(v);
+    out.extend_from_slice(&buf[..len]);
+}
+
+/// LEB128-encodes `v` into a stack buffer; returns the buffer and the
+/// encoded length.
+#[inline]
+fn varint_bytes(mut v: u64) -> ([u8; 10], usize) {
+    let mut buf = [0u8; 10];
+    let mut i = 0;
+    while v >= 0x80 {
+        buf[i] = v as u8 | 0x80;
+        v >>= 7;
+        i += 1;
+    }
+    buf[i] = v as u8;
+    (buf, i + 1)
+}
+
+/// Decodes one LEB128 varint off the front of `buf`, advancing it.
+/// `None` on truncation (every strict prefix of an encoding is rejected)
+/// or on an encoding that does not fit a `u64`.
+#[inline]
+pub fn read_varint(buf: &mut &[u8]) -> Option<u64> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().take(10).enumerate() {
+        v |= u64::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            // The 10th byte contributes bits 63.. : anything beyond the
+            // single remaining bit overflows a u64.
+            if i == 9 && byte > 1 {
+                return None;
+            }
+            *buf = &buf[i + 1..];
+            return Some(v);
+        }
+    }
+    None
+}
 
 /// Why reading a spill-format run back failed: the disk, or the bytes.
 ///
@@ -181,12 +248,14 @@ impl Spill for () {
 impl Spill for String {
     #[inline]
     fn spill(&self, out: &mut Vec<u8>) {
-        (self.len() as u32).spill(out);
+        // Varint length: short strings (the common case — names, tokens)
+        // pay 1 byte of framing instead of the old fixed 4.
+        write_varint(out, self.len() as u64);
         out.extend_from_slice(self.as_bytes());
     }
     #[inline]
     fn restore(buf: &mut &[u8]) -> Option<Self> {
-        let n = u32::restore(buf)? as usize;
+        let n = usize::try_from(read_varint(buf)?).ok()?;
         let b = take_bytes(buf, n)?;
         String::from_utf8(b.to_vec()).ok()
     }
@@ -194,13 +263,13 @@ impl Spill for String {
 
 impl<T: Spill> Spill for Vec<T> {
     fn spill(&self, out: &mut Vec<u8>) {
-        (self.len() as u32).spill(out);
+        write_varint(out, self.len() as u64);
         for item in self {
             item.spill(out);
         }
     }
     fn restore(buf: &mut &[u8]) -> Option<Self> {
-        let n = u32::restore(buf)? as usize;
+        let n = usize::try_from(read_varint(buf)?).ok()?;
         let mut v = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             v.push(T::restore(buf)?);
@@ -318,28 +387,32 @@ impl SpillWriter {
 
     /// Appends one framed record. The caller is responsible for feeding
     /// records in fingerprint order within a run.
-    pub fn write_record<K: Spill, V: Spill>(
+    pub fn write_record<K: Spill + Hash, V: Spill>(
         &mut self,
         h: u64,
         key: &K,
         value: &V,
     ) -> std::io::Result<()> {
         self.scratch.clear();
-        h.spill(&mut self.scratch);
+        // Key-derived fingerprint delta: 0 (one wire byte) whenever the
+        // fingerprint is the emitter's `fingerprint64(key)` — i.e. every
+        // record the runtime produces (see the module docs).
+        write_varint(&mut self.scratch, h ^ fingerprint64(key));
         key.spill(&mut self.scratch);
         value.spill(&mut self.scratch);
         // Fail at the write site rather than corrupting every frame
-        // after this one with a wrapped length prefix.
+        // after this one with an implausible length prefix.
         assert!(
             self.scratch.len() <= u32::MAX as usize,
             "shuffle record encoding exceeds the 4 GiB frame limit"
         );
-        let frame = self.scratch.len() as u32;
-        self.file.write_all(&frame.to_le_bytes())?;
+        let (len_buf, len_len) = varint_bytes(self.scratch.len() as u64);
+        self.file.write_all(&len_buf[..len_len])?;
         self.file.write_all(&self.scratch)?;
-        self.offset += 4 + self.scratch.len() as u64;
+        let framed = (len_len + self.scratch.len()) as u64;
+        self.offset += framed;
         self.records += 1;
-        self.bytes += 4 + self.scratch.len() as u64;
+        self.bytes += framed;
         Ok(())
     }
 
@@ -381,7 +454,7 @@ impl SpillWriter {
     }
 
     /// Appends `records` (already sorted by fingerprint) as one run.
-    pub fn write_run<K: Spill, V: Spill>(
+    pub fn write_run<K: Spill + Hash, V: Spill>(
         &mut self,
         records: &[ShuffleRecord<K, V>],
     ) -> std::io::Result<RunMeta> {
@@ -483,6 +556,33 @@ impl RunReader {
         }
     }
 
+    /// Reads the frame-length varint that starts the next record.
+    /// `Ok(None)` only at the clean end of the run (no bytes left); any
+    /// partial or overlong encoding is corruption.
+    fn next_frame_len(&mut self) -> Result<Option<usize>, SpillError> {
+        if !self.ensure(1)? {
+            return Ok(None);
+        }
+        let mut v: u64 = 0;
+        for i in 0..10 {
+            if !self.ensure(i + 1)? {
+                return Err(SpillError::Corrupt("truncated frame-length varint"));
+            }
+            let byte = self.buf[self.pos + i];
+            v |= u64::from(byte & 0x7f) << (7 * i);
+            if byte & 0x80 == 0 {
+                if i == 9 && byte > 1 {
+                    return Err(SpillError::Corrupt("overlong frame-length varint"));
+                }
+                self.pos += i + 1;
+                let frame = usize::try_from(v)
+                    .map_err(|_| SpillError::Corrupt("frame length exceeds address space"))?;
+                return Ok(Some(frame));
+            }
+        }
+        Err(SpillError::Corrupt("overlong frame-length varint"))
+    }
+
     /// Next record of the run, `Ok(None)` when cleanly exhausted, or a
     /// [`SpillError`] on an I/O failure, a truncated frame, or an
     /// undecodable payload (spill/exchange file corruption); inside a job,
@@ -491,27 +591,34 @@ impl RunReader {
     // Not `Iterator`: the record type is chosen per *call*, and one frame
     // format serves any (K, V) the caller restores it as.
     #[allow(clippy::should_implement_trait)]
-    pub fn next<K: Spill, V: Spill>(&mut self) -> Result<Option<ShuffleRecord<K, V>>, SpillError> {
-        if !self.ensure(4)? {
+    pub fn next<K: Spill + Hash, V: Spill>(
+        &mut self,
+    ) -> Result<Option<ShuffleRecord<K, V>>, SpillError> {
+        let Some(frame) = self.next_frame_len()? else {
             return Ok(None);
-        }
-        let frame = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
-        self.pos += 4;
-        let frame = frame as usize;
+        };
         if !self.ensure(frame)? {
             return Err(SpillError::Corrupt("truncated record payload"));
         }
         let mut payload = &self.buf[self.pos..self.pos + frame];
-        let rec = (|| {
+        let decoded = (|| {
             Some((
-                u64::restore(&mut payload)?,
+                read_varint(&mut payload)?,
                 K::restore(&mut payload)?,
                 V::restore(&mut payload)?,
             ))
         })();
-        let rec = rec.ok_or(SpillError::Corrupt("undecodable record payload"))?;
+        let Some((fp_delta, key, value)) = decoded else {
+            return Err(SpillError::Corrupt("undecodable record payload"));
+        };
+        // Every byte the frame length promised must have been consumed;
+        // leftovers mean the length and the payload disagree.
+        if !payload.is_empty() {
+            return Err(SpillError::Corrupt("record payload has trailing bytes"));
+        }
+        let h = fp_delta ^ fingerprint64(&key);
         self.pos += frame;
-        Ok(Some(rec))
+        Ok(Some((h, key, value)))
     }
 }
 

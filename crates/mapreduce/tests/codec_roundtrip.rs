@@ -22,7 +22,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::string::string_regex;
 
-use tsj_mapreduce::{RunReader, Spill, SpillError, SpillWriter};
+use tsj_mapreduce::{
+    fingerprint64, read_varint, write_varint, RunReader, Spill, SpillError, SpillWriter,
+};
 use tsj_metricjoin::Replica;
 use tsj_passjoin::ChunkRole;
 
@@ -143,6 +145,26 @@ proptest! {
     }
 
     #[test]
+    fn varint_roundtrips_and_rejects_prefixes(v in 0u64..=u64::MAX, shift in 0u32..64) {
+        // Cover every encoded length: a full-range value plus one shifted
+        // down so small (1–2 byte) encodings appear constantly.
+        for v in [v, v >> shift] {
+            let mut bytes = Vec::new();
+            write_varint(&mut bytes, v);
+            prop_assert!(bytes.len() <= 10);
+            let mut slice = bytes.as_slice();
+            prop_assert_eq!(read_varint(&mut slice), Some(v));
+            prop_assert!(slice.is_empty(), "varint must consume exactly its encoding");
+            // LEB128 self-delimits: every strict prefix still carries a
+            // continuation bit and must be rejected, not misread.
+            for cut in 0..bytes.len() {
+                let mut slice = &bytes[..cut];
+                prop_assert_eq!(read_varint(&mut slice), None, "prefix {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
     fn chunk_role_roundtrips(id in 0u32..=u32::MAX, seg in 0u8..=1) {
         let role = if seg == 1 { ChunkRole::Seg(id) } else { ChunkRole::Sub(id) };
         check(role);
@@ -170,6 +192,45 @@ proptest! {
 }
 
 #[test]
+fn varint_boundary_values_encode_minimally() {
+    for (v, len) in [
+        (0u64, 1usize),
+        (1, 1),
+        (127, 1),
+        (128, 2),
+        (16_383, 2),
+        (16_384, 3),
+        (u64::from(u32::MAX), 5),
+        (u64::MAX, 10),
+    ] {
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, v);
+        assert_eq!(bytes.len(), len, "encoding length of {v}");
+        let mut slice = bytes.as_slice();
+        assert_eq!(read_varint(&mut slice), Some(v));
+        assert!(slice.is_empty());
+    }
+}
+
+#[test]
+fn varint_rejects_unterminated_and_overflowing_encodings() {
+    // Ten continuation bytes: no terminator within the u64 limit.
+    let mut slice: &[u8] = &[0x80; 10];
+    assert_eq!(read_varint(&mut slice), None);
+    // Terminated on the 10th byte but carrying bits beyond 2^64.
+    let mut bytes = vec![0xFF; 9];
+    bytes.push(0x02);
+    let mut slice = bytes.as_slice();
+    assert_eq!(read_varint(&mut slice), None);
+    // The same 10-byte shape with a valid final bit is the u64::MAX
+    // encoding and must decode.
+    let mut bytes = vec![0xFF; 9];
+    bytes.push(0x01);
+    let mut slice = bytes.as_slice();
+    assert_eq!(read_varint(&mut slice), Some(u64::MAX));
+}
+
+#[test]
 fn corrupt_tag_bytes_are_rejected() {
     // bool: only 0 and 1 decode.
     for b in 2u8..=255 {
@@ -189,9 +250,9 @@ fn corrupt_tag_bytes_are_rejected() {
         let mut slice = bytes.as_slice();
         assert_eq!(char::restore(&mut slice), None, "char {bad:#x}");
     }
-    // String: invalid UTF-8 payload.
+    // String: invalid UTF-8 payload behind a valid varint length.
     let mut bytes = Vec::new();
-    2u32.spill(&mut bytes);
+    write_varint(&mut bytes, 2);
     bytes.extend_from_slice(&[0xFF, 0xFE]);
     let mut slice = bytes.as_slice();
     assert_eq!(String::restore(&mut slice), None);
@@ -200,9 +261,9 @@ fn corrupt_tag_bytes_are_rejected() {
 #[test]
 fn corrupt_length_prefixes_are_rejected_without_overallocation() {
     // A length prefix pointing far past the buffer must fail cleanly —
-    // and for Vec, without attempting a u32::MAX-element allocation.
+    // and for Vec, without attempting a u64::MAX-element allocation.
     let mut bytes = Vec::new();
-    u32::MAX.spill(&mut bytes);
+    write_varint(&mut bytes, u64::MAX);
     bytes.extend_from_slice(b"tiny");
     let mut slice = bytes.as_slice();
     assert_eq!(String::restore(&mut slice), None);
@@ -278,10 +339,27 @@ fn run_reader_rejects_truncated_frame() {
 }
 
 #[test]
+fn run_reader_rejects_every_strict_prefix_of_a_run() {
+    // Varint framing self-delimits at every level: however the file is
+    // chopped — inside a length varint, a fingerprint delta, a key, or a
+    // value — the reader must surface structured corruption, never panic
+    // and never fabricate a record.
+    let (dir, bytes, meta) = sample_run_file();
+    for cut in 0..bytes.len() {
+        assert_corrupt(
+            read_run(&dir, "prefix.spill", &bytes[..cut], meta),
+            &format!("prefix of {cut}/{} bytes", bytes.len()),
+        );
+    }
+}
+
+#[test]
 fn run_reader_rejects_corrupt_length_prefix() {
     let (dir, mut bytes, meta) = sample_run_file();
-    // Rewrite the first frame's length prefix to reach far past the run.
-    bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    // Rewrite the first frame's length varint to reach far past the run
+    // (a 5-byte encoding of ~2^32; the original frame is < 128 bytes, so
+    // the overwritten payload bytes merely shift the corruption point).
+    bytes[..5].copy_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]);
     assert_corrupt(
         read_run(&dir, "badlen.spill", &bytes, meta),
         "corrupt length prefix",
@@ -289,15 +367,109 @@ fn run_reader_rejects_corrupt_length_prefix() {
 }
 
 #[test]
-fn run_reader_rejects_undecodable_payload() {
+fn run_reader_rejects_overlong_length_varint() {
     let (dir, mut bytes, meta) = sample_run_file();
+    // Ten continuation bytes followed by a terminator: syntactically an
+    // 11-byte varint, which no u64 frame length produces.
+    bytes[..10].copy_from_slice(&[0x80; 10]);
+    assert_corrupt(
+        read_run(&dir, "overlong.spill", &bytes, meta),
+        "overlong length varint",
+    );
+}
+
+/// Like [`sample_run_file`] but with runtime-consistent fingerprints
+/// (`h == fingerprint64(key)`), making every frame's layout deterministic:
+/// `[len: 1 byte][fp_delta: 1 byte = 0][key: 8 bytes][str_len: 1 byte][str]`.
+fn sample_run_file_zero_delta() -> (helpers::Dir, Vec<u8>, tsj_mapreduce::RunMeta) {
+    let dir = helpers::Dir::new("tsj-codec-test");
+    let path = dir.path().join("run.spill");
+    let mut w = SpillWriter::create(path.clone()).unwrap();
+    let mut records: Vec<(u64, u64, String)> = (0..50u64)
+        .map(|i| (fingerprint64(&(i * 3)), i * 3, format!("value-{i}")))
+        .collect();
+    records.sort_by_key(|&(h, _, _)| h);
+    let meta = w.write_run(&records).unwrap();
+    let (_file, path) = w.into_reader().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (dir, bytes, meta)
+}
+
+#[test]
+fn run_reader_rejects_undecodable_payload() {
+    let (dir, mut bytes, meta) = sample_run_file_zero_delta();
     // Keep framing intact but scribble over the first record's String
     // length so the payload no longer decodes as (u64 key, String value):
-    // frame = [len][h: 8][key: 8][str_len: 4][str bytes]. Setting str_len
-    // to a huge value starves the String of bytes *within* the frame.
-    let str_len_at = 4 + 8 + 8;
-    bytes[str_len_at..str_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    // setting str_len to 0x7F starves the String of bytes *within* the
+    // frame.
+    let str_len_at = 1 + 1 + 8;
+    assert!(
+        bytes[str_len_at] < 0x10,
+        "layout drifted: not a small str_len"
+    );
+    bytes[str_len_at] = 0x7F;
     let err = read_run(&dir, "badpayload.spill", &bytes, meta)
         .expect_err("undecodable payload must not read cleanly");
     assert!(err.to_string().contains("undecodable"), "{err}");
+}
+
+#[test]
+fn run_reader_rejects_frame_with_trailing_bytes() {
+    let (dir, mut bytes, meta) = sample_run_file_zero_delta();
+    // Shrink the first record's String length by one: the payload then
+    // decodes but leaves a byte unconsumed inside the frame — the length
+    // and the payload disagree, which must read as corruption rather
+    // than silently resynchronizing.
+    let str_len_at = 1 + 1 + 8;
+    bytes[str_len_at] -= 1;
+    let err = read_run(&dir, "trailing.spill", &bytes, meta)
+        .expect_err("frame with trailing bytes must not read cleanly");
+    assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn fingerprint_delta_roundtrips_arbitrary_fingerprints() {
+    // The wire fingerprint is keyed to `fingerprint64(key)` (delta 0 for
+    // everything the runtime emits), but arbitrary fingerprints must
+    // still round-trip exactly — the delta is lossless, not a checksum.
+    let dir = helpers::Dir::new("tsj-codec-test");
+    let mut w = SpillWriter::create(dir.path().join("fps.spill")).unwrap();
+    let records: Vec<(u64, u32, String)> = vec![
+        (0, 7, "zero".into()),
+        (u64::MAX, 7, "max".into()),
+        (fingerprint64(&7u32), 7, "native".into()),
+        (0x0123_4567_89AB_CDEF, 9, "arbitrary".into()),
+    ];
+    let meta = w.write_run(&records).unwrap();
+    let (file, _path) = w.into_reader().unwrap();
+    let mut r = RunReader::new(file, meta);
+    let mut got = Vec::new();
+    while let Some(rec) = r.next::<u32, String>().unwrap() {
+        got.push(rec);
+    }
+    assert_eq!(got, records);
+}
+
+#[test]
+fn native_fingerprints_cost_one_wire_byte() {
+    // Two identical runs, one with emitter-style fingerprints and one
+    // with arbitrary ones: the native run must frame each fingerprint in
+    // a single byte (delta 0), the arbitrary run pays the full varint.
+    let dir = helpers::Dir::new("tsj-codec-test");
+    let native: Vec<(u64, u64, String)> = (0..100u64)
+        .map(|i| (fingerprint64(&i), i, "v".into()))
+        .collect();
+    let arbitrary: Vec<(u64, u64, String)> =
+        (0..100u64).map(|i| (u64::MAX - i, i, "v".into())).collect();
+    let mut wn = SpillWriter::create(dir.path().join("native.spill")).unwrap();
+    let mn = wn.write_run(&native).unwrap();
+    let mut wa = SpillWriter::create(dir.path().join("arbitrary.spill")).unwrap();
+    let ma = wa.write_run(&arbitrary).unwrap();
+    // Native: 1 (len) + 1 (delta) + 8 (key) + 2 (string) = 12 B/record.
+    assert_eq!(mn.bytes, 12 * 100, "native-fingerprint framing");
+    // Arbitrary deltas are full-entropy 64-bit values: 9–10 byte varints.
+    assert!(
+        ma.bytes > mn.bytes + 7 * 100,
+        "arbitrary fps must cost more"
+    );
 }

@@ -4,8 +4,11 @@
 //! *Scalable Similarity Joins of Tokenized Strings* (ICDE 2019):
 //!
 //! * [`levenshtein()`] — the Levenshtein Distance `LD` (Definition 1),
-//!   including a thresholded banded variant [`levenshtein_within`] that runs
-//!   in `O((2k+1)·n)` time and is the workhorse of candidate verification.
+//!   including the thresholded variant [`levenshtein_within`] that is the
+//!   workhorse of candidate verification. Both run on the bit-parallel
+//!   kernels of [`myers`] (Myers 1999), with Ukkonen's `O((2k+1)·n)` banded
+//!   DP retained as [`levenshtein_within_slices_banded`] for reference and
+//!   for the narrow-band long-string regime.
 //! * [`nld()`] — the Normalized Levenshtein Distance `NLD` of Li & Liu
 //!   (Definition 2), `NLD(x, y) = 2·LD / (|x| + |y| + LD)`, which is a metric
 //!   on `[0, 1]`.
@@ -22,6 +25,7 @@
 pub mod bounds;
 pub mod jaro;
 pub mod levenshtein;
+pub mod myers;
 pub mod nld;
 
 pub use bounds::{
@@ -31,7 +35,9 @@ pub use bounds::{
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{
     levenshtein, levenshtein_slices, levenshtein_within, levenshtein_within_slices,
+    levenshtein_within_slices_banded,
 };
+pub use myers::PeqUnit;
 pub use nld::{nld, nld_from_ld, nld_within};
 
 /// Returns the number of Unicode scalar values in `s`.

@@ -1,0 +1,419 @@
+//! Bit-parallel Levenshtein distance (Myers 1999, Hyyrö 2003).
+//!
+//! The classic dynamic program computes one cell at a time; Myers'
+//! algorithm packs a whole column of the DP matrix into machine words and
+//! advances it with ~15 word operations per text unit, so a pattern of up
+//! to 64 units costs `O(n)` word steps instead of `O(m·n)` cell steps.
+//! This is the "Faster Algorithm of String Comparison" line of related
+//! work the verification hot path leans on: `levenshtein_within` and
+//! `levenshtein_within_slices` dispatch here transparently, so the join
+//! verifiers (`tsj::verify`, `tsj-passjoin`, `tsj-fuzzyset`) inherit the
+//! speedup with no call-site changes.
+//!
+//! Three kernels:
+//!
+//! * [`single block`](self) — patterns of ≤ 64 units in one `u64` column
+//!   (the common case: names and name tokens).
+//! * multi-block — longer patterns as `⌈m/64⌉` chained words with
+//!   carry propagation between blocks (Hyyrö's block formulation, the one
+//!   production aligners use).
+//! * the thresholded variant — both kernels take the caller's edit budget
+//!   `k` and abandon the column sweep as soon as
+//!   `D(m, j) − (n − j) > k` (no suffix of the text can win back more
+//!   than one edit per remaining unit), the cut-off the length filter
+//!   already licenses.
+//!
+//! # Pattern-equality (PEQ) table
+//!
+//! Each kernel needs `Peq[c]` — the bitmask of pattern positions equal to
+//! the text unit `c` — in `O(1)` per text unit. Two strategies, chosen per
+//! call from the pattern alone:
+//!
+//! * **Dense table** when every pattern unit's key is < 256 (ASCII bytes,
+//!   Latin-1 `char`s, small token ids): a 256-entry array indexed
+//!   directly.
+//! * **Interning map** otherwise (general Unicode scalars, large token
+//!   ids): the pattern's distinct keys in a small sorted array, binary
+//!   searched per text unit — `O(log distinct)` with distinct ≤ m.
+//!
+//! Units plug in through [`PeqUnit`], implemented for the integer
+//! primitives and `char`.
+
+/// A slice element the bit-parallel kernels can build a PEQ table over.
+///
+/// `peq_key` must be *injective*: distinct units map to distinct keys, so
+/// that bitmask equality coincides with unit equality. Implemented for the
+/// integer primitives and `char` (every type the tokenized-string layer
+/// compares: ASCII bytes, Unicode scalars, token ids).
+pub trait PeqUnit: Copy + Eq {
+    /// The unit's identity as a table key.
+    fn peq_key(self) -> u64;
+}
+
+macro_rules! peq_unit_as_u64 {
+    ($($t:ty),*) => {$(
+        impl PeqUnit for $t {
+            #[inline]
+            fn peq_key(self) -> u64 {
+                // Plain `as` cast: injective for every listed type (sign
+                // extension keeps distinct negatives distinct).
+                self as u64
+            }
+        }
+    )*};
+}
+
+peq_unit_as_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, char, bool);
+
+/// An edit budget larger than any real distance: with `k = UNBOUNDED` the
+/// cut-off never fires and the kernels compute the exact distance.
+/// `usize::MAX / 2` so `k + remaining` cannot overflow.
+const UNBOUNDED: usize = usize::MAX / 2;
+
+/// Trims the common prefix and suffix (free edits) off both slices.
+fn trim_common<'a, T: Eq>(a: &'a [T], b: &'a [T]) -> (&'a [T], &'a [T]) {
+    let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (&a[..a.len() - suffix], &b[..b.len() - suffix])
+}
+
+/// Exact Levenshtein distance over unit slices, always bit-parallel.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_strdist::myers;
+/// assert_eq!(myers::distance_slices(b"kitten", b"sitting"), 3);
+/// assert_eq!(myers::distance_slices(&[1u32, 2, 3], &[1, 9, 3, 4]), 2);
+/// ```
+pub fn distance_slices<T: PeqUnit>(a: &[T], b: &[T]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (s, t) = trim_common(short, long);
+    if s.is_empty() {
+        return t.len();
+    }
+    within_pretrimmed(s, t, UNBOUNDED).expect("unbounded cut-off cannot fire")
+}
+
+/// Thresholded Levenshtein distance over unit slices, always bit-parallel:
+/// `Some(LD)` when `LD ≤ k`, `None` otherwise.
+///
+/// [`crate::levenshtein_within_slices`] dispatches here for every pattern
+/// the kernels handle efficiently; this standalone entry point exists so
+/// differential tests and benchmarks can pin the bit-parallel kernels
+/// against the scalar DPs directly.
+///
+/// # Examples
+///
+/// ```
+/// use tsj_strdist::myers;
+/// assert_eq!(myers::within_slices(b"thomson", b"thompson", 1), Some(1));
+/// assert_eq!(myers::within_slices(b"abc", b"xyz", 2), None);
+/// ```
+pub fn within_slices<T: PeqUnit>(a: &[T], b: &[T], k: usize) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() - short.len() > k {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+    if k == 0 {
+        return (short == long).then_some(0);
+    }
+    let (s, t) = trim_common(short, long);
+    if s.is_empty() {
+        return Some(t.len());
+    }
+    within_pretrimmed(s, t, k)
+}
+
+/// Kernel dispatch on a pre-trimmed pair: `s` is the pattern (shorter,
+/// non-empty, ≤ `t` in length), the length gap is ≤ `k`, and `k ≥ 1`.
+pub(crate) fn within_pretrimmed<T: PeqUnit>(s: &[T], t: &[T], k: usize) -> Option<usize> {
+    debug_assert!(!s.is_empty() && s.len() <= t.len());
+    if s.len() <= 64 {
+        single_block(s, t, k)
+    } else {
+        multi_block(s, t, k)
+    }
+}
+
+/// Single-block kernel: the pattern's ≤ 64 rows live in one `u64` column.
+fn single_block<T: PeqUnit>(s: &[T], t: &[T], k: usize) -> Option<usize> {
+    let m = s.len();
+    if s.iter().all(|u| u.peq_key() < 256) {
+        // Dense PEQ: direct indexing. Text units outside the table cannot
+        // match any pattern unit, so they look up as the zero mask.
+        let mut peq = [0u64; 256];
+        for (i, u) in s.iter().enumerate() {
+            peq[u.peq_key() as usize] |= 1 << i;
+        }
+        run_single_block(
+            |c: T| {
+                let key = c.peq_key();
+                if key < 256 {
+                    peq[key as usize]
+                } else {
+                    0
+                }
+            },
+            m,
+            t,
+            k,
+        )
+    } else {
+        // Interned PEQ: the pattern's distinct keys, sorted, with their
+        // position masks — built on the stack (≤ 64 entries), binary
+        // searched per text unit.
+        let mut entries = [(0u64, 0u64); 64];
+        for (i, u) in s.iter().enumerate() {
+            entries[i] = (u.peq_key(), 1 << i);
+        }
+        entries[..m].sort_unstable_by_key(|&(key, _)| key);
+        let mut len = 0;
+        for i in 0..m {
+            let (key, bit) = entries[i];
+            if len > 0 && entries[len - 1].0 == key {
+                entries[len - 1].1 |= bit;
+            } else {
+                entries[len] = (key, bit);
+                len += 1;
+            }
+        }
+        let entries = &entries[..len];
+        run_single_block(
+            |c: T| {
+                let key = c.peq_key();
+                match entries.binary_search_by(|&(e, _)| e.cmp(&key)) {
+                    Ok(i) => entries[i].1,
+                    Err(_) => 0,
+                }
+            },
+            m,
+            t,
+            k,
+        )
+    }
+}
+
+/// The Myers column recurrence for one ≤ 64-row pattern block.
+///
+/// Standard formulation (Myers 1999): `VP`/`VN` are the vertical deltas of
+/// the current column, `D0` the diagonal-zero mask, `HP`/`HN` the
+/// horizontal deltas; the score tracks `D(m, j)` via the mask bit at row
+/// `m − 1`, starting from the first column's boundary value `D(m, 0) = m`.
+#[inline]
+fn run_single_block<T: Copy, F: Fn(T) -> u64>(
+    peq: F,
+    m: usize,
+    t: &[T],
+    k: usize,
+) -> Option<usize> {
+    debug_assert!((1..=64).contains(&m));
+    let mut vp: u64 = if m == 64 { !0 } else { (1 << m) - 1 };
+    let mut vn: u64 = 0;
+    let mask: u64 = 1 << (m - 1);
+    let mut score = m;
+    let n = t.len();
+    for (j, &c) in t.iter().enumerate() {
+        let eq = peq(c);
+        let d0 = (((eq & vp).wrapping_add(vp)) ^ vp) | eq | vn;
+        let hp = vn | !(d0 | vp);
+        let hn = vp & d0;
+        if hp & mask != 0 {
+            score += 1;
+        } else if hn & mask != 0 {
+            score -= 1;
+        }
+        // The boundary row D(0, j) = j shifts a permanent +1 into HP.
+        let x = (hp << 1) | 1;
+        vp = (hn << 1) | !(d0 | x);
+        vn = d0 & x;
+        // Cut-off: each remaining text unit can repay at most one edit.
+        if score > k + (n - j - 1) {
+            return None;
+        }
+    }
+    (score <= k).then_some(score)
+}
+
+/// Multi-block kernel: patterns beyond 64 units as `⌈m/64⌉` chained
+/// blocks, horizontal deltas carried block-to-block within each column
+/// (Hyyrö's block formulation).
+fn multi_block<T: PeqUnit>(s: &[T], t: &[T], k: usize) -> Option<usize> {
+    let m = s.len();
+    let blocks = m.div_ceil(64);
+    let tail = m - 64 * (blocks - 1); // rows in the last (partial) block
+
+    // PEQ rows: `blocks` words per distinct key, same dense-vs-interned
+    // choice as the single-block kernel (heap-backed — the pattern is
+    // already long enough that one allocation is noise).
+    let dense = s.iter().all(|u| u.peq_key() < 256);
+    let (mut masks, mut keys): (Vec<u64>, Vec<u64>) = if dense {
+        (vec![0u64; 256 * blocks], Vec::new())
+    } else {
+        let mut keys: Vec<u64> = s.iter().map(|u| u.peq_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        (vec![0u64; keys.len() * blocks], keys)
+    };
+    for (i, u) in s.iter().enumerate() {
+        let row = if dense {
+            u.peq_key() as usize
+        } else {
+            keys.binary_search(&u.peq_key()).expect("key was collected")
+        };
+        masks[row * blocks + i / 64] |= 1 << (i % 64);
+    }
+    let masks = &mut masks[..];
+    let keys = &mut keys[..];
+
+    let mut vp = vec![!0u64; blocks];
+    vp[blocks - 1] = if tail == 64 { !0 } else { (1 << tail) - 1 };
+    let mut vn = vec![0u64; blocks];
+    let last_mask: u64 = 1 << (tail - 1);
+    let mut score = m;
+    let n = t.len();
+
+    for (j, &c) in t.iter().enumerate() {
+        // Resolve the text unit's PEQ row once per column.
+        let row: Option<usize> = if dense {
+            let key = c.peq_key();
+            (key < 256).then_some(key as usize)
+        } else {
+            keys.binary_search(&c.peq_key()).ok()
+        };
+        // The boundary row D(0, j) = j feeds +1 into the bottom block.
+        let mut hin: i32 = 1;
+        for (i, (vpb, vnb)) in vp.iter_mut().zip(vn.iter_mut()).enumerate() {
+            let eq0 = row.map_or(0, |r| masks[r * blocks + i]);
+            // A negative carry entering the block acts as a match at its
+            // bottom row (Hyyrö's correction to the chained recurrence).
+            let eq = eq0 | u64::from(hin < 0);
+            let xv = eq0 | *vnb;
+            let xh = (((eq & *vpb).wrapping_add(*vpb)) ^ *vpb) | eq;
+            let mut hp = *vnb | !(xh | *vpb);
+            let mut hn = *vpb & xh;
+            let mb = if i == blocks - 1 { last_mask } else { 1 << 63 };
+            let hout = if hp & mb != 0 {
+                1
+            } else if hn & mb != 0 {
+                -1
+            } else {
+                0
+            };
+            hp <<= 1;
+            hn <<= 1;
+            if hin > 0 {
+                hp |= 1;
+            } else if hin < 0 {
+                hn |= 1;
+            }
+            *vpb = hn | !(xv | hp);
+            *vnb = hp & xv;
+            hin = hout;
+        }
+        match hin {
+            1 => score += 1,
+            -1 => score -= 1,
+            _ => {}
+        }
+        if score > k + (n - j - 1) {
+            return None;
+        }
+    }
+    (score <= k).then_some(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_known_cases() {
+        assert_eq!(distance_slices(b"", b""), 0);
+        assert_eq!(distance_slices(b"", b"abc"), 3);
+        assert_eq!(distance_slices(b"kitten", b"sitting"), 3);
+        assert_eq!(distance_slices(b"flaw", b"lawn"), 2);
+        assert_eq!(distance_slices(b"gumbo", b"gambol"), 2);
+        assert_eq!(distance_slices(b"thomson", b"thompson"), 1);
+    }
+
+    #[test]
+    fn within_thresholds_exactly() {
+        assert_eq!(within_slices(b"thomson", b"thompson", 1), Some(1));
+        assert_eq!(within_slices(b"thomson", b"thompson", 0), None);
+        assert_eq!(within_slices(b"abc", b"xyz", 2), None);
+        assert_eq!(within_slices(b"abc", b"xyz", 3), Some(3));
+        assert_eq!(within_slices(b"", b"xy", 2), Some(2));
+        assert_eq!(within_slices(b"same", b"same", 0), Some(0));
+    }
+
+    #[test]
+    fn exact_64_unit_pattern_uses_the_full_word() {
+        let a: Vec<u8> = (0..64).map(|i| b'a' + (i % 4)).collect();
+        let mut b = a.clone();
+        b[0] = b'z';
+        b[63] = b'z';
+        assert_eq!(distance_slices(&a, &a), 0);
+        assert_eq!(within_slices(&a, &b, 2), Some(2));
+        assert_eq!(within_slices(&a, &b, 1), None);
+    }
+
+    #[test]
+    fn multi_block_handles_block_boundaries() {
+        // Pattern lengths straddling 64/128 exercise the carry chain.
+        for len in [65usize, 96, 127, 128, 129, 200] {
+            let a: Vec<u8> = (0..len).map(|i| b'a' + (i % 3) as u8).collect();
+            assert_eq!(distance_slices(&a, &a), 0);
+            let mut b = a.clone();
+            b[len / 2] = b'z';
+            assert_eq!(distance_slices(&a, &b), 1, "len {len}");
+            assert_eq!(within_slices(&a, &b, 1), Some(1), "len {len}");
+            let mut c = a.clone();
+            c.remove(0);
+            c[len / 3] = b'z';
+            assert_eq!(within_slices(&a, &c, 2), Some(2), "len {len}");
+        }
+    }
+
+    #[test]
+    fn interned_peq_handles_large_keys() {
+        // Token ids ≥ 256 force the interning map in both kernels.
+        let a: Vec<u32> = (0..40).map(|i| 10_000 + i * 97).collect();
+        let mut b = a.clone();
+        b[7] = 1;
+        b[20] = 2;
+        assert_eq!(distance_slices(&a, &b), 2);
+        assert_eq!(within_slices(&a, &b, 2), Some(2));
+        assert_eq!(within_slices(&a, &b, 1), None);
+        let long: Vec<u32> = (0..150).map(|i| 1_000_000 + i * 31).collect();
+        let mut edited = long.clone();
+        edited[100] = 5;
+        assert_eq!(within_slices(&long, &edited, 3), Some(1));
+    }
+
+    #[test]
+    fn chars_work_as_units() {
+        let a: Vec<char> = "日本語の文字列".chars().collect();
+        let b: Vec<char> = "日本の文字列x".chars().collect();
+        assert_eq!(distance_slices(&a, &b), 2);
+        assert_eq!(within_slices(&a, &b, 2), Some(2));
+    }
+
+    #[test]
+    fn cutoff_abandons_hopeless_columns() {
+        // Distance is 8 but the budget is 1: the kernel must return None
+        // (and do so early — asserted only behaviorally here).
+        let a = b"aaaaaaaabbbbbbbb";
+        let b_ = b"ccccccccdddddddd";
+        assert_eq!(within_slices(a, b_, 1), None);
+    }
+}

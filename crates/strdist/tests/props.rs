@@ -7,8 +7,9 @@
 
 use proptest::prelude::*;
 use tsj_strdist::{
-    char_len, ld_exceeds_bound_given_nld_exceeds, levenshtein, levenshtein_within,
-    max_ld_given_nld, min_len_given_nld, nld, nld_from_ld, nld_range_from_lens, nld_within,
+    char_len, ld_exceeds_bound_given_nld_exceeds, levenshtein, levenshtein_slices,
+    levenshtein_within, levenshtein_within_slices, levenshtein_within_slices_banded,
+    max_ld_given_nld, min_len_given_nld, myers, nld, nld_from_ld, nld_range_from_lens, nld_within,
 };
 
 /// Short strings over a tiny alphabet maximize edit-distance edge cases
@@ -20,6 +21,37 @@ fn small_string() -> impl Strategy<Value = String> {
 /// Occasionally longer, more varied strings, including non-ASCII.
 fn name_like() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[a-eé]{0,16}").unwrap()
+}
+
+/// Strings long enough that, after common prefix/suffix trimming, the
+/// bit-parallel kernel still needs more than one 64-bit block.
+fn long_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ab]{60,120}").unwrap()
+}
+
+/// Pins the three thresholded implementations — bit-parallel Myers, the
+/// scalar banded DP, and the dispatching entry point — to the full DP for
+/// every `k` in `0..=max_len+1`.
+fn assert_all_impls_agree<T: myers::PeqUnit + std::fmt::Debug>(a: &[T], b: &[T]) {
+    let full = levenshtein_slices(a, b);
+    for k in 0..=a.len().max(b.len()) + 1 {
+        let want = (full <= k).then_some(full);
+        assert_eq!(
+            myers::within_slices(a, b, k),
+            want,
+            "myers {a:?} {b:?} k={k}"
+        );
+        assert_eq!(
+            levenshtein_within_slices_banded(a, b, k),
+            want,
+            "banded {a:?} {b:?} k={k}"
+        );
+        assert_eq!(
+            levenshtein_within_slices(a, b, k),
+            want,
+            "dispatch {a:?} {b:?} k={k}"
+        );
+    }
 }
 
 proptest! {
@@ -63,6 +95,42 @@ proptest! {
             }
             None => prop_assert!(full > k, "within said >{k} but full = {full}"),
         }
+    }
+
+    #[test]
+    fn myers_banded_full_agree_ascii(x in small_string(), y in small_string()) {
+        assert_all_impls_agree(x.as_bytes(), y.as_bytes());
+    }
+
+    #[test]
+    fn myers_banded_full_agree_unicode(x in name_like(), y in name_like()) {
+        // `é` keeps these on the char-slice path with non-ASCII scalars.
+        let xv: Vec<char> = x.chars().collect();
+        let yv: Vec<char> = y.chars().collect();
+        assert_all_impls_agree(&xv, &yv);
+    }
+
+    #[test]
+    fn myers_banded_full_agree_token_ids(
+        x in proptest::collection::vec(0u32..6, 0..20),
+        y in proptest::collection::vec(0u32..6, 0..20),
+        big_ids in 0u32..2,
+    ) {
+        // big_ids = 0 exercises the dense byte-keyed PEQ table; otherwise
+        // a large offset forces the interning map for token ids ≥ 256.
+        let offset = big_ids * 100_000;
+        let xv: Vec<u32> = x.iter().map(|t| t + offset).collect();
+        let yv: Vec<u32> = y.iter().map(|t| t + offset).collect();
+        assert_all_impls_agree(&xv, &yv);
+    }
+
+    #[test]
+    fn myers_multi_block_agrees(x in long_string(), y in long_string(), k in 0usize..16) {
+        let full = levenshtein(&x, &y);
+        let want = (full <= k).then_some(full);
+        prop_assert_eq!(myers::within_slices(x.as_bytes(), y.as_bytes(), k), want);
+        prop_assert_eq!(levenshtein_within_slices(x.as_bytes(), y.as_bytes(), k), want);
+        prop_assert_eq!(levenshtein_within(&x, &y, k), want);
     }
 
     #[test]

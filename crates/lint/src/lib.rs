@@ -1,0 +1,1041 @@
+//! `tsjlint`: in-tree static analysis enforcing the runtime's invariants.
+//!
+//! The container has no crates.io access, so this is a small hand-rolled
+//! pass, not a `syn` AST walk: [`clean_source`] blanks comments, string /
+//! raw-string / char literals (preserving newlines, so line numbers map
+//! 1:1 to the original file) and parses `tsjlint:allow` directives;
+//! [`strip_cfg_test`] blanks `#[cfg(test)]` items (balanced-brace
+//! skipping, so nested test modules vanish wholesale); and a
+//! whole-identifier token scan applies the rules, scoped per module
+//! class:
+//!
+//! | rule | scope | forbids |
+//! |------|-------|---------|
+//! | `no-panic-in-data-plane` | `crates/mapreduce/src/**` | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!` |
+//! | `no-ambient-env` | every crate's `src/**` except `crates/shims`, `crates/bench` | `env::var*`, `env::temp_dir`, `env::set_var`, `env::remove_var` outside `from_env` / `from_lookup` |
+//! | `no-wallclock-in-deterministic` | `dag*`, `dataset.rs`, `merge.rs`, `spill.rs` of `crates/mapreduce/src` | `Instant::now`, `SystemTime::now` |
+//!
+//! Escape hatch: a `// tsjlint:allow(<rule>) <reason>` line comment
+//! suppresses the *next* violation of `<rule>` on its own line or within
+//! the following [`ALLOW_WINDOW_LINES`] lines (one violation per
+//! directive — a window, not a region, so rustfmt reflowing a statement
+//! across lines cannot detach the suppression). A directive with an
+//! unknown rule or no written reason is itself a `malformed-allow`
+//! diagnostic. Directives are recognized in `//` comments only and must
+//! start the comment body (prose that merely mentions the syntax is not
+//! a suppression).
+//!
+//! Diagnostics are machine-readable `file:line:rule` triples;
+//! `crates/lint/baseline.txt` lists `file:rule` pairs to tolerate (so the
+//! pass can land strict even if a rule fires on legacy code — the
+//! workspace currently baselines nothing).
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Forbids process-killing panics in the job path: the runtime's contract
+/// (PR 5) is that worker failures surface as structured `JobError`s.
+pub const RULE_NO_PANIC: &str = "no-panic-in-data-plane";
+/// Forbids ambient environment reads outside the `from_env` /
+/// `from_lookup` config constructors, which own the loud-fallback
+/// discipline.
+pub const RULE_NO_AMBIENT_ENV: &str = "no-ambient-env";
+/// Forbids wall-clock reads in the deterministic planning/merge modules
+/// (measurement belongs to the cluster's timed task paths).
+pub const RULE_NO_WALLCLOCK: &str = "no-wallclock-in-deterministic";
+/// A `tsjlint:allow` directive that names an unknown rule or carries no
+/// reason.
+pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// Every suppressible rule (what `tsjlint:allow(...)` accepts).
+pub const RULES: [&str; 3] = [RULE_NO_PANIC, RULE_NO_AMBIENT_ENV, RULE_NO_WALLCLOCK];
+
+/// How many lines below its own an allow directive still covers (one
+/// violation max). Wide enough that rustfmt reflowing the annotated
+/// statement — or a multi-line reason comment — cannot detach it, narrow
+/// enough that the suppression stays local.
+pub const ALLOW_WINDOW_LINES: usize = 10;
+
+/// One finding: `file:line:rule` plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line in the original source.
+    pub line: usize,
+    /// Rule code (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// What fired and why it matters.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `tsjlint:allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// The rule it suppresses (always one of [`RULES`]).
+    pub rule: String,
+}
+
+/// [`clean_source`]'s output: the blanked text plus everything the
+/// comment scan extracted on the way.
+#[derive(Debug)]
+pub struct Cleaned {
+    /// Source with comments and literal contents replaced by spaces;
+    /// newlines (and therefore line numbers) are preserved exactly.
+    pub text: String,
+    /// Well-formed allow directives, in line order.
+    pub allows: Vec<Allow>,
+    /// `(line, message)` for malformed directives.
+    pub malformed: Vec<(usize, String)>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Parses the body of a `//` comment for a `tsjlint:allow` directive.
+/// The directive must *start* the comment (after `//`/`//!`/`///` and
+/// whitespace) so that prose merely mentioning the syntax — like this
+/// file's docs — is not mistaken for a suppression.
+fn parse_allow(
+    comment: &str,
+    line: usize,
+    allows: &mut Vec<Allow>,
+    bad: &mut Vec<(usize, String)>,
+) {
+    let lead = comment.trim_start_matches(['!', '/', ' ', '\t']);
+    let Some(rest) = lead.strip_prefix("tsjlint:allow") else {
+        return;
+    };
+    let Some(open) = rest.strip_prefix('(') else {
+        bad.push((line, "expected `(` after `tsjlint:allow`".to_owned()));
+        return;
+    };
+    let Some(close) = open.find(')') else {
+        bad.push((line, "unterminated `tsjlint:allow(` directive".to_owned()));
+        return;
+    };
+    let rule = open[..close].trim();
+    if !RULES.contains(&rule) {
+        bad.push((line, format!("unknown rule `{rule}` in tsjlint:allow")));
+        return;
+    }
+    let reason = open[close + 1..].trim();
+    if reason.is_empty() {
+        bad.push((
+            line,
+            format!("tsjlint:allow({rule}) carries no reason; every suppression must say why"),
+        ));
+        return;
+    }
+    allows.push(Allow {
+        line,
+        rule: rule.to_owned(),
+    });
+}
+
+/// Blanks comments and string/char literal *contents* (delimiters stay, so
+/// tokens cannot merge), preserving every newline; parses `tsjlint:allow`
+/// directives out of `//` comments as it goes. Handles line comments,
+/// nested block comments, string escapes, raw/byte/C strings (`r"`,
+/// `r#"…"#`, `b"`, `br#"`, `c"`, `cr#"`), byte chars (`b'x'`), and the
+/// char-literal vs lifetime ambiguity (`'a'` vs `'a`).
+pub fn clean_source(src: &str) -> Cleaned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blank `n` chars starting at `i` into `out`, preserving newlines and
+    // advancing the line counter.
+    macro_rules! blank {
+        ($n:expr) => {{
+            for k in 0..$n {
+                let c = chars[i + k];
+                if c == '\n' {
+                    line += 1;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            i += $n;
+        }};
+    }
+    macro_rules! keep {
+        ($n:expr) => {{
+            for k in 0..$n {
+                let c = chars[i + k];
+                if c == '\n' {
+                    line += 1;
+                }
+                out.push(c);
+            }
+            i += $n;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // ---- line comment (directive host) ---------------------------
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let end = chars[i..]
+                .iter()
+                .position(|&c| c == '\n')
+                .map(|p| i + p)
+                .unwrap_or(chars.len());
+            let body: String = chars[i + 2..end].iter().collect();
+            parse_allow(&body, line, &mut allows, &mut malformed);
+            blank!(end - i);
+            continue;
+        }
+        // ---- block comment (nested) ----------------------------------
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < chars.len() {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            blank!(j - i);
+            continue;
+        }
+        // ---- identifiers (may prefix a literal) ----------------------
+        if is_ident_char(c) {
+            let mut j = i;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            let ident: String = chars[i..j].iter().collect();
+            keep!(j - i);
+            // String prefix? (`r`, `b`, `br`, `c`, `cr` directly followed
+            // by `"` or `#…"`; anything else is a plain identifier.)
+            let raw_capable = matches!(ident.as_str(), "r" | "br" | "cr");
+            let plain_capable = matches!(ident.as_str(), "b" | "c");
+            if raw_capable {
+                let mut k = i;
+                while chars.get(k) == Some(&'#') {
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'"') {
+                    let hashes = k - i;
+                    keep!(hashes + 1); // the #s and the opening quote
+                    blank_raw_string(&chars, &mut i, &mut line, &mut out, hashes);
+                    continue;
+                }
+            }
+            if (plain_capable || raw_capable) && chars.get(i) == Some(&'"') {
+                keep!(1);
+                blank_plain_string(&chars, &mut i, &mut line, &mut out);
+                continue;
+            }
+            if ident == "b" && chars.get(i) == Some(&'\'') {
+                keep!(1);
+                blank_char_literal(&chars, &mut i, &mut line, &mut out);
+                continue;
+            }
+            continue;
+        }
+        // ---- plain string --------------------------------------------
+        if c == '"' {
+            keep!(1);
+            blank_plain_string(&chars, &mut i, &mut line, &mut out);
+            continue;
+        }
+        // ---- char literal vs lifetime --------------------------------
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+                _ => false,
+            };
+            keep!(1);
+            if is_char {
+                blank_char_literal(&chars, &mut i, &mut line, &mut out);
+            }
+            continue;
+        }
+        keep!(1);
+    }
+
+    Cleaned {
+        text: out.into_iter().collect(),
+        allows,
+        malformed,
+    }
+}
+
+/// Blanks a plain (escaped) string's contents up to and including the
+/// closing quote; `i` sits just past the opening quote.
+fn blank_plain_string(chars: &[char], i: &mut usize, line: &mut usize, out: &mut Vec<char>) {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == '\\' && *i + 1 < chars.len() {
+            for k in 0..2 {
+                if chars[*i + k] == '\n' {
+                    *line += 1;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            *i += 2;
+            continue;
+        }
+        if c == '"' {
+            out.push('"');
+            *i += 1;
+            return;
+        }
+        if c == '\n' {
+            *line += 1;
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+        *i += 1;
+    }
+}
+
+/// Blanks a raw string's contents up to and including its `"##…`
+/// terminator; `i` sits just past the opening quote, `hashes` is the
+/// delimiter's `#` count.
+fn blank_raw_string(
+    chars: &[char],
+    i: &mut usize,
+    line: &mut usize,
+    out: &mut Vec<char>,
+    hashes: usize,
+) {
+    while *i < chars.len() {
+        if chars[*i] == '"' && chars[*i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes {
+            out.push('"');
+            *i += 1;
+            for _ in 0..hashes {
+                out.push('#');
+                *i += 1;
+            }
+            return;
+        }
+        if chars[*i] == '\n' {
+            *line += 1;
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+        *i += 1;
+    }
+}
+
+/// Blanks a char (or byte-char) literal's contents up to and including the
+/// closing quote; `i` sits just past the opening quote.
+fn blank_char_literal(chars: &[char], i: &mut usize, line: &mut usize, out: &mut Vec<char>) {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == '\\' && *i + 1 < chars.len() {
+            out.push(' ');
+            out.push(' ');
+            *i += 2;
+            continue;
+        }
+        if c == '\'' {
+            out.push('\'');
+            *i += 1;
+            return;
+        }
+        if c == '\n' {
+            *line += 1;
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+        *i += 1;
+    }
+}
+
+/// Blanks every `#[cfg(test)]`-annotated item (attribute through the end
+/// of the following braced block or `;`-terminated item) in
+/// already-cleaned text. Nested test modules disappear with their parent
+/// (balanced-brace skip). Newlines are preserved.
+pub fn strip_cfg_test(cleaned: &str) -> String {
+    let chars: Vec<char> = cleaned.chars().collect();
+    let mut out = chars.clone();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let Some(after_attr) = match_cfg_test(&chars, i) else {
+            i += 1;
+            continue;
+        };
+        let mut j = after_attr;
+        // Skip whitespace and any further attributes on the item.
+        loop {
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'#') {
+                let mut k = j + 1;
+                while k < chars.len() && chars[k].is_whitespace() {
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'[') {
+                    let mut depth = 0usize;
+                    while k < chars.len() {
+                        match chars[k] {
+                            '[' => depth += 1,
+                            ']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                    continue;
+                }
+            }
+            break;
+        }
+        // The item body: through the matching `}` of its first brace
+        // block, or through a `;` reached before any brace opens.
+        let mut depth = 0usize;
+        while j < chars.len() {
+            match chars[j] {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                ';' if depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for slot in out.iter_mut().take(j).skip(i) {
+            if *slot != '\n' {
+                *slot = ' ';
+            }
+        }
+        i = j;
+    }
+    out.into_iter().collect()
+}
+
+/// Matches `#[cfg(test)]` (whitespace-tolerant) at `i`; returns the index
+/// just past the closing `]`.
+fn match_cfg_test(chars: &[char], i: usize) -> Option<usize> {
+    if chars.get(i) != Some(&'#') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut eat = |expected: &str| -> bool {
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        let got: String = chars[j..].iter().take(expected.chars().count()).collect();
+        if got == expected {
+            j += expected.chars().count();
+            true
+        } else {
+            false
+        }
+    };
+    for part in ["[", "cfg", "(", "test", ")", "]"] {
+        if !eat(part) {
+            return None;
+        }
+    }
+    Some(j)
+}
+
+/// One scanned token: an identifier or a single symbol char, with its
+/// 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String, usize),
+    Sym(char, usize),
+}
+
+fn tokenize(text: &str) -> Vec<Tok> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_char(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect(), line));
+            continue;
+        }
+        toks.push(Tok::Sym(c, line));
+        i += 1;
+    }
+    toks
+}
+
+/// Which rules apply to a repo-relative path (forward slashes).
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    no_panic: bool,
+    no_env: bool,
+    no_wallclock: bool,
+}
+
+fn scope_of(path: &str) -> Scope {
+    let job_path = path.starts_with("crates/mapreduce/src/");
+    let deterministic = matches!(
+        path,
+        "crates/mapreduce/src/dag.rs"
+            | "crates/mapreduce/src/dataset.rs"
+            | "crates/mapreduce/src/merge.rs"
+            | "crates/mapreduce/src/spill.rs"
+    ) || path.starts_with("crates/mapreduce/src/dag/");
+    let env = !path.starts_with("crates/shims/") && !path.starts_with("crates/bench/");
+    Scope {
+        no_panic: job_path,
+        no_env: env,
+        no_wallclock: deterministic,
+    }
+}
+
+const ENV_BANNED: [&str; 7] = [
+    "var",
+    "var_os",
+    "vars",
+    "vars_os",
+    "temp_dir",
+    "set_var",
+    "remove_var",
+];
+
+/// Functions whose bodies may read the environment: the loud-fallback
+/// config constructors.
+const ENV_EXEMPT_FNS: [&str; 2] = ["from_env", "from_lookup"];
+
+/// Scans cleaned, test-stripped token text for rule violations.
+fn scan_tokens(path: &str, toks: &[Tok], scope: Scope) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Innermost-function context: (name, brace depth of its body).
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut depth = 0usize;
+
+    let ident_at = |idx: usize| -> Option<(&str, usize)> {
+        match toks.get(idx) {
+            Some(Tok::Ident(s, l)) => Some((s.as_str(), *l)),
+            _ => None,
+        }
+    };
+    let sym_at = |idx: usize, want: char| -> bool {
+        matches!(toks.get(idx), Some(Tok::Sym(c, _)) if *c == want)
+    };
+
+    for (idx, tok) in toks.iter().enumerate() {
+        match tok {
+            Tok::Sym('{', _) => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+            }
+            Tok::Sym('}', _) => {
+                if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    fn_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            Tok::Sym(';', _) => {
+                // `fn f();` in a trait: the pending body never comes.
+                pending_fn = None;
+            }
+            Tok::Ident(ident, line) => {
+                let (ident, line) = (ident.as_str(), *line);
+                if ident == "fn" {
+                    if let Some((name, _)) = ident_at(idx + 1) {
+                        pending_fn = Some(name.to_owned());
+                    }
+                    continue;
+                }
+                if scope.no_panic {
+                    if matches!(ident, "unwrap" | "expect") && sym_at(idx + 1, '(') {
+                        diags.push(Diagnostic {
+                            file: path.to_owned(),
+                            line,
+                            rule: RULE_NO_PANIC,
+                            message: format!(
+                                "`{ident}(` can kill a worker; propagate a JobError/SpillError \
+                                 instead (or justify with tsjlint:allow)"
+                            ),
+                        });
+                    }
+                    if matches!(ident, "panic" | "unreachable" | "todo") && sym_at(idx + 1, '!') {
+                        diags.push(Diagnostic {
+                            file: path.to_owned(),
+                            line,
+                            rule: RULE_NO_PANIC,
+                            message: format!(
+                                "`{ident}!` can kill a worker; propagate a JobError/SpillError \
+                                 instead (or justify with tsjlint:allow)"
+                            ),
+                        });
+                    }
+                }
+                if scope.no_wallclock
+                    && matches!(ident, "Instant" | "SystemTime")
+                    && sym_at(idx + 1, ':')
+                    && sym_at(idx + 2, ':')
+                    && ident_at(idx + 3).map(|(s, _)| s) == Some("now")
+                {
+                    diags.push(Diagnostic {
+                        file: path.to_owned(),
+                        line,
+                        rule: RULE_NO_WALLCLOCK,
+                        message: format!(
+                            "`{ident}::now` in a deterministic module; timing belongs to the \
+                             cluster's measured task paths"
+                        ),
+                    });
+                }
+                if scope.no_env && ident == "env" && sym_at(idx + 1, ':') && sym_at(idx + 2, ':') {
+                    if let Some((callee, _)) = ident_at(idx + 3) {
+                        let exempt = fn_stack
+                            .last()
+                            .is_some_and(|(name, _)| ENV_EXEMPT_FNS.contains(&name.as_str()));
+                        if ENV_BANNED.contains(&callee) && !exempt {
+                            diags.push(Diagnostic {
+                                file: path.to_owned(),
+                                line,
+                                rule: RULE_NO_AMBIENT_ENV,
+                                message: format!(
+                                    "`env::{callee}` outside a from_env/from_lookup constructor; \
+                                     route configuration through the config layer"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Tok::Sym(..) => {}
+        }
+    }
+    diags
+}
+
+/// Applies allow directives: each directive suppresses the first
+/// violation of its rule on its own line or within the next
+/// [`ALLOW_WINDOW_LINES`] lines. Returns the surviving diagnostics.
+fn apply_allows(mut diags: Vec<Diagnostic>, allows: &[Allow]) -> Vec<Diagnostic> {
+    diags.sort_by_key(|d| d.line);
+    let mut used: Vec<bool> = vec![false; allows.len()];
+    diags.retain(|d| {
+        for (k, a) in allows.iter().enumerate() {
+            if used[k] || a.rule != d.rule {
+                continue;
+            }
+            if d.line >= a.line && d.line <= a.line + ALLOW_WINDOW_LINES {
+                used[k] = true;
+                return false;
+            }
+        }
+        true
+    });
+    diags
+}
+
+/// Lints one file's source text. `path` is the repo-relative path
+/// (forward slashes) — it selects which rules apply.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = scope_of(path);
+    let cleaned = clean_source(src);
+    let mut diags: Vec<Diagnostic> = cleaned
+        .malformed
+        .iter()
+        .map(|(line, message)| Diagnostic {
+            file: path.to_owned(),
+            line: *line,
+            rule: RULE_MALFORMED_ALLOW,
+            message: message.clone(),
+        })
+        .collect();
+    if scope.no_panic || scope.no_env || scope.no_wallclock {
+        let stripped = strip_cfg_test(&cleaned.text);
+        let toks = tokenize(&stripped);
+        let found = scan_tokens(path, &toks, scope);
+        diags.extend(apply_allows(found, &cleaned.allows));
+    }
+    diags.sort_by_key(|d| d.line);
+    diags
+}
+
+/// Walks the workspace's `src/` trees (every `crates/*/src/**/*.rs` plus
+/// the root crate's `src/`, skipping `crates/shims`) and lints each file.
+/// Files come back in sorted path order.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            if dir.file_name().is_some_and(|n| n == "shims") {
+                continue;
+            }
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_source(&rel, &src));
+    }
+    Ok(diags)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads a baseline file: one `file:rule` pair per line, `#` comments and
+/// blank lines ignored. A missing file is an empty baseline.
+pub fn load_baseline(path: &Path) -> HashSet<(String, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashSet::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (file, rule) = l.rsplit_once(':')?;
+            Some((file.to_owned(), rule.to_owned()))
+        })
+        .collect()
+}
+
+/// Splits diagnostics into `(fresh, baselined)` against a baseline set.
+pub fn split_baselined(
+    diags: Vec<Diagnostic>,
+    baseline: &HashSet<(String, String)>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    diags
+        .into_iter()
+        .partition(|d| !baseline.contains(&(d.file.clone(), d.rule.to_owned())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- cleaning -----------------------------------------------------
+
+    #[test]
+    fn line_comments_are_blanked_but_lines_kept() {
+        let src = "let a = 1; // unwrap() here is prose\nlet b = 2;\n";
+        let c = clean_source(src);
+        assert!(!c.text.contains("unwrap"));
+        assert_eq!(c.text.matches('\n').count(), src.matches('\n').count());
+        assert!(c.text.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "a /* outer /* inner panic! */ still outer */ b";
+        let c = clean_source(src);
+        assert!(!c.text.contains("panic"));
+        assert!(c.text.contains('a') && c.text.contains('b'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_delimiters_kept() {
+        let src = r#"let s = "call unwrap() now \" quoted"; after"#;
+        let c = clean_source(src);
+        assert!(!c.text.contains("unwrap"));
+        assert!(c.text.contains("after"));
+        assert_eq!(c.text.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let src = "let r = r#\"panic! \"inner\" \"#; let b = b\"todo!\"; let br = br##\"x\"##; end";
+        let c = clean_source(src);
+        assert!(!c.text.contains("panic"));
+        assert!(!c.text.contains("todo"));
+        assert!(c.text.contains("end"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let z = 'z'; let esc = '\\''; }";
+        let c = clean_source(src);
+        // The lifetime name must survive (it is not a char literal)...
+        assert!(c.text.contains("<'a>"));
+        assert!(c.text.contains("&'a str"));
+        // ...while char contents are blanked: the double-quote char cannot
+        // open a string (nothing after it gets blanked).
+        assert!(c.text.contains("let z ="));
+        assert!(!c.text.contains("'z'"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nunwrap_marker";
+        let c = clean_source(src);
+        assert_eq!(c.text.matches('\n').count(), 2);
+        assert!(c.text.contains("unwrap_marker"));
+    }
+
+    // ---- allow parsing ------------------------------------------------
+
+    #[test]
+    fn wellformed_allow_is_recorded() {
+        let src = "// tsjlint:allow(no-panic-in-data-plane) heap invariant\nx.unwrap();";
+        let c = clean_source(src);
+        assert_eq!(
+            c.allows,
+            vec![Allow {
+                line: 1,
+                rule: RULE_NO_PANIC.to_owned()
+            }]
+        );
+        assert!(c.malformed.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let c = clean_source("// tsjlint:allow(no-panic-in-data-plane)\n");
+        assert!(c.allows.is_empty());
+        assert_eq!(c.malformed.len(), 1);
+        assert!(c.malformed[0].1.contains("no reason"));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_malformed() {
+        let c = clean_source("// tsjlint:allow(no-such-rule) because\n");
+        assert!(c.allows.is_empty());
+        assert_eq!(c.malformed.len(), 1);
+        assert!(c.malformed[0].1.contains("unknown rule"));
+    }
+
+    // ---- cfg(test) stripping -----------------------------------------
+
+    #[test]
+    fn cfg_test_module_is_stripped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let stripped = strip_cfg_test(&clean_source(src).text);
+        assert!(!stripped.contains("unwrap"));
+        assert!(stripped.contains("live"));
+        assert!(stripped.contains("also_live"));
+        assert_eq!(stripped.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn nested_cfg_test_modules_strip_with_parent() {
+        let src = "#[cfg(test)]\nmod outer {\n  #[cfg(test)]\n  mod inner { fn t() { panic!(\"x\") } }\n  fn u() { y.expect(\"z\"); }\n}\nfn live() {}\n";
+        let stripped = strip_cfg_test(&clean_source(src).text);
+        assert!(!stripped.contains("panic"));
+        assert!(!stripped.contains("expect"));
+        assert!(stripped.contains("live"));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_and_semicolon_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { a.unwrap() }\n#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let stripped = strip_cfg_test(&clean_source(src).text);
+        assert!(!stripped.contains("unwrap"));
+        assert!(!stripped.contains("mod tests"));
+        assert!(stripped.contains("live"));
+    }
+
+    // ---- rules --------------------------------------------------------
+
+    const JOB_PATH: &str = "crates/mapreduce/src/cluster.rs";
+
+    #[test]
+    fn no_panic_catches_all_five_forms() {
+        let src = "fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); unreachable!(); todo!() }";
+        let diags = lint_source(JOB_PATH, src);
+        assert_eq!(diags.len(), 5, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == RULE_NO_PANIC));
+    }
+
+    #[test]
+    fn no_panic_ignores_lookalike_identifiers() {
+        let src =
+            "fn f() { a.unwrap_or_else(g); unwrap_all(x); b.expect_err(\"m\"); panic_message(p); }";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_out_of_scope_elsewhere() {
+        let src = "fn f() { a.unwrap(); }";
+        assert!(lint_source("crates/core/src/joiner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let src = "fn f() { a.unwrap(); } // tsjlint:allow(no-panic-in-data-plane) test fixture\n";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn preceding_allow_suppresses_within_window() {
+        let src = "// tsjlint:allow(no-panic-in-data-plane) spans the reflowed\n// statement below\nfn f() {\n    a\n        .unwrap();\n}\n";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn one_allow_covers_one_violation() {
+        let src = "// tsjlint:allow(no-panic-in-data-plane) only the first\nfn f() { a.unwrap(); b.unwrap(); }";
+        let diags = lint_source(JOB_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn allow_outside_window_does_not_suppress() {
+        let filler = "\n".repeat(ALLOW_WINDOW_LINES + 1);
+        let src = format!(
+            "// tsjlint:allow(no-panic-in-data-plane) too far away{filler}fn f() {{ a.unwrap(); }}"
+        );
+        assert_eq!(lint_source(JOB_PATH, &src).len(), 1);
+    }
+
+    #[test]
+    fn wallclock_banned_in_deterministic_modules_only() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let diags = lint_source("crates/mapreduce/src/merge.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == RULE_NO_WALLCLOCK));
+        // cluster.rs measures real task time on purpose.
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn env_reads_flagged_outside_constructors() {
+        let src = "fn f() { let v = std::env::var(\"X\"); }";
+        let diags = lint_source("crates/core/src/config.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_NO_AMBIENT_ENV);
+    }
+
+    #[test]
+    fn env_reads_allowed_inside_from_env_and_from_lookup() {
+        let src = "impl C {\n fn from_env() -> Self { Self::from_lookup(|n| std::env::var_os(n)) }\n fn from_lookup(f: F) -> Self { let _ = std::env::var(\"Y\"); todo() }\n}";
+        assert!(lint_source("crates/core/src/config.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_exemption_ends_with_the_constructor() {
+        let src = "fn from_env() { let _ = std::env::var(\"A\"); }\nfn other() { let _ = std::env::var(\"B\"); }";
+        let diags = lint_source("crates/core/src/config.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn env_rule_skips_shims_and_bench() {
+        let src = "fn f() { let v = std::env::var(\"X\"); }";
+        assert!(lint_source("crates/shims/rand/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violations_in_test_code_are_ignored() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { a.unwrap(); panic!(\"x\"); } }";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn malformed_allow_is_reported_with_location() {
+        let src = "fn f() {}\n// tsjlint:allow(no-panic-in-data-plane)\n";
+        let diags = lint_source(JOB_PATH, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_MALFORMED_ALLOW);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn diagnostic_renders_machine_readable_triple() {
+        let diags = lint_source(JOB_PATH, "fn f() { a.unwrap(); }");
+        let rendered = diags[0].to_string();
+        assert!(
+            rendered.starts_with("crates/mapreduce/src/cluster.rs:1:no-panic-in-data-plane:"),
+            "{rendered}"
+        );
+    }
+
+    // ---- baseline -----------------------------------------------------
+
+    #[test]
+    fn baseline_splits_known_pairs() {
+        let mut baseline = HashSet::new();
+        baseline.insert((JOB_PATH.to_owned(), RULE_NO_PANIC.to_owned()));
+        let diags = lint_source(JOB_PATH, "fn f() { a.unwrap(); }");
+        let (fresh, old) = split_baselined(diags, &baseline);
+        assert!(fresh.is_empty());
+        assert_eq!(old.len(), 1);
+    }
+}

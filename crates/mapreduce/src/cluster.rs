@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use crate::dag::analyze::PlanCheck;
 use crate::dag::{execute, Feed, MapSource, Recv};
 use crate::dataset::{DataPartition, DatasetMode};
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
@@ -53,6 +54,9 @@ pub(crate) struct StageSpec<'f, I, K, V, O> {
     /// Shuffle partition count for this stage: the cluster default, or a
     /// [`repartition`](crate::dataset::Dataset::repartition) override.
     pub(crate) partitions: usize,
+    /// Whether this is a [`repartition`](crate::dataset::Dataset::repartition)
+    /// stage (identity re-routing; recorded for plan analysis).
+    pub(crate) is_repartition: bool,
     pub(crate) map: MapFn<'f, I, K, V>,
     pub(crate) combine: Option<CombineFn<'f, K, V>>,
     pub(crate) reduce: ReduceFn<'f, K, V, O>,
@@ -197,6 +201,9 @@ pub struct Cluster {
     /// Whether [`Dataset`](crate::dataset::Dataset) stages execute lazily
     /// (the default) or at each `map_reduce*` call.
     dataset_mode: DatasetMode,
+    /// Whether diagnosed [`Dataset`](crate::dataset::Dataset) plans still
+    /// execute (warn, the default) or fail before running (deny).
+    plan_check: PlanCheck,
 }
 
 impl Cluster {
@@ -205,11 +212,13 @@ impl Cluster {
     /// `TSJ_SPILL_DIR` / `TSJ_SHUFFLE_TRANSPORT` / `TSJ_MERGE_FAN_IN`
     /// environment overrides (see [`ShuffleConfig`]) so an entire binary
     /// can be forced through the spill path or the multi-process exchange,
-    /// and `TSJ_DATASET_MODE` (see [`DatasetMode`]) so the lazy DAG
+    /// `TSJ_DATASET_MODE` (see [`DatasetMode`]) so the lazy DAG
     /// scheduler can be differentially tested against stage-at-a-time
-    /// execution. Use [`Cluster::with_shuffle_config`] /
-    /// [`Cluster::with_dataset_mode`] to pin explicit configurations that
-    /// ignore the environment.
+    /// execution, and `TSJ_PLAN_CHECK` (see
+    /// [`PlanCheck`]) so plan analysis can
+    /// be escalated from warn to deny. Use [`Cluster::with_shuffle_config`]
+    /// / [`Cluster::with_dataset_mode`] / [`Cluster::with_plan_check`] to
+    /// pin explicit configurations that ignore the environment.
     pub fn new(cfg: ClusterConfig) -> Self {
         let mut cfg = cfg;
         cfg.machines = cfg.machines.max(1);
@@ -217,6 +226,7 @@ impl Cluster {
             cfg,
             shuffle: ShuffleConfig::from_env(),
             dataset_mode: DatasetMode::from_env(),
+            plan_check: PlanCheck::from_env(),
         }
     }
 
@@ -242,6 +252,15 @@ impl Cluster {
         self
     }
 
+    /// Pins the plan-analysis mode (exactly as given — no environment
+    /// override). [`PlanCheck::Deny`](crate::dag::analyze::PlanCheck) makes
+    /// every diagnosed [`Dataset`](crate::dataset::Dataset) terminal fail
+    /// with [`JobError::Plan`](crate::job::JobError) before executing.
+    pub fn with_plan_check(mut self, check: PlanCheck) -> Self {
+        self.plan_check = check;
+        self
+    }
+
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
     }
@@ -255,6 +274,12 @@ impl Cluster {
     /// vs stage-at-a-time).
     pub fn dataset_mode(&self) -> DatasetMode {
         self.dataset_mode
+    }
+
+    /// Whether diagnosed [`Dataset`](crate::dataset::Dataset) plans still
+    /// execute (see [`PlanCheck`]).
+    pub fn plan_check(&self) -> PlanCheck {
+        self.plan_check
     }
 
     pub fn machines(&self) -> usize {
@@ -455,6 +480,7 @@ impl Cluster {
             name: name.to_owned(),
             group_overhead_secs,
             partitions: self.partitions(),
+            is_repartition: false,
             map: Box::new(move |i: &I, e: &mut Emitter<K, V>| map(i, e)) as MapFn<'_, I, K, V>,
             combine,
             reduce: Box::new(move |k: &K, vs: Vec<V>, o: &mut OutputSink<O>| reduce(k, vs, o))
@@ -675,7 +701,7 @@ where
     // Base directory for this job's spill / exchange / stage-output
     // subdirectories; each is RAII-guarded so a job that fails mid-wave
     // still removes everything it created.
-    let dir_base = shuffle.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let dir_base = shuffle.spill_base();
 
     // One uniquely named spill directory per job, removed (with its
     // segments) when the job finishes or fails. Tasks create it lazily
@@ -1003,14 +1029,17 @@ where
             task_input += 1;
             (spec.map)($record, &mut emitter);
             if emitter.buffer.len() >= next_combine {
-                combine_work += emitter.buffer.len() as u64;
-                spec.combine
-                    .as_ref()
-                    .expect("combine_threshold implies combiner")(&mut emitter.buffer);
-                // Combining may not have freed enough (distinct
-                // keys); spill the combined run if still over the
-                // cap.
-                emitter.buffer.maybe_spill();
+                // A finite watermark implies a combiner (see the
+                // combine_threshold match above), so the branch is
+                // never skipped when combining is due.
+                if let Some(combine) = spec.combine.as_ref() {
+                    combine_work += emitter.buffer.len() as u64;
+                    combine(&mut emitter.buffer);
+                    // Combining may not have freed enough (distinct
+                    // keys); spill the combined run if still over the
+                    // cap.
+                    emitter.buffer.maybe_spill();
+                }
                 next_combine = emitter.buffer.len() + combine_threshold;
             }
         }};
@@ -1125,6 +1154,7 @@ where
         let mut pos = 0usize;
         for segment in segments {
             let Segment::Mem(records) = segment else {
+                // tsjlint:allow(no-panic-in-data-plane) the merge arm above consumed every spilled segment
                 unreachable!("spilled segments take the merge path");
             };
             for (_h, k, v) in records {
@@ -1205,12 +1235,11 @@ fn drain_stage_output<O: Spill>(
     if sink.out.is_empty() {
         return Ok(());
     }
-    let writer = match writer {
-        Some(w) => w,
+    let writer = match writer.take() {
+        Some(w) => writer.insert(w),
         None => {
             let path = dir.join(format!("part{partition}.run"));
-            *writer = Some(SpillWriter::create(path)?);
-            writer.as_mut().expect("just created")
+            writer.insert(SpillWriter::create(path)?)
         }
     };
     for record in sink.out.drain(..) {

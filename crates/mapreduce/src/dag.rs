@@ -36,9 +36,12 @@
 //! stage-output directory guard rides the feeds, so a failing graph leaves
 //! no temp files behind.
 
+pub mod analyze;
+
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::dag::analyze::{NodeKind, PlanInfo, PlanNodeInfo};
 use crate::dataset::DataPartition;
 use crate::job::{JobError, JobStats};
 use crate::pool::{lock, Pool};
@@ -218,6 +221,10 @@ pub(crate) struct Builder<'a> {
     pub(crate) thunks: Vec<DriverThunk<'a>>,
     pub(crate) slots: Vec<Arc<StatsSlot>>,
     next_base: u64,
+    /// Structural shadow of the lowered graph, fed to [`analyze`] before
+    /// execution. Consumers are recorded before their producers, so a
+    /// node's consumer id is always smaller than its own.
+    nodes: Vec<PlanNodeInfo>,
 }
 
 impl<'a> Builder<'a> {
@@ -226,7 +233,20 @@ impl<'a> Builder<'a> {
             thunks: Vec::new(),
             slots: Vec::new(),
             next_base: 0,
+            nodes: Vec::new(),
         }
+    }
+
+    /// Records one plan node (its id) for pre-execution analysis.
+    pub(crate) fn add_node(&mut self, kind: NodeKind, consumer: Option<usize>) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(PlanNodeInfo { id, consumer, kind });
+        id
+    }
+
+    /// The structural graph recorded so far, for [`analyze::analyze_plan`].
+    pub(crate) fn plan_info(&self) -> PlanInfo {
+        PlanInfo::from_nodes(self.nodes.clone())
     }
 
     /// The next producer's ordinal base: items are tagged

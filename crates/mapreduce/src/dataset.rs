@@ -98,6 +98,7 @@ use std::sync::Arc;
 use crate::cluster::{
     run_stage_streamed, Cluster, CombineFn, MapFn, ReduceFn, StageFailure, StageSink, StageSpec,
 };
+use crate::dag::analyze::{analyze_plan, NodeKind, PlanCheck, StageInfo};
 use crate::dag::{self, Builder, Feed, MapSource, StatsSlot};
 use crate::hash::fingerprint64;
 use crate::job::{Emitter, JobError, OutputSink};
@@ -217,8 +218,16 @@ impl<T: Spill> DataPartition<T> {
 /// typed feed connecting them.
 trait PlanNode<'a, T>: Send {
     /// Lowers this node (and its whole subtree) into stage drivers,
-    /// registering as a producer on `out`.
-    fn build(self: Box<Self>, cluster: &'a Cluster, b: &mut Builder<'a>, out: Feed<'a, T>);
+    /// registering as a producer on `out`. `consumer` is the plan-node id
+    /// of the node consuming `out` (`None` for the collected terminal),
+    /// recorded for pre-execution analysis.
+    fn build(
+        self: Box<Self>,
+        cluster: &'a Cluster,
+        b: &mut Builder<'a>,
+        out: Feed<'a, T>,
+        consumer: Option<usize>,
+    );
 }
 
 /// Where a dataset's records currently live (or how to compute them).
@@ -315,11 +324,27 @@ where
     V: Send + Spill + 'a,
     O: Send + Sync + Spill + 'a,
 {
-    fn build(self: Box<Self>, cluster: &'a Cluster, b: &mut Builder<'a>, out: Feed<'a, O>) {
+    fn build(
+        self: Box<Self>,
+        cluster: &'a Cluster,
+        b: &mut Builder<'a>,
+        out: Feed<'a, O>,
+        consumer: Option<usize>,
+    ) {
         let base = b.next_base();
         out.register_producer();
+        let node = b.add_node(
+            NodeKind::Stage(StageInfo {
+                name: self.spec.name.clone(),
+                partitions: self.spec.partitions,
+                combined: self.spec.combine.is_some(),
+                value_is_zst: std::mem::size_of::<V>() == 0,
+                is_repartition: self.spec.is_repartition,
+            }),
+            consumer,
+        );
         let input: Feed<'a, I> = Feed::new();
-        build_plan(self.child, cluster, b, input.clone());
+        build_plan(self.child, cluster, b, input.clone(), Some(node));
         // Slot allocated after the subtree's: slot order = execution
         // (topological) order, which is what the report shows.
         let slot: Arc<StatsSlot> = b.new_slot();
@@ -367,6 +392,7 @@ fn build_plan<'a, T: Send + Sync + Spill + 'a>(
     cluster: &'a Cluster,
     b: &mut Builder<'a>,
     out: Feed<'a, T>,
+    consumer: Option<usize>,
 ) {
     match plan {
         Plan::Input(records) => {
@@ -375,7 +401,14 @@ fn build_plan<'a, T: Send + Sync + Spill + 'a>(
             out.add_driver_in(records.len() as u64);
             // Chunk exactly like the classic driver-slice path, so a
             // lifted input sees the same map-task layout either way.
-            let (_tasks, chunk) = cluster.slice_chunking(records.len());
+            let (tasks, chunk) = cluster.slice_chunking(records.len());
+            b.add_node(
+                NodeKind::Input {
+                    records: records.len() as u64,
+                    tasks,
+                },
+                consumer,
+            );
             let mut records = records;
             let mut idx = 0u64;
             while !records.is_empty() {
@@ -394,6 +427,13 @@ fn build_plan<'a, T: Send + Sync + Spill + 'a>(
             let base = b.next_base();
             out.register_producer();
             out.add_driver_in(driver_pending);
+            b.add_node(
+                NodeKind::Materialized {
+                    partitions: parts.iter().filter(|p| p.records() > 0).count(),
+                    records: parts.iter().map(DataPartition::records).sum(),
+                },
+                consumer,
+            );
             for guard in guards {
                 out.add_guard(guard);
             }
@@ -404,16 +444,19 @@ fn build_plan<'a, T: Send + Sync + Spill + 'a>(
             }
             out.close_producer(true);
         }
-        Plan::Stage(node) => node.build(cluster, b, out),
+        Plan::Stage(node) => node.build(cluster, b, out, consumer),
+        // tsjlint:allow(no-panic-in-data-plane) force() returns Failed errors before building
         Plan::Failed(_) => unreachable!(
             "failed handles never reach the builder: force() returns their error first"
         ),
         Plan::Union(left, right) => {
             // Left registers (and gets its ordinal base) first, so the
             // consumer's ordinal sort reproduces left-then-right — the
-            // same concatenation order stage-at-a-time union used.
-            build_plan(*left, cluster, b, out.clone());
-            build_plan(*right, cluster, b, out);
+            // same concatenation order stage-at-a-time union used. Both
+            // sides share the consumer: a union is feed plumbing, not a
+            // plan node of its own.
+            build_plan(*left, cluster, b, out.clone(), consumer);
+            build_plan(*right, cluster, b, out, consumer);
         }
     }
 }
@@ -436,10 +479,22 @@ fn execute_plan<'a, T: Send + Sync + Spill + 'a>(
 ) -> Result<Executed<T>, JobError> {
     let mut b = Builder::new();
     let out: Feed<'a, T> = Feed::new();
-    build_plan(plan, cluster, &mut b, out.clone());
+    build_plan(plan, cluster, &mut b, out.clone(), None);
+    // Analyze the lowered graph before anything runs: in deny mode a
+    // diagnosed plan fails here (no driver threads have started, so
+    // dropping the unrun thunks is safe); in warn mode the diagnostics
+    // ride the terminal's report.
+    let diagnostics = analyze_plan(&b.plan_info(), cluster.shuffle_config());
+    if cluster.plan_check() == PlanCheck::Deny && !diagnostics.is_empty() {
+        let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+        return Err(JobError::Plan {
+            message: rendered.join("; "),
+        });
+    }
     let slots = b.slots.clone();
     dag::execute(cluster.threads(), b.thunks);
-    let report = dag::gather(&slots)?;
+    let mut report = dag::gather(&slots)?;
+    report.add_plan_diagnostics(diagnostics);
     let (mut items, guards, driver_pending) = out.drain_terminal();
     items.sort_unstable_by_key(|(ordinal, _)| *ordinal);
     let parts = items
@@ -448,6 +503,7 @@ fn execute_plan<'a, T: Send + Sync + Spill + 'a>(
             MapSource::Part(part) => part,
             // Chunk sources exist only on the classic `run*` path, which
             // never flows through a plan.
+            // tsjlint:allow(no-panic-in-data-plane) plan feeds never carry Chunk sources
             MapSource::Chunk(_) => unreachable!("plan feeds carry partitions"),
         })
         .collect();
@@ -476,7 +532,15 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
         R: Fn(&K, Vec<V>, &mut OutputSink<O>) + Send + Sync + 'a,
     {
         let overhead = self.cluster.config().cost.reduce_group_overhead_secs;
-        self.stage(name, overhead, None, Box::new(map), None, Box::new(reduce))
+        self.stage(
+            name,
+            overhead,
+            None,
+            false,
+            Box::new(map),
+            None,
+            Box::new(reduce),
+        )
     }
 
     /// [`Dataset::map_reduce`] with a map-side [`Combiner`] (same contract
@@ -504,6 +568,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
             name,
             overhead,
             None,
+            false,
             Box::new(map),
             Some(combine),
             Box::new(reduce),
@@ -531,6 +596,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
             name,
             group_overhead_secs,
             None,
+            false,
             Box::new(map),
             None,
             Box::new(reduce),
@@ -561,6 +627,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
             name,
             group_overhead_secs,
             None,
+            false,
             Box::new(map),
             Some(combine),
             Box::new(reduce),
@@ -585,6 +652,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
             &name,
             overhead,
             Some(partitions.max(1)),
+            true,
             Box::new(|record: &T, e: &mut Emitter<u64, T>| {
                 let mut bytes = Vec::new();
                 record.spill(&mut bytes);
@@ -602,11 +670,13 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
     /// The shared stage recorder behind the `map_reduce*` variants: wraps
     /// this plan in a [`StagePlan`] node (and, in eager mode, executes it
     /// immediately).
+    #[allow(clippy::too_many_arguments)]
     fn stage<K, V, O>(
         self,
         name: &str,
         group_overhead_secs: f64,
         partitions_override: Option<usize>,
+        is_repartition: bool,
         map: MapFn<'a, T, K, V>,
         combine: Option<CombineFn<'a, K, V>>,
         reduce: ReduceFn<'a, K, V, O>,
@@ -626,6 +696,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
             name: name.to_owned(),
             group_overhead_secs,
             partitions: partitions_override.unwrap_or_else(|| cluster.partitions()),
+            is_repartition,
             map,
             combine,
             reduce,
@@ -735,6 +806,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
                 return Ok(report);
             }
             Plan::Materialized { parts, guards, .. } => (parts, guards),
+            // tsjlint:allow(no-panic-in-data-plane) force() above leaves only Input/Materialized
             Plan::Stage(_) | Plan::Union(..) | Plan::Failed(_) => unreachable!("forced above"),
         };
         let mut crossed = 0u64;
@@ -760,6 +832,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
         Ok(match &self.plan {
             Plan::Input(records) => records.len() as u64,
             Plan::Materialized { parts, .. } => parts.iter().map(DataPartition::records).sum(),
+            // tsjlint:allow(no-panic-in-data-plane) force() above leaves only Input/Materialized
             Plan::Stage(_) | Plan::Union(..) | Plan::Failed(_) => unreachable!("forced above"),
         })
     }
@@ -772,6 +845,7 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
         Ok(match &self.plan {
             Plan::Input(records) => self.cluster.slice_chunking(records.len()).0,
             Plan::Materialized { parts, .. } => parts.len(),
+            // tsjlint:allow(no-panic-in-data-plane) force() above leaves only Input/Materialized
             Plan::Stage(_) | Plan::Union(..) | Plan::Failed(_) => unreachable!("forced above"),
         })
     }

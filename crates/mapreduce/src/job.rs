@@ -158,6 +158,11 @@ pub enum JobError {
     /// scratch run. Mirrors a worker losing its local disk mid-job; the
     /// job fails, the process survives.
     Spill { message: String },
+    /// Plan analysis diagnosed the lowered job graph and the cluster runs
+    /// with [`PlanCheck::Deny`](crate::dag::analyze::PlanCheck): the
+    /// terminal fails *before* any stage executes. Carries every rendered
+    /// [`PlanDiagnostic`](crate::dag::analyze::PlanDiagnostic).
+    Plan { message: String },
 }
 
 impl From<crate::spill::SpillError> for JobError {
@@ -179,6 +184,9 @@ impl std::fmt::Display for JobError {
             }
             JobError::Spill { message } => {
                 write!(f, "spill I/O failed: {message}")
+            }
+            JobError::Plan { message } => {
+                write!(f, "plan analysis failed: {message}")
             }
         }
     }

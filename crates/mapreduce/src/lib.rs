@@ -43,6 +43,13 @@
 //! upstream reduce task finishing a partition immediately readies the
 //! downstream map task for it). The `run*` entry points are the one-stage
 //! special case of the same streaming engine.
+//!
+//! Every lowered dataset graph is structurally analyzed before execution
+//! ([`analyze_plan`]): unreachable stages, statically empty inputs,
+//! union partition mismatches, combiner opportunities, and merge fan-in
+//! hazards surface as [`PlanDiagnostic`]s on the terminal's [`SimReport`]
+//! — or, under [`PlanCheck::Deny`] (`TSJ_PLAN_CHECK=deny`), fail the
+//! terminal before any stage runs.
 
 pub mod cluster;
 mod dag;
@@ -57,6 +64,10 @@ pub mod spill;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
+pub use dag::analyze::{
+    analyze_plan, NodeKind, PlanCheck, PlanDiagnostic, PlanInfo, PlanNodeInfo, StageInfo,
+    MERGE_FAN_IN_BUDGET,
+};
 pub use dataset::{DataPartition, Dataset, DatasetMode};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
 pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};

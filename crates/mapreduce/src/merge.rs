@@ -118,6 +118,8 @@ where
         .collect();
 
     while let Some(Reverse((h, i))) = heap.pop() {
+        // tsjlint:allow(no-panic-in-data-plane) a heap entry is pushed only
+        // when stream i has a head; skipping silently would hide corruption
         let (head_h, key, value) = heads[i].take().expect("heap entry implies a head");
         debug_assert_eq!(head_h, h);
         heads[i] = streams[i].next()?;

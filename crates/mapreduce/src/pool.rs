@@ -154,14 +154,17 @@ where
     if let Some(msg) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(msg);
     }
-    Ok(slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("all tasks completed")
-        })
-        .collect())
+    let mut out = Vec::with_capacity(n_tasks);
+    for s in slots {
+        match s.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(r) => out.push(r),
+            // Every slot is filled unless a worker failed, and failures
+            // returned above; surface the impossible gap as an error
+            // instead of killing the process.
+            None => return Err("a task slot was left unfilled without a failure".to_owned()),
+        }
+    }
+    Ok(out)
 }
 
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

@@ -1,5 +1,6 @@
 //! Pipeline-level aggregation of job statistics.
 
+use crate::dag::analyze::PlanDiagnostic;
 use crate::job::JobStats;
 
 /// A report over a multi-job pipeline (TSJ runs 3–6 MapReduce jobs per
@@ -7,6 +8,9 @@ use crate::job::JobStats;
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
     jobs: Vec<JobStats>,
+    /// Plan-analysis findings from the lowered graphs behind these jobs
+    /// (warn mode only: deny mode fails the terminal instead).
+    plan_diagnostics: Vec<PlanDiagnostic>,
 }
 
 impl SimReport {
@@ -48,9 +52,25 @@ impl SimReport {
         self.jobs.iter().map(|j| j.counter(name)).sum()
     }
 
-    /// Merges another report's jobs (pipelines composed of sub-pipelines).
+    /// Merges another report's jobs (pipelines composed of sub-pipelines)
+    /// and its plan diagnostics.
     pub fn extend(&mut self, other: SimReport) {
         self.jobs.extend(other.jobs);
+        self.plan_diagnostics.extend(other.plan_diagnostics);
+    }
+
+    /// Plan-analysis findings accumulated over the lowered graphs behind
+    /// these jobs (see [`analyze_plan`](crate::dag::analyze::analyze_plan);
+    /// empty under [`PlanCheck::Deny`](crate::dag::analyze::PlanCheck),
+    /// which fails the terminal instead of reporting).
+    pub fn plan_diagnostics(&self) -> &[PlanDiagnostic] {
+        &self.plan_diagnostics
+    }
+
+    /// Attaches one lowered graph's analysis findings (the dataset
+    /// terminal, after a warn-mode run).
+    pub(crate) fn add_plan_diagnostics(&mut self, diagnostics: Vec<PlanDiagnostic>) {
+        self.plan_diagnostics.extend(diagnostics);
     }
 
     /// Total intermediate pairs emitted by mappers across all jobs
@@ -180,7 +200,11 @@ impl std::fmt::Display for SimReport {
             "",
             "",
             self.total_sim_secs()
-        )
+        )?;
+        for d in &self.plan_diagnostics {
+            write!(f, "\nplan diagnostic: {d}")?;
+        }
+        Ok(())
     }
 }
 

@@ -310,6 +310,19 @@ impl ShuffleConfig {
             merge_fan_in: parse_count("TSJ_MERGE_FAN_IN"),
         }
     }
+
+    /// The base directory for job spill / exchange / stage-output
+    /// subdirectories: the configured
+    /// [`spill_dir`](ShuffleConfig::spill_dir), or the system temp dir.
+    ///
+    /// This is the one place the runtime consults ambient process state
+    /// for a filesystem location — every job path goes through here, so
+    /// the fallback stays a documented config-layer concern rather than a
+    /// scattering of `std::env::temp_dir()` calls in the data plane.
+    pub fn spill_base(&self) -> PathBuf {
+        // tsjlint:allow(no-ambient-env) the config layer owns the temp-dir fallback
+        self.spill_dir.clone().unwrap_or_else(std::env::temp_dir)
+    }
 }
 
 /// A map task's spill output: the read-only file handle, every partition's
@@ -448,15 +461,16 @@ impl<K: Spill + Hash, V: Spill> PartitionedBuffer<K, V> {
         if self.len == 0 {
             return;
         }
-        let writer = match spill.writer.as_mut() {
-            Some(w) => w,
+        let writer = match spill.writer.take() {
+            Some(w) => spill.writer.insert(w),
             None => {
                 let path = spill.dir.join(format!("task{}.spill", spill.task));
-                spill.writer = Some(
-                    SpillWriter::create(path)
-                        .unwrap_or_else(|e| panic!("shuffle spill file creation failed: {e}")),
-                );
-                spill.writer.as_mut().expect("just created")
+                // tsjlint:allow(no-panic-in-data-plane) emit() is infallible by
+                // signature; the wave's catch_unwind converts this into a
+                // structured JobError::WorkerPanic that fails only the job
+                let created = SpillWriter::create(path)
+                    .unwrap_or_else(|e| panic!("shuffle spill file creation failed: {e}"));
+                spill.writer.insert(created)
             }
         };
         for (p, part) in self.parts.iter_mut().enumerate() {
@@ -465,6 +479,9 @@ impl<K: Spill + Hash, V: Spill> PartitionedBuffer<K, V> {
             }
             // Stable: equal-fingerprint records keep emit order within the run.
             part.sort_by_key(|(h, _, _)| *h);
+            // tsjlint:allow(no-panic-in-data-plane) emit() is infallible by
+            // signature; the wave's catch_unwind converts this into a
+            // structured JobError::WorkerPanic that fails only the job
             let meta = writer
                 .write_run(part)
                 .unwrap_or_else(|e| panic!("shuffle spill write failed: {e}"));
@@ -481,6 +498,9 @@ impl<K: Spill + Hash, V: Spill> PartitionedBuffer<K, V> {
         let spill = self.spill.take()?;
         let writer = spill.writer?;
         let (records, bytes) = (writer.records, writer.bytes);
+        // tsjlint:allow(no-panic-in-data-plane) finalize runs inside the map
+        // task's catch_unwind; the panic becomes a structured
+        // JobError::WorkerPanic that fails only the job
         let (file, _path) = writer
             .into_reader()
             .unwrap_or_else(|e| panic!("shuffle spill finalize failed: {e}"));
@@ -551,7 +571,9 @@ pub fn combine_records<K: Hash + Eq + Clone, V>(
             if *h2 != h {
                 break;
             }
-            let (_, k2, v2) = it.next().expect("peeked");
+            // Guarded by the successful peek; break is the only sound
+            // fallback and cannot occur.
+            let Some((_, k2, v2)) = it.next() else { break };
             if k2 == key {
                 values.push(v2);
             } else {
@@ -588,7 +610,8 @@ pub(crate) fn for_each_key_group<K: Eq, V, E, F: FnMut(K, Vec<V>) -> Result<(), 
         // Almost always the whole run is one key; collisions refill `run`
         // with the leftovers for the next round (no O(n) front-shift).
         let mut it = std::mem::take(run).into_iter();
-        let (key, first) = it.next().expect("loop guard: non-empty");
+        // Guarded by the loop's !run.is_empty(); break cannot occur.
+        let Some((key, first)) = it.next() else { break };
         let mut values = vec![first];
         for (k, v) in it {
             if k == key {

@@ -213,13 +213,14 @@ impl PartitionFile {
         dir: &std::path::Path,
         p: usize,
     ) -> std::io::Result<&'a mut PartitionFile> {
-        if files[p].is_none() {
-            files[p] = Some(PartitionFile {
+        let slot = &mut files[p];
+        match slot.take() {
+            Some(f) => Ok(slot.insert(f)),
+            None => Ok(slot.insert(PartitionFile {
                 writer: SpillWriter::create(dir.join(format!("part{p}.runs")))?,
                 metas: Vec::new(),
-            });
+            })),
         }
-        Ok(files[p].as_mut().expect("just created"))
     }
 }
 

@@ -1,0 +1,34 @@
+//! Pin: the shipped HMJ partition+verify graph analyzes with zero plan
+//! diagnostics, under `PlanCheck::Deny` so a regression fails the join
+//! instead of warning. (TSJ and MassJoin have the same pin in
+//! `crates/core/tests/plan_clean.rs`.)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsj_datagen::{generate_names, plant_rings, NameGenConfig, RingConfig};
+use tsj_mapreduce::{Cluster, PlanCheck, ShuffleConfig};
+use tsj_metricjoin::{HmjConfig, HmjJoiner};
+use tsj_tokenize::{Corpus, NameTokenizer};
+
+#[test]
+fn hmj_pipeline_analyzes_clean() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut strings = generate_names(120, &mut rng, &NameGenConfig::default());
+    plant_rings(&mut strings, 8, &mut rng, &RingConfig::default());
+    let corpus = Corpus::build(&strings, &NameTokenizer::default());
+
+    // Pin ShuffleConfig::default() so CI's TSJ_* env knobs cannot change
+    // the analyzed graph; Deny turns any diagnostic into a hard failure.
+    let cluster = Cluster::with_machines(8)
+        .with_shuffle_config(ShuffleConfig::default())
+        .with_plan_check(PlanCheck::Deny);
+    let out = HmjJoiner::new(&cluster, HmjConfig::default())
+        .self_join(&corpus, 0.15)
+        .expect("shipped HMJ graph must analyze clean");
+    assert!(
+        out.report.plan_diagnostics().is_empty(),
+        "{:?}",
+        out.report.plan_diagnostics()
+    );
+    assert!(!out.pairs.is_empty(), "workload has planted rings");
+}

@@ -623,6 +623,54 @@ pub fn fig_overlap(p: &FigParams) -> FigData {
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
     let string_ids: Vec<u32> = (0..corpus.len() as u32).collect();
+    // The two-stage candidate→verify pipeline the remaining series run on
+    // a given cluster (the scheduling regime under test lives entirely in
+    // the cluster's configuration).
+    let run_pipeline = |c: &tsj_mapreduce::Cluster| {
+        let corpus = &corpus;
+        c.input(&string_ids)
+            .map_reduce(
+                "overlap.candidates",
+                |&s, e: &mut tsj_mapreduce::Emitter<u32, u32>| {
+                    for &t in corpus.tokens(tsj_tokenize::StringId(s)) {
+                        e.emit(t.0, s);
+                    }
+                },
+                |_t: &u32, mut sids: Vec<u32>, out: &mut tsj_mapreduce::OutputSink<(u32, u32)>| {
+                    // Modeled remote read: latency per grouped
+                    // posting (a real blocking wait, like a
+                    // storage fetch on the paper's cluster).
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        stall_us * sids.len() as u64,
+                    ));
+                    sids.sort_unstable();
+                    sids.dedup();
+                    for i in 0..sids.len().min(24) {
+                        for j in i + 1..sids.len().min(24) {
+                            out.emit((sids[i], sids[j]));
+                        }
+                    }
+                },
+            )
+            .unwrap()
+            .map_reduce(
+                "overlap.map_verify",
+                // Map-side verification: real NSLD per candidate.
+                |&(a, b): &(u32, u32), e: &mut tsj_mapreduce::Emitter<u8, u8>| {
+                    let ta = corpus.token_texts(tsj_tokenize::StringId(a));
+                    let tb = corpus.token_texts(tsj_tokenize::StringId(b));
+                    if nsld(&ta, &tb) <= p.default_t {
+                        e.emit(0, 1);
+                    }
+                },
+                |_k: &u8, vs: Vec<u8>, out: &mut tsj_mapreduce::OutputSink<u64>| {
+                    out.emit(vs.len() as u64);
+                },
+            )
+            .unwrap()
+            .collect()
+            .unwrap()
+    };
     for &threads in &threads_sweep {
         if threads < 2 {
             continue; // one worker has no idle capacity to reclaim
@@ -635,56 +683,11 @@ pub fn fig_overlap(p: &FigParams) -> FigData {
         });
         let timed = |mode: DatasetMode| {
             let c = cluster.clone().with_dataset_mode(mode);
-            let corpus = &corpus;
             let mut best = f64::INFINITY;
             let mut pairs = 0usize;
             for _ in 0..3 {
                 let start = Instant::now();
-                let (out, _) = c
-                    .input(&string_ids)
-                    .map_reduce(
-                        "overlap.candidates",
-                        |&s, e: &mut tsj_mapreduce::Emitter<u32, u32>| {
-                            for &t in corpus.tokens(tsj_tokenize::StringId(s)) {
-                                e.emit(t.0, s);
-                            }
-                        },
-                        |_t: &u32,
-                         mut sids: Vec<u32>,
-                         out: &mut tsj_mapreduce::OutputSink<(u32, u32)>| {
-                            // Modeled remote read: latency per grouped
-                            // posting (a real blocking wait, like a
-                            // storage fetch on the paper's cluster).
-                            std::thread::sleep(std::time::Duration::from_micros(
-                                stall_us * sids.len() as u64,
-                            ));
-                            sids.sort_unstable();
-                            sids.dedup();
-                            for i in 0..sids.len().min(24) {
-                                for j in i + 1..sids.len().min(24) {
-                                    out.emit((sids[i], sids[j]));
-                                }
-                            }
-                        },
-                    )
-                    .unwrap()
-                    .map_reduce(
-                        "overlap.map_verify",
-                        // Map-side verification: real NSLD per candidate.
-                        |&(a, b): &(u32, u32), e: &mut tsj_mapreduce::Emitter<u8, u8>| {
-                            let ta = corpus.token_texts(tsj_tokenize::StringId(a));
-                            let tb = corpus.token_texts(tsj_tokenize::StringId(b));
-                            if nsld(&ta, &tb) <= p.default_t {
-                                e.emit(0, 1);
-                            }
-                        },
-                        |_k: &u8, vs: Vec<u8>, out: &mut tsj_mapreduce::OutputSink<u64>| {
-                            out.emit(vs.len() as u64);
-                        },
-                    )
-                    .unwrap()
-                    .collect()
-                    .unwrap();
+                let (out, _) = run_pipeline(&c);
                 best = best.min(start.elapsed().as_secs_f64());
                 pairs = out.iter().map(|&n| n as usize).sum();
             }
@@ -708,6 +711,94 @@ pub fn fig_overlap(p: &FigParams) -> FigData {
              eager {eager_secs:.3}s ({:+.1}% wall-clock, {lazy_pairs} verified)",
             100.0 * (lazy_secs / eager_secs - 1.0),
         ));
+    }
+    // ---- Straggler / speculation series --------------------------------
+    // A seeded *environmental* straggler: map task 0 of the candidates
+    // stage sleeps `TSJ_FIG_STRAGGLE_US` (default 300 ms) on its primary
+    // attempt, simulating one slow node. FIFO has no answer — the map
+    // wave barrier (and every downstream task behind it) waits out the
+    // sleep. The speculative scheduler launches a second copy of the
+    // stalled task on an idle worker once it has run `straggle/2`; the
+    // copy wins (`speculative_won ≥ 1`, asserted), the barrier releases,
+    // and the loser's remaining sleep overlaps the reduce + verify work
+    // instead of preceding it. Output is byte-identical either way
+    // (asserted). The threshold choice matters on this one-core host: it
+    // must exceed the longest *honest* task (speculating a compute-bound
+    // verify task steals real CPU from the original — measured +2…9%
+    // with a 2 ms threshold) while staying under the straggle it is
+    // there to beat.
+    {
+        use tsj_mapreduce::{SchedulerConfig, SchedulerMode, StraggleInjection};
+        let straggle_us: u64 = std::env::var("TSJ_FIG_STRAGGLE_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300_000);
+        for &threads in &threads_sweep {
+            if threads < 2 {
+                continue; // the speculative copy needs an idle worker
+            }
+            let cluster = tsj_mapreduce::Cluster::new(tsj_mapreduce::ClusterConfig {
+                machines: threads,
+                threads,
+                partitions: threads,
+                ..*p.cluster(p.default_machines).config()
+            })
+            .with_dataset_mode(DatasetMode::Lazy);
+            let straggle = Some(StraggleInjection {
+                stage: "overlap.candidates".into(),
+                micros: straggle_us,
+            });
+            let timed = |sched: SchedulerConfig| {
+                let c = cluster.clone().with_scheduler(sched);
+                let mut best = f64::INFINITY;
+                let mut last = None;
+                for _ in 0..3 {
+                    let start = Instant::now();
+                    let (out, report) = run_pipeline(&c);
+                    best = best.min(start.elapsed().as_secs_f64());
+                    last = Some((out.iter().map(|&n| n as usize).sum::<usize>(), report));
+                }
+                let (pairs, report) = last.expect("three runs happened");
+                (best, pairs, report)
+            };
+            let (fifo_secs, fifo_pairs, _) = timed(SchedulerConfig {
+                mode: SchedulerMode::Fifo,
+                straggle: straggle.clone(),
+                ..SchedulerConfig::default()
+            });
+            let (spec_secs, spec_pairs, spec_report) = timed(SchedulerConfig {
+                mode: SchedulerMode::Speculative,
+                speculate_after: std::time::Duration::from_micros(straggle_us / 2),
+                straggle: straggle.clone(),
+            });
+            assert_eq!(
+                fifo_pairs, spec_pairs,
+                "speculative re-execution must not change the result"
+            );
+            assert!(
+                spec_report.total_speculative_won() >= 1,
+                "the speculative copy should beat a {straggle_us} µs straggler"
+            );
+            rows.push(Row {
+                series: "straggler FIFO (no mitigation)".into(),
+                x: threads as f64,
+                y: fifo_secs,
+            });
+            rows.push(Row {
+                series: "straggler speculative".into(),
+                x: threads as f64,
+                y: spec_secs,
+            });
+            notes.push(format!(
+                "straggler ({straggle_us} µs on overlap.candidates) threads={threads}: \
+                 FIFO {fifo_secs:.3}s vs speculative {spec_secs:.3}s ({:+.1}% wall-clock; \
+                 steals={}, speculative launched/won={}/{})",
+                100.0 * (spec_secs / fifo_secs - 1.0),
+                spec_report.total_steals(),
+                spec_report.total_speculative_launched(),
+                spec_report.total_speculative_won(),
+            ));
+        }
     }
     FigData {
         title: "Cross-stage overlap: join wall-clock, lazy vs eager".into(),

@@ -158,4 +158,18 @@ fn figoverlap_runs_and_modes_agree() {
     for (threads, secs) in lazy.iter().chain(&eager) {
         assert!(*secs > 0.0, "non-positive wall-clock at {threads} threads");
     }
+    // The straggler series: the harness itself asserts the speculative
+    // copy won and the pairs agree; here we check both series rendered
+    // and the notes carry the scheduler counters.
+    let strag_fifo = fig.series("straggler FIFO (no mitigation)");
+    let strag_spec = fig.series("straggler speculative");
+    assert_eq!(strag_fifo.len(), strag_spec.len());
+    assert!(!strag_fifo.is_empty());
+    for (threads, secs) in strag_fifo.iter().chain(&strag_spec) {
+        assert!(*secs > 0.0, "non-positive wall-clock at {threads} threads");
+    }
+    assert!(fig
+        .notes
+        .iter()
+        .any(|n| n.contains("speculative launched/won")));
 }

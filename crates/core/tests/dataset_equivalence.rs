@@ -12,11 +12,14 @@
 //! harness is the deliverable that makes the lazy dataset layer
 //! trustworthy.
 
+use std::time::Duration;
+
 use proptest::prelude::*;
 use tsj::{ApproximationScheme, DedupStrategy, SimilarPair, TsjConfig, TsjJoiner};
 use tsj_datagen::workload;
 use tsj_mapreduce::{
-    Cluster, ClusterConfig, DatasetMode, Emitter, OutputSink, ShuffleConfig, SimReport, Transport,
+    Cluster, ClusterConfig, DatasetMode, Emitter, OutputSink, SchedulerConfig, SchedulerMode,
+    ShuffleConfig, SimReport, StraggleInjection, Transport,
 };
 use tsj_tokenize::{Corpus, NameTokenizer};
 
@@ -118,6 +121,87 @@ fn assert_driver_accounting(report: &SimReport, n_strings: u64) {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The scheduler-mode guarantee: the FIFO pool, the priority
+    /// work-stealing scheduler, and speculative re-execution (with a
+    /// millisecond speculation threshold, so copies really launch) all
+    /// produce *byte-identical* verified join output — across threads ×
+    /// partitions × both transports × bounded/unbounded shuffles — and
+    /// the interior stages still cross zero driver records. Scheduling
+    /// policy may only ever change wall-clock behaviour and the
+    /// observability counters.
+    #[test]
+    fn scheduler_modes_are_join_output_invariant(
+        seed in 0u64..1_000,
+        t in 0.05f64..0.2,
+    ) {
+        let w = workload(100, 0.3, seed);
+        let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+        let n = corpus.len() as u64;
+        let reference = collected_pairs(
+            &cluster_with(4, 0, 16, ShuffleConfig::unbounded())
+                .with_scheduler(SchedulerConfig {
+                    mode: SchedulerMode::Fifo,
+                    ..SchedulerConfig::default()
+                }),
+            &corpus,
+            t,
+        );
+        let modes = [
+            SchedulerConfig {
+                mode: SchedulerMode::Fifo,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                mode: SchedulerMode::Stealing,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                mode: SchedulerMode::Speculative,
+                speculate_after: Duration::from_millis(1),
+                straggle: None,
+            },
+            // Speculation with a seeded straggler on a mid-pipeline
+            // stage: the winning copy's output must be indistinguishable
+            // from the loser's.
+            SchedulerConfig {
+                mode: SchedulerMode::Speculative,
+                speculate_after: Duration::from_millis(1),
+                straggle: Some(StraggleInjection {
+                    stage: "tsj.shared_token".into(),
+                    micros: 20_000,
+                }),
+            },
+        ];
+        for shuffle in [
+            ShuffleConfig::unbounded(),
+            ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+        ] {
+            for threads in [2usize, 8] {
+                for partitions in [0usize, 5] {
+                    for sched in &modes {
+                        let cluster = cluster_with(threads, partitions, 16, shuffle.clone())
+                            .with_scheduler(sched.clone());
+                        let out = chained(&cluster, &corpus, t);
+                        prop_assert_eq!(
+                            &out.pairs,
+                            &reference,
+                            "mode = {:?}, straggle = {}, threads = {}, partitions = {}",
+                            sched.mode,
+                            sched.straggle.is_some(),
+                            threads,
+                            partitions
+                        );
+                        assert_driver_accounting(&out.report, n);
+                        if sched.mode != SchedulerMode::Speculative {
+                            prop_assert_eq!(out.report.total_speculative_launched(), 0);
+                            prop_assert_eq!(out.report.total_speculative_won(), 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     /// The acceptance guarantee: lazy DAG execution (cross-stage
     /// overlap), eager stage-at-a-time execution, and the collect-based

@@ -15,6 +15,15 @@
 //! | `no-ambient-env` | every crate's `src/**` except `crates/shims`, `crates/bench` | `env::var*`, `env::temp_dir`, `env::set_var`, `env::remove_var` outside `from_env` / `from_lookup` |
 //! | `no-wallclock-in-deterministic` | `dag*`, `dataset.rs`, `merge.rs`, `spill.rs` of `crates/mapreduce/src` | `Instant::now`, `SystemTime::now` |
 //!
+//! Scope note for `no-wallclock-in-deterministic`: `pool.rs` and
+//! `cluster.rs` sit deliberately *outside* the rule. The scheduler's
+//! straggler detection (`SchedulerConfig::speculate_after`, the queue-wait
+//! and wall-clock observability counters) is real-time *by design* — it
+//! reacts to how long tasks actually run. Those readings never feed the
+//! simulated cluster statistics, which stay pure functions of the data
+//! and configuration; the planning/merge modules in scope are where a
+//! wall-clock read could silently break that determinism.
+//!
 //! Escape hatch: a `// tsjlint:allow(<rule>) <reason>` line comment
 //! suppresses the *next* violation of `<rule>` on its own line or within
 //! the following [`ALLOW_WINDOW_LINES`] lines (one violation per

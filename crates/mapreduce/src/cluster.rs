@@ -12,23 +12,35 @@
 //! cannot drift apart.
 
 use std::collections::HashMap;
+use std::fs::File;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::dag::analyze::PlanCheck;
 use crate::dag::{execute, Feed, MapSource, Recv};
 use crate::dataset::{DataPartition, DatasetMode};
 use crate::job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
 use crate::merge::{merge_segments_capped, MergeEffort, Segment};
-use crate::pool::{lock, panic_message, Pool};
+use crate::pool::{
+    lock, panic_message, Pool, SchedStats, SchedulerConfig, SchedulerMode, TaskBody,
+};
 use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleConfig, ShuffleRecord};
 use crate::spill::{
     reserve_job_dir, reserve_job_spill_dir, RunMeta, RunReader, Spill, SpillDirGuard, SpillWriter,
 };
 use crate::transport::{InProcess, MapOutput, MultiProcess, ShuffleTransport, Transport};
+
+/// Spill/scratch/output file names must be distinct across a task's
+/// concurrent attempts ([`SchedulerMode::Speculative`] runs a primary and
+/// a speculative copy of the same task at once). Attempt `a` of task `t`
+/// uses spill task-id `t + a * ATTEMPT_STRIDE`; with at most two attempts
+/// this cannot collide with a real task index below the stride, and no
+/// stage has 2^20 map tasks (machine-capped).
+const ATTEMPT_STRIDE: usize = 1 << 20;
 
 /// A stage's boxed map function (`'f` is the execution lifetime: closures
 /// may borrow the corpus, filters, bitmaps — anything outliving the run).
@@ -204,6 +216,40 @@ pub struct Cluster {
     /// Whether diagnosed [`Dataset`](crate::dataset::Dataset) plans still
     /// execute (warn, the default) or fail before running (deny).
     plan_check: PlanCheck,
+    /// Worker-pool scheduling policy (mode, speculation threshold, seeded
+    /// straggler) shared by every job this cluster runs.
+    scheduler: SchedulerConfig,
+    /// Automatic skew response: when a dataset stage boundary's partition
+    /// sizes exceed `max/mean > ratio`, the planner inserts the existing
+    /// `repartition` behind the scenes. `None` (the default) disables it.
+    auto_repartition: Option<f64>,
+}
+
+/// Parses the `TSJ_AUTO_REPARTITION` skew-ratio override. A standalone
+/// struct so the environment read lives in a fn literally named
+/// `from_env`/`from_lookup` (the lint's sanctioned config-boundary shape).
+struct AutoRepartition(Option<f64>);
+
+impl AutoRepartition {
+    fn from_env() -> Self {
+        Self::from_lookup(|name| std::env::var_os(name))
+    }
+
+    fn from_lookup(lookup: impl Fn(&str) -> Option<std::ffi::OsString>) -> Self {
+        let Some(raw) = lookup("TSJ_AUTO_REPARTITION") else {
+            return Self(None);
+        };
+        match raw.to_str().and_then(|s| s.trim().parse::<f64>().ok()) {
+            Some(ratio) if ratio.is_finite() && ratio > 1.0 => Self(Some(ratio)),
+            _ => {
+                eprintln!(
+                    "tsj-mapreduce: ignoring invalid TSJ_AUTO_REPARTITION={raw:?} \
+                     (expected a finite max/mean skew ratio > 1.0); auto-repartition stays off"
+                );
+                Self(None)
+            }
+        }
+    }
 }
 
 impl Cluster {
@@ -214,10 +260,16 @@ impl Cluster {
     /// can be forced through the spill path or the multi-process exchange,
     /// `TSJ_DATASET_MODE` (see [`DatasetMode`]) so the lazy DAG
     /// scheduler can be differentially tested against stage-at-a-time
-    /// execution, and `TSJ_PLAN_CHECK` (see
+    /// execution, `TSJ_PLAN_CHECK` (see
     /// [`PlanCheck`]) so plan analysis can
-    /// be escalated from warn to deny. Use [`Cluster::with_shuffle_config`]
-    /// / [`Cluster::with_dataset_mode`] / [`Cluster::with_plan_check`] to
+    /// be escalated from warn to deny, `TSJ_SCHEDULER` /
+    /// `TSJ_SPECULATE_AFTER_US` / `TSJ_STRAGGLE_STAGE` + `TSJ_STRAGGLE_US`
+    /// (see [`SchedulerConfig`]) so the worker-pool scheduling policy can
+    /// be swept externally, and `TSJ_AUTO_REPARTITION` (a max/mean skew
+    /// ratio > 1.0) to enable automatic repartitioning of skewed dataset
+    /// stage boundaries. Use [`Cluster::with_shuffle_config`] /
+    /// [`Cluster::with_dataset_mode`] / [`Cluster::with_plan_check`] /
+    /// [`Cluster::with_scheduler`] / [`Cluster::with_auto_repartition`] to
     /// pin explicit configurations that ignore the environment.
     pub fn new(cfg: ClusterConfig) -> Self {
         let mut cfg = cfg;
@@ -227,6 +279,8 @@ impl Cluster {
             shuffle: ShuffleConfig::from_env(),
             dataset_mode: DatasetMode::from_env(),
             plan_check: PlanCheck::from_env(),
+            scheduler: SchedulerConfig::from_env(),
+            auto_repartition: AutoRepartition::from_env().0,
         }
     }
 
@@ -261,6 +315,26 @@ impl Cluster {
         self
     }
 
+    /// Pins the worker-pool scheduling policy (exactly as given — no
+    /// environment override). Output is byte-identical across modes; only
+    /// wall-clock behaviour and the scheduler observability counters
+    /// ([`JobStats::steals`] and friends) change.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables (or, with `None`, disables) automatic skew response: when a
+    /// [`Dataset`](crate::dataset::Dataset) stage's output partition sizes
+    /// cross `max/mean > ratio`, the planner inserts the existing
+    /// [`repartition`](crate::dataset::Dataset::repartition) behind the
+    /// scenes before the next stage. Ratios ≤ 1.0 are treated as disabled
+    /// (1.0 is perfect balance — nothing to fix).
+    pub fn with_auto_repartition(mut self, ratio: Option<f64>) -> Self {
+        self.auto_repartition = ratio.filter(|r| r.is_finite() && *r > 1.0);
+        self
+    }
+
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
     }
@@ -280,6 +354,16 @@ impl Cluster {
     /// execute (see [`PlanCheck`]).
     pub fn plan_check(&self) -> PlanCheck {
         self.plan_check
+    }
+
+    /// The worker-pool scheduling policy jobs run with.
+    pub fn scheduler(&self) -> &SchedulerConfig {
+        &self.scheduler
+    }
+
+    /// The automatic-repartition skew ratio, if enabled.
+    pub fn auto_repartition(&self) -> Option<f64> {
+        self.auto_repartition
     }
 
     pub fn machines(&self) -> usize {
@@ -497,9 +581,10 @@ impl Cluster {
         let workers = self.threads().min(tasks.max(1));
         execute(
             workers,
+            self.scheduler.clone(),
             vec![Box::new(move |pool: &Pool<'_>| {
                 let res = catch_unwind(AssertUnwindSafe(|| {
-                    run_stage_streamed(cluster, spec, feed, StageSink::Driver, pool)
+                    run_stage_streamed(cluster, spec, 0, feed, StageSink::Driver, pool)
                 }))
                 .unwrap_or_else(|p| {
                     Err(StageFailure::Job(JobError::WorkerPanic {
@@ -681,6 +766,7 @@ fn wave_barrier<T>(
 pub(crate) fn run_stage_streamed<'f, I, K, V, O>(
     cluster: &Cluster,
     spec: StageSpec<'f, I, K, V, O>,
+    priority: u32,
     input: Feed<'f, I>,
     sink: StageSink<'f, O>,
     pool: &Pool<'f>,
@@ -697,6 +783,25 @@ where
     let mut cost = cluster.cfg.cost;
     cost.reduce_group_overhead_secs = spec.group_overhead_secs;
     let spec = Arc::new(spec);
+
+    // Scheduler observability for this stage, shared by every submitted
+    // task; folded into the stage's JobStats at the end. Under
+    // [`SchedulerMode::Speculative`] tasks are submitted as replayable
+    // closures with a first-result-wins ticket cell: whichever attempt
+    // finishes first takes the ticket (and, for reduce tasks, the right to
+    // deliver the partition downstream); the loser's output is dropped.
+    let sched_stats = Arc::new(SchedStats::default());
+    let speculative = pool.scheduler().mode == SchedulerMode::Speculative;
+    // Injected straggler (tests/benchmarks): this stage's map task 0
+    // sleeps on its *primary* attempt only — simulating a slow node, the
+    // only slowness speculation can beat, since a re-run of a
+    // data-slow deterministic task is exactly as slow.
+    let straggle_us: Option<u64> = pool
+        .scheduler()
+        .straggle
+        .as_ref()
+        .filter(|s| s.stage == spec.name)
+        .map(|s| s.micros);
 
     // Base directory for this job's spill / exchange / stage-output
     // subdirectories; each is RAII-guarded so a job that fails mid-wave
@@ -735,25 +840,75 @@ where
                 let shuffle = Arc::clone(&shuffle);
                 let spill_dir = spill_dir.clone();
                 let ticket = WaveTicket::new(Arc::clone(&map_gather), ordinal);
-                pool.submit(Box::new(move || {
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        run_map_task(
-                            &spec,
-                            &shuffle,
-                            spill_dir.as_deref(),
-                            partitions,
-                            task,
-                            source,
-                        )
+                let body = if speculative {
+                    // Map sources read-share cleanly (slices, in-memory
+                    // partitions by reference, positional spill reads), so
+                    // every map task is replayable: `attempt` only picks
+                    // distinct spill file names and skips the injected
+                    // straggle on the speculative copy.
+                    let source = Arc::new(source);
+                    let ticket = Arc::new(Mutex::new(Some(ticket)));
+                    let sched = Arc::clone(&sched_stats);
+                    TaskBody::Replayable(Arc::new(move |attempt| {
+                        if attempt == 0 && task == 0 {
+                            if let Some(us) = straggle_us {
+                                std::thread::sleep(Duration::from_micros(us));
+                            }
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            run_map_task(
+                                &spec,
+                                &shuffle,
+                                spill_dir.as_deref(),
+                                partitions,
+                                task + attempt * ATTEMPT_STRIDE,
+                                &source,
+                            )
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(JobError::WorkerPanic {
+                                phase: "map",
+                                message: panic_message(p),
+                            })
+                        });
+                        if let Some(ticket) = lock(&ticket).take() {
+                            if attempt > 0 {
+                                sched.speculative_won.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ticket.complete(result);
+                        }
                     }))
-                    .unwrap_or_else(|p| {
-                        Err(JobError::WorkerPanic {
-                            phase: "map",
-                            message: panic_message(p),
-                        })
-                    });
-                    ticket.complete(result);
-                }));
+                } else {
+                    TaskBody::Once(Box::new(move || {
+                        // The injection fires in every mode (a straggling
+                        // node doesn't care about the scheduler) — which is
+                        // what lets benchmarks compare a straggled FIFO
+                        // baseline against speculation on equal footing.
+                        if task == 0 {
+                            if let Some(us) = straggle_us {
+                                std::thread::sleep(Duration::from_micros(us));
+                            }
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            run_map_task(
+                                &spec,
+                                &shuffle,
+                                spill_dir.as_deref(),
+                                partitions,
+                                task,
+                                &source,
+                            )
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(JobError::WorkerPanic {
+                                phase: "map",
+                                message: panic_message(p),
+                            })
+                        });
+                        ticket.complete(result);
+                    }))
+                };
+                pool.submit(body, priority, Some(Arc::clone(&sched_stats)));
             }
             Recv::Closed { failed } => break failed,
         }
@@ -873,35 +1028,104 @@ where
         let merge_scratch = merge_scratch.clone();
         let feed_sink = feed_sink.clone();
         let ticket = WaveTicket::new(Arc::clone(&reduce_gather), task as u64);
-        pool.submit(Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                run_reduce_task(
-                    &spec,
-                    &shuffle,
-                    feed_sink.is_some(),
-                    stage_out_dir.as_ref().map(|g| g.0.as_path()),
-                    merge_scratch.as_deref(),
-                    machines,
-                    partition,
-                    segments,
-                )
-            }))
-            .unwrap_or_else(|p| {
-                Err(JobError::WorkerPanic {
-                    phase: "reduce",
-                    message: panic_message(p),
+        // A reduce task is replayable only when every segment is a spilled
+        // run: runs are re-readable (positional reads over shared files),
+        // so each attempt can rebuild its own segment set, whereas
+        // in-memory segments are consumed by grouping and cannot feed two
+        // attempts without `K: Clone`/`V: Clone` bounds the engine doesn't
+        // have.
+        let spilled_runs: Vec<(Arc<File>, RunMeta)> = if speculative {
+            segments
+                .iter()
+                .filter_map(|seg| match seg {
+                    Segment::Spilled { file, meta } => Some((Arc::clone(file), *meta)),
+                    Segment::Mem(_) => None,
                 })
-            });
-            let result = result.map(|(out, part)| {
-                // Deliver the finished partition downstream immediately —
-                // the moment that makes the next stage's map task ready.
-                if let (Some((feed, base)), Some(part)) = (&feed_sink, part) {
-                    feed.push(base | task as u64, MapSource::Part(part));
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let body = if speculative && spilled_runs.len() == segments.len() {
+            drop(segments);
+            let ticket = Arc::new(Mutex::new(Some(ticket)));
+            let sched = Arc::clone(&sched_stats);
+            TaskBody::Replayable(Arc::new(move |attempt| {
+                let segments: Vec<Segment<K, V>> = spilled_runs
+                    .iter()
+                    .map(|(file, meta)| Segment::Spilled {
+                        file: Arc::clone(file),
+                        meta: *meta,
+                    })
+                    .collect();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_reduce_task(
+                        &spec,
+                        &shuffle,
+                        feed_sink.is_some(),
+                        stage_out_dir.as_ref().map(|g| g.0.as_path()),
+                        merge_scratch.as_deref(),
+                        machines,
+                        partition,
+                        attempt,
+                        segments,
+                    )
+                }))
+                .unwrap_or_else(|p| {
+                    Err(JobError::WorkerPanic {
+                        phase: "reduce",
+                        message: panic_message(p),
+                    })
+                });
+                // First result wins: only the ticket holder delivers the
+                // partition downstream and reports — the loser's output
+                // (and its run file, if any) is dropped on the floor.
+                if let Some(ticket) = lock(&ticket).take() {
+                    if attempt > 0 {
+                        sched.speculative_won.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let result = result.map(|(out, part)| {
+                        if let (Some((feed, base)), Some(part)) = (&feed_sink, part) {
+                            feed.push(base | task as u64, MapSource::Part(part));
+                        }
+                        out
+                    });
+                    ticket.complete(result);
                 }
-                out
-            });
-            ticket.complete(result);
-        }));
+            }))
+        } else {
+            TaskBody::Once(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_reduce_task(
+                        &spec,
+                        &shuffle,
+                        feed_sink.is_some(),
+                        stage_out_dir.as_ref().map(|g| g.0.as_path()),
+                        merge_scratch.as_deref(),
+                        machines,
+                        partition,
+                        0,
+                        segments,
+                    )
+                }))
+                .unwrap_or_else(|p| {
+                    Err(JobError::WorkerPanic {
+                        phase: "reduce",
+                        message: panic_message(p),
+                    })
+                });
+                let result = result.map(|(out, part)| {
+                    // Deliver the finished partition downstream immediately
+                    // — the moment that makes the next stage's map task
+                    // ready.
+                    if let (Some((feed, base)), Some(part)) = (&feed_sink, part) {
+                        feed.push(base | task as u64, MapSource::Part(part));
+                    }
+                    out
+                });
+                ticket.complete(result);
+            }))
+        };
+        pool.submit(body, priority, Some(Arc::clone(&sched_stats)));
     }
     let reduce_tasks = wave_barrier(&reduce_gather, reduce_submitted).map_err(StageFailure::Job)?;
     // Reduce has drained every exchange file; the directory can go.
@@ -980,20 +1204,27 @@ where
         reduce: reduce_sim,
         sim_total_secs,
         wall_secs: wall_start.elapsed().as_secs_f64(),
+        steals: sched_stats.steals.load(Ordering::Relaxed),
+        speculative_launched: sched_stats.speculative_launched.load(Ordering::Relaxed),
+        speculative_won: sched_stats.speculative_won.load(Ordering::Relaxed),
+        queue_wait_us: sched_stats.queue_wait_us.load(Ordering::Relaxed),
         counters,
     };
     Ok(StreamedResult { output, stats })
 }
 
 /// One map task: streams its source through `map`, with periodic combine
-/// and spill under a bounded shuffle. Runs on a pool worker.
+/// and spill under a bounded shuffle. Runs on a pool worker. Takes its
+/// source by reference so a speculative attempt can re-read it; `task`
+/// is already attempt-distinct (see [`ATTEMPT_STRIDE`]) so concurrent
+/// attempts never collide on a spill file name.
 fn run_map_task<'f, I, K, V, O>(
     spec: &StageSpec<'f, I, K, V, O>,
     shuffle: &ShuffleConfig,
     spill_dir: Option<&SpillDirGuard>,
     partitions: usize,
     task: usize,
-    source: MapSource<'f, I>,
+    source: &MapSource<'f, I>,
 ) -> Result<MapTaskOut<K, V>, JobError>
 where
     I: Sync + Spill,
@@ -1046,17 +1277,17 @@ where
     }
     match source {
         MapSource::Chunk(records) => {
-            for record in records {
+            for record in *records {
                 feed!(record);
             }
         }
         MapSource::Part(DataPartition::Mem(records)) => {
-            for record in &records {
+            for record in records {
                 feed!(record);
             }
         }
         MapSource::Part(DataPartition::Spilled { file, meta }) => {
-            let mut reader = RunReader::new(file, meta);
+            let mut reader = RunReader::new(Arc::clone(file), *meta);
             while let Some((_h, (), record)) = reader.next::<(), I>()? {
                 feed!(&record);
             }
@@ -1097,7 +1328,9 @@ where
 /// streaming k-way sort-merge when anything spilled) and feeds each key's
 /// values to `reduce`. Returns the measured task plus — for dataset
 /// stages — the finished output partition to deliver downstream. Runs on
-/// a pool worker.
+/// a pool worker. `attempt > 0` (a speculative copy) suffixes the merge
+/// scratch and stage-output file names so concurrent attempts never
+/// collide; a losing attempt's files are swept with the job directories.
 #[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn run_reduce_task<'f, I, K, V, O>(
     spec: &StageSpec<'f, I, K, V, O>,
@@ -1107,6 +1340,7 @@ fn run_reduce_task<'f, I, K, V, O>(
     merge_scratch: Option<&Path>,
     machines: usize,
     partition: usize,
+    attempt: usize,
     segments: Vec<Segment<K, V>>,
 ) -> Result<(ReduceTaskOut<O>, Option<DataPartition<O>>), JobError>
 where
@@ -1132,7 +1366,13 @@ where
         merge = merge_segments_capped(
             segments,
             shuffle.merge_fan_in,
-            merge_scratch.map(|dir| dir.join(format!("reduce{partition}.merge"))),
+            merge_scratch.map(|dir| {
+                if attempt == 0 {
+                    dir.join(format!("reduce{partition}.merge"))
+                } else {
+                    dir.join(format!("reduce{partition}.s{attempt}.merge"))
+                }
+            }),
             |key, values| {
                 let n_values = values.len() as u64;
                 max_group = max_group.max(n_values);
@@ -1140,7 +1380,7 @@ where
                 work += n_values;
                 (spec.reduce)(&key, values, &mut sink);
                 if let Some(dir) = stage_out_dir {
-                    drain_stage_output(&mut sink, &mut out_writer, dir, partition)?;
+                    drain_stage_output(&mut sink, &mut out_writer, dir, partition, attempt)?;
                 }
                 Ok(())
             },
@@ -1175,7 +1415,7 @@ where
             work += n_values;
             (spec.reduce)(&key, values, &mut sink);
             if let Some(dir) = stage_out_dir {
-                drain_stage_output(&mut sink, &mut out_writer, dir, partition)
+                drain_stage_output(&mut sink, &mut out_writer, dir, partition, attempt)
                     .map_err(JobError::from)?;
             }
         }
@@ -1231,6 +1471,7 @@ fn drain_stage_output<O: Spill>(
     writer: &mut Option<SpillWriter>,
     dir: &Path,
     partition: usize,
+    attempt: usize,
 ) -> Result<(), crate::spill::SpillError> {
     if sink.out.is_empty() {
         return Ok(());
@@ -1238,7 +1479,13 @@ fn drain_stage_output<O: Spill>(
     let writer = match writer.take() {
         Some(w) => writer.insert(w),
         None => {
-            let path = dir.join(format!("part{partition}.run"));
+            // Speculative copies write attempt-suffixed run files so
+            // concurrent attempts of one partition never collide.
+            let path = if attempt == 0 {
+                dir.join(format!("part{partition}.run"))
+            } else {
+                dir.join(format!("part{partition}.s{attempt}.run"))
+            };
             writer.insert(SpillWriter::create(path)?)
         }
     };

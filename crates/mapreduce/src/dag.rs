@@ -41,10 +41,10 @@ pub mod analyze;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::dag::analyze::{NodeKind, PlanInfo, PlanNodeInfo};
+use crate::dag::analyze::{critical_path_depth, NodeKind, PlanInfo, PlanNodeInfo};
 use crate::dataset::DataPartition;
 use crate::job::{JobError, JobStats};
-use crate::pool::{lock, Pool};
+use crate::pool::{lock, Pool, SchedulerConfig};
 use crate::report::SimReport;
 use crate::spill::SpillDirGuard;
 
@@ -244,6 +244,15 @@ impl<'a> Builder<'a> {
         id
     }
 
+    /// Critical-path depth of a recorded node: hops along its consumer
+    /// chain to the collected terminal. Used as the node's stage task
+    /// priority — upstream stages outrank downstream ones, so the
+    /// scheduler keeps producers ahead of the consumers waiting on them
+    /// (cross-stage overlap by policy, not by luck).
+    pub(crate) fn depth_of(&self, id: usize) -> u32 {
+        critical_path_depth(&self.nodes, id)
+    }
+
     /// The structural graph recorded so far, for [`analyze::analyze_plan`].
     pub(crate) fn plan_info(&self) -> PlanInfo {
         PlanInfo::from_nodes(self.nodes.clone())
@@ -268,15 +277,16 @@ impl<'a> Builder<'a> {
     }
 }
 
-/// Runs a built graph: `threads` shared pool workers plus one driver
-/// thread per stage, all scoped. Returns when every driver has finished
-/// and the pool has drained.
-pub(crate) fn execute(threads: usize, thunks: Vec<DriverThunk<'_>>) {
-    let pool = Pool::new();
+/// Runs a built graph: `threads` shared pool workers (scheduling per
+/// `sched`) plus one driver thread per stage, all scoped. Returns when
+/// every driver has finished and the pool has drained.
+pub(crate) fn execute(threads: usize, sched: SchedulerConfig, thunks: Vec<DriverThunk<'_>>) {
     let threads = threads.max(1);
+    let pool = Pool::new(threads, sched);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| pool.run_worker());
+        for worker in 0..threads {
+            let pool = &pool;
+            scope.spawn(move || pool.run_worker(worker));
         }
         let drivers: Vec<_> = thunks
             .into_iter()

@@ -140,6 +140,55 @@ impl PlanInfo {
     pub fn nodes(&self) -> &[PlanNodeInfo] {
         &self.nodes
     }
+
+    /// Critical-path depth of a node — see [`critical_path_depth`].
+    pub fn depth_of(&self, id: usize) -> u32 {
+        critical_path_depth(&self.nodes, id)
+    }
+}
+
+/// Critical-path depth of node `id`: hops along its consumer chain to the
+/// collected terminal (`consumer: None`). The terminal's direct producers
+/// have depth 1, their producers 2, and so on — so *upstream* nodes carry
+/// *higher* depths. The scheduler uses this as task priority: scheduling
+/// upstream stages first keeps every downstream consumer fed, which is
+/// the policy form of cross-stage overlap. Dangling edges and cycles
+/// (possible only in synthetic graphs) stop the walk instead of looping.
+pub fn critical_path_depth(nodes: &[PlanNodeInfo], id: usize) -> u32 {
+    let mut depth = 0u32;
+    let mut cur = id;
+    // Hop budget = node count: a well-formed chain can't be longer, and a
+    // cyclic synthetic graph terminates instead of spinning.
+    for _ in 0..nodes.len() {
+        match nodes.get(cur).and_then(|n| n.consumer) {
+            Some(c) if c < nodes.len() => {
+                depth += 1;
+                cur = c;
+            }
+            _ => break,
+        }
+    }
+    depth
+}
+
+/// Partition skew of a materialized boundary: the largest partition's
+/// record count over the mean across the given (non-empty) partitions.
+/// `1.0` means perfectly balanced; the auto-repartition response
+/// ([`Cluster::with_auto_repartition`](crate::cluster::Cluster::with_auto_repartition))
+/// triggers when this crosses its configured ratio. Degenerate inputs
+/// (fewer than two partitions, or no records) report `1.0` — never
+/// skewed.
+pub fn partition_skew(records: &[u64]) -> f64 {
+    if records.len() < 2 {
+        return 1.0;
+    }
+    let total: u64 = records.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = records.iter().copied().max().unwrap_or(0);
+    let mean = total as f64 / records.len() as f64;
+    max as f64 / mean
 }
 
 /// One structural finding about a lowered plan. Stable codes (see
@@ -588,6 +637,38 @@ mod tests {
             PlanCheck::Warn
         );
         assert_eq!(PlanCheck::Deny.name(), "deny");
+    }
+
+    #[test]
+    fn critical_path_depth_counts_hops_to_the_terminal() {
+        // terminal stage <- interior stage <- input
+        let plan = PlanInfo::from_nodes(vec![
+            stage(0, None, "last"),
+            stage(1, Some(0), "first"),
+            input(2, Some(1), 10, 2),
+        ]);
+        assert_eq!(plan.depth_of(0), 0);
+        assert_eq!(plan.depth_of(1), 1);
+        assert_eq!(plan.depth_of(2), 2);
+        // Cycles and dangling edges terminate instead of spinning.
+        let mut a = stage(0, Some(1), "a");
+        let b = stage(1, Some(0), "b");
+        a.consumer = Some(1);
+        let cyclic = PlanInfo::from_nodes(vec![a, b]);
+        assert_eq!(cyclic.depth_of(0), 2);
+        let dangling = PlanInfo::from_nodes(vec![stage(0, Some(9), "lost")]);
+        assert_eq!(dangling.depth_of(0), 0);
+    }
+
+    #[test]
+    fn partition_skew_is_max_over_mean() {
+        assert_eq!(partition_skew(&[]), 1.0);
+        assert_eq!(partition_skew(&[100]), 1.0);
+        assert_eq!(partition_skew(&[0, 0]), 1.0);
+        assert_eq!(partition_skew(&[10, 10, 10, 10]), 1.0);
+        // One fat partition: 40 vs mean 10 → skew 4.
+        assert_eq!(partition_skew(&[40, 0, 0, 0]), 4.0);
+        assert!((partition_skew(&[30, 5, 5]) - 2.25).abs() < 1e-12);
     }
 
     #[test]

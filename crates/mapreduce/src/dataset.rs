@@ -98,7 +98,7 @@ use std::sync::Arc;
 use crate::cluster::{
     run_stage_streamed, Cluster, CombineFn, MapFn, ReduceFn, StageFailure, StageSink, StageSpec,
 };
-use crate::dag::analyze::{analyze_plan, NodeKind, PlanCheck, StageInfo};
+use crate::dag::analyze::{analyze_plan, partition_skew, NodeKind, PlanCheck, StageInfo};
 use crate::dag::{self, Builder, Feed, MapSource, StatsSlot};
 use crate::hash::fingerprint64;
 use crate::job::{Emitter, JobError, OutputSink};
@@ -349,11 +349,18 @@ where
         // (topological) order, which is what the report shows.
         let slot: Arc<StatsSlot> = b.new_slot();
         let spec = self.spec;
+        // Task priority = the stage's critical-path depth: upstream stages
+        // outrank the consumers waiting on them, so cross-stage overlap is
+        // scheduling policy, not luck. (Consumers are recorded before
+        // their producers, so this node's consumer chain — what the depth
+        // walks — is complete by now.)
+        let priority = b.depth_of(node);
         b.thunks.push(Box::new(move |pool| {
             let result = catch_unwind(AssertUnwindSafe(|| {
                 run_stage_streamed(
                     cluster,
                     spec,
+                    priority,
                     input,
                     StageSink::Feed {
                         feed: out.clone(),
@@ -384,6 +391,71 @@ where
             out.close_producer(ok);
         }));
     }
+}
+
+/// The automatic skew response ([`Cluster::with_auto_repartition`] /
+/// `TSJ_AUTO_REPARTITION`): when the child feeding a freshly recorded
+/// stage is a *materialized* boundary whose partition sizes cross the
+/// configured `max/mean` ratio, insert the existing repartition stage
+/// behind the scenes so the fat partition is spread before the consumer's
+/// map wave. Only materialized boundaries qualify — a still-lazy upstream
+/// stage's partition sizes are unknown at plan time (under
+/// [`DatasetMode::Eager`] every boundary is materialized, so the response
+/// engages after any skewed stage).
+///
+/// Works without `T: Clone` (which [`Dataset::repartition`] requires) by
+/// round-tripping each record through its [`Spill`] wire encoding: the
+/// shuffle key is the same `fingerprint64(bytes)` the manual stage uses,
+/// so the auto-inserted stage routes — and therefore orders — records
+/// exactly like `repartition(cluster.partitions())` would.
+fn maybe_auto_repartition<'a, T: Send + Sync + Spill + 'a>(
+    cluster: &'a Cluster,
+    plan: Plan<'a, T>,
+) -> Plan<'a, T> {
+    let Some(ratio) = cluster.auto_repartition() else {
+        return plan;
+    };
+    let skew = match &plan {
+        Plan::Materialized { parts, .. } => {
+            let mut sizes: Vec<u64> = parts.iter().map(DataPartition::records).collect();
+            // Empty partitions never materialize (their reduce tasks are
+            // skipped outright), so a stage that hashed everything into
+            // one partition surfaces here as a single part. Pad to the
+            // cluster's parallelism: output concentrated in fewer
+            // partitions than the cluster would use *is* the imbalance
+            // being measured.
+            if sizes.len() < cluster.partitions() {
+                sizes.resize(cluster.partitions(), 0);
+            }
+            partition_skew(&sizes)
+        }
+        _ => return plan,
+    };
+    if skew <= ratio {
+        return plan;
+    }
+    let partitions = cluster.partitions().max(1);
+    let spec: StageSpec<'a, T, u64, Vec<u8>, T> = StageSpec {
+        name: format!("repartition({partitions}).auto"),
+        group_overhead_secs: cluster.config().cost.reduce_group_overhead_secs,
+        partitions,
+        is_repartition: true,
+        map: Box::new(|record: &T, e: &mut Emitter<u64, Vec<u8>>| {
+            let mut bytes = Vec::new();
+            record.spill(&mut bytes);
+            e.emit(fingerprint64(&bytes), bytes);
+        }),
+        combine: None,
+        reduce: Box::new(|_h: &u64, blobs: Vec<Vec<u8>>, out: &mut OutputSink<T>| {
+            for blob in blobs {
+                let mut buf = blob.as_slice();
+                // tsjlint:allow(no-panic-in-data-plane) decoding bytes this stage's own map encoded
+                let record = T::restore(&mut buf).expect("auto-repartition wire round-trip");
+                out.emit(record);
+            }
+        }),
+    };
+    Plan::Stage(Box::new(StagePlan { child: plan, spec }))
 }
 
 /// Lowers a plan tree into the builder, delivering its output into `out`.
@@ -492,7 +564,7 @@ fn execute_plan<'a, T: Send + Sync + Spill + 'a>(
         });
     }
     let slots = b.slots.clone();
-    dag::execute(cluster.threads(), b.thunks);
+    dag::execute(cluster.threads(), cluster.scheduler().clone(), b.thunks);
     let mut report = dag::gather(&slots)?;
     report.add_plan_diagnostics(diagnostics);
     let (mut items, guards, driver_pending) = out.drain_terminal();
@@ -692,6 +764,12 @@ impl<'a, T: Send + Sync + Spill + 'a> Dataset<'a, T> {
             report,
             ..
         } = self;
+        let plan = if is_repartition {
+            // Never auto-repartition under an explicit repartition stage.
+            plan
+        } else {
+            maybe_auto_repartition(cluster, plan)
+        };
         let spec = StageSpec {
             name: name.to_owned(),
             group_overhead_secs,

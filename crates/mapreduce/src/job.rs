@@ -296,6 +296,20 @@ pub struct JobStats {
     pub sim_total_secs: f64,
     /// Real wall-clock the local execution took.
     pub wall_secs: f64,
+    /// Tasks of this job a pool worker stole from a peer's deque.
+    /// Real-scheduler observability (like `wall_secs`): depends on timing,
+    /// thread count, and scheduler mode — never feeds simulated stats.
+    pub steals: u64,
+    /// Speculative re-executions launched for this job's straggling tasks
+    /// (scheduler observability, nondeterministic; 0 outside
+    /// [`SchedulerMode::Speculative`](crate::pool::SchedulerMode)).
+    pub speculative_launched: u64,
+    /// Speculative attempts that finished *before* their primary and won
+    /// the first-result-wins race (the primary's output was dropped).
+    pub speculative_won: u64,
+    /// Total microseconds this job's tasks spent queued before a worker
+    /// picked them up (scheduler observability, nondeterministic).
+    pub queue_wait_us: u64,
     /// Aggregated user counters.
     pub counters: HashMap<&'static str, u64>,
 }

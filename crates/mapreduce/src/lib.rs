@@ -65,12 +65,13 @@ pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use dag::analyze::{
-    analyze_plan, NodeKind, PlanCheck, PlanDiagnostic, PlanInfo, PlanNodeInfo, StageInfo,
-    MERGE_FAN_IN_BUDGET,
+    analyze_plan, critical_path_depth, partition_skew, NodeKind, PlanCheck, PlanDiagnostic,
+    PlanInfo, PlanNodeInfo, StageInfo, MERGE_FAN_IN_BUDGET,
 };
 pub use dataset::{DataPartition, Dataset, DatasetMode};
 pub use hash::{fingerprint64, fingerprint_str, FxBuildHasher, FxHasher};
 pub use job::{Emitter, JobError, JobResult, JobStats, OutputSink, PhaseSim};
+pub use pool::{SchedulerConfig, SchedulerMode, StraggleInjection};
 pub use report::SimReport;
 pub use shuffle::{
     combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, ShuffleConfig, Sum,

@@ -122,6 +122,28 @@ impl SimReport {
         self.total_driver_in_records() + self.total_driver_out_records()
     }
 
+    /// Total tasks workers stole from a peer's deque across all jobs
+    /// (real-scheduler observability — nondeterministic, like wall-clock).
+    pub fn total_steals(&self) -> u64 {
+        self.jobs.iter().map(|j| j.steals).sum()
+    }
+
+    /// Total speculative re-executions launched across all jobs.
+    pub fn total_speculative_launched(&self) -> u64 {
+        self.jobs.iter().map(|j| j.speculative_launched).sum()
+    }
+
+    /// Total speculative attempts that beat their primary across all jobs.
+    pub fn total_speculative_won(&self) -> u64 {
+        self.jobs.iter().map(|j| j.speculative_won).sum()
+    }
+
+    /// Total microseconds tasks spent queued before a worker picked them
+    /// up, across all jobs.
+    pub fn total_queue_wait_us(&self) -> u64 {
+        self.jobs.iter().map(|j| j.queue_wait_us).sum()
+    }
+
     /// Average framed bytes per shuffled record across the jobs that
     /// actually moved bytes through a transport (the `xport(B/rec)`
     /// column's TOTAL) — the wire format's per-record cost, directly
@@ -148,11 +170,21 @@ fn bytes_per_record_cell(transport_bytes: u64, shuffle_records: u64) -> String {
     }
 }
 
+/// Renders one `spec(l/w)` cell: speculative attempts launched/won, blank
+/// when speculation never engaged.
+fn speculation_cell(launched: u64, won: u64) -> String {
+    if launched == 0 {
+        String::new()
+    } else {
+        format!("{launched}/{won}")
+    }
+}
+
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8} {:>7} {:>9} {:>9}",
             "job",
             "input",
             "emitted",
@@ -164,12 +196,15 @@ impl std::fmt::Display for SimReport {
             "groups",
             "output",
             "sim(s)",
-            "skew"
+            "skew",
+            "steals",
+            "spec(l/w)",
+            "qwait(ms)"
         )?;
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2}",
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2} {:>7} {:>9} {:>9.1}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
@@ -182,11 +217,14 @@ impl std::fmt::Display for SimReport {
                 j.output_records,
                 j.sim_total_secs,
                 j.reduce.skew,
+                j.steals,
+                speculation_cell(j.speculative_launched, j.speculative_won),
+                j.queue_wait_us as f64 / 1e3,
             )?;
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8} {:>7} {:>9} {:>9.1}",
             "TOTAL",
             "",
             self.total_map_output_records(),
@@ -199,7 +237,11 @@ impl std::fmt::Display for SimReport {
             self.total_driver_records(),
             "",
             "",
-            self.total_sim_secs()
+            self.total_sim_secs(),
+            "",
+            self.total_steals(),
+            speculation_cell(self.total_speculative_launched(), self.total_speculative_won()),
+            self.total_queue_wait_us() as f64 / 1e3,
         )?;
         for d in &self.plan_diagnostics {
             write!(f, "\nplan diagnostic: {d}")?;
@@ -299,6 +341,29 @@ mod tests {
         let mut r = SimReport::new();
         r.push(stats("a", 1.0, 0.0));
         assert_eq!(r.transport_bytes_per_record(), None);
+    }
+
+    #[test]
+    fn display_renders_scheduler_columns() {
+        let mut a = stats("a", 1.0, 0.0);
+        a.steals = 3;
+        a.speculative_launched = 2;
+        a.speculative_won = 1;
+        a.queue_wait_us = 1500;
+        // A job the scheduler never speculated renders a blank spec cell.
+        let b = stats("b", 1.0, 0.0);
+        let mut r = SimReport::new();
+        r.push(a);
+        r.push(b);
+        let rendered = format!("{r}");
+        assert!(rendered.contains("steals"));
+        assert!(rendered.contains("spec(l/w)"));
+        assert!(rendered.contains("qwait(ms)"));
+        assert!(rendered.contains("2/1"), "{rendered}");
+        assert_eq!(r.total_steals(), 3);
+        assert_eq!(r.total_speculative_launched(), 2);
+        assert_eq!(r.total_speculative_won(), 1);
+        assert_eq!(r.total_queue_wait_us(), 1500);
     }
 
     #[test]

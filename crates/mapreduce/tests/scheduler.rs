@@ -1,0 +1,321 @@
+//! Integration tests of the worker-pool scheduler: every scheduling
+//! policy (FIFO, priority work stealing, speculative re-execution)
+//! produces byte-identical output; a seeded straggler is beaten by a
+//! speculative copy (first completed result wins, the loser is
+//! dropped); and the automatic skew response inserts a `repartition`
+//! stage that routes records exactly like the manual one.
+
+use std::time::Duration;
+
+use tsj_mapreduce::{
+    Cluster, ClusterConfig, Count, DatasetMode, Emitter, OutputSink, SchedulerConfig,
+    SchedulerMode, ShuffleConfig, StraggleInjection, Transport,
+};
+
+fn cluster(threads: usize, partitions: usize, shuffle: ShuffleConfig) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        threads,
+        partitions,
+        ..ClusterConfig::default()
+    })
+    .with_shuffle_config(shuffle)
+    .with_dataset_mode(DatasetMode::Lazy)
+}
+
+fn fifo() -> SchedulerConfig {
+    SchedulerConfig {
+        mode: SchedulerMode::Fifo,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// The two-stage pipeline under test (word count → count histogram).
+/// Returns *unsorted* output so the assertions pin record order, not
+/// just the multiset.
+fn chained(c: &Cluster, docs: &[String]) -> (Vec<(u64, u64)>, tsj_mapreduce::SimReport) {
+    c.input(docs)
+        .map_reduce_combined(
+            "wordcount",
+            |doc: &String, e: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_owned(), 1);
+                }
+            },
+            &Count,
+            |w: &String, counts: Vec<u64>, out: &mut OutputSink<(String, u64)>| {
+                out.emit((w.clone(), counts.iter().sum()));
+            },
+        )
+        .unwrap()
+        .map_reduce_combined(
+            "histogram",
+            |&(_, n): &(String, u64), e: &mut Emitter<u64, u64>| e.emit(n, 1),
+            &Count,
+            |&n: &u64, ones: Vec<u64>, out: &mut OutputSink<(u64, u64)>| {
+                out.emit((n, ones.iter().sum()));
+            },
+        )
+        .unwrap()
+        .collect()
+        .unwrap()
+}
+
+fn docs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("w{} w{} w{} common shared{}", i % 7, i % 13, i, i % 3))
+        .collect()
+}
+
+#[test]
+fn scheduler_modes_are_byte_identical() {
+    // The non-negotiable invariant: scheduling policy changes wall-clock
+    // behaviour and observability counters, never output bytes or order.
+    let input = docs(120);
+    let speculative = SchedulerConfig {
+        mode: SchedulerMode::Speculative,
+        speculate_after: Duration::from_millis(1),
+        straggle: None,
+    };
+    for shuffle in [
+        ShuffleConfig::unbounded(),
+        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+    ] {
+        for threads in [1usize, 4] {
+            for partitions in [0usize, 5] {
+                let base = cluster(threads, partitions, shuffle.clone());
+                let (reference, _) = chained(&base.clone().with_scheduler(fifo()), &input);
+                for mode in [SchedulerMode::Stealing, SchedulerMode::Speculative] {
+                    let sched = match mode {
+                        SchedulerMode::Speculative => speculative.clone(),
+                        mode => SchedulerConfig {
+                            mode,
+                            ..SchedulerConfig::default()
+                        },
+                    };
+                    let c = base.clone().with_scheduler(sched);
+                    let (out, report) = chained(&c, &input);
+                    assert_eq!(
+                        out, reference,
+                        "{mode:?} vs FIFO: threads={threads} partitions={partitions} \
+                         shuffle={shuffle:?}"
+                    );
+                    if mode != SchedulerMode::Speculative {
+                        assert_eq!(report.total_speculative_launched(), 0);
+                    }
+                    assert_eq!(
+                        report.total_speculative_won(),
+                        report.jobs().iter().map(|j| j.speculative_won).sum::<u64>()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn speculation_beats_a_seeded_straggler() {
+    // Map task 0 of "wordcount" sleeps 600ms on its primary attempt
+    // only (a slow *node*, not slow *data*). An idle worker must launch
+    // a speculative copy after 5ms, the copy's result must win, and the
+    // wave barrier must release long before the straggler wakes — all
+    // without changing a byte of output.
+    let input = docs(64);
+    let shuffle = ShuffleConfig::unbounded();
+    let reference = chained(
+        &cluster(4, 3, shuffle.clone()).with_scheduler(fifo()),
+        &input,
+    )
+    .0;
+
+    let straggle_us = 600_000;
+    let c = cluster(4, 3, shuffle).with_scheduler(SchedulerConfig {
+        mode: SchedulerMode::Speculative,
+        speculate_after: Duration::from_millis(5),
+        straggle: Some(StraggleInjection {
+            stage: "wordcount".into(),
+            micros: straggle_us,
+        }),
+    });
+    let (out, report) = chained(&c, &input);
+    assert_eq!(out, reference, "first-result-wins must not perturb output");
+
+    let wordcount = report
+        .jobs()
+        .iter()
+        .find(|j| j.name == "wordcount")
+        .expect("wordcount job in report");
+    assert!(
+        wordcount.speculative_launched >= 1,
+        "no speculative copy launched: {wordcount:?}"
+    );
+    assert!(
+        wordcount.speculative_won >= 1,
+        "the speculative copy should beat a 600ms straggler: {wordcount:?}"
+    );
+    // The straggling primary still holds its worker for the full sleep,
+    // but the stage must complete off the speculative copy well before
+    // that: the whole wave is sub-millisecond work plus the 5ms
+    // speculation threshold.
+    assert!(
+        wordcount.wall_secs < straggle_us as f64 / 1e6 * 0.75,
+        "stage should not have waited out the straggler: wall={}s",
+        wordcount.wall_secs
+    );
+}
+
+#[test]
+fn straggler_without_speculation_waits_out_the_sleep() {
+    // Control for the test above: same injection under plain stealing
+    // has nothing to rescue the wave, so the stage wall clock eats the
+    // whole sleep. This pins that the injection actually fires.
+    let input = docs(16);
+    let c = cluster(4, 2, ShuffleConfig::unbounded()).with_scheduler(SchedulerConfig {
+        mode: SchedulerMode::Stealing,
+        speculate_after: Duration::from_millis(5),
+        straggle: Some(StraggleInjection {
+            stage: "wordcount".into(),
+            micros: 100_000,
+        }),
+    });
+    let reference = chained(&cluster(4, 2, ShuffleConfig::unbounded()), &input).0;
+    let (out, report) = chained(&c, &input);
+    assert_eq!(out, reference);
+    let wordcount = report
+        .jobs()
+        .iter()
+        .find(|j| j.name == "wordcount")
+        .expect("wordcount job in report");
+    assert!(
+        wordcount.wall_secs >= 0.1,
+        "the injected 100ms sleep should dominate the stage: wall={}s",
+        wordcount.wall_secs
+    );
+    assert_eq!(wordcount.speculative_launched, 0);
+    assert_eq!(wordcount.speculative_won, 0);
+}
+
+/// One skewed stage (every record routed to one partition by a
+/// constant key) followed by a per-record stage whose output order
+/// exposes the routing.
+fn skewed_then_double(
+    c: &Cluster,
+    input: &[u64],
+    manual_repartition: bool,
+) -> (Vec<u64>, tsj_mapreduce::SimReport) {
+    let mut skewed = c
+        .input(input)
+        .map_reduce(
+            "skew",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(0, n),
+            |_: &u64, ns: Vec<u64>, out: &mut OutputSink<u64>| {
+                for n in ns {
+                    out.emit(n);
+                }
+            },
+        )
+        .unwrap();
+    // Force the stage boundary to materialize inside the runtime so the
+    // planner can observe the partition-size statistics.
+    skewed.records().unwrap();
+    let skewed = if manual_repartition {
+        skewed.repartition(c.partitions()).unwrap()
+    } else {
+        skewed
+    };
+    skewed
+        .map_reduce(
+            "double",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |_: &u64, ns: Vec<u64>, out: &mut OutputSink<u64>| {
+                for n in ns {
+                    out.emit(n * 2);
+                }
+            },
+        )
+        .unwrap()
+        .collect()
+        .unwrap()
+}
+
+#[test]
+fn auto_repartition_matches_manual_repartition() {
+    // With every record of the "skew" stage in one partition
+    // (sizes [N,0,0,0] → skew 4.0), a cluster with auto-repartition
+    // enabled must insert the hidden stage and produce output
+    // byte-identical (same records, same order) to the manual
+    // `repartition(partitions)` call at the same boundary.
+    let input: Vec<u64> = (0..200).collect();
+    let c = cluster(4, 4, ShuffleConfig::unbounded());
+
+    let auto = c.clone().with_auto_repartition(Some(1.5));
+    let (auto_out, auto_report) = skewed_then_double(&auto, &input, false);
+    let (manual_out, manual_report) = skewed_then_double(&c, &input, true);
+
+    assert!(
+        auto_report
+            .jobs()
+            .iter()
+            .any(|j| j.name == "repartition(4).auto"),
+        "auto-inserted stage missing from report: {:?}",
+        auto_report
+            .jobs()
+            .iter()
+            .map(|j| j.name.clone())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        manual_report
+            .jobs()
+            .iter()
+            .any(|j| j.name == "repartition(4)"),
+        "manual repartition stage missing from its report"
+    );
+    assert_eq!(auto_out, manual_out, "auto vs manual repartition output");
+}
+
+#[test]
+fn auto_repartition_stays_out_of_balanced_boundaries() {
+    // A well-spread stage output must not trigger the skew response,
+    // and an explicit repartition stage must never be doubled up.
+    let input: Vec<u64> = (0..200).collect();
+    let c = cluster(4, 4, ShuffleConfig::unbounded()).with_auto_repartition(Some(4.0));
+
+    let mut spread = c
+        .input(&input)
+        .map_reduce(
+            "spread",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |_: &u64, ns: Vec<u64>, out: &mut OutputSink<u64>| {
+                for n in ns {
+                    out.emit(n);
+                }
+            },
+        )
+        .unwrap();
+    spread.records().unwrap();
+    let (_, report) = spread
+        .repartition(4)
+        .unwrap()
+        .map_reduce(
+            "double",
+            |&n: &u64, e: &mut Emitter<u64, u64>| e.emit(n, n),
+            |_: &u64, ns: Vec<u64>, out: &mut OutputSink<u64>| {
+                for n in ns {
+                    out.emit(n * 2);
+                }
+            },
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(
+        !report.jobs().iter().any(|j| j.name.ends_with(".auto")),
+        "auto repartition fired on a balanced or already-repartitioned boundary: {:?}",
+        report
+            .jobs()
+            .iter()
+            .map(|j| j.name.clone())
+            .collect::<Vec<_>>()
+    );
+}

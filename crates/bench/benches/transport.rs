@@ -1,18 +1,21 @@
 //! Shuffle-transport benchmarks: the same counting job run over the
-//! in-process segment handoff vs the multi-process file exchange, with
-//! and without mapper spill pressure.
+//! in-process segment handoff vs the multi-process file exchange vs the
+//! remote network shuffle, with and without mapper spill pressure.
 //!
-//! The point being measured: the exchange serializes every post-combine
+//! The point being measured: the exchanges serialize every post-combine
 //! record through the `Spill` wire codec into per-partition run files and
-//! streams them back in the reduce merge — real wall-clock (encode, I/O,
-//! decode) and simulated transport time, for byte-identical output. This
-//! is the local-disk stand-in for what a worker NIC would charge on a
-//! genuine cluster.
+//! stream them back in the reduce merge — real wall-clock (encode, I/O,
+//! for `remote` a loopback socket round trip per ranged read, decode)
+//! and simulated transport time, for byte-identical output. This is the
+//! local stand-in for what a worker NIC would charge on a genuine
+//! cluster.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tsj_mapreduce::{Cluster, Count, Emitter, JobResult, OutputSink, ShuffleConfig, Transport};
+use tsj_mapreduce::{
+    Cluster, Count, Emitter, FaultConfig, JobResult, OutputSink, ShuffleConfig, Transport,
+};
 
 /// A skewed key stream (Zipf-ish over ~64k distinct keys), the same
 /// workload shape as `benches/spill.rs` so the two reports compare.
@@ -48,6 +51,8 @@ fn bench_transport_job(c: &mut Criterion) {
     let multi_spilling = Cluster::with_machines(64).with_shuffle_config(
         ShuffleConfig::bounded(1024, 2048).with_transport(Transport::MultiProcess),
     );
+    let remote = Cluster::with_machines(64)
+        .with_shuffle_config(ShuffleConfig::unbounded().with_transport(Transport::Remote));
 
     let mut g = c.benchmark_group("transport_count_job");
     g.sample_size(10);
@@ -66,6 +71,9 @@ fn bench_transport_job(c: &mut Criterion) {
             )
         })
     });
+    g.bench_function("remote/200k", |b| {
+        b.iter(|| count_job(&remote, black_box(&keys), "bench.transport.remote"))
+    });
     g.finish();
 
     // Sanity + report outside the timed loops: identical output, bytes
@@ -76,15 +84,20 @@ fn bench_transport_job(c: &mut Criterion) {
     };
     let plain = count_job(&in_proc, &keys, "check.inprocess");
     assert_eq!(plain.stats.transport_bytes, 0);
-    for (cluster, label) in [(&multi, "unbounded"), (&multi_spilling, "spill2048")] {
-        let exchanged = count_job(cluster, &keys, "check.multiprocess");
+    for (cluster, label) in [
+        (&multi, "unbounded"),
+        (&multi_spilling, "spill2048"),
+        (&remote, "unbounded"),
+    ] {
+        let exchanged = count_job(cluster, &keys, "check.exchange");
         assert_eq!(sort(plain.output.clone()), sort(exchanged.output));
         assert!(exchanged.stats.transport_bytes > 0);
         assert!(exchanged.stats.transport_secs > 0.0);
         // v2 framing pin: a (u64, u64) record frames as 1 B length +
         // 1 B fingerprint delta + 16 B payload = 18 B/record (the v1
         // fixed frame cost 28). Regressing past 20 means the compact
-        // framing broke.
+        // framing broke. The remote exchange ships the identical run
+        // bytes, so the same pin covers it.
         let b_per_rec =
             exchanged.stats.transport_bytes as f64 / exchanged.stats.shuffle_records.max(1) as f64;
         assert!(
@@ -92,14 +105,46 @@ fn bench_transport_job(c: &mut Criterion) {
             "{label}: exchange cost {b_per_rec:.1} B/record exceeds the v2 framing budget"
         );
         println!(
-            "multi-process ({label}): {} KiB exchanged for {} shuffled records \
-             ({:.1} B/record), sim {:+.4}s vs in-process",
+            "{} ({label}): {} KiB exchanged for {} shuffled records \
+             ({:.1} B/record), sim {:+.4}s vs in-process{}",
+            exchanged.stats.transport,
             exchanged.stats.transport_bytes / 1024,
             exchanged.stats.shuffle_records,
-            exchanged.stats.transport_bytes as f64 / exchanged.stats.shuffle_records.max(1) as f64,
+            b_per_rec,
             exchanged.stats.sim_total_secs - plain.stats.sim_total_secs,
+            if exchanged.stats.fetch_requests > 0 {
+                format!(
+                    ", {} fetch rpcs / {} retries",
+                    exchanged.stats.fetch_requests, exchanged.stats.fetch_retries
+                )
+            } else {
+                String::new()
+            },
         );
     }
+
+    // The fault-injected remote run: every 5th server request dropped
+    // and a 200µs stall on the rest. Retries must absorb the faults
+    // without changing a byte of output or of exchanged volume.
+    let faulted = Cluster::with_machines(64).with_shuffle_config(
+        ShuffleConfig::unbounded()
+            .with_transport(Transport::Remote)
+            .with_net_fault(FaultConfig {
+                drop_nth: 5,
+                stall_us: 200,
+                seed: 3,
+            }),
+    );
+    let clean = count_job(&remote, &keys, "check.remote.clean");
+    let shaken = count_job(&faulted, &keys, "check.remote.faulted");
+    assert_eq!(sort(clean.output), sort(shaken.output));
+    assert_eq!(clean.stats.transport_bytes, shaken.stats.transport_bytes);
+    assert!(shaken.stats.fetch_retries > 0);
+    println!(
+        "remote (drop 1/5 + 200µs stall): {} fetch rpcs, {} retries, \
+         output and exchanged volume unchanged",
+        shaken.stats.fetch_requests, shaken.stats.fetch_retries,
+    );
 }
 
 criterion_group! {

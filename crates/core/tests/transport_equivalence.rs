@@ -1,16 +1,17 @@
 //! The transport differential harness: a full TSJ self-join (including
-//! the MassJoin token-join stages) run over the `MultiProcess` shuffle
-//! transport must produce output *byte-identical* to the default
-//! `InProcess` handoff — across real thread counts, shuffle partition
-//! counts, simulated machine counts, and bounded/unbounded shuffle
-//! memory configurations. A transport bug does not crash; it silently
-//! corrupts join output — this harness is the deliverable that makes the
-//! exchange trustworthy.
+//! the MassJoin token-join stages) run over the `MultiProcess` file
+//! exchange or the `Remote` network shuffle must produce output
+//! *byte-identical* to the default `InProcess` handoff — across real
+//! thread counts, shuffle partition counts, simulated machine counts,
+//! and bounded/unbounded shuffle memory configurations, and (for the
+//! network path) under deterministic injected connection faults. A
+//! transport bug does not crash; it silently corrupts join output —
+//! this harness is the deliverable that makes the exchange trustworthy.
 
 use proptest::prelude::*;
 use tsj::{ApproximationScheme, DedupStrategy, SimilarPair, TsjConfig, TsjJoiner};
 use tsj_datagen::workload;
-use tsj_mapreduce::{Cluster, ClusterConfig, ShuffleConfig, Transport};
+use tsj_mapreduce::{Cluster, ClusterConfig, FaultConfig, ShuffleConfig, Transport};
 use tsj_tokenize::{Corpus, NameTokenizer};
 
 fn cluster_with(
@@ -51,13 +52,13 @@ fn pairs(cluster: &Cluster, corpus: &Corpus, t: f64) -> Vec<SimilarPair> {
 }
 
 /// The shuffle configurations the differential sweep covers: unbounded
-/// and two spill pressures, each pushed through the multi-process
-/// exchange.
-fn multiprocess_configs() -> [ShuffleConfig; 3] {
+/// and two spill pressures, each pushed through the given exchange
+/// transport.
+fn exchange_configs(transport: Transport) -> [ShuffleConfig; 3] {
     [
-        ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
-        ShuffleConfig::bounded(24, 48).with_transport(Transport::MultiProcess),
-        ShuffleConfig::bounded(8, 8).with_transport(Transport::MultiProcess),
+        ShuffleConfig::unbounded().with_transport(transport),
+        ShuffleConfig::bounded(24, 48).with_transport(transport),
+        ShuffleConfig::bounded(8, 8).with_transport(transport),
     ]
 }
 
@@ -78,7 +79,7 @@ proptest! {
         let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
         let reference =
             pairs(&cluster_with(4, 0, 16, ShuffleConfig::unbounded()), &corpus, t);
-        for shuffle in multiprocess_configs() {
+        for shuffle in exchange_configs(Transport::MultiProcess) {
             for threads in [1usize, 2, 8] {
                 let got = pairs(&cluster_with(threads, 0, 16, shuffle.clone()), &corpus, t);
                 prop_assert_eq!(&got, &reference, "threads = {}", threads);
@@ -94,7 +95,33 @@ proptest! {
         }
     }
 
-    /// The merge fan-in cap composes with both transports at pipeline
+    /// The network shuffle joins the same sweep: map tasks publish runs
+    /// to the job's run server and reducers assemble their partitions
+    /// over ranged socket fetches, yet the verified join output must
+    /// stay byte-identical to the in-process reference across threads,
+    /// partitions, and spill pressure.
+    #[test]
+    fn remote_join_is_byte_identical_to_inprocess(
+        seed in 0u64..1_000,
+        t in 0.05f64..0.2,
+    ) {
+        let w = workload(100, 0.3, seed);
+        let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+        let reference =
+            pairs(&cluster_with(4, 0, 16, ShuffleConfig::unbounded()), &corpus, t);
+        for shuffle in exchange_configs(Transport::Remote) {
+            for threads in [1usize, 8] {
+                let got = pairs(&cluster_with(threads, 0, 16, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&got, &reference, "threads = {}", threads);
+            }
+            for partitions in [1usize, 5, 64] {
+                let got = pairs(&cluster_with(4, partitions, 16, shuffle.clone()), &corpus, t);
+                prop_assert_eq!(&got, &reference, "partitions = {}", partitions);
+            }
+        }
+    }
+
+    /// The merge fan-in cap composes with every transport at pipeline
     /// scale: tiny spill thresholds force many runs per partition, the
     /// hierarchical merge engages, and output is still byte-identical.
     #[test]
@@ -106,7 +133,11 @@ proptest! {
         let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
         let reference =
             pairs(&cluster_with(4, 0, 16, ShuffleConfig::unbounded()), &corpus, t);
-        for transport in [Transport::InProcess, Transport::MultiProcess] {
+        for transport in [
+            Transport::InProcess,
+            Transport::MultiProcess,
+            Transport::Remote,
+        ] {
             let shuffle = ShuffleConfig::bounded(8, 8)
                 .with_transport(transport)
                 .with_merge_fan_in(3);
@@ -187,6 +218,113 @@ fn multiprocess_reports_transport_bytes_on_every_job() {
     // The rendered report carries the transport column.
     let rendered = format!("{}", multi.report);
     assert!(rendered.contains("xport(B)"));
+}
+
+/// Every pipeline job under `Transport::Remote` crosses the socket for
+/// real: the fetch counters are live on every job, the fetched payload
+/// equals the deterministic exchange volume, and that volume matches
+/// the multi-process exchange byte-for-byte (both transports ship the
+/// identical spill-format runs).
+#[test]
+fn remote_reports_fetch_stats_on_every_job_and_matches_multiprocess_volume() {
+    let w = workload(200, 0.35, 7);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+
+    let multi = join(
+        &cluster_with(
+            4,
+            0,
+            16,
+            ShuffleConfig::unbounded().with_transport(Transport::MultiProcess),
+        ),
+        &corpus,
+        0.15,
+    );
+    let remote = join(
+        &cluster_with(
+            4,
+            0,
+            16,
+            ShuffleConfig::unbounded().with_transport(Transport::Remote),
+        ),
+        &corpus,
+        0.15,
+    );
+    assert_eq!(remote.pairs, multi.pairs);
+    let remote_jobs = remote.report.jobs();
+    let multi_jobs = multi.report.jobs();
+    assert_eq!(remote_jobs.len(), multi_jobs.len());
+    for (r, m) in remote_jobs.iter().zip(multi_jobs) {
+        assert_eq!(r.transport, "remote", "{}", r.name);
+        assert!(r.fetch_requests > 0, "{} never touched the socket", r.name);
+        assert_eq!(
+            r.fetch_bytes, r.transport_bytes,
+            "{}: fetched payload must equal the exchanged volume",
+            r.name
+        );
+        assert_eq!(
+            r.transport_bytes, m.transport_bytes,
+            "{}: remote and multi-process must ship identical run bytes",
+            r.name
+        );
+        assert!(r.transport_secs > 0.0, "{} transport not charged", r.name);
+    }
+    assert!(remote.report.total_fetch_requests() > 0);
+    assert_eq!(remote.report.total_fetch_retries(), 0, "no faults injected");
+    assert_eq!(
+        remote.report.total_fetch_bytes(),
+        remote.report.total_transport_bytes()
+    );
+    // The rendered report carries the fetch column.
+    let rendered = format!("{}", remote.report);
+    assert!(rendered.contains("fetch(rpc/retry)"));
+}
+
+/// Deterministic fault injection: with every 3rd fetch-service frame
+/// dropped server-side, the client's retry loop must absorb the faults
+/// — retries become visible in the stats, and the verified join output
+/// does not change by a single pair.
+#[test]
+fn remote_with_injected_faults_is_byte_identical_and_retries() {
+    let w = workload(150, 0.3, 21);
+    let corpus = Corpus::build(&w.strings, &NameTokenizer::default());
+    let clean = join(
+        &cluster_with(
+            4,
+            0,
+            16,
+            ShuffleConfig::bounded(16, 32).with_transport(Transport::Remote),
+        ),
+        &corpus,
+        0.15,
+    );
+    let faulty = join(
+        &cluster_with(
+            4,
+            0,
+            16,
+            ShuffleConfig::bounded(16, 32)
+                .with_transport(Transport::Remote)
+                .with_net_fault(FaultConfig {
+                    drop_nth: 3,
+                    stall_us: 100,
+                    seed: 1,
+                }),
+        ),
+        &corpus,
+        0.15,
+    );
+    assert!(
+        faulty.report.total_fetch_retries() > 0,
+        "a 1-in-3 drop rate across {} requests must force retries",
+        faulty.report.total_fetch_requests()
+    );
+    assert_eq!(faulty.pairs, clean.pairs, "faults must not change output");
+    assert_eq!(
+        faulty.report.total_transport_bytes(),
+        clean.report.total_transport_bytes(),
+        "the deterministic exchange volume must not see the faults"
+    );
 }
 
 /// Both dedup strategies and all three approximation schemes survive the

@@ -24,6 +24,18 @@
 //! and configuration; the planning/merge modules in scope are where a
 //! wall-clock read could silently break that determinism.
 //!
+//! The same reasoning keeps `crates/netshuffle/src` outside
+//! `no-wallclock-in-deterministic`: the run-fetch service is real
+//! network code, and its deadlines, idle timeouts, and retry backoff are
+//! wall-clock *by design* — a fetch that cannot time out is a hang, not
+//! a determinism win. What the network layer observes (retries, stalls)
+//! surfaces only through the wall-clock-class `JobStats` fetch counters;
+//! the bytes it moves are the same spill-format runs every transport
+//! ships, so job *output* stays deterministic without the rule.
+//! `netshuffle` remains fully inside `no-ambient-env`: its knobs arrive
+//! through `FetchConfig` / `FaultConfig` values constructed by
+//! `ShuffleConfig::from_lookup`, never from ambient `env::var` reads.
+//!
 //! Escape hatch: a `// tsjlint:allow(<rule>) <reason>` line comment
 //! suppresses the *next* violation of `<rule>` on its own line or within
 //! the following [`ALLOW_WINDOW_LINES`] lines (one violation per
@@ -980,6 +992,24 @@ mod tests {
         assert!(diags.iter().all(|d| d.rule == RULE_NO_WALLCLOCK));
         // cluster.rs measures real task time on purpose.
         assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn netshuffle_is_real_time_but_not_ambient_env() {
+        // The network layer's deadlines and backoff are wall-clock by
+        // design (see the module-docs scope note) — but its knobs must
+        // still arrive through config values, not ambient env reads.
+        let clock = "fn f() { let t = Instant::now(); }";
+        assert!(lint_source("crates/netshuffle/src/client.rs", clock).is_empty());
+        let env = "fn f() { let v = std::env::var(\"TSJ_NET_FAULT_DROP_NTH\"); }";
+        let diags = lint_source("crates/netshuffle/src/client.rs", env);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_NO_AMBIENT_ENV);
+        // Panics are also out of scope here: netshuffle surfaces
+        // structured errors by API contract, not by lint.
+        assert!(
+            lint_source("crates/netshuffle/src/server.rs", "fn f() { a.unwrap(); }").is_empty()
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::shuffle::{Combiner, PartitionedBuffer, ShuffleConfig, ShuffleRecord};
 use crate::spill::{
     reserve_job_dir, reserve_job_spill_dir, RunMeta, RunReader, Spill, SpillDirGuard, SpillWriter,
 };
-use crate::transport::{InProcess, MapOutput, MultiProcess, ShuffleTransport, Transport};
+use crate::transport::{InProcess, MapOutput, MultiProcess, Remote, ShuffleTransport, Transport};
 
 /// Spill/scratch/output file names must be distinct across a task's
 /// concurrent attempts ([`SchedulerMode::Speculative`] runs a primary and
@@ -630,10 +630,16 @@ struct MapTaskOut<K, V> {
     shuffled: u64,
     /// High-water mark of in-memory buffered records.
     peak_buffered: u64,
-    /// Partition-indexed in-memory output buffers.
+    /// Partition-indexed in-memory output buffers (drained to the
+    /// task's exchange file instead when `published` is set).
     parts: Vec<Vec<ShuffleRecord<K, V>>>,
-    /// Spill file + run directory, if this task spilled.
+    /// Spill file + run directory, if this task spilled (kept for stats
+    /// accounting even when published — the runs were raw-copied into
+    /// the exchange file).
     spill: Option<crate::shuffle::TaskSpill>,
+    /// Run-server key this task's output was published under (remote
+    /// transport only).
+    published: Option<u64>,
     counters: HashMap<&'static str, u64>,
 }
 
@@ -816,6 +822,26 @@ where
         .spill_threshold
         .map(|_| Arc::new(SpillDirGuard(reserve_job_spill_dir(&dir_base))));
 
+    // Remote transport: this stage's run server must exist *before* the
+    // map wave, because map tasks publish their exchange runs to it as
+    // they finish (overlapping the wave). Shared with every map task; the
+    // exchange-dir guard it holds keeps the directory alive for any
+    // speculative attempt still writing after the stage moves on.
+    let remote: Option<Arc<Remote>> = match shuffle.transport {
+        Transport::Remote => Some(Arc::new(
+            Remote::start(
+                reserve_job_dir(&dir_base, "tsj-exchange"),
+                shuffle.net_fault,
+            )
+            .map_err(|e| {
+                StageFailure::Job(JobError::Transport {
+                    message: format!("starting the run server: {e}"),
+                })
+            })?,
+        )),
+        Transport::InProcess | Transport::MultiProcess => None,
+    };
+
     // ---- Map wave (streaming) -----------------------------------------
     // One map task per ready input item, submitted to the shared pool the
     // moment the item arrives — for a driver slice every chunk is ready
@@ -839,6 +865,7 @@ where
                 let spec = Arc::clone(&spec);
                 let shuffle = Arc::clone(&shuffle);
                 let spill_dir = spill_dir.clone();
+                let remote = remote.clone();
                 let ticket = WaveTicket::new(Arc::clone(&map_gather), ordinal);
                 let body = if speculative {
                     // Map sources read-share cleanly (slices, in-memory
@@ -860,6 +887,7 @@ where
                                 &spec,
                                 &shuffle,
                                 spill_dir.as_deref(),
+                                remote.as_deref(),
                                 partitions,
                                 task + attempt * ATTEMPT_STRIDE,
                                 &source,
@@ -894,6 +922,7 @@ where
                                 &spec,
                                 &shuffle,
                                 spill_dir.as_deref(),
+                                remote.as_deref(),
                                 partitions,
                                 task,
                                 &source,
@@ -958,13 +987,28 @@ where
             spill_bytes += spill.bytes;
             spill_runs += spill.runs.iter().map(|runs| runs.len() as u64).sum::<u64>();
         }
-        outputs.push(MapOutput::new(task.parts, task.spill));
+        outputs.push(MapOutput::new(task.parts, task.spill).with_published(task.published));
     }
     let transport = shuffle.transport;
-    let exchange = match transport {
-        Transport::InProcess => InProcess.exchange(outputs, partitions),
-        Transport::MultiProcess => MultiProcess::new(reserve_job_dir(&dir_base, "tsj-exchange"))
-            .exchange(outputs, partitions),
+    let exchange = match (transport, &remote) {
+        (Transport::InProcess, _) => InProcess.exchange(outputs, partitions),
+        (Transport::MultiProcess, _) => {
+            MultiProcess::new(reserve_job_dir(&dir_base, "tsj-exchange"))
+                .exchange(outputs, partitions)
+        }
+        (Transport::Remote, Some(remote)) => {
+            let exchange = remote.exchange(outputs, partitions);
+            // Everything is fetched (or the exchange failed); either way
+            // nothing fetches after this — stop serving.
+            remote.stop();
+            exchange
+        }
+        // `remote` is Some exactly when the transport is Remote (set a
+        // few lines up); a structured error beats a panic in the data
+        // plane if that invariant ever breaks.
+        (Transport::Remote, None) => Err(std::io::Error::other(
+            "remote transport configured but no run server was started",
+        )),
     }
     .map_err(|e| {
         StageFailure::Job(JobError::Transport {
@@ -972,6 +1016,7 @@ where
         })
     })?;
     let transport_bytes = exchange.bytes_moved;
+    let fetch_stats = exchange.fetch;
     let partition_segments = exchange.partition_segments;
     // The exchange directory (if any) must outlive the reduce phase,
     // which streams the partition files it holds.
@@ -1208,6 +1253,9 @@ where
         speculative_launched: sched_stats.speculative_launched.load(Ordering::Relaxed),
         speculative_won: sched_stats.speculative_won.load(Ordering::Relaxed),
         queue_wait_us: sched_stats.queue_wait_us.load(Ordering::Relaxed),
+        fetch_requests: fetch_stats.requests,
+        fetch_retries: fetch_stats.retries,
+        fetch_bytes: fetch_stats.bytes,
         counters,
     };
     Ok(StreamedResult { output, stats })
@@ -1222,6 +1270,7 @@ fn run_map_task<'f, I, K, V, O>(
     spec: &StageSpec<'f, I, K, V, O>,
     shuffle: &ShuffleConfig,
     spill_dir: Option<&SpillDirGuard>,
+    remote: Option<&Remote>,
     partitions: usize,
     task: usize,
     source: &MapSource<'f, I>,
@@ -1309,6 +1358,23 @@ where
     };
     let spill = emitter.buffer.take_spill();
     let spilled = spill.as_ref().map_or(0, |s| s.records);
+    let peak_buffered = emitter.buffer.peak_buffered() as u64;
+    // Remote transport: serialize this task's output into its own
+    // exchange file and register it with the stage's run server *inside*
+    // the timed task — runs are servable the moment the task finishes,
+    // the writing overlaps the map wave, and the in-memory buffers are
+    // freed here instead of being held until the exchange.
+    let (parts, published) = match remote {
+        Some(remote) => {
+            remote
+                .publish_task(task as u64, emitter.buffer.into_parts(), spill.as_ref())
+                .map_err(|e| JobError::Transport {
+                    message: format!("publishing map task {task} runs: {e}"),
+                })?;
+            (Vec::new(), Some(task as u64))
+        }
+        None => (emitter.buffer.into_parts(), None),
+    };
     let cpu_secs = start.elapsed().as_secs_f64();
     let work = task_input + emitted + combine_work + spilled + emitter.work_units;
     Ok(MapTaskOut {
@@ -1317,9 +1383,10 @@ where
         input: task_input,
         emitted,
         shuffled: shuffled_in_mem + spilled,
-        peak_buffered: emitter.buffer.peak_buffered() as u64,
-        parts: emitter.buffer.into_parts(),
+        peak_buffered,
+        parts,
         spill,
+        published,
         counters: emitter.counters,
     })
 }

@@ -310,6 +310,23 @@ pub struct JobStats {
     /// Total microseconds this job's tasks spent queued before a worker
     /// picked them up (scheduler observability, nondeterministic).
     pub queue_wait_us: u64,
+    /// Logical fetch requests the remote transport's exchange issued
+    /// (directory lookups + ranged reads; 0 for the other transports).
+    /// Real-network observability (like `wall_secs`): never feeds
+    /// simulated stats — `transport_bytes` carries the deterministic
+    /// exchanged volume.
+    pub fetch_requests: u64,
+    /// Extra fetch attempts beyond each request's first (dropped
+    /// connections, timeouts — including injected faults). Retries are
+    /// idempotent ranged reads, so this counter moves without the job
+    /// output ever changing. Nondeterministic, never fed into simulated
+    /// stats.
+    pub fetch_retries: u64,
+    /// Payload bytes the fetch client actually received (successful
+    /// ranged reads only; equals `transport_bytes` when nothing is
+    /// dropped mid-run). Nondeterministic under faults, never fed into
+    /// simulated stats.
+    pub fetch_bytes: u64,
     /// Aggregated user counters.
     pub counters: HashMap<&'static str, u64>,
 }

@@ -14,8 +14,12 @@
 //!   to disk ([`spill`]) and reducers consume their partitions through a
 //!   streaming k-way sort-merge ([`merge`]), modelling genuinely
 //!   out-of-core workloads. The [`transport`] layer decides how map
-//!   output reaches reducers: an in-process segment handoff (default) or
-//!   a multi-process file exchange over the spill-run wire format, and
+//!   output reaches reducers: an in-process segment handoff (default), a
+//!   multi-process file exchange over the spill-run wire format, or a
+//!   network exchange ([`Transport::Remote`]) where map tasks publish
+//!   runs to a per-stage run server and reducers fetch them over a
+//!   socket with ranged reads, retries, and deadlines
+//!   ([`tsj_netshuffle`]), and
 //! * **A simulated cluster clock** — every map task and every reduce group
 //!   is individually timed, charged to one of `machines` *simulated*
 //!   machines (map tasks round-robin, reduce groups by key hash — exactly
@@ -77,4 +81,6 @@ pub use shuffle::{
     combine_records, Combiner, Count, Dedup, Min, PartitionedBuffer, ShuffleConfig, Sum,
 };
 pub use spill::{read_varint, write_varint, RunMeta, RunReader, Spill, SpillError, SpillWriter};
-pub use transport::{InProcess, MultiProcess, ShuffleTransport, Transport};
+pub use transport::{InProcess, MultiProcess, Remote, ShuffleTransport, Transport};
+// The network-shuffle knobs callers configure through [`ShuffleConfig`].
+pub use tsj_netshuffle::{FaultConfig, FetchStats};

@@ -144,6 +144,25 @@ impl SimReport {
         self.jobs.iter().map(|j| j.queue_wait_us).sum()
     }
 
+    /// Total logical fetch requests the remote transport issued across
+    /// all jobs (real-network observability — nondeterministic, like
+    /// wall-clock; zero for the other transports).
+    pub fn total_fetch_requests(&self) -> u64 {
+        self.jobs.iter().map(|j| j.fetch_requests).sum()
+    }
+
+    /// Total fetch retries (extra attempts after drops/timeouts,
+    /// injected faults included) across all jobs.
+    pub fn total_fetch_retries(&self) -> u64 {
+        self.jobs.iter().map(|j| j.fetch_retries).sum()
+    }
+
+    /// Total payload bytes the remote transport's fetch clients received
+    /// across all jobs.
+    pub fn total_fetch_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.fetch_bytes).sum()
+    }
+
     /// Average framed bytes per shuffled record across the jobs that
     /// actually moved bytes through a transport (the `xport(B/rec)`
     /// column's TOTAL) — the wire format's per-record cost, directly
@@ -180,11 +199,21 @@ fn speculation_cell(launched: u64, won: u64) -> String {
     }
 }
 
+/// Renders one `fetch(rpc/retry)` cell: remote-transport fetch requests
+/// and retries, blank for jobs that never fetched over the network.
+fn fetch_cell(requests: u64, retries: u64) -> String {
+    if requests == 0 {
+        String::new()
+    } else {
+        format!("{requests}/{retries}")
+    }
+}
+
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8} {:>7} {:>9} {:>9}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10} {:>8} {:>7} {:>9} {:>9} {:>16}",
             "job",
             "input",
             "emitted",
@@ -199,12 +228,13 @@ impl std::fmt::Display for SimReport {
             "skew",
             "steals",
             "spec(l/w)",
-            "qwait(ms)"
+            "qwait(ms)",
+            "fetch(rpc/retry)"
         )?;
         for j in &self.jobs {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2} {:>7} {:>9} {:>9.1}",
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8.2} {:>7} {:>9} {:>9.1} {:>16}",
                 j.name,
                 j.input_records,
                 j.map_output_records,
@@ -220,11 +250,12 @@ impl std::fmt::Display for SimReport {
                 j.steals,
                 speculation_cell(j.speculative_launched, j.speculative_won),
                 j.queue_wait_us as f64 / 1e3,
+                fetch_cell(j.fetch_requests, j.fetch_retries),
             )?;
         }
         write!(
             f,
-            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8} {:>7} {:>9} {:>9.1}",
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10.2} {:>8} {:>7} {:>9} {:>9.1} {:>16}",
             "TOTAL",
             "",
             self.total_map_output_records(),
@@ -242,6 +273,7 @@ impl std::fmt::Display for SimReport {
             self.total_steals(),
             speculation_cell(self.total_speculative_launched(), self.total_speculative_won()),
             self.total_queue_wait_us() as f64 / 1e3,
+            fetch_cell(self.total_fetch_requests(), self.total_fetch_retries()),
         )?;
         for d in &self.plan_diagnostics {
             write!(f, "\nplan diagnostic: {d}")?;
@@ -364,6 +396,25 @@ mod tests {
         assert_eq!(r.total_speculative_launched(), 2);
         assert_eq!(r.total_speculative_won(), 1);
         assert_eq!(r.total_queue_wait_us(), 1500);
+    }
+
+    #[test]
+    fn display_renders_fetch_column() {
+        let mut a = stats("a", 1.0, 0.0);
+        a.fetch_requests = 12;
+        a.fetch_retries = 3;
+        a.fetch_bytes = 4096;
+        // A non-remote job renders a blank fetch cell.
+        let b = stats("b", 1.0, 0.0);
+        let mut r = SimReport::new();
+        r.push(a);
+        r.push(b);
+        let rendered = format!("{r}");
+        assert!(rendered.contains("fetch(rpc/retry)"));
+        assert!(rendered.contains("12/3"), "{rendered}");
+        assert_eq!(r.total_fetch_requests(), 12);
+        assert_eq!(r.total_fetch_retries(), 3);
+        assert_eq!(r.total_fetch_bytes(), 4096);
     }
 
     #[test]

@@ -83,6 +83,7 @@ use std::sync::Arc;
 use crate::hash::{fingerprint64, FxBuildHasher};
 use crate::spill::{RunMeta, Spill, SpillWriter};
 use crate::transport::Transport;
+use tsj_netshuffle::FaultConfig;
 
 /// One shuffled record: the key's stable 64-bit fingerprint (computed once
 /// at emit time and reused for partition routing and machine assignment),
@@ -222,6 +223,13 @@ pub struct ShuffleConfig {
     /// pre-merged into scratch runs; see [`crate::merge`]). `None`
     /// (default) merges all runs in one pass. Values below 2 behave as 2.
     pub merge_fan_in: Option<usize>,
+    /// Deterministic server-side fault injection for the remote transport
+    /// (drop every n-th fetch request / stall each one; see
+    /// [`tsj_netshuffle::FaultConfig`]). The default injects nothing;
+    /// ignored by the other transports. Faults change fetch timing and
+    /// retry counters, never job output — every fetch is an idempotent
+    /// ranged read.
+    pub net_fault: FaultConfig,
 }
 
 impl ShuffleConfig {
@@ -250,6 +258,13 @@ impl ShuffleConfig {
     /// Caps the reduce-side merge fan-in (builder style).
     pub fn with_merge_fan_in(mut self, fan_in: usize) -> Self {
         self.merge_fan_in = Some(fan_in);
+        self
+    }
+
+    /// Injects deterministic network faults into the remote transport's
+    /// run servers (builder style).
+    pub fn with_net_fault(mut self, net_fault: FaultConfig) -> Self {
+        self.net_fault = net_fault;
         self
     }
 
@@ -295,12 +310,32 @@ impl ShuffleConfig {
                 None => {
                     eprintln!(
                         "tsj-mapreduce: ignoring invalid TSJ_SHUFFLE_TRANSPORT={raw:?} \
-                         (expected \"inprocess\" or \"multiprocess\"); using the default \
-                         in-process transport"
+                         (expected \"inprocess\", \"multiprocess\" or \"remote\"); using \
+                         the default in-process transport"
                     );
                     Transport::default()
                 }
             },
+        };
+        // Fault knobs accept 0 explicitly ("off"), unlike the record-count
+        // knobs above whose minimum useful value is 1.
+        let parse_fault = |name: &str| -> Option<u64> {
+            let raw = lookup(name)?;
+            match raw.to_str().and_then(|v| v.trim().parse::<u64>().ok()) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!(
+                        "tsj-mapreduce: ignoring invalid {name}={raw:?} \
+                         (expected a non-negative integer); using the default 0 (off)"
+                    );
+                    None
+                }
+            }
+        };
+        let net_fault = FaultConfig {
+            drop_nth: parse_fault("TSJ_NET_FAULT_DROP_NTH").unwrap_or(0),
+            stall_us: parse_fault("TSJ_NET_FAULT_STALL_US").unwrap_or(0),
+            seed: parse_fault("TSJ_NET_FAULT_SEED").unwrap_or(0),
         };
         Self {
             combine_threshold: parse_count("TSJ_COMBINE_THRESHOLD"),
@@ -308,6 +343,7 @@ impl ShuffleConfig {
             spill_dir: lookup("TSJ_SPILL_DIR").map(PathBuf::from),
             transport,
             merge_fan_in: parse_count("TSJ_MERGE_FAN_IN"),
+            net_fault,
         }
     }
 

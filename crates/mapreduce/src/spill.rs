@@ -453,6 +453,29 @@ impl SpillWriter {
         })
     }
 
+    /// Appends raw, already-framed wire-format bytes — e.g. a range of a
+    /// remote run fetched over the network shuffle. The caller brackets a
+    /// run with [`SpillWriter::offset`] before the first chunk and
+    /// [`SpillWriter::seal_raw_run`] after the last.
+    pub fn append_raw(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(chunk)?;
+        self.offset += chunk.len() as u64;
+        self.bytes += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Seals everything [`append_raw`](SpillWriter::append_raw)ed since
+    /// `offset` into one run of `records` records, returning its location
+    /// in this file.
+    pub fn seal_raw_run(&mut self, offset: u64, records: u64) -> RunMeta {
+        self.records += records;
+        RunMeta {
+            offset,
+            bytes: self.offset - offset,
+            records,
+        }
+    }
+
     /// Appends `records` (already sorted by fingerprint) as one run.
     pub fn write_run<K: Spill + Hash, V: Spill>(
         &mut self,

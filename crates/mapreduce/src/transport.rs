@@ -54,7 +54,13 @@
 
 use std::hash::Hash;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use tsj_netshuffle::{
+    FaultConfig, FetchClient, FetchConfig, FetchError, FetchStats, PublishedTask, Registry, RunKey,
+    RunServer, RunSpec, ServerAddr,
+};
 
 use crate::merge::Segment;
 use crate::shuffle::{ShuffleRecord, TaskSpill};
@@ -72,24 +78,38 @@ pub enum Transport {
     InProcess,
     /// File exchange over the spill-run wire format.
     MultiProcess,
+    /// Network exchange: map tasks publish their runs to a per-stage run
+    /// server ([`tsj_netshuffle`]) and the reduce side fetches them over
+    /// a socket with ranged reads, retries, and deadlines.
+    Remote,
 }
 
 impl Transport {
+    /// Every variant (for exhaustive config sweeps and round-trip tests).
+    pub const ALL: [Transport; 3] = [
+        Transport::InProcess,
+        Transport::MultiProcess,
+        Transport::Remote,
+    ];
+
     /// Stable lowercase name (what `TSJ_SHUFFLE_TRANSPORT` accepts and
     /// [`JobStats::transport`](crate::job::JobStats) reports).
     pub fn name(&self) -> &'static str {
         match self {
             Transport::InProcess => "in-process",
             Transport::MultiProcess => "multi-process",
+            Transport::Remote => "remote",
         }
     }
 
     /// Parses a `TSJ_SHUFFLE_TRANSPORT` value (ASCII case-insensitive;
-    /// hyphens and underscores optional).
+    /// hyphens and underscores optional). Accepts every
+    /// [`Transport::name`] spelling: `parse(t.name())` round-trips.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
             "inprocess" => Some(Transport::InProcess),
             "multiprocess" => Some(Transport::MultiProcess),
+            "remote" => Some(Transport::Remote),
             _ => None,
         }
     }
@@ -102,11 +122,26 @@ impl Transport {
 pub struct MapOutput<K, V> {
     pub(crate) parts: Vec<Vec<ShuffleRecord<K, V>>>,
     pub(crate) spill: Option<TaskSpill>,
+    /// The run-server task key this output was published under (set by
+    /// the map task itself, remote transport only): parts and spill were
+    /// already serialized into the task's exchange file, and the remote
+    /// exchange fetches by this key instead of touching them.
+    pub(crate) published: Option<u64>,
 }
 
 impl<K, V> MapOutput<K, V> {
     pub(crate) fn new(parts: Vec<Vec<ShuffleRecord<K, V>>>, spill: Option<TaskSpill>) -> Self {
-        Self { parts, spill }
+        Self {
+            parts,
+            spill,
+            published: None,
+        }
+    }
+
+    /// Tags the output with its run-server key (builder style).
+    pub(crate) fn with_published(mut self, published: Option<u64>) -> Self {
+        self.published = published;
+        self
     }
 }
 
@@ -118,8 +153,14 @@ pub struct Exchange<K, V> {
     /// Bytes serialized through the transport (0 for [`InProcess`]).
     pub bytes_moved: u64,
     /// Keeps the exchange directory alive until the reduce phase has
-    /// drained it; dropping removes the directory.
-    pub(crate) guard: Option<SpillDirGuard>,
+    /// drained it; dropping the last reference removes the directory
+    /// (shared because [`Remote`] holds it too, transitively keeping it
+    /// alive for any still-running speculative map attempt).
+    pub(crate) guard: Option<Arc<SpillDirGuard>>,
+    /// What the fetch client observed ([`Remote`] only; zero elsewhere).
+    /// Wall-clock-class observability — retries depend on timing and
+    /// injected faults, never on job content.
+    pub fetch: FetchStats,
 }
 
 /// A shuffle transport: turns the map phase's per-task outputs into
@@ -178,6 +219,7 @@ impl ShuffleTransport for InProcess {
             partition_segments,
             bytes_moved: 0,
             guard: None,
+            fetch: FetchStats::default(),
         })
     }
 }
@@ -234,7 +276,7 @@ impl ShuffleTransport for MultiProcess {
         tasks: Vec<MapOutput<K, V>>,
         partitions: usize,
     ) -> std::io::Result<Exchange<K, V>> {
-        let guard = SpillDirGuard(self.exchange_dir.clone());
+        let guard = Arc::new(SpillDirGuard(self.exchange_dir.clone()));
         // One exchange file per partition, created lazily so sparse
         // partitions (common with partitions ≈ machines ≫ keys) cost
         // nothing.
@@ -286,6 +328,231 @@ impl ShuffleTransport for MultiProcess {
             partition_segments,
             bytes_moved,
             guard: Some(guard),
+            fetch: FetchStats::default(),
+        })
+    }
+}
+
+/// The network transport: map tasks publish their output as per-task
+/// exchange files (`Remote::publish_task`, called *inside* the timed
+/// map task, overlapping the map wave) and register them with a per-stage
+/// [`RunServer`]; after the map barrier, [`Remote::exchange`] fetches
+/// every partition's runs back over a socket — directory lookups plus
+/// chunked ranged reads with retries — and assembles them into local
+/// per-partition run files for the ordinary sort-merge reduce.
+///
+/// The server listens on a loopback TCP port, so every fetched byte
+/// genuinely crosses the host boundary machinery (sockets, framing,
+/// deadlines) even though the simulation runs in one process.
+///
+/// # Determinism
+///
+/// Per partition, runs are fetched in map-task order, each task's runs in
+/// its published directory order (spilled runs before the in-memory
+/// leftover) — the same segment discipline the other transports produce,
+/// so job output is byte-identical. Retries cannot perturb this: every
+/// fetch is an idempotent ranged read, so a retried request yields the
+/// same bytes and only the wall-clock-class [`FetchStats`] differ.
+#[derive(Debug)]
+pub struct Remote {
+    /// Exchange directory (task files + fetched partition files), shared
+    /// with the [`Exchange`] guard and any speculative map attempt still
+    /// holding the transport.
+    guard: Arc<SpillDirGuard>,
+    /// This stage's job id in the run-server keyspace (process-unique).
+    job: u64,
+    registry: Arc<Registry>,
+    /// The stage's run server; taken out (and shut down) by
+    /// [`Remote::stop`] once the exchange has fetched everything.
+    server: Mutex<Option<RunServer>>,
+    addr: ServerAddr,
+    fetch_config: FetchConfig,
+}
+
+/// Process-wide job-id allocator for the run-server keyspace: stages
+/// never collide even when many clusters run concurrently (tests).
+static NEXT_JOB: AtomicU64 = AtomicU64::new(0);
+
+impl Remote {
+    /// Reserves `exchange_dir`, starts this stage's run server (loopback
+    /// TCP, ephemeral port) with `fault` injection, and allocates a fresh
+    /// job id.
+    pub(crate) fn start(exchange_dir: PathBuf, fault: FaultConfig) -> std::io::Result<Self> {
+        let registry = Arc::new(Registry::new());
+        let server = RunServer::bind_tcp(Arc::clone(&registry), fault)?;
+        let addr = server.addr().clone();
+        Ok(Self {
+            guard: Arc::new(SpillDirGuard(exchange_dir)),
+            job: NEXT_JOB.fetch_add(1, Ordering::Relaxed),
+            registry,
+            server: Mutex::new(Some(server)),
+            addr,
+            fetch_config: FetchConfig::default(),
+        })
+    }
+
+    /// Serializes one map task's output — spilled runs (raw byte copy)
+    /// then the sorted in-memory leftover, per partition — into the
+    /// task's own exchange file and registers it with the run server:
+    /// servable the moment the task finishes, while the map wave is still
+    /// running. Called from inside the map task; `task` is already
+    /// attempt-distinct under speculation, so concurrent attempts never
+    /// collide on a file or registry key.
+    ///
+    /// A task that produced nothing still registers (an empty directory
+    /// is a valid answer; an unknown task is an error).
+    pub(crate) fn publish_task<K: Spill + Hash, V: Spill>(
+        &self,
+        task: u64,
+        mut parts: Vec<Vec<ShuffleRecord<K, V>>>,
+        spill: Option<&TaskSpill>,
+    ) -> std::io::Result<()> {
+        let dir = &self.guard.0;
+        // The task's exchange file, opened on first written run.
+        fn open<'a>(
+            writer: &'a mut Option<SpillWriter>,
+            dir: &std::path::Path,
+            task: u64,
+        ) -> std::io::Result<&'a mut SpillWriter> {
+            match writer.take() {
+                Some(w) => Ok(writer.insert(w)),
+                None => {
+                    Ok(writer.insert(SpillWriter::create(dir.join(format!("task{task}.xruns")))?))
+                }
+            }
+        }
+        let mut writer: Option<SpillWriter> = None;
+        let mut dirs: Vec<Vec<RunSpec>> = Vec::with_capacity(parts.len());
+        for (p, segment) in parts.iter_mut().enumerate() {
+            let mut specs = Vec::new();
+            if let Some(spill) = spill {
+                for meta in &spill.runs[p] {
+                    let copied = open(&mut writer, dir, task)?.copy_raw_run(&spill.file, *meta)?;
+                    specs.push(run_spec(copied));
+                }
+            }
+            if !segment.is_empty() {
+                // Stable sort: equal-fingerprint records keep emit order,
+                // the same discipline as the other transports.
+                segment.sort_by_key(|(h, _, _)| *h);
+                specs.push(run_spec(open(&mut writer, dir, task)?.write_run(segment)?));
+            }
+            dirs.push(specs);
+        }
+        let file = match writer {
+            Some(w) => Some(w.into_reader()?.0),
+            None => None,
+        };
+        self.registry
+            .publish(self.job, task, PublishedTask { file, parts: dirs });
+        Ok(())
+    }
+
+    /// Shuts the run server down (idempotent). Called once the exchange
+    /// has fetched every partition — nothing fetches after that.
+    pub(crate) fn stop(&self) {
+        let server = self
+            .server
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        drop(server);
+    }
+}
+
+/// [`RunMeta`] → wire [`RunSpec`] (same fields, decoupled types: the
+/// netshuffle crate stays independent of the spill layer).
+fn run_spec(meta: RunMeta) -> RunSpec {
+    RunSpec {
+        offset: meta.offset,
+        bytes: meta.bytes,
+        records: meta.records,
+    }
+}
+
+fn fetch_io(err: FetchError) -> std::io::Error {
+    std::io::Error::other(format!("run fetch failed: {err}"))
+}
+
+impl ShuffleTransport for Remote {
+    fn name(&self) -> &'static str {
+        Transport::Remote.name()
+    }
+
+    fn exchange<K: Spill + Hash, V: Spill>(
+        &self,
+        tasks: Vec<MapOutput<K, V>>,
+        partitions: usize,
+    ) -> std::io::Result<Exchange<K, V>> {
+        // Map tasks already published everything; all the exchange needs
+        // is each winner's run-server key, in task order.
+        let mut keys = Vec::with_capacity(tasks.len());
+        for task in &tasks {
+            let Some(key) = task.published else {
+                return Err(std::io::Error::other(
+                    "remote exchange received a map output that was never published \
+                     to the run server",
+                ));
+            };
+            keys.push(key);
+        }
+        drop(tasks);
+
+        let mut client = FetchClient::new(self.addr.clone(), self.fetch_config);
+        let chunk = self
+            .fetch_config
+            .chunk
+            .clamp(1, tsj_netshuffle::protocol::MAX_FETCH_BYTES);
+        let mut bytes_moved = 0u64;
+        let mut partition_segments: Vec<Vec<Segment<K, V>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for (p, segments) in partition_segments.iter_mut().enumerate() {
+            // This partition's local reduce input, assembled run by run
+            // from the fetched byte ranges (created lazily: sparse
+            // partitions fetch nothing and cost nothing).
+            let mut writer: Option<SpillWriter> = None;
+            let mut metas: Vec<RunMeta> = Vec::new();
+            for &task in &keys {
+                let key = RunKey {
+                    job: self.job,
+                    partition: p as u32,
+                    task,
+                };
+                let specs = client.dir(key).map_err(fetch_io)?;
+                for spec in specs {
+                    let writer = match writer.take() {
+                        Some(w) => writer.insert(w),
+                        None => writer.insert(SpillWriter::create(
+                            self.guard.0.join(format!("part{p}.fetch")),
+                        )?),
+                    };
+                    let start = writer.offset();
+                    let mut done = 0u64;
+                    while done < spec.bytes {
+                        let len = chunk.min(spec.bytes - done);
+                        let bytes = client
+                            .fetch(key, spec.offset + done, len)
+                            .map_err(fetch_io)?;
+                        writer.append_raw(&bytes)?;
+                        done += len;
+                    }
+                    metas.push(writer.seal_raw_run(start, spec.records));
+                    bytes_moved += spec.bytes;
+                }
+            }
+            if let Some(writer) = writer {
+                let (file, _path) = writer.into_reader()?;
+                segments.extend(metas.into_iter().map(|meta| Segment::Spilled {
+                    file: Arc::clone(&file),
+                    meta,
+                }));
+            }
+        }
+        Ok(Exchange {
+            partition_segments,
+            bytes_moved,
+            guard: Some(Arc::clone(&self.guard)),
+            fetch: client.stats(),
         })
     }
 }
@@ -308,7 +575,11 @@ mod tests {
             let (p, r) = rec(k, v, partitions);
             parts[p].push(r);
         }
-        MapOutput { parts, spill: None }
+        MapOutput {
+            parts,
+            spill: None,
+            published: None,
+        }
     }
 
     /// Drains every segment of an exchange into (partition, record) order.
@@ -342,8 +613,96 @@ mod tests {
         for s in ["multiprocess", "multi-process", "MULTI_PROCESS"] {
             assert_eq!(Transport::parse(s), Some(Transport::MultiProcess), "{s}");
         }
+        for s in ["remote", "REMOTE", "Re-mote"] {
+            assert_eq!(Transport::parse(s), Some(Transport::Remote), "{s}");
+        }
         assert_eq!(Transport::parse("network"), None);
         assert_eq!(Transport::parse(""), None);
+    }
+
+    #[test]
+    fn transport_name_round_trips_through_parse_for_every_variant() {
+        for t in Transport::ALL {
+            assert_eq!(Transport::parse(t.name()), Some(t), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn remote_ships_the_same_records_as_inprocess() {
+        let partitions = 4;
+        let data_a: Vec<(u64, u64)> = (0..40).map(|i| (i % 11, i)).collect();
+        let data_b: Vec<(u64, u64)> = (0..25).map(|i| (i % 7, 100 + i)).collect();
+
+        let in_proc = InProcess
+            .exchange(
+                vec![mem_task(&data_a, partitions), mem_task(&data_b, partitions)],
+                partitions,
+            )
+            .unwrap();
+
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-remote-test");
+        let remote = Remote::start(dir.clone(), tsj_netshuffle::FaultConfig::default()).unwrap();
+        // Publish exactly as the map tasks would, then exchange over the
+        // socket.
+        let mut outputs = Vec::new();
+        for (task, data) in [(0u64, &data_a), (1, &data_b)] {
+            let out = mem_task(data, partitions);
+            remote.publish_task(task, out.parts, None).unwrap();
+            outputs.push(
+                MapOutput::new((0..partitions).map(|_| Vec::new()).collect(), None)
+                    .with_published(Some(task)),
+            );
+        }
+        let exchange = remote.exchange(outputs, partitions).unwrap();
+        remote.stop();
+        assert!(exchange.bytes_moved > 0);
+        assert!(exchange.fetch.requests > 0);
+        assert_eq!(exchange.fetch.bytes, exchange.bytes_moved);
+
+        assert_eq!(drain(exchange), drain(in_proc));
+        drop(remote);
+        assert!(!dir.exists(), "guard removes the exchange dir on drop");
+    }
+
+    #[test]
+    fn remote_exchange_matches_multiprocess_volume() {
+        let partitions = 3;
+        let data: Vec<(u64, u64)> = (0..60).map(|i| (i % 13, i)).collect();
+
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-exchange-test");
+        let multi = MultiProcess::new(dir)
+            .exchange(vec![mem_task(&data, partitions)], partitions)
+            .unwrap();
+
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-remote-test");
+        let remote = Remote::start(dir, tsj_netshuffle::FaultConfig::default()).unwrap();
+        let out = mem_task(&data, partitions);
+        remote.publish_task(0, out.parts, None).unwrap();
+        let exchange = remote
+            .exchange(
+                vec![
+                    MapOutput::new((0..partitions).map(|_| Vec::new()).collect(), None)
+                        .with_published(Some(0)),
+                ],
+                partitions,
+            )
+            .unwrap();
+        remote.stop();
+        // Same runs, same frames: the serialized exchange volume is
+        // byte-for-byte the multi-process one.
+        assert_eq!(exchange.bytes_moved, multi.bytes_moved);
+        assert_eq!(drain(exchange), drain(multi));
+    }
+
+    #[test]
+    fn remote_exchange_rejects_unpublished_outputs() {
+        let dir = reserve_job_dir(&std::env::temp_dir(), "tsj-remote-test");
+        let remote = Remote::start(dir, tsj_netshuffle::FaultConfig::default()).unwrap();
+        let err = remote
+            .exchange(vec![mem_task(&[(1, 1)], 2)], 2)
+            .expect_err("unpublished output must be a structured error");
+        assert!(err.to_string().contains("never published"));
+        remote.stop();
     }
 
     #[test]

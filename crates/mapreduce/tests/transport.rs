@@ -1,13 +1,15 @@
 //! Job-level tests of the shuffle transport: the multi-process file
-//! exchange must reproduce the in-process handoff's output exactly,
-//! account its bytes, charge simulated transport time, clean up its
-//! exchange directory, and compose with mapper spilling and the
-//! fan-in-capped hierarchical merge.
+//! exchange and the remote network exchange must reproduce the
+//! in-process handoff's output exactly, account their bytes (and
+//! fetches), charge simulated transport time, clean up their exchange
+//! directories, and compose with mapper spilling and the fan-in-capped
+//! hierarchical merge.
 
 use std::path::PathBuf;
 
 use tsj_mapreduce::{
-    Cluster, ClusterConfig, Count, Emitter, JobResult, OutputSink, ShuffleConfig, Transport,
+    Cluster, ClusterConfig, Count, Emitter, FaultConfig, JobResult, OutputSink, ShuffleConfig,
+    Transport,
 };
 
 fn cluster(machines: usize, threads: usize, partitions: usize, shuffle: ShuffleConfig) -> Cluster {
@@ -149,7 +151,11 @@ fn merge_fan_in_cap_engages_and_preserves_output() {
     };
     let reference = run(ShuffleConfig::unbounded());
 
-    for transport in [Transport::InProcess, Transport::MultiProcess] {
+    for transport in [
+        Transport::InProcess,
+        Transport::MultiProcess,
+        Transport::Remote,
+    ] {
         let uncapped = run(ShuffleConfig::bounded(4, 8).with_transport(transport));
         assert!(
             uncapped.stats.spill_runs > 16,
@@ -212,4 +218,127 @@ fn uncombined_jobs_cross_the_exchange_too() {
     assert_eq!(sorted(in_proc.output), sorted(multi.output));
     assert_eq!(multi.stats.reduce_groups, in_proc.stats.reduce_groups);
     assert!(multi.stats.transport_bytes > 0);
+}
+
+#[test]
+fn remote_wordcount_matches_inprocess_and_accounts_fetches() {
+    let docs = wordcount_docs(600);
+    let in_proc = wordcount(&cluster(8, 4, 0, ShuffleConfig::unbounded()), &docs);
+
+    let remote = wordcount(
+        &cluster(
+            8,
+            4,
+            0,
+            ShuffleConfig::unbounded().with_transport(Transport::Remote),
+        ),
+        &docs,
+    );
+    assert_eq!(remote.stats.transport, "remote");
+    assert_eq!(sorted(in_proc.output), sorted(remote.output));
+    assert_eq!(remote.stats.shuffle_records, in_proc.stats.shuffle_records);
+    // Every byte of the exchange crossed a socket: directory lookups plus
+    // at least one ranged read per run, and the fetched payload is
+    // exactly the exchanged volume when nothing drops.
+    assert!(remote.stats.transport_bytes > 0);
+    assert!(remote.stats.transport_secs > 0.0);
+    assert!(remote.stats.fetch_requests > 0);
+    assert_eq!(remote.stats.fetch_bytes, remote.stats.transport_bytes);
+    assert_eq!(remote.stats.fetch_retries, 0, "no faults, no retries");
+    // The in-process job never touches the fetch path.
+    assert_eq!(in_proc.stats.fetch_requests, 0);
+}
+
+#[test]
+fn remote_output_is_deterministic_across_threads_and_identical_to_multiprocess() {
+    // The remote exchange fetches the same runs the multi-process
+    // transport would copy, so once anything spills the two reduce
+    // through identical segment sets: unsorted outputs must be
+    // *identical*, not merely equal as multisets.
+    let docs = wordcount_docs(500);
+    let reference = wordcount(
+        &cluster(
+            8,
+            1,
+            0,
+            ShuffleConfig::bounded(16, 32).with_transport(Transport::MultiProcess),
+        ),
+        &docs,
+    )
+    .output;
+    for threads in [2usize, 8] {
+        for spill in [None, Some((16usize, 32usize))] {
+            let mut shuffle = match spill {
+                Some((c, s)) => ShuffleConfig::bounded(c, s),
+                None => ShuffleConfig::unbounded(),
+            };
+            shuffle.transport = Transport::Remote;
+            let got = wordcount(&cluster(8, threads, 0, shuffle), &docs).output;
+            assert_eq!(got, reference, "threads = {threads}, spill = {spill:?}");
+        }
+    }
+}
+
+#[test]
+fn remote_exchange_dir_is_cleaned_up() {
+    let base =
+        std::env::temp_dir().join(format!("tsj-remote-transport-test-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let docs = wordcount_docs(400);
+    let shuffle = ShuffleConfig {
+        combine_threshold: Some(16),
+        spill_threshold: Some(32),
+        spill_dir: Some(PathBuf::from(&base)),
+        transport: Transport::Remote,
+        ..ShuffleConfig::default()
+    };
+    let out = wordcount(&cluster(8, 4, 0, shuffle), &docs);
+    assert!(out.stats.spilled_records > 0, "job must actually spill");
+    assert!(out.stats.transport_bytes > 0);
+    let leftovers: Vec<_> = std::fs::read_dir(&base).unwrap().collect();
+    assert!(
+        leftovers.is_empty(),
+        "exchange + spill dirs must not outlive their job: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn remote_with_injected_faults_retries_and_output_is_unchanged() {
+    let docs = wordcount_docs(400);
+    let clean = wordcount(
+        &cluster(
+            8,
+            4,
+            0,
+            ShuffleConfig::unbounded().with_transport(Transport::Remote),
+        ),
+        &docs,
+    );
+    let faulty = wordcount(
+        &cluster(
+            8,
+            4,
+            0,
+            ShuffleConfig::unbounded()
+                .with_transport(Transport::Remote)
+                .with_net_fault(FaultConfig {
+                    drop_nth: 3,
+                    stall_us: 100,
+                    seed: 7,
+                }),
+        ),
+        &docs,
+    );
+    assert!(
+        faulty.stats.fetch_retries > 0,
+        "a 1-in-3 drop rate must force retries (got {} over {} requests)",
+        faulty.stats.fetch_retries,
+        faulty.stats.fetch_requests
+    );
+    assert_eq!(
+        faulty.output, clean.output,
+        "injected faults must never change job output"
+    );
+    assert_eq!(faulty.stats.transport_bytes, clean.stats.transport_bytes);
 }

@@ -1,19 +1,27 @@
 //! `tsjlint`: in-tree static analysis enforcing the runtime's invariants.
 //!
-//! The container has no crates.io access, so this is a small hand-rolled
-//! pass, not a `syn` AST walk: [`clean_source`] blanks comments, string /
+//! The container has no crates.io access, so this is a hand-rolled pass,
+//! not a `syn` AST walk: [`clean_source`] blanks comments, string /
 //! raw-string / char literals (preserving newlines, so line numbers map
 //! 1:1 to the original file) and parses `tsjlint:allow` directives;
 //! [`strip_cfg_test`] blanks `#[cfg(test)]` items (balanced-brace
-//! skipping, so nested test modules vanish wholesale); and a
-//! whole-identifier token scan applies the rules, scoped per module
-//! class:
+//! skipping, so nested test modules vanish wholesale); [`parse`] builds a
+//! structural layer over the cleaned token stream — matched delimiters,
+//! an item tree (mod / impl / fn boundaries with signatures), `let`
+//! bindings with their type / initializer / scope extents, and
+//! receiver-chain walking — and the rule pack in `rules` runs over that
+//! structure, scoped per module class:
 //!
 //! | rule | scope | forbids |
 //! |------|-------|---------|
 //! | `no-panic-in-data-plane` | `crates/mapreduce/src/**` | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!` |
 //! | `no-ambient-env` | every crate's `src/**` except `crates/shims`, `crates/bench` | `env::var*`, `env::temp_dir`, `env::set_var`, `env::remove_var` outside `from_env` / `from_lookup` |
 //! | `no-wallclock-in-deterministic` | `dag*`, `dataset.rs`, `merge.rs`, `spill.rs` of `crates/mapreduce/src` | `Instant::now`, `SystemTime::now` |
+//! | `no-lossy-cast-on-wire-paths` | `protocol.rs`, `spill.rs`, `transport.rs` | truncating `as` casts to a narrower integer without `try_from`, a mask, or a bound |
+//! | `no-unbounded-alloc-from-wire` | `crates/netshuffle/src/**`, `spill.rs` | allocations sized from wire-decoded integers with no dominating bounds check |
+//! | `no-lock-across-io` | `crates/netshuffle/src/**`, `pool.rs` | lock guards held across socket/file I/O or a foreign `Condvar::wait` |
+//! | `no-silent-result-drop` | `crates/mapreduce/src/**`, `crates/netshuffle/src/**` | `let _ =` / bare-statement discards of `Result`-returning calls |
+//! | `no-hashmap-iter-in-output-path` | `crates/netshuffle/src/**`, output-feeding `mapreduce` modules | iterating std `HashMap`/`HashSet` where order reaches output or the wire |
 //!
 //! Scope note for `no-wallclock-in-deterministic`: `pool.rs` and
 //! `cluster.rs` sit deliberately *outside* the rule. The scheduler's
@@ -51,6 +59,9 @@
 //! pass can land strict even if a rule fires on legacy code — the
 //! workspace currently baselines nothing).
 
+pub mod parse;
+mod rules;
+
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -65,12 +76,39 @@ pub const RULE_NO_AMBIENT_ENV: &str = "no-ambient-env";
 /// Forbids wall-clock reads in the deterministic planning/merge modules
 /// (measurement belongs to the cluster's timed task paths).
 pub const RULE_NO_WALLCLOCK: &str = "no-wallclock-in-deterministic";
+/// Forbids truncating `as` casts to narrower integer widths on the wire
+/// codec paths; a silently wrapped length corrupts frames where an
+/// explicit `try_from` would refuse.
+pub const RULE_LOSSY_CAST: &str = "no-lossy-cast-on-wire-paths";
+/// Forbids allocations sized from wire-decoded integers that are not
+/// dominated by a bounds check — the classic length-prefix
+/// memory-exhaustion shape.
+pub const RULE_WIRE_ALLOC: &str = "no-unbounded-alloc-from-wire";
+/// Forbids holding a lock guard across socket/file I/O or a foreign
+/// `Condvar::wait` — the deadlock/convoy shape.
+pub const RULE_LOCK_IO: &str = "no-lock-across-io";
+/// Forbids silently discarding `Result`-returning calls (`let _ =`, bare
+/// statements) in the data-plane crates.
+pub const RULE_RESULT_DROP: &str = "no-silent-result-drop";
+/// Forbids iterating std `HashMap`/`HashSet` in modules that feed reduce
+/// output or wire encoding — hash order is arbitrary, and every
+/// byte-identity test depends on deterministic output.
+pub const RULE_HASHMAP_ITER: &str = "no-hashmap-iter-in-output-path";
 /// A `tsjlint:allow` directive that names an unknown rule or carries no
 /// reason.
 pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
 
 /// Every suppressible rule (what `tsjlint:allow(...)` accepts).
-pub const RULES: [&str; 3] = [RULE_NO_PANIC, RULE_NO_AMBIENT_ENV, RULE_NO_WALLCLOCK];
+pub const RULES: [&str; 8] = [
+    RULE_NO_PANIC,
+    RULE_NO_AMBIENT_ENV,
+    RULE_NO_WALLCLOCK,
+    RULE_LOSSY_CAST,
+    RULE_WIRE_ALLOC,
+    RULE_LOCK_IO,
+    RULE_RESULT_DROP,
+    RULE_HASHMAP_ITER,
+];
 
 /// How many lines below its own an allow directive still covers (one
 /// violation max). Wide enough that rustfmt reflowing the annotated
@@ -504,192 +542,6 @@ fn match_cfg_test(chars: &[char], i: usize) -> Option<usize> {
     Some(j)
 }
 
-/// One scanned token: an identifier or a single symbol char, with its
-/// 1-based source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String, usize),
-    Sym(char, usize),
-}
-
-fn tokenize(text: &str) -> Vec<Tok> {
-    let chars: Vec<char> = text.chars().collect();
-    let mut toks = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            line += 1;
-            i += 1;
-            continue;
-        }
-        if c.is_whitespace() {
-            i += 1;
-            continue;
-        }
-        if is_ident_char(c) {
-            let start = i;
-            while i < chars.len() && is_ident_char(chars[i]) {
-                i += 1;
-            }
-            toks.push(Tok::Ident(chars[start..i].iter().collect(), line));
-            continue;
-        }
-        toks.push(Tok::Sym(c, line));
-        i += 1;
-    }
-    toks
-}
-
-/// Which rules apply to a repo-relative path (forward slashes).
-#[derive(Debug, Clone, Copy)]
-struct Scope {
-    no_panic: bool,
-    no_env: bool,
-    no_wallclock: bool,
-}
-
-fn scope_of(path: &str) -> Scope {
-    let job_path = path.starts_with("crates/mapreduce/src/");
-    let deterministic = matches!(
-        path,
-        "crates/mapreduce/src/dag.rs"
-            | "crates/mapreduce/src/dataset.rs"
-            | "crates/mapreduce/src/merge.rs"
-            | "crates/mapreduce/src/spill.rs"
-    ) || path.starts_with("crates/mapreduce/src/dag/");
-    let env = !path.starts_with("crates/shims/") && !path.starts_with("crates/bench/");
-    Scope {
-        no_panic: job_path,
-        no_env: env,
-        no_wallclock: deterministic,
-    }
-}
-
-const ENV_BANNED: [&str; 7] = [
-    "var",
-    "var_os",
-    "vars",
-    "vars_os",
-    "temp_dir",
-    "set_var",
-    "remove_var",
-];
-
-/// Functions whose bodies may read the environment: the loud-fallback
-/// config constructors.
-const ENV_EXEMPT_FNS: [&str; 2] = ["from_env", "from_lookup"];
-
-/// Scans cleaned, test-stripped token text for rule violations.
-fn scan_tokens(path: &str, toks: &[Tok], scope: Scope) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    // Innermost-function context: (name, brace depth of its body).
-    let mut fn_stack: Vec<(String, usize)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
-    let mut depth = 0usize;
-
-    let ident_at = |idx: usize| -> Option<(&str, usize)> {
-        match toks.get(idx) {
-            Some(Tok::Ident(s, l)) => Some((s.as_str(), *l)),
-            _ => None,
-        }
-    };
-    let sym_at = |idx: usize, want: char| -> bool {
-        matches!(toks.get(idx), Some(Tok::Sym(c, _)) if *c == want)
-    };
-
-    for (idx, tok) in toks.iter().enumerate() {
-        match tok {
-            Tok::Sym('{', _) => {
-                depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    fn_stack.push((name, depth));
-                }
-            }
-            Tok::Sym('}', _) => {
-                if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
-                    fn_stack.pop();
-                }
-                depth = depth.saturating_sub(1);
-            }
-            Tok::Sym(';', _) => {
-                // `fn f();` in a trait: the pending body never comes.
-                pending_fn = None;
-            }
-            Tok::Ident(ident, line) => {
-                let (ident, line) = (ident.as_str(), *line);
-                if ident == "fn" {
-                    if let Some((name, _)) = ident_at(idx + 1) {
-                        pending_fn = Some(name.to_owned());
-                    }
-                    continue;
-                }
-                if scope.no_panic {
-                    if matches!(ident, "unwrap" | "expect") && sym_at(idx + 1, '(') {
-                        diags.push(Diagnostic {
-                            file: path.to_owned(),
-                            line,
-                            rule: RULE_NO_PANIC,
-                            message: format!(
-                                "`{ident}(` can kill a worker; propagate a JobError/SpillError \
-                                 instead (or justify with tsjlint:allow)"
-                            ),
-                        });
-                    }
-                    if matches!(ident, "panic" | "unreachable" | "todo") && sym_at(idx + 1, '!') {
-                        diags.push(Diagnostic {
-                            file: path.to_owned(),
-                            line,
-                            rule: RULE_NO_PANIC,
-                            message: format!(
-                                "`{ident}!` can kill a worker; propagate a JobError/SpillError \
-                                 instead (or justify with tsjlint:allow)"
-                            ),
-                        });
-                    }
-                }
-                if scope.no_wallclock
-                    && matches!(ident, "Instant" | "SystemTime")
-                    && sym_at(idx + 1, ':')
-                    && sym_at(idx + 2, ':')
-                    && ident_at(idx + 3).map(|(s, _)| s) == Some("now")
-                {
-                    diags.push(Diagnostic {
-                        file: path.to_owned(),
-                        line,
-                        rule: RULE_NO_WALLCLOCK,
-                        message: format!(
-                            "`{ident}::now` in a deterministic module; timing belongs to the \
-                             cluster's measured task paths"
-                        ),
-                    });
-                }
-                if scope.no_env && ident == "env" && sym_at(idx + 1, ':') && sym_at(idx + 2, ':') {
-                    if let Some((callee, _)) = ident_at(idx + 3) {
-                        let exempt = fn_stack
-                            .last()
-                            .is_some_and(|(name, _)| ENV_EXEMPT_FNS.contains(&name.as_str()));
-                        if ENV_BANNED.contains(&callee) && !exempt {
-                            diags.push(Diagnostic {
-                                file: path.to_owned(),
-                                line,
-                                rule: RULE_NO_AMBIENT_ENV,
-                                message: format!(
-                                    "`env::{callee}` outside a from_env/from_lookup constructor; \
-                                     route configuration through the config layer"
-                                ),
-                            });
-                        }
-                    }
-                }
-            }
-            Tok::Sym(..) => {}
-        }
-    }
-    diags
-}
-
 /// Applies allow directives: each directive suppresses the first
 /// violation of its rule on its own line or within the next
 /// [`ALLOW_WINDOW_LINES`] lines. Returns the surviving diagnostics.
@@ -714,7 +566,7 @@ fn apply_allows(mut diags: Vec<Diagnostic>, allows: &[Allow]) -> Vec<Diagnostic>
 /// Lints one file's source text. `path` is the repo-relative path
 /// (forward slashes) — it selects which rules apply.
 pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let scope = scope_of(path);
+    let scope = rules::scope_of(path);
     let cleaned = clean_source(src);
     let mut diags: Vec<Diagnostic> = cleaned
         .malformed
@@ -726,10 +578,10 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
             message: message.clone(),
         })
         .collect();
-    if scope.no_panic || scope.no_env || scope.no_wallclock {
+    if scope.any() {
         let stripped = strip_cfg_test(&cleaned.text);
-        let toks = tokenize(&stripped);
-        let found = scan_tokens(path, &toks, scope);
+        let toks = parse::tokenize(&stripped);
+        let found = rules::scan(path, &toks, &scope);
         diags.extend(apply_allows(found, &cleaned.allows));
     }
     diags.sort_by_key(|d| d.line);
@@ -1064,6 +916,284 @@ mod tests {
             rendered.starts_with("crates/mapreduce/src/cluster.rs:1:no-panic-in-data-plane:"),
             "{rendered}"
         );
+    }
+
+    // ---- no-lossy-cast-on-wire-paths ---------------------------------
+
+    const WIRE_PATH: &str = "crates/netshuffle/src/protocol.rs";
+
+    #[test]
+    fn lossy_cast_flags_narrowing_as() {
+        let src = "fn f(len: usize) -> u32 { len as u32 }";
+        let diags = lint_source(WIRE_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_LOSSY_CAST);
+    }
+
+    #[test]
+    fn lossy_cast_ignores_widening_bounded_and_masked_operands() {
+        let src = "fn f(n: u32, v: u64, x: usize) {\n\
+                   let wide = n as u64;\n\
+                   let size = n as usize;\n\
+                   let bounded = x.min(65535) as u16;\n\
+                   let masked = (v & 0x7f) as u8 | 0x80;\n\
+                   let literal = 200 as u8;\n\
+                   }";
+        assert!(lint_source(WIRE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_exempts_self_and_respects_scope() {
+        let src = "impl Tag { fn wire(&self) -> u8 { *self as u8 } }";
+        assert!(lint_source(WIRE_PATH, src).is_empty());
+        // Same narrowing cast outside the wire paths is out of scope.
+        let narrowing = "fn f(len: usize) -> u32 { len as u32 }";
+        assert!(lint_source("crates/netshuffle/src/client.rs", narrowing).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_allow_suppresses() {
+        let src = "fn f(len: usize) -> u32 {\n\
+                   // tsjlint:allow(no-lossy-cast-on-wire-paths) len is capped by the caller\n\
+                   len as u32\n}";
+        assert!(lint_source(WIRE_PATH, src).is_empty());
+    }
+
+    // ---- no-unbounded-alloc-from-wire --------------------------------
+
+    #[test]
+    fn wire_sized_alloc_without_check_is_flagged() {
+        let src = "fn f(raw: [u8; 4]) -> Vec<u8> {\n\
+                   let len = u32::from_le_bytes(raw) as usize;\n\
+                   let v = vec![0u8; len];\n\
+                   v\n}";
+        let diags = lint_source(WIRE_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_WIRE_ALLOC);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn wire_sized_with_capacity_and_read_exact_are_flagged() {
+        let src = "fn f(buf: &mut B, r: &mut R) {\n\
+                   let count = get_u32(buf) as usize;\n\
+                   let specs = Vec::with_capacity(count);\n\
+                   let n = read_varint(buf) as usize;\n\
+                   r.read_exact(&mut scratch[..n]);\n\
+                   }";
+        let diags = lint_source(WIRE_PATH, src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![RULE_WIRE_ALLOC, RULE_WIRE_ALLOC, RULE_RESULT_DROP],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dominating_bounds_check_exempts_the_alloc() {
+        let src = "fn f(raw: [u8; 4]) -> Option<Vec<u8>> {\n\
+                   let len = u32::from_le_bytes(raw) as usize;\n\
+                   if len > MAX_FETCH {\n\
+                       return None;\n\
+                   }\n\
+                   Some(vec![0u8; len])\n}";
+        assert!(lint_source(WIRE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn clamped_sizes_are_exempt_at_decode_or_use() {
+        let src = "fn f(buf: &mut B) {\n\
+                   let hint = read_varint(buf).min(1024);\n\
+                   let a = Vec::with_capacity(hint);\n\
+                   let raw = read_varint(buf);\n\
+                   let b = Vec::with_capacity(raw.min(1024));\n\
+                   }";
+        assert!(lint_source(WIRE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn non_wire_sizes_are_not_flagged() {
+        let src = "fn f(records: &[R]) {\n\
+                   let len = records.len();\n\
+                   let v = Vec::with_capacity(len);\n\
+                   }";
+        assert!(lint_source(WIRE_PATH, src).is_empty());
+    }
+
+    // ---- no-lock-across-io -------------------------------------------
+
+    const POOL_PATH: &str = "crates/mapreduce/src/pool.rs";
+
+    #[test]
+    fn guard_held_across_file_io_is_flagged() {
+        let src = "fn f(s: &S) {\n\
+                   let q = s.state.lock();\n\
+                   let r = s.file.write_all(b\"x\");\n\
+                   consume(q, r);\n}";
+        let diags = lint_source(POOL_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_LOCK_IO);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn dropping_the_guard_before_io_is_clean() {
+        let src = "fn f(s: &S) {\n\
+                   let q = s.state.lock();\n\
+                   let n = q.front();\n\
+                   drop(q);\n\
+                   let r = s.file.write_all(data);\n\
+                   consume(n, r);\n}";
+        assert!(lint_source(POOL_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn extractor_chains_do_not_bind_a_guard() {
+        let src = "fn f(s: &S) {\n\
+                   let server = s.server.lock().take();\n\
+                   let r = s.file.write_all(data);\n\
+                   consume(server, r);\n}";
+        assert!(lint_source(POOL_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_consuming_its_own_guard_is_clean() {
+        let src = "fn f(s: &S) {\n\
+                   let mut coord = s.coord.lock();\n\
+                   while coord.pending {\n\
+                       coord = s.ready.wait(coord);\n\
+                   }\n}";
+        assert!(lint_source(POOL_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_under_a_foreign_guard_is_flagged() {
+        let src = "fn f(s: &S) {\n\
+                   let own = s.own.lock();\n\
+                   let coord = s.coord.lock();\n\
+                   consume(own, s.ready.wait(coord));\n}";
+        let diags = lint_source(POOL_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_LOCK_IO);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn lock_rule_respects_scope() {
+        let src = "fn f(s: &S) {\n\
+                   let q = s.state.lock();\n\
+                   let r = s.file.write_all(b\"x\");\n\
+                   consume(q, r);\n}";
+        assert!(lint_source("crates/mapreduce/src/merge.rs", src).is_empty());
+    }
+
+    // ---- no-silent-result-drop ---------------------------------------
+
+    #[test]
+    fn let_underscore_discard_is_flagged() {
+        let src = "fn f(h: H) { let _ = h.join(); }";
+        let diags = lint_source(JOB_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_RESULT_DROP);
+    }
+
+    #[test]
+    fn bare_result_statement_is_flagged() {
+        let src = "fn f(w: &mut W) { w.flush(); }";
+        let diags = lint_source(JOB_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_RESULT_DROP);
+    }
+
+    #[test]
+    fn handled_results_are_clean() {
+        let src = "fn f(w: &mut W, h: H) -> io::Result<()> {\n\
+                   w.flush()?;\n\
+                   let r = w.flush();\n\
+                   if h.join().is_err() {\n\
+                       log();\n\
+                   }\n\
+                   r\n}";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_discard_is_exempt() {
+        let src = "fn f() { let _ = catch_unwind(AssertUnwindSafe(run)); }";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn result_drop_allow_suppresses() {
+        let src = "fn f(a: A) {\n\
+                   // tsjlint:allow(no-silent-result-drop) best-effort wakeup poke\n\
+                   let _ = connect(a);\n}";
+        assert!(lint_source("crates/netshuffle/src/server.rs", src).is_empty());
+    }
+
+    // ---- no-hashmap-iter-in-output-path ------------------------------
+
+    #[test]
+    fn hashmap_for_loop_in_output_path_is_flagged() {
+        let src = "fn emit(rows: &[R]) {\n\
+                   let mut groups: HashMap<u64, u32> = HashMap::default();\n\
+                   for r in rows {\n\
+                       groups.insert(r.k, r.v);\n\
+                   }\n\
+                   for (k, v) in &groups {\n\
+                       out(k, v);\n\
+                   }\n}";
+        let diags = lint_source(JOB_PATH, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_HASHMAP_ITER);
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn hashset_method_iteration_is_flagged() {
+        let src = "fn f() -> Vec<u64> {\n\
+                   let seen = HashSet::new();\n\
+                   seen.iter().copied().collect()\n}";
+        // The `HashSet` marker must appear in the type or initializer.
+        let typed = "fn f() -> Vec<u64> {\n\
+                   let seen: HashSet<u64> = Default::default();\n\
+                   seen.iter().copied().collect()\n}";
+        for src in [src, typed] {
+            let diags = lint_source(JOB_PATH, src);
+            assert_eq!(diags.len(), 1, "{diags:?}");
+            assert_eq!(diags[0].rule, RULE_HASHMAP_ITER);
+        }
+    }
+
+    #[test]
+    fn ordered_containers_and_point_lookups_are_clean() {
+        let src = "fn f(rows: &[R]) {\n\
+                   let mut index: BTreeMap<u64, u32> = BTreeMap::new();\n\
+                   for (k, v) in &index { out(k, v); }\n\
+                   let mut cache: HashMap<u64, u32> = HashMap::new();\n\
+                   cache.insert(1, 2);\n\
+                   let hit = cache.get(&1);\n\
+                   consume(rows, hit);\n}";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn same_named_field_access_is_not_the_binding() {
+        let src = "fn f(task: &T) {\n\
+                   let groups: HashMap<u64, u32> = HashMap::new();\n\
+                   let n = task.groups.iter().count();\n\
+                   consume(groups, n);\n}";
+        assert!(lint_source(JOB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iter_allow_suppresses() {
+        let src = "fn f() {\n\
+                   let groups: HashMap<u64, u32> = HashMap::new();\n\
+                   // tsjlint:allow(no-hashmap-iter-in-output-path) sorted by position before emit\n\
+                   for (k, v) in &groups { out(k, v); }\n}";
+        assert!(lint_source(JOB_PATH, src).is_empty());
     }
 
     // ---- baseline -----------------------------------------------------

@@ -71,6 +71,15 @@ fn main() -> ExitCode {
         if fresh.len() == 1 { "" } else { "s" },
         baselined.len()
     );
+    // Per-rule fresh counts (machine-grepable; CI lifts these into the
+    // step summary).
+    for rule in tsj_lint::RULES
+        .iter()
+        .chain(std::iter::once(&tsj_lint::RULE_MALFORMED_ALLOW))
+    {
+        let n = fresh.iter().filter(|d| d.rule == *rule).count();
+        eprintln!("tsjlint:   {rule}: {n}");
+    }
 
     if deny && !fresh.is_empty() {
         ExitCode::FAILURE

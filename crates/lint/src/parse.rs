@@ -1,0 +1,712 @@
+//! The structural layer under the v2 rules: a whole-identifier tokenizer,
+//! delimiter matching, and a lightweight brace-matching parser that turns
+//! cleaned (comment/literal-blanked, test-stripped) source text into an
+//! *item tree* — `mod` / `impl` / `fn` boundaries with function
+//! signatures — plus `let`-binding and receiver-chain analyses the rules
+//! build on.
+//!
+//! This is deliberately not a grammar-complete Rust parser (the build
+//! environment has no crates.io, so no `syn`): it recovers exactly the
+//! structure the rule pack needs — which function a token is in, where a
+//! binding's enclosing block ends, what expression feeds a cast or a
+//! call — and degrades by *skipping* anything it cannot shape, never by
+//! misattributing it. Token indices are stable, so every derived range
+//! (`Item::body`, `LetBinding::init`, ...) indexes the same token slice.
+
+use std::ops::Range;
+
+/// One scanned token: a whole identifier (keywords and numeric literals
+/// included — `is_ident_char` accepts digits) or a single symbol
+/// character, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier-ish run (`foo`, `r#match` minus the `#`, `0x7f`).
+    Ident(String, usize),
+    /// A single non-identifier, non-whitespace character.
+    Sym(char, usize),
+}
+
+impl Tok {
+    /// The token's 1-based source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Tok::Ident(_, l) | Tok::Sym(_, l) => *l,
+        }
+    }
+
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s, _) => Some(s),
+            Tok::Sym(..) => None,
+        }
+    }
+
+    /// Whether this is the symbol `want`.
+    pub fn is_sym(&self, want: char) -> bool {
+        matches!(self, Tok::Sym(c, _) if *c == want)
+    }
+
+    /// Whether this is the identifier `want`.
+    pub fn is_ident(&self, want: &str) -> bool {
+        matches!(self, Tok::Ident(s, _) if s == want)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes cleaned text into identifiers and single-symbol tokens with
+/// line numbers. Numeric literals lex as identifiers (`0x7f`); `_` is an
+/// identifier of its own.
+pub fn tokenize(text: &str) -> Vec<Tok> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_char(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect(), line));
+            continue;
+        }
+        toks.push(Tok::Sym(c, line));
+        i += 1;
+    }
+    toks
+}
+
+/// Matches `{}`, `()`, and `[]` pairs: `map[i]` is the index of the
+/// token matching the delimiter at `i`, or `i` itself for non-delimiters
+/// and unbalanced delimiters. Angle brackets are *not* matched here —
+/// `<`/`>` double as comparison operators; the parser tracks them
+/// contextually instead.
+pub fn match_delims(toks: &[Tok]) -> Vec<usize> {
+    let mut map: Vec<usize> = (0..toks.len()).collect();
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        match tok {
+            Tok::Sym(c @ ('{' | '(' | '['), _) => stack.push((*c, i)),
+            Tok::Sym(c @ ('}' | ')' | ']'), _) => {
+                let open = match c {
+                    '}' => '{',
+                    ')' => '(',
+                    _ => '[',
+                };
+                if let Some(&(kind, at)) = stack.last() {
+                    if kind == open {
+                        stack.pop();
+                        map[at] = i;
+                        map[i] = at;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// What an [`Item`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `mod` (or `trait` — both are named scopes holding further items).
+    Mod,
+    /// An `impl` block.
+    Impl,
+    /// A function, with its parsed signature.
+    Fn(FnSig),
+}
+
+/// The parts of a function signature the rules care about.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnSig {
+    /// Declared `async`.
+    pub is_async: bool,
+    /// Declared `unsafe`.
+    pub is_unsafe: bool,
+    /// The return type mentions `Result` (`Result<..>`, `io::Result<..>`).
+    pub returns_result: bool,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Its name (`mod`/`fn` name; the first type identifier for `impl`).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: usize,
+    /// Token range strictly inside the body braces; `None` for bodyless
+    /// items (`mod x;`, trait method declarations).
+    pub body: Option<Range<usize>>,
+    /// Nested items, including functions found inside statement blocks.
+    pub children: Vec<Item>,
+}
+
+/// Parses the item tree of a token slice. `delims` must come from
+/// [`match_delims`] over the same tokens.
+pub fn parse_items(toks: &[Tok], delims: &[usize]) -> Vec<Item> {
+    parse_range(toks, delims, 0..toks.len())
+}
+
+fn parse_range(toks: &[Tok], delims: &[usize], range: Range<usize>) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        match &toks[i] {
+            Tok::Ident(kw, line) if kw == "mod" || kw == "trait" => {
+                let Some(name) = toks.get(i + 1).and_then(Tok::ident) else {
+                    i += 1;
+                    continue;
+                };
+                // `mod x;` / `mod x { ... }` / `trait T: Bound { ... }`.
+                let mut j = i + 2;
+                while j < range.end && !toks[j].is_sym('{') && !toks[j].is_sym(';') {
+                    j += 1;
+                }
+                if j < range.end && toks[j].is_sym('{') && delims[j] > j {
+                    let close = delims[j];
+                    items.push(Item {
+                        kind: ItemKind::Mod,
+                        name: name.to_owned(),
+                        line: *line,
+                        body: Some(j + 1..close),
+                        children: parse_range(toks, delims, j + 1..close),
+                    });
+                    i = close + 1;
+                } else {
+                    items.push(Item {
+                        kind: ItemKind::Mod,
+                        name: name.to_owned(),
+                        line: *line,
+                        body: None,
+                        children: Vec::new(),
+                    });
+                    i = j.saturating_add(1);
+                }
+            }
+            Tok::Ident(kw, line) if kw == "impl" => {
+                // Name: the first type identifier at angle depth 0 after
+                // `impl` (skipping the generic parameter list).
+                let mut angle = 0i32;
+                let mut name = String::new();
+                let mut j = i + 1;
+                while j < range.end && !toks[j].is_sym('{') && !toks[j].is_sym(';') {
+                    match &toks[j] {
+                        Tok::Sym('<', _) => angle += 1,
+                        Tok::Sym('>', _) if !(j > 0 && toks[j - 1].is_sym('-')) => {
+                            angle -= 1;
+                        }
+                        Tok::Ident(s, _) if angle == 0 && name.is_empty() => {
+                            name = s.clone();
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < range.end && toks[j].is_sym('{') && delims[j] > j {
+                    let close = delims[j];
+                    items.push(Item {
+                        kind: ItemKind::Impl,
+                        name,
+                        line: *line,
+                        body: Some(j + 1..close),
+                        children: parse_range(toks, delims, j + 1..close),
+                    });
+                    i = close + 1;
+                } else {
+                    i = j.saturating_add(1);
+                }
+            }
+            // An item fn: `fn` followed by a name. (`fn(u32) -> u32`
+            // pointer types have `(` next and fall through.)
+            Tok::Ident(kw, line)
+                if kw == "fn" && toks.get(i + 1).and_then(Tok::ident).is_some() =>
+            {
+                let name = toks[i + 1].ident().unwrap_or_default().to_owned();
+                let sig_line = *line;
+                let mut sig = modifiers_before(toks, range.start, i);
+
+                // Params open: first `(` at angle depth 0 (generic bounds
+                // like `F: Fn(u32) -> u32` keep their parens inside `<>`).
+                let mut angle = 0i32;
+                let mut j = i + 2;
+                let mut params_open = None;
+                while j < range.end {
+                    match &toks[j] {
+                        Tok::Sym('<', _) => angle += 1,
+                        Tok::Sym('>', _) if !(j > 0 && toks[j - 1].is_sym('-')) => {
+                            angle -= 1;
+                        }
+                        Tok::Sym('(', _) if angle <= 0 => {
+                            params_open = Some(j);
+                            break;
+                        }
+                        Tok::Sym('{' | ';', _) if angle <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Body start: first `{` (or `;` for bodyless decls) at
+                // paren/bracket depth 0 after the params.
+                let after_params = match params_open {
+                    Some(open) if delims[open] > open => delims[open] + 1,
+                    _ => j,
+                };
+                let mut k = after_params;
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut body_open = None;
+                while k < range.end {
+                    match &toks[k] {
+                        Tok::Sym('(', _) => paren += 1,
+                        Tok::Sym(')', _) => paren -= 1,
+                        Tok::Sym('[', _) => bracket += 1,
+                        Tok::Sym(']', _) => bracket -= 1,
+                        Tok::Sym('{', _) if paren == 0 && bracket == 0 => {
+                            body_open = Some(k);
+                            break;
+                        }
+                        Tok::Sym(';', _) if paren == 0 && bracket == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                sig.returns_result = toks[after_params..k.min(range.end)]
+                    .iter()
+                    .any(|t| t.is_ident("Result"));
+                match body_open {
+                    Some(open) if delims[open] > open => {
+                        let close = delims[open];
+                        items.push(Item {
+                            kind: ItemKind::Fn(sig),
+                            name,
+                            line: sig_line,
+                            body: Some(open + 1..close),
+                            children: parse_range(toks, delims, open + 1..close),
+                        });
+                        i = close + 1;
+                    }
+                    _ => {
+                        items.push(Item {
+                            kind: ItemKind::Fn(sig),
+                            name,
+                            line: sig_line,
+                            body: None,
+                            children: Vec::new(),
+                        });
+                        i = k.saturating_add(1);
+                    }
+                }
+            }
+            // Any other block (struct/enum bodies, statement blocks, match
+            // arms): recurse so functions nested inside still surface, as
+            // direct children of the enclosing item.
+            Tok::Sym('{', _) if delims[i] > i => {
+                let close = delims[i];
+                items.extend(parse_range(toks, delims, i + 1..close));
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Collects `async`/`unsafe` from the modifier run directly before a
+/// `fn` keyword (`pub(crate) const unsafe fn ...`).
+fn modifiers_before(toks: &[Tok], start: usize, fn_idx: usize) -> FnSig {
+    let mut sig = FnSig::default();
+    let mut k = fn_idx;
+    while k > start {
+        match &toks[k - 1] {
+            Tok::Ident(m, _)
+                if matches!(
+                    m.as_str(),
+                    "pub" | "const" | "async" | "unsafe" | "extern" | "crate" | "super" | "self"
+                ) =>
+            {
+                if m == "async" {
+                    sig.is_async = true;
+                }
+                if m == "unsafe" {
+                    sig.is_unsafe = true;
+                }
+                k -= 1;
+            }
+            Tok::Sym('(' | ')', _) => k -= 1,
+            _ => break,
+        }
+    }
+    sig
+}
+
+/// The deepest `fn` item whose body contains token `idx`, or `None` when
+/// the token sits outside every function body.
+pub fn innermost_fn(items: &[Item], idx: usize) -> Option<&Item> {
+    for item in items {
+        let Some(body) = &item.body else { continue };
+        if !body.contains(&idx) {
+            continue;
+        }
+        if let Some(inner) = innermost_fn(&item.children, idx) {
+            return Some(inner);
+        }
+        return match item.kind {
+            ItemKind::Fn(_) => Some(item),
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Visits every `fn` item in the tree, depth-first.
+pub fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        if matches!(item.kind, ItemKind::Fn(_)) {
+            f(item);
+        }
+        for_each_fn(&item.children, f);
+    }
+}
+
+/// One `let` binding of a simple name (patterns like `let (a, b) = ..`
+/// and `if let`/`while let` heads are deliberately skipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LetBinding {
+    /// The bound name (`_` for an explicit discard).
+    pub name: String,
+    /// 1-based line of the `let`.
+    pub line: usize,
+    /// Token range of the declared type (empty when inferred).
+    pub ty: Range<usize>,
+    /// Token range of the initializer (empty for `let x;`).
+    pub init: Range<usize>,
+    /// Index of the terminating `;`.
+    pub stmt_end: usize,
+    /// Index of the `}` closing the binding's enclosing block (the body's
+    /// end for top-of-function bindings) — where the binding drops.
+    pub scope_end: usize,
+}
+
+/// Extracts the simple-name `let` bindings of a body range, each with its
+/// initializer tokens and enclosing-block end. Nested blocks (closures,
+/// `if`/`match` arms) are walked too; their bindings carry the inner
+/// block's `scope_end`.
+pub fn let_bindings(toks: &[Tok], delims: &[usize], body: Range<usize>) -> Vec<LetBinding> {
+    let mut out = Vec::new();
+    let mut blocks: Vec<usize> = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        match &toks[i] {
+            Tok::Sym('{', _) => blocks.push(i),
+            Tok::Sym('}', _) => {
+                blocks.pop();
+            }
+            Tok::Ident(kw, line) if kw == "let" => {
+                // `if let` / `while let` heads are refutable patterns, not
+                // scoped bindings.
+                let after_cond =
+                    i > body.start && matches!(toks[i - 1].ident(), Some("if" | "while" | "else"));
+                if after_cond {
+                    i += 1;
+                    continue;
+                }
+                let mut p = i + 1;
+                if toks.get(p).is_some_and(|t| t.is_ident("mut")) {
+                    p += 1;
+                }
+                let Some(name) = toks.get(p).and_then(Tok::ident) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.to_owned();
+                let line = *line;
+                // Optional `: Type` up to the `=` at angle/paren/bracket
+                // depth 0 (associated-type bindings like `Item = u32` hide
+                // their `=` inside `<>`).
+                let mut ty = p + 1..p + 1;
+                let mut q = p + 1;
+                if toks.get(q).is_some_and(|t| t.is_sym(':')) {
+                    let ty_start = q + 1;
+                    let mut angle = 0i32;
+                    let mut paren = 0i32;
+                    let mut bracket = 0i32;
+                    q = ty_start;
+                    while q < body.end {
+                        match &toks[q] {
+                            Tok::Sym('<', _) => angle += 1,
+                            Tok::Sym('>', _) if !(q > 0 && toks[q - 1].is_sym('-')) => {
+                                angle -= 1;
+                            }
+                            Tok::Sym('(', _) => paren += 1,
+                            Tok::Sym(')', _) => paren -= 1,
+                            Tok::Sym('[', _) => bracket += 1,
+                            Tok::Sym(']', _) => bracket -= 1,
+                            Tok::Sym('=' | ';', _) if angle <= 0 && paren == 0 && bracket == 0 => {
+                                break;
+                            }
+                            _ => {}
+                        }
+                        q += 1;
+                    }
+                    ty = ty_start..q;
+                }
+                // Initializer: after `=`, to the `;` at full depth 0
+                // (braces included — `let x = if c { a } else { b };`).
+                let (init, stmt_end) = if toks.get(q).is_some_and(|t| t.is_sym('=')) {
+                    let init_start = q + 1;
+                    let mut depth = 0i32;
+                    let mut r = init_start;
+                    while r < body.end {
+                        match &toks[r] {
+                            Tok::Sym('(' | '[' | '{', _) => depth += 1,
+                            Tok::Sym(')' | ']' | '}', _) => depth -= 1,
+                            Tok::Sym(';', _) if depth == 0 => break,
+                            _ => {}
+                        }
+                        r += 1;
+                    }
+                    (init_start..r, r)
+                } else {
+                    (q..q, q)
+                };
+                let scope_end = blocks.last().map_or(body.end, |&open| delims[open]);
+                out.push(LetBinding {
+                    name,
+                    line,
+                    ty,
+                    init,
+                    stmt_end,
+                    scope_end,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Walks back from the *last* token of an expression to its first token,
+/// crossing postfix chains: method/field access (`.`), paths (`::`),
+/// call/index groups, and postfix `?`. Returns the start index.
+///
+/// `expr_start(toks, d, «)» of specs.len())` is the index of `specs`;
+/// from the `)` of `(v & 0x7f)` with no preceding callee it is the `(`.
+pub fn expr_start(toks: &[Tok], delims: &[usize], last: usize) -> usize {
+    let mut j = last;
+    loop {
+        // Step over the current chain element.
+        match &toks[j] {
+            Tok::Sym(')' | ']', _) => {
+                let open = delims[j];
+                if open < j {
+                    j = open;
+                } else {
+                    return j;
+                }
+                // A callee / indexed ident directly before the group
+                // belongs to the same element.
+                match j.checked_sub(1) {
+                    Some(k) if toks[k].ident().is_some() => j = k,
+                    _ => {}
+                }
+            }
+            Tok::Ident(..) => {}
+            Tok::Sym('?', _) => match j.checked_sub(1) {
+                Some(k) => {
+                    j = k;
+                    continue;
+                }
+                None => return j,
+            },
+            _ => return j,
+        }
+        // Cross a `.` or `::` separator to the element on its left.
+        match j.checked_sub(1) {
+            Some(k) if toks[k].is_sym('.') => match k.checked_sub(1) {
+                Some(m) => j = m,
+                None => return j,
+            },
+            Some(k) if toks[k].is_sym(':') && k >= 1 && toks[k - 1].is_sym(':') => {
+                match k.checked_sub(2) {
+                    Some(m) => j = m,
+                    None => return j,
+                }
+            }
+            _ => return j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> (Vec<Tok>, Vec<usize>, Vec<Item>) {
+        let toks = tokenize(src);
+        let delims = match_delims(&toks);
+        let items = parse_items(&toks, &delims);
+        (toks, delims, items)
+    }
+
+    fn fn_names(items: &[Item]) -> Vec<String> {
+        let mut names = Vec::new();
+        for_each_fn(items, &mut |f| names.push(f.name.clone()));
+        names
+    }
+
+    #[test]
+    fn nested_mods_impls_and_fns_build_a_tree() {
+        let src = "mod outer {\n  struct S;\n  impl S {\n    fn method(&self) { helper() }\n  }\n  mod inner { fn deep() {} }\n}\nfn top() {}\n";
+        let (_, _, items) = parsed(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "outer");
+        assert!(matches!(items[0].kind, ItemKind::Mod));
+        let imp = &items[0].children[0];
+        assert!(matches!(imp.kind, ItemKind::Impl));
+        assert_eq!(imp.name, "S");
+        assert_eq!(imp.children[0].name, "method");
+        assert_eq!(items[0].children[1].children[0].name, "deep");
+        assert_eq!(fn_names(&items), ["method", "deep", "top"]);
+    }
+
+    #[test]
+    fn generics_with_shift_like_closers_do_not_derail_params() {
+        let src =
+            "fn f<T: Into<Vec<Vec<u8>>>>(x: T, y: [u8; 4]) -> Vec<u8> { body() }\nfn g() {}\n";
+        let (_, _, items) = parsed(src);
+        assert_eq!(fn_names(&items), ["f", "g"]);
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn where_clauses_and_fn_bound_arrows_are_skipped() {
+        let src = "fn f<F>(make: F) -> Result<(), E>\nwhere\n    F: Fn(u32) -> Result<u32, E>,\n{ go() }\n";
+        let (_, _, items) = parsed(src);
+        assert_eq!(items.len(), 1);
+        let ItemKind::Fn(sig) = &items[0].kind else {
+            panic!("not a fn: {:?}", items[0]);
+        };
+        assert!(sig.returns_result);
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn async_unsafe_and_result_signatures_are_recognized() {
+        let src = "pub(crate) async fn a() {}\nunsafe fn u() {}\nfn r() -> std::io::Result<()> { Ok(()) }\nfn plain() -> usize { 0 }\n";
+        let (_, _, items) = parsed(src);
+        let sigs: Vec<(String, FnSig)> = items
+            .iter()
+            .map(|i| match &i.kind {
+                ItemKind::Fn(s) => (i.name.clone(), s.clone()),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(sigs[0].1.is_async && !sigs[0].1.is_unsafe);
+        assert!(sigs[1].1.is_unsafe && !sigs[1].1.is_async);
+        assert!(sigs[2].1.returns_result);
+        assert!(!sigs[3].1.returns_result);
+    }
+
+    #[test]
+    fn trait_methods_without_bodies_parse_as_bodyless_fns() {
+        let src =
+            "trait T {\n    fn required(&self) -> Result<(), E>;\n    fn provided(&self) {}\n}\n";
+        let (_, _, items) = parsed(src);
+        assert_eq!(items[0].name, "T");
+        let kids = &items[0].children;
+        assert_eq!(kids[0].name, "required");
+        assert!(kids[0].body.is_none());
+        assert!(kids[1].body.is_some());
+    }
+
+    #[test]
+    fn innermost_fn_resolves_through_nesting_and_blocks() {
+        let src = "fn outer() {\n    if cond {\n        marker_a;\n    }\n}\nmod m { fn inner() { marker_b; } }\nstatic X: u8 = 0;\n";
+        let (toks, delims, items) = parsed(src);
+        let at = |name: &str| toks.iter().position(|t| t.is_ident(name)).unwrap();
+        assert_eq!(innermost_fn(&items, at("marker_a")).unwrap().name, "outer");
+        assert_eq!(innermost_fn(&items, at("marker_b")).unwrap().name, "inner");
+        let x_idx = toks.iter().position(|t| t.is_ident("X")).unwrap();
+        assert!(innermost_fn(&items, x_idx).is_none());
+        let _ = delims;
+    }
+
+    #[test]
+    fn let_bindings_carry_type_init_and_scope() {
+        let src = "fn f() {\n    let n: Vec<u8> = decode(buf);\n    {\n        let inner = n.len();\n        use_it(inner);\n    }\n    tail(n);\n}\n";
+        let (toks, delims, items) = parsed(src);
+        let body = items[0].body.clone().unwrap();
+        let lets = let_bindings(&toks, &delims, body.clone());
+        assert_eq!(lets.len(), 2);
+        assert_eq!(lets[0].name, "n");
+        assert!(toks[lets[0].ty.clone()].iter().any(|t| t.is_ident("Vec")));
+        assert!(toks[lets[0].init.clone()]
+            .iter()
+            .any(|t| t.is_ident("decode")));
+        assert_eq!(lets[0].scope_end, body.end);
+        assert_eq!(lets[1].name, "inner");
+        // The inner binding's scope closes before the outer one's.
+        assert!(lets[1].scope_end < lets[0].scope_end);
+    }
+
+    #[test]
+    fn if_let_and_tuple_patterns_are_skipped() {
+        let src =
+            "fn f() {\n    if let Some(x) = maybe() { use_it(x); }\n    let (a, b) = pair();\n    let plain = 1;\n}\n";
+        let (toks, delims, items) = parsed(src);
+        let lets = let_bindings(&toks, &delims, items[0].body.clone().unwrap());
+        assert_eq!(lets.len(), 1);
+        assert_eq!(lets[0].name, "plain");
+    }
+
+    #[test]
+    fn braced_initializers_terminate_at_the_statement_semicolon() {
+        let src = "fn f() {\n    let k = Key { a: 1, b: 2 };\n    let c = if x { 1 } else { 2 };\n    after();\n}\n";
+        let (toks, delims, items) = parsed(src);
+        let lets = let_bindings(&toks, &delims, items[0].body.clone().unwrap());
+        assert_eq!(lets.len(), 2);
+        assert!(toks[lets[0].init.clone()].iter().any(|t| t.is_ident("Key")));
+        assert!(toks[lets[1].init.clone()]
+            .iter()
+            .any(|t| t.is_ident("else")));
+        assert!(toks[lets[1].stmt_end].is_sym(';'));
+    }
+
+    #[test]
+    fn expr_start_walks_receiver_chains() {
+        let src = "put(out, specs.len() as u32); x = (v & 0x7f) as u8; y = get(buf)? as usize;";
+        let toks = tokenize(src);
+        let delims = match_delims(&toks);
+        let casts: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.is_ident("as").then_some(i))
+            .collect();
+        assert_eq!(casts.len(), 3);
+        // `specs.len() as u32` — operand starts at `specs`.
+        assert!(toks[expr_start(&toks, &delims, casts[0] - 1)].is_ident("specs"));
+        // `(v & 0x7f) as u8` — operand starts at the `(` group.
+        assert!(toks[expr_start(&toks, &delims, casts[1] - 1)].is_sym('('));
+        // `get(buf)? as usize` — `?` crosses back to the callee.
+        assert!(toks[expr_start(&toks, &delims, casts[2] - 1)].is_ident("get"));
+    }
+}

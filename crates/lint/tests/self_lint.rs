@@ -1,0 +1,52 @@
+//! The linter lints itself — and the whole workspace stays fresh-clean.
+//!
+//! These tests run the real `lint_workspace` walk against the live
+//! checkout, so a regression anywhere in the tree (a new unguarded
+//! allocation, a reintroduced `let _ =`) fails `cargo test` before the
+//! CI `--deny` job ever runs.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn lint_crate_passes_its_own_rules() {
+    let root = workspace_root();
+    let diags = tsj_lint::lint_workspace(&root).expect("workspace sources readable");
+    let own: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(own.is_empty(), "tsjlint flagged its own sources: {own:?}");
+}
+
+#[test]
+fn workspace_is_fresh_clean_with_empty_baseline() {
+    let root = workspace_root();
+    let baseline = tsj_lint::load_baseline(&root.join("crates/lint/baseline.txt"));
+    assert!(
+        baseline.is_empty(),
+        "the baseline must stay empty: real findings get fixed or carry a written allow"
+    );
+    let diags = tsj_lint::lint_workspace(&root).expect("workspace sources readable");
+    let (fresh, _) = tsj_lint::split_baselined(diags, &baseline);
+    assert!(fresh.is_empty(), "fresh diagnostics in the tree: {fresh:?}");
+}
+
+#[test]
+fn every_rule_is_suppressible_and_documented() {
+    // The allow parser accepts exactly the RULES list; a rule added to
+    // the pack without joining RULES would be unsuppressible.
+    assert_eq!(tsj_lint::RULES.len(), 8);
+    let readme =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("README.md"))
+            .expect("crates/lint/README.md exists");
+    for rule in tsj_lint::RULES {
+        assert!(
+            readme.contains(rule),
+            "README.md does not document rule `{rule}`"
+        );
+    }
+}

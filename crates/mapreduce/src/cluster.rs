@@ -1473,6 +1473,7 @@ where
                 pos += 1;
             }
         }
+        // tsjlint:allow(no-hashmap-iter-in-output-path) drained in arbitrary order but sorted by first-occurrence position on the next line, before anything is emitted
         let mut ordered: Vec<(K, (usize, Vec<V>))> = groups.into_iter().collect();
         ordered.sort_unstable_by_key(|(_, (pos, _))| *pos);
         n_groups = ordered.len() as u64;

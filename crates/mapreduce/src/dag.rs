@@ -296,8 +296,11 @@ pub(crate) fn execute(threads: usize, sched: SchedulerConfig, thunks: Vec<Driver
             // Driver bodies capture their own panics; a join error here
             // would mean the thunk wrapper itself panicked, which the
             // wrappers are written not to do. Either way the feeds'
-            // Drop/close discipline keeps the remaining drivers exiting.
-            let _ = driver.join();
+            // Drop/close discipline keeps the remaining drivers exiting —
+            // but a wrapper panic is a bug worth hearing about.
+            if driver.join().is_err() {
+                eprintln!("tsj-mapreduce: a stage driver panicked outside its capture wrapper");
+            }
         }
         pool.shutdown();
     });

@@ -219,6 +219,18 @@ pub enum PlanDiagnostic {
         /// The repartition stage's name.
         stage: String,
     },
+    /// A repartition whose shuffle pass cannot usefully change the data's
+    /// layout: its consumer immediately repartitions again, or its
+    /// partition count equals what its stage producers already deliver.
+    RedundantRepartition {
+        /// The repartition stage's name.
+        stage: String,
+        /// `Some(consumer_name)` when the consumer repartitions again;
+        /// `None` when the count matches the producers'.
+        chained_into: Option<String>,
+        /// The repartition's configured partition count.
+        partitions: usize,
+    },
     /// A stage shuffling zero-sized values without a combiner.
     UncombinedDedupFoldable {
         /// The stage's name.
@@ -245,6 +257,7 @@ impl PlanDiagnostic {
             PlanDiagnostic::Unreachable { .. } => "unreachable-stage",
             PlanDiagnostic::UnionPartitionMismatch { .. } => "union-partition-mismatch",
             PlanDiagnostic::TerminalRepartition { .. } => "terminal-repartition",
+            PlanDiagnostic::RedundantRepartition { .. } => "redundant-repartition",
             PlanDiagnostic::UncombinedDedupFoldable { .. } => "uncombined-dedup-foldable",
             PlanDiagnostic::MergeFanInHazard { .. } => "merge-fan-in-hazard",
         }
@@ -277,6 +290,25 @@ impl std::fmt::Display for PlanDiagnostic {
                 f,
                 "[terminal-repartition] `{stage}` feeds collect directly; the \
                  extra shuffle pass only reorders driver-bound records"
+            ),
+            PlanDiagnostic::RedundantRepartition {
+                stage,
+                chained_into: Some(consumer),
+                ..
+            } => write!(
+                f,
+                "[redundant-repartition] `{stage}` feeds `{consumer}`, which \
+                 immediately repartitions again; the first shuffle pass is wasted"
+            ),
+            PlanDiagnostic::RedundantRepartition {
+                stage,
+                chained_into: None,
+                partitions,
+            } => write!(
+                f,
+                "[redundant-repartition] `{stage}` repartitions to {partitions} \
+                 partitions — the count its producers already deliver; the shuffle \
+                 pass moves every record without changing the layout"
             ),
             PlanDiagnostic::UncombinedDedupFoldable { stage } => write!(
                 f,
@@ -453,6 +485,49 @@ pub fn analyze_plan(plan: &PlanInfo, shuffle: &ShuffleConfig) -> Vec<PlanDiagnos
         }
     }
 
+    // ---- redundant-repartition ---------------------------------------
+    for node in nodes {
+        let NodeKind::Stage(s) = &node.kind else {
+            continue;
+        };
+        if !s.is_repartition {
+            continue;
+        }
+        // Chained: the consumer repartitions again, so this pass's layout
+        // never survives to a computation.
+        if let Some(c) = node.consumer.filter(|&c| c < n) {
+            if let NodeKind::Stage(cs) = &nodes[c].kind {
+                if cs.is_repartition {
+                    diags.push(PlanDiagnostic::RedundantRepartition {
+                        stage: s.name.clone(),
+                        chained_into: Some(cs.name.clone()),
+                        partitions: s.partitions,
+                    });
+                    continue;
+                }
+            }
+        }
+        // Count-equal: every producer is a stage already configured for
+        // the same partition count. Input/materialized producer counts
+        // are data-dependent, not a plan property, so mixed graphs stay
+        // silent — same reasoning as the union check above.
+        let prods = &producers[node.id];
+        if !prods.is_empty()
+            && prods
+                .iter()
+                .all(|&p| matches!(nodes[p].kind, NodeKind::Stage(_)))
+            && prods
+                .iter()
+                .all(|&p| nodes[p].output_partitions() == s.partitions)
+        {
+            diags.push(PlanDiagnostic::RedundantRepartition {
+                stage: s.name.clone(),
+                chained_into: None,
+                partitions: s.partitions,
+            });
+        }
+    }
+
     // ---- uncombined-dedup-foldable -----------------------------------
     for node in nodes {
         if let NodeKind::Stage(s) = &node.kind {
@@ -620,6 +695,85 @@ mod tests {
         );
         // Spilling with a cap: clean again.
         assert!(analyze_plan(&plan, &spilling.with_merge_fan_in(8)).is_empty());
+    }
+
+    fn repart(id: usize, consumer: Option<usize>, name: &str, partitions: usize) -> PlanNodeInfo {
+        PlanNodeInfo {
+            id,
+            consumer,
+            kind: NodeKind::Stage(StageInfo {
+                name: name.to_owned(),
+                partitions,
+                combined: false,
+                value_is_zst: false,
+                is_repartition: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn chained_repartitions_flag_the_upstream_pass() {
+        // consumer stage <- repartition(8) <- repartition(4) <- input
+        let plan = PlanInfo::from_nodes(vec![
+            stage(0, None, "consume"),
+            repart(1, Some(0), "repartition(8)", 8),
+            repart(2, Some(1), "repartition(4)", 4),
+            input(3, Some(2), 100, 2),
+        ]);
+        let diags = analyze_plan(&plan, &ShuffleConfig::default());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code()).collect();
+        assert_eq!(codes, ["redundant-repartition"], "{diags:?}");
+        assert!(matches!(
+            &diags[0],
+            PlanDiagnostic::RedundantRepartition {
+                stage,
+                chained_into: Some(c),
+                ..
+            } if stage == "repartition(4)" && c == "repartition(8)"
+        ));
+    }
+
+    #[test]
+    fn same_count_repartition_after_a_stage_is_flagged() {
+        // consumer <- repartition(8) <- producer stage (8 partitions)
+        let plan = PlanInfo::from_nodes(vec![
+            stage(0, None, "consume"),
+            repart(1, Some(0), "repartition(8)", 8),
+            stage(2, Some(1), "produce"),
+            input(3, Some(2), 100, 2),
+        ]);
+        let diags = analyze_plan(&plan, &ShuffleConfig::default());
+        assert!(
+            diags.iter().any(|d| matches!(
+                d,
+                PlanDiagnostic::RedundantRepartition {
+                    chained_into: None,
+                    partitions: 8,
+                    ..
+                }
+            )),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn repartition_from_inputs_or_to_new_counts_is_clean() {
+        // Input-fed repartition: the input's task count is data-dependent,
+        // so no count claim is possible.
+        let from_input = PlanInfo::from_nodes(vec![
+            stage(0, None, "consume"),
+            repart(1, Some(0), "repartition(8)", 8),
+            input(2, Some(1), 100, 8),
+        ]);
+        assert!(analyze_plan(&from_input, &ShuffleConfig::default()).is_empty());
+        // A genuine layout change: producer at 8, repartition to 4.
+        let reshapes = PlanInfo::from_nodes(vec![
+            stage(0, None, "consume"),
+            repart(1, Some(0), "repartition(4)", 4),
+            stage(2, Some(1), "produce"),
+            input(3, Some(2), 100, 2),
+        ]);
+        assert!(analyze_plan(&reshapes, &ShuffleConfig::default()).is_empty());
     }
 
     #[test]

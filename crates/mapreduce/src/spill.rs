@@ -87,11 +87,11 @@ fn varint_bytes(mut v: u64) -> ([u8; 10], usize) {
     let mut buf = [0u8; 10];
     let mut i = 0;
     while v >= 0x80 {
-        buf[i] = v as u8 | 0x80;
+        buf[i] = (v & 0x7f) as u8 | 0x80;
         v >>= 7;
         i += 1;
     }
-    buf[i] = v as u8;
+    buf[i] = (v & 0x7f) as u8;
     (buf, i + 1)
 }
 
@@ -679,7 +679,17 @@ pub(crate) struct SpillDirGuard(pub(crate) PathBuf);
 
 impl Drop for SpillDirGuard {
     fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
+        if let Err(e) = std::fs::remove_dir_all(&self.0) {
+            // A leaked spill directory is disk the operator has to find;
+            // say where it is. An already-gone directory is the goal
+            // state, not an error.
+            if e.kind() != std::io::ErrorKind::NotFound {
+                eprintln!(
+                    "tsj-mapreduce: failed to remove spill dir {}: {e}",
+                    self.0.display()
+                );
+            }
+        }
     }
 }
 

@@ -512,10 +512,16 @@ impl ShuffleTransport for Remote {
             // partitions fetch nothing and cost nothing).
             let mut writer: Option<SpillWriter> = None;
             let mut metas: Vec<RunMeta> = Vec::new();
+            let partition = u32::try_from(p).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("partition index {p} exceeds the u32 run-key field"),
+                )
+            })?;
             for &task in &keys {
                 let key = RunKey {
                     job: self.job,
-                    partition: p as u32,
+                    partition,
                     task,
                 };
                 let specs = client.dir(key).map_err(fetch_io)?;

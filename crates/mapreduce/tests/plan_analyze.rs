@@ -169,6 +169,94 @@ fn terminal_repartition_warns() {
 }
 
 #[test]
+fn chained_repartitions_warn_once_for_the_wasted_pass() {
+    let c = cluster();
+    let (mut out, report) = c
+        .input_vec((0..30u32).collect())
+        .repartition(4)
+        .unwrap()
+        .repartition(8)
+        .unwrap()
+        .map_reduce(
+            "downstream",
+            |&x: &u32, e: &mut Emitter<u32, u32>| e.emit(x, x),
+            |&k: &u32, _vs: Vec<u32>, out: &mut OutputSink<u32>| out.emit(k),
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    out.sort_unstable();
+    assert_eq!(out, (0..30).collect::<Vec<u32>>());
+    assert_eq!(codes(&report), vec!["redundant-repartition"]);
+    match &report.plan_diagnostics()[0] {
+        PlanDiagnostic::RedundantRepartition {
+            chained_into: Some(_),
+            ..
+        } => {}
+        other => panic!("expected the chained form, got {other:?}"),
+    }
+}
+
+#[test]
+fn repartition_to_the_producers_count_warns() {
+    let c = cluster(); // 4 machines → stages shuffle into 4 partitions
+    let (mut out, report) = c
+        .input_vec((0..30u32).collect())
+        .map_reduce(
+            "produce",
+            |&x: &u32, e: &mut Emitter<u32, u32>| e.emit(x, x),
+            |&k: &u32, _vs: Vec<u32>, out: &mut OutputSink<u32>| out.emit(k),
+        )
+        .unwrap()
+        .repartition(4)
+        .unwrap()
+        .map_reduce(
+            "downstream",
+            |&x: &u32, e: &mut Emitter<u32, u32>| e.emit(x, x),
+            |&k: &u32, _vs: Vec<u32>, out: &mut OutputSink<u32>| out.emit(k),
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    out.sort_unstable();
+    assert_eq!(out, (0..30).collect::<Vec<u32>>());
+    assert_eq!(codes(&report), vec!["redundant-repartition"]);
+    match &report.plan_diagnostics()[0] {
+        PlanDiagnostic::RedundantRepartition {
+            chained_into: None,
+            partitions: 4,
+            ..
+        } => {}
+        other => panic!("expected the count-equal form, got {other:?}"),
+    }
+
+    // Reshaping to a different count through the same chain: clean.
+    let (_, report) = c
+        .input_vec((0..30u32).collect())
+        .map_reduce(
+            "produce",
+            |&x: &u32, e: &mut Emitter<u32, u32>| e.emit(x, x),
+            |&k: &u32, _vs: Vec<u32>, out: &mut OutputSink<u32>| out.emit(k),
+        )
+        .unwrap()
+        .repartition(8)
+        .unwrap()
+        .map_reduce(
+            "downstream",
+            |&x: &u32, e: &mut Emitter<u32, u32>| e.emit(x, x),
+            |&k: &u32, _vs: Vec<u32>, out: &mut OutputSink<u32>| out.emit(k),
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(
+        report.plan_diagnostics().is_empty(),
+        "unexpected: {:?}",
+        report.plan_diagnostics()
+    );
+}
+
+#[test]
 fn merge_fan_in_hazard_needs_uncapped_spilling_config() {
     // 100 producer partitions feeding one stage under a spilling shuffle
     // with no merge fan-in cap: every partition's sorted runs meet in one

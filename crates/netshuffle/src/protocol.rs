@@ -180,9 +180,15 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Response::Dir(specs) => {
+                // A run directory lists one spec per reduce partition;
+                // partition counts are far below u32::MAX, and a count
+                // that somehow is not would corrupt the frame if
+                // truncated — refuse loudly instead.
+                let count =
+                    u32::try_from(specs.len()).expect("dir spec count exceeds the u32 wire field");
                 let mut out = Vec::with_capacity(5 + specs.len() * 24);
                 out.push(ST_DIR);
-                put_u32(&mut out, specs.len() as u32);
+                put_u32(&mut out, count);
                 for s in specs {
                     put_u64(&mut out, s.offset);
                     put_u64(&mut out, s.bytes);
@@ -239,8 +245,17 @@ impl Response {
 /// (~40ms per round trip — three orders of magnitude over loopback
 /// latency).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds the u32 length prefix",
+                payload.len()
+            ),
+        )
+    })?;
     let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(payload);
     w.write_all(&frame)?;
     w.flush()

@@ -301,13 +301,25 @@ impl RunServer {
         self.stop.store(true, Ordering::Release);
         // Poke the listener so a blocked accept() returns and observes
         // the flag.
+        // tsjlint:allow(no-silent-result-drop) the self-connect exists only to wake accept(); a refused poke means the listener is already gone, which is the goal state
         let _ = connect(&self.addr, Duration::from_millis(200));
         if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                eprintln!("tsj-netshuffle: accept thread panicked during shutdown");
+            }
         }
         #[cfg(unix)]
         if let ServerAddr::Uds(path) = &self.addr {
-            let _ = std::fs::remove_file(path);
+            if let Err(e) = std::fs::remove_file(path) {
+                // Never created, or a previous shutdown already removed
+                // it: fine. Anything else leaks a stale socket path.
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    eprintln!(
+                        "tsj-netshuffle: failed to remove socket file {}: {e}",
+                        path.display()
+                    );
+                }
+            }
         }
     }
 }
